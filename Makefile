@@ -1,0 +1,39 @@
+# Convenience targets for the SMM reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples docs report verify check all clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/dnn_layers.py
+	$(PYTHON) examples/block_sparse_bcsr.py
+	$(PYTHON) examples/abft_checksum.py
+	$(PYTHON) examples/custom_machine.py
+	$(PYTHON) examples/layout_locality.py
+
+docs:
+	$(PYTHON) -m repro.util.apidoc
+
+report:
+	$(PYTHON) -m repro report --output REPORT.md
+
+verify:
+	$(PYTHON) -m repro verify
+
+check: test bench
+
+all: install check docs report
+
+clean:
+	rm -rf benchmarks/out .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,28 @@
+"""Benchmark fixtures: machine model and a results emitter."""
+
+import pathlib
+
+import pytest
+
+from repro.machine import phytium2000plus
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The Phytium 2000+ machine model."""
+    return phytium2000plus()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Writer for rendered figure/table text artifacts."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}] written to {path}\n{text}")
+
+    return _emit

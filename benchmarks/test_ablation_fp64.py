@@ -1,0 +1,49 @@
+"""Precision ablation: does the characterization hold in double precision?
+
+The paper evaluates fp32 (its Eq. 1-3 use ``sizeof(float)``); Phytium
+2000+'s advertised 563.2 GFLOPS is the fp64 figure.  This ablation reruns
+the square sweep in fp64: half the SIMD lanes, double the bytes per
+element — the qualitative ordering must survive.
+"""
+
+import numpy as np
+
+from repro.analysis import fig5
+from repro.workloads import fig5a_square
+
+
+def test_fp64_preserves_ordering(benchmark, machine, emit):
+    def run():
+        return fig5(machine, fig5a_square(step=10), "fig5a-fp64", 0,
+                    dtype=np.float64)
+
+    fig = benchmark(run)
+    emit("ablation_fp64", fig.render())
+
+    blasfeo = fig.series_by_name("blasfeo").ys
+    eigen = fig.series_by_name("eigen").ys
+    openblas = fig.series_by_name("openblas").ys
+
+    # ordering survives the precision change
+    assert np.mean(blasfeo) > np.mean(openblas) > np.mean(eigen)
+    # fp64 peak per core is half the fp32 peak; efficiencies stay fractions
+    assert machine.peak_gflops(np.float64, 64) == 563.2
+    assert all(0 < y <= 1 for y in blasfeo)
+
+
+def test_fp64_packing_story_holds(benchmark, machine):
+    from repro.blas import make_openblas
+
+    def run():
+        drv = make_openblas(machine, dtype=np.float64)
+        small_m = drv.cost_gemm(4, 100, 100)
+        small_k = drv.cost_gemm(100, 100, 4)
+        return (
+            small_m.packing_cycles / small_m.total_cycles,
+            small_k.packing_cycles / small_k.total_cycles,
+        )
+
+    pack_m, pack_k = benchmark(run)
+    # P2C's K-independence is precision-independent
+    assert pack_m > 0.4
+    assert pack_k < 0.2

@@ -1,0 +1,75 @@
+"""EQ4/EQ5 ablation: the micro-kernel design space (paper Sec. III-C).
+
+Sweeps (mr, nr) tiles, measuring scheduled steady-state efficiency, and
+verifies the two analytic design rules the paper derives:
+
+* the register constraint (Eq. 4) exactly separates generable from
+  non-generable tiles;
+* the latency constraint (enough accumulator chains for the FMA pipe)
+  separates full-throughput from chain-bound tiles — CMR (Eq. 5) alone is
+  not sufficient, which is why the paper pairs it with instruction-layout
+  care.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas import shared_analyzer, shared_generator
+from repro.kernels import (
+    KernelSpec,
+    compute_to_memory_ratio,
+    evaluate_tile,
+    registers_needed,
+)
+from repro.util.errors import KernelDesignError
+from repro.util.tables import format_table
+
+
+def sweep_design_space(machine):
+    gen = shared_generator()
+    analyzer = shared_analyzer(machine)
+    peak = machine.core.flops_per_cycle(np.float32)
+    rows = []
+    for mr in (4, 8, 12, 16, 24):
+        for nr in (1, 2, 4, 8, 12, 16):
+            design = evaluate_tile(mr, nr, 4, machine.core)
+            try:
+                kernel = gen.generate(
+                    KernelSpec(mr, nr, unroll=4, label="design")
+                )
+                eff = analyzer.analyze(kernel).flops_per_cycle / peak
+            except KernelDesignError:
+                eff = None
+            rows.append((mr, nr, design.registers, round(design.cmr, 1),
+                         design.chains, design.feasible,
+                         None if eff is None else round(eff, 3)))
+    return rows
+
+
+def test_microkernel_design_space(benchmark, machine, emit):
+    rows = benchmark(sweep_design_space, machine)
+    emit("ablation_microkernel_design", format_table(
+        ["mr", "nr", "regs", "CMR", "chains", "feasible(Eq4+lat)", "measured eff"],
+        [[c if c is not None else "-" for c in row] for row in rows],
+        title="micro-kernel design space",
+    ))
+
+    core = machine.core
+    for mr, nr, regs, cmr, chains, feasible, eff in rows:
+        generable = eff is not None
+        # Eq. 4 exactly predicts generability (single-buffer staging)
+        assert generable == (
+            registers_needed(mr, nr, 4) <= core.vector_registers
+        ), (mr, nr)
+        if not generable:
+            continue
+        # the latency constraint predicts full throughput
+        need = core.ports["fma"] * core.latencies["fma"]
+        if chains >= need:
+            assert eff > 0.95, (mr, nr)
+        else:
+            assert eff < 0.95, (mr, nr)
+        # CMR sanity (Eq. 5)
+        assert cmr == pytest.approx(
+            round(compute_to_memory_ratio(mr, nr), 1)
+        )

@@ -1,0 +1,105 @@
+"""Parallelization ablation (paper Sec. III-D).
+
+Contrasts the three schemes on one shape grid and isolates the two effects
+the paper names: fragmentation of a small dimension, and synchronization
+span.  Also compares the rule-based BLIS factorizer against the scored
+alternative.
+"""
+
+import numpy as np
+
+from repro.parallel import (
+    MultithreadedGemm,
+    barrier_cycles,
+    blis_factorization,
+    blis_factorization_scored,
+)
+from repro.util.tables import format_table
+
+
+def scheme_grid(machine):
+    rows = []
+    for threads in (8, 16, 64):
+        executors = {
+            lib: MultithreadedGemm(machine, lib, threads=threads)
+            for lib in ("openblas", "blis", "eigen")
+        }
+        for m in (16, 128):
+            row = [threads, m]
+            for lib, ex in executors.items():
+                t, _ = ex.cost(m, 2048, 2048)
+                row.append(round(t.efficiency(machine, np.float32, threads), 3))
+            rows.append(row)
+    return rows
+
+
+def test_scheme_comparison(benchmark, machine, emit):
+    rows = benchmark(scheme_grid, machine)
+    emit("ablation_parallel_schemes", format_table(
+        ["threads", "M", "openblas", "blis", "eigen"], rows,
+        title="parallelization schemes (fraction of aggregate peak)",
+    ))
+    # at 64 threads and M=16, the 1-D M partition is the catastrophic one
+    row64_m16 = next(r for r in rows if r[0] == 64 and r[1] == 16)
+    assert row64_m16[3] > 3 * row64_m16[2]  # blis >> openblas
+
+
+def test_factorizer_refuses_fragmentation(benchmark, machine):
+    def run():
+        results = {}
+        for m in (8, 16, 64, 256, 2048):
+            fact = blis_factorization(m, 2048, 64, 8, 12)
+            results[m] = (fact.jc, fact.ic, fact.jr)
+        return results
+
+    results = benchmark(run)
+    # small M: no M-parallelism at all
+    assert results[8][1] == 1
+    assert results[16][1] == 1
+    # large M: M-parallelism engaged
+    assert results[256][1] >= 8
+    # ic never fragments below two mr-tiles per thread
+    for m, (jc, ic, jr) in results.items():
+        assert m // ic >= 16 or ic == 1
+
+
+def test_sync_span_matters(benchmark, machine, emit):
+    # the paper's argument: 8-thread barriers are much cheaper than
+    # 64-thread barriers, and BLIS can keep the span at 8
+    numa = machine.numa
+    rows = benchmark(lambda: [
+        (t, round(barrier_cycles(t, numa), 0))
+        for t in (2, 4, 8, 16, 32, 64)
+    ])
+    emit("ablation_sync_span", format_table(
+        ["threads in barrier", "cycles"], rows, title="tree-barrier cost",
+    ))
+    costs = dict(rows)
+    assert costs[64] > 2.5 * costs[8]
+
+    fact = blis_factorization(16, 2048, 64, 8, 12)
+    assert fact.pack_b_group <= 8
+
+
+def test_rule_vs_scored_factorizer(benchmark, machine, emit):
+    def run():
+        rows = []
+        mt = MultithreadedGemm(machine, "blis", threads=64)
+        for m in (16, 64, 256):
+            rule = blis_factorization(m, 2048, 64, 8, 12)
+            scored = blis_factorization_scored(m, 2048, 64, 8, 12)
+            t_rule, _ = mt.cost(m, 2048, 2048)
+            rows.append((
+                m,
+                f"jc{rule.jc}/ic{rule.ic}/jr{rule.jr}",
+                f"jc{scored.jc}/ic{scored.ic}/jr{scored.jr}",
+                round(t_rule.efficiency(machine, np.float32, 64), 3),
+            ))
+        return rows
+
+    rows = benchmark(run)
+    emit("ablation_factorizers", format_table(
+        ["M", "rule-based", "scored", "rule eff"], rows,
+        title="BLIS thread factorization policies",
+    ))
+    assert all(r[3] > 0 for r in rows)

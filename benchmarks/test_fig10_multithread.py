@@ -1,0 +1,31 @@
+"""FIG10: 64-thread SMM comparison (paper Fig. 10a-c).
+
+OpenBLAS (1-D M partition), BLIS (multi-dimensional) and Eigen (2-D grid)
+on irregular shapes with one small dimension.  Shape checks: BLIS best for
+small M, peaking around the paper's ~60%; OpenBLAS especially poor when M
+is small; everyone far below peak at tiny dimensions.
+"""
+
+from repro.analysis import fig10
+
+
+def test_fig10_multithread(benchmark, machine, emit):
+    figs = benchmark(fig10, machine, 64)
+    text = "\n\n".join(figs[name].render() for name in sorted(figs))
+    emit("fig10", text)
+
+    small_m = figs["small-M"]
+    blis = small_m.series_by_name("blis").ys
+    openblas = small_m.series_by_name("openblas").ys
+    eigen = small_m.series_by_name("eigen").ys
+
+    # BLIS is the best performer for small M
+    wins = sum(1 for b, o, e in zip(blis, openblas, eigen)
+               if b > o and b > e)
+    assert wins >= len(blis) - 2
+    # paper: BLIS peaks around 60%
+    assert 0.5 < max(blis) < 0.85
+    # OpenBLAS especially poor when M is small
+    assert openblas[0] < 0.05
+    # everyone far below peak at the smallest dimension
+    assert all(s.ys[0] < 0.45 for s in small_m.series)

@@ -1,0 +1,52 @@
+"""FIG7: the OpenBLAS 8x4 edge micro-kernel under the pipeline model.
+
+The paper prints the kernel's assembly (four adjacent loads, short
+dependence distances) and argues it is inefficient.  We re-create the
+kernel, schedule it on the modeled core, and report:
+
+* the listing and the scheduled issue table;
+* steady-state cycles/k-step for the naive vs an optimized 8x4;
+* the OpenBLAS *edge family* (8x4 / 4x4 / 2x4 / 1x4) efficiencies — on an
+  out-of-order core this, not load placement, is where the edge penalty
+  lives (a reproduction finding, recorded in EXPERIMENTS.md);
+* the scheduling-window sensitivity showing how small the window would
+  have to be for the paper's load-placement concern to bind.
+"""
+
+from repro.analysis import fig7
+
+
+def test_fig7_schedule_analysis(benchmark, machine, emit):
+    result = benchmark(fig7, machine)
+
+    lines = [
+        "== naive (OpenBLAS-style) 8x4 edge kernel ==",
+        result["naive_listing"],
+        "",
+        "== scheduled issue table (2 iterations) ==",
+        result["schedule_table"],
+        "",
+        f"naive     : {result['naive_cycles_per_kstep']:.2f} cycles/k-step, "
+        f"{result['naive_efficiency']:.1%} of peak",
+        f"optimized : {result['optimized_cycles_per_kstep']:.2f} cycles/k-step, "
+        f"{result['optimized_efficiency']:.1%} of peak",
+        "",
+        "== edge-kernel family (naive style) ==",
+    ]
+    for name, eff in result["edge_family_efficiency"].items():
+        lines.append(f"  {name}: {eff:.1%} of peak")
+    lines.append("")
+    lines.append("== scheduling-window sensitivity (naive 8x4) ==")
+    for window, eff in sorted(result["window_sensitivity"].items()):
+        lines.append(f"  window={window:3d}: {eff:.1%}")
+    emit("fig7", "\n".join(lines))
+
+    # the assembly artifacts of the paper's Figure 7 are present
+    assert "ldp" in result["naive_listing"]
+    assert "fmla" in result["naive_listing"]
+    # narrow edge kernels are the real bottleneck: monotone decay
+    fam = result["edge_family_efficiency"]
+    assert fam["8x4"] > fam["4x4"] > fam["2x4"] > fam["1x4"]
+    assert fam["1x4"] < 0.25
+    # the 8x4 kernel itself saturates the FMA pipe
+    assert result["naive_efficiency"] > 0.95

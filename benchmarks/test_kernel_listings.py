@@ -1,0 +1,42 @@
+"""Assembly appendix: emit every library's main-kernel listing with its
+scheduled steady state — the artifact a reader would diff against real
+library kernels.
+"""
+
+import numpy as np
+
+from repro.blas import shared_analyzer, shared_generator
+from repro.kernels import all_catalogs
+
+
+def collect_listings(machine):
+    gen = shared_generator()
+    analyzer = shared_analyzer(machine)
+    peak = machine.core.flops_per_cycle(np.float32)
+    sections = []
+    stats = {}
+    for lib, catalog in sorted(all_catalogs().items()):
+        kernel = gen.generate(catalog.main)
+        state = analyzer.analyze(kernel)
+        eff = state.flops_per_cycle / peak
+        stats[lib] = eff
+        sections.append(
+            f"==== {lib}: {catalog.main.name} "
+            f"({state.cycles_per_iter / kernel.unroll:.2f} cycles/k-step, "
+            f"{eff:.1%} of peak) ====\n" + kernel.listing()
+        )
+    return "\n\n".join(sections), stats
+
+
+def test_kernel_listings(benchmark, machine, emit):
+    text, stats = benchmark(collect_listings, machine)
+    emit("kernel_listings", text)
+
+    # assembly-quality kernels saturate the pipe; Eigen's compiled,
+    # uncontracted kernel caps at half
+    assert stats["openblas"] > 0.95
+    assert stats["blis"] > 0.95
+    assert stats["blasfeo"] > 0.95
+    assert 0.45 < stats["eigen"] < 0.55
+    # the artifact contains real mnemonics
+    assert "fmla" in text and "ldr q" in text and ".loop:" in text

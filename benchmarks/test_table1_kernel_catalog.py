@@ -1,0 +1,13 @@
+"""TAB1: the library kernel comparison (paper Table I)."""
+
+from repro.analysis import table1
+
+
+def test_table1_kernel_catalog(benchmark, emit):
+    t = benchmark(table1)
+    emit("table1", t.render())
+
+    assert t.column("OpenBLAS") == ["Layer 4-7", "8", "16x4,8x8,4x4"]
+    assert t.column("BLIS") == ["Layer 6-7", "4", "8x12"]
+    assert t.column("BLASFEO") == ["Layer 6-7", "4", "16x4,8x8"]
+    assert t.column("Eigen") == ["none", "1", "12x4"]

@@ -1,0 +1,45 @@
+"""TAB2: BLIS 64-thread breakdown over the M sweep (paper Table II).
+
+Checks the paper's trends: PackB dominates at small M (paper 56.9% at
+M=16) and decays with M; the kernel share grows from ~35% to ~80%; sync
+stays in single digits; and the multithreaded kernel efficiency sits below
+its single-thread counterpart.
+"""
+
+from repro.analysis import table2, table2_side_by_side, table2_trend_agreement
+from repro.util.tables import format_table
+
+
+def test_table2_breakdown(benchmark, machine, emit):
+    t = benchmark(table2, machine)
+    emit("table2", t.render())
+
+    # paper-vs-model artifact with rank-correlation summary
+    side = table2_side_by_side(t)
+    rho = table2_trend_agreement(t)
+    emit("table2_vs_paper", format_table(
+        ["M", "kern(paper)", "kern(model)", "packB(paper)", "packB(model)",
+         "sync(paper)", "sync(model)", "keff(paper)", "keff(model)"],
+        side, title="Table II: paper vs model",
+    ) + "\n\nSpearman rho: " + ", ".join(
+        f"{k}={v:.2f}" for k, v in sorted(rho.items())
+    ))
+    # the dominant-phase trends track the paper tightly
+    assert rho["kernel"] > 0.9
+    assert rho["pack_b"] > 0.9
+
+    kernel = t.column("Kernel")
+    pack_b = t.column("PackB")
+    sync = t.column("Sync")
+
+    # PackB dominates at M=16 and decays monotonically in trend
+    assert pack_b[0] > 50
+    assert pack_b[0] > pack_b[len(pack_b) // 2] > pack_b[-1]
+    # kernel share grows from small to large M (paper: 35.5 -> 82.2)
+    assert kernel[0] < 35
+    assert kernel[-1] > 65
+    # sync share small but visible (paper: 0.3 - 5.8)
+    assert all(0 <= s < 10 for s in sync)
+    # dominant phases: kernel + packB explain most of the time everywhere
+    for row in t.rows:
+        assert row[1] + row[3] > 80

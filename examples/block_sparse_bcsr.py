@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Block-sparse matrix multiplication (BCSR) on top of fast SMM.
+
+The paper's second motivation: block-sparse formats such as Block
+Compressed Sparse Row turn SpMM into a stream of small dense GEMMs, one
+per stored block.  This example builds a random BCSR matrix, multiplies
+it by a dense matrix through the reference SMM driver, verifies against
+the dense product, and shows how the block size changes the SMM shapes.
+
+Run:  python examples/block_sparse_bcsr.py
+"""
+
+import numpy as np
+
+from repro import ReferenceSmmDriver, make_rng, phytium2000plus, random_matrix
+from repro.workloads import bcsr_spmm, random_bcsr
+
+
+def main() -> None:
+    machine = phytium2000plus()
+    rng = make_rng()
+
+    rows, cols, rhs_cols = 256, 256, 32
+    dense_rhs = random_matrix(rng, cols, rhs_cols)
+    driver = ReferenceSmmDriver(machine)
+
+    print(f"BCSR SpMM: ({rows} x {cols}) sparse @ ({cols} x {rhs_cols}) "
+          f"dense, density 0.15\n")
+    print(f"{'block':>8} {'stored':>7} {'GFLOPS':>8} {'% peak':>8} "
+          f"{'useful flops':>13}")
+    for br, bc in ((4, 4), (8, 8), (16, 16), (32, 32)):
+        matrix = random_bcsr(rng, rows, cols, br=br, bc=bc, density=0.15)
+        out, timing = bcsr_spmm(matrix, dense_rhs, driver)
+        np.testing.assert_allclose(
+            out, matrix.to_dense() @ dense_rhs, rtol=1e-4, atol=1e-4
+        )
+        print(f"{br:>4}x{bc:<3} {matrix.nnz_blocks:>7} "
+              f"{timing.gflops(machine):>8.2f} "
+              f"{timing.efficiency(machine, np.float32):>7.1%} "
+              f"{timing.useful_flops:>13,}")
+
+    print("\nLarger blocks amortize per-call overhead and lift efficiency —")
+    print("the LIBXSMM-style argument for block-sparse formats built on SMM.")
+
+    # batch parallelism: every stored block is an independent SMM
+    from repro import BatchedSmm
+    from repro.workloads import bcsr_spmm_parallel
+
+    matrix = random_bcsr(rng, rows, cols, br=8, bc=8, density=0.15)
+    serial_out, serial = bcsr_spmm(matrix, dense_rhs, driver)
+    print("\ndistributing the block GEMMs across cores "
+          "(8x8 blocks, density 0.15):")
+    print(f"{'cores':>6} {'cycles':>12} {'speedup':>8}")
+    print(f"{1:>6} {serial.total_cycles:>12,.0f} {'1.0x':>8}")
+    for cores in (4, 16, 64):
+        out, timing = bcsr_spmm_parallel(
+            matrix, dense_rhs, BatchedSmm(machine), cores=cores
+        )
+        np.testing.assert_allclose(out, serial_out, rtol=1e-4, atol=1e-4)
+        speedup = serial.total_cycles / timing.total_cycles
+        print(f"{cores:>6} {timing.total_cycles:>12,.0f} "
+              f"{speedup:>7.1f}x")
+
+
+if __name__ == "__main__":
+    main()

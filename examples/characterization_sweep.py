@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Full characterization sweep: regenerate every paper figure and table.
+
+Runs the complete experiment battery (Figures 5-10, Tables I-II, plus the
+Section-IV reference comparison) and prints the text renderings — the same
+artifacts the benchmark harness writes to ``benchmarks/out/``.
+
+Run:  python examples/characterization_sweep.py [--quick]
+      python examples/characterization_sweep.py --markdown REPORT.md
+"""
+
+import pathlib
+import sys
+import time
+
+from repro import phytium2000plus
+from repro.analysis import (
+    fig5a,
+    fig5b,
+    fig5c,
+    fig5d,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    reference_comparison,
+    table1,
+    table2,
+)
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    machine = phytium2000plus()
+    started = time.time()
+
+    if "--markdown" in sys.argv:
+        from repro.analysis import generate_report
+
+        target = pathlib.Path(
+            sys.argv[sys.argv.index("--markdown") + 1]
+            if sys.argv.index("--markdown") + 1 < len(sys.argv)
+            else "REPORT.md"
+        )
+        target.write_text(generate_report(machine) + "\n")
+        print(f"wrote {target} in {time.time() - started:.1f}s")
+        return
+
+    print("=" * 72)
+    print("Table I — library kernel comparison")
+    print("=" * 72)
+    print(table1().render())
+
+    for name, fn in (("Figure 5(a)", fig5a), ("Figure 5(b)", fig5b),
+                     ("Figure 5(c)", fig5c), ("Figure 5(d)", fig5d)):
+        print("\n" + "=" * 72)
+        print(f"{name} — single-thread SMM performance")
+        print("=" * 72)
+        print(fn(machine).render())
+        if quick:
+            break
+
+    print("\n" + "=" * 72)
+    print("Figure 6 — packing overhead")
+    print("=" * 72)
+    print(fig6(machine).render())
+
+    print("\n" + "=" * 72)
+    print("Figure 7 — the 8x4 edge micro-kernel")
+    print("=" * 72)
+    result = fig7(machine)
+    print(result["naive_listing"])
+    print(f"\nnaive 8x4: {result['naive_efficiency']:.1%} of peak; "
+          f"edge family: " + ", ".join(
+              f"{k}={v:.0%}" for k, v in
+              result["edge_family_efficiency"].items()))
+
+    print("\n" + "=" * 72)
+    print("Figure 8 — packing the N-edge sliver")
+    print("=" * 72)
+    print(fig8(machine).render())
+
+    print("\n" + "=" * 72)
+    print("Figure 9 — kernel-only efficiency")
+    print("=" * 72)
+    for sweep in fig9(machine).values():
+        print(sweep.render())
+        if quick:
+            break
+
+    print("\n" + "=" * 72)
+    print("Figure 10 — 64-thread comparison")
+    print("=" * 72)
+    for sweep in fig10(machine).values():
+        print(sweep.render())
+        if quick:
+            break
+
+    print("\n" + "=" * 72)
+    print("Table II — BLIS multithreaded breakdown")
+    print("=" * 72)
+    print(table2(machine).render())
+
+    print("\n" + "=" * 72)
+    print("Section IV — reference SMM vs the libraries")
+    print("=" * 72)
+    print(reference_comparison(machine).render())
+
+    print(f"\ncomplete in {time.time() - started:.1f}s "
+          "(cost models, no operand arrays)")
+
+
+if __name__ == "__main__":
+    main()

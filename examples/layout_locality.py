@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Why panel-major storage works *for small matrices*: line utilization.
+
+A first intuition says packed/panel-major layouts win by making kernel
+reads sequential.  The cache simulator corrects that intuition: with a
+large K, an unpacked column-major B streams whole cache lines too — the
+k-loop walks each column densely, and the miss counts tie.
+
+The real effect is a *small-K* effect, which is exactly the paper's SMM
+regime: with K elements per column and 16 fp32 elements per line, an
+unpacked kernel fetches a 64-byte line per column but uses only K·4 bytes
+of it.  Panel-major packs those fragments densely, so the fetched-byte
+waste — and the L1 footprint — shrinks by up to 16x.  This example
+measures it with the set-associative simulator.
+
+Run:  python examples/layout_locality.py
+"""
+
+from repro import phytium2000plus
+from repro.caches import CacheSim
+
+
+def unpacked_reads(sim, kc, nc, nr, ldb, itemsize=4):
+    """Kernel-order B reads from an unpacked column-major matrix."""
+    misses = 0
+    for j0 in range(0, nc, nr):
+        for k in range(kc):
+            for j in range(j0, min(j0 + nr, nc)):
+                misses += sim.access((j * ldb + k) * itemsize, itemsize)
+    return misses
+
+
+def panel_major_reads(sim, kc, nc, nr, itemsize=4):
+    """Kernel-order B reads from a densely packed panel-major buffer."""
+    misses = 0
+    addr = 0
+    for _ in range(0, nc, nr):
+        for _ in range(kc):
+            misses += sim.access(addr, nr * itemsize)
+            addr += nr * itemsize
+    return misses
+
+
+def main() -> None:
+    machine = phytium2000plus()
+    nc, nr, ldb = 128, 4, 2048
+    line = machine.l1d.line_bytes
+
+    print("B-sliver reads of one GEBP: nc=128, nr=4, ldb=2048, fp32\n")
+    print(f"{'K':>5} {'unpacked misses':>16} {'panel misses':>13} "
+          f"{'waste factor':>13} {'unpacked bytes fetched':>23}")
+    ratios = {}
+    for kc in (2, 4, 8, 16, 32, 128):
+        col = CacheSim(machine.l1d)
+        pan = CacheSim(machine.l1d)
+        m_col = unpacked_reads(col, kc, nc, nr, ldb)
+        m_pan = panel_major_reads(pan, kc, nc, nr)
+        ratio = m_col / max(m_pan, 1)
+        ratios[kc] = ratio
+        print(f"{kc:>5} {m_col:>16} {m_pan:>13} {ratio:>12.1f}x "
+              f"{m_col * line:>22,}")
+
+    print(
+        "\nAt K=128 the layouts tie: a long k-loop consumes unpacked lines"
+        "\ncompletely.  As K shrinks toward the SMM regime, the unpacked"
+        "\nlayout fetches a full line per column fragment — the waste factor"
+        "\napproaches line/(K*4).  Dense panel-major storage (BLASFEO's"
+        "\nformat, and what packing produces) removes exactly this waste,"
+        "\nwhich is why the paper's packing-free format matters most when"
+        "\nthe matrices are small."
+    )
+    assert ratios[2] > 4.0
+    assert ratios[128] < 1.5
+
+
+if __name__ == "__main__":
+    main()

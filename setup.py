@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so PEP-660
+editable installs (which build a wheel) fail.  Keeping a ``setup.py`` lets
+``pip install -e .`` fall back to the legacy ``develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

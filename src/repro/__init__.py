@@ -1,0 +1,86 @@
+"""repro — a simulated-hardware reproduction of *Characterizing Small-Scale
+Matrix Multiplications on ARMv8-based Many-Core Architectures* (IPPS 2021).
+
+The package is a laboratory: a cycle-approximate model of the Phytium 2000+
+many-core processor (pipeline, caches, NUMA), an ARMv8/NEON micro-kernel
+instruction layer, faithful models of the four BLAS libraries the paper
+evaluates (OpenBLAS, BLIS, BLASFEO, Eigen), deterministic multithreaded
+execution, and the paper's proposed reference SMM implementation.
+
+Quick start::
+
+    import numpy as np
+    from repro import phytium2000plus, make_driver, random_matrix, make_rng
+
+    machine = phytium2000plus()
+    driver = make_driver("blasfeo", machine)
+    rng = make_rng()
+    a, b = random_matrix(rng, 24, 24), random_matrix(rng, 24, 24)
+    result = driver.gemm(a, b)
+    print(result.timing.efficiency(machine, np.float32))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every figure and table.
+"""
+
+from .blas import (
+    BlockingParams,
+    GemmResult,
+    make_blasfeo,
+    make_blis,
+    make_driver,
+    make_eigen,
+    make_openblas,
+)
+from .core import BatchedSmm, BatchResult, ReferenceSmmDriver, SmmDecision
+from .machine import (
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    NumaConfig,
+    a64fx_like,
+    graviton2_like,
+    machine_summary,
+    phytium2000plus,
+)
+from .parallel import MultithreadedGemm
+from .timing import GemmTiming, gemm_flops, p2c
+from .util import DEFAULT_SEED, ReproError, make_rng, random_matrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # machine
+    "MachineConfig",
+    "CoreConfig",
+    "CacheConfig",
+    "NumaConfig",
+    "phytium2000plus",
+    "a64fx_like",
+    "graviton2_like",
+    "machine_summary",
+    # drivers
+    "make_driver",
+    "make_openblas",
+    "make_blis",
+    "make_blasfeo",
+    "make_eigen",
+    "BlockingParams",
+    "GemmResult",
+    "MultithreadedGemm",
+    # the paper's contribution
+    "ReferenceSmmDriver",
+    "SmmDecision",
+    "BatchedSmm",
+    "BatchResult",
+    # timing
+    "GemmTiming",
+    "gemm_flops",
+    "p2c",
+    # utilities
+    "ReproError",
+    "make_rng",
+    "random_matrix",
+    "DEFAULT_SEED",
+]

@@ -1,0 +1,72 @@
+"""Experiment drivers and result containers for the paper reproduction."""
+
+from .experiments import (
+    LIBRARIES,
+    MT_LIBRARIES,
+    fig5,
+    fig5a,
+    fig5b,
+    fig5c,
+    fig5d,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    reference_comparison,
+    table1,
+    table2,
+)
+from .claims import Claim, all_claims, failed_claims, verify_reproduction
+from .paperdata import (
+    PAPER_SCALARS,
+    PAPER_TABLE2,
+    spearman_rank_correlation,
+    table2_side_by_side,
+    table2_trend_agreement,
+)
+from .report import generate_report
+from .sensitivity import (
+    apply_parameter,
+    edge_kernel_metric,
+    mutable_parameters,
+    smm_efficiency_metric,
+    sweep_parameter,
+)
+from .results import FigureResult, FigureSeries, TableResult
+
+__all__ = [
+    "FigureResult",
+    "FigureSeries",
+    "TableResult",
+    "LIBRARIES",
+    "MT_LIBRARIES",
+    "fig5",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig5d",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table1",
+    "table2",
+    "reference_comparison",
+    "generate_report",
+    "Claim",
+    "all_claims",
+    "verify_reproduction",
+    "failed_claims",
+    "PAPER_TABLE2",
+    "PAPER_SCALARS",
+    "spearman_rank_correlation",
+    "table2_side_by_side",
+    "table2_trend_agreement",
+    "sweep_parameter",
+    "apply_parameter",
+    "mutable_parameters",
+    "smm_efficiency_metric",
+    "edge_kernel_metric",
+]

@@ -1,0 +1,230 @@
+"""The paper's claims as executable checks.
+
+``EXPERIMENTS.md`` asserts that every shape claim of the paper reproduces;
+this module makes those assertions *code*: a registry of claims, each with
+the paper's statement, the quantity our model measures, and a tolerance.
+:func:`verify_reproduction` evaluates all of them and returns a verdict
+table — the programmatic core of the reproduction, runnable via
+``python -m repro verify``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..machine.config import MachineConfig
+from .results import TableResult
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One paper claim with its executable check."""
+
+    claim_id: str
+    source: str  # where in the paper
+    statement: str
+    #: returns (measured description, passed)
+    check: Callable[[MachineConfig], tuple]
+
+
+def _fig5_claims() -> List[Claim]:
+    from . import experiments
+
+    def blasfeo_best(machine):
+        fig = experiments.fig5a(machine)
+        best = max(fig.series_by_name("blasfeo").ys)
+        return f"BLASFEO best case {best:.1%}", best > 0.90
+
+    def eigen_worst(machine):
+        fig = experiments.fig5a(machine)
+        eigen = max(fig.series_by_name("eigen").ys)
+        others = min(
+            max(fig.series_by_name(lib).ys)
+            for lib in ("openblas", "blis", "blasfeo")
+        )
+        return f"Eigen best {eigen:.1%} vs others' best >= {others:.1%}", \
+            eigen < others
+
+    def edge_fluctuation(machine):
+        from ..blas import make_openblas
+
+        drv = make_openblas(machine)
+        e80 = drv.cost_gemm(80, 80, 80).efficiency(machine, np.float32)
+        e75 = drv.cost_gemm(75, 75, 75).efficiency(machine, np.float32)
+        return f"80^3 at {e80:.1%} vs 75^3 at {e75:.1%}", e80 > e75 * 1.05
+
+    return [
+        Claim("fig5-blasfeo-best", "Sec. III-A, Fig. 5",
+              "BLASFEO performs significantly better, up to ~96% of peak",
+              blasfeo_best),
+        Claim("fig5-eigen-worst", "Sec. III-A, Fig. 5",
+              "using Eigen yields bad GEMM performance (best ~58%)",
+              eigen_worst),
+        Claim("fig5-edge-sawtooth", "Sec. III-B",
+              "M=N=K=80 significantly better than neighbouring 75",
+              edge_fluctuation),
+    ]
+
+
+def _fig6_claims() -> List[Claim]:
+    from . import experiments
+
+    def packing_over_half(machine):
+        fig = experiments.fig6(machine)
+        worst = max(fig.series_by_name("small-M").ys)
+        return f"worst packing share {worst:.1%}", worst > 0.5
+
+    def k_independent(machine):
+        fig = experiments.fig6(machine)
+        small_k = max(fig.series_by_name("small-K").ys)
+        return f"small-K packing share <= {small_k:.1%}", small_k < 0.2
+
+    return [
+        Claim("fig6-over-half", "Sec. III-A, Fig. 6",
+              "in the worst cases packing accounts for more than 50%",
+              packing_over_half),
+        Claim("fig6-k-free", "Sec. III-A, Eq. 3",
+              "when K is very small the packing overhead can be ignored",
+              k_independent),
+    ]
+
+
+def _fig9_claims() -> List[Claim]:
+    from . import experiments
+
+    def best_93(machine):
+        sweeps = experiments.fig9(machine)
+        best = max(sweeps["sweep-M"].series[0].ys)
+        return f"best kernel efficiency {best:.1%}", 0.88 < best < 0.97
+
+    return [
+        Claim("fig9-best", "Sec. III-B/C, Fig. 9",
+              "the kernel reaches the best performance ~93.3% of peak",
+              best_93),
+    ]
+
+
+def _fig10_claims() -> List[Claim]:
+    from . import experiments
+
+    def blis_best(machine):
+        figs = experiments.fig10(machine)
+        fig = figs["small-M"]
+        blis = fig.series_by_name("blis").ys
+        ob = fig.series_by_name("openblas").ys
+        eig = fig.series_by_name("eigen").ys
+        wins = sum(1 for b, o, e in zip(blis, ob, eig) if b > o and b > e)
+        return f"BLIS best at {wins}/{len(blis)} points", \
+            wins >= len(blis) - 2
+
+    def openblas_poor(machine):
+        figs = experiments.fig10(machine)
+        first = figs["small-M"].series_by_name("openblas").ys[0]
+        return f"OpenBLAS at M=16: {first:.1%}", first < 0.1
+
+    def blis_peak(machine):
+        figs = experiments.fig10(machine)
+        peak = max(figs["small-M"].series_by_name("blis").ys)
+        return f"BLIS peak {peak:.1%}", 0.5 < peak < 0.85
+
+    return [
+        Claim("fig10-blis-best", "Sec. III-D, Fig. 10",
+              "BLIS performs the best with 64 threads", blis_best),
+        Claim("fig10-openblas-poor", "Sec. III-D, Fig. 10",
+              "OpenBLAS has especially poor performance when M is small",
+              openblas_poor),
+        Claim("fig10-blis-60", "Sec. III-D",
+              "BLIS the best performer, peaking at around 60%", blis_peak),
+    ]
+
+
+def _table2_claims() -> List[Claim]:
+    from . import experiments
+
+    def packb_dominates(machine):
+        t = experiments.table2(machine)
+        first, last = t.rows[0][3], t.rows[-1][3]
+        return f"PackB {first}% at M=16 -> {last}% at M=256", \
+            first > 50 and last < 25
+
+    def kernel_grows(machine):
+        t = experiments.table2(machine)
+        first, last = t.rows[0][1], t.rows[-1][1]
+        return f"Kernel {first}% -> {last}%", first < 35 and last > 65
+
+    return [
+        Claim("table2-packb", "Sec. III-D, Table II",
+              "the main overhead comes from kernel and PackB; PackB "
+              "dominates small M", packb_dominates),
+        Claim("table2-kernel", "Sec. III-D, Table II",
+              "the kernel share grows with M (35.5% -> 82.2%)",
+              kernel_grows),
+    ]
+
+
+def _section4_claims() -> List[Claim]:
+    def reference_wins(machine):
+        from ..blas import make_blasfeo, make_blis, make_eigen, make_openblas
+        from ..core import ReferenceSmmDriver
+
+        sizes = range(5, 101, 5)
+        ref = ReferenceSmmDriver(machine)
+        ref_avg = float(np.mean([
+            ref.cost_gemm(s, s, s)[0].efficiency(machine, np.float32)
+            for s in sizes
+        ]))
+        lib_avgs = {}
+        for name, factory in (
+            ("openblas", make_openblas), ("blis", make_blis),
+            ("blasfeo", make_blasfeo), ("eigen", make_eigen),
+        ):
+            drv = factory(machine)
+            lib_avgs[name] = float(np.mean([
+                drv.cost_gemm(s, s, s).efficiency(machine, np.float32)
+                for s in sizes
+            ]))
+        best_lib = max(lib_avgs.values())
+        return f"reference avg {ref_avg:.1%} vs best library {best_lib:.1%}", \
+            ref_avg > best_lib
+
+    return [
+        Claim("sec4-reference", "Sec. IV",
+              "a reference SMM with the four proposed features outperforms "
+              "the existing libraries on SMM", reference_wins),
+    ]
+
+
+def all_claims() -> List[Claim]:
+    """Every registered claim, in paper order."""
+    return (
+        _fig5_claims() + _fig6_claims() + _fig9_claims()
+        + _fig10_claims() + _table2_claims() + _section4_claims()
+    )
+
+
+def verify_reproduction(machine: MachineConfig) -> TableResult:
+    """Evaluate every claim; returns the verdict table."""
+    rows = []
+    for claim in all_claims():
+        measured, passed = claim.check(machine)
+        rows.append([
+            claim.claim_id,
+            claim.source,
+            measured,
+            "PASS" if passed else "FAIL",
+        ])
+    return TableResult(
+        table_id="reproduction-verdicts",
+        headers=["claim", "paper source", "measured", "verdict"],
+        rows=rows,
+    )
+
+
+def failed_claims(verdicts: TableResult) -> Dict[str, str]:
+    """claim-id -> measured text for every failing claim (empty = success)."""
+    return {
+        row[0]: row[2] for row in verdicts.rows if row[3] != "PASS"
+    }

@@ -1,0 +1,378 @@
+"""Experiment drivers: one function per paper figure/table.
+
+These are the single source of truth for the reproduction — the benchmark
+harness, the EXPERIMENTS.md generator and the integration tests all call
+these functions.  Everything runs on the cost models (no operand arrays),
+so a full figure takes well under a second.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..blas import make_blasfeo, make_blis, make_eigen, make_openblas
+from ..core.reference import ReferenceSmmDriver
+from ..kernels.catalog import table1_rows
+from ..kernels.generator import KernelSpec, MicroKernelGenerator
+from ..machine.config import MachineConfig
+from ..parallel.executor import MultithreadedGemm
+from ..pipeline.scheduler import OoOScheduler, render_schedule
+from ..pipeline.steady import SteadyStateAnalyzer, bound_analysis
+from ..timing.models import p2c
+from ..workloads import sweeps
+from .results import FigureResult, FigureSeries, TableResult
+
+LIBRARIES = ("openblas", "blis", "blasfeo", "eigen")
+MT_LIBRARIES = ("openblas", "blis", "eigen")
+
+
+def _single_thread_drivers(machine: MachineConfig, dtype=np.float32) -> Dict[str, object]:
+    return {
+        "openblas": make_openblas(machine, dtype=dtype),
+        "blis": make_blis(machine, dtype=dtype),
+        "blasfeo": make_blasfeo(machine, dtype=dtype),
+        "eigen": make_eigen(machine, dtype=dtype),
+    }
+
+
+def _efficiency(timing, machine, dtype, n_cores=1) -> float:
+    return timing.efficiency(machine, dtype, n_cores)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: single-thread SMM performance
+# ---------------------------------------------------------------------------
+
+
+def fig5(
+    machine: MachineConfig,
+    shapes: Sequence[Tuple[int, int, int]],
+    figure_id: str,
+    x_of: int,
+    dtype=np.float32,
+    libraries: Sequence[str] = LIBRARIES,
+    include_reference: bool = False,
+) -> FigureResult:
+    """Single-thread efficiency of every library over ``shapes``.
+
+    ``x_of``: which index of (m, n, k) is the swept axis.
+    """
+    drivers = _single_thread_drivers(machine, dtype)
+    xs = [shape[x_of] for shape in shapes]
+    series = []
+    for lib in libraries:
+        drv = drivers[lib]
+        ys = [
+            _efficiency(drv.cost_gemm(m, n, k), machine, dtype)
+            for (m, n, k) in shapes
+        ]
+        series.append(FigureSeries(name=lib, ys=ys))
+    if include_reference:
+        ref = ReferenceSmmDriver(machine, dtype=dtype)
+        ys = [
+            _efficiency(ref.cost_gemm(m, n, k)[0], machine, dtype)
+            for (m, n, k) in shapes
+        ]
+        series.append(FigureSeries(name="reference", ys=ys))
+    return FigureResult(
+        figure_id=figure_id,
+        x_label="MNK"[x_of] if x_of < 3 else "size",
+        y_label="fraction of single-core peak",
+        xs=xs,
+        series=series,
+    )
+
+
+def fig5a(machine: MachineConfig, dtype=np.float32, **kw) -> FigureResult:
+    """Fig. 5(a): square 5..200."""
+    return fig5(machine, sweeps.fig5a_square(), "fig5a", 0, dtype, **kw)
+
+
+def fig5b(machine: MachineConfig, dtype=np.float32, **kw) -> FigureResult:
+    """Fig. 5(b): M swept 2..40, N=K=100."""
+    return fig5(machine, sweeps.fig5b_small_m(), "fig5b", 0, dtype, **kw)
+
+
+def fig5c(machine: MachineConfig, dtype=np.float32, **kw) -> FigureResult:
+    """Fig. 5(c): N swept 2..40, M=K=100."""
+    return fig5(machine, sweeps.fig5c_small_n(), "fig5c", 1, dtype, **kw)
+
+
+def fig5d(machine: MachineConfig, dtype=np.float32, **kw) -> FigureResult:
+    """Fig. 5(d): K swept 2..40, M=N=100."""
+    return fig5(machine, sweeps.fig5d_small_k(), "fig5d", 2, dtype, **kw)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: packing overhead breakdown (OpenBLAS)
+# ---------------------------------------------------------------------------
+
+
+def fig6(machine: MachineConfig, dtype=np.float32) -> FigureResult:
+    """Packing share of total time for the three small-dimension sweeps,
+    plus the analytic P2C prediction for the swept axis."""
+    drv = make_openblas(machine, dtype=dtype)
+    grids = sweeps.fig6_packing_sweeps()
+    xs = [shape_axis for shape_axis in range(2, 41, 2)]
+    series = []
+    p2c_ys: Optional[List[float]] = None
+    for name, shapes in grids.items():
+        ys = []
+        for (m, n, k) in shapes:
+            timing = drv.cost_gemm(m, n, k)
+            total = timing.total_cycles
+            ys.append(timing.packing_cycles / total if total else 0.0)
+        series.append(FigureSeries(name=name, ys=ys))
+    # analytic P2C along the small-M sweep, rescaled to a share in [0, 1)
+    p2c_ys = [p2c(m, 100) / (1.0 + p2c(m, 100))
+              for (m, n, k) in grids["small-M"]]
+    series.append(FigureSeries(name="p2c-model(small-M)", ys=p2c_ys))
+    return FigureResult(
+        figure_id="fig6",
+        x_label="swept dimension",
+        y_label="packing fraction of total time",
+        xs=xs,
+        series=series,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: the OpenBLAS 8x4 edge micro-kernel under the scheduler
+# ---------------------------------------------------------------------------
+
+
+def fig7(machine: MachineConfig, dtype=np.float32) -> Dict[str, object]:
+    """Schedule analysis of the naive 8x4 edge kernel vs an optimized one.
+
+    Returns the assembly-style listings, the scheduled issue table of the
+    naive kernel (the paper's 'two load units / short dependence distance'
+    discussion), steady-state cycles/iteration and the analytic bounds.
+    """
+    lanes = machine.core.simd_lanes(dtype)
+    gen = MicroKernelGenerator()
+    naive = gen.generate(
+        KernelSpec(8, 4, unroll=4, lanes=lanes, style="naive",
+                   label="openblas-edge")
+    )
+    optimized = gen.generate(
+        KernelSpec(8, 4, unroll=4, lanes=lanes, style="pipelined",
+                   label="optimized")
+    )
+    analyzer = SteadyStateAnalyzer(machine.core)
+    scheduler = OoOScheduler(machine.core)
+    naive_state = analyzer.analyze(naive)
+    opt_state = analyzer.analyze(optimized)
+    schedule = scheduler.run(
+        list(naive.prologue) + list(naive.body) * 2, record_ops=True
+    )
+    peak = machine.core.flops_per_cycle(dtype)
+
+    # the OpenBLAS edge family: this is where the edge-case slowdown really
+    # comes from on an out-of-order core (narrow tiles -> too few
+    # accumulator chains to cover the FMA latency)
+    edge_family = {}
+    for mr in (8, 4, 2, 1):
+        kernel = gen.generate(
+            KernelSpec(mr, 4, unroll=4, lanes=lanes, style="naive",
+                       label="openblas-edge")
+        )
+        state = analyzer.analyze(kernel)
+        edge_family[f"{mr}x4"] = state.flops_per_cycle / peak
+
+    # sensitivity: how small would the scheduling window have to be for the
+    # Fig. 7 load placement to matter?
+    from dataclasses import replace as _replace
+
+    window_sensitivity = {}
+    for window in (32, 16, 8, 6, 4):
+        core_w = _replace(machine.core, scheduler_window=window)
+        an_w = SteadyStateAnalyzer(core_w)
+        s_naive = an_w.analyze(gen.generate(
+            KernelSpec(8, 4, unroll=4, lanes=lanes, style="naive",
+                       label=f"w{window}")))
+        window_sensitivity[window] = s_naive.flops_per_cycle / peak
+
+    return {
+        "naive_listing": naive.listing(),
+        "optimized_listing": optimized.listing(),
+        "schedule_table": render_schedule(schedule, max_rows=48),
+        "naive_cycles_per_kstep": naive_state.cycles_per_iter / naive.unroll,
+        "optimized_cycles_per_kstep": opt_state.cycles_per_iter / optimized.unroll,
+        "naive_efficiency": naive_state.flops_per_cycle / peak,
+        "optimized_efficiency": opt_state.flops_per_cycle / peak,
+        "naive_bounds": bound_analysis(naive, machine.core),
+        "optimized_bounds": bound_analysis(optimized, machine.core),
+        "edge_family_efficiency": edge_family,
+        "window_sensitivity": window_sensitivity,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: packing the N-edge sliver
+# ---------------------------------------------------------------------------
+
+
+def fig8(machine: MachineConfig, dtype=np.float32) -> FigureResult:
+    """Reference SMM with and without edge-B packing on N % nr == 1 shapes.
+
+    Forces the packed execution path: the Fig. 8 question — pack the tiny
+    edge sliver, or read it discontiguously — only arises inside a packed
+    implementation.
+    """
+    with_pack = ReferenceSmmDriver(machine, dtype=dtype, pack_edge_b=True,
+                                   force_packing=True)
+    without = ReferenceSmmDriver(machine, dtype=dtype, pack_edge_b=False,
+                                 force_packing=True)
+    nr = with_pack.jit.main_spec.nr
+    xs = []
+    ys_with = []
+    ys_without = []
+    for base in range(nr, 12 * nr + 1, nr):
+        n = base + 1  # force an N edge of exactly 1
+        m = k = 96
+        xs.append(n)
+        ys_with.append(
+            _efficiency(with_pack.cost_gemm(m, n, k)[0], machine, dtype)
+        )
+        ys_without.append(
+            _efficiency(without.cost_gemm(m, n, k)[0], machine, dtype)
+        )
+    return FigureResult(
+        figure_id="fig8",
+        x_label="N (N % nr == 1)",
+        y_label="fraction of single-core peak",
+        xs=xs,
+        series=[
+            FigureSeries(name="edge-packed", ys=ys_with),
+            FigureSeries(name="edge-unpacked", ys=ys_without),
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: kernel-only efficiency (no packing)
+# ---------------------------------------------------------------------------
+
+
+def fig9(machine: MachineConfig, dtype=np.float32) -> Dict[str, FigureResult]:
+    """OpenBLAS kernel efficiency over the M/N/K sweeps, packing excluded."""
+    drv = make_openblas(machine, dtype=dtype)
+    out: Dict[str, FigureResult] = {}
+    for name, shapes in sweeps.fig9_kernel_sweeps().items():
+        xs = []
+        ys = []
+        for i, (m, n, k) in enumerate(shapes):
+            timing = drv.cost_gemm(m, n, k)
+            xs.append({"sweep-M": m, "sweep-N": n, "sweep-K": k}[name])
+            ys.append(timing.kernel_efficiency(machine, dtype))
+        out[name] = FigureResult(
+            figure_id=f"fig9-{name}",
+            x_label=name.split("-")[1],
+            y_label="kernel-only fraction of peak",
+            xs=xs,
+            series=[FigureSeries(name="openblas-kernel", ys=ys)],
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: 64-thread comparison
+# ---------------------------------------------------------------------------
+
+
+def fig10(
+    machine: MachineConfig,
+    threads: int = 64,
+    dtype=np.float32,
+    include_reference: bool = False,
+) -> Dict[str, FigureResult]:
+    """Multithreaded efficiency of OpenBLAS/BLIS/Eigen on irregular shapes."""
+    out: Dict[str, FigureResult] = {}
+    executors = {
+        lib: MultithreadedGemm(machine, lib, threads=threads, dtype=dtype)
+        for lib in MT_LIBRARIES
+    }
+    reference = (
+        ReferenceSmmDriver(machine, dtype=dtype, threads=threads)
+        if include_reference
+        else None
+    )
+    for name, shapes in sweeps.fig10_mt_sweeps().items():
+        axis = {"small-M": 0, "small-N": 1, "small-K": 2}[name]
+        xs = [shape[axis] for shape in shapes]
+        series = []
+        for lib in MT_LIBRARIES:
+            ys = []
+            for (m, n, k) in shapes:
+                timing, _ = executors[lib].cost(m, n, k)
+                ys.append(_efficiency(timing, machine, dtype, threads))
+            series.append(FigureSeries(name=lib, ys=ys))
+        if reference is not None:
+            ys = [
+                _efficiency(reference.cost_gemm(m, n, k)[0], machine, dtype,
+                            threads)
+                for (m, n, k) in shapes
+            ]
+            series.append(FigureSeries(name="reference", ys=ys))
+        out[name] = FigureResult(
+            figure_id=f"fig10-{name}",
+            x_label="MNK"[axis],
+            y_label=f"fraction of {threads}-core peak",
+            xs=xs,
+            series=series,
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+
+def table1() -> TableResult:
+    """Table I: library kernel comparison."""
+    rows = table1_rows()
+    return TableResult(
+        table_id="table1",
+        headers=["", "OpenBLAS", "BLIS", "BLASFEO", "Eigen"],
+        rows=rows,
+    )
+
+
+def table2(
+    machine: MachineConfig, threads: int = 64, dtype=np.float32
+) -> TableResult:
+    """Table II: BLIS multithreaded breakdown over the M sweep."""
+    mt = MultithreadedGemm(machine, "blis", threads=threads, dtype=dtype)
+    rows = []
+    for m in sweeps.table2_ms():
+        timing, info = mt.cost(m, sweeps.MT_LARGE, sweeps.MT_LARGE)
+        bp = timing.breakdown_percent()
+        rows.append([
+            m,
+            round(bp["kernel"], 1),
+            round(bp["pack_a"], 1),
+            round(bp["pack_b"], 1),
+            round(bp["sync"], 1),
+            round(100.0 * timing.kernel_efficiency(machine, dtype, threads), 1),
+        ])
+    return TableResult(
+        table_id="table2",
+        headers=["M", "Kernel", "PackA", "PackB", "Sync", "Kernel effic"],
+        rows=rows,
+        notes={"threads": threads, "n": sweeps.MT_LARGE, "k": sweeps.MT_LARGE},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section IV: reference SMM comparison (the paper's future work, built)
+# ---------------------------------------------------------------------------
+
+
+def reference_comparison(
+    machine: MachineConfig, dtype=np.float32
+) -> FigureResult:
+    """Reference SMM vs the four libraries on the square sweep."""
+    return fig5a(machine, dtype, include_reference=True)

@@ -1,0 +1,120 @@
+"""The paper's published numbers, digitized.
+
+Table II is printed in full in the paper; encoding it as data lets the
+benchmark harness render model-vs-paper side by side and quantify trend
+agreement (rank correlations), instead of hand-waving "the shape matches".
+Figure values are only described qualitatively in the text, so only the
+table and the headline scalar callouts are digitized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..util.errors import ConfigError
+
+#: Table II of the paper: M -> (Kernel%, PackA%, PackB%, Sync%, KernelEff%)
+PAPER_TABLE2: Dict[int, Tuple[float, float, float, float, float]] = {
+    16: (35.5, 2.0, 56.9, 4.2, 43.6),
+    32: (45.1, 2.1, 47.7, 4.0, 59.3),
+    48: (50.0, 5.0, 38.4, 5.6, 68.6),
+    64: (57.9, 4.5, 31.2, 5.6, 73.6),
+    80: (57.4, 5.6, 30.4, 5.8, 74.9),
+    96: (64.5, 4.0, 25.1, 5.7, 71.8),
+    112: (68.4, 3.9, 21.6, 5.5, 72.8),
+    128: (70.2, 10.0, 17.4, 1.7, 67.7),
+    144: (74.0, 10.8, 12.5, 2.0, 71.1),
+    160: (74.4, 7.5, 15.3, 2.2, 67.6),
+    176: (74.4, 8.8, 13.0, 3.1, 72.8),
+    192: (79.6, 5.5, 14.0, 0.3, 73.5),
+    208: (77.3, 5.9, 13.8, 2.5, 73.6),
+    224: (79.8, 6.9, 10.5, 2.4, 75.2),
+    240: (78.2, 6.4, 10.4, 4.5, 74.7),
+    256: (82.2, 6.5, 9.7, 1.2, 74.6),
+}
+
+#: headline scalar callouts from the running text
+PAPER_SCALARS = {
+    "blasfeo_best_fraction": 0.96,  # "BLASFEO can reach 96% of the peak"
+    "eigen_best_fraction": 0.58,  # "Eigen can only reach 58%"
+    "openblas_80_fraction": 0.835,  # "performance of M=N=K=80 is 83.5%"
+    "kernel_best_fraction": 0.933,  # "best performance (93.3%) at M=N=80"
+    "kernel_worst_fraction": 0.718,  # "in the worst cases ... 71.8%"
+    "blis_mt_peak_fraction": 0.60,  # "peaking at around 60%"
+    "packing_worst_share": 0.50,  # "accounts for more than 50%"
+    "peak_gflops_fp64": 563.2,
+}
+
+
+def spearman_rank_correlation(
+    xs: Sequence[float], ys: Sequence[float]
+) -> float:
+    """Spearman's rho between two equal-length sequences."""
+    if len(xs) != len(ys):
+        raise ConfigError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    if len(xs) < 3:
+        raise ConfigError("need at least 3 points for a rank correlation")
+    rx = _ranks(xs)
+    ry = _ranks(ys)
+    rx_c = rx - rx.mean()
+    ry_c = ry - ry.mean()
+    denom = float(np.sqrt((rx_c ** 2).sum() * (ry_c ** 2).sum()))
+    if denom == 0:
+        raise ConfigError("constant sequence has no rank correlation")
+    return float((rx_c * ry_c).sum() / denom)
+
+
+def _ranks(values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    order = arr.argsort()
+    ranks = np.empty_like(arr)
+    ranks[order] = np.arange(len(arr), dtype=float)
+    # average ties
+    for v in np.unique(arr):
+        mask = arr == v
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks
+
+
+def table2_side_by_side(model_table) -> List[List[object]]:
+    """Rows interleaving the paper's Table II with the model's.
+
+    ``model_table`` is the :class:`TableResult` from
+    :func:`repro.analysis.table2`; Ms must match the paper's grid.
+    """
+    rows = []
+    for row in model_table.rows:
+        m = row[0]
+        if m not in PAPER_TABLE2:
+            raise ConfigError(f"model table has M={m}, not in the paper grid")
+        paper = PAPER_TABLE2[m]
+        rows.append([
+            m,
+            paper[0], row[1],   # kernel
+            paper[2], row[3],   # packB
+            paper[3], row[4],   # sync
+            paper[4], row[5],   # kernel efficiency
+        ])
+    return rows
+
+
+def table2_trend_agreement(model_table) -> Dict[str, float]:
+    """Spearman rho between paper and model for each Table II column."""
+    ms = [row[0] for row in model_table.rows]
+    paper_cols = {
+        "kernel": [PAPER_TABLE2[m][0] for m in ms],
+        "pack_b": [PAPER_TABLE2[m][2] for m in ms],
+        "kernel_eff": [PAPER_TABLE2[m][4] for m in ms],
+    }
+    model_cols = {
+        "kernel": [row[1] for row in model_table.rows],
+        "pack_b": [row[3] for row in model_table.rows],
+        "kernel_eff": [row[5] for row in model_table.rows],
+    }
+    return {
+        name: spearman_rank_correlation(paper_cols[name], model_cols[name])
+        for name in paper_cols
+    }

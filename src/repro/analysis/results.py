@@ -1,0 +1,95 @@
+"""Result containers for reproduced figures and tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..util.errors import ReproError
+from ..util.tables import format_figure, format_table
+
+
+@dataclass
+class FigureSeries:
+    """One line of a figure."""
+
+    name: str
+    ys: List[float]
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: shared x axis, several named series."""
+
+    figure_id: str
+    x_label: str
+    y_label: str
+    xs: List[object]
+    series: List[FigureSeries]
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    def series_by_name(self, name: str) -> FigureSeries:
+        """Lookup one series."""
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise ReproError(
+            f"{self.figure_id}: no series {name!r}; have "
+            f"{[s.name for s in self.series]}"
+        )
+
+    def render(self) -> str:
+        """Plain-text rendering (table + sparklines)."""
+        return format_figure(
+            f"{self.figure_id}  ({self.x_label})",
+            self.xs,
+            [(s.name, s.ys) for s in self.series],
+            y_label=self.y_label,
+        )
+
+    def to_csv(self) -> str:
+        """CSV export (x column plus one column per series) for plotting."""
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow([self.x_label] + [s.name for s in self.series])
+        for i, x in enumerate(self.xs):
+            writer.writerow([x] + [s.ys[i] for s in self.series])
+        return buf.getvalue()
+
+
+@dataclass
+class TableResult:
+    """One reproduced table."""
+
+    table_id: str
+    headers: List[str]
+    rows: List[Sequence[object]]
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Plain-text rendering."""
+        return format_table(self.headers, self.rows, title=self.table_id)
+
+    def column(self, header: str) -> List[object]:
+        """Extract one column by header name."""
+        try:
+            idx = self.headers.index(header)
+        except ValueError as exc:
+            raise ReproError(
+                f"{self.table_id}: no column {header!r}; have {self.headers}"
+            ) from exc
+        return [row[idx] for row in self.rows]
+
+    def to_csv(self) -> str:
+        """CSV export for external processing."""
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buf.getvalue()

@@ -1,0 +1,69 @@
+"""GEMM drivers modeling the four libraries the paper evaluates."""
+
+from .base import (
+    BlockingParams,
+    GemmResult,
+    KernelCostModel,
+    default_blocking,
+    make_cache_model,
+    quantize_penalty,
+    shared_analyzer,
+    shared_generator,
+    validate_gemm_operands,
+)
+from .blasfeo import DEFAULT_PS, BlasfeoGemmDriver
+from .goto import GotoDriverConfig, GotoGemmDriver
+from .libraries import make_blis, make_eigen, make_openblas
+
+
+def make_blasfeo(machine, dtype=None, include_conversion: bool = False,
+                 warm: bool = True):
+    """The BLASFEO model (convenience factory mirroring the others)."""
+    import numpy as np
+
+    return BlasfeoGemmDriver(
+        machine,
+        dtype=dtype if dtype is not None else np.float32,
+        include_conversion=include_conversion,
+        warm=warm,
+    )
+
+
+def make_driver(library: str, machine, dtype=None, **kwargs):
+    """Factory by library name ('openblas', 'blis', 'blasfeo', 'eigen')."""
+    import numpy as np
+
+    dt = dtype if dtype is not None else np.float32
+    factories = {
+        "openblas": make_openblas,
+        "blis": make_blis,
+        "blasfeo": lambda m, dtype=dt, **kw: make_blasfeo(m, dtype=dtype, **kw),
+        "eigen": make_eigen,
+    }
+    if library not in factories:
+        raise ValueError(
+            f"unknown library {library!r}; choose from {sorted(factories)}"
+        )
+    return factories[library](machine, dtype=dt, **kwargs)
+
+
+__all__ = [
+    "BlockingParams",
+    "GemmResult",
+    "KernelCostModel",
+    "default_blocking",
+    "make_cache_model",
+    "quantize_penalty",
+    "shared_analyzer",
+    "shared_generator",
+    "validate_gemm_operands",
+    "GotoGemmDriver",
+    "GotoDriverConfig",
+    "BlasfeoGemmDriver",
+    "DEFAULT_PS",
+    "make_openblas",
+    "make_blis",
+    "make_eigen",
+    "make_blasfeo",
+    "make_driver",
+]

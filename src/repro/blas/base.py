@@ -1,0 +1,199 @@
+"""Driver infrastructure shared by all library models.
+
+A *driver* executes GEMM functionally (NumPy arithmetic on packed buffers,
+bit-for-bit testable against ``A @ B``) while accounting cycles through the
+pipeline/cache models.  Each library model configures the generic
+Goto-structured driver differently — kernel catalog, blocking, packing,
+edge policy, loop order — which is exactly the axis of variation the paper
+studies.
+
+Shared singletons: one :class:`MicroKernelGenerator` and one
+:class:`SteadyStateAnalyzer` per core configuration, so kernel objects and
+steady-state analyses are cached across drivers and experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..caches.model import GebpCacheModel
+from ..kernels.catalog import KernelCatalog, tile_plan
+from ..kernels.generator import MicroKernelGenerator
+from ..machine.config import MachineConfig
+from ..pipeline.steady import SteadyStateAnalyzer
+from ..timing.breakdown import GemmTiming
+from ..util.errors import DriverError
+from ..util.validation import check_positive_int
+
+_GENERATOR = MicroKernelGenerator()
+_ANALYZERS: Dict[str, SteadyStateAnalyzer] = {}
+
+
+def shared_generator() -> MicroKernelGenerator:
+    """The process-wide kernel generator (kernel-object cache)."""
+    return _GENERATOR
+
+
+def shared_analyzer(machine: MachineConfig) -> SteadyStateAnalyzer:
+    """The process-wide steady-state analyzer for ``machine``'s core.
+
+    Keyed by the core's *value* (its dataclass repr), not object identity:
+    id-based keys alias when a machine object is garbage collected and a
+    different one reuses its address.
+    """
+    key = repr(machine.core)
+    analyzer = _ANALYZERS.get(key)
+    if analyzer is None:
+        analyzer = SteadyStateAnalyzer(machine.core)
+        _ANALYZERS[key] = analyzer
+    return analyzer
+
+
+def quantize_penalty(x: float, step: float = 0.05) -> float:
+    """Quantize cache penalties to keep steady-state memoization effective."""
+    return round(x / step) * step
+
+
+@dataclass(frozen=True)
+class BlockingParams:
+    """Goto blocking parameters (Layers 1-3)."""
+
+    mc: int
+    kc: int
+    nc: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.mc, "mc", DriverError)
+        check_positive_int(self.kc, "kc", DriverError)
+        check_positive_int(self.nc, "nc", DriverError)
+
+
+def default_blocking(
+    machine: MachineConfig, catalog: KernelCatalog, itemsize: int
+) -> BlockingParams:
+    """Classic cache-driven blocking:
+
+    * ``kc`` — a kc x nr B sliver plus a kc x mr A sliver should occupy
+      about half of L1;
+    * ``mc`` — the packed mc x kc A block should occupy about half of L2;
+    * ``nc`` — bounded by the packed-B workspace (no L3 on Phytium 2000+).
+    """
+    mr, nr = catalog.mr, catalog.nr
+    l1 = machine.l1d.size_bytes
+    l2 = machine.l2.size_bytes
+    kc = max(32, (l1 // 2) // ((mr + nr) * itemsize))
+    kc = min(kc, 512)
+    mc = max(mr, ((l2 // 2) // (kc * itemsize) // mr) * mr)
+    mc = min(mc, 512)
+    nc = 4096
+    return BlockingParams(mc=mc, kc=kc, nc=nc)
+
+
+@dataclass
+class GemmResult:
+    """Output of one driver execution."""
+
+    c: np.ndarray
+    timing: GemmTiming
+    info: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def gflops_per_core_cycle(self) -> float:
+        """Useful flops per cycle (single-thread figure of merit)."""
+        if self.timing.total_cycles <= 0:
+            return 0.0
+        return self.timing.useful_flops / self.timing.total_cycles
+
+
+def validate_gemm_operands(
+    a: np.ndarray, b: np.ndarray, c: Optional[np.ndarray]
+) -> Tuple[int, int, int]:
+    """Shape/dtype validation shared by all drivers; returns (m, n, k)."""
+    if a.ndim != 2 or b.ndim != 2:
+        raise DriverError(
+            f"A and B must be 2-D, got {a.ndim}-D and {b.ndim}-D"
+        )
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise DriverError(f"inner dimensions differ: A is {a.shape}, B is {b.shape}")
+    if m == 0 or n == 0 or k == 0:
+        raise DriverError("degenerate GEMM dimensions are not supported")
+    if a.dtype != b.dtype:
+        raise DriverError(f"dtype mismatch: {a.dtype} vs {b.dtype}")
+    if a.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise DriverError(f"unsupported dtype {a.dtype}; use float32/float64")
+    if c is not None:
+        if c.shape != (m, n):
+            raise DriverError(f"C shape {c.shape} != ({m}, {n})")
+        if c.dtype != a.dtype:
+            raise DriverError(f"C dtype {c.dtype} != {a.dtype}")
+    return m, n, k
+
+
+class KernelCostModel:
+    """Prices the micro-kernel invocations of a GEBP call."""
+
+    def __init__(self, machine: MachineConfig, dtype) -> None:
+        self.machine = machine
+        self.lanes = machine.core.simd_lanes(dtype)
+        self.analyzer = shared_analyzer(machine)
+        self.generator = shared_generator()
+
+    def gebp_kernel_cycles(
+        self,
+        catalog: KernelCatalog,
+        mc: int,
+        nc: int,
+        kc: int,
+        phase=None,
+        cache: GebpCacheModel = None,
+    ) -> Tuple[float, float]:
+        """(cycles, executed_flops) for one (mc x nc x kc) GEBP call.
+
+        Issue-limited cycles come from the steady-state scheduler; when a
+        :class:`PhaseCacheCosts` and its cache model are supplied, the
+        phase's unhidden memory stalls are added and the whole call is
+        floored by the core's DRAM-bandwidth share (roofline composition,
+        DESIGN.md §5).
+        """
+        cycles = 0.0
+        executed = 0.0
+        for inv in tile_plan(catalog, mc, nc):
+            kernel = self.generator.generate(inv.spec)
+            state = self.analyzer.analyze(kernel)
+            cycles += inv.calls * state.kernel_call_cycles(kc)
+            executed += inv.calls * 2.0 * inv.padded_rows * inv.padded_cols * kc
+        if phase is not None:
+            cycles += phase.stall_cycles
+            if cache is not None:
+                cycles = max(cycles, cache.dram_floor_cycles(phase))
+        return cycles, executed
+
+    def plan_stats(self, catalog: KernelCatalog, mc: int, nc: int) -> Dict[str, int]:
+        """Diagnostic counts about a macro-tile plan."""
+        plan = tile_plan(catalog, mc, nc)
+        return {
+            "invocation_kinds": len(plan),
+            "edge_kinds": sum(1 for inv in plan if inv.is_edge),
+            "calls": sum(inv.calls for inv in plan),
+            "edge_calls": sum(inv.calls for inv in plan if inv.is_edge),
+        }
+
+
+def make_cache_model(
+    machine: MachineConfig,
+    active_l2_sharers: int = 1,
+    numa_remote_fraction: float = 0.0,
+    bandwidth_share: float = 0.0,
+) -> GebpCacheModel:
+    """Cache model bound to the current sharing/NUMA/bandwidth situation."""
+    return GebpCacheModel(
+        machine,
+        active_l2_sharers=active_l2_sharers,
+        numa_remote_fraction=numa_remote_fraction,
+        bandwidth_share=bandwidth_share,
+    )

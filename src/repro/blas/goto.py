@@ -1,0 +1,262 @@
+"""The generic Goto-structured GEMM driver (paper Fig. 4, Layers 1-7).
+
+OpenBLAS, BLIS and Eigen all instantiate this structure; they differ in the
+kernel catalog (Table I), edge policy, blocking parameters and which packing
+walk is contiguous (column-major vs row-major storage).  The driver:
+
+* computes GEMM *functionally* from the packed buffers (so packing and edge
+  handling are exercised for real and tested against NumPy), and
+* accounts cycles phase by phase: pack-A, pack-B, micro-kernels — feeding
+  the Fig. 5/6/9 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..kernels.catalog import KernelCatalog
+from ..machine.config import MachineConfig
+from ..packing.cost import PackingCostModel
+from ..packing.pack import pack_a, pack_b
+from ..timing.breakdown import GemmTiming
+from ..timing.models import gemm_flops
+from ..util.errors import DriverError
+from .base import (
+    BlockingParams,
+    GemmResult,
+    KernelCostModel,
+    default_blocking,
+    make_cache_model,
+    validate_gemm_operands,
+)
+
+
+@dataclass(frozen=True)
+class GotoDriverConfig:
+    """Per-library variation points of the Goto structure."""
+
+    name: str
+    #: packing walk contiguity in the library's native storage order
+    pack_a_contiguous: bool = False
+    pack_b_contiguous: bool = True
+    #: measurement assumption: operands warm in L2 (paper averages 20 runs)
+    warm: bool = True
+    #: outermost partitioning dimension: 'n' (Goto/column-major: B packed
+    #: in the outer loop) or 'm' (Eigen/row-major: A packed in the outer
+    #: loop, B re-packed per M-block)
+    outer_loop: str = "n"
+
+    def __post_init__(self) -> None:
+        if self.outer_loop not in ("n", "m"):
+            raise DriverError(
+                f"outer_loop must be 'n' or 'm', got {self.outer_loop!r}"
+            )
+
+
+class GotoGemmDriver:
+    """Layers 1-7 with packing, for one library's kernel catalog."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        catalog: KernelCatalog,
+        config: GotoDriverConfig,
+        blocking: Optional[BlockingParams] = None,
+        dtype=np.float32,
+    ) -> None:
+        self.machine = machine
+        self.catalog = catalog
+        self.config = config
+        self.dtype = np.dtype(dtype)
+        itemsize = self.dtype.itemsize
+        self.blocking = blocking or default_blocking(machine, catalog, itemsize)
+        self.cache_model = make_cache_model(machine)
+        self.kernel_cost = KernelCostModel(machine, dtype)
+        self.packing_cost = PackingCostModel(
+            machine.core, self.cache_model,
+            lanes=machine.core.simd_lanes(dtype),
+        )
+
+    @property
+    def name(self) -> str:
+        """Library name this driver models."""
+        return self.config.name
+
+    # -------------------------------------------------------------------
+
+    def gemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: Optional[np.ndarray] = None,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+    ) -> GemmResult:
+        """C = alpha * A @ B + beta * C with full phase accounting."""
+        m, n, k = validate_gemm_operands(a, b, c)
+        if a.dtype != self.dtype:
+            raise DriverError(
+                f"driver configured for {self.dtype}, operands are {a.dtype}"
+            )
+        out = np.zeros((m, n), dtype=self.dtype, order="F")
+        if c is not None and beta != 0.0:
+            out += beta * c
+
+        blocking = self.blocking
+        catalog = self.catalog
+
+        def run_gebp(ii: int, mcb: int, jj: int, ncb: int,
+                     kk: int, kcb: int) -> None:
+            b_panel = b[kk : kk + kcb, jj : jj + ncb]
+            packed_b = pack_b(np.ascontiguousarray(b_panel), catalog.nr)
+            a_block = a[ii : ii + mcb, kk : kk + kcb]
+            packed_a = pack_a(np.ascontiguousarray(a_block), catalog.mr)
+            # GEBP computes from the packed (padded) buffers, exactly
+            # like the modeled library
+            c_pad = packed_a.data @ packed_b.data
+            out[ii : ii + mcb, jj : jj + ncb] += alpha * c_pad[:mcb, :ncb]
+
+        if self.config.outer_loop == "n":
+            for jj in range(0, n, blocking.nc):
+                ncb = min(blocking.nc, n - jj)
+                for kk in range(0, k, blocking.kc):
+                    kcb = min(blocking.kc, k - kk)
+                    for ii in range(0, m, blocking.mc):
+                        mcb = min(blocking.mc, m - ii)
+                        run_gebp(ii, mcb, jj, ncb, kk, kcb)
+        else:
+            # Eigen order: M outermost (row-major blocking)
+            for ii in range(0, m, blocking.mc):
+                mcb = min(blocking.mc, m - ii)
+                for kk in range(0, k, blocking.kc):
+                    kcb = min(blocking.kc, k - kk)
+                    for jj in range(0, n, blocking.nc):
+                        ncb = min(blocking.nc, n - jj)
+                        run_gebp(ii, mcb, jj, ncb, kk, kcb)
+
+        timing = self.cost_gemm(m, n, k)
+        info = {
+            "library": self.name,
+            "blocking": blocking,
+            "plan": self.kernel_cost.plan_stats(
+                catalog, min(m, blocking.mc), min(n, blocking.nc)
+            ),
+        }
+        return GemmResult(c=out, timing=timing, info=info)
+
+    def cost_gemm(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        cache_model=None,
+    ) -> GemmTiming:
+        """Cycle accounting of one (m x n x k) execution, no data movement.
+
+        ``cache_model`` overrides the driver's single-core cache situation —
+        the multithreaded executor passes one configured with L2 sharing and
+        NUMA remote fractions to cost per-thread sub-problems.
+        """
+        if m <= 0 or n <= 0 or k <= 0:
+            raise DriverError(f"invalid GEMM shape {m}x{n}x{k}")
+        cache = cache_model if cache_model is not None else self.cache_model
+        blocking = self.blocking
+        catalog = self.catalog
+        itemsize = self.dtype.itemsize
+        timing = GemmTiming(useful_flops=gemm_flops(m, n, k))
+        source_res = self._source_residency(m, n, k, itemsize, cache)
+
+        def pack_b_cost(kcb: int, ncb: int) -> float:
+            cycles, _ = self.packing_cost.pack_cycles(
+                kcb, ncb, itemsize,
+                source_contiguous=self.config.pack_b_contiguous,
+                source_resident=source_res,
+                padded_elements=kcb * _round_up(ncb, catalog.nr),
+                cache_model=cache,
+            )
+            return cycles
+
+        def pack_a_cost(mcb: int, kcb: int) -> float:
+            cycles, _ = self.packing_cost.pack_cycles(
+                mcb, kcb, itemsize,
+                source_contiguous=self.config.pack_a_contiguous,
+                source_resident=source_res,
+                padded_elements=_round_up(mcb, catalog.mr) * kcb,
+                cache_model=cache,
+            )
+            return cycles
+
+        def gebp_cost(mcb: int, ncb: int, kcb: int):
+            tiny = self.config.warm and (
+                (mcb * kcb + kcb * ncb + mcb * ncb) * itemsize
+                <= 0.75 * self.machine.l1d.size_bytes
+            )
+            phase = cache.kernel_phase(
+                mcb, ncb, kcb, catalog.mr, catalog.nr, itemsize,
+                a_resident="l1" if tiny else "l2",
+                b_resident="l1" if tiny else self._packed_b_residency(
+                    kcb, ncb, itemsize, cache),
+                simd_lanes=self.kernel_cost.lanes,
+            )
+            return self.kernel_cost.gebp_kernel_cycles(
+                catalog, mcb, ncb, kcb, phase=phase, cache=cache
+            )
+
+        if self.config.outer_loop == "n":
+            # Goto order: pack B once per (jj, kk); A per (jj, kk, ii)
+            for jj in range(0, n, blocking.nc):
+                ncb = min(blocking.nc, n - jj)
+                for kk in range(0, k, blocking.kc):
+                    kcb = min(blocking.kc, k - kk)
+                    timing.pack_b_cycles += pack_b_cost(kcb, ncb)
+                    for ii in range(0, m, blocking.mc):
+                        mcb = min(blocking.mc, m - ii)
+                        timing.pack_a_cycles += pack_a_cost(mcb, kcb)
+                        cycles, executed = gebp_cost(mcb, ncb, kcb)
+                        timing.kernel_cycles += cycles
+                        timing.executed_flops += executed
+        else:
+            # Eigen order: outermost over M; A packed per (ii, kk), B
+            # re-packed per (ii, kk, jj) panel
+            for ii in range(0, m, blocking.mc):
+                mcb = min(blocking.mc, m - ii)
+                for kk in range(0, k, blocking.kc):
+                    kcb = min(blocking.kc, k - kk)
+                    timing.pack_a_cycles += pack_a_cost(mcb, kcb)
+                    for jj in range(0, n, blocking.nc):
+                        ncb = min(blocking.nc, n - jj)
+                        timing.pack_b_cycles += pack_b_cost(kcb, ncb)
+                        cycles, executed = gebp_cost(mcb, ncb, kcb)
+                        timing.kernel_cycles += cycles
+                        timing.executed_flops += executed
+        return timing
+
+    # -------------------------------------------------------------------
+
+    def _source_residency(
+        self, m: int, n: int, k: int, itemsize: int, cache=None
+    ) -> str:
+        """Where the unpacked operands live when packing starts."""
+        cache = cache if cache is not None else self.cache_model
+        if not self.config.warm:
+            return "mem"
+        footprint = (m * k + k * n + m * n) * itemsize
+        if footprint <= 0.75 * cache.effective_l2_bytes:
+            return "l2"
+        return "mem"
+
+    def _packed_b_residency(
+        self, kc: int, nc: int, itemsize: int, cache=None
+    ) -> str:
+        """Where the packed B panel lives during the kernel phase."""
+        cache = cache if cache is not None else self.cache_model
+        if kc * nc * itemsize <= 0.5 * cache.effective_l2_bytes:
+            return "l2"
+        return "mem"
+
+
+def _round_up(value: int, base: int) -> int:
+    return ((value + base - 1) // base) * base

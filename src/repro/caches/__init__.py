@@ -1,0 +1,28 @@
+"""Cache models: reference set-associative simulator + analytic GEBP model."""
+
+from .model import (
+    RANDOM_REPLACEMENT_INFLATION,
+    SEQUENTIAL_PREFETCH_OVERLAP,
+    STRIDED_PREFETCH_OVERLAP,
+    GebpCacheModel,
+    PhaseCacheCosts,
+    lines_of,
+)
+from .simulator import CacheHierarchy, CacheSim, CacheStats, make_shared_l2
+from .trace import GebpTraceConfig, gebp_access_stream, replay_gebp
+
+__all__ = [
+    "CacheSim",
+    "CacheStats",
+    "CacheHierarchy",
+    "make_shared_l2",
+    "GebpTraceConfig",
+    "gebp_access_stream",
+    "replay_gebp",
+    "GebpCacheModel",
+    "PhaseCacheCosts",
+    "lines_of",
+    "SEQUENTIAL_PREFETCH_OVERLAP",
+    "STRIDED_PREFETCH_OVERLAP",
+    "RANDOM_REPLACEMENT_INFLATION",
+]

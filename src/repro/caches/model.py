@@ -1,0 +1,331 @@
+"""Analytic cache-cost model used by the GEMM drivers.
+
+Tracing every element access of a GEMM through :class:`CacheSim` would be
+orders of magnitude too slow in Python, and is unnecessary: blocked GEMM has
+a completely regular reuse structure, which is why analytical modeling is
+standard for BLIS-style libraries (Low et al., TOMS 2016 — paper ref [35]).
+
+The model answers two questions per GEBP phase:
+
+1. how many cache lines miss in L1 / L2 (compulsory + capacity, with a
+   replacement-policy inflation factor for the pseudo-random shared L2);
+2. what *average extra latency per load instruction* the micro-kernel sees,
+   which couples the cache model to the pipeline scheduler
+   (:class:`repro.pipeline.SteadyStateAnalyzer` takes it as
+   ``extra_load_cycles``).
+
+Validated against the reference :class:`repro.caches.CacheSim` by
+``tests/test_cache_model_validation.py`` and the cache ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.config import MachineConfig
+from ..util.errors import ConfigError
+from ..util.validation import ceil_div
+
+#: Fraction of a sequential stream's fill latency hidden by the hardware
+#: prefetchers.  Streaming loads (packed panels) are nearly free; strided /
+#: irregular walks (unpacked sources) hide much less.
+SEQUENTIAL_PREFETCH_OVERLAP = 0.85
+STRIDED_PREFETCH_OVERLAP = 0.30
+#: Packed-panel streams inside the micro-kernel are the best case of all:
+#: perfectly sequential, known-ahead addresses, and dozens of independent
+#: FMAs per line to overlap with — Goto's algorithm is designed around
+#: making exactly this stream free.
+KERNEL_STREAM_OVERLAP = 0.95
+
+#: Conflict-miss inflation of the pseudo-random-replacement shared L2,
+#: relative to ideal LRU, when multiple cores contend (paper Sec. III-D
+#: observation (1)).  Calibrated against CacheSim in the validation tests.
+RANDOM_REPLACEMENT_INFLATION = 1.30
+
+
+@dataclass(frozen=True)
+class PhaseCacheCosts:
+    """Cache behaviour of one phase (kernel or packing) of a GEBP call."""
+
+    loads: int  # load instructions issued by the phase
+    l1_miss_lines: float  # lines filled from L2
+    l2_miss_lines: float  # lines filled from DRAM
+    extra_load_cycles: float  # average extra latency per load instruction
+    stall_cycles: float  # total unhidden memory stall cycles
+    dram_bytes: float = 0.0  # bytes pulled from DRAM (bandwidth accounting)
+
+    def merged_with(self, other: "PhaseCacheCosts") -> "PhaseCacheCosts":
+        """Combine two phases (weighted by load counts)."""
+        loads = self.loads + other.loads
+        stall = self.stall_cycles + other.stall_cycles
+        return PhaseCacheCosts(
+            loads=loads,
+            l1_miss_lines=self.l1_miss_lines + other.l1_miss_lines,
+            l2_miss_lines=self.l2_miss_lines + other.l2_miss_lines,
+            extra_load_cycles=(stall / loads) if loads else 0.0,
+            stall_cycles=stall,
+            dram_bytes=self.dram_bytes + other.dram_bytes,
+        )
+
+
+def lines_of(nbytes: float, line_bytes: int) -> float:
+    """Number of cache lines spanned by ``nbytes`` of contiguous data."""
+    if nbytes < 0:
+        raise ConfigError(f"nbytes must be >= 0, got {nbytes}")
+    return nbytes / line_bytes
+
+
+class GebpCacheModel:
+    """Cache costs of the inner GEBP computation and the packing loops."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        active_l2_sharers: int = 1,
+        numa_remote_fraction: float = 0.0,
+        bandwidth_share: float = 0.0,
+    ) -> None:
+        """``active_l2_sharers``: cores concurrently using one shared L2
+        (1 for single-thread runs, up to ``l2.shared_by`` under full
+        multithreading).  ``numa_remote_fraction``: fraction of DRAM-level
+        fills served by a remote panel's memory controller.
+        ``bandwidth_share``: DRAM bytes/cycle available to *one* core in the
+        current run (0 = a single core owning its whole panel channel)."""
+        if not 1 <= active_l2_sharers <= machine.l2.shared_by:
+            raise ConfigError(
+                f"active_l2_sharers must be in [1, {machine.l2.shared_by}], "
+                f"got {active_l2_sharers}"
+            )
+        if not 0.0 <= numa_remote_fraction <= 1.0:
+            raise ConfigError(
+                f"numa_remote_fraction must be in [0, 1], got {numa_remote_fraction}"
+            )
+        if bandwidth_share < 0:
+            raise ConfigError(
+                f"bandwidth_share must be >= 0, got {bandwidth_share}"
+            )
+        self.machine = machine
+        self.active_l2_sharers = active_l2_sharers
+        self.numa_remote_fraction = numa_remote_fraction
+        self.bandwidth_share = (
+            bandwidth_share or machine.numa.dram_bytes_per_cycle
+        )
+
+    # -- derived machine quantities -------------------------------------------
+
+    @property
+    def effective_l2_bytes(self) -> float:
+        """L2 capacity available to one core under the current sharing."""
+        return self.machine.l2.size_bytes / self.active_l2_sharers
+
+    @property
+    def l2_fill_penalty(self) -> float:
+        """Unoverlapped cycles to fill one line from L2 into L1."""
+        return float(self.machine.l2.hit_latency - self.machine.l1d.hit_latency)
+
+    @property
+    def dram_fill_penalty(self) -> float:
+        """Unoverlapped cycles to fill one line from DRAM into L2."""
+        local = self.machine.numa.local_dram_latency
+        remote = self.machine.numa.remote_dram_latency
+        dram = (
+            (1.0 - self.numa_remote_fraction) * local
+            + self.numa_remote_fraction * remote
+        )
+        return float(dram - self.machine.l2.hit_latency)
+
+    def _l2_inflation(self) -> float:
+        """Conflict inflation of the shared pseudo-random L2 under contention."""
+        if self.machine.l2.replacement != "random" or self.active_l2_sharers == 1:
+            return 1.0
+        # grows mildly with the number of contending cores
+        extra = (RANDOM_REPLACEMENT_INFLATION - 1.0) * (
+            (self.active_l2_sharers - 1) / (self.machine.l2.shared_by - 1)
+        )
+        return 1.0 + extra
+
+    # -- kernel phase ----------------------------------------------------------
+
+    def kernel_phase(
+        self,
+        mc: int,
+        nc: int,
+        kc: int,
+        mr: int,
+        nr: int,
+        itemsize: int,
+        a_resident: str = "l2",
+        b_resident: str = "l2",
+        simd_lanes: int = 4,
+        b_shared_by: int = 1,
+    ) -> PhaseCacheCosts:
+        """Cache costs of one GEBP call: an (mc x kc) A-block times a
+        (kc x nc) B-panel updating an (mc x nc) C-panel.
+
+        ``a_resident`` / ``b_resident``: where the packed operand lives when
+        the kernel starts ('l1', 'l2' or 'mem').  For SMM the whole problem
+        often fits in L1/L2, which is exactly why kernel efficiency can reach
+        the 90 %+ the paper measures.  ``b_shared_by``: cores in one L2
+        cluster reading the *same* packed B panel — one DRAM fill serves all
+        of them, amortizing the bandwidth charge.
+        """
+        _check_residency(a_resident, "a_resident")
+        _check_residency(b_resident, "b_resident")
+        if b_shared_by < 1:
+            raise ConfigError(f"b_shared_by must be >= 1, got {b_shared_by}")
+        line = self.machine.l1d.line_bytes
+        l1_bytes = self.machine.l1d.size_bytes
+
+        fa = mc * kc * itemsize  # packed A block
+        fb = kc * nc * itemsize  # packed B panel
+        fb_sliver = kc * nr * itemsize  # one B sliver (L1-resident by design)
+        fc = mc * nc * itemsize
+
+        n_row_tiles = ceil_div(mc, mr)
+        n_col_tiles = ceil_div(nc, nr)
+
+        # ---- L1 behaviour ----
+        # One B sliver is reused by all row tiles of the j-iteration; its
+        # lines miss once per j-iteration (unless the whole B panel stays in
+        # L1 across iterations, the small-matrix case).
+        b_panel_lines = lines_of(fb, line)
+        fits_all_l1 = (fa + fb + fc) <= 0.75 * l1_bytes
+        if fits_all_l1 and a_resident == "l1" and b_resident == "l1":
+            # warm SMM: the whole working set already sits in L1
+            a_l1 = b_l1 = c_l1 = 0.0
+        elif fits_all_l1:
+            # Everything lives in L1 after first touch: compulsory only.
+            a_l1 = lines_of(fa, line)
+            b_l1 = b_panel_lines
+            c_l1 = lines_of(fc, line)
+        else:
+            a_fits_l1 = (fa + fb_sliver * 2) <= 0.75 * l1_bytes
+            # A block: re-streamed from L2 once per column tile unless it
+            # stays L1-resident.
+            a_l1 = lines_of(fa, line) * (1 if a_fits_l1 else n_col_tiles)
+            b_l1 = b_panel_lines  # each sliver missed once, reused mc/mr times
+            c_l1 = lines_of(fc, line)  # C tiles loaded+stored once per call
+
+        # ---- L2 behaviour ----
+        a_l2 = lines_of(fa, line) if a_resident == "mem" else 0.0
+        b_l2 = (
+            lines_of(fb, line) / b_shared_by if b_resident == "mem" else 0.0
+        )
+        if not fits_all_l1 and (fa + fb) > 0.75 * self.effective_l2_bytes:
+            # capacity overflow: part of the panel re-fills from DRAM per pass
+            overflow = 1.0 - 0.75 * self.effective_l2_bytes / (fa + fb)
+            b_l2 += b_panel_lines * overflow / b_shared_by
+        inflation = self._l2_inflation()
+        a_l2 *= inflation
+        b_l2 *= inflation
+
+        l1_misses = a_l1 + b_l1 + c_l1
+        l2_misses = a_l2 + b_l2
+
+        # ---- load-instruction count of the kernel phase ----
+        # Per k-step and tile: mr/lanes A vector loads + nr B element loads
+        # (B is loaded as scalars/pairs in the library kernels).
+        a_loads = n_row_tiles * n_col_tiles * kc * ceil_div(mr, simd_lanes)
+        b_loads = n_row_tiles * n_col_tiles * kc * ceil_div(nr, 2)  # ldp pairs
+        c_loads = n_row_tiles * n_col_tiles * ceil_div(mr, simd_lanes) * nr
+        loads = a_loads + b_loads + c_loads
+
+        stall = (
+            l1_misses * self.l2_fill_penalty * (1.0 - KERNEL_STREAM_OVERLAP)
+            + l2_misses * self.dram_fill_penalty
+            * (1.0 - SEQUENTIAL_PREFETCH_OVERLAP)
+        )
+        extra = stall / loads if loads else 0.0
+        return PhaseCacheCosts(
+            loads=loads,
+            l1_miss_lines=l1_misses,
+            l2_miss_lines=l2_misses,
+            extra_load_cycles=extra,
+            stall_cycles=stall,
+            dram_bytes=l2_misses * line,
+        )
+
+    def dram_floor_cycles(self, phase: PhaseCacheCosts) -> float:
+        """Bandwidth lower bound: cycles to stream the phase's DRAM traffic
+        through this core's share of the memory channels."""
+        if phase.dram_bytes <= 0:
+            return 0.0
+        return phase.dram_bytes / self.bandwidth_share
+
+    def strided_b_extra_stall(self, kc: int, nr: int, itemsize: int) -> float:
+        """Extra stall of reading an *unpacked* B sliver inside a kernel.
+
+        The paper's Fig. 8 premise: without edge packing the accesses to the
+        edge sliver Be are discontiguous — effectively one cache line per
+        element instead of ``line/itemsize`` elements per line, with poor
+        prefetch.  Returns the additional unhidden fill cycles for one
+        kernel call covering ``kc`` k-steps of an ``nr``-wide sliver.
+        """
+        if kc <= 0 or nr <= 0:
+            raise ConfigError(f"invalid sliver extents kc={kc}, nr={nr}")
+        line = self.machine.l1d.line_bytes
+        per_line = max(line // itemsize, 1)
+        extra_lines = kc * nr * (1.0 - 1.0 / per_line)
+        return (
+            extra_lines
+            * self.l2_fill_penalty
+            * (1.0 - STRIDED_PREFETCH_OVERLAP)
+        )
+
+    # -- packing phase -----------------------------------------------------------
+
+    def packing_phase(
+        self,
+        rows: int,
+        cols: int,
+        itemsize: int,
+        source_contiguous: bool,
+        source_resident: str = "mem",
+    ) -> PhaseCacheCosts:
+        """Cache costs of packing an (rows x cols) operand into a panel buffer.
+
+        ``source_contiguous``: True when the packing walk follows the source
+        storage order (e.g. packing B column panels from a column-major B),
+        False for the transposed walk (strided, poor prefetch).
+        """
+        _check_residency(source_resident, "source_resident")
+        line = self.machine.l1d.line_bytes
+        nbytes = rows * cols * itemsize
+        # an L1-resident source costs no fills; the destination buffer pays
+        # write-allocate fills, but those are sequential regardless of the
+        # source walk shape
+        src_lines = 0.0 if source_resident == "l1" else lines_of(nbytes, line)
+        dst_lines = lines_of(nbytes, line)
+
+        src_overlap = (
+            SEQUENTIAL_PREFETCH_OVERLAP
+            if source_contiguous
+            else STRIDED_PREFETCH_OVERLAP
+        )
+        # strided walks touch each line multiple times but we count unique
+        # line fills; the lost prefetch overlap is what hurts.
+        l1_misses = src_lines + dst_lines
+        l2_misses = 0.0
+        if source_resident == "mem":
+            l2_misses += src_lines * self._l2_inflation()
+
+        loads = max(rows * cols // 2, 1)  # paired element loads
+        stall = (
+            src_lines * self.l2_fill_penalty * (1.0 - src_overlap)
+            + dst_lines * self.l2_fill_penalty
+            * (1.0 - SEQUENTIAL_PREFETCH_OVERLAP)
+            + l2_misses * self.dram_fill_penalty * (1.0 - src_overlap)
+        )
+        return PhaseCacheCosts(
+            loads=loads,
+            l1_miss_lines=l1_misses,
+            l2_miss_lines=l2_misses,
+            extra_load_cycles=stall / loads,
+            stall_cycles=stall,
+            dram_bytes=l2_misses * line,
+        )
+
+
+def _check_residency(value: str, name: str) -> None:
+    if value not in ("l1", "l2", "mem"):
+        raise ConfigError(f"{name} must be 'l1', 'l2' or 'mem', got {value!r}")

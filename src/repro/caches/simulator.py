@@ -1,0 +1,190 @@
+"""Set-associative cache simulator.
+
+This is the *reference* cache model: a faithful tag-array simulation with
+LRU or pseudo-random replacement, used by unit tests, the cache-behaviour
+microbenchmarks, and to validate the analytic :mod:`repro.caches.model`
+that the GEMM drivers use for speed.
+
+Addresses are plain integers (byte addresses in a flat simulated address
+space, see :mod:`repro.memlayout.addressspace`).  Accesses are counted per
+line; ``access_range`` walks a strided region the way a packing loop or a
+micro-kernel sliver read would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..machine.config import CacheConfig
+from ..util.errors import ConfigError
+from ..util.rng import derive_seed
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    accesses: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Number of hits."""
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0 when idle)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.accesses = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class CacheSim:
+    """One physical cache instance (optionally shared by several cores)."""
+
+    def __init__(self, config: CacheConfig, seed: int = 0) -> None:
+        self.config = config
+        self.n_sets = config.n_sets
+        self.assoc = config.associativity
+        self.line = config.line_bytes
+        self._line_shift = int(config.line_bytes).bit_length() - 1
+        # tags[set, way]; -1 = invalid
+        self._tags = np.full((self.n_sets, self.assoc), -1, dtype=np.int64)
+        # LRU stamp per way (higher = more recent); only used for LRU
+        self._stamps = np.zeros((self.n_sets, self.assoc), dtype=np.int64)
+        self._clock = 0
+        self._rng = np.random.default_rng(derive_seed(seed, "cache", config.name))
+        self.stats = CacheStats()
+
+    # -- core operations -----------------------------------------------------
+
+    def line_of(self, addr: int) -> int:
+        """Line index (address >> line bits)."""
+        if addr < 0:
+            raise ConfigError(f"negative address {addr}")
+        return addr >> self._line_shift
+
+    def access_line(self, line_addr: int) -> bool:
+        """Access one line; returns True on hit.  Allocates on miss."""
+        set_idx = line_addr % self.n_sets
+        tag = line_addr // self.n_sets
+        self.stats.accesses += 1
+        self._clock += 1
+        row = self._tags[set_idx]
+        ways = np.nonzero(row == tag)[0]
+        if ways.size:
+            self._stamps[set_idx, ways[0]] = self._clock
+            return True
+        self.stats.misses += 1
+        # choose a victim
+        empty = np.nonzero(row == -1)[0]
+        if empty.size:
+            victim = int(empty[0])
+        else:
+            self.stats.evictions += 1
+            if self.config.replacement == "lru":
+                victim = int(np.argmin(self._stamps[set_idx]))
+            else:  # pseudo-random, the Phytium 2000+ L2 policy
+                victim = int(self._rng.integers(0, self.assoc))
+        self._tags[set_idx, victim] = tag
+        self._stamps[set_idx, victim] = self._clock
+        return False
+
+    def access(self, addr: int, nbytes: int = 4) -> int:
+        """Access ``nbytes`` at ``addr``; returns number of line misses."""
+        if nbytes <= 0:
+            raise ConfigError(f"nbytes must be positive, got {nbytes}")
+        first = self.line_of(addr)
+        last = self.line_of(addr + nbytes - 1)
+        misses = 0
+        for line_addr in range(first, last + 1):
+            if not self.access_line(line_addr):
+                misses += 1
+        return misses
+
+    def access_range(self, base: int, count: int, stride: int, width: int = 4) -> int:
+        """Access ``count`` elements of ``width`` bytes, ``stride`` bytes apart.
+
+        Models one packing-loop walk or one sliver read.  Returns misses.
+        """
+        if count < 0:
+            raise ConfigError(f"count must be >= 0, got {count}")
+        misses = 0
+        addr = base
+        for _ in range(count):
+            misses += self.access(addr, width)
+            addr += stride
+        return misses
+
+    def contains_line(self, line_addr: int) -> bool:
+        """True when the line is currently resident (no state change)."""
+        set_idx = line_addr % self.n_sets
+        tag = line_addr // self.n_sets
+        return bool(np.any(self._tags[set_idx] == tag))
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently held."""
+        return int(np.count_nonzero(self._tags != -1))
+
+    def flush(self) -> None:
+        """Invalidate all lines (counters are kept)."""
+        self._tags.fill(-1)
+        self._stamps.fill(0)
+
+
+class CacheHierarchy:
+    """A private L1 in front of a (possibly shared) L2.
+
+    ``access`` returns the modeled latency in cycles for one access, using
+    the per-level hit latencies and a DRAM latency for L2 misses.  The GEMM
+    drivers do not use this directly (too slow at scale); the cache-model
+    validation benchmark does.
+    """
+
+    def __init__(
+        self,
+        l1_config: CacheConfig,
+        l2_config: CacheConfig,
+        dram_latency: int = 150,
+        seed: int = 0,
+        shared_l2: Optional[CacheSim] = None,
+    ) -> None:
+        self.l1 = CacheSim(l1_config, seed=derive_seed(seed, "l1"))
+        self.l2 = shared_l2 if shared_l2 is not None else CacheSim(
+            l2_config, seed=derive_seed(seed, "l2")
+        )
+        self.dram_latency = dram_latency
+
+    def access(self, addr: int, nbytes: int = 4) -> float:
+        """Access and return latency in cycles (line-granular)."""
+        first = self.l1.line_of(addr)
+        last = self.l1.line_of(addr + nbytes - 1)
+        latency = 0.0
+        for line_addr in range(first, last + 1):
+            if self.l1.access_line(line_addr):
+                latency = max(latency, float(self.l1.config.hit_latency))
+            elif self.l2.access_line(line_addr):
+                latency = max(latency, float(self.l2.config.hit_latency))
+            else:
+                latency = max(latency, float(self.dram_latency))
+        return latency
+
+    def miss_rates(self) -> dict:
+        """Convenience: miss rate per level."""
+        return {"l1": self.l1.stats.miss_rate, "l2": self.l2.stats.miss_rate}
+
+
+def make_shared_l2(config: CacheConfig, seed: int = 0) -> CacheSim:
+    """A shared L2 instance for several :class:`CacheHierarchy` front-ends."""
+    return CacheSim(config, seed=derive_seed(seed, "shared-l2"))

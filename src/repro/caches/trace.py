@@ -1,0 +1,137 @@
+"""Exact GEBP access traces, replayed through the reference cache simulator.
+
+The analytic :class:`~repro.caches.model.GebpCacheModel` reasons about the
+GEBP loop nest in closed form; this module generates the *actual* address
+stream of a GEBP call — packed A slivers streamed per column tile, the
+kc x nr B sliver walked per k-step, C tiles loaded and stored — and replays
+it through :class:`~repro.caches.simulator.CacheHierarchy`.  It exists to
+validate the analytic model (tests and the cache ablation benchmark) and to
+let users inspect cache behaviour of custom tilings.
+
+Traces are generated lazily; a 64^3 GEBP produces ~10^5 line-granular
+accesses, fine for validation purposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from ..machine.config import MachineConfig
+from ..util.errors import ConfigError
+from ..util.validation import ceil_div, check_positive_int
+from .simulator import CacheHierarchy
+
+#: access record: (byte address, byte count, operand tag)
+Access = Tuple[int, int, str]
+
+
+@dataclass(frozen=True)
+class GebpTraceConfig:
+    """Geometry of one traced GEBP call."""
+
+    mc: int
+    nc: int
+    kc: int
+    mr: int
+    nr: int
+    itemsize: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("mc", "nc", "kc", "mr", "nr", "itemsize"):
+            check_positive_int(getattr(self, name), name, ConfigError)
+
+    @property
+    def a_bytes(self) -> int:
+        """Packed A block footprint (padded to mr slivers)."""
+        return ceil_div(self.mc, self.mr) * self.mr * self.kc * self.itemsize
+
+    @property
+    def b_bytes(self) -> int:
+        """Packed B panel footprint (padded to nr slivers)."""
+        return self.kc * ceil_div(self.nc, self.nr) * self.nr * self.itemsize
+
+    @property
+    def c_bytes(self) -> int:
+        """C panel footprint."""
+        return self.mc * self.nc * self.itemsize
+
+
+def gebp_access_stream(
+    cfg: GebpTraceConfig,
+    a_base: int = 0,
+    b_base: int = -1,
+    c_base: int = -1,
+) -> Iterator[Access]:
+    """The GEBP loop nest's memory accesses, in execution order.
+
+    Layout mirrors :mod:`repro.packing`: A-tilde holds mr x kc slivers
+    back to back (each sliver column-major within itself), B-tilde holds
+    kc x nr slivers, C is column-major with leading dimension mc.
+    """
+    es = cfg.itemsize
+    if b_base < 0:
+        b_base = a_base + cfg.a_bytes
+    if c_base < 0:
+        c_base = b_base + cfg.b_bytes
+
+    n_row_tiles = ceil_div(cfg.mc, cfg.mr)
+    n_col_tiles = ceil_div(cfg.nc, cfg.nr)
+    a_sliver_bytes = cfg.mr * cfg.kc * es
+    b_sliver_bytes = cfg.kc * cfg.nr * es
+
+    for j in range(n_col_tiles):
+        b_sliver = b_base + j * b_sliver_bytes
+        for i in range(n_row_tiles):
+            a_sliver = a_base + i * a_sliver_bytes
+            for k in range(cfg.kc):
+                # one mr-column of A-tilde (contiguous in the packed buffer)
+                yield (a_sliver + k * cfg.mr * es, cfg.mr * es, "A")
+                # one nr-row of B-tilde (contiguous)
+                yield (b_sliver + k * cfg.nr * es, cfg.nr * es, "B")
+            # C tile: load + store mr x nr (column-major, ld = mc)
+            for jj in range(cfg.nr):
+                col = j * cfg.nr + jj
+                if col >= cfg.nc:
+                    break
+                row0 = i * cfg.mr
+                rows = min(cfg.mr, cfg.mc - row0)
+                addr = c_base + (col * cfg.mc + row0) * es
+                yield (addr, rows * es, "C")
+                yield (addr, rows * es, "C")  # store after update
+
+
+def replay_gebp(
+    machine: MachineConfig,
+    cfg: GebpTraceConfig,
+    warm: bool = False,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Replay one GEBP through a private L1 + L2 hierarchy.
+
+    Returns per-operand access and L1-miss counts plus overall hierarchy
+    miss rates.  ``warm=True`` runs the trace twice and reports the second
+    pass (the paper's repeated-measurement setting).
+    """
+    hier = CacheHierarchy(
+        machine.l1d, machine.l2,
+        dram_latency=machine.numa.local_dram_latency, seed=seed,
+    )
+    passes = 2 if warm else 1
+    stats: Dict[str, Dict[str, float]] = {}
+    for run in range(passes):
+        stats = {tag: {"accesses": 0, "l1_misses": 0}
+                 for tag in ("A", "B", "C")}
+        l1_before = hier.l1.stats.misses
+        for addr, nbytes, tag in gebp_access_stream(cfg):
+            before = hier.l1.stats.misses
+            hier.access(addr, nbytes)
+            stats[tag]["accesses"] += 1
+            stats[tag]["l1_misses"] += hier.l1.stats.misses - before
+        stats["total"] = {
+            "accesses": sum(s["accesses"] for t, s in stats.items()
+                            if t != "total"),
+            "l1_misses": hier.l1.stats.misses - l1_before,
+        }
+    stats["rates"] = hier.miss_rates()
+    return stats

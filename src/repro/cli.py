@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the experiment functions so a user can
+regenerate any paper artifact without writing code:
+
+``python -m repro machine``              — print the machine model
+``python -m repro fig5a|fig5b|...``      — one figure, rendered as text
+``python -m repro fig9 | fig10``         — multi-panel figures
+``python -m repro table1 | table2``      — the tables
+``python -m repro gemm M N K [--lib L] [--threads T]`` — one costed GEMM
+``python -m repro all``                  — the whole battery
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import analysis
+from .blas import make_driver
+from .core import ReferenceSmmDriver
+from .machine import machine_summary, phytium2000plus
+from .parallel import MultithreadedGemm
+
+_FIGURES = {
+    "fig5a": analysis.fig5a,
+    "fig5b": analysis.fig5b,
+    "fig5c": analysis.fig5c,
+    "fig5d": analysis.fig5d,
+    "fig6": analysis.fig6,
+    "fig8": analysis.fig8,
+}
+_MULTI = {"fig9": analysis.fig9, "fig10": analysis.fig10}
+_LIBS = ("openblas", "blis", "blasfeo", "eigen", "reference")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's SMM characterization "
+        "experiments on the simulated Phytium 2000+.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machine", help="print the machine model")
+    for name in sorted(_FIGURES):
+        sub.add_parser(name, help=f"render {name}")
+    for name in sorted(_MULTI):
+        sub.add_parser(name, help=f"render all panels of {name}")
+    sub.add_parser("fig7", help="render the Fig. 7 micro-kernel analysis")
+    sub.add_parser("table1", help="render Table I")
+    sub.add_parser("table2", help="render Table II")
+    sub.add_parser("all", help="run the whole battery")
+    sub.add_parser("verify", help="evaluate every paper claim (PASS/FAIL)")
+
+    gemm = sub.add_parser("gemm", help="cost one GEMM shape")
+    gemm.add_argument("m", type=int)
+    gemm.add_argument("n", type=int)
+    gemm.add_argument("k", type=int)
+    gemm.add_argument("--lib", choices=_LIBS, default="reference")
+    gemm.add_argument("--threads", type=int, default=1)
+
+    report = sub.add_parser(
+        "report", help="generate the full markdown report"
+    )
+    report.add_argument("--output", default="",
+                        help="write to a file instead of stdout")
+
+    kern = sub.add_parser("kernel", help="diagnose one micro-kernel")
+    kern.add_argument("mr", type=int)
+    kern.add_argument("nr", type=int)
+    kern.add_argument("--style", choices=("pipelined", "naive", "compiled"),
+                      default="pipelined")
+    kern.add_argument("--unroll", type=int, default=4)
+    kern.add_argument("--no-contraction", action="store_true")
+
+    sens = sub.add_parser("sensitivity",
+                          help="sweep one machine parameter")
+    sens.add_argument("parameter")
+    sens.add_argument("values", nargs="+", type=float)
+    return parser
+
+
+def _render_fig7(machine) -> str:
+    result = analysis.fig7(machine)
+    lines = [result["naive_listing"], "",
+             f"naive 8x4: {result['naive_efficiency']:.1%} of peak"]
+    lines.append("edge family: " + ", ".join(
+        f"{k}={v:.0%}" for k, v in result["edge_family_efficiency"].items()
+    ))
+    return "\n".join(lines)
+
+
+def _run_gemm(machine, args) -> str:
+    dtype = np.float32
+    if args.lib == "reference":
+        driver = ReferenceSmmDriver(machine, threads=args.threads)
+        timing, decision = driver.cost_gemm(args.m, args.n, args.k)
+        extra = f"decision: packed_b={decision.packed_b}"
+    elif args.threads > 1:
+        mt = MultithreadedGemm(machine, args.lib, threads=args.threads)
+        timing, info = mt.cost(args.m, args.n, args.k)
+        extra = f"scheme: {info.get('scheme')}"
+    else:
+        timing = make_driver(args.lib, machine).cost_gemm(
+            args.m, args.n, args.k
+        )
+        extra = ""
+    eff = timing.efficiency(machine, dtype, args.threads)
+    bp = timing.breakdown_percent()
+    lines = [
+        f"{args.lib} GEMM {args.m}x{args.n}x{args.k} fp32, "
+        f"{args.threads} thread(s)",
+        f"  cycles        : {timing.total_cycles:,.0f}",
+        f"  GFLOPS        : {timing.gflops(machine):.2f}",
+        f"  % of peak     : {eff:.1%}",
+        f"  breakdown     : kernel {bp['kernel']:.1f}%  "
+        f"packA {bp['pack_a']:.1f}%  packB {bp['pack_b']:.1f}%  "
+        f"sync {bp['sync']:.1f}%",
+    ]
+    if extra:
+        lines.append(f"  {extra}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    machine = phytium2000plus()
+    out: List[str] = []
+
+    if args.command == "machine":
+        out.append(machine_summary(machine))
+    elif args.command in _FIGURES:
+        out.append(_FIGURES[args.command](machine).render())
+    elif args.command in _MULTI:
+        for panel in _MULTI[args.command](machine).values():
+            out.append(panel.render())
+    elif args.command == "fig7":
+        out.append(_render_fig7(machine))
+    elif args.command == "table1":
+        out.append(analysis.table1().render())
+    elif args.command == "table2":
+        out.append(analysis.table2(machine).render())
+    elif args.command == "gemm":
+        out.append(_run_gemm(machine, args))
+    elif args.command == "kernel":
+        from .blas import shared_analyzer, shared_generator
+        from .kernels import KernelSpec
+        from .pipeline import diagnose_kernel
+
+        spec = KernelSpec(
+            args.mr, args.nr, unroll=args.unroll, style=args.style,
+            contraction=not args.no_contraction, label="cli",
+        )
+        kernel = shared_generator().generate(spec)
+        shared_analyzer(machine)  # warm the registry for consistency
+        diagnosis = diagnose_kernel(
+            kernel, machine.core,
+            machine.core.flops_per_cycle(np.float32),
+        )
+        out.append(kernel.listing())
+        out.append(diagnosis.render())
+    elif args.command == "verify":
+        from .analysis import failed_claims, verify_reproduction
+
+        verdicts = verify_reproduction(machine)
+        out.append(verdicts.render())
+        failures = failed_claims(verdicts)
+        out.append(
+            f"\n{len(verdicts.rows) - len(failures)}/{len(verdicts.rows)} "
+            "claims reproduce" + (f"; FAILING: {sorted(failures)}"
+                                  if failures else "")
+        )
+    elif args.command == "report":
+        from .analysis import generate_report
+
+        text = generate_report(machine)
+        if args.output:
+            import pathlib
+
+            pathlib.Path(args.output).write_text(text + "\n")
+            out.append(f"wrote {args.output}")
+        else:
+            out.append(text)
+    elif args.command == "sensitivity":
+        from .analysis import smm_efficiency_metric, sweep_parameter
+
+        values = [
+            int(v) if float(v).is_integer() and "bytes_per_cycle"
+            not in args.parameter else v
+            for v in args.values
+        ]
+        fig = sweep_parameter(
+            machine, args.parameter, values,
+            smm_efficiency_metric(), figure_id=f"sens-{args.parameter}",
+        )
+        out.append(fig.render())
+    elif args.command == "all":
+        out.append(machine_summary(machine))
+        out.append(analysis.table1().render())
+        for name in sorted(_FIGURES):
+            out.append(_FIGURES[name](machine).render())
+        out.append(_render_fig7(machine))
+        for name in sorted(_MULTI):
+            for panel in _MULTI[name](machine).values():
+                out.append(panel.render())
+        out.append(analysis.table2(machine).render())
+    print("\n\n".join(out))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

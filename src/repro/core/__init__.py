@@ -1,0 +1,17 @@
+"""The paper's primary contribution: the Section-IV reference SMM."""
+
+from .batched import BatchedSmm, BatchResult
+from .fusion import FusionEstimate, fused_pack_cycles, kernel_slot_usage
+from .planner import jit_tile_plan
+from .reference import ReferenceSmmDriver, SmmDecision
+
+__all__ = [
+    "ReferenceSmmDriver",
+    "SmmDecision",
+    "BatchedSmm",
+    "BatchResult",
+    "jit_tile_plan",
+    "FusionEstimate",
+    "fused_pack_cycles",
+    "kernel_slot_usage",
+]

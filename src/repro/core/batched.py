@@ -1,0 +1,186 @@
+"""Batched SMM: many small multiplications through one reusable context.
+
+The paper motivates SMM with applications that issue *streams* of small
+GEMMs — DNN layers, block-sparse kernels, ABFT checksums.  A batched
+interface amortizes the JIT/analysis work across the batch (the code cache
+is hot after the first call of each shape), which is exactly how LIBXSMM is
+used in practice.
+
+Two parallelization modes for a batch on a many-core:
+
+* ``within`` — every GEMM gets all the threads (what naive OpenMP BLAS
+  does).  For genuinely small GEMMs this is the losing strategy the
+  paper's Fig. 10 documents.
+* ``across`` — independent GEMMs are distributed over the cores, each run
+  single-threaded (the LIBXSMM/batch-BLAS strategy).  No intra-GEMM
+  synchronization at all; one join barrier at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..machine.config import MachineConfig
+from ..parallel.sync import barrier_cycles
+from ..timing.breakdown import GemmTiming
+from ..util.errors import DriverError
+from .reference import ReferenceSmmDriver
+
+
+@dataclass
+class BatchResult:
+    """Outputs and aggregate accounting for one batch."""
+
+    outputs: List[np.ndarray]
+    timing: GemmTiming
+    #: distinct (m, n, k) shapes seen, in first-appearance order
+    shapes: Tuple[Tuple[int, int, int], ...]
+    jit_hit_rate: float
+
+    def gflops(self, machine: MachineConfig) -> float:
+        """Aggregate achieved GFLOPS over the batch."""
+        return self.timing.gflops(machine)
+
+
+class BatchedSmm:
+    """A reusable SMM context for streams of small multiplications."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        dtype=np.float32,
+        threads: int = 1,
+        force_packing: Optional[bool] = None,
+    ) -> None:
+        self.driver = ReferenceSmmDriver(
+            machine, dtype=dtype, threads=threads, force_packing=force_packing
+        )
+        self.machine = machine
+        self.dtype = np.dtype(dtype)
+
+    def run(
+        self,
+        pairs: Iterable[Tuple[np.ndarray, np.ndarray]],
+        alpha: float = 1.0,
+    ) -> BatchResult:
+        """Multiply every (A, B) pair; returns outputs plus merged timing."""
+        outputs: List[np.ndarray] = []
+        total: Optional[GemmTiming] = None
+        shapes: List[Tuple[int, int, int]] = []
+        seen = set()
+        count = 0
+        for a, b in pairs:
+            result = self.driver.gemm(a, b, alpha=alpha)
+            outputs.append(result.c)
+            total = (
+                result.timing if total is None
+                else total.merged_with(result.timing)
+            )
+            shape = (a.shape[0], b.shape[1], a.shape[1])
+            if shape not in seen:
+                seen.add(shape)
+                shapes.append(shape)
+            count += 1
+        if total is None:
+            raise DriverError("empty batch")
+        return BatchResult(
+            outputs=outputs,
+            timing=total,
+            shapes=tuple(shapes),
+            jit_hit_rate=self.driver.jit.stats.hit_rate,
+        )
+
+    def run_across_cores(
+        self,
+        pairs: Sequence[Tuple[np.ndarray, np.ndarray]],
+        cores: int,
+        alpha: float = 1.0,
+    ) -> BatchResult:
+        """Distribute independent GEMMs over ``cores`` (batch parallelism).
+
+        Each multiplication runs single-threaded on one core; the batch is
+        split greedily by predicted cycles (longest-processing-time rule),
+        and the result's timing is the critical path: the busiest core's
+        total plus one join barrier.  This is the LIBXSMM-style strategy
+        for SMM streams and the natural counterpoint to the paper's
+        Fig. 10 within-GEMM parallelization.
+        """
+        if not pairs:
+            raise DriverError("empty batch")
+        if cores < 1 or cores > self.machine.n_cores:
+            raise DriverError(
+                f"cores must be in [1, {self.machine.n_cores}], got {cores}"
+            )
+        outputs: List[np.ndarray] = []
+        timings: List[GemmTiming] = []
+        shapes: List[Tuple[int, int, int]] = []
+        seen = set()
+        for a, b in pairs:
+            result = self.driver.gemm(a, b, alpha=alpha)
+            outputs.append(result.c)
+            timings.append(result.timing)
+            shape = (a.shape[0], b.shape[1], a.shape[1])
+            if shape not in seen:
+                seen.add(shape)
+                shapes.append(shape)
+
+        # longest-processing-time assignment to cores
+        loads = [0.0] * cores
+        per_core: List[List[GemmTiming]] = [[] for _ in range(cores)]
+        order = sorted(range(len(timings)),
+                       key=lambda i: -timings[i].total_cycles)
+        for i in order:
+            core = min(range(cores), key=loads.__getitem__)
+            loads[core] += timings[i].total_cycles
+            per_core[core].append(timings[i])
+
+        busiest = max(range(cores), key=loads.__getitem__)
+        critical = GemmTiming(
+            useful_flops=sum(t.useful_flops for t in timings),
+            executed_flops=sum(t.executed_flops for t in timings),
+        )
+        for t in per_core[busiest]:
+            critical.kernel_cycles += t.kernel_cycles
+            critical.pack_a_cycles += t.pack_a_cycles
+            critical.pack_b_cycles += t.pack_b_cycles
+            critical.other_cycles += t.other_cycles
+        critical.sync_cycles = barrier_cycles(cores, self.machine.numa)
+        critical.extra["cores"] = float(cores)
+        critical.extra["imbalance"] = (
+            loads[busiest] / (sum(loads) / cores) if sum(loads) else 1.0
+        )
+        return BatchResult(
+            outputs=outputs,
+            timing=critical,
+            shapes=tuple(shapes),
+            jit_hit_rate=self.driver.jit.stats.hit_rate,
+        )
+
+    def run_accumulate(
+        self,
+        pairs: Sequence[Tuple[np.ndarray, np.ndarray]],
+        c: np.ndarray,
+        alpha: float = 1.0,
+    ) -> BatchResult:
+        """Accumulate every product into one C (the BCSR / ABFT pattern)."""
+        if not pairs:
+            raise DriverError("empty batch")
+        total: Optional[GemmTiming] = None
+        out = np.array(c, copy=True, order="F")
+        for a, b in pairs:
+            result = self.driver.gemm(a, b, c=out, alpha=alpha, beta=1.0)
+            out = result.c
+            total = (
+                result.timing if total is None
+                else total.merged_with(result.timing)
+            )
+        return BatchResult(
+            outputs=[out],
+            timing=total,
+            shapes=tuple({(a.shape[0], b.shape[1], a.shape[1])
+                          for a, b in pairs}),
+            jit_hit_rate=self.driver.jit.stats.hit_rate,
+        )

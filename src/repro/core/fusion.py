@@ -1,0 +1,146 @@
+"""Fused (kernel-integrated) packing — the paper's Figure 11 proposal.
+
+Section IV sketches a restructured SMM where the B sliver is packed
+*inside* kernel execution ("we pack B1 into continuous memory regions,
+which is integrated in the kernel execution").  The performance argument:
+an FMA-bound micro-kernel leaves load/store issue slots idle every cycle;
+a fused pack loop can ride in those slots, hiding most of the packing cost
+behind compute instead of serializing it.
+
+:func:`fused_pack_cycles` bounds the *extra* time fused packing adds to a
+kernel phase, from first principles:
+
+* the kernel's steady state tells us its load/store/dispatch slot usage
+  per cycle (from the kernel body's port histogram over its measured
+  cycles/iteration);
+* the pack loop needs a known number of load, store and dispatch slots;
+* the fused extra time is the pack's slot demand divided by the kernel's
+  *spare* slot supply — never worse than running the pack separately.
+
+Cache-fill stalls of the pack stream overlap with compute as well (the
+kernel does not depend on the packed data of the *next* sliver), retained
+with the same prefetch-overlap discount as a separate pack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.sequence import KernelSequence
+from ..machine.config import CoreConfig
+from ..pipeline.steady import SteadyState
+from ..util.errors import DriverError
+
+
+@dataclass(frozen=True)
+class FusionEstimate:
+    """Outcome of fusing one pack stream under one kernel."""
+
+    separate_cycles: float
+    fused_extra_cycles: float
+    spare_load_slots_per_cycle: float
+    spare_store_slots_per_cycle: float
+    spare_dispatch_per_cycle: float
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Share of the separate pack cost hidden by fusion."""
+        if self.separate_cycles <= 0:
+            return 0.0
+        return 1.0 - self.fused_extra_cycles / self.separate_cycles
+
+
+def kernel_slot_usage(kernel: KernelSequence, state: SteadyState) -> dict:
+    """Issue slots the kernel body consumes per cycle, by port class."""
+    if state.cycles_per_iter <= 0:
+        raise DriverError("kernel steady state has non-positive cycles")
+    hist = kernel.port_histogram()
+    return {
+        port: count / state.cycles_per_iter for port, count in hist.items()
+    }
+
+
+def fused_pack_cycles(
+    core: CoreConfig,
+    kernel: KernelSequence,
+    state: SteadyState,
+    kernel_cycles: float,
+    pack_elements: int,
+    pack_stall_cycles: float,
+    lanes: int = 4,
+    source_contiguous: bool = False,
+) -> FusionEstimate:
+    """Extra cycles to fuse packing ``pack_elements`` under the kernel.
+
+    ``kernel_cycles`` is the kernel phase the pack can hide under;
+    ``pack_stall_cycles`` the unhidden fill time a separate pack would pay
+    (it still applies, half-discounted, because fills overlap compute).
+    """
+    if pack_elements < 0:
+        raise DriverError(f"pack_elements must be >= 0, got {pack_elements}")
+    if pack_elements == 0:
+        return FusionEstimate(0.0, 0.0, 0.0, 0.0, 0.0)
+
+    usage = kernel_slot_usage(kernel, state)
+    spare_load = max(core.ports["load"] - usage.get("load", 0.0), 0.0)
+    spare_store = max(core.ports["store"] - usage.get("store", 0.0), 0.0)
+    body_per_cycle = len(kernel.body) / state.cycles_per_iter
+    spare_dispatch = max(core.dispatch_width - body_per_cycle, 0.0)
+
+    # pack slot demand (mirrors repro.packing.cost pack loops)
+    if source_contiguous:
+        loads_needed = pack_elements / lanes
+        ops_needed = 2.5 * pack_elements / lanes  # ld + st + pointer math
+    else:
+        loads_needed = float(pack_elements)  # scalar gathers
+        ops_needed = 2.25 * pack_elements  # add + ldr per element + str_q
+    stores_needed = pack_elements / lanes
+
+    demands = []
+    for needed, spare in (
+        (loads_needed, spare_load),
+        (stores_needed, spare_store),
+        (ops_needed, spare_dispatch),
+    ):
+        if needed <= 0:
+            continue
+        if spare <= 1e-9:
+            demands.append(float("inf"))
+        else:
+            demands.append(needed / spare)
+    slot_time = max(demands) if demands else 0.0
+
+    # whatever fits under the kernel is free; the excess serializes
+    extra_slots = max(slot_time - kernel_cycles, 0.0)
+    extra = extra_slots + 0.5 * pack_stall_cycles
+
+    # fusion can never be worse than a separate pack loop
+    separate = _separate_pack_cycles(
+        pack_elements, pack_stall_cycles, lanes, source_contiguous, core
+    )
+    extra = min(extra, separate)
+    return FusionEstimate(
+        separate_cycles=separate,
+        fused_extra_cycles=extra,
+        spare_load_slots_per_cycle=spare_load,
+        spare_store_slots_per_cycle=spare_store,
+        spare_dispatch_per_cycle=spare_dispatch,
+    )
+
+
+def _separate_pack_cycles(
+    elements: int,
+    stall: float,
+    lanes: int,
+    contiguous: bool,
+    core: CoreConfig,
+) -> float:
+    """Standalone pack-loop estimate consistent with PackingCostModel."""
+    if contiguous:
+        loop = elements / lanes  # store-port bound
+    else:
+        loop = max(
+            elements / core.ports["load"],
+            2.25 * elements / core.dispatch_width,
+        )
+    return loop + stall

@@ -1,0 +1,85 @@
+"""Tile planning for the reference SMM (exact JIT edge kernels).
+
+Unlike the library catalogs (pow2 edge kernels / whole-tile padding /
+scalar tails), the reference implementation asks the JIT factory for an
+*exact-shape, properly scheduled* kernel per edge region — the paper's
+Sec. III-B guidance ("use aligned vector loads/stores and FMA instructions",
+"pack the small amount of edge data to better fit the SIMD unit") realized
+as row-padded pipelined kernels.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..kernels.catalog import TileInvocation
+from ..kernels.jit import JitKernelFactory
+from ..util.errors import KernelDesignError
+from ..util.validation import ceil_div, check_positive_int
+
+
+def jit_tile_plan(
+    jit: JitKernelFactory,
+    mc: int,
+    nc: int,
+    pack_edge_b: bool = True,
+    main=None,
+    strided: bool = False,
+) -> List[TileInvocation]:
+    """Micro-kernel invocations covering (mc x nc) with exact edge kernels.
+
+    ``pack_edge_b=False`` models skipping the Fig. 8 edge packing: the edge
+    kernels then read B with strided scalar loads (the ablation knob).
+    ``main`` overrides the main tile; ``strided=True`` marks every kernel
+    as reading unpacked B (the packing-optional "no pack" path).
+    """
+    from dataclasses import replace
+
+    check_positive_int(mc, "mc", KernelDesignError)
+    check_positive_int(nc, "nc", KernelDesignError)
+    main = main if main is not None else (
+        jit.strided_main_spec() if strided else jit.main_spec
+    )
+    full_m, rem_m = divmod(mc, main.mr)
+    full_n, rem_n = divmod(nc, main.nr)
+    lanes = jit.lanes
+    plan: List[TileInvocation] = []
+
+    def spec_for(mr: int, nr: int, is_n_edge: bool):
+        spec = jit.spec_for(mr, nr)
+        if strided or (is_n_edge and not pack_edge_b):
+            # unpacked B: strided scalar loads (Fig. 8 "without")
+            spec = replace(spec, b_layout="strided")
+        return spec
+
+    def padded_rows(mr: int) -> int:
+        return ceil_div(mr, lanes) * lanes
+
+    if full_m and full_n:
+        plan.append(TileInvocation(
+            spec=main, rows=main.mr, cols=main.nr,
+            padded_rows=main.mr, padded_cols=main.nr,
+            calls=full_m * full_n, edge=False,
+        ))
+    if rem_m and full_n:
+        spec = spec_for(rem_m, main.nr, is_n_edge=False)
+        plan.append(TileInvocation(
+            spec=spec, rows=rem_m, cols=main.nr,
+            padded_rows=padded_rows(rem_m), padded_cols=main.nr,
+            calls=full_n, edge=True,
+        ))
+    if rem_n and full_m:
+        spec = spec_for(main.mr, rem_n, is_n_edge=True)
+        plan.append(TileInvocation(
+            spec=spec, rows=main.mr, cols=rem_n,
+            padded_rows=main.mr, padded_cols=rem_n,
+            calls=full_m, edge=True,
+        ))
+    if rem_m and rem_n:
+        spec = spec_for(rem_m, rem_n, is_n_edge=True)
+        plan.append(TileInvocation(
+            spec=spec, rows=rem_m, cols=rem_n,
+            padded_rows=padded_rows(rem_m), padded_cols=rem_n,
+            calls=1, edge=True,
+        ))
+    return plan

@@ -1,0 +1,328 @@
+"""Instruction definitions for the modeled ARMv8/NEON subset.
+
+Each :class:`Instruction` records exactly what the pipeline scheduler needs:
+
+* ``port``       — which functional-unit class it occupies for one cycle;
+* ``latency_key``— index into :attr:`CoreConfig.latencies` for result latency;
+* ``reads`` / ``writes`` — architectural registers, for dependence edges
+  (the scheduler renames, so only true RAW dependences matter);
+* ``flops`` / ``mem_bytes`` — accounting for efficiency metrics.
+
+Factory helpers mirror the A64 mnemonics the paper's Figure 7 lists
+(``ldp``, ``ldr``, ``fmla`` ...) so that re-created library kernels read like
+the original assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from ..machine.config import PORT_CLASSES
+from ..util.errors import IsaError
+from .registers import is_vreg, is_xreg
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One machine instruction in a kernel body."""
+
+    text: str
+    port: str
+    latency_key: str
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
+    flops: int = 0
+    mem_bytes: int = 0
+    tags: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.port not in PORT_CLASSES:
+            raise IsaError(
+                f"{self.text!r}: port {self.port!r} not in {PORT_CLASSES}"
+            )
+        for reg in self.reads + self.writes:
+            if not (is_vreg(reg) or is_xreg(reg)):
+                raise IsaError(f"{self.text!r}: malformed register {reg!r}")
+        if self.flops < 0 or self.mem_bytes < 0:
+            raise IsaError(f"{self.text!r}: negative flops/mem_bytes")
+
+    @property
+    def is_load(self) -> bool:
+        """True for instructions that read memory."""
+        return self.port == "load"
+
+    @property
+    def is_store(self) -> bool:
+        """True for instructions that write memory."""
+        return self.port == "store"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+
+# ---------------------------------------------------------------------------
+# memory instructions
+# ---------------------------------------------------------------------------
+
+
+def ldr_q(dst: str, base: str, offset: int = 0, post_inc: int = 0) -> Instruction:
+    """128-bit vector load: ``ldr q<dst>, [x<base>], #imm``.
+
+    Post-increment addressing writes the base register back, creating the
+    address-chain dependence real kernels carry.
+    """
+    _require_v(dst, "ldr_q dst")
+    _require_x(base, "ldr_q base")
+    if post_inc:
+        text = f"ldr q{dst[1:]}, [{base}], #{post_inc}"
+    elif offset:
+        text = f"ldr q{dst[1:]}, [{base}, #{offset}]"
+    else:
+        text = f"ldr q{dst[1:]}, [{base}]"
+    writes = (dst, base) if post_inc else (dst,)
+    return Instruction(
+        text=text,
+        port="load",
+        latency_key="load",
+        reads=(base,),
+        writes=writes,
+        mem_bytes=16,
+        tags=("vload",),
+    )
+
+
+def ldr_s(dst: str, base: str, offset: int = 0) -> Instruction:
+    """32-bit scalar FP load into lane 0 of a vector register."""
+    _require_v(dst, "ldr_s dst")
+    _require_x(base, "ldr_s base")
+    return Instruction(
+        text=f"ldr s{dst[1:]}, [{base}, #{offset}]",
+        port="load",
+        latency_key="load",
+        reads=(base,),
+        writes=(dst,),
+        mem_bytes=4,
+        tags=("sload",),
+    )
+
+
+def ldp_s(dst1: str, dst2: str, base: str, post_inc: int = 8) -> Instruction:
+    """Paired 32-bit FP load: ``ldp s<d1>, s<d2>, [x<base>], #8``.
+
+    This is the B-sliver load idiom of the OpenBLAS 8x4 micro-kernel the
+    paper reproduces in Figure 7.
+    """
+    _require_v(dst1, "ldp_s dst1")
+    _require_v(dst2, "ldp_s dst2")
+    _require_x(base, "ldp_s base")
+    if dst1 == dst2:
+        raise IsaError("ldp_s destinations must differ")
+    return Instruction(
+        text=f"ldp s{dst1[1:]}, s{dst2[1:]}, [{base}], #{post_inc}",
+        port="load",
+        latency_key="load",
+        reads=(base,),
+        writes=(dst1, dst2, base),
+        mem_bytes=8,
+        tags=("sload", "pair"),
+    )
+
+
+def str_q(src: str, base: str, offset: int = 0) -> Instruction:
+    """128-bit vector store."""
+    _require_v(src, "str_q src")
+    _require_x(base, "str_q base")
+    return Instruction(
+        text=f"str q{src[1:]}, [{base}, #{offset}]",
+        port="store",
+        latency_key="store",
+        reads=(src, base),
+        writes=(),
+        mem_bytes=16,
+        tags=("vstore",),
+    )
+
+
+def str_s(src: str, base: str, offset: int = 0) -> Instruction:
+    """32-bit scalar FP store."""
+    _require_v(src, "str_s src")
+    _require_x(base, "str_s base")
+    return Instruction(
+        text=f"str s{src[1:]}, [{base}, #{offset}]",
+        port="store",
+        latency_key="store",
+        reads=(src, base),
+        writes=(),
+        mem_bytes=4,
+        tags=("sstore",),
+    )
+
+
+# ---------------------------------------------------------------------------
+# arithmetic instructions
+# ---------------------------------------------------------------------------
+
+
+def fmla(acc: str, a: str, b: str, lane: int = -1, lanes: int = 4) -> Instruction:
+    """Vector fused multiply-add ``fmla acc, a, b[.s[lane]]``.
+
+    The accumulator is both read and written, producing the loop-carried
+    dependence chain whose length (relative to FMA latency) determines
+    steady-state throughput — the mechanism behind the paper's edge-kernel
+    inefficiency analysis.
+    """
+    _require_v(acc, "fmla acc")
+    _require_v(a, "fmla a")
+    _require_v(b, "fmla b")
+    lane_txt = f".s[{lane}]" if lane >= 0 else f".{lanes}s"
+    return Instruction(
+        text=f"fmla {acc}.{lanes}s, {a}.{lanes}s, {b}{lane_txt}",
+        port="fma",
+        latency_key="fma",
+        reads=(acc, a, b),
+        writes=(acc,),
+        flops=2 * lanes,
+        tags=("fma",),
+    )
+
+
+def fmadd_scalar(acc: str, a: str, b: str) -> Instruction:
+    """Scalar fused multiply-add (1 lane); the edge-of-edge fallback."""
+    _require_v(acc, "fmadd acc")
+    _require_v(a, "fmadd a")
+    _require_v(b, "fmadd b")
+    return Instruction(
+        text=f"fmadd s{acc[1:]}, s{a[1:]}, s{b[1:]}, s{acc[1:]}",
+        port="fma",
+        latency_key="fma",
+        reads=(acc, a, b),
+        writes=(acc,),
+        flops=2,
+        tags=("fma", "scalar"),
+    )
+
+
+def fmul(dst: str, a: str, b: str, lanes: int = 4) -> Instruction:
+    """Vector multiply (used for the final ``alpha * TEMP_C`` scaling)."""
+    _require_v(dst, "fmul dst")
+    _require_v(a, "fmul a")
+    _require_v(b, "fmul b")
+    return Instruction(
+        text=f"fmul {dst}.{lanes}s, {a}.{lanes}s, {b}.{lanes}s",
+        port="fma",
+        latency_key="fmul",
+        reads=(a, b),
+        writes=(dst,),
+        flops=lanes,
+        tags=("fmul",),
+    )
+
+
+def fadd(dst: str, a: str, b: str, lanes: int = 4) -> Instruction:
+    """Vector add."""
+    _require_v(dst, "fadd dst")
+    _require_v(a, "fadd a")
+    _require_v(b, "fadd b")
+    return Instruction(
+        text=f"fadd {dst}.{lanes}s, {a}.{lanes}s, {b}.{lanes}s",
+        port="fma",
+        latency_key="fadd",
+        reads=(a, b),
+        writes=(dst,),
+        flops=lanes,
+        tags=("fadd",),
+    )
+
+
+def dup(dst: str, src: str, lane: int = 0, lanes: int = 4) -> Instruction:
+    """Broadcast one lane of ``src`` across ``dst`` (B-element splat)."""
+    _require_v(dst, "dup dst")
+    _require_v(src, "dup src")
+    return Instruction(
+        text=f"dup {dst}.{lanes}s, {src}.s[{lane}]",
+        port="alu",
+        latency_key="dup",
+        reads=(src,),
+        writes=(dst,),
+        tags=("dup",),
+    )
+
+
+def movi_zero(dst: str, lanes: int = 4) -> Instruction:
+    """Zero a vector register (accumulator init)."""
+    _require_v(dst, "movi dst")
+    return Instruction(
+        text=f"movi {dst}.{lanes}s, #0",
+        port="alu",
+        latency_key="alu",
+        reads=(),
+        writes=(dst,),
+        tags=("movi",),
+    )
+
+
+# ---------------------------------------------------------------------------
+# integer / control instructions
+# ---------------------------------------------------------------------------
+
+
+def add_imm(dst: str, src: str, imm: int) -> Instruction:
+    """Integer add-immediate (address arithmetic)."""
+    _require_x(dst, "add dst")
+    _require_x(src, "add src")
+    return Instruction(
+        text=f"add {dst}, {src}, #{imm}",
+        port="alu",
+        latency_key="alu",
+        reads=(src,),
+        writes=(dst,),
+        tags=("addr",),
+    )
+
+
+def subs_imm(dst: str, src: str, imm: int) -> Instruction:
+    """Subtract-and-set-flags (loop counter decrement)."""
+    _require_x(dst, "subs dst")
+    _require_x(src, "subs src")
+    return Instruction(
+        text=f"subs {dst}, {src}, #{imm}",
+        port="alu",
+        latency_key="alu",
+        reads=(src,),
+        writes=(dst,),
+        tags=("loopctl",),
+    )
+
+
+def branch_nz(counter: str, label: str = "loop") -> Instruction:
+    """Conditional branch on the loop counter (predicted taken)."""
+    _require_x(counter, "branch counter")
+    return Instruction(
+        text=f"b.ne .{label}",
+        port="branch",
+        latency_key="branch",
+        reads=(counter,),
+        writes=(),
+        tags=("loopctl",),
+    )
+
+
+def _require_v(reg: str, what: str) -> None:
+    if not is_vreg(reg):
+        raise IsaError(f"{what} must be a vector register, got {reg!r}")
+
+
+def _require_x(reg: str, what: str) -> None:
+    if not is_xreg(reg):
+        raise IsaError(f"{what} must be a scalar register, got {reg!r}")
+
+
+def total_flops(instructions: Sequence[Instruction]) -> int:
+    """Sum of flop contributions over ``instructions``."""
+    return sum(ins.flops for ins in instructions)
+
+
+def total_mem_bytes(instructions: Sequence[Instruction]) -> int:
+    """Sum of bytes moved to/from memory over ``instructions``."""
+    return sum(ins.mem_bytes for ins in instructions)

@@ -1,0 +1,105 @@
+"""Architectural register names for the modeled ARMv8 NEON subset.
+
+Registers are represented as interned strings (``"v12"``, ``"x3"``) because
+the pipeline model only needs identity for dependence tracking; a richer
+class would buy nothing.  This module provides constructors that validate
+indices against the architectural limits and an allocator used by kernel
+builders.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..util.errors import IsaError, RegisterAllocationError
+
+N_VECTOR_REGISTERS = 32
+N_SCALAR_REGISTERS = 31  # x0..x30 (x31 is sp/zr)
+
+
+def vreg(index: int) -> str:
+    """The SIMD/FP register ``v<index>``."""
+    if not 0 <= index < N_VECTOR_REGISTERS:
+        raise IsaError(f"vector register index {index} out of range [0, 32)")
+    return f"v{index}"
+
+
+def xreg(index: int) -> str:
+    """The general-purpose register ``x<index>``."""
+    if not 0 <= index < N_SCALAR_REGISTERS:
+        raise IsaError(f"scalar register index {index} out of range [0, 31)")
+    return f"x{index}"
+
+
+def is_vreg(name: str) -> bool:
+    """True when ``name`` denotes a SIMD/FP register."""
+    return name.startswith("v")
+
+
+def is_xreg(name: str) -> bool:
+    """True when ``name`` denotes a general-purpose register."""
+    return name.startswith("x")
+
+
+def reg_index(name: str) -> int:
+    """The numeric index of a register name."""
+    try:
+        return int(name[1:])
+    except (ValueError, IndexError) as exc:
+        raise IsaError(f"malformed register name {name!r}") from exc
+
+
+class RegisterAllocator:
+    """Hands out architectural registers and enforces the file size.
+
+    Kernel generators allocate one block of accumulators plus staging
+    registers for A and B slivers; exceeding 32 vector registers is exactly
+    the constraint of the paper's Eq. 4, so the allocator raises
+    :class:`RegisterAllocationError` rather than silently spilling.
+    """
+
+    def __init__(self) -> None:
+        self._free_v: List[int] = list(range(N_VECTOR_REGISTERS))
+        self._free_x: List[int] = list(range(N_SCALAR_REGISTERS))
+        self._live: Set[str] = set()
+
+    @property
+    def live_vector_count(self) -> int:
+        """Number of currently allocated vector registers."""
+        return sum(1 for r in self._live if is_vreg(r))
+
+    def alloc_v(self, count: int = 1) -> List[str]:
+        """Allocate ``count`` vector registers (lowest indices first)."""
+        if count > len(self._free_v):
+            raise RegisterAllocationError(
+                f"need {count} vector registers but only {len(self._free_v)} "
+                f"of {N_VECTOR_REGISTERS} are free"
+            )
+        out = [vreg(self._free_v.pop(0)) for _ in range(count)]
+        self._live.update(out)
+        return out
+
+    def alloc_x(self, count: int = 1) -> List[str]:
+        """Allocate ``count`` scalar registers."""
+        if count > len(self._free_x):
+            raise RegisterAllocationError(
+                f"need {count} scalar registers but only {len(self._free_x)} "
+                f"of {N_SCALAR_REGISTERS} are free"
+            )
+        out = [xreg(self._free_x.pop(0)) for _ in range(count)]
+        self._live.update(out)
+        return out
+
+    def free(self, *names: str) -> None:
+        """Return registers to the pool."""
+        for name in names:
+            if name not in self._live:
+                raise IsaError(f"register {name!r} is not currently allocated")
+            self._live.discard(name)
+            idx = reg_index(name)
+            if is_vreg(name):
+                self._free_v.append(idx)
+                self._free_v.sort()
+            else:
+                self._free_x.append(idx)
+                self._free_x.sort()

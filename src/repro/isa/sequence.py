@@ -1,0 +1,144 @@
+"""Kernel bodies as structured instruction sequences.
+
+A :class:`KernelSequence` is the unit the pipeline scheduler consumes: a
+*prologue* (accumulator zeroing, first loads), a *loop body* iterated
+``kc``-many times at run time, and an *epilogue* (C update: load, scale,
+store).  Keeping the three parts separate lets the steady-state analyzer
+measure asymptotic cycles-per-iteration of the body alone, exactly like the
+paper's kernel-efficiency experiments which exclude packing and boundary
+work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..util.errors import IsaError
+from .instructions import Instruction, total_flops, total_mem_bytes
+
+
+@dataclass(frozen=True)
+class KernelSequence:
+    """A micro-kernel: prologue, iterated loop body, epilogue."""
+
+    name: str
+    prologue: Tuple[Instruction, ...]
+    body: Tuple[Instruction, ...]
+    epilogue: Tuple[Instruction, ...]
+    #: metadata: tile shape etc., free-form but conventionally includes
+    #: 'mr', 'nr', 'unroll', 'lanes'
+    meta: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise IsaError(f"kernel {self.name!r} has an empty loop body")
+        for part_name, part in (
+            ("prologue", self.prologue),
+            ("body", self.body),
+            ("epilogue", self.epilogue),
+        ):
+            for ins in part:
+                if not isinstance(ins, Instruction):
+                    raise IsaError(
+                        f"kernel {self.name!r} {part_name} contains a "
+                        f"non-instruction: {ins!r}"
+                    )
+
+    # -- static accounting ---------------------------------------------------
+
+    @property
+    def unroll(self) -> int:
+        """k-steps folded into one loop-body iteration."""
+        return int(self.meta.get("unroll", 1))
+
+    @property
+    def mr(self) -> int:
+        """Tile rows."""
+        return int(self.meta["mr"])
+
+    @property
+    def nr(self) -> int:
+        """Tile columns."""
+        return int(self.meta["nr"])
+
+    @property
+    def body_flops(self) -> int:
+        """Useful flops per loop-body iteration."""
+        return total_flops(self.body)
+
+    @property
+    def body_mem_bytes(self) -> int:
+        """Bytes moved per loop-body iteration."""
+        return total_mem_bytes(self.body)
+
+    @property
+    def flops_per_kstep(self) -> float:
+        """Useful flops per single k iteration (body flops / unroll)."""
+        return self.body_flops / self.unroll
+
+    def port_histogram(self) -> Dict[str, int]:
+        """Loop-body instruction count per port class."""
+        hist: Dict[str, int] = {}
+        for ins in self.body:
+            hist[ins.port] = hist.get(ins.port, 0) + 1
+        return hist
+
+    def instruction_count(self) -> int:
+        """Total static instruction count (all three parts)."""
+        return len(self.prologue) + len(self.body) + len(self.epilogue)
+
+    def encoded_bytes(self, instruction_bytes: int = 4) -> int:
+        """Approximate i-footprint (A64 instructions are fixed width)."""
+        return self.instruction_count() * instruction_bytes
+
+    def all_instructions(self) -> Iterator[Instruction]:
+        """Prologue, body, epilogue in program order (body once)."""
+        yield from self.prologue
+        yield from self.body
+        yield from self.epilogue
+
+    def listing(self) -> str:
+        """An assembly-style listing, as in the paper's Figure 7."""
+        lines: List[str] = [f"// kernel {self.name} meta={self.meta}"]
+        for ins in self.prologue:
+            lines.append(f"    {ins.text}")
+        lines.append(".loop:")
+        for ins in self.body:
+            lines.append(f"    {ins.text}")
+        for ins in self.epilogue:
+            lines.append(f"    {ins.text}")
+        return "\n".join(lines)
+
+    def registers_used(self) -> Tuple[str, ...]:
+        """Sorted distinct architectural registers touched by the kernel."""
+        regs = set()
+        for ins in self.all_instructions():
+            regs.update(ins.reads)
+            regs.update(ins.writes)
+        return tuple(sorted(regs))
+
+    def vector_registers_used(self) -> int:
+        """Distinct vector registers touched (Eq. 4 accounting)."""
+        return sum(1 for r in self.registers_used() if r.startswith("v"))
+
+
+def concat_bodies(name: str, kernels: Sequence[KernelSequence]) -> KernelSequence:
+    """Fuse several kernels' bodies into one (used by schedule experiments)."""
+    if not kernels:
+        raise IsaError("concat_bodies needs at least one kernel")
+    prologue: List[Instruction] = []
+    body: List[Instruction] = []
+    epilogue: List[Instruction] = []
+    for k in kernels:
+        prologue.extend(k.prologue)
+        body.extend(k.body)
+        epilogue.extend(k.epilogue)
+    meta = dict(kernels[0].meta)
+    return KernelSequence(
+        name=name,
+        prologue=tuple(prologue),
+        body=tuple(body),
+        epilogue=tuple(epilogue),
+        meta=meta,
+    )

@@ -1,0 +1,321 @@
+"""Library kernel catalogs and edge-case tile planning (paper Table I).
+
+Each of the four libraries ships a characteristic set of micro-kernels and
+an edge-case policy:
+
+=============  =================  ========  ======================  =========
+library        assembly layers    unroll    mr x nr                 edges
+=============  =================  ========  ======================  =========
+OpenBLAS       layers 4-7         8         16x4 (also 8x8, 4x4)    power-of-2
+                                                                    edge kernels
+BLIS           layers 6-7         4         8x12                    zero padding
+BLASFEO        layers 6-7         4         16x4 (also 8x8)         zero padding
+Eigen          none (C++)         1         12x4                    scalar tail
+=============  =================  ========  ======================  =========
+
+:func:`tile_plan` turns an ``(mc, nc)`` macro-tile into micro-kernel
+invocations under the library's edge policy; the GEMM drivers multiply each
+invocation by its k-extent and the steady-state model to cost a GEBP call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..util.errors import KernelDesignError
+from ..util.validation import ceil_div, check_choice, check_positive_int
+from .generator import KernelSpec, edge_decomposition
+
+EDGE_POLICIES = ("pow2_kernels", "pad", "exact_scalar")
+
+
+@dataclass(frozen=True)
+class KernelCatalog:
+    """One library's kernel inventory and edge policy."""
+
+    library: str
+    main: KernelSpec
+    #: alternates the library could pick (documentation/Table-I fidelity)
+    alternates: Tuple[KernelSpec, ...]
+    edge_policy: str
+    #: Table I narrative fields
+    assembly_layers: str = ""
+
+    def __post_init__(self) -> None:
+        check_choice(self.edge_policy, EDGE_POLICIES, "edge_policy", KernelDesignError)
+
+    @property
+    def mr(self) -> int:
+        """Preferred tile rows."""
+        return self.main.mr
+
+    @property
+    def nr(self) -> int:
+        """Preferred tile columns."""
+        return self.main.nr
+
+
+def _scaled_mr(base_mr: int, lanes: int) -> int:
+    """Tile height scaled from the 4-lane fp32 NEON baseline.
+
+    The paper's Table I tiles are fp32 NEON kernels; libraries scale mr
+    with the vector length — down for fp64 (2 lanes), up for wider SIMD —
+    keeping the same number of vector rows per tile.
+    """
+    return max((base_mr * lanes) // 4, lanes)
+
+
+def openblas_catalog(lanes: int = 4) -> KernelCatalog:
+    """OpenBLAS ARMv8: 16x4 unroll-8 assembly main kernel, power-of-two
+    naive edge kernels (the Fig. 7 code)."""
+    return KernelCatalog(
+        library="openblas",
+        main=KernelSpec(_scaled_mr(16, lanes), 4, unroll=8, lanes=lanes,
+                        style="pipelined", label="openblas"),
+        alternates=(
+            KernelSpec(_scaled_mr(8, lanes), 8, unroll=8, lanes=lanes,
+                       style="pipelined", label="openblas"),
+            KernelSpec(_scaled_mr(4, lanes), 4, unroll=8, lanes=lanes,
+                       style="pipelined", label="openblas"),
+        ),
+        edge_policy="pow2_kernels",
+        assembly_layers="Layer 4-7",
+    )
+
+
+def blis_catalog(lanes: int = 4) -> KernelCatalog:
+    """BLIS ARMv8: a single 8x12 unroll-4 micro-kernel; edges are packed
+    with zero padding and run through the same kernel."""
+    return KernelCatalog(
+        library="blis",
+        main=KernelSpec(_scaled_mr(8, lanes), 12, unroll=4, lanes=lanes,
+                        style="pipelined", label="blis"),
+        alternates=(),
+        edge_policy="pad",
+        assembly_layers="Layer 6-7",
+    )
+
+
+def blasfeo_catalog(lanes: int = 4) -> KernelCatalog:
+    """BLASFEO: 16x4/8x8 unroll-4 kernels over panel-major operands; edges
+    are padded to the panel size ps."""
+    return KernelCatalog(
+        library="blasfeo",
+        main=KernelSpec(_scaled_mr(16, lanes), 4, unroll=4, lanes=lanes,
+                        style="pipelined", label="blasfeo"),
+        alternates=(
+            KernelSpec(_scaled_mr(8, lanes), 8, unroll=4, lanes=lanes,
+                       style="pipelined", label="blasfeo"),
+        ),
+        edge_policy="pad",
+        assembly_layers="Layer 6-7",
+    )
+
+
+def eigen_catalog(lanes: int = 4) -> KernelCatalog:
+    """Eigen: compiler-generated 12x4 GEBP (no assembly, unroll 1, no FP
+    contraction under strict semantics); edge tiles fall back to scalar
+    tail rows in the same compiled style."""
+    return KernelCatalog(
+        library="eigen",
+        main=KernelSpec(_scaled_mr(12, lanes), 4, unroll=1, lanes=lanes,
+                        style="compiled", contraction=False, label="eigen"),
+        alternates=(),
+        edge_policy="exact_scalar",
+        assembly_layers="none",
+    )
+
+
+def all_catalogs(lanes: int = 4) -> Dict[str, KernelCatalog]:
+    """All four library catalogs keyed by library name."""
+    cats = (
+        openblas_catalog(lanes),
+        blis_catalog(lanes),
+        blasfeo_catalog(lanes),
+        eigen_catalog(lanes),
+    )
+    return {c.library: c for c in cats}
+
+
+@dataclass(frozen=True)
+class TileInvocation:
+    """One micro-kernel call shape within a macro-tile plan.
+
+    ``rows``/``cols`` are the *useful* extents; ``padded_rows``/
+    ``padded_cols`` the computed extents (>= useful under padding).
+    ``calls`` is how many identical invocations the plan contains.
+    """
+
+    spec: KernelSpec
+    rows: int
+    cols: int
+    padded_rows: int
+    padded_cols: int
+    calls: int
+    #: set by the planner: this invocation covers an edge region
+    edge: bool = False
+
+    @property
+    def useful_flops_per_k(self) -> int:
+        """Useful flops per k-step across all calls."""
+        return 2 * self.rows * self.cols * self.calls
+
+    @property
+    def is_edge(self) -> bool:
+        """True when this invocation covers an edge region."""
+        return self.edge or (
+            self.padded_rows != self.rows or self.padded_cols != self.cols
+        )
+
+
+def _edge_specs_rows(
+    catalog: KernelCatalog, rem_m: int, nr: int
+) -> List[Tuple[KernelSpec, int, int]]:
+    """(spec, rows, padded_rows) pieces covering an M-edge of rem_m."""
+    main = catalog.main
+    if catalog.edge_policy == "pad":
+        return [(
+            main if rem_m == main.mr else
+            KernelSpec(rem_m, nr, unroll=main.unroll, lanes=main.lanes,
+                       style=main.style, contraction=main.contraction,
+                       pad_rows=True, label=main.label + "-pad"),
+            rem_m,
+            ceil_div(rem_m, main.lanes) * main.lanes,
+        )]
+    if catalog.edge_policy == "exact_scalar":
+        # scalar tail rows need one register per (row, column); when that
+        # cannot fit (wide-SIMD machines) the compiler would emit masked
+        # vector code, modeled as a padded tile
+        tail_rows = rem_m % main.lanes
+        tail_regs = (
+            (rem_m // main.lanes) * nr + tail_rows * nr + tail_rows + nr
+        )
+        must_pad = tail_rows > 0 and tail_regs > 30
+        return [(
+            KernelSpec(rem_m, nr, unroll=main.unroll, lanes=main.lanes,
+                       style=main.style, contraction=main.contraction,
+                       pad_rows=must_pad,
+                       label=main.label + "-edge"),
+            rem_m,
+            ceil_div(rem_m, main.lanes) * main.lanes if must_pad else rem_m,
+        )]
+    # pow2_kernels: decompose into power-of-two naive edge kernels.  When
+    # the all-scalar-row variant of a part cannot fit the register file
+    # (wide-SIMD machines), the library would use masked/predicated vectors
+    # instead — modeled as a padded vector kernel.
+    pieces = []
+    for part in edge_decomposition(rem_m, catalog.mr, powers_of_two=True):
+        # register demand of the all-scalar-row variant: one accumulator
+        # per (row, column) plus row and column staging
+        scalar_variant_regs = part * nr + part + nr
+        must_pad = part < main.lanes and scalar_variant_regs > 30
+        pieces.append((
+            KernelSpec(part, nr, unroll=max(1, main.unroll // 2),
+                       lanes=main.lanes, style="naive",
+                       pad_rows=must_pad,
+                       label=main.label + "-edge"),
+            part,
+            ceil_div(part, main.lanes) * main.lanes if must_pad else part,
+        ))
+    return pieces
+
+
+def _edge_cols(catalog: KernelCatalog, rem_n: int) -> List[Tuple[int, int]]:
+    """(cols, padded_cols) pieces covering an N-edge of rem_n."""
+    if rem_n == 0:
+        return []
+    if catalog.edge_policy == "pad":
+        return [(rem_n, catalog.nr)]
+    if catalog.edge_policy == "exact_scalar":
+        return [(rem_n, rem_n)]
+    # pow2_kernels: N edges use narrow kernels of power-of-two widths
+    return [
+        (part, part)
+        for part in edge_decomposition(rem_n, catalog.nr, powers_of_two=True)
+    ]
+
+
+def tile_plan(catalog: KernelCatalog, mc: int, nc: int) -> List[TileInvocation]:
+    """Micro-kernel invocations covering an (mc x nc) macro-tile.
+
+    The plan is exact: summing ``rows*cols*calls`` over the plan equals
+    ``mc*nc`` (verified by property tests), while padded extents model the
+    wasted work of the library's edge policy.
+    """
+    check_positive_int(mc, "mc", KernelDesignError)
+    check_positive_int(nc, "nc", KernelDesignError)
+    main = catalog.main
+    full_m, rem_m = divmod(mc, main.mr)
+    full_n, rem_n = divmod(nc, main.nr)
+
+    plan: List[TileInvocation] = []
+
+    def add(spec: KernelSpec, rows: int, prow: int, cols: int, pcol: int,
+            calls: int, edge: bool) -> None:
+        if calls <= 0:
+            return
+        if spec.nr != pcol:
+            spec = KernelSpec(
+                spec.mr, pcol, unroll=spec.unroll, lanes=spec.lanes,
+                style=spec.style, contraction=spec.contraction,
+                pad_rows=spec.pad_rows, b_layout=spec.b_layout,
+                label=spec.label,
+            )
+        plan.append(TileInvocation(
+            spec=spec, rows=rows, cols=cols,
+            padded_rows=prow, padded_cols=pcol, calls=calls, edge=edge,
+        ))
+
+    # full interior tiles
+    add(main, main.mr, main.mr, main.nr, main.nr, full_m * full_n, False)
+
+    # M-edge strip (bottom), full-width columns
+    if rem_m:
+        for spec, rows, prow in _edge_specs_rows(catalog, rem_m, main.nr):
+            add(spec, rows, prow, main.nr, main.nr, full_n, True)
+
+    # N-edge strip (right), full-height rows
+    if rem_n:
+        for cols, pcol in _edge_cols(catalog, rem_n):
+            if catalog.edge_policy == "pow2_kernels":
+                spec = KernelSpec(
+                    main.mr, cols, unroll=max(1, main.unroll // 2),
+                    lanes=main.lanes, style="naive",
+                    label=main.label + "-edge",
+                )
+                add(spec, main.mr, main.mr, cols, pcol, full_m, True)
+            else:
+                add(main, main.mr, main.mr, cols, pcol, full_m, True)
+
+    # corner (both edges)
+    if rem_m and rem_n:
+        for spec, rows, prow in _edge_specs_rows(catalog, rem_m, main.nr):
+            for cols, pcol in _edge_cols(catalog, rem_n):
+                add(spec, rows, prow, cols, pcol, 1, True)
+
+    return plan
+
+
+def plan_coverage(plan: Sequence[TileInvocation]) -> int:
+    """Total useful elements covered by ``plan`` (= mc*nc when exact)."""
+    return sum(inv.rows * inv.cols * inv.calls for inv in plan)
+
+
+def table1_rows() -> List[List[str]]:
+    """The paper's Table I as renderable rows."""
+    cats = all_catalogs()
+    order = ("openblas", "blis", "blasfeo", "eigen")
+    headers_to_specs = {
+        name: ([cats[name].main] + list(cats[name].alternates))
+        for name in order
+    }
+    rows = [
+        ["Layers of assembly"] + [cats[n].assembly_layers for n in order],
+        ["unrolling factor"] + [str(cats[n].main.unroll) for n in order],
+        ["mr x nr"] + [
+            ",".join(f"{s.mr}x{s.nr}" for s in headers_to_specs[n])
+            for n in order
+        ],
+    ]
+    return rows

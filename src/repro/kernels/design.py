@@ -1,0 +1,167 @@
+"""Micro-kernel design-space models (paper Sec. III-C, Eq. 4 and Eq. 5).
+
+A GEBP micro-kernel computes an ``mr x nr`` tile of C by rank-1 updates.
+Two analytic constraints govern the choice of ``(mr, nr)``:
+
+* **register constraint (Eq. 4)** — the accumulator tile plus staging
+  registers for A and B slivers must fit the 32-entry vector file::
+
+      ceil(mr/lanes) * nr + staging <= 32
+
+  The paper writes this as ``mr*nr/4 <= 32 - 2`` for 4-lane fp32 with one
+  staging register each for A and B; :func:`registers_needed` generalizes
+  to arbitrary lane counts and double buffering.
+
+* **compute-to-memory ratio (Eq. 5)** — ``CMR = 2*mr*nr / (mr + nr)``;
+  larger CMR means more flops amortize each loaded element, hence more
+  latency-hiding headroom.
+
+Additionally, the *latency constraint* (implicit in the paper's RAW-distance
+discussion) requires enough independent accumulator chains to saturate the
+FMA pipes: ``chains >= fma_ports * fma_latency``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..machine.config import CoreConfig
+from ..util.errors import KernelDesignError
+from ..util.validation import ceil_div, check_positive_int
+
+
+def accumulator_registers(mr: int, nr: int, lanes: int) -> int:
+    """Vector registers holding the mr x nr accumulator tile."""
+    check_positive_int(mr, "mr", KernelDesignError)
+    check_positive_int(nr, "nr", KernelDesignError)
+    check_positive_int(lanes, "lanes", KernelDesignError)
+    return ceil_div(mr, lanes) * nr
+
+
+def staging_registers(mr: int, nr: int, lanes: int, double_buffer: bool = False) -> int:
+    """Registers staging the A and B slivers for one k-step."""
+    per_step = ceil_div(mr, lanes) + ceil_div(nr, lanes)
+    return per_step * (2 if double_buffer else 1)
+
+
+def registers_needed(
+    mr: int, nr: int, lanes: int, double_buffer: bool = False
+) -> int:
+    """Total vector registers a straightforward mr x nr kernel needs."""
+    return accumulator_registers(mr, nr, lanes) + staging_registers(
+        mr, nr, lanes, double_buffer
+    )
+
+
+def satisfies_register_constraint(
+    mr: int,
+    nr: int,
+    lanes: int,
+    n_registers: int = 32,
+    double_buffer: bool = False,
+) -> bool:
+    """Paper Eq. 4 (generalized): does the tile fit the register file?"""
+    return registers_needed(mr, nr, lanes, double_buffer) <= n_registers
+
+
+def compute_to_memory_ratio(mr: int, nr: int) -> float:
+    """Paper Eq. 5: flops per loaded element of a rank-1 update step."""
+    check_positive_int(mr, "mr", KernelDesignError)
+    check_positive_int(nr, "nr", KernelDesignError)
+    return 2.0 * mr * nr / (mr + nr)
+
+
+def accumulator_chains(mr: int, nr: int, lanes: int) -> int:
+    """Independent loop-carried FMA chains of the tile (= accumulator regs)."""
+    return accumulator_registers(mr, nr, lanes)
+
+
+def satisfies_latency_constraint(
+    mr: int, nr: int, lanes: int, core: CoreConfig
+) -> bool:
+    """Enough chains to keep every FMA pipe busy despite its latency."""
+    needed = core.ports["fma"] * core.latencies["fma"]
+    return accumulator_chains(mr, nr, lanes) >= needed
+
+
+@dataclass(frozen=True)
+class TileDesign:
+    """One point of the (mr, nr) design space with its analytic figures."""
+
+    mr: int
+    nr: int
+    lanes: int
+    registers: int
+    cmr: float
+    chains: int
+    register_ok: bool
+    latency_ok: bool
+
+    @property
+    def feasible(self) -> bool:
+        """Meets both Eq. 4 and the latency constraint."""
+        return self.register_ok and self.latency_ok
+
+
+def evaluate_tile(mr: int, nr: int, lanes: int, core: CoreConfig) -> TileDesign:
+    """Analytic evaluation of one candidate tile."""
+    return TileDesign(
+        mr=mr,
+        nr=nr,
+        lanes=lanes,
+        registers=registers_needed(mr, nr, lanes),
+        cmr=compute_to_memory_ratio(mr, nr),
+        chains=accumulator_chains(mr, nr, lanes),
+        register_ok=satisfies_register_constraint(
+            mr, nr, lanes, core.vector_registers
+        ),
+        latency_ok=satisfies_latency_constraint(mr, nr, lanes, core),
+    )
+
+
+def enumerate_designs(
+    core: CoreConfig,
+    dtype,
+    max_mr: int = 32,
+    max_nr: int = 32,
+    mr_step: int = 1,
+    nr_step: int = 1,
+) -> List[TileDesign]:
+    """All tile designs up to (max_mr, max_nr), feasible or not."""
+    lanes = core.simd_lanes(dtype)
+    designs = []
+    for mr in range(mr_step, max_mr + 1, mr_step):
+        for nr in range(nr_step, max_nr + 1, nr_step):
+            designs.append(evaluate_tile(mr, nr, lanes, core))
+    return designs
+
+
+def best_tile(
+    core: CoreConfig,
+    dtype,
+    max_mr: int = 32,
+    max_nr: int = 32,
+    prefer_multiple_of: int = 0,
+    nr_multiple_of: int = 0,
+) -> TileDesign:
+    """The feasible tile maximizing CMR (ties: fewer registers, larger mr).
+
+    ``prefer_multiple_of`` restricts mr (and ``nr_multiple_of`` restricts
+    nr) to multiples of the SIMD width so both sliver loads stay aligned
+    full vectors.
+    """
+    lanes = core.simd_lanes(dtype)
+    base = prefer_multiple_of or 1
+    nbase = nr_multiple_of or 1
+    candidates = [
+        d
+        for d in enumerate_designs(core, dtype, max_mr, max_nr)
+        if d.feasible and d.mr % base == 0 and d.nr % nbase == 0
+    ]
+    if not candidates:
+        raise KernelDesignError(
+            f"no feasible tile for lanes={lanes} within "
+            f"({max_mr}, {max_nr}); relax the bounds"
+        )
+    return max(candidates, key=lambda d: (d.cmr, -d.registers, d.mr))

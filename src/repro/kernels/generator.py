@@ -1,0 +1,386 @@
+"""Micro-kernel generator: emits instruction sequences for mr x nr tiles.
+
+The generator covers the three code-quality regimes the paper contrasts:
+
+* ``pipelined`` — hand-optimized assembly quality (OpenBLAS/BLIS/BLASFEO
+  main kernels): vector loads for both slivers, lane-indexed ``fmla``,
+  double-buffered staging registers when the file has room;
+* ``naive`` — the *edge* micro-kernel quality the paper dissects in Fig. 7:
+  paired scalar loads for B, loads bunched immediately before their uses,
+  scalar fallback rows for tile heights below the SIMD width;
+* ``compiled`` — compiler-generated quality (Eigen): explicit address
+  arithmetic per load, broadcast via ``dup``, optional *uncontracted*
+  multiply-add (separate ``fmul`` + ``fadd``), unroll 1.
+
+Emitted kernels are plain :class:`~repro.isa.KernelSequence` objects; their
+performance characteristics (accumulator-chain counts, port pressure,
+dispatch overhead) come out of the pipeline scheduler — nothing here assigns
+cycle costs by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from ..isa.instructions import (
+    Instruction,
+    add_imm,
+    branch_nz,
+    dup,
+    fadd,
+    fmadd_scalar,
+    fmla,
+    fmul,
+    ldp_s,
+    ldr_q,
+    ldr_s,
+    movi_zero,
+    str_q,
+    str_s,
+    subs_imm,
+)
+from ..isa.registers import N_VECTOR_REGISTERS, vreg, xreg
+from ..isa.sequence import KernelSequence
+from ..util.errors import KernelDesignError
+from ..util.validation import ceil_div, check_choice, check_positive_int
+
+STYLES = ("pipelined", "naive", "compiled")
+B_LAYOUTS = ("packed", "strided")
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Everything that determines a generated micro-kernel."""
+
+    mr: int
+    nr: int
+    unroll: int = 4
+    lanes: int = 4
+    style: str = "pipelined"
+    #: True: fused multiply-add; False: separate fmul+fadd (no contraction)
+    contraction: bool = True
+    #: 'packed' B sliver (contiguous) or 'strided' (unpacked edge, Fig. 8)
+    b_layout: str = "packed"
+    #: True: round mr up to full SIMD vectors and compute the zero-padded
+    #: lanes (the BLIS/BLASFEO edge strategy); False: scalar tail rows
+    #: (the OpenBLAS edge-kernel strategy)
+    pad_rows: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.mr, "mr", KernelDesignError)
+        check_positive_int(self.nr, "nr", KernelDesignError)
+        check_positive_int(self.unroll, "unroll", KernelDesignError)
+        check_positive_int(self.lanes, "lanes", KernelDesignError)
+        check_choice(self.style, STYLES, "style", KernelDesignError)
+        check_choice(self.b_layout, B_LAYOUTS, "b_layout", KernelDesignError)
+
+    @property
+    def name(self) -> str:
+        """Stable human-readable identifier."""
+        base = self.label or "ukr"
+        flags = []
+        if not self.contraction:
+            flags.append("nofma")
+        if self.b_layout == "strided":
+            flags.append("bstrided")
+        if self.pad_rows:
+            flags.append("pad")
+        flag_txt = ("-" + "-".join(flags)) if flags else ""
+        return (
+            f"{base}-{self.mr}x{self.nr}-u{self.unroll}-l{self.lanes}"
+            f"-{self.style}{flag_txt}"
+        )
+
+
+class _RegisterBudget:
+    """Simple linear vector-register assignment for one kernel."""
+
+    def __init__(self) -> None:
+        self.next = 0
+
+    def take(self, count: int, what: str) -> List[str]:
+        if self.next + count > N_VECTOR_REGISTERS:
+            raise KernelDesignError(
+                f"kernel needs {self.next + count} vector registers for "
+                f"{what}; only {N_VECTOR_REGISTERS} exist (Eq. 4 violated)"
+            )
+        regs = [vreg(i) for i in range(self.next, self.next + count)]
+        self.next += count
+        return regs
+
+
+# scalar (x) register conventions used by all generated kernels
+_PA, _PB, _PC, _KCNT, _TMP0, _TMP1 = (
+    xreg(0),
+    xreg(1),
+    xreg(2),
+    xreg(3),
+    xreg(4),
+    xreg(5),
+)
+
+
+class MicroKernelGenerator:
+    """Generates and memoizes micro-kernels.
+
+    Memoization matters twice over: GEMM drivers request the same kernel for
+    every tile of every call, and the steady-state analyzer caches by object
+    identity.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[KernelSpec, KernelSequence] = {}
+
+    def generate(self, spec: KernelSpec) -> KernelSequence:
+        """The kernel for ``spec`` (cached)."""
+        hit = self._cache.get(spec)
+        if hit is None:
+            hit = _build_kernel(spec)
+            self._cache[spec] = hit
+        return hit
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+def _build_kernel(spec: KernelSpec) -> KernelSequence:
+    lanes = spec.lanes
+    if spec.pad_rows:
+        # padded edge strategy: compute ceil(mr/lanes) full vectors; the
+        # zero lanes do wasted (but counted-by-hardware) work
+        full_rows = ceil_div(spec.mr, lanes)
+        rem_rows = 0
+    else:
+        full_rows = spec.mr // lanes  # full vectors per A sliver
+        rem_rows = spec.mr % lanes  # scalar tail rows
+    budget = _RegisterBudget()
+
+    # Accumulators: one vector per (row-vector, column) plus one scalar acc
+    # per (tail-row, column).
+    acc_vec = [
+        budget.take(spec.nr, f"row-vector {i} accumulators")
+        for i in range(full_rows)
+    ]
+    acc_scalar = [
+        budget.take(spec.nr, f"tail-row {r} accumulators")
+        for r in range(rem_rows)
+    ]
+
+    # Staging registers.  Double-buffer in pipelined style when there is room.
+    a_vec_count = full_rows
+    a_sca_count = rem_rows
+    if spec.b_layout == "packed":
+        b_count = ceil_div(spec.nr, lanes) if spec.style != "naive" else spec.nr
+    else:
+        b_count = spec.nr
+    want_double = spec.style == "pipelined"
+    copies = 2 if want_double else 1
+    need = (a_vec_count + a_sca_count + b_count) * copies
+    if budget.next + need > N_VECTOR_REGISTERS:
+        copies = 1
+        need = a_vec_count + a_sca_count + b_count
+    a_vec_regs = [budget.take(a_vec_count, "A stage") for _ in range(copies)]
+    a_sca_regs = [budget.take(a_sca_count, "A tail stage") for _ in range(copies)]
+    b_regs = [budget.take(b_count, "B stage") for _ in range(copies)]
+    tmp_regs = (
+        budget.take(min(2, N_VECTOR_REGISTERS - budget.next), "fmul temps")
+        if not spec.contraction
+        else []
+    )
+    if not spec.contraction and not tmp_regs:
+        raise KernelDesignError(
+            f"{spec.name}: no registers left for uncontracted temporaries"
+        )
+
+    prologue: List[Instruction] = []
+    for regs in acc_vec:
+        prologue.extend(movi_zero(r, lanes) for r in regs)
+    for regs in acc_scalar:
+        prologue.extend(movi_zero(r, 1) for r in regs)
+
+    body: List[Instruction] = []
+    for step in range(spec.unroll):
+        buf = step % copies
+        body.extend(
+            _emit_kstep(
+                spec,
+                lanes,
+                acc_vec,
+                acc_scalar,
+                a_vec_regs[buf],
+                a_sca_regs[buf],
+                b_regs[buf],
+                tmp_regs,
+            )
+        )
+    body.append(subs_imm(_KCNT, _KCNT, 1))
+    body.append(branch_nz(_KCNT))
+
+    epilogue = _emit_epilogue(spec, lanes, acc_vec, acc_scalar)
+
+    return KernelSequence(
+        name=spec.name,
+        prologue=tuple(prologue),
+        body=tuple(body),
+        epilogue=tuple(epilogue),
+        meta={
+            "mr": spec.mr,
+            "nr": spec.nr,
+            "mr_padded": full_rows * lanes + rem_rows,
+            "unroll": spec.unroll,
+            "lanes": lanes,
+            "chains": len(acc_vec) * spec.nr + len(acc_scalar) * spec.nr,
+        },
+    )
+
+
+def _emit_kstep(
+    spec: KernelSpec,
+    lanes: int,
+    acc_vec: List[List[str]],
+    acc_scalar: List[List[str]],
+    a_vec: List[str],
+    a_sca: List[str],
+    b_regs: List[str],
+    tmp_regs: List[str],
+) -> List[Instruction]:
+    out: List[Instruction] = []
+    vec_bytes = 4 * lanes
+
+    # ---- B sliver loads ----
+    if spec.b_layout == "strided":
+        # unpacked edge: one scalar load per element behind its own address
+        # computation (paper Fig. 8, the "without packing" case)
+        for j, reg in enumerate(b_regs):
+            out.append(add_imm(_TMP0, _PB, 4 * j))
+            out.append(ldr_s(reg, _TMP0))
+    elif spec.style == "naive":
+        # Fig. 7 idiom: ldp pairs of scalars
+        for j in range(0, len(b_regs) - 1, 2):
+            out.append(ldp_s(b_regs[j], b_regs[j + 1], _PB))
+        if len(b_regs) % 2:
+            out.append(ldr_s(b_regs[-1], _PB))
+    else:
+        for j, reg in enumerate(b_regs):
+            if spec.style == "compiled":
+                out.append(add_imm(_TMP0, _PB, vec_bytes * j))
+                out.append(ldr_q(reg, _TMP0))
+            else:
+                out.append(ldr_q(reg, _PB, post_inc=vec_bytes))
+
+    # ---- A sliver loads ----
+    for i, reg in enumerate(a_vec):
+        if spec.style == "compiled":
+            out.append(add_imm(_TMP1, _PA, vec_bytes * i))
+            out.append(ldr_q(reg, _TMP1))
+        else:
+            out.append(ldr_q(reg, _PA, post_inc=vec_bytes))
+    for r, reg in enumerate(a_sca):
+        out.append(ldr_s(reg, _PA, offset=4 * (len(a_vec) * lanes + r)))
+
+    # ---- multiply-accumulate ----
+    def b_operand(j: int) -> Tuple[str, int]:
+        """Register and lane index holding B element j."""
+        if spec.b_layout == "packed" and spec.style not in ("naive",):
+            return b_regs[j // lanes], j % lanes
+        return b_regs[j], 0
+
+    for j in range(spec.nr):
+        breg, lane = b_operand(j)
+        for i, areg in enumerate(a_vec):
+            acc = acc_vec[i][j]
+            if spec.contraction:
+                out.append(fmla(acc, areg, breg, lane=lane, lanes=lanes))
+            else:
+                tmp = tmp_regs[(i + j) % len(tmp_regs)]
+                bcast = b_regs[j // lanes] if spec.b_layout == "packed" else breg
+                out.append(dup(tmp, bcast, lane=lane, lanes=lanes))
+                out.append(fmul(tmp, areg, tmp, lanes=lanes))
+                out.append(fadd(acc, acc, tmp, lanes=lanes))
+        for r, areg in enumerate(a_sca):
+            out.append(fmadd_scalar(acc_scalar[r][j], areg, breg))
+    return out
+
+
+def _emit_epilogue(
+    spec: KernelSpec,
+    lanes: int,
+    acc_vec: List[List[str]],
+    acc_scalar: List[List[str]],
+) -> List[Instruction]:
+    """C-tile update: load, accumulate, store (alpha folded into the adds)."""
+    out: List[Instruction] = []
+    vec_bytes = 4 * lanes
+    # one scratch vector register is re-used for the C traffic; renaming in
+    # the scheduler keeps the loads independent
+    c_tmp = vreg(N_VECTOR_REGISTERS - 1)
+    # with pad_rows, the last vector row may carry invalid lanes that must
+    # be copied out element-wise (the masked copy-out of a padded tile)
+    partial_lanes = spec.mr % lanes if (spec.pad_rows and spec.mr % lanes) else 0
+    offset = 0
+    for j in range(spec.nr):
+        for i in range(len(acc_vec)):
+            is_partial = partial_lanes and i == len(acc_vec) - 1
+            if is_partial:
+                for lane in range(partial_lanes):
+                    out.append(ldr_s(c_tmp, _PC, offset=offset))
+                    out.append(fmadd_scalar(c_tmp, acc_vec[i][j], acc_vec[i][j]))
+                    out.append(str_s(c_tmp, _PC, offset=offset))
+                    offset += 4
+            else:
+                out.append(ldr_q(c_tmp, _PC, offset=offset))
+                out.append(fadd(c_tmp, c_tmp, acc_vec[i][j], lanes=lanes))
+                out.append(str_q(c_tmp, _PC, offset=offset))
+                offset += vec_bytes
+        for r in range(len(acc_scalar)):
+            out.append(ldr_s(c_tmp, _PC, offset=offset))
+            out.append(fmadd_scalar(c_tmp, acc_scalar[r][j], acc_scalar[r][j]))
+            out.append(str_s(c_tmp, _PC, offset=offset))
+            offset += 4
+    return out
+
+
+def edge_decomposition(extent: int, tile: int, powers_of_two: bool = True) -> List[int]:
+    """Decompose an edge ``extent`` into sub-kernel heights.
+
+    OpenBLAS handles an M-edge of, say, 11 with its 8x·, 2x·, 1x· kernels;
+    this helper returns that decomposition (``[8, 2, 1]``).  With
+    ``powers_of_two=False`` the extent is returned whole (JIT-style exact
+    edge kernels).
+    """
+    check_positive_int(tile, "tile", KernelDesignError)
+    if extent < 0:
+        raise KernelDesignError(f"extent must be >= 0, got {extent}")
+    if extent == 0:
+        return []
+    if not powers_of_two:
+        return [extent]
+    parts: List[int] = []
+    remaining = extent
+    size = 1
+    while size * 2 <= min(tile, remaining):
+        size *= 2
+    while remaining:
+        while size > remaining:
+            size //= 2
+        parts.append(size)
+        remaining -= size
+    return parts
+
+
+def derive_edge_spec(spec: KernelSpec, mr: int, nr: int) -> KernelSpec:
+    """An edge variant of ``spec`` with a smaller tile, naive style.
+
+    Library edge kernels are the low-effort corners of the code base (the
+    paper's Fig. 7 complaint); modeling them as ``naive`` captures that.
+    """
+    return replace(
+        spec,
+        mr=mr,
+        nr=nr,
+        style="naive",
+        unroll=max(1, spec.unroll // 2),
+        label=(spec.label + "-edge") if spec.label else "edge",
+    )

@@ -1,0 +1,148 @@
+"""JIT-style adaptive kernel generation (paper Sec. IV, third feature).
+
+LIBXSMM-style small-GEMM libraries generate a bespoke kernel per input
+shape at run time.  :class:`JitKernelFactory` models that: given a machine
+and dtype it picks the best feasible main tile from the analytic design
+space (Eq. 4 + Eq. 5 + the latency constraint), and materializes exact-shape
+*optimized* edge kernels on demand — properly scheduled vector code with
+row padding, instead of the naive scalar edge kernels the paper criticizes
+in OpenBLAS (Fig. 7) or whole-tile padding in BLIS.
+
+The factory memoizes by shape, mirroring a JIT code cache; the kernel-cache
+hit statistics are part of the adaptive-codegen ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..machine.config import CoreConfig
+from ..util.errors import KernelDesignError
+from ..util.validation import check_positive_int
+from .design import best_tile, evaluate_tile
+from .generator import KernelSpec, MicroKernelGenerator
+
+
+@dataclass
+class JitStats:
+    """Code-cache statistics of a JIT factory."""
+
+    requests: int = 0
+    compiles: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits per request."""
+        if self.requests == 0:
+            return 0.0
+        return 1.0 - self.compiles / self.requests
+
+
+class JitKernelFactory:
+    """Generates optimal main and exact-shape edge kernels on demand."""
+
+    def __init__(
+        self,
+        core: CoreConfig,
+        dtype=np.float32,
+        unroll: int = 4,
+        max_mr: int = 0,
+        max_nr: int = 0,
+    ) -> None:
+        check_positive_int(unroll, "unroll", KernelDesignError)
+        self.core = core
+        self.dtype = np.dtype(dtype)
+        self.lanes = core.simd_lanes(dtype)
+        self.unroll = unroll
+        # default search bounds scale with the vector length so wide-SIMD
+        # machines still have a feasible lane-aligned design space
+        max_mr = max_mr or max(24, 6 * self.lanes)
+        max_nr = max_nr or max(24, 6 * self.lanes)
+        self._gen = MicroKernelGenerator()
+        self._spec_cache: Dict[Tuple[int, int], KernelSpec] = {}
+        self.stats = JitStats()
+        # mr must be a multiple of the vector length (full A vectors); nr
+        # only needs word alignment — B is broadcast lane-by-lane, and on
+        # wide-SIMD machines requiring nr % lanes == 0 would leave no
+        # feasible tile inside 32 registers
+        self._main = best_tile(
+            core, dtype, max_mr=max_mr, max_nr=max_nr,
+            prefer_multiple_of=self.lanes,
+            nr_multiple_of=min(self.lanes, 4),
+        )
+
+    @property
+    def main_spec(self) -> KernelSpec:
+        """The analytically best feasible main tile for this machine."""
+        return self.spec_for(self._main.mr, self._main.nr)
+
+    def spec_for(self, mr: int, nr: int) -> KernelSpec:
+        """The spec the JIT would emit for an (mr x nr) tile request."""
+        check_positive_int(mr, "mr", KernelDesignError)
+        check_positive_int(nr, "nr", KernelDesignError)
+        self.stats.requests += 1
+        key = (mr, nr)
+        spec = self._spec_cache.get(key)
+        if spec is None:
+            self.stats.compiles += 1
+            design = evaluate_tile(mr, nr, self.lanes, self.core)
+            if not design.register_ok:
+                raise KernelDesignError(
+                    f"JIT tile {mr}x{nr} violates the register constraint "
+                    f"(needs {design.registers} > "
+                    f"{self.core.vector_registers} registers)"
+                )
+            spec = KernelSpec(
+                mr,
+                nr,
+                unroll=self.unroll,
+                lanes=self.lanes,
+                style="pipelined",
+                pad_rows=(mr % self.lanes != 0),
+                label="jit",
+            )
+            self._spec_cache[key] = spec
+        return spec
+
+    def kernel_for(self, mr: int, nr: int):
+        """The generated :class:`KernelSequence` for an (mr x nr) tile."""
+        return self._gen.generate(self.spec_for(mr, nr))
+
+    def strided_main_spec(self) -> KernelSpec:
+        """Best main tile for *unpacked* B (strided scalar B loads).
+
+        A strided kernel stages every B element in its own register, so the
+        register constraint tightens: ``acc + a_stage + nr <= 32``.  The
+        packing-optional driver pays this smaller tile (worse CMR) when it
+        skips packing — one side of the Sec. IV trade-off.
+        """
+        lanes = self.lanes
+        best = None
+        for mr in range(lanes, 4 * lanes + 1, lanes):
+            a_stage = mr // lanes
+            for nr in range(1, 33):
+                regs = (mr // lanes) * nr + a_stage + nr
+                if regs > self.core.vector_registers:
+                    break
+                chains = (mr // lanes) * nr
+                if chains < self.core.ports["fma"] * self.core.latencies["fma"]:
+                    continue
+                cmr = 2.0 * mr * nr / (mr + nr)
+                key = (cmr, -regs)
+                if best is None or key > best[0]:
+                    best = (key, mr, nr)
+        if best is None:
+            raise KernelDesignError("no feasible strided tile")
+        _, mr, nr = best
+        return KernelSpec(
+            mr, nr, unroll=self.unroll, lanes=lanes, style="pipelined",
+            b_layout="strided", label="jit-nopack",
+        )
+
+    @property
+    def generator(self) -> MicroKernelGenerator:
+        """The underlying (shared) kernel generator."""
+        return self._gen

@@ -1,0 +1,25 @@
+"""Machine models: configuration dataclasses and concrete instances."""
+
+from .config import (
+    PORT_CLASSES,
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    NumaConfig,
+    dtype_itemsize,
+    machine_summary,
+)
+from .phytium import a64fx_like, graviton2_like, phytium2000plus
+
+__all__ = [
+    "PORT_CLASSES",
+    "CoreConfig",
+    "CacheConfig",
+    "NumaConfig",
+    "MachineConfig",
+    "dtype_itemsize",
+    "machine_summary",
+    "phytium2000plus",
+    "a64fx_like",
+    "graviton2_like",
+]

@@ -1,0 +1,287 @@
+"""Machine-model configuration dataclasses.
+
+The simulator is parameterized by a :class:`MachineConfig` describing one
+many-core processor: per-core pipeline resources (:class:`CoreConfig`), the
+cache hierarchy (:class:`CacheConfig` per level) and the NUMA topology
+(:class:`NumaConfig`).  The Phytium 2000+ instance used throughout the paper
+reproduction is built by :func:`repro.machine.phytium.phytium2000plus`; the
+dataclasses themselves are architecture-neutral so other ARMv8 parts (e.g.
+A64FX-like configurations) can be described for sensitivity studies.
+
+Units: sizes in bytes, frequencies in Hz, latencies in core cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+import numpy as np
+
+from ..util.errors import ConfigError
+from ..util.validation import (
+    check_positive_float,
+    check_positive_int,
+    check_power_of_two,
+    require,
+)
+
+#: Functional-unit classes the pipeline scheduler knows about.  Each
+#: instruction declares which port class it occupies for one cycle.
+PORT_CLASSES = ("fma", "alu", "load", "store", "branch")
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """One superscalar out-of-order core.
+
+    Models the resources the paper's analysis reasons about: dispatch width,
+    re-order-buffer capacity, the number of execution ports per class, the
+    SIMD register file, and instruction latencies.
+    """
+
+    name: str = "generic-armv8"
+    freq_hz: float = 2.2e9
+    dispatch_width: int = 4
+    rob_entries: int = 160
+    #: number of issue ports per functional-unit class
+    ports: Dict[str, int] = field(
+        default_factory=lambda: {"fma": 1, "alu": 2, "load": 2, "store": 1, "branch": 1}
+    )
+    #: result latency per instruction class (cycles, from issue to ready)
+    latencies: Dict[str, int] = field(
+        default_factory=lambda: {
+            "fma": 5,
+            "fmul": 5,
+            "fadd": 4,
+            "alu": 1,
+            "load": 3,  # L1 hit latency
+            "store": 1,
+            "branch": 1,
+            "dup": 3,
+        }
+    )
+    vector_registers: int = 32
+    vector_bits: int = 128
+    scalar_registers: int = 31  # x0-x30
+    #: out-of-order scheduling window: instruction i cannot issue before
+    #: instruction i - window has issued (models the finite issue queues —
+    #: the Xiaomi core has 16-entry Int and FP queues; 32 approximates the
+    #: union of the four queues)
+    scheduler_window: int = 32
+    #: instruction-cache capacity in bytes; bounds kernel unrolling
+    icache_bytes: int = 32 * 1024
+    #: approximate encoded size of one instruction (A64 is fixed 4 bytes)
+    instruction_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        check_positive_float(self.freq_hz, "freq_hz")
+        check_positive_int(self.dispatch_width, "dispatch_width")
+        check_positive_int(self.rob_entries, "rob_entries")
+        check_positive_int(self.scheduler_window, "scheduler_window")
+        check_positive_int(self.vector_registers, "vector_registers")
+        check_power_of_two(self.vector_bits, "vector_bits")
+        require(self.vector_bits >= 64, f"vector_bits too small: {self.vector_bits}")
+        for cls in PORT_CLASSES:
+            require(
+                cls in self.ports and self.ports[cls] >= 1,
+                f"port class {cls!r} missing or non-positive in ports={self.ports}",
+            )
+        for name, lat in self.latencies.items():
+            require(
+                isinstance(lat, int) and lat >= 1,
+                f"latency for {name!r} must be a positive int, got {lat!r}",
+            )
+
+    # -- derived quantities ------------------------------------------------
+
+    def simd_lanes(self, dtype) -> int:
+        """Number of elements of ``dtype`` per vector register."""
+        itemsize = np.dtype(dtype).itemsize
+        lanes = self.vector_bits // (8 * itemsize)
+        if lanes < 1:
+            raise ConfigError(
+                f"dtype {np.dtype(dtype)} wider than the {self.vector_bits}-bit "
+                "vector registers"
+            )
+        return lanes
+
+    def flops_per_cycle(self, dtype) -> float:
+        """Peak floating-point operations per cycle for ``dtype``.
+
+        One fused multiply-add per lane counts as two flops; all ``fma``
+        ports are assumed FMA-capable.
+        """
+        return 2.0 * self.simd_lanes(dtype) * self.ports["fma"]
+
+    def peak_gflops(self, dtype) -> float:
+        """Single-core peak in GFLOPS for ``dtype``."""
+        return self.flops_per_cycle(dtype) * self.freq_hz / 1e9
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level.
+
+    ``shared_by`` is the number of cores sharing one physical instance; the
+    Phytium 2000+ L2 is shared by the four cores of a core-pair cluster and
+    uses a non-LRU (pseudo-random) replacement policy, which the paper calls
+    out as a source of multi-threaded kernel inefficiency.
+    """
+
+    name: str
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 4
+    shared_by: int = 1
+    #: 'lru' or 'random'
+    replacement: str = "lru"
+    #: latency of a hit in this level, in core cycles
+    hit_latency: int = 3
+    #: write-allocate, write-back is assumed throughout
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.size_bytes, "size_bytes")
+        check_power_of_two(self.line_bytes, "line_bytes")
+        check_positive_int(self.associativity, "associativity")
+        check_positive_int(self.shared_by, "shared_by")
+        check_positive_int(self.hit_latency, "hit_latency")
+        require(
+            self.replacement in ("lru", "random"),
+            f"replacement must be 'lru' or 'random', got {self.replacement!r}",
+        )
+        n_sets, rem = divmod(self.size_bytes, self.line_bytes * self.associativity)
+        require(
+            rem == 0 and n_sets >= 1,
+            f"cache {self.name}: size {self.size_bytes} not divisible into "
+            f"{self.associativity}-way sets of {self.line_bytes}-byte lines",
+        )
+        require(
+            n_sets & (n_sets - 1) == 0,
+            f"cache {self.name}: set count {n_sets} must be a power of two",
+        )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass(frozen=True)
+class NumaConfig:
+    """Panel/NUMA topology.
+
+    Phytium 2000+ groups its 64 cores into eight panels; each panel owns a
+    DDR4 channel through its memory controller.  An access served by a
+    remote panel's controller pays ``remote_factor`` times the local DRAM
+    latency (directory hop through the DCUs).
+    """
+
+    panels: int = 8
+    cores_per_panel: int = 8
+    local_dram_latency: int = 150
+    remote_factor: float = 1.8
+    #: cycles for one hop of a tree barrier stage (used by the sync model)
+    barrier_stage_cycles: int = 450
+    #: sustainable DRAM bandwidth of one panel's memory controller, in
+    #: bytes per core cycle (DDR4-2400 single channel ~= 19.2 GB/s ~= 8.7
+    #: B/cycle at 2.2 GHz)
+    dram_bytes_per_cycle: float = 8.7
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.panels, "panels")
+        check_positive_int(self.cores_per_panel, "cores_per_panel")
+        check_positive_int(self.local_dram_latency, "local_dram_latency")
+        check_positive_float(self.remote_factor, "remote_factor")
+        check_positive_int(self.barrier_stage_cycles, "barrier_stage_cycles")
+        check_positive_float(self.dram_bytes_per_cycle, "dram_bytes_per_cycle")
+
+    @property
+    def total_cores(self) -> int:
+        """Total core count across panels."""
+        return self.panels * self.cores_per_panel
+
+    def panel_of(self, core_id: int) -> int:
+        """Panel index owning ``core_id``."""
+        if not 0 <= core_id < self.total_cores:
+            raise ConfigError(
+                f"core_id {core_id} out of range [0, {self.total_cores})"
+            )
+        return core_id // self.cores_per_panel
+
+    @property
+    def remote_dram_latency(self) -> int:
+        """Latency of a DRAM access served by a remote panel, in cycles."""
+        return int(round(self.local_dram_latency * self.remote_factor))
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A whole many-core processor: core model, caches, topology."""
+
+    core: CoreConfig
+    l1d: CacheConfig
+    l2: CacheConfig
+    numa: NumaConfig
+    name: str = "generic-manycore"
+
+    def __post_init__(self) -> None:
+        require(
+            self.l1d.shared_by == 1,
+            f"L1D must be private (shared_by=1), got {self.l1d.shared_by}",
+        )
+        require(
+            self.numa.total_cores % self.l2.shared_by == 0,
+            f"L2 sharing degree {self.l2.shared_by} must divide the core "
+            f"count {self.numa.total_cores}",
+        )
+
+    @property
+    def n_cores(self) -> int:
+        """Total number of cores."""
+        return self.numa.total_cores
+
+    def peak_gflops(self, dtype, n_cores: int = 1) -> float:
+        """Aggregate peak for ``n_cores`` cores in GFLOPS."""
+        check_positive_int(n_cores, "n_cores")
+        require(
+            n_cores <= self.n_cores,
+            f"n_cores {n_cores} exceeds machine core count {self.n_cores}",
+        )
+        return self.core.peak_gflops(dtype) * n_cores
+
+    def l2_cluster_of(self, core_id: int) -> int:
+        """Index of the L2 cluster (sharing group) owning ``core_id``."""
+        if not 0 <= core_id < self.n_cores:
+            raise ConfigError(f"core_id {core_id} out of range [0, {self.n_cores})")
+        return core_id // self.l2.shared_by
+
+    def with_core(self, **overrides) -> "MachineConfig":
+        """Copy of this machine with core parameters replaced."""
+        return replace(self, core=replace(self.core, **overrides))
+
+
+def dtype_itemsize(dtype) -> int:
+    """Byte width of a NumPy dtype (convenience for cost models)."""
+    return int(np.dtype(dtype).itemsize)
+
+
+def machine_summary(machine: MachineConfig) -> str:
+    """A human-readable multi-line description of ``machine``."""
+    core = machine.core
+    lines = [
+        f"machine {machine.name}",
+        f"  cores: {machine.n_cores} @ {core.freq_hz / 1e9:.1f} GHz "
+        f"({machine.numa.panels} panels x {machine.numa.cores_per_panel})",
+        f"  core: {core.dispatch_width}-wide dispatch, {core.rob_entries}-entry ROB, "
+        f"ports={core.ports}",
+        f"  simd: {core.vector_registers} x {core.vector_bits}-bit registers",
+        f"  L1D: {machine.l1d.size_bytes // 1024} KiB, "
+        f"{machine.l1d.associativity}-way {machine.l1d.replacement}",
+        f"  L2:  {machine.l2.size_bytes // 1024} KiB, "
+        f"{machine.l2.associativity}-way {machine.l2.replacement}, "
+        f"shared by {machine.l2.shared_by}",
+        f"  peak: {machine.peak_gflops(np.float32, machine.n_cores):.1f} GFLOPS fp32, "
+        f"{machine.peak_gflops(np.float64, machine.n_cores):.1f} GFLOPS fp64",
+    ]
+    return "\n".join(lines)

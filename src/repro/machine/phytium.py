@@ -1,0 +1,192 @@
+"""Concrete machine instances.
+
+:func:`phytium2000plus` encodes the Phytium 2000+ (FT-2000+/64) parameters
+the paper reports in Section II-A:
+
+* 64 ARMv8 "Xiaomi" cores at 2.2 GHz in eight panels of eight cores;
+* 4-decode/4-dispatch out-of-order core, 160-entry ROB;
+* scheduling queues 2x Integer/SIMD, 1x FP/SIMD (FMA-capable), 1x Load/Store
+  backed by two load units;
+* 32 x 128-bit vector registers;
+* private 32 KB L1D (LRU), 2 MB L2 shared by four cores (non-LRU);
+* peak 563.2 GFLOPS double precision = 64 cores x 2.2 GHz x 4 DP flops/cycle.
+
+The DP peak pins down one 128-bit FMA pipe per core (2 DP lanes x 2 flops),
+hence ``ports['fma'] = 1``; single precision doubles the lane count, giving
+8 SP flops/cycle/core and 1126.4 GFLOPS chip-wide.
+
+:func:`a64fx_like` is a second instance used only by sensitivity ablations;
+it is *not* a faithful A64FX model (no SVE), just a wider-vector data point.
+"""
+
+from __future__ import annotations
+
+from .config import CacheConfig, CoreConfig, MachineConfig, NumaConfig
+
+
+def phytium2000plus() -> MachineConfig:
+    """The Phytium 2000+ machine model used for every paper experiment."""
+    core = CoreConfig(
+        name="xiaomi-armv8",
+        freq_hz=2.2e9,
+        dispatch_width=4,
+        rob_entries=160,
+        ports={"fma": 1, "alu": 2, "load": 2, "store": 1, "branch": 1},
+        latencies={
+            "fma": 5,
+            "fmul": 5,
+            "fadd": 4,
+            "alu": 1,
+            "load": 3,
+            "store": 1,
+            "branch": 1,
+            "dup": 3,
+        },
+        vector_registers=32,
+        vector_bits=128,
+        scalar_registers=31,
+        icache_bytes=32 * 1024,
+    )
+    l1d = CacheConfig(
+        name="L1D",
+        size_bytes=32 * 1024,
+        line_bytes=64,
+        associativity=4,
+        shared_by=1,
+        replacement="lru",
+        hit_latency=3,
+    )
+    l2 = CacheConfig(
+        name="L2",
+        size_bytes=2 * 1024 * 1024,
+        line_bytes=64,
+        associativity=16,
+        shared_by=4,
+        replacement="random",
+        hit_latency=40,
+    )
+    numa = NumaConfig(
+        panels=8,
+        cores_per_panel=8,
+        local_dram_latency=150,
+        remote_factor=1.8,
+        barrier_stage_cycles=450,
+    )
+    return MachineConfig(core=core, l1d=l1d, l2=l2, numa=numa, name="phytium-2000+")
+
+
+def graviton2_like() -> MachineConfig:
+    """A Neoverse-N1-class 64-core data point (cloud ARM server).
+
+    Same NEON width as Phytium 2000+ but two FMA pipes, a private (LRU)
+    L2 per core and far more DRAM bandwidth — the configuration ablations
+    use it to ask which Phytium conclusions are microarchitectural and
+    which come from the memory system.
+    """
+    core = CoreConfig(
+        name="neoverse-n1-like",
+        freq_hz=2.5e9,
+        dispatch_width=4,
+        rob_entries=128,
+        ports={"fma": 2, "alu": 3, "load": 2, "store": 1, "branch": 1},
+        latencies={
+            "fma": 4,
+            "fmul": 4,
+            "fadd": 3,
+            "alu": 1,
+            "load": 4,
+            "store": 1,
+            "branch": 1,
+            "dup": 3,
+        },
+        vector_registers=32,
+        vector_bits=128,
+        scalar_registers=31,
+        scheduler_window=40,
+        icache_bytes=64 * 1024,
+    )
+    l1d = CacheConfig(
+        name="L1D",
+        size_bytes=64 * 1024,
+        line_bytes=64,
+        associativity=4,
+        shared_by=1,
+        replacement="lru",
+        hit_latency=4,
+    )
+    l2 = CacheConfig(
+        name="L2",
+        size_bytes=1024 * 1024,
+        line_bytes=64,
+        associativity=8,
+        shared_by=1,
+        replacement="lru",
+        hit_latency=11,
+    )
+    numa = NumaConfig(
+        panels=1,
+        cores_per_panel=64,
+        local_dram_latency=100,
+        remote_factor=1.0,
+        barrier_stage_cycles=250,
+        dram_bytes_per_cycle=80.0,  # 8-channel DDR4-3200 shared chip-wide
+    )
+    return MachineConfig(core=core, l1d=l1d, l2=l2, numa=numa,
+                         name="graviton2-like")
+
+
+def a64fx_like() -> MachineConfig:
+    """A wider-SIMD many-core data point for sensitivity ablations.
+
+    512-bit vectors, two FMA pipes, 48 cores in four groups — enough to ask
+    "do the paper's SMM conclusions survive a wider vector unit?", and
+    nothing more.
+    """
+    core = CoreConfig(
+        name="a64fx-like",
+        freq_hz=2.0e9,
+        dispatch_width=4,
+        rob_entries=128,
+        ports={"fma": 2, "alu": 2, "load": 2, "store": 1, "branch": 1},
+        latencies={
+            "fma": 9,
+            "fmul": 9,
+            "fadd": 5,
+            "alu": 1,
+            "load": 5,
+            "store": 1,
+            "branch": 1,
+            "dup": 4,
+        },
+        vector_registers=32,
+        vector_bits=512,
+        scalar_registers=31,
+        icache_bytes=64 * 1024,
+    )
+    l1d = CacheConfig(
+        name="L1D",
+        size_bytes=64 * 1024,
+        line_bytes=256,
+        associativity=4,
+        shared_by=1,
+        replacement="lru",
+        hit_latency=5,
+    )
+    l2 = CacheConfig(
+        name="L2",
+        size_bytes=8 * 1024 * 1024,
+        line_bytes=256,
+        associativity=16,
+        shared_by=12,
+        replacement="lru",
+        hit_latency=37,
+    )
+    numa = NumaConfig(
+        panels=4,
+        cores_per_panel=12,
+        local_dram_latency=120,
+        remote_factor=1.5,
+        barrier_stage_cycles=100,
+        dram_bytes_per_cycle=128.0,  # HBM-class per-group bandwidth
+    )
+    return MachineConfig(core=core, l1d=l1d, l2=l2, numa=numa, name="a64fx-like")

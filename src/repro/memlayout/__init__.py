@@ -1,0 +1,22 @@
+"""Matrix layouts, the simulated address space and NUMA placement."""
+
+from .addressspace import AddressSpace, Allocation
+from .matrix import MatrixHandle, bind, make_matrix
+from .panelmajor import (
+    PanelMajorMatrix,
+    conversion_element_moves,
+    from_panel_major,
+    to_panel_major,
+)
+
+__all__ = [
+    "AddressSpace",
+    "Allocation",
+    "MatrixHandle",
+    "make_matrix",
+    "bind",
+    "PanelMajorMatrix",
+    "to_panel_major",
+    "from_panel_major",
+    "conversion_element_moves",
+]

@@ -1,0 +1,84 @@
+"""A flat simulated address space with NUMA placement.
+
+The functional side of the reproduction computes on NumPy arrays; the cache
+simulator and the NUMA model additionally need *addresses*.  This module
+provides a bump allocator that assigns each buffer a base address, aligned
+and tagged with the panel (NUMA domain) that owns its memory, mimicking
+first-touch placement on Phytium 2000+.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..util.errors import LayoutError
+from ..util.validation import check_non_negative_int, check_positive_int, round_up
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One allocated buffer: address range plus owning NUMA panel."""
+
+    name: str
+    base: int
+    nbytes: int
+    panel: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte."""
+        return self.base + self.nbytes
+
+    def contains(self, addr: int) -> bool:
+        """True when ``addr`` falls inside this allocation."""
+        return self.base <= addr < self.end
+
+
+class AddressSpace:
+    """Bump allocator over a flat byte-addressed space."""
+
+    def __init__(self, alignment: int = 64) -> None:
+        check_positive_int(alignment, "alignment")
+        if alignment & (alignment - 1):
+            raise LayoutError(f"alignment must be a power of two, got {alignment}")
+        self.alignment = alignment
+        self._next = alignment  # keep address 0 unused as a guard
+        self._allocations: List[Allocation] = []
+        self._by_name: Dict[str, Allocation] = {}
+
+    def alloc(self, name: str, nbytes: int, panel: int = 0) -> Allocation:
+        """Allocate ``nbytes`` on NUMA ``panel``; names must be unique."""
+        check_positive_int(nbytes, "nbytes")
+        check_non_negative_int(panel, "panel")
+        if name in self._by_name:
+            raise LayoutError(f"allocation name {name!r} already in use")
+        base = round_up(self._next, self.alignment)
+        allocation = Allocation(name=name, base=base, nbytes=nbytes, panel=panel)
+        self._next = base + nbytes
+        self._allocations.append(allocation)
+        self._by_name[name] = allocation
+        return allocation
+
+    def lookup(self, name: str) -> Allocation:
+        """Allocation registered under ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise LayoutError(f"no allocation named {name!r}") from exc
+
+    def owner_of(self, addr: int) -> Allocation:
+        """Allocation covering ``addr`` (linear scan; diagnostics only)."""
+        for allocation in self._allocations:
+            if allocation.contains(addr):
+                return allocation
+        raise LayoutError(f"address {addr:#x} is not allocated")
+
+    @property
+    def bytes_allocated(self) -> int:
+        """Total bytes handed out."""
+        return sum(a.nbytes for a in self._allocations)
+
+    def panel_of(self, addr: int) -> int:
+        """NUMA panel owning ``addr``."""
+        return self.owner_of(addr).panel

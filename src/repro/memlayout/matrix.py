@@ -1,0 +1,103 @@
+"""Matrix handles: a NumPy payload plus simulated placement metadata.
+
+GEMM drivers compute on the NumPy array (functional correctness) while the
+performance model consults the handle's storage order and NUMA placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..util.errors import LayoutError
+from .addressspace import AddressSpace, Allocation
+
+_ORDERS = ("col", "row")
+
+
+@dataclass
+class MatrixHandle:
+    """A dense operand with layout and placement metadata."""
+
+    array: np.ndarray
+    order: str = "col"
+    #: NUMA panel whose memory controller owns the pages (first touch)
+    home_panel: int = 0
+    allocation: Optional[Allocation] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.array.ndim != 2:
+            raise LayoutError(f"matrix must be 2-D, got ndim={self.array.ndim}")
+        if self.order not in _ORDERS:
+            raise LayoutError(f"order must be one of {_ORDERS}, got {self.order!r}")
+        want_flag = "F_CONTIGUOUS" if self.order == "col" else "C_CONTIGUOUS"
+        if not self.array.flags[want_flag]:
+            raise LayoutError(
+                f"array is not {self.order}-major contiguous; pass "
+                f"np.asarray(a, order={'F' if self.order == 'col' else 'C'!r})"
+            )
+
+    @property
+    def rows(self) -> int:
+        """Row count (M or K)."""
+        return int(self.array.shape[0])
+
+    @property
+    def cols(self) -> int:
+        """Column count (K or N)."""
+        return int(self.array.shape[1])
+
+    @property
+    def itemsize(self) -> int:
+        """Element width in bytes."""
+        return int(self.array.dtype.itemsize)
+
+    @property
+    def leading_dim(self) -> int:
+        """BLAS leading dimension (contiguous extent)."""
+        return self.rows if self.order == "col" else self.cols
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size."""
+        return int(self.array.nbytes)
+
+    def element_address(self, i: int, j: int) -> int:
+        """Simulated byte address of element ``(i, j)``.
+
+        Requires the handle to be bound to an :class:`AddressSpace`
+        allocation (see :func:`bind`).
+        """
+        if self.allocation is None:
+            raise LayoutError("matrix is not bound to an address space")
+        if not (0 <= i < self.rows and 0 <= j < self.cols):
+            raise LayoutError(
+                f"index ({i}, {j}) out of range for {self.rows}x{self.cols}"
+            )
+        if self.order == "col":
+            offset = j * self.rows + i
+        else:
+            offset = i * self.cols + j
+        return self.allocation.base + offset * self.itemsize
+
+
+def make_matrix(
+    array: np.ndarray,
+    order: str = "col",
+    home_panel: int = 0,
+) -> MatrixHandle:
+    """Wrap ``array`` (copying into the requested order if needed)."""
+    np_order = "F" if order == "col" else "C"
+    payload = np.asarray(array, order=np_order)
+    return MatrixHandle(array=payload, order=order, home_panel=home_panel)
+
+
+def bind(
+    handle: MatrixHandle, space: AddressSpace, name: str
+) -> MatrixHandle:
+    """Assign the handle a base address on its home panel."""
+    allocation = space.alloc(name, handle.nbytes, panel=handle.home_panel)
+    handle.allocation = allocation
+    return handle

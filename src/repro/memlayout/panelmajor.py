@@ -1,0 +1,115 @@
+"""BLASFEO's panel-major storage format (paper Fig. 3).
+
+A panel-major matrix is split into horizontal panels of a fixed height
+``ps``; inside each panel the elements are stored column by column, so one
+panel column (``ps`` contiguous elements) is exactly one SIMD-friendly
+sliver.  Element ``(i, j)`` lives at::
+
+    panel = i // ps
+    offset = panel * (ps * padded_cols) + j * ps + (i % ps)
+
+The last panel is zero-padded to ``ps`` rows.  Because the format already
+*is* the micro-kernel's input layout, BLASFEO needs no packing step inside
+GEMM — the core reason it dominates the paper's single-threaded SMM results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.errors import LayoutError
+from ..util.validation import ceil_div, check_positive_int
+
+
+@dataclass
+class PanelMajorMatrix:
+    """An (rows x cols) matrix held in panel-major storage."""
+
+    rows: int
+    cols: int
+    ps: int
+    #: backing store, shape (n_panels * ps, cols); rows beyond ``rows`` are 0
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.ps, "ps", LayoutError)
+        if self.rows < 0 or self.cols < 0:
+            raise LayoutError(f"invalid shape {self.rows}x{self.cols}")
+        expected_rows = ceil_div(max(self.rows, 1), self.ps) * self.ps
+        if self.data.shape != (expected_rows, self.cols):
+            raise LayoutError(
+                f"backing store shape {self.data.shape} != expected "
+                f"({expected_rows}, {self.cols})"
+            )
+
+    @property
+    def n_panels(self) -> int:
+        """Number of ps-row panels (including the padded tail panel)."""
+        return self.data.shape[0] // self.ps
+
+    @property
+    def padded_rows(self) -> int:
+        """Row count including tail padding."""
+        return self.data.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Backing-store size in bytes."""
+        return self.data.nbytes
+
+    def panel(self, index: int) -> np.ndarray:
+        """View of panel ``index`` (shape (ps, cols))."""
+        if not 0 <= index < self.n_panels:
+            raise LayoutError(f"panel {index} out of range [0, {self.n_panels})")
+        return self.data[index * self.ps : (index + 1) * self.ps, :]
+
+    def sliver(self, panel_index: int, col: int) -> np.ndarray:
+        """One contiguous panel column (ps elements)."""
+        if not 0 <= col < self.cols:
+            raise LayoutError(f"column {col} out of range [0, {self.cols})")
+        return self.panel(panel_index)[:, col]
+
+    def to_dense(self, order: str = "F") -> np.ndarray:
+        """The logical (rows x cols) matrix as a dense array."""
+        return np.asarray(self.data[: self.rows, :], order=order).copy(order=order)
+
+    def element_offset(self, i: int, j: int) -> int:
+        """Linear element offset of ``(i, j)`` in the flat panel-major buffer."""
+        if not (0 <= i < self.rows and 0 <= j < self.cols):
+            raise LayoutError(
+                f"index ({i}, {j}) out of range for {self.rows}x{self.cols}"
+            )
+        panel = i // self.ps
+        return panel * (self.ps * self.cols) + j * self.ps + (i % self.ps)
+
+
+def to_panel_major(dense: np.ndarray, ps: int) -> PanelMajorMatrix:
+    """Convert a dense matrix to panel-major storage (the format-conversion
+    step BLASFEO performs once, *outside* the GEMM hot path)."""
+    check_positive_int(ps, "ps", LayoutError)
+    if dense.ndim != 2:
+        raise LayoutError(f"expected a 2-D matrix, got ndim={dense.ndim}")
+    rows, cols = dense.shape
+    padded = ceil_div(max(rows, 1), ps) * ps
+    data = np.zeros((padded, cols), dtype=dense.dtype)
+    data[:rows, :] = dense
+    return PanelMajorMatrix(rows=rows, cols=cols, ps=ps, data=data)
+
+
+def from_panel_major(pm: PanelMajorMatrix, order: str = "F") -> np.ndarray:
+    """Inverse of :func:`to_panel_major`."""
+    return pm.to_dense(order=order)
+
+
+def conversion_element_moves(rows: int, cols: int, ps: int) -> int:
+    """Element copies needed to convert to panel-major (cost accounting).
+
+    Every logical element moves exactly once; padded tail rows are zeroed,
+    which we charge as stores too.
+    """
+    if rows < 0 or cols < 0:
+        raise LayoutError(f"invalid shape {rows}x{cols}")
+    padded = ceil_div(max(rows, 1), ps) * ps
+    return padded * cols

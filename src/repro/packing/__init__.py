@@ -1,0 +1,16 @@
+"""Packing: functional pack/unpack routines and their cost model."""
+
+from .cost import PackingCostModel, pack_loop_kernel
+from .pack import PackedBlock, a_sliver, b_sliver, pack_a, pack_b, unpack_a, unpack_b
+
+__all__ = [
+    "PackedBlock",
+    "pack_a",
+    "pack_b",
+    "unpack_a",
+    "unpack_b",
+    "a_sliver",
+    "b_sliver",
+    "PackingCostModel",
+    "pack_loop_kernel",
+]

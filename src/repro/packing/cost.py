@@ -1,0 +1,115 @@
+"""Packing cost model, grounded in the pipeline scheduler.
+
+A packing loop is itself a small kernel: load a run of source elements,
+store them into the panel buffer, advance pointers.  Rather than assigning
+per-element costs by hand, we synthesize the two archetypal packing loop
+bodies and measure their steady-state throughput on the core model:
+
+* ``contiguous`` — the walk follows source storage order: full vector loads
+  and stores (e.g. packing B column slivers from column-major B);
+* ``strided``   — the walk crosses the leading dimension: scalar gathers
+  with address arithmetic feeding vector stores (e.g. packing A row slivers
+  from column-major A).
+
+Cache stalls (from :class:`repro.caches.GebpCacheModel`) enter through the
+scheduler's ``extra_load_cycles``, the same composition used for compute
+kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..caches.model import GebpCacheModel
+from ..isa.instructions import add_imm, branch_nz, ldr_q, ldr_s, str_q, subs_imm
+from ..isa.registers import vreg, xreg
+from ..isa.sequence import KernelSequence
+from ..machine.config import CoreConfig
+from ..pipeline.steady import SteadyStateAnalyzer
+from ..util.errors import ConfigError
+from ..util.validation import ceil_div, check_positive_int
+
+_SRC, _DST, _CNT, _TMP = xreg(0), xreg(1), xreg(2), xreg(3)
+
+
+def pack_loop_kernel(contiguous: bool, lanes: int = 4, unroll: int = 4) -> KernelSequence:
+    """The packing loop body; meta['elements'] = elements moved per iteration."""
+    check_positive_int(lanes, "lanes", ConfigError)
+    check_positive_int(unroll, "unroll", ConfigError)
+    body = []
+    vec_bytes = 4 * lanes
+    for u in range(unroll):
+        v = vreg(u % 4)
+        if contiguous:
+            body.append(ldr_q(v, _SRC, post_inc=vec_bytes))
+        else:
+            # gather: one scalar load per lane, each behind its own address
+            for lane in range(lanes):
+                body.append(add_imm(_TMP, _SRC, lane))
+                body.append(ldr_s(vreg(4 + lane % 4), _TMP))
+        body.append(str_q(v, _DST, offset=u * vec_bytes))
+    body.append(subs_imm(_CNT, _CNT, 1))
+    body.append(branch_nz(_CNT))
+    name = f"pack-{'seq' if contiguous else 'strided'}-l{lanes}-u{unroll}"
+    return KernelSequence(
+        name=name,
+        prologue=(),
+        body=tuple(body),
+        epilogue=(),
+        meta={"mr": 1, "nr": 1, "unroll": unroll, "elements": unroll * lanes},
+    )
+
+
+class PackingCostModel:
+    """Cycles to pack an operand, given source layout and residency."""
+
+    def __init__(
+        self,
+        core: CoreConfig,
+        cache_model: GebpCacheModel,
+        lanes: int = 4,
+    ) -> None:
+        self.core = core
+        self.cache_model = cache_model
+        self.lanes = lanes
+        self._analyzer = SteadyStateAnalyzer(core)
+        self._kernels: Dict[bool, KernelSequence] = {
+            True: pack_loop_kernel(True, lanes),
+            False: pack_loop_kernel(False, lanes),
+        }
+
+    def pack_cycles(
+        self,
+        rows: int,
+        cols: int,
+        itemsize: int,
+        source_contiguous: bool,
+        source_resident: str = "mem",
+        padded_elements: int = 0,
+        cache_model: GebpCacheModel = None,
+    ) -> Tuple[float, int]:
+        """(cycles, element_moves) for packing a rows x cols operand.
+
+        ``padded_elements`` overrides the element count when the packing
+        loop also writes zero fill (padding to full slivers).
+        ``cache_model`` overrides the bound model (multithreaded runs pass
+        one configured with L2 sharing / NUMA remote fractions).
+        """
+        if rows <= 0 or cols <= 0:
+            return 0.0, 0
+        elements = padded_elements or rows * cols
+        model = cache_model if cache_model is not None else self.cache_model
+        phase = model.packing_phase(
+            rows, cols, itemsize, source_contiguous, source_resident
+        )
+        kernel = self._kernels[source_contiguous]
+        state = self._analyzer.analyze(kernel)
+        iters = ceil_div(elements, int(kernel.meta["elements"]))
+        # A packing loop has no dependent consumers: its loads overlap each
+        # other completely in the scheduler, so memory time must be charged
+        # at the stream level — loop throughput plus the unhidden part of
+        # the line-fill traffic, floored by the core's share of the DRAM
+        # channels (packing IS the bandwidth-heavy phase of GEMM).
+        cycles = iters * state.cycles_per_iter + phase.stall_cycles
+        cycles = max(cycles, model.dram_floor_cycles(phase))
+        return cycles, elements

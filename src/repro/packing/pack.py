@@ -1,0 +1,111 @@
+"""Functional packing routines (paper Fig. 2).
+
+Goto-style GEMM packs the current A block into row slivers of height ``mr``
+(buffer A-tilde) and the current B panel into column slivers of width ``nr``
+(buffer B-tilde), both zero-padded to full slivers.  These routines perform
+the *actual* data movement with NumPy so the drivers compute GEMM from the
+packed buffers exactly the way the libraries do; the element-move counts
+feed the packing cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.errors import LayoutError
+from ..util.validation import ceil_div, check_positive_int
+
+
+@dataclass(frozen=True)
+class PackedBlock:
+    """A packed operand buffer plus its bookkeeping.
+
+    ``data`` is the zero-padded buffer; ``rows``/``cols`` are the useful
+    extents; ``sliver`` is the panel height (A) or width (B);
+    ``element_moves`` counts the loads+stores the packing loop performed
+    (padded extent, because the zero fill is real work too).
+    """
+
+    data: np.ndarray
+    rows: int
+    cols: int
+    sliver: int
+    element_moves: int
+
+    @property
+    def padded_rows(self) -> int:
+        """Row extent of the buffer."""
+        return int(self.data.shape[0])
+
+    @property
+    def padded_cols(self) -> int:
+        """Column extent of the buffer."""
+        return int(self.data.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        """Buffer size in bytes."""
+        return int(self.data.nbytes)
+
+
+def pack_a(block: np.ndarray, mr: int) -> PackedBlock:
+    """Pack an (mc x kc) A block into mr-row slivers (zero-padded).
+
+    The returned buffer has shape (ceil(mc/mr)*mr, kc); sliver ``i`` is
+    ``data[i*mr:(i+1)*mr, :]`` and is contiguous in the real layout (here
+    contiguity is modeled, correctness is exact).
+    """
+    check_positive_int(mr, "mr", LayoutError)
+    if block.ndim != 2:
+        raise LayoutError(f"A block must be 2-D, got ndim={block.ndim}")
+    mc, kc = block.shape
+    padded = ceil_div(max(mc, 1), mr) * mr
+    data = np.zeros((padded, kc), dtype=block.dtype)
+    data[:mc, :] = block
+    return PackedBlock(
+        data=data, rows=mc, cols=kc, sliver=mr, element_moves=padded * kc
+    )
+
+
+def pack_b(panel: np.ndarray, nr: int) -> PackedBlock:
+    """Pack a (kc x nc) B panel into nr-column slivers (zero-padded)."""
+    check_positive_int(nr, "nr", LayoutError)
+    if panel.ndim != 2:
+        raise LayoutError(f"B panel must be 2-D, got ndim={panel.ndim}")
+    kc, nc = panel.shape
+    padded = ceil_div(max(nc, 1), nr) * nr
+    data = np.zeros((kc, padded), dtype=panel.dtype)
+    data[:, :nc] = panel
+    return PackedBlock(
+        data=data, rows=kc, cols=nc, sliver=nr, element_moves=kc * padded
+    )
+
+
+def unpack_a(packed: PackedBlock) -> np.ndarray:
+    """Recover the original A block (drops padding)."""
+    return packed.data[: packed.rows, :].copy()
+
+
+def unpack_b(packed: PackedBlock) -> np.ndarray:
+    """Recover the original B panel (drops padding)."""
+    return packed.data[:, : packed.cols].copy()
+
+
+def a_sliver(packed: PackedBlock, index: int) -> np.ndarray:
+    """The mr-row sliver ``index`` of a packed A buffer."""
+    mr = packed.sliver
+    n = packed.padded_rows // mr
+    if not 0 <= index < n:
+        raise LayoutError(f"A sliver {index} out of range [0, {n})")
+    return packed.data[index * mr : (index + 1) * mr, :]
+
+
+def b_sliver(packed: PackedBlock, index: int) -> np.ndarray:
+    """The nr-column sliver ``index`` of a packed B buffer."""
+    nr = packed.sliver
+    n = packed.padded_cols // nr
+    if not 0 <= index < n:
+        raise LayoutError(f"B sliver {index} out of range [0, {n})")
+    return packed.data[:, index * nr : (index + 1) * nr]

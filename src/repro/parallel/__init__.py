@@ -1,0 +1,25 @@
+"""Simulated multithreading: partitioning, synchronization, execution."""
+
+from .executor import MultithreadedGemm, ThreadTopology
+from .partition import (
+    BlisFactorization,
+    blis_factorization,
+    blis_factorization_scored,
+    grid_partition,
+    openblas_partition,
+    split_even,
+)
+from .sync import barrier_cycles, sync_points_per_iteration
+
+__all__ = [
+    "MultithreadedGemm",
+    "ThreadTopology",
+    "split_even",
+    "openblas_partition",
+    "grid_partition",
+    "blis_factorization",
+    "blis_factorization_scored",
+    "BlisFactorization",
+    "barrier_cycles",
+    "sync_points_per_iteration",
+]

@@ -1,0 +1,182 @@
+"""Work partitioning schemes (paper Sec. III-D).
+
+* :func:`split_even` — balanced 1-D chunking.
+* :func:`openblas_partition` — OpenBLAS's scheme as the paper describes it:
+  the C task grid is split along M across *all* threads ("all the sub-tasks
+  in the same row are assigned to the same thread"; its M=128/64-thread
+  example yields per-thread workloads of ``mc/64 x nc x kc``).  For small M
+  most threads receive slivers thinner than mr — or nothing at all.
+* :func:`grid_partition` — a balanced 2-D grid (the Eigen model).
+* :func:`blis_factorization` — BLIS's multi-dimensional parallelism: the
+  thread count is factorized over the jc/ic/jr loops, *refusing to
+  parallelize a dimension that is too small*, minimizing predicted edge
+  waste and synchronization span.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..util.errors import ParallelError
+from ..util.validation import ceil_div, check_positive_int
+
+
+def split_even(extent: int, parts: int) -> List[int]:
+    """Split ``extent`` into ``parts`` non-negative chunks, balanced.
+
+    The first ``extent % parts`` chunks get the extra element.  Chunks may
+    be zero when parts > extent (idle threads — a real phenomenon the
+    OpenBLAS small-M analysis depends on).
+    """
+    check_positive_int(parts, "parts", ParallelError)
+    if extent < 0:
+        raise ParallelError(f"extent must be >= 0, got {extent}")
+    base, extra = divmod(extent, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+def openblas_partition(m: int, n: int, threads: int) -> List[Tuple[int, int]]:
+    """Per-thread (m_chunk, n_chunk) under the OpenBLAS scheme (1-D over M)."""
+    check_positive_int(threads, "threads", ParallelError)
+    return [(mi, n) for mi in split_even(m, threads)]
+
+
+def grid_partition(m: int, n: int, threads: int) -> List[Tuple[int, int]]:
+    """Per-thread (m_chunk, n_chunk) on a balanced 2-D grid.
+
+    Chooses the factorization tm x tn = threads with tm/tn closest to the
+    m/n aspect ratio.
+    """
+    check_positive_int(threads, "threads", ParallelError)
+    best = None
+    for tm in _divisors(threads):
+        tn = threads // tm
+        score = abs(math.log((m / tm) / max(n / tn, 1e-9)))
+        if best is None or score < best[0]:
+            best = (score, tm, tn)
+    _, tm, tn = best
+    m_chunks = split_even(m, tm)
+    n_chunks = split_even(n, tn)
+    return [(mi, nj) for mi in m_chunks for nj in n_chunks]
+
+
+@dataclass(frozen=True)
+class BlisFactorization:
+    """Thread counts assigned to the parallelizable loops."""
+
+    jc: int  # Layer-1 jj loop (N, outer)
+    ic: int  # Layer-3 ii loop (M)
+    jr: int  # Layer-4 j loop (N, within a GEBP)
+    ir: int = 1  # Layer-5 i loop (rarely used)
+
+    @property
+    def threads(self) -> int:
+        """Total thread count."""
+        return self.jc * self.ic * self.jr * self.ir
+
+    @property
+    def pack_b_group(self) -> int:
+        """Threads cooperating on (and synchronizing after) one B-panel pack."""
+        return self.ic * self.jr * self.ir
+
+    @property
+    def pack_a_group(self) -> int:
+        """Threads cooperating on one A-block pack."""
+        return self.jr * self.ir
+
+
+def _divisors(x: int) -> List[int]:
+    return [d for d in range(1, x + 1) if x % d == 0]
+
+
+def blis_factorization(
+    m: int,
+    n: int,
+    threads: int,
+    mr: int,
+    nr: int,
+    min_tile_multiples: int = 2,
+    max_sync_group: int = 8,
+) -> BlisFactorization:
+    """Choose (jc, ic, jr) the way the paper describes BLIS doing it.
+
+    Rule-based, mirroring Sec. III-D:
+
+    1. *Do not parallelize a small dimension*: pick the largest divisor
+       ``ic`` of ``threads`` keeping at least ``min_tile_multiples`` mr-tiles
+       of M per thread (M=64 with 64 threads must not end at mc=mr=1).
+    2. Split the remaining threads between jr (inner, shares one packed B
+       panel — better locality) and jc (outer), keeping the pack-B barrier
+       group ``ic*jr`` at or below ``max_sync_group`` so synchronization
+       stays fine-grained (the paper's M=128 example: 8 threads per sync).
+    3. Never fragment N below ``min_tile_multiples`` nr-tiles per thread.
+    """
+    check_positive_int(threads, "threads", ParallelError)
+    check_positive_int(mr, "mr", ParallelError)
+    check_positive_int(nr, "nr", ParallelError)
+    if m <= 0 or n <= 0:
+        raise ParallelError(f"invalid problem extents {m}x{n}")
+
+    ic = 1
+    for cand in _divisors(threads):
+        if m // cand >= min_tile_multiples * mr:
+            ic = cand
+    rest = threads // ic
+
+    jr = 1
+    for cand in _divisors(rest):
+        group = ic * cand
+        jc = rest // cand
+        if group > max_sync_group:
+            continue
+        if n // (jc * cand) < min_tile_multiples * nr:
+            continue
+        jr = cand
+    jc = rest // jr
+    # when N cannot feed all jc*jr column workers some simply receive empty
+    # chunks (idle threads), exactly like the real runtime
+    return BlisFactorization(jc=jc, ic=ic, jr=jr)
+
+
+def blis_factorization_scored(
+    m: int,
+    n: int,
+    threads: int,
+    mr: int,
+    nr: int,
+    min_tile_multiples: int = 1,
+) -> BlisFactorization:
+    """Score-based alternative factorizer (used by the parallelization
+    ablation benchmark to contrast with the paper's rule-based choice).
+
+    Minimizes predicted edge waste, then synchronization span, then load
+    imbalance over all divisor triples.
+    """
+    check_positive_int(threads, "threads", ParallelError)
+    check_positive_int(mr, "mr", ParallelError)
+    check_positive_int(nr, "nr", ParallelError)
+    best: Tuple[float, BlisFactorization] = None
+    for jc in _divisors(threads):
+        rest = threads // jc
+        for ic in _divisors(rest):
+            jr = rest // ic
+            fact = BlisFactorization(jc=jc, ic=ic, jr=jr)
+            m_per = m / ic
+            n_per = n / (jc * jr)
+            waste = 0.0
+            m_pad = ceil_div(max(int(math.ceil(m_per)), 1), mr) * mr
+            n_pad = ceil_div(max(int(math.ceil(n_per)), 1), nr) * nr
+            waste += m_pad / max(m_per, 1e-9) - 1.0
+            waste += n_pad / max(n_per, 1e-9) - 1.0
+            if m_per < min_tile_multiples * mr and ic > 1:
+                waste += 10.0 * ic
+            if n_per < min_tile_multiples * nr and (jc * jr) > 1:
+                waste += 10.0 * (jc * jr)
+            sync_span = math.log2(max(fact.pack_b_group, 1) + 1)
+            imbalance = (ceil_div(m, max(ic, 1)) * ic - m) / max(m, 1)
+            score = waste * 100.0 + sync_span + imbalance
+            if best is None or score < best[0]:
+                best = (score, fact)
+    return best[1]

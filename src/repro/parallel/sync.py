@@ -1,0 +1,54 @@
+"""Synchronization cost model (paper Sec. III-D).
+
+Multithreaded GEMM synchronizes at three points per kc-iteration: after
+cooperatively packing B, after packing A, and at the end of the kernel
+sweep before the packed buffers are reused.  We model a tree barrier:
+``ceil(log2(T))`` stages of core-to-core signalling, each stage costing
+``barrier_stage_cycles`` (longer when the participants span NUMA panels).
+
+The paper's observation that BLIS wins partly by *reducing the number of
+threads per barrier* falls out directly: a barrier over 8 threads costs
+3 stages, one over 64 threads costs 6 — and the 64-thread one crosses
+panels, inflating the per-stage latency.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..machine.config import NumaConfig
+from ..util.errors import ParallelError
+from ..util.validation import check_positive_int
+
+
+def barrier_cycles(
+    threads: int,
+    numa: NumaConfig,
+    cores_per_panel: int = 0,
+) -> float:
+    """Cycles for one tree barrier over ``threads`` compactly-placed threads."""
+    check_positive_int(threads, "threads", ParallelError)
+    if threads == 1:
+        return 0.0
+    stages = math.ceil(math.log2(threads))
+    per_panel = cores_per_panel or numa.cores_per_panel
+    panels_spanned = math.ceil(threads / per_panel)
+    # stages that cross a panel boundary pay the remote factor
+    local_stages = min(stages, max(1, math.ceil(math.log2(min(threads, per_panel)))))
+    remote_stages = stages - local_stages
+    return (
+        local_stages * numa.barrier_stage_cycles
+        + remote_stages * numa.barrier_stage_cycles * numa.remote_factor
+        + (panels_spanned - 1) * 0.0  # panel fan-in folded into remote stages
+    )
+
+
+def sync_points_per_iteration(cooperative_pack_a: bool,
+                              cooperative_pack_b: bool) -> int:
+    """Barriers per kc-iteration given which packs are cooperative.
+
+    A cooperative pack needs a barrier after it (everyone must see the full
+    buffer); the end-of-iteration barrier before buffer reuse is always
+    present in multithreaded runs.
+    """
+    return 1 + int(cooperative_pack_a) + int(cooperative_pack_b)

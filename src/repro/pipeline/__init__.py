@@ -1,0 +1,17 @@
+"""Core pipeline model: OoO scheduling and steady-state kernel analysis."""
+
+from .diagnose import KernelDiagnosis, diagnose_kernel
+from .scheduler import OoOScheduler, ScheduleResult, ScheduledOp, render_schedule
+from .steady import SteadyState, SteadyStateAnalyzer, bound_analysis
+
+__all__ = [
+    "OoOScheduler",
+    "ScheduleResult",
+    "ScheduledOp",
+    "render_schedule",
+    "SteadyState",
+    "SteadyStateAnalyzer",
+    "bound_analysis",
+    "KernelDiagnosis",
+    "diagnose_kernel",
+]

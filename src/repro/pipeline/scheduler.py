@@ -1,0 +1,277 @@
+"""Out-of-order dataflow scheduler for kernel instruction streams.
+
+This is the mechanism that turns an instruction sequence into cycles.  It
+models the resources the paper's micro-architectural analysis invokes:
+
+* **dispatch width** — at most ``dispatch_width`` instructions enter the
+  window per cycle, in program order;
+* **re-order buffer** — instruction *i* cannot dispatch until instruction
+  ``i - rob_entries`` has retired (retirement is in order);
+* **execution ports** — each instruction occupies one unit of its port
+  class for one cycle (units are fully pipelined);
+* **true dependences** — register renaming is assumed perfect, so only
+  read-after-write edges through architectural registers delay issue.
+  Loop-carried accumulator chains (``fmla v16, ...`` every iteration)
+  survive renaming and are what limits edge micro-kernels;
+* **load latency** — an L1 hit costs ``latencies['load']`` cycles; the
+  caller adds an *average* extra penalty per load to fold in cache misses
+  measured by the cache model (composition documented in DESIGN.md §5).
+
+A post-incremented load's base-register writeback becomes available after
+one cycle (address generation), not after the full load latency — otherwise
+the ``pA`` pointer chain would serialize all loads, which real hardware
+does not do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..isa.instructions import Instruction
+from ..isa.registers import is_xreg
+from ..machine.config import CoreConfig
+from ..util.errors import ScheduleError
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """Issue/completion record for one dynamic instruction."""
+
+    index: int
+    text: str
+    port: str
+    dispatch_cycle: int
+    issue_cycle: float
+    complete_cycle: float
+    #: what the instruction waited on last: 'none' (issued at dispatch),
+    #: 'dependency' (operand not ready), 'port' (unit busy),
+    #: 'window' (scheduling window full), 'dispatch' (front-end pace)
+    stall_reason: str = "none"
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling one instruction stream."""
+
+    total_cycles: float
+    instructions: int
+    flops: int
+    mem_bytes: int
+    port_busy: Dict[str, int]
+    ops: Optional[Tuple[ScheduledOp, ...]] = None
+
+    @property
+    def flops_per_cycle(self) -> float:
+        """Achieved useful flops per cycle."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.flops / self.total_cycles
+
+    def port_utilization(self, core: CoreConfig) -> Dict[str, float]:
+        """Fraction of port-class issue slots used over the whole run."""
+        if self.total_cycles <= 0:
+            return {p: 0.0 for p in self.port_busy}
+        return {
+            port: busy / (core.ports[port] * self.total_cycles)
+            for port, busy in self.port_busy.items()
+        }
+
+
+class OoOScheduler:
+    """Greedy list scheduler over the dataflow graph of a dynamic stream."""
+
+    def __init__(self, core: CoreConfig) -> None:
+        self.core = core
+
+    def run(
+        self,
+        stream: Iterable[Instruction],
+        extra_load_cycles: float = 0.0,
+        record_ops: bool = False,
+    ) -> ScheduleResult:
+        """Schedule ``stream`` and return cycle counts.
+
+        ``extra_load_cycles`` is added to every load's result latency; pass
+        the cache model's average miss penalty per load to couple the two
+        models.  ``record_ops`` keeps per-instruction issue records (used by
+        the Figure-7 schedule visualization; costs memory, off by default).
+        """
+        if extra_load_cycles < 0:
+            raise ScheduleError(
+                f"extra_load_cycles must be >= 0, got {extra_load_cycles}"
+            )
+        core = self.core
+        latencies = core.latencies
+        width = core.dispatch_width
+        rob = core.rob_entries
+
+        # Port occupancy per integer cycle slot.  True out-of-order issue
+        # lets a ready instruction fill an idle slot *before* slots already
+        # claimed by older-but-stalled instructions, so we track per-cycle
+        # usage counts instead of a monotonic per-unit free time.
+        slot_usage: Dict[str, Dict[int, int]] = {p: {} for p in core.ports}
+        # All slots below this hint are full (scan shortcut).
+        full_below: Dict[str, int] = {p: 0 for p in core.ports}
+        # Cycle at which the current value of each architectural register
+        # becomes available.  Missing entry = ready at cycle 0 (live-in).
+        reg_ready: Dict[str, float] = {}
+        # In-order retirement times for the ROB occupancy constraint.
+        retire: List[float] = []
+        # Issue times for the finite scheduling-window constraint.
+        window = core.scheduler_window
+        issue_times: List[float] = []
+
+        port_busy: Dict[str, int] = {port: 0 for port in core.ports}
+        ops: List[ScheduledOp] = []
+        n = 0
+        flops = 0
+        mem_bytes = 0
+        last_complete = 0.0
+        # dispatch is in order: a ROB-stalled instruction delays all
+        # younger instructions behind it
+        dispatch_floor = 0
+
+        for index, ins in enumerate(stream):
+            lat = latencies.get(ins.latency_key)
+            if lat is None:
+                raise ScheduleError(
+                    f"{ins.text!r}: unknown latency key {ins.latency_key!r}"
+                )
+            result_latency = float(lat)
+            if ins.is_load:
+                result_latency += extra_load_cycles
+
+            dispatch_cycle = max(index // width, dispatch_floor)
+            if index >= rob:
+                # Cannot dispatch until the instruction leaving the ROB has
+                # retired (in-order retirement).
+                dispatch_cycle = max(dispatch_cycle, int(retire[index - rob]))
+            dispatch_floor = dispatch_cycle
+
+            operands_ready = 0.0
+            for reg in ins.reads:
+                t = reg_ready.get(reg)
+                if t is not None and t > operands_ready:
+                    operands_ready = t
+
+            # Earliest integer cycle slot with port capacity left; all slots
+            # below full_below[port] are known full.
+            window_ready = (
+                issue_times[index - window] if index >= window else 0.0
+            )
+            ready = max(float(dispatch_cycle), operands_ready, window_ready)
+            capacity = core.ports[ins.port]
+            usage = slot_usage[ins.port]
+            slot = max(math.ceil(ready), full_below[ins.port])
+            while usage.get(slot, 0) >= capacity:
+                slot += 1
+            usage[slot] = usage.get(slot, 0) + 1
+            hint = full_below[ins.port]
+            while usage.get(hint, 0) >= capacity:
+                hint += 1
+            full_below[ins.port] = hint
+            issue = float(slot)
+            complete = issue + result_latency
+
+            for reg in ins.writes:
+                if ins.is_load and is_xreg(reg):
+                    # post-increment writeback: address available next cycle
+                    reg_ready[reg] = issue + 1.0
+                else:
+                    reg_ready[reg] = complete
+
+            prev_retire = retire[-1] if retire else 0.0
+            retire.append(max(prev_retire, complete))
+            issue_times.append(issue)
+
+            port_busy[ins.port] += 1
+            n += 1
+            flops += ins.flops
+            mem_bytes += ins.mem_bytes
+            if complete > last_complete:
+                last_complete = complete
+            if record_ops:
+                # attribute the final wait: what bound the issue cycle?
+                if issue > math.ceil(ready):
+                    reason = "port"
+                elif operands_ready >= max(float(dispatch_cycle),
+                                           window_ready) \
+                        and operands_ready > 0:
+                    reason = "dependency"
+                elif window_ready > float(dispatch_cycle):
+                    reason = "window"
+                elif dispatch_cycle > 0:
+                    reason = "dispatch"
+                else:
+                    reason = "none"
+                ops.append(
+                    ScheduledOp(
+                        index=index,
+                        text=ins.text,
+                        port=ins.port,
+                        dispatch_cycle=dispatch_cycle,
+                        issue_cycle=issue,
+                        complete_cycle=complete,
+                        stall_reason=reason,
+                    )
+                )
+
+        if n == 0:
+            raise ScheduleError("cannot schedule an empty instruction stream")
+        return ScheduleResult(
+            total_cycles=last_complete,
+            instructions=n,
+            flops=flops,
+            mem_bytes=mem_bytes,
+            port_busy=port_busy,
+            ops=tuple(ops) if record_ops else None,
+        )
+
+    def completion_profile(
+        self,
+        stream: Sequence[Instruction],
+        marks: Sequence[int],
+        extra_load_cycles: float = 0.0,
+    ) -> List[float]:
+        """Completion cycle of the last instruction at each mark index.
+
+        ``marks`` are exclusive prefix lengths into ``stream``; used by the
+        steady-state analyzer to measure per-iteration deltas without
+        re-scheduling prefixes repeatedly.
+        """
+        for m in marks:
+            if not 0 < m <= len(stream):
+                raise ScheduleError(f"mark {m} out of range (1..{len(stream)})")
+        result = self.run(stream, extra_load_cycles, record_ops=True)
+        assert result.ops is not None
+        profile: List[float] = []
+        best = 0.0
+        it = iter(sorted(marks))
+        next_mark = next(it, None)
+        for op in result.ops:
+            best = max(best, op.complete_cycle)
+            while next_mark is not None and op.index + 1 == next_mark:
+                profile.append(best)
+                next_mark = next(it, None)
+        return profile
+
+
+def render_schedule(result: ScheduleResult, max_rows: int = 64) -> str:
+    """Text rendering of a recorded schedule: issue/completion cycles plus
+    what each instruction waited on."""
+    if result.ops is None:
+        raise ScheduleError("schedule was not recorded; pass record_ops=True")
+    lines = [
+        f"{'idx':>4} {'issue':>7} {'done':>7} {'port':<6} "
+        f"{'waited-on':<10} text"
+    ]
+    for op in result.ops[:max_rows]:
+        lines.append(
+            f"{op.index:>4} {op.issue_cycle:>7.1f} {op.complete_cycle:>7.1f} "
+            f"{op.port:<6} {op.stall_reason:<10} {op.text}"
+        )
+    if len(result.ops) > max_rows:
+        lines.append(f"... ({len(result.ops) - max_rows} more)")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Analytic timing models and the GEMM phase-breakdown result type."""
+
+from .breakdown import GemmTiming
+from .roofline import RooflinePoint, respects_roofline, roofline
+from .models import (
+    arithmetic_intensity,
+    fma_width,
+    gemm_flops,
+    load_width,
+    num_fma,
+    num_load,
+    p2c,
+    p2c_derived,
+)
+
+__all__ = [
+    "GemmTiming",
+    "RooflinePoint",
+    "roofline",
+    "respects_roofline",
+    "num_load",
+    "num_fma",
+    "p2c",
+    "p2c_derived",
+    "gemm_flops",
+    "arithmetic_intensity",
+    "load_width",
+    "fma_width",
+]

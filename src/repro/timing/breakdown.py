@@ -1,0 +1,129 @@
+"""GEMM timing results: the phase breakdown every experiment reports.
+
+The paper decomposes execution into kernel / pack-A / pack-B / sync (its
+Fig. 6 and Table II); :class:`GemmTiming` carries exactly those buckets in
+cycles, converts to GFLOPS / efficiency against a machine peak, and renders
+the percentage rows of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..machine.config import MachineConfig
+from ..util.errors import ConfigError
+from ..util.units import cycles_to_seconds, gflops
+
+
+@dataclass
+class GemmTiming:
+    """Cycle breakdown of one GEMM execution (per the critical path)."""
+
+    kernel_cycles: float = 0.0
+    pack_a_cycles: float = 0.0
+    pack_b_cycles: float = 0.0
+    sync_cycles: float = 0.0
+    other_cycles: float = 0.0
+    #: useful flops of the problem (2*M*N*K)
+    useful_flops: int = 0
+    #: flops actually executed by kernels (>= useful under padding)
+    executed_flops: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in ("kernel_cycles", "pack_a_cycles", "pack_b_cycles",
+                     "sync_cycles", "other_cycles"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+
+    @property
+    def total_cycles(self) -> float:
+        """Critical-path cycles."""
+        return (
+            self.kernel_cycles
+            + self.pack_a_cycles
+            + self.pack_b_cycles
+            + self.sync_cycles
+            + self.other_cycles
+        )
+
+    @property
+    def packing_cycles(self) -> float:
+        """Combined packing cycles."""
+        return self.pack_a_cycles + self.pack_b_cycles
+
+    def fraction(self, phase: str) -> float:
+        """Share of total cycles spent in ``phase`` (e.g. 'pack_b')."""
+        total = self.total_cycles
+        if total <= 0:
+            return 0.0
+        value = getattr(self, f"{phase}_cycles")
+        return value / total
+
+    def seconds(self, machine: MachineConfig) -> float:
+        """Wall-clock seconds on ``machine``."""
+        return cycles_to_seconds(self.total_cycles, machine.core.freq_hz)
+
+    def gflops(self, machine: MachineConfig) -> float:
+        """Achieved useful GFLOPS."""
+        secs = self.seconds(machine)
+        if secs <= 0 or self.useful_flops <= 0:
+            return 0.0
+        return gflops(self.useful_flops, secs)
+
+    def efficiency(self, machine: MachineConfig, dtype, n_cores: int = 1) -> float:
+        """Fraction of the ``n_cores`` aggregate peak achieved."""
+        peak = machine.peak_gflops(dtype, n_cores)
+        if peak <= 0:
+            return 0.0
+        return self.gflops(machine) / peak
+
+    def kernel_efficiency(self, machine: MachineConfig, dtype,
+                          n_cores: int = 1) -> float:
+        """Efficiency of the kernel phase alone (paper Table II last column).
+
+        Useful flops over kernel cycles only — packing/sync excluded, and
+        padded (wasted) kernel work shows up as lost efficiency.
+        """
+        if self.kernel_cycles <= 0 or self.useful_flops <= 0:
+            return 0.0
+        flops_per_cycle = self.useful_flops / self.kernel_cycles / n_cores
+        return flops_per_cycle / machine.core.flops_per_cycle(dtype)
+
+    @property
+    def padding_waste(self) -> float:
+        """Fraction of executed kernel flops that were padding."""
+        if self.executed_flops <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.useful_flops / self.executed_flops)
+
+    def merged_with(self, other: "GemmTiming") -> "GemmTiming":
+        """Sum of two breakdowns (e.g. batched GEMM accounting)."""
+        extra = dict(self.extra)
+        for key, val in other.extra.items():
+            extra[key] = extra.get(key, 0.0) + val
+        return GemmTiming(
+            kernel_cycles=self.kernel_cycles + other.kernel_cycles,
+            pack_a_cycles=self.pack_a_cycles + other.pack_a_cycles,
+            pack_b_cycles=self.pack_b_cycles + other.pack_b_cycles,
+            sync_cycles=self.sync_cycles + other.sync_cycles,
+            other_cycles=self.other_cycles + other.other_cycles,
+            useful_flops=self.useful_flops + other.useful_flops,
+            executed_flops=self.executed_flops + other.executed_flops,
+            extra=extra,
+        )
+
+    def breakdown_percent(self) -> Dict[str, float]:
+        """Phase shares in percent (the Table II row format)."""
+        total = self.total_cycles
+        if total <= 0:
+            return {"kernel": 0.0, "pack_a": 0.0, "pack_b": 0.0,
+                    "sync": 0.0, "other": 0.0}
+        return {
+            "kernel": 100.0 * self.kernel_cycles / total,
+            "pack_a": 100.0 * self.pack_a_cycles / total,
+            "pack_b": 100.0 * self.pack_b_cycles / total,
+            "sync": 100.0 * self.sync_cycles / total,
+            "other": 100.0 * self.other_cycles / total,
+        }

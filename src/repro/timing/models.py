@@ -1,0 +1,90 @@
+"""The paper's analytic models (Sec. III-A, Eq. 1-3).
+
+* ``num_load``  (Eq. 1): load instructions to pack A and B;
+* ``num_fma``   (Eq. 2): FMA instructions for the multiplication;
+* ``p2c``       (Eq. 3): the packing-to-computing ratio, the paper's
+  headline statement that packing overhead is K-independent and blows up
+  when M or N is small.
+
+The paper states Eq. 3 as ``P2C = (M+N)/(2*M*N)``; :func:`p2c_derived`
+keeps the un-simplified Eq.1/Eq.2 quotient for cross-checking.  Both are
+monotonically decreasing in M and N and independent of K, which is the
+property the experiments rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.config import CoreConfig
+from ..util.errors import ConfigError
+from ..util.validation import check_positive_int
+
+
+def load_width(core: CoreConfig, dtype) -> int:
+    """Elements per load request (vector register width / element size)."""
+    return core.simd_lanes(dtype)
+
+
+def fma_width(core: CoreConfig, dtype) -> int:
+    """Flops per FMA instruction (2 x lanes), the paper's ``FMA_width``."""
+    return 2 * core.simd_lanes(dtype)
+
+
+def num_load(m: int, n: int, k: int, load_width_elems: int = 4) -> float:
+    """Eq. 1: load instructions to pack both operands.
+
+    The numerator counts every element of A (m x k) and B (k x n) once.
+    (The paper's text prints ``M*N + K*N``; the stated intent — "the total
+    number of data elements for the matrix A and B" — is ``M*K + K*N``,
+    which is what we compute.)
+    """
+    _check_dims(m, n, k)
+    check_positive_int(load_width_elems, "load_width_elems")
+    return (m * k + k * n) / load_width_elems
+
+
+def num_fma(m: int, n: int, k: int, fma_width_flops: int = 8) -> float:
+    """Eq. 2: FMA instructions for the m x n x k multiplication."""
+    _check_dims(m, n, k)
+    check_positive_int(fma_width_flops, "fma_width_flops")
+    return 2.0 * m * n * k / fma_width_flops
+
+
+def p2c(m: int, n: int) -> float:
+    """Eq. 3 as printed in the paper: P2C = (M+N) / (2*M*N).
+
+    Smaller is better (packing amortized by compute); independent of K.
+    """
+    _check_dims(m, n, 1)
+    return (m + n) / (2.0 * m * n)
+
+
+def p2c_derived(
+    m: int, n: int, k: int, load_width_elems: int = 4, fma_width_flops: int = 8
+) -> float:
+    """Eq.1 / Eq.2 without the paper's simplification.
+
+    Equals ``fma_width/(2*load_width) * (1/n + 1/m)``; K cancels, matching
+    the paper's central claim.
+    """
+    return num_load(m, n, k, load_width_elems) / num_fma(m, n, k, fma_width_flops)
+
+
+def gemm_flops(m: int, n: int, k: int) -> int:
+    """Useful floating-point operations of one GEMM (multiply+add)."""
+    _check_dims(m, n, k)
+    return 2 * m * n * k
+
+
+def arithmetic_intensity(m: int, n: int, k: int, itemsize: int = 4) -> float:
+    """Flops per byte touched (A, B read once; C read+written once)."""
+    _check_dims(m, n, k)
+    bytes_touched = itemsize * (m * k + k * n + 2 * m * n)
+    return gemm_flops(m, n, k) / bytes_touched
+
+
+def _check_dims(m: int, n: int, k: int) -> None:
+    for name, val in (("m", m), ("n", n), ("k", k)):
+        if not isinstance(val, (int, np.integer)) or val <= 0:
+            raise ConfigError(f"{name} must be a positive int, got {val!r}")

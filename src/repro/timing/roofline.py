@@ -1,0 +1,111 @@
+"""Roofline bounds: global sanity rails for every timing the model emits.
+
+For a GEMM of shape (m, n, k) on one core, no implementation can exceed
+
+    min( peak_flops,  arithmetic_intensity * memory_bandwidth )
+
+where the intensity uses compulsory traffic (A, B read once, C read and
+written once).  Every driver's reported GFLOPS must sit on or under this
+roof — an end-to-end invariant the property tests sweep.  The module also
+classifies shapes as compute- vs memory-bound, which the packing-optional
+driver's decisions can be sanity-checked against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.config import MachineConfig
+from ..util.errors import ConfigError
+from .models import arithmetic_intensity, gemm_flops
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Roofline evaluation of one GEMM shape on one machine."""
+
+    m: int
+    n: int
+    k: int
+    intensity_flops_per_byte: float
+    compute_roof_gflops: float
+    memory_roof_gflops: float
+
+    @property
+    def roof_gflops(self) -> float:
+        """The binding roof."""
+        return min(self.compute_roof_gflops, self.memory_roof_gflops)
+
+    @property
+    def compute_bound(self) -> bool:
+        """True when the compute roof binds."""
+        return self.compute_roof_gflops <= self.memory_roof_gflops
+
+    @property
+    def max_efficiency(self) -> float:
+        """Upper bound on fraction-of-peak any implementation can reach."""
+        if self.compute_roof_gflops <= 0:
+            return 0.0
+        return self.roof_gflops / self.compute_roof_gflops
+
+
+def roofline(
+    machine: MachineConfig,
+    m: int,
+    n: int,
+    k: int,
+    dtype=np.float32,
+    n_cores: int = 1,
+    cold: bool = False,
+) -> RooflinePoint:
+    """Roofline bound for one shape.
+
+    ``cold=False`` (the paper's warm-measurement setting) uses the L2
+    bandwidth proxy — warm operands stream from cache, effectively
+    unbounded here, so only the compute roof binds.  ``cold=True`` bounds
+    by the DRAM channels available to ``n_cores`` compactly placed cores.
+    """
+    if n_cores < 1 or n_cores > machine.n_cores:
+        raise ConfigError(
+            f"n_cores must be in [1, {machine.n_cores}], got {n_cores}"
+        )
+    itemsize = int(np.dtype(dtype).itemsize)
+    intensity = arithmetic_intensity(m, n, k, itemsize)
+    compute = machine.peak_gflops(dtype, n_cores)
+    if cold:
+        panels = -(-n_cores // machine.numa.cores_per_panel)
+        bytes_per_cycle = panels * machine.numa.dram_bytes_per_cycle
+        bw_gbytes = bytes_per_cycle * machine.core.freq_hz / 1e9
+        memory = intensity * bw_gbytes
+    else:
+        memory = float("inf")
+    return RooflinePoint(
+        m=m, n=n, k=k,
+        intensity_flops_per_byte=intensity,
+        compute_roof_gflops=compute,
+        memory_roof_gflops=memory,
+    )
+
+
+def respects_roofline(
+    timing,
+    machine: MachineConfig,
+    m: int,
+    n: int,
+    k: int,
+    dtype=np.float32,
+    n_cores: int = 1,
+    tolerance: float = 1.005,
+) -> bool:
+    """True when ``timing`` stays on or under the (warm) roofline."""
+    point = roofline(machine, m, n, k, dtype, n_cores, cold=False)
+    achieved = timing.gflops(machine)
+    expected_flops = gemm_flops(m, n, k)
+    if timing.useful_flops != expected_flops:
+        raise ConfigError(
+            f"timing reports {timing.useful_flops} useful flops, "
+            f"shape implies {expected_flops}"
+        )
+    return achieved <= point.roof_gflops * tolerance

@@ -1,0 +1,148 @@
+"""API reference generation from live docstrings.
+
+Walks the :mod:`repro` package, collects every public module, class and
+function with its signature and first docstring paragraph, and renders a
+markdown reference.  Generated output is committed as ``docs/API.md`` and
+checked by tests, so the reference can never drift from the code.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+from typing import Iterator, List, Tuple
+
+
+def iter_public_modules(package_name: str = "repro") -> Iterator[str]:
+    """Fully-qualified names of all non-private modules in the package."""
+    package = importlib.import_module(package_name)
+    yield package_name
+    for info in pkgutil.walk_packages(package.__path__, package_name + "."):
+        leaf = info.name.rsplit(".", 1)[-1]
+        if leaf.startswith("_"):
+            continue
+        yield info.name
+
+
+def first_paragraph(obj) -> str:
+    """The first paragraph of an object's docstring (or a placeholder)."""
+    doc = inspect.getdoc(obj)
+    if not doc:
+        return "*(undocumented)*"
+    return doc.split("\n\n", 1)[0].replace("\n", " ").strip()
+
+
+def signature_of(obj) -> str:
+    """``name(sig)`` for callables, bare name otherwise."""
+    name = getattr(obj, "__name__", repr(obj))
+    try:
+        return f"{name}{inspect.signature(obj)}"
+    except (TypeError, ValueError):
+        return name
+
+
+def public_members(module) -> List[Tuple[str, object]]:
+    """(name, object) pairs the module deliberately exposes.
+
+    Honors ``__all__`` when present; otherwise takes non-underscore
+    classes/functions defined in the module itself.
+    """
+    if hasattr(module, "__all__"):
+        names = list(module.__all__)
+    else:
+        names = [
+            n for n, obj in vars(module).items()
+            if not n.startswith("_")
+            and (inspect.isclass(obj) or inspect.isfunction(obj))
+            and getattr(obj, "__module__", None) == module.__name__
+        ]
+    out = []
+    for name in names:
+        obj = getattr(module, name, None)
+        if obj is not None:
+            out.append((name, obj))
+    return out
+
+
+def render_module(module_name: str) -> str:
+    """Markdown section for one module."""
+    module = importlib.import_module(module_name)
+    lines = [f"## `{module_name}`", "", first_paragraph(module), ""]
+    members = public_members(module)
+    for name, obj in members:
+        if inspect.isclass(obj):
+            lines.append(f"### class `{signature_of(obj)}`")
+            lines.append("")
+            lines.append(first_paragraph(obj))
+            lines.append("")
+            for mname, method in inspect.getmembers(obj, inspect.isfunction):
+                if mname.startswith("_"):
+                    continue
+                if method.__qualname__.split(".")[0] != obj.__name__:
+                    continue  # inherited
+                lines.append(f"- `{signature_of(method)}` — "
+                             f"{first_paragraph(method)}")
+            lines.append("")
+        elif inspect.isfunction(obj):
+            lines.append(f"### `{signature_of(obj)}`")
+            lines.append("")
+            lines.append(first_paragraph(obj))
+            lines.append("")
+    return "\n".join(lines)
+
+
+def generate_api_reference(package_name: str = "repro") -> str:
+    """The full markdown API reference for the package."""
+    sections = [
+        "# repro — API reference",
+        "",
+        "*Generated from live docstrings by `repro.util.apidoc`; regenerate "
+        "with `python -m repro.util.apidoc`.*",
+        "",
+    ]
+    # top-level and leaf modules, but skip subpackage __init__ re-exports
+    # beyond the root (they would duplicate every symbol)
+    for module_name in sorted(set(iter_public_modules(package_name))):
+        module = importlib.import_module(module_name)
+        is_package = hasattr(module, "__path__")
+        if is_package and module_name != package_name:
+            continue
+        sections.append(render_module(module_name))
+    return "\n".join(sections)
+
+
+def undocumented_members(package_name: str = "repro") -> List[str]:
+    """Public classes/functions lacking docstrings (must stay empty)."""
+    missing = []
+    for module_name in iter_public_modules(package_name):
+        module = importlib.import_module(module_name)
+        for name, obj in public_members(module):
+            if not inspect.getdoc(obj):
+                missing.append(f"{module_name}.{name}")
+            if inspect.isclass(obj):
+                for mname, method in inspect.getmembers(
+                    obj, inspect.isfunction
+                ):
+                    if mname.startswith("_"):
+                        continue
+                    if method.__qualname__.split(".")[0] != obj.__name__:
+                        continue
+                    if not inspect.getdoc(method):
+                        missing.append(f"{module_name}.{name}.{mname}")
+    return sorted(set(missing))
+
+
+def main() -> int:  # pragma: no cover - thin CLI wrapper
+    """Regenerate ``docs/API.md`` in place."""
+    import pathlib
+
+    target = pathlib.Path(__file__).resolve().parents[3] / "docs" / "API.md"
+    target.parent.mkdir(exist_ok=True)
+    target.write_text(generate_api_reference() + "\n")
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

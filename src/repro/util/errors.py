@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class at an API boundary.  The subclasses partition
+failures by subsystem: configuration, the instruction-set layer, the pipeline
+scheduler, the memory/cache model and the GEMM drivers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """A machine/driver configuration value is invalid or inconsistent."""
+
+
+class IsaError(ReproError):
+    """An instruction or register operand is malformed."""
+
+
+class RegisterAllocationError(IsaError):
+    """A kernel requires more architectural registers than the ISA provides."""
+
+
+class ScheduleError(ReproError):
+    """The pipeline scheduler was given an unschedulable sequence."""
+
+
+class LayoutError(ReproError):
+    """A matrix layout / address-mapping operation is invalid."""
+
+
+class KernelDesignError(ReproError):
+    """A micro-kernel tile shape violates a hardware design constraint."""
+
+
+class DriverError(ReproError):
+    """A GEMM driver was invoked with invalid operands or parameters."""
+
+
+class ParallelError(ReproError):
+    """A parallelization plan is infeasible (e.g. thread factorization)."""

@@ -1,0 +1,104 @@
+"""Plain-text table and series rendering for experiment reports.
+
+The benchmark harness reproduces the paper's tables and figures as text:
+tables render with aligned columns, figures render each series as rows of
+``x  y`` pairs plus an optional ASCII sparkline so trends are visible in a
+terminal or a CI log without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[j]) for j, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render ``values`` as a unicode sparkline (empty input -> '')."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_CHARS[0] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    y_label: str = "y",
+) -> str:
+    """Render one figure series: a sparkline header plus x/y rows."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
+    lines = [f"{name}  [{y_label}]  {sparkline(ys)}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x!s:>8}  {y:10.3f}")
+    return "\n".join(lines)
+
+
+def format_figure(
+    title: str,
+    xs: Sequence[object],
+    series: Sequence[tuple],
+    y_label: str = "y",
+) -> str:
+    """Render a whole figure: shared x axis, one column per series.
+
+    ``series`` is a sequence of ``(name, ys)`` pairs.
+    """
+    headers = ["x"] + [name for name, _ in series]
+    rows = []
+    for i, x in enumerate(xs):
+        row: List[object] = [x]
+        for name, ys in series:
+            if len(ys) != len(xs):
+                raise ValueError(
+                    f"series {name!r} has {len(ys)} points, expected {len(xs)}"
+                )
+            row.append(ys[i])
+        rows.append(row)
+    spark_rows = "\n".join(
+        f"  {name:<12} {sparkline(ys)}" for name, ys in series
+    )
+    table = format_table(headers, rows, title=f"{title}  [{y_label}]")
+    return f"{table}\n{spark_rows}"

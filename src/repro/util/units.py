@@ -1,0 +1,60 @@
+"""Unit helpers: byte sizes, frequencies and flop-rate formatting.
+
+The simulator works internally in *cycles* and *bytes*; experiments report
+GFLOPS and percent-of-peak.  These helpers centralize the conversions so no
+module hand-rolls ``1e9`` constants.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def kib(n: float) -> int:
+    """``n`` kibibytes in bytes."""
+    return int(n * KIB)
+
+
+def mib(n: float) -> int:
+    """``n`` mebibytes in bytes."""
+    return int(n * MIB)
+
+
+def ghz(n: float) -> float:
+    """``n`` GHz in Hz."""
+    return n * 1e9
+
+
+def cycles_to_seconds(cycles: float, freq_hz: float) -> float:
+    """Convert a cycle count to wall-clock seconds at ``freq_hz``."""
+    if freq_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_hz}")
+    return cycles / freq_hz
+
+
+def gflops(flops: float, seconds: float) -> float:
+    """Flop count over ``seconds`` expressed in GFLOPS."""
+    if seconds <= 0:
+        raise ValueError(f"elapsed time must be positive, got {seconds}")
+    return flops / seconds / 1e9
+
+
+def format_bytes(n: int) -> str:
+    """Human-readable byte count (e.g. ``'2.0 MiB'``)."""
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    """Format a 0-1 fraction as a percentage string."""
+    return f"{100.0 * fraction:.{digits}f}%"

@@ -1,0 +1,99 @@
+"""Small validation helpers shared across the package.
+
+These keep argument checking terse and uniform: every public entry point
+validates its inputs eagerly and raises :class:`~repro.util.errors.ConfigError`
+or a more specific subclass with an actionable message.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .errors import ConfigError
+
+
+def require(condition: bool, message: str, exc: type = ConfigError) -> None:
+    """Raise ``exc(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise exc(message)
+
+
+def check_positive_int(value: int, name: str, exc: type = ConfigError) -> int:
+    """Validate that ``value`` is a positive ``int`` and return it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise exc(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise exc(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative_int(value: int, name: str, exc: type = ConfigError) -> int:
+    """Validate that ``value`` is a non-negative ``int`` and return it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise exc(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise exc(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_positive_float(value: float, name: str, exc: type = ConfigError) -> float:
+    """Validate that ``value`` is a positive real number and return it as float."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise exc(f"{name} must be a number, got {type(value).__name__}")
+    if value <= 0:
+        raise exc(f"{name} must be positive, got {value}")
+    return float(value)
+
+
+def check_fraction(value: float, name: str, exc: type = ConfigError) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise exc(f"{name} must be a number, got {type(value).__name__}")
+    if not 0.0 <= value <= 1.0:
+        raise exc(f"{name} must be in [0, 1], got {value}")
+    return float(value)
+
+
+def check_power_of_two(value: int, name: str, exc: type = ConfigError) -> int:
+    """Validate that ``value`` is a positive power of two."""
+    check_positive_int(value, name, exc)
+    if value & (value - 1) != 0:
+        raise exc(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def check_multiple_of(value: int, base: int, name: str, exc: type = ConfigError) -> int:
+    """Validate that ``value`` is a positive multiple of ``base``."""
+    check_positive_int(value, name, exc)
+    if value % base != 0:
+        raise exc(f"{name} must be a multiple of {base}, got {value}")
+    return value
+
+
+def check_choice(value, choices: Sequence, name: str, exc: type = ConfigError):
+    """Validate that ``value`` is one of ``choices``."""
+    if value not in choices:
+        raise exc(f"{name} must be one of {list(choices)!r}, got {value!r}")
+    return value
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``multiple``."""
+    return ceil_div(value, multiple) * multiple
+
+
+def all_distinct(items: Iterable) -> bool:
+    """Return True when every element of ``items`` is unique."""
+    seen = set()
+    for item in items:
+        if item in seen:
+            return False
+        seen.add(item)
+    return True

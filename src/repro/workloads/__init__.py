@@ -1,0 +1,58 @@
+"""Workloads: the paper's sweeps plus the applications motivating SMM."""
+
+from .abft import (
+    ChecksumEncoding,
+    checksum_weights,
+    correct_single_error,
+    encode,
+    locate_single_error,
+    verify,
+)
+from .bcsr import BcsrMatrix, bcsr_spmm, bcsr_spmm_parallel, random_bcsr
+from .dnn import (
+    LayerGemm,
+    attention_head_layers,
+    im2col_conv_layers,
+    lstm_cell,
+    materialize,
+    mlp_layers,
+)
+from .sweeps import (
+    MT_LARGE,
+    fig5a_square,
+    fig5b_small_m,
+    fig5c_small_n,
+    fig5d_small_k,
+    fig6_packing_sweeps,
+    fig9_kernel_sweeps,
+    fig10_mt_sweeps,
+    table2_ms,
+)
+
+__all__ = [
+    "fig5a_square",
+    "fig5b_small_m",
+    "fig5c_small_n",
+    "fig5d_small_k",
+    "fig6_packing_sweeps",
+    "fig9_kernel_sweeps",
+    "fig10_mt_sweeps",
+    "table2_ms",
+    "MT_LARGE",
+    "LayerGemm",
+    "mlp_layers",
+    "attention_head_layers",
+    "lstm_cell",
+    "im2col_conv_layers",
+    "materialize",
+    "BcsrMatrix",
+    "random_bcsr",
+    "bcsr_spmm",
+    "bcsr_spmm_parallel",
+    "ChecksumEncoding",
+    "checksum_weights",
+    "encode",
+    "verify",
+    "locate_single_error",
+    "correct_single_error",
+]

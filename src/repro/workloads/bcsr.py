@@ -1,0 +1,197 @@
+"""Block Compressed Sparse Row (BCSR) workload (paper motivation #2).
+
+Block-sparse matrix formats turn sparse matrix x dense matrix products
+into streams of small dense GEMMs — one per stored block — which is why
+fast SMM matters to them (LIBXSMM's original use case).  This module
+implements a minimal but real BCSR container plus the SpMM that consumes
+an SMM driver, testable against the dense product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..util.errors import ConfigError
+from ..util.validation import check_fraction, check_positive_int
+
+
+@dataclass
+class BcsrMatrix:
+    """A (rows x cols) matrix stored as dense (br x bc) blocks.
+
+    CSR-of-blocks indexing: ``indptr[i]:indptr[i+1]`` slices the block
+    columns (``indices``) and payloads (``blocks``) of block-row ``i``.
+    """
+
+    rows: int
+    cols: int
+    br: int
+    bc: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    blocks: np.ndarray  # (nnz_blocks, br, bc)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.br, "br", ConfigError)
+        check_positive_int(self.bc, "bc", ConfigError)
+        if self.rows % self.br or self.cols % self.bc:
+            raise ConfigError(
+                f"matrix {self.rows}x{self.cols} not divisible into "
+                f"{self.br}x{self.bc} blocks"
+            )
+        n_block_rows = self.rows // self.br
+        if len(self.indptr) != n_block_rows + 1:
+            raise ConfigError(
+                f"indptr has {len(self.indptr)} entries, expected "
+                f"{n_block_rows + 1}"
+            )
+        if self.blocks.shape[1:] != (self.br, self.bc):
+            raise ConfigError(
+                f"blocks shaped {self.blocks.shape[1:]}, expected "
+                f"({self.br}, {self.bc})"
+            )
+
+    @property
+    def n_block_rows(self) -> int:
+        """Number of block rows."""
+        return self.rows // self.br
+
+    @property
+    def nnz_blocks(self) -> int:
+        """Stored blocks."""
+        return int(self.blocks.shape[0])
+
+    @property
+    def density(self) -> float:
+        """Fraction of blocks stored."""
+        total = self.n_block_rows * (self.cols // self.bc)
+        return self.nnz_blocks / total if total else 0.0
+
+    def to_dense(self) -> np.ndarray:
+        """Expand to a dense array (for verification)."""
+        dense = np.zeros((self.rows, self.cols), dtype=self.blocks.dtype)
+        for i in range(self.n_block_rows):
+            for idx in range(self.indptr[i], self.indptr[i + 1]):
+                j = self.indices[idx]
+                dense[
+                    i * self.br : (i + 1) * self.br,
+                    j * self.bc : (j + 1) * self.bc,
+                ] = self.blocks[idx]
+        return dense
+
+
+def random_bcsr(
+    rng: np.random.Generator,
+    rows: int,
+    cols: int,
+    br: int = 8,
+    bc: int = 8,
+    density: float = 0.2,
+    dtype=np.float32,
+) -> BcsrMatrix:
+    """A random block-sparse matrix with the given block density."""
+    check_fraction(density, "density")
+    if rows % br or cols % bc:
+        raise ConfigError(
+            f"shape {rows}x{cols} not divisible by blocks {br}x{bc}"
+        )
+    n_brows, n_bcols = rows // br, cols // bc
+    indptr = [0]
+    indices: List[int] = []
+    payloads: List[np.ndarray] = []
+    for _ in range(n_brows):
+        mask = rng.random(n_bcols) < density
+        cols_here = np.nonzero(mask)[0]
+        for j in cols_here:
+            indices.append(int(j))
+            payloads.append(
+                rng.uniform(-1, 1, size=(br, bc)).astype(dtype)
+            )
+        indptr.append(len(indices))
+    blocks = (
+        np.stack(payloads)
+        if payloads
+        else np.zeros((0, br, bc), dtype=dtype)
+    )
+    return BcsrMatrix(
+        rows=rows, cols=cols, br=br, bc=bc,
+        indptr=np.asarray(indptr, dtype=np.int64),
+        indices=np.asarray(indices, dtype=np.int64),
+        blocks=blocks,
+    )
+
+
+def bcsr_spmm_parallel(
+    matrix: BcsrMatrix,
+    dense: np.ndarray,
+    batch,
+    cores: int,
+) -> Tuple[np.ndarray, object]:
+    """Y = BCSR @ dense with the block GEMMs distributed across cores.
+
+    Uses :meth:`repro.core.BatchedSmm.run_across_cores`: every stored
+    block's multiplication is an independent small GEMM, so batch-level
+    parallelism applies directly (block-rows writing disjoint output rows
+    need no synchronization beyond the final join).
+    """
+    if dense.shape[0] != matrix.cols:
+        raise ConfigError(
+            f"dense operand has {dense.shape[0]} rows, expected {matrix.cols}"
+        )
+    pairs = []
+    placements = []
+    for i in range(matrix.n_block_rows):
+        for idx in range(matrix.indptr[i], matrix.indptr[i + 1]):
+            j = matrix.indices[idx]
+            rhs = np.asarray(
+                dense[j * matrix.bc : (j + 1) * matrix.bc, :], order="F"
+            )
+            pairs.append((np.asarray(matrix.blocks[idx], order="F"), rhs))
+            placements.append(i)
+    out = np.zeros((matrix.rows, dense.shape[1]), dtype=dense.dtype,
+                   order="F")
+    if not pairs:
+        return out, None
+    result = batch.run_across_cores(pairs, cores=cores)
+    for i, product in zip(placements, result.outputs):
+        out[i * matrix.br : (i + 1) * matrix.br, :] += product
+    return out, result.timing
+
+
+def bcsr_spmm(
+    matrix: BcsrMatrix,
+    dense: np.ndarray,
+    smm_driver,
+) -> Tuple[np.ndarray, object]:
+    """Y = BCSR @ dense via one SMM per stored block.
+
+    Returns (Y, merged GemmTiming).  ``smm_driver`` is any driver with the
+    ``gemm(a, b, c=..., beta=...)`` protocol (typically
+    :class:`~repro.core.ReferenceSmmDriver`).
+    """
+    if dense.shape[0] != matrix.cols:
+        raise ConfigError(
+            f"dense operand has {dense.shape[0]} rows, expected {matrix.cols}"
+        )
+    n = dense.shape[1]
+    out = np.zeros((matrix.rows, n), dtype=dense.dtype, order="F")
+    total = None
+    for i in range(matrix.n_block_rows):
+        row_slice = slice(i * matrix.br, (i + 1) * matrix.br)
+        for idx in range(matrix.indptr[i], matrix.indptr[i + 1]):
+            j = matrix.indices[idx]
+            rhs = np.asarray(
+                dense[j * matrix.bc : (j + 1) * matrix.bc, :], order="F"
+            )
+            result = smm_driver.gemm(
+                np.asarray(matrix.blocks[idx], order="F"), rhs
+            )
+            out[row_slice, :] += result.c
+            total = (
+                result.timing if total is None
+                else total.merged_with(result.timing)
+            )
+    return out, total

@@ -1,0 +1,133 @@
+"""DNN-layer GEMM workloads (the paper's first SMM motivation).
+
+Deep networks lower most of their compute to GEMMs whose shapes are small
+when batch sizes are small (inference) or when layers are narrow.  This
+module provides realistic layer-shape generators:
+
+* an MLP tower (batch x features chains);
+* a small-batch LSTM cell (the 4 gates fused into one tall-skinny GEMM);
+* im2col-lowered convolution layers of a compact CNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..util.errors import ConfigError
+from ..util.rng import random_matrix
+
+Shape = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class LayerGemm:
+    """One layer's GEMM: C(m x n) = A(m x k) @ B(k x n)."""
+
+    name: str
+    m: int
+    n: int
+    k: int
+
+    @property
+    def shape(self) -> Shape:
+        """The (m, n, k) triple."""
+        return (self.m, self.n, self.k)
+
+    @property
+    def flops(self) -> int:
+        """Useful flops."""
+        return 2 * self.m * self.n * self.k
+
+
+def mlp_layers(batch: int = 8, widths: Tuple[int, ...] = (256, 128, 64, 10)) -> List[LayerGemm]:
+    """GEMMs of an MLP forward pass: (batch x in) @ (in x out)."""
+    if batch < 1:
+        raise ConfigError(f"batch must be >= 1, got {batch}")
+    layers = []
+    ins = widths[:-1]
+    outs = widths[1:]
+    for i, (fin, fout) in enumerate(zip(ins, outs)):
+        layers.append(LayerGemm(name=f"fc{i}", m=batch, n=fout, k=fin))
+    return layers
+
+
+def lstm_cell(batch: int = 4, hidden: int = 64, inputs: int = 64) -> List[LayerGemm]:
+    """The two fused-gate GEMMs of one LSTM step (4*hidden outputs)."""
+    if min(batch, hidden, inputs) < 1:
+        raise ConfigError("batch/hidden/inputs must be >= 1")
+    return [
+        LayerGemm(name="lstm-x", m=batch, n=4 * hidden, k=inputs),
+        LayerGemm(name="lstm-h", m=batch, n=4 * hidden, k=hidden),
+    ]
+
+
+def im2col_conv_layers(
+    image: int = 28,
+    channels: Tuple[int, ...] = (1, 8, 16),
+    kernel: int = 3,
+) -> List[LayerGemm]:
+    """Convolutions lowered to GEMM: M=out_pixels, N=out_ch, K=k*k*in_ch."""
+    if image < kernel:
+        raise ConfigError(f"image {image} smaller than kernel {kernel}")
+    layers = []
+    size = image
+    for i, (cin, cout) in enumerate(zip(channels[:-1], channels[1:])):
+        out = size - kernel + 1
+        layers.append(
+            LayerGemm(
+                name=f"conv{i}",
+                m=out * out,
+                n=cout,
+                k=kernel * kernel * cin,
+            )
+        )
+        size = out
+    return layers
+
+
+def attention_head_layers(
+    seq: int = 64,
+    model_dim: int = 128,
+    heads: int = 8,
+) -> List[LayerGemm]:
+    """GEMMs of one multi-head self-attention pass, per head.
+
+    Per head with head_dim = model_dim/heads: the QK^T score GEMM
+    (seq x seq x head_dim) and the score-times-V GEMM
+    (seq x head_dim x seq) — small, square-ish SMMs repeated ``heads``
+    times, plus the three input projections and the output projection.
+    """
+    if model_dim % heads:
+        raise ConfigError(
+            f"model_dim {model_dim} not divisible by heads {heads}"
+        )
+    head_dim = model_dim // heads
+    layers = [
+        LayerGemm(name="proj-q", m=seq, n=model_dim, k=model_dim),
+        LayerGemm(name="proj-k", m=seq, n=model_dim, k=model_dim),
+        LayerGemm(name="proj-v", m=seq, n=model_dim, k=model_dim),
+    ]
+    for h in range(heads):
+        layers.append(LayerGemm(name=f"scores-h{h}", m=seq, n=seq,
+                                k=head_dim))
+        layers.append(LayerGemm(name=f"context-h{h}", m=seq, n=head_dim,
+                                k=seq))
+    layers.append(LayerGemm(name="proj-out", m=seq, n=model_dim,
+                            k=model_dim))
+    return layers
+
+
+def materialize(
+    layers: List[LayerGemm],
+    rng: np.random.Generator,
+    dtype=np.float32,
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Random (A, B) operand pairs for each layer."""
+    return [
+        (random_matrix(rng, layer.m, layer.k, dtype),
+         random_matrix(rng, layer.k, layer.n, dtype))
+        for layer in layers
+    ]

@@ -1,0 +1,72 @@
+"""The paper's experimental grids (Sec. III, experimental settings).
+
+Each function returns the exact (M, N, K) points of one figure:
+
+* Fig. 5(a): square matrices 5..200 step 5 (inputs bounded by L2);
+* Fig. 5(b)/(c)/(d): one dimension swept 2..40 step 2, the others 100;
+* Fig. 9: kernel-only sweeps with one dimension fixed at 100;
+* Fig. 10 / Table II: multithreaded irregular shapes with one small
+  dimension (the paper does not print N and K; we use 2048, large enough
+  that packed panels live in memory, per its Table II pack-B shares).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+Shape = Tuple[int, int, int]
+
+#: the large extent used for multithreaded irregular shapes
+MT_LARGE = 2048
+
+
+def fig5a_square(step: int = 5, stop: int = 200) -> List[Shape]:
+    """M = N = K in {step, 2*step, ..., stop}."""
+    return [(s, s, s) for s in range(step, stop + 1, step)]
+
+
+def fig5b_small_m(step: int = 2, stop: int = 40, fixed: int = 100) -> List[Shape]:
+    """M in {2..40}, N = K = 100."""
+    return [(m, fixed, fixed) for m in range(step, stop + 1, step)]
+
+
+def fig5c_small_n(step: int = 2, stop: int = 40, fixed: int = 100) -> List[Shape]:
+    """N in {2..40}, M = K = 100."""
+    return [(fixed, n, fixed) for n in range(step, stop + 1, step)]
+
+
+def fig5d_small_k(step: int = 2, stop: int = 40, fixed: int = 100) -> List[Shape]:
+    """K in {2..40}, M = N = 100."""
+    return [(fixed, fixed, k) for k in range(step, stop + 1, step)]
+
+
+def fig6_packing_sweeps() -> dict:
+    """The three sweeps whose packing share Fig. 6 reports."""
+    return {
+        "small-M": fig5b_small_m(),
+        "small-N": fig5c_small_n(),
+        "small-K": fig5d_small_k(),
+    }
+
+
+def fig9_kernel_sweeps(step: int = 5, stop: int = 200, fixed: int = 100) -> dict:
+    """Kernel-efficiency sweeps: fix one dimension at 100, sweep the others."""
+    return {
+        "sweep-M": [(m, fixed, fixed) for m in range(step, stop + 1, step)],
+        "sweep-N": [(fixed, n, fixed) for n in range(step, stop + 1, step)],
+        "sweep-K": [(fixed, fixed, k) for k in range(step, stop + 1, step)],
+    }
+
+
+def fig10_mt_sweeps(step: int = 16, stop: int = 256) -> dict:
+    """Multithreaded irregular shapes: one small dimension, others large."""
+    return {
+        "small-M": [(m, MT_LARGE, MT_LARGE) for m in range(step, stop + 1, step)],
+        "small-N": [(MT_LARGE, n, MT_LARGE) for n in range(step, stop + 1, step)],
+        "small-K": [(MT_LARGE, MT_LARGE, k) for k in range(step, stop + 1, step)],
+    }
+
+
+def table2_ms(step: int = 16, stop: int = 256) -> List[int]:
+    """Table II's M column: 16..256 step 16."""
+    return list(range(step, stop + 1, step))

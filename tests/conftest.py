@@ -1,0 +1,31 @@
+"""Shared fixtures: one machine model and seeded RNG per session."""
+
+import numpy as np
+import pytest
+
+from repro.machine import a64fx_like, phytium2000plus
+from repro.util import make_rng
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The Phytium 2000+ machine model (immutable, session-shared)."""
+    return phytium2000plus()
+
+
+@pytest.fixture(scope="session")
+def wide_machine():
+    """The wider-SIMD sensitivity machine."""
+    return a64fx_like()
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return make_rng()
+
+
+@pytest.fixture(scope="session")
+def fp32():
+    """Shorthand dtype fixture."""
+    return np.float32

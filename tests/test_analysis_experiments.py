@@ -1,0 +1,121 @@
+"""Tests for the experiment drivers and result containers."""
+
+import pytest
+
+from repro.analysis import (
+    FigureResult,
+    FigureSeries,
+    TableResult,
+    fig5,
+    fig5a,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    table1,
+    table2,
+)
+from repro.util.errors import ReproError
+
+
+class TestResultContainers:
+    def test_series_lookup(self):
+        fig = FigureResult(
+            figure_id="f", x_label="x", y_label="y", xs=[1, 2],
+            series=[FigureSeries("a", [0.1, 0.2])],
+        )
+        assert fig.series_by_name("a").ys == [0.1, 0.2]
+        with pytest.raises(ReproError):
+            fig.series_by_name("b")
+
+    def test_figure_render(self):
+        fig = FigureResult(
+            figure_id="f", x_label="x", y_label="y", xs=[1],
+            series=[FigureSeries("a", [0.5])],
+        )
+        assert "f" in fig.render()
+
+    def test_table_column(self):
+        t = TableResult("t", headers=["a", "b"], rows=[[1, 2], [3, 4]])
+        assert t.column("b") == [2, 4]
+        with pytest.raises(ReproError):
+            t.column("c")
+
+    def test_table_render(self):
+        t = TableResult("t", headers=["a"], rows=[[1]])
+        assert "t" in t.render()
+
+
+class TestFigureExperiments:
+    def test_fig5a_structure(self, machine):
+        fig = fig5a(machine)
+        assert len(fig.xs) == 40
+        assert {s.name for s in fig.series} == {
+            "openblas", "blis", "blasfeo", "eigen"
+        }
+        for s in fig.series:
+            assert all(0 < y <= 1.0 for y in s.ys)
+
+    def test_fig5_reference_series(self, machine):
+        fig = fig5(machine, [(16, 16, 16)], "mini", 0,
+                   include_reference=True)
+        assert any(s.name == "reference" for s in fig.series)
+
+    def test_fig6_has_p2c_series(self, machine):
+        fig = fig6(machine)
+        names = {s.name for s in fig.series}
+        assert "p2c-model(small-M)" in names
+        assert "small-K" in names
+
+    def test_fig7_keys(self, machine):
+        result = fig7(machine)
+        assert "fmla" in result["naive_listing"]
+        assert "ldp" in result["naive_listing"]
+        assert result["naive_cycles_per_kstep"] > 0
+        assert set(result["edge_family_efficiency"]) == {
+            "8x4", "4x4", "2x4", "1x4"
+        }
+        assert 32 in result["window_sensitivity"]
+
+    def test_fig7_edge_family_ordering(self, machine):
+        fam = fig7(machine)["edge_family_efficiency"]
+        assert fam["8x4"] > fam["4x4"] > fam["2x4"] > fam["1x4"]
+
+    def test_fig8_structure(self, machine):
+        fig = fig8(machine)
+        assert {s.name for s in fig.series} == {"edge-packed", "edge-unpacked"}
+        assert all(x % 4 == 1 for x in fig.xs)  # N % nr == 1 by design
+
+    def test_fig9_three_sweeps(self, machine):
+        sweeps = fig9(machine)
+        assert set(sweeps) == {"sweep-M", "sweep-N", "sweep-K"}
+        for fig in sweeps.values():
+            ys = fig.series[0].ys
+            assert all(0 < y <= 1.0 for y in ys)
+
+    def test_fig10_structure(self, machine):
+        figs = fig10(machine, threads=64)
+        assert set(figs) == {"small-M", "small-N", "small-K"}
+        names = {s.name for s in figs["small-M"].series}
+        assert names == {"openblas", "blis", "eigen"}
+
+
+class TestTableExperiments:
+    def test_table1_matches_paper(self):
+        t = table1()
+        assert t.column("OpenBLAS")[1] == "8"
+        assert t.column("BLIS")[2] == "8x12"
+        assert t.column("Eigen")[0] == "none"
+
+    def test_table2_structure(self, machine):
+        t = table2(machine)
+        assert t.headers[0] == "M"
+        assert len(t.rows) == 16
+        assert t.column("M") == list(range(16, 257, 16))
+
+    def test_table2_shares_sum_to_near_100(self, machine):
+        t = table2(machine)
+        for row in t.rows:
+            shares = row[1] + row[2] + row[3] + row[4]
+            assert shares == pytest.approx(100.0, abs=1.0)

@@ -1,0 +1,47 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.analysis import generate_report
+
+
+@pytest.fixture(scope="module")
+def report(machine):
+    return generate_report(machine)
+
+
+class TestReportStructure:
+    def test_all_sections_present(self, report):
+        for heading in (
+            "# SMM characterization report",
+            "## Table I",
+            "## Figure 5(a)",
+            "## Figure 6",
+            "## Figure 7",
+            "## Figure 9",
+            "## Figure 10",
+            "## Table II",
+            "## Section IV",
+        ):
+            assert heading in report, heading
+
+    def test_machine_summary_included(self, report):
+        assert "phytium-2000+" in report
+        assert "563.2" in report
+
+    def test_every_shape_check_passes(self, report):
+        assert "✘" not in report
+        assert report.count("✔") >= 10
+
+    def test_markdown_tables_wellformed(self, report):
+        for line in report.splitlines():
+            if line.startswith("|") and "---" not in line:
+                # every markdown table row has matching pipes
+                assert line.endswith("|")
+
+    def test_figures_render_as_code_blocks(self, report):
+        assert report.count("```") % 2 == 0
+        assert report.count("```") >= 10
+
+    def test_edge_family_reported(self, report):
+        assert "8x4: 100%" in report

@@ -1,0 +1,199 @@
+"""Correctness + behaviour tests for the four library GEMM drivers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas import (
+    BlockingParams,
+    default_blocking,
+    make_blasfeo,
+    make_blis,
+    make_driver,
+    make_eigen,
+    make_openblas,
+)
+from repro.kernels import openblas_catalog
+from repro.util import make_rng, random_matrix
+from repro.util.errors import DriverError
+
+LIBS = ["openblas", "blis", "blasfeo", "eigen"]
+
+
+@pytest.fixture(scope="module", params=LIBS)
+def driver(request, machine):
+    return make_driver(request.param, machine)
+
+
+class TestNumericalCorrectness:
+    @pytest.mark.parametrize("m,n,k", [
+        (1, 1, 1), (4, 4, 4), (16, 4, 8), (17, 5, 9), (75, 60, 60),
+        (80, 80, 80), (3, 200, 7), (200, 3, 7),
+    ])
+    def test_matches_numpy(self, driver, machine, m, n, k):
+        rng = make_rng(m * 10000 + n * 100 + k)
+        a = random_matrix(rng, m, k)
+        b = random_matrix(rng, k, n)
+        result = driver.gemm(a, b)
+        np.testing.assert_allclose(result.c, a @ b, rtol=1e-4, atol=1e-5)
+
+    def test_alpha_beta(self, driver):
+        rng = make_rng(42)
+        a = random_matrix(rng, 12, 8)
+        b = random_matrix(rng, 8, 10)
+        c = random_matrix(rng, 12, 10)
+        result = driver.gemm(a, b, c=c, alpha=2.0, beta=-0.5)
+        np.testing.assert_allclose(
+            result.c, 2.0 * (a @ b) - 0.5 * c, rtol=1e-4, atol=1e-5
+        )
+
+    def test_beta_zero_ignores_c(self, driver):
+        rng = make_rng(7)
+        a = random_matrix(rng, 8, 8)
+        b = random_matrix(rng, 8, 8)
+        c = np.full((8, 8), np.nan, dtype=np.float32, order="F")
+        # beta == 0 must not propagate NaNs from C
+        result = driver.gemm(a, b, c=c, beta=0.0)
+        assert not np.any(np.isnan(result.c))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(1, 64),
+        n=st.integers(1, 64),
+        k=st.integers(1, 64),
+        lib=st.sampled_from(LIBS),
+    )
+    def test_matches_numpy_property(self, machine, m, n, k, lib):
+        drv = make_driver(lib, machine)
+        rng = make_rng(m * 64 * 64 + n * 64 + k)
+        a = random_matrix(rng, m, k)
+        b = random_matrix(rng, k, n)
+        np.testing.assert_allclose(
+            drv.gemm(a, b).c, a @ b, rtol=1e-4, atol=1e-5
+        )
+
+
+class TestValidation:
+    def test_shape_mismatch(self, driver):
+        rng = make_rng(1)
+        with pytest.raises(DriverError, match="inner dimensions"):
+            driver.gemm(random_matrix(rng, 4, 5), random_matrix(rng, 6, 4))
+
+    def test_dtype_mismatch(self, driver):
+        rng = make_rng(1)
+        a = random_matrix(rng, 4, 4)
+        b = random_matrix(rng, 4, 4, dtype=np.float64)
+        with pytest.raises(DriverError):
+            driver.gemm(a, b)
+
+    def test_bad_c_shape(self, driver):
+        rng = make_rng(1)
+        a = random_matrix(rng, 4, 4)
+        b = random_matrix(rng, 4, 4)
+        with pytest.raises(DriverError, match="C shape"):
+            driver.gemm(a, b, c=random_matrix(rng, 5, 4))
+
+    def test_unsupported_dtype(self, machine):
+        drv = make_openblas(machine)
+        a = np.zeros((4, 4), dtype=np.int32, order="F")
+        with pytest.raises(DriverError):
+            drv.gemm(a, a)
+
+    def test_unknown_library(self, machine):
+        with pytest.raises(ValueError, match="unknown library"):
+            make_driver("mkl", machine)
+
+
+class TestTimingBehaviour:
+    def test_timing_positive_and_complete(self, driver, machine):
+        rng = make_rng(3)
+        result = driver.gemm(random_matrix(rng, 40, 24),
+                             random_matrix(rng, 24, 36))
+        t = result.timing
+        assert t.total_cycles > 0
+        assert t.kernel_cycles > 0
+        assert t.useful_flops == 2 * 40 * 36 * 24
+        assert t.executed_flops >= t.useful_flops
+
+    def test_blasfeo_has_no_packing(self, machine):
+        drv = make_blasfeo(machine)
+        t = drv.cost_gemm(40, 40, 40)
+        assert t.pack_a_cycles == 0.0
+        assert t.pack_b_cycles == 0.0
+
+    def test_goto_drivers_pack(self, machine):
+        for factory in (make_openblas, make_blis, make_eigen):
+            t = factory(machine).cost_gemm(40, 40, 40)
+            assert t.pack_a_cycles > 0
+            assert t.pack_b_cycles > 0
+
+    def test_blasfeo_conversion_charged_when_asked(self, machine):
+        free = make_blasfeo(machine).cost_gemm(32, 32, 32)
+        charged = make_blasfeo(machine, include_conversion=True) \
+            .cost_gemm(32, 32, 32)
+        assert free.other_cycles == 0.0
+        assert charged.other_cycles > 0.0
+
+    def test_cost_gemm_matches_gemm_timing(self, machine):
+        drv = make_openblas(machine)
+        rng = make_rng(9)
+        a = random_matrix(rng, 30, 20)
+        b = random_matrix(rng, 20, 25)
+        full = drv.gemm(a, b).timing
+        cost = drv.cost_gemm(30, 25, 20)
+        assert full.total_cycles == pytest.approx(cost.total_cycles)
+
+    def test_cost_gemm_rejects_bad_shape(self, machine):
+        with pytest.raises(DriverError):
+            make_openblas(machine).cost_gemm(0, 4, 4)
+
+    def test_padding_waste_blis_on_odd_m(self, machine):
+        t = make_blis(machine).cost_gemm(9, 12, 16)
+        assert t.padding_waste > 0
+
+    def test_edge_kernels_slow_openblas_at_m75(self, machine):
+        drv = make_openblas(machine)
+        eff80 = drv.cost_gemm(80, 80, 80).efficiency(machine, np.float32)
+        eff75 = drv.cost_gemm(75, 75, 75).efficiency(machine, np.float32)
+        assert eff80 > eff75
+
+    def test_cold_run_slower_than_warm(self, machine):
+        warm = make_openblas(machine, warm=True).cost_gemm(40, 40, 40)
+        cold = make_openblas(machine, warm=False).cost_gemm(40, 40, 40)
+        assert cold.total_cycles > warm.total_cycles
+
+
+class TestBlocking:
+    def test_default_blocking_respects_caches(self, machine):
+        params = default_blocking(machine, openblas_catalog(), 4)
+        # a kc x (mr + nr) sliver pair should fit in half of L1
+        sliver_bytes = params.kc * (16 + 4) * 4
+        assert sliver_bytes <= machine.l1d.size_bytes
+        # the packed A block should fit in L2
+        assert params.mc * params.kc * 4 <= machine.l2.size_bytes
+
+    def test_blocking_params_validation(self):
+        with pytest.raises(DriverError):
+            BlockingParams(mc=0, kc=10, nc=10)
+
+    def test_custom_blocking_used(self, machine):
+        custom = BlockingParams(mc=32, kc=32, nc=64)
+        drv = make_openblas(machine, blocking=custom)
+        assert drv.blocking is custom
+        # multiple kc iterations now happen for k=100
+        rng = make_rng(11)
+        result = drv.gemm(random_matrix(rng, 64, 100),
+                          random_matrix(rng, 100, 64))
+        np.testing.assert_allclose(
+            result.c,
+            random_matrix(make_rng(11), 64, 100) @
+            random_matrix_second(make_rng(11), 64, 100),
+            rtol=1e-4, atol=1e-5,
+        )
+
+
+def random_matrix_second(rng, m, k):
+    """Recreate the second draw of the pair (helper for the blocking test)."""
+    random_matrix(rng, m, k)  # skip the first draw
+    return random_matrix(rng, k, m)

@@ -1,0 +1,127 @@
+"""White-box tests of the Goto driver's internals and edge behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.blas import BlockingParams, make_blis, make_eigen, make_openblas
+from repro.util import make_rng, random_matrix
+
+
+class TestLoopNestCoverage:
+    def test_multiple_kc_iterations_correct(self, machine):
+        # force k > kc so the kk loop runs more than once
+        drv = make_openblas(machine, blocking=BlockingParams(mc=64, kc=16,
+                                                             nc=64))
+        rng = make_rng(20)
+        a = random_matrix(rng, 48, 50)
+        b = random_matrix(rng, 50, 40)
+        np.testing.assert_allclose(drv.gemm(a, b).c, a @ b,
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_multiple_mc_and_nc_iterations_correct(self, machine):
+        drv = make_blis(machine, blocking=BlockingParams(mc=16, kc=32, nc=24))
+        rng = make_rng(21)
+        a = random_matrix(rng, 70, 64)
+        b = random_matrix(rng, 64, 75)
+        np.testing.assert_allclose(drv.gemm(a, b).c, a @ b,
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_pack_counts_scale_with_loop_trips(self, machine):
+        # pack-A runs once per (ii, kk); halving mc doubles pack-A work
+        coarse = make_openblas(machine,
+                               blocking=BlockingParams(mc=64, kc=64, nc=256))
+        fine = make_openblas(machine,
+                             blocking=BlockingParams(mc=32, kc=64, nc=256))
+        t_coarse = coarse.cost_gemm(128, 128, 64)
+        t_fine = fine.cost_gemm(128, 128, 64)
+        # identical element volume, so pack-A cost is nearly equal; but
+        # kernel cost of the fine blocking must not be cheaper than coarse
+        assert t_fine.pack_a_cycles == pytest.approx(
+            t_coarse.pack_a_cycles, rel=0.25
+        )
+
+    def test_timing_additivity_over_k(self, machine):
+        # doubling K roughly doubles kernel and pack-B time
+        drv = make_openblas(machine, blocking=BlockingParams(mc=256, kc=64,
+                                                             nc=512))
+        t1 = drv.cost_gemm(64, 64, 64)
+        t2 = drv.cost_gemm(64, 64, 128)
+        assert t2.kernel_cycles == pytest.approx(2 * t1.kernel_cycles,
+                                                 rel=0.15)
+        assert t2.pack_b_cycles == pytest.approx(2 * t1.pack_b_cycles,
+                                                 rel=0.15)
+
+
+class TestEdgeAccounting:
+    def test_executed_equals_useful_on_aligned_shapes(self, machine):
+        drv = make_openblas(machine)
+        t = drv.cost_gemm(64, 64, 64)  # multiples of 16 and 4
+        assert t.executed_flops == pytest.approx(t.useful_flops)
+
+    def test_blis_padding_waste_quantified(self, machine):
+        drv = make_blis(machine)
+        t = drv.cost_gemm(9, 24, 32)  # 9 rows pad to 12 within 8+4
+        # padded rows: 8 + pad(1 -> 4) = 12 rows of work for 9 useful
+        assert t.padding_waste == pytest.approx(1 - 9 / 12, rel=0.01)
+
+    def test_openblas_pow2_edges_do_not_pad(self, machine):
+        drv = make_openblas(machine)
+        t = drv.cost_gemm(11, 4, 32)
+        assert t.executed_flops == pytest.approx(t.useful_flops)
+
+    def test_eigen_exact_edges_do_not_pad(self, machine):
+        drv = make_eigen(machine)
+        t = drv.cost_gemm(13, 5, 16)
+        assert t.executed_flops == pytest.approx(t.useful_flops)
+
+
+class TestResidencyLogic:
+    def test_tiny_warm_problem_has_near_zero_stall(self, machine):
+        drv = make_openblas(machine)
+        t = drv.cost_gemm(16, 16, 16)
+        # kernel time should be within 25% of the pure issue-limited time
+        from repro.blas.base import KernelCostModel
+        from repro.kernels import openblas_catalog
+
+        km = KernelCostModel(machine, np.float32)
+        pure, _ = km.gebp_kernel_cycles(openblas_catalog(), 16, 16, 16)
+        assert t.kernel_cycles <= pure * 1.25
+
+    def test_l2_scale_problem_pays_restream(self, machine):
+        drv = make_openblas(machine)
+        per_flop_small = (
+            drv.cost_gemm(48, 48, 48).kernel_cycles / (2 * 48 ** 3)
+        )
+        per_flop_large = (
+            drv.cost_gemm(400, 400, 400).kernel_cycles / (2 * 400 ** 3)
+        )
+        assert per_flop_large > per_flop_small
+
+    def test_info_contains_plan_stats(self, machine):
+        drv = make_openblas(machine)
+        rng = make_rng(22)
+        result = drv.gemm(random_matrix(rng, 20, 20),
+                          random_matrix(rng, 20, 20))
+        plan = result.info["plan"]
+        assert plan["calls"] >= 1
+        assert plan["edge_calls"] >= 1  # 20 is not a multiple of 16
+
+
+class TestEigenModelSpecifics:
+    def test_eigen_kernel_capped_near_half(self, machine):
+        # no FP contraction: the 12x4 kernel cannot exceed ~50% of peak
+        drv = make_eigen(machine)
+        t = drv.cost_gemm(48, 48, 48)
+        assert t.kernel_efficiency(machine, np.float32) < 0.55
+
+    def test_eigen_packing_walks_mirrored(self, machine):
+        ob = make_openblas(machine)
+        eig = make_eigen(machine)
+        assert ob.config.pack_a_contiguous != eig.config.pack_a_contiguous
+        assert ob.config.pack_b_contiguous != eig.config.pack_b_contiguous
+
+    def test_eigen_pack_a_dominates_small_n(self, machine):
+        # mirrored walks: Eigen's expensive pack is A (strided for row-major)
+        eig = make_eigen(machine)
+        t = eig.cost_gemm(100, 4, 100)
+        assert t.pack_a_cycles > t.pack_b_cycles

@@ -1,0 +1,114 @@
+"""Cross-validation: the analytic cache model vs the reference simulator.
+
+The analytic :class:`GebpCacheModel` is the one the drivers trust; these
+tests replay the access patterns it abstracts through the real
+set-associative :class:`CacheSim` and require quantitative agreement on
+the quantities that matter (unique line fills) and qualitative agreement
+on the effects (reuse, capacity, sharing).
+"""
+
+import numpy as np
+import pytest
+
+from repro.caches import (
+    CacheHierarchy,
+    CacheSim,
+    GebpCacheModel,
+    make_shared_l2,
+)
+
+
+class TestCompulsoryMisses:
+    @pytest.mark.parametrize("rows,cols", [(64, 64), (100, 40), (32, 128)])
+    def test_sequential_walk_line_count(self, machine, rows, cols):
+        sim = CacheSim(machine.l1d)
+        nbytes = rows * cols * 4
+        misses = sim.access_range(base=0, count=rows * cols, stride=4)
+        expected = -(-nbytes // machine.l1d.line_bytes)
+        assert misses == expected
+
+    def test_analytic_packing_source_lines_match(self, machine):
+        model = GebpCacheModel(machine)
+        rows, cols = 64, 64
+        phase = model.packing_phase(rows, cols, 4, source_contiguous=True,
+                                    source_resident="l2")
+        sim = CacheSim(machine.l1d)
+        sim_misses = sim.access_range(0, rows * cols, 4)
+        # model counts src + dst; src alone must match the simulator
+        assert phase.l1_miss_lines / 2 == pytest.approx(sim_misses, rel=0.05)
+
+
+class TestReuse:
+    def test_l1_resident_sliver_reuse(self, machine):
+        # a kc x nr B sliver (256 x 4 fp32 = 4 KB) is reused across row
+        # tiles with no further misses — the premise of the GEBP analysis
+        sim = CacheSim(machine.l1d)
+        sliver_bytes = 256 * 4 * 4
+        first = sim.access_range(0, sliver_bytes // 4, 4)
+        again = sum(
+            sim.access_range(0, sliver_bytes // 4, 4) for _ in range(8)
+        )
+        assert first > 0
+        assert again == 0
+
+    def test_oversized_working_set_thrashes(self, machine):
+        sim = CacheSim(machine.l1d)
+        big = 3 * machine.l1d.size_bytes
+        sim.access_range(0, big // 4, 4)
+        # second pass still misses (LRU evicted the head)
+        misses = sim.access_range(0, big // 4, 4)
+        assert misses > 0
+
+
+class TestSharedL2:
+    def test_one_fill_serves_all_sharers(self, machine):
+        shared = make_shared_l2(machine.l2)
+        cores = [
+            CacheHierarchy(machine.l1d, machine.l2, shared_l2=shared, seed=i)
+            for i in range(4)
+        ]
+        cores[0].access(0)
+        for other in cores[1:]:
+            assert other.access(0) == float(machine.l2.hit_latency)
+
+    def test_contention_evicts_under_random_policy(self, machine):
+        shared = make_shared_l2(machine.l2, seed=3)
+        cores = [
+            CacheHierarchy(machine.l1d, machine.l2, shared_l2=shared, seed=i)
+            for i in range(4)
+        ]
+        # each core streams its own 1 MB region: 4 MB total > 2 MB L2
+        region = machine.l2.size_bytes // 2
+        for i, core in enumerate(cores):
+            base = i * region
+            for addr in range(base, base + region, 64):
+                core.access(addr)
+        # re-touch core 0's region: many lines were evicted
+        miss_latencies = [cores[0].access(addr)
+                          for addr in range(0, region, 64)]
+        dram_hits = sum(1 for lat in miss_latencies if lat >= 150)
+        assert dram_hits > 0
+
+    def test_analytic_inflation_direction(self, machine):
+        solo = GebpCacheModel(machine, active_l2_sharers=1)
+        packed = GebpCacheModel(machine, active_l2_sharers=4)
+        p1 = solo.kernel_phase(256, 512, 256, 16, 4, 4, b_resident="mem")
+        p4 = packed.kernel_phase(256, 512, 256, 16, 4, 4, b_resident="mem")
+        assert p4.stall_cycles > p1.stall_cycles
+
+
+class TestStridedVsSequential:
+    def test_strided_walk_spans_more_lines_per_access(self, machine):
+        seq = CacheSim(machine.l1d)
+        strided = CacheSim(machine.l1d)
+        seq_misses = seq.access_range(0, 256, 4)
+        strided_misses = strided.access_range(0, 256, 256)
+        assert strided_misses > 4 * seq_misses
+
+    def test_model_charges_strided_walks_more(self, machine):
+        model = GebpCacheModel(machine)
+        seq = model.packing_phase(200, 200, 4, source_contiguous=True,
+                                  source_resident="mem")
+        strided = model.packing_phase(200, 200, 4, source_contiguous=False,
+                                      source_resident="mem")
+        assert strided.stall_cycles > 1.5 * seq.stall_cycles

@@ -1,0 +1,148 @@
+"""Unit tests for the analytic GEBP cache model."""
+
+import pytest
+
+from repro.caches import GebpCacheModel, PhaseCacheCosts, lines_of
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture()
+def model(machine):
+    return GebpCacheModel(machine)
+
+
+@pytest.fixture()
+def mt_model(machine):
+    return GebpCacheModel(
+        machine, active_l2_sharers=4, numa_remote_fraction=0.5,
+        bandwidth_share=1.0,
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_sharers(self, machine):
+        with pytest.raises(ConfigError):
+            GebpCacheModel(machine, active_l2_sharers=0)
+        with pytest.raises(ConfigError):
+            GebpCacheModel(machine, active_l2_sharers=5)
+
+    def test_rejects_bad_remote_fraction(self, machine):
+        with pytest.raises(ConfigError):
+            GebpCacheModel(machine, numa_remote_fraction=1.5)
+
+    def test_rejects_negative_bandwidth(self, machine):
+        with pytest.raises(ConfigError):
+            GebpCacheModel(machine, bandwidth_share=-1)
+
+    def test_default_bandwidth_is_panel_channel(self, machine, model):
+        assert model.bandwidth_share == machine.numa.dram_bytes_per_cycle
+
+    def test_effective_l2_shrinks_with_sharers(self, machine, model, mt_model):
+        assert mt_model.effective_l2_bytes == model.effective_l2_bytes / 4
+
+    def test_lines_of(self):
+        assert lines_of(128, 64) == 2.0
+        with pytest.raises(ConfigError):
+            lines_of(-1, 64)
+
+
+class TestKernelPhase:
+    def test_l1_resident_smm_has_no_stall(self, model):
+        phase = model.kernel_phase(16, 16, 16, 16, 4, 4,
+                                   a_resident="l1", b_resident="l1")
+        assert phase.stall_cycles == 0.0
+        assert phase.l1_miss_lines == 0.0
+
+    def test_l2_resident_smm_pays_compulsory_fills(self, model):
+        phase = model.kernel_phase(16, 16, 16, 16, 4, 4,
+                                   a_resident="l2", b_resident="l2")
+        assert phase.l1_miss_lines > 0
+        assert phase.l2_miss_lines == 0.0
+
+    def test_mem_resident_adds_dram_lines(self, model):
+        warm = model.kernel_phase(128, 128, 128, 16, 4, 4)
+        cold = model.kernel_phase(128, 128, 128, 16, 4, 4,
+                                  a_resident="mem", b_resident="mem")
+        assert cold.l2_miss_lines > warm.l2_miss_lines
+        assert cold.dram_bytes > 0
+
+    def test_b_sharing_amortizes_dram(self, model):
+        solo = model.kernel_phase(64, 512, 256, 16, 4, 4,
+                                  b_resident="mem")
+        shared = model.kernel_phase(64, 512, 256, 16, 4, 4,
+                                    b_resident="mem", b_shared_by=4)
+        assert shared.l2_miss_lines == pytest.approx(solo.l2_miss_lines / 4)
+
+    def test_bad_residency_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.kernel_phase(8, 8, 8, 8, 4, 4, a_resident="l3")
+
+    def test_bad_sharing_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.kernel_phase(8, 8, 8, 8, 4, 4, b_shared_by=0)
+
+    def test_random_l2_inflation_under_contention(self, machine):
+        solo = GebpCacheModel(machine, active_l2_sharers=1)
+        packed = GebpCacheModel(machine, active_l2_sharers=4)
+        p1 = solo.kernel_phase(128, 512, 256, 16, 4, 4, b_resident="mem")
+        p4 = packed.kernel_phase(128, 512, 256, 16, 4, 4, b_resident="mem")
+        assert p4.l2_miss_lines > p1.l2_miss_lines
+
+    def test_numa_raises_dram_penalty(self, machine):
+        local = GebpCacheModel(machine, numa_remote_fraction=0.0)
+        remote = GebpCacheModel(machine, numa_remote_fraction=1.0)
+        assert remote.dram_fill_penalty > local.dram_fill_penalty
+
+    def test_large_a_restreams_per_column_tile(self, model):
+        # an A block larger than L1 is streamed once per column tile
+        small = model.kernel_phase(32, 128, 64, 16, 4, 4)
+        large = model.kernel_phase(256, 128, 256, 16, 4, 4)
+        assert large.l1_miss_lines > small.l1_miss_lines * 4
+
+
+class TestDramFloor:
+    def test_zero_traffic_zero_floor(self, model):
+        phase = model.kernel_phase(16, 16, 16, 16, 4, 4,
+                                   a_resident="l1", b_resident="l1")
+        assert model.dram_floor_cycles(phase) == 0.0
+
+    def test_floor_scales_with_bandwidth_share(self, machine):
+        full = GebpCacheModel(machine, bandwidth_share=8.0)
+        slim = GebpCacheModel(machine, bandwidth_share=1.0)
+        phase = full.kernel_phase(64, 2048, 256, 16, 4, 4, b_resident="mem")
+        assert slim.dram_floor_cycles(phase) == pytest.approx(
+            8.0 * full.dram_floor_cycles(phase)
+        )
+
+
+class TestPackingPhase:
+    def test_strided_pack_stalls_more(self, model):
+        seq = model.packing_phase(100, 100, 4, source_contiguous=True,
+                                  source_resident="l2")
+        strided = model.packing_phase(100, 100, 4, source_contiguous=False,
+                                      source_resident="l2")
+        assert strided.stall_cycles > seq.stall_cycles
+
+    def test_mem_source_adds_dram(self, model):
+        warm = model.packing_phase(100, 100, 4, True, source_resident="l2")
+        cold = model.packing_phase(100, 100, 4, True, source_resident="mem")
+        assert cold.l2_miss_lines > warm.l2_miss_lines
+
+    def test_bad_residency_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.packing_phase(10, 10, 4, True, source_resident="x")
+
+
+class TestPhaseMerging:
+    def test_merged_with_accumulates(self):
+        a = PhaseCacheCosts(loads=10, l1_miss_lines=1.0, l2_miss_lines=0.5,
+                            extra_load_cycles=0.1, stall_cycles=1.0,
+                            dram_bytes=32.0)
+        b = PhaseCacheCosts(loads=30, l1_miss_lines=2.0, l2_miss_lines=0.0,
+                            extra_load_cycles=0.2, stall_cycles=6.0,
+                            dram_bytes=0.0)
+        merged = a.merged_with(b)
+        assert merged.loads == 40
+        assert merged.stall_cycles == 7.0
+        assert merged.extra_load_cycles == pytest.approx(7.0 / 40)
+        assert merged.dram_bytes == 32.0

@@ -1,0 +1,172 @@
+"""Unit tests for the reference set-associative cache simulator."""
+
+import pytest
+
+from repro.caches import CacheHierarchy, CacheSim, make_shared_l2
+from repro.machine import CacheConfig
+from repro.util.errors import ConfigError
+
+
+def small_cache(assoc=2, sets=4, line=64, replacement="lru"):
+    return CacheConfig(
+        name="toy",
+        size_bytes=assoc * sets * line,
+        line_bytes=line,
+        associativity=assoc,
+        replacement=replacement,
+    )
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses_second_hits(self):
+        sim = CacheSim(small_cache())
+        assert sim.access_line(0) is False
+        assert sim.access_line(0) is True
+        assert sim.stats.misses == 1
+        assert sim.stats.hits == 1
+
+    def test_distinct_lines_miss(self):
+        sim = CacheSim(small_cache())
+        assert sim.access_line(0) is False
+        assert sim.access_line(1) is False
+
+    def test_miss_rate(self):
+        sim = CacheSim(small_cache())
+        sim.access_line(0)
+        sim.access_line(0)
+        assert sim.stats.miss_rate == pytest.approx(0.5)
+
+    def test_idle_miss_rate_zero(self):
+        sim = CacheSim(small_cache())
+        assert sim.stats.miss_rate == 0.0
+
+    def test_negative_address_rejected(self):
+        sim = CacheSim(small_cache())
+        with pytest.raises(ConfigError):
+            sim.line_of(-1)
+
+    def test_access_spanning_lines(self):
+        sim = CacheSim(small_cache())
+        # 8 bytes straddling a 64-byte boundary: two line misses
+        assert sim.access(60, 8) == 2
+
+    def test_access_bad_nbytes(self):
+        sim = CacheSim(small_cache())
+        with pytest.raises(ConfigError):
+            sim.access(0, 0)
+
+    def test_flush(self):
+        sim = CacheSim(small_cache())
+        sim.access_line(0)
+        sim.flush()
+        assert sim.resident_lines() == 0
+        assert sim.access_line(0) is False
+
+
+class TestLruReplacement:
+    def test_lru_evicts_oldest(self):
+        sim = CacheSim(small_cache(assoc=2, sets=1, line=64))
+        sim.access_line(0)
+        sim.access_line(1)
+        sim.access_line(0)  # 0 is now MRU
+        sim.access_line(2)  # evicts 1
+        assert sim.contains_line(0)
+        assert not sim.contains_line(1)
+        assert sim.contains_line(2)
+
+    def test_working_set_within_capacity_never_evicts(self):
+        cfg = small_cache(assoc=4, sets=4)
+        sim = CacheSim(cfg)
+        lines = list(range(16))
+        for line in lines:
+            sim.access_line(line)
+        for _ in range(3):
+            for line in lines:
+                assert sim.access_line(line) is True
+        assert sim.stats.evictions == 0
+
+
+class TestRandomReplacement:
+    def test_random_policy_evicts_something(self):
+        sim = CacheSim(small_cache(assoc=2, sets=1, replacement="random"),
+                       seed=1)
+        sim.access_line(0)
+        sim.access_line(1)
+        sim.access_line(2)
+        assert sim.stats.evictions == 1
+        assert sim.contains_line(2)
+
+    def test_random_policy_is_deterministic_per_seed(self):
+        def run(seed):
+            sim = CacheSim(
+                small_cache(assoc=4, sets=1, replacement="random"), seed=seed
+            )
+            for line in range(32):
+                sim.access_line(line % 7)
+            return sim.stats.misses
+
+        assert run(3) == run(3)
+
+    def test_random_worse_than_lru_on_looped_overcapacity(self):
+        # classic: loop over assoc+1 lines in one set; LRU thrashes fully,
+        # random sometimes keeps a useful line -> strictly fewer misses
+        lru = CacheSim(small_cache(assoc=4, sets=1, replacement="lru"))
+        rnd = CacheSim(small_cache(assoc=4, sets=1, replacement="random"),
+                       seed=7)
+        for _ in range(50):
+            for line in range(5):
+                lru.access_line(line)
+                rnd.access_line(line)
+        assert lru.stats.misses == 250  # full thrash
+        assert rnd.stats.misses < lru.stats.misses
+
+
+class TestAccessRange:
+    def test_sequential_range_compulsory_only(self):
+        sim = CacheSim(small_cache(assoc=4, sets=16))
+        misses = sim.access_range(base=0, count=64, stride=4, width=4)
+        assert misses == 4  # 256 bytes = 4 lines
+
+    def test_strided_range_touches_more_lines(self):
+        sim = CacheSim(small_cache(assoc=4, sets=64))
+        seq = sim.access_range(base=0, count=16, stride=4)
+        sim2 = CacheSim(small_cache(assoc=4, sets=64))
+        strided = sim2.access_range(base=0, count=16, stride=256)
+        assert strided > seq
+
+    def test_negative_count_rejected(self):
+        sim = CacheSim(small_cache())
+        with pytest.raises(ConfigError):
+            sim.access_range(0, -1, 4)
+
+
+class TestHierarchy:
+    def test_latencies_by_level(self, machine):
+        hier = CacheHierarchy(machine.l1d, machine.l2, dram_latency=150)
+        first = hier.access(0)
+        second = hier.access(0)
+        assert first == 150.0  # cold: DRAM
+        assert second == float(machine.l1d.hit_latency)
+
+    def test_l2_hit_after_l1_eviction(self, machine):
+        hier = CacheHierarchy(machine.l1d, machine.l2, dram_latency=150)
+        hier.access(0)
+        # walk something larger than L1 but smaller than L2
+        for addr in range(0, 2 * machine.l1d.size_bytes, 64):
+            hier.access(64 + addr)
+        latency = hier.access(0)
+        assert latency == float(machine.l2.hit_latency)
+
+    def test_shared_l2_between_hierarchies(self, machine):
+        shared = make_shared_l2(machine.l2)
+        a = CacheHierarchy(machine.l1d, machine.l2, shared_l2=shared)
+        b = CacheHierarchy(machine.l1d, machine.l2, shared_l2=shared)
+        a.access(0)
+        # core b misses L1 but hits the shared L2 line a brought in
+        assert b.access(0) == float(machine.l2.hit_latency)
+
+    def test_miss_rates_dict(self, machine):
+        hier = CacheHierarchy(machine.l1d, machine.l2)
+        hier.access(0)
+        rates = hier.miss_rates()
+        assert rates["l1"] == 1.0 and rates["l2"] == 1.0

@@ -1,0 +1,110 @@
+"""Tests for the GEBP trace generator and its replay."""
+
+import pytest
+
+from repro.caches import (
+    GebpCacheModel,
+    GebpTraceConfig,
+    gebp_access_stream,
+    replay_gebp,
+)
+from repro.util.errors import ConfigError
+
+
+class TestTraceGeometry:
+    def test_footprints(self):
+        cfg = GebpTraceConfig(mc=16, nc=8, kc=32, mr=8, nr=4)
+        assert cfg.a_bytes == 16 * 32 * 4
+        assert cfg.b_bytes == 32 * 8 * 4
+        assert cfg.c_bytes == 16 * 8 * 4
+
+    def test_padded_footprints(self):
+        cfg = GebpTraceConfig(mc=11, nc=7, kc=8, mr=8, nr=4)
+        assert cfg.a_bytes == 16 * 8 * 4  # 11 -> 2 slivers of 8
+        assert cfg.b_bytes == 8 * 8 * 4  # 7 -> 2 slivers of 4
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            GebpTraceConfig(mc=0, nc=8, kc=8, mr=8, nr=4)
+
+
+class TestStreamStructure:
+    def test_access_counts(self):
+        cfg = GebpTraceConfig(mc=16, nc=8, kc=4, mr=8, nr=4)
+        accesses = list(gebp_access_stream(cfg))
+        tiles = (16 // 8) * (8 // 4)
+        a_accesses = sum(1 for _, _, t in accesses if t == "A")
+        b_accesses = sum(1 for _, _, t in accesses if t == "B")
+        c_accesses = sum(1 for _, _, t in accesses if t == "C")
+        assert a_accesses == tiles * 4  # one per k-step per tile
+        assert b_accesses == tiles * 4
+        assert c_accesses == tiles * 4 * 2  # nr columns, load + store
+
+    def test_operand_ranges_disjoint(self):
+        cfg = GebpTraceConfig(mc=16, nc=8, kc=4, mr=8, nr=4)
+        ranges = {"A": (0, cfg.a_bytes),
+                  "B": (cfg.a_bytes, cfg.a_bytes + cfg.b_bytes),
+                  "C": (cfg.a_bytes + cfg.b_bytes,
+                        cfg.a_bytes + cfg.b_bytes + cfg.c_bytes)}
+        for addr, nbytes, tag in gebp_access_stream(cfg):
+            lo, hi = ranges[tag]
+            assert lo <= addr and addr + nbytes <= hi, (tag, addr)
+
+    def test_custom_bases(self):
+        cfg = GebpTraceConfig(mc=8, nc=4, kc=2, mr=8, nr=4)
+        accesses = list(gebp_access_stream(cfg, a_base=1 << 20))
+        assert all(addr >= 1 << 20 for addr, _, _ in accesses)
+
+
+class TestReplayAgainstModel:
+    def test_cold_compulsory_misses_match_model(self, machine):
+        cfg = GebpTraceConfig(mc=32, nc=16, kc=32, mr=8, nr=4)
+        stats = replay_gebp(machine, cfg, warm=False)
+        line = machine.l1d.line_bytes
+        # compulsory lines: each operand touched once, A re-streamed per
+        # column tile only if it exceeds L1 (it doesn't here)
+        expected_a = cfg.a_bytes / line
+        expected_b = cfg.b_bytes / line
+        assert stats["A"]["l1_misses"] == pytest.approx(expected_a, rel=0.1)
+        assert stats["B"]["l1_misses"] == pytest.approx(expected_b, rel=0.1)
+
+    def test_warm_smm_has_no_misses(self, machine):
+        # the paper's repeated-measurement setting: a fitting working set
+        # is fully L1-resident on the second pass
+        cfg = GebpTraceConfig(mc=16, nc=16, kc=32, mr=8, nr=4)
+        stats = replay_gebp(machine, cfg, warm=True)
+        assert stats["total"]["l1_misses"] == 0
+
+    def test_large_a_restreams(self, machine):
+        # A block ~4x L1: each column tile re-streams it, matching the
+        # analytic model's n_col_tiles factor
+        cfg = GebpTraceConfig(mc=256, nc=32, kc=128, mr=8, nr=4)
+        stats = replay_gebp(machine, cfg, warm=True)
+        line = machine.l1d.line_bytes
+        one_pass = cfg.a_bytes / line
+        n_col_tiles = 32 // 4
+        assert stats["A"]["l1_misses"] > 0.8 * one_pass * (n_col_tiles - 1)
+
+    def test_b_sliver_reuse_across_row_tiles(self, machine):
+        # with several row tiles, B misses stay ~one pass of the panel
+        cfg = GebpTraceConfig(mc=64, nc=16, kc=64, mr=8, nr=4)
+        stats = replay_gebp(machine, cfg, warm=False)
+        line = machine.l1d.line_bytes
+        assert stats["B"]["l1_misses"] == pytest.approx(
+            cfg.b_bytes / line, rel=0.15
+        )
+
+    def test_model_agrees_on_restream_direction(self, machine):
+        model = GebpCacheModel(machine)
+        small = model.kernel_phase(32, 16, 32, 8, 4, 4)
+        big = model.kernel_phase(256, 32, 128, 8, 4, 4)
+        small_replay = replay_gebp(
+            machine, GebpTraceConfig(32, 16, 32, 8, 4), warm=True
+        )
+        big_replay = replay_gebp(
+            machine, GebpTraceConfig(256, 32, 128, 8, 4), warm=True
+        )
+        # both model and simulation agree: big GEBP misses far more
+        assert big.l1_miss_lines > small.l1_miss_lines
+        assert big_replay["total"]["l1_misses"] > \
+            small_replay["total"]["l1_misses"]

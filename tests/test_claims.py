@@ -1,0 +1,55 @@
+"""The executable claim registry: every paper claim must PASS."""
+
+import pytest
+
+from repro.analysis import all_claims, failed_claims, verify_reproduction
+
+
+@pytest.fixture(scope="module")
+def verdicts(machine):
+    return verify_reproduction(machine)
+
+
+class TestClaimRegistry:
+    def test_registry_covers_the_evaluation(self):
+        ids = {c.claim_id for c in all_claims()}
+        # at least one claim per evaluated artifact
+        assert any(i.startswith("fig5") for i in ids)
+        assert any(i.startswith("fig6") for i in ids)
+        assert any(i.startswith("fig9") for i in ids)
+        assert any(i.startswith("fig10") for i in ids)
+        assert any(i.startswith("table2") for i in ids)
+        assert any(i.startswith("sec4") for i in ids)
+        assert len(ids) == len(all_claims())  # unique ids
+
+    def test_every_claim_cites_its_source(self):
+        for claim in all_claims():
+            assert claim.source.startswith("Sec."), claim.claim_id
+            assert claim.statement
+
+    def test_all_claims_pass(self, verdicts):
+        failures = failed_claims(verdicts)
+        assert failures == {}, failures
+
+    def test_verdict_table_shape(self, verdicts):
+        assert verdicts.headers == ["claim", "paper source", "measured",
+                                    "verdict"]
+        assert len(verdicts.rows) == len(all_claims())
+        for row in verdicts.rows:
+            assert row[3] in ("PASS", "FAIL")
+
+    def test_measured_strings_carry_numbers(self, verdicts):
+        import re
+
+        for row in verdicts.rows:
+            assert re.search(r"\d", str(row[2])), row[0]
+
+
+class TestCliVerify:
+    def test_verify_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "12/12 claims reproduce" in out
+        assert "FAIL" not in out.replace("PASS/FAIL", "")

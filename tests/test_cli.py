@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_gemm_args(self):
+        args = build_parser().parse_args(
+            ["gemm", "16", "32", "64", "--lib", "blis", "--threads", "8"]
+        )
+        assert (args.m, args.n, args.k) == (16, 32, 64)
+        assert args.lib == "blis"
+        assert args.threads == 8
+
+    def test_gemm_rejects_bad_lib(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gemm", "1", "1", "1", "--lib", "mkl"])
+
+
+class TestCommands:
+    def test_machine(self, capsys):
+        assert main(["machine"]) == 0
+        out = capsys.readouterr().out
+        assert "phytium-2000+" in out
+        assert "563.2" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "OpenBLAS" in out and "8x12" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Kernel effic" in out
+
+    def test_fig5b(self, capsys):
+        assert main(["fig5b"]) == 0
+        out = capsys.readouterr().out
+        assert "blasfeo" in out and "eigen" in out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "fmla" in out
+        assert "edge family" in out
+
+    def test_fig9_multi_panel(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9-sweep-M" in out
+        assert "fig9-sweep-K" in out
+
+    def test_gemm_single_thread(self, capsys):
+        assert main(["gemm", "24", "24", "24", "--lib", "blasfeo"]) == 0
+        out = capsys.readouterr().out
+        assert "% of peak" in out
+        assert "blasfeo GEMM 24x24x24" in out
+
+    def test_gemm_reference_shows_decision(self, capsys):
+        assert main(["gemm", "16", "16", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "packed_b=" in out
+
+    def test_gemm_multithreaded(self, capsys):
+        assert main(["gemm", "64", "512", "512", "--lib", "blis",
+                     "--threads", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "16 thread(s)" in out
+        assert "scheme" in out
+
+    def test_gemm_reference_multithreaded(self, capsys):
+        assert main(["gemm", "64", "512", "512", "--threads", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "8 thread(s)" in out

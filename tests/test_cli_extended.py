@@ -1,0 +1,50 @@
+"""Tests for the report and sensitivity CLI commands."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "# SMM characterization report" in out
+        assert "Table II" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "REPORT.md"
+        assert main(["report", "--output", str(target)]) == 0
+        assert target.exists()
+        assert "# SMM characterization report" in target.read_text()
+        assert f"wrote {target}" in capsys.readouterr().out
+
+
+class TestSensitivityCommand:
+    def test_sweep_renders_series(self, capsys):
+        assert main(["sensitivity", "core.fma_latency", "3", "5", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "blasfeo" in out
+        assert "core.fma_latency" in out
+
+    def test_float_parameter(self, capsys):
+        assert main(
+            ["sensitivity", "numa.dram_bytes_per_cycle", "4.0", "16.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "openblas" in out
+
+    def test_unknown_parameter_raises(self):
+        from repro.util.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["sensitivity", "core.nonsense", "1"])
+
+
+class TestMakefileTargetsExist:
+    def test_makefile_covers_workflow(self):
+        text = pathlib.Path("Makefile").read_text()
+        for target in ("test:", "bench:", "docs:", "report:"):
+            assert target in text

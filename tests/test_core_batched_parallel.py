@@ -1,0 +1,111 @@
+"""Tests for batch-across-cores parallelism and the attention workload."""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchedSmm
+from repro.util import make_rng, random_matrix
+from repro.util.errors import ConfigError, DriverError
+from repro.workloads import attention_head_layers, materialize
+
+
+def make_pairs(rng, count=12, shape=(16, 24, 16)):
+    m, n, k = shape
+    return [
+        (random_matrix(rng, m, k), random_matrix(rng, k, n))
+        for _ in range(count)
+    ]
+
+
+class TestBatchAcrossCores:
+    def test_outputs_correct(self, machine, rng):
+        batch = BatchedSmm(machine)
+        pairs = make_pairs(rng)
+        result = batch.run_across_cores(pairs, cores=4)
+        for (a, b), out in zip(pairs, result.outputs):
+            np.testing.assert_allclose(out, a @ b, rtol=1e-4, atol=1e-5)
+
+    def test_critical_path_shrinks_with_cores(self, machine, rng):
+        batch = BatchedSmm(machine)
+        pairs = make_pairs(rng, count=16)
+        t1 = batch.run_across_cores(pairs, cores=1).timing.total_cycles
+        t4 = batch.run_across_cores(pairs, cores=4).timing.total_cycles
+        t16 = batch.run_across_cores(pairs, cores=16).timing.total_cycles
+        assert t4 < t1
+        assert t16 < t4
+        # near-linear until the batch runs out of parallelism
+        assert t1 / t4 > 3.0
+
+    def test_saturates_when_cores_exceed_batch(self, machine, rng):
+        batch = BatchedSmm(machine)
+        pairs = make_pairs(rng, count=4)
+        t4 = batch.run_across_cores(pairs, cores=4).timing
+        t32 = batch.run_across_cores(pairs, cores=32).timing
+        # no more than a barrier's worth of difference in kernel time
+        assert t32.kernel_cycles == pytest.approx(t4.kernel_cycles, rel=0.05)
+
+    def test_lpt_balances_mixed_batch(self, machine, rng):
+        batch = BatchedSmm(machine)
+        pairs = make_pairs(rng, count=6, shape=(32, 32, 32)) + \
+            make_pairs(rng, count=6, shape=(8, 8, 8))
+        result = batch.run_across_cores(pairs, cores=4)
+        assert result.timing.extra["imbalance"] < 1.5
+
+    def test_join_barrier_charged(self, machine, rng):
+        batch = BatchedSmm(machine)
+        result = batch.run_across_cores(make_pairs(rng), cores=8)
+        assert result.timing.sync_cycles > 0
+
+    def test_rejects_bad_args(self, machine, rng):
+        batch = BatchedSmm(machine)
+        with pytest.raises(DriverError):
+            batch.run_across_cores([], cores=4)
+        with pytest.raises(DriverError):
+            batch.run_across_cores(make_pairs(rng), cores=0)
+        with pytest.raises(DriverError):
+            batch.run_across_cores(make_pairs(rng), cores=65)
+
+    def test_across_beats_within_for_tiny_gemms(self, machine, rng):
+        """The headline of batch parallelism: for tiny GEMMs, distributing
+        whole multiplications across cores beats giving each one all the
+        threads."""
+        from repro.core import ReferenceSmmDriver
+
+        pairs = make_pairs(rng, count=64, shape=(16, 16, 16))
+        batch = BatchedSmm(machine)
+        across = batch.run_across_cores(pairs, cores=16).timing
+
+        within_driver = ReferenceSmmDriver(machine, threads=16)
+        within_cycles = sum(
+            within_driver.cost_gemm(16, 16, 16)[0].total_cycles
+            for _ in pairs
+        )
+        assert across.total_cycles < within_cycles
+
+
+class TestAttentionWorkload:
+    def test_layer_inventory(self):
+        layers = attention_head_layers(seq=64, model_dim=128, heads=8)
+        assert len(layers) == 3 + 2 * 8 + 1
+        names = [l.name for l in layers]
+        assert "scores-h0" in names and "context-h7" in names
+
+    def test_head_dim_shapes(self):
+        layers = attention_head_layers(seq=32, model_dim=64, heads=4)
+        scores = next(l for l in layers if l.name == "scores-h0")
+        assert scores.shape == (32, 32, 16)
+        context = next(l for l in layers if l.name == "context-h0")
+        assert context.shape == (32, 16, 32)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ConfigError):
+            attention_head_layers(model_dim=100, heads=8)
+
+    def test_attention_batch_runs(self, machine, rng):
+        layers = attention_head_layers(seq=32, model_dim=64, heads=4)
+        pairs = materialize(layers, rng)
+        batch = BatchedSmm(machine)
+        result = batch.run_across_cores(pairs, cores=8)
+        for (a, b), out in zip(pairs, result.outputs):
+            np.testing.assert_allclose(out, a @ b, rtol=1e-4, atol=1e-4)
+        assert result.timing.efficiency(machine, np.float32, 8) > 0.2

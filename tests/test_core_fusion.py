@@ -1,0 +1,113 @@
+"""Tests for Fig.-11 fused (kernel-integrated) packing."""
+
+import numpy as np
+import pytest
+
+from repro.blas import shared_analyzer, shared_generator
+from repro.core import ReferenceSmmDriver, fused_pack_cycles, kernel_slot_usage
+from repro.kernels import KernelSpec
+from repro.util import make_rng, random_matrix
+from repro.util.errors import DriverError
+
+
+@pytest.fixture(scope="module")
+def kernel_and_state(machine):
+    gen = shared_generator()
+    analyzer = shared_analyzer(machine)
+    kernel = gen.generate(KernelSpec(8, 12, unroll=4, label="fuse"))
+    return kernel, analyzer.analyze(kernel)
+
+
+class TestSlotUsage:
+    def test_fma_bound_kernel_has_spare_load_slots(self, machine,
+                                                   kernel_and_state):
+        kernel, state = kernel_and_state
+        usage = kernel_slot_usage(kernel, state)
+        # the 8x12 kernel saturates the FMA pipe...
+        assert usage["fma"] == pytest.approx(1.0, rel=0.02)
+        # ...but leaves most of the two load ports idle
+        assert usage["load"] < 0.5
+
+
+class TestFusionEstimate:
+    def test_zero_elements_free(self, machine, kernel_and_state):
+        kernel, state = kernel_and_state
+        est = fused_pack_cycles(machine.core, kernel, state, 1000.0, 0, 0.0)
+        assert est.fused_extra_cycles == 0.0
+
+    def test_negative_elements_rejected(self, machine, kernel_and_state):
+        kernel, state = kernel_and_state
+        with pytest.raises(DriverError):
+            fused_pack_cycles(machine.core, kernel, state, 1000.0, -1, 0.0)
+
+    def test_fusion_never_worse_than_separate(self, machine,
+                                              kernel_and_state):
+        kernel, state = kernel_and_state
+        for elements in (64, 1024, 65536):
+            est = fused_pack_cycles(
+                machine.core, kernel, state, 500.0, elements, 100.0
+            )
+            assert est.fused_extra_cycles <= est.separate_cycles + 1e-9
+
+    def test_small_pack_mostly_hidden(self, machine, kernel_and_state):
+        kernel, state = kernel_and_state
+        est = fused_pack_cycles(
+            machine.core, kernel, state,
+            kernel_cycles=10_000.0, pack_elements=1024,
+            pack_stall_cycles=50.0,
+        )
+        assert est.hidden_fraction > 0.5
+
+    def test_oversized_pack_spills_past_the_kernel(self, machine,
+                                                   kernel_and_state):
+        kernel, state = kernel_and_state
+        small = fused_pack_cycles(
+            machine.core, kernel, state, 100.0, 4096, 0.0
+        )
+        large_kernel = fused_pack_cycles(
+            machine.core, kernel, state, 100_000.0, 4096, 0.0
+        )
+        assert small.fused_extra_cycles > large_kernel.fused_extra_cycles
+
+
+class TestDriverIntegration:
+    def test_fused_driver_correct(self, machine):
+        rng = make_rng(77)
+        a = random_matrix(rng, 24, 24)
+        b = random_matrix(rng, 24, 24)
+        drv = ReferenceSmmDriver(machine, fused_packing=True,
+                                 force_packing=True)
+        np.testing.assert_allclose(drv.gemm(a, b).c, a @ b,
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_fused_packing_cheaper_than_separate(self, machine):
+        plain = ReferenceSmmDriver(machine, force_packing=True)
+        fused = ReferenceSmmDriver(machine, force_packing=True,
+                                   fused_packing=True)
+        for s in (16, 48, 96):
+            tp, _ = plain.cost_gemm(s, s, s)
+            tf, _ = fused.cost_gemm(s, s, s)
+            assert tf.pack_b_cycles < tp.pack_b_cycles, s
+            assert tf.total_cycles < tp.total_cycles, s
+
+    def test_fusion_shifts_the_packing_decision(self, machine):
+        """Cheaper packing means the adaptive driver packs more often."""
+        shapes = [(s, s, 256) for s in (16, 24, 32, 48, 64)]
+        plain_packs = sum(
+            ReferenceSmmDriver(machine).cost_gemm(*sh)[1].packed_b
+            for sh in shapes
+        )
+        fused_packs = sum(
+            ReferenceSmmDriver(machine, fused_packing=True)
+            .cost_gemm(*sh)[1].packed_b
+            for sh in shapes
+        )
+        assert fused_packs >= plain_packs
+
+    def test_fused_never_slower_overall(self, machine):
+        for s in (8, 23, 64, 100):
+            plain, _ = ReferenceSmmDriver(machine).cost_gemm(s, s, s)
+            fused, _ = ReferenceSmmDriver(
+                machine, fused_packing=True
+            ).cost_gemm(s, s, s)
+            assert fused.total_cycles <= plain.total_cycles * 1.001, s

@@ -1,0 +1,219 @@
+"""Tests for the Section-IV reference SMM driver and its planner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas import make_blasfeo, make_openblas
+from repro.core import BatchedSmm, ReferenceSmmDriver, jit_tile_plan
+from repro.kernels import JitKernelFactory, plan_coverage
+from repro.util import make_rng, random_matrix
+from repro.util.errors import DriverError
+
+
+@pytest.fixture()
+def ref(machine):
+    return ReferenceSmmDriver(machine)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("m,n,k", [
+        (1, 1, 1), (8, 12, 8), (13, 7, 5), (40, 40, 40), (75, 60, 60),
+        (96, 97, 96),
+    ])
+    def test_matches_numpy(self, ref, m, n, k):
+        rng = make_rng(m * 7919 + n * 31 + k)
+        a = random_matrix(rng, m, k)
+        b = random_matrix(rng, k, n)
+        result = ref.gemm(a, b)
+        np.testing.assert_allclose(result.c, a @ b, rtol=1e-4, atol=1e-5)
+
+    def test_alpha_beta(self, ref):
+        rng = make_rng(2)
+        a = random_matrix(rng, 10, 6)
+        b = random_matrix(rng, 6, 9)
+        c = random_matrix(rng, 10, 9)
+        result = ref.gemm(a, b, c=c, alpha=1.5, beta=0.25)
+        np.testing.assert_allclose(
+            result.c, 1.5 * (a @ b) + 0.25 * c, rtol=1e-4, atol=1e-5
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(m=st.integers(1, 48), n=st.integers(1, 48), k=st.integers(1, 48))
+    def test_matches_numpy_property(self, machine, m, n, k):
+        ref = ReferenceSmmDriver(machine)
+        rng = make_rng(m * 48 * 48 + n * 48 + k)
+        a = random_matrix(rng, m, k)
+        b = random_matrix(rng, k, n)
+        np.testing.assert_allclose(ref.gemm(a, b).c, a @ b,
+                                   rtol=1e-4, atol=1e-5)
+
+
+class TestPackingOptional:
+    def test_tiny_problems_skip_packing(self, ref):
+        _, decision = ref.cost_gemm(8, 8, 8)
+        assert decision.packed_b is False
+
+    def test_force_packing_respected(self, machine):
+        forced = ReferenceSmmDriver(machine, force_packing=True)
+        timing, decision = forced.cost_gemm(8, 8, 8)
+        assert decision.packed_b is True
+        assert timing.pack_b_cycles > 0
+
+    def test_force_no_packing(self, machine):
+        forced = ReferenceSmmDriver(machine, force_packing=False)
+        timing, decision = forced.cost_gemm(128, 128, 128)
+        assert decision.packed_b is False
+        assert timing.pack_b_cycles == 0.0
+
+    def test_adaptive_beats_or_ties_both_forced(self, machine):
+        # the decision must pick the cheaper strategy (that's its contract)
+        adaptive = ReferenceSmmDriver(machine)
+        packed = ReferenceSmmDriver(machine, force_packing=True)
+        unpacked = ReferenceSmmDriver(machine, force_packing=False)
+        for shape in [(8, 8, 8), (32, 32, 256), (64, 64, 64), (100, 20, 300)]:
+            t_a = adaptive.cost_gemm(*shape)[0].total_cycles
+            t_p = packed.cost_gemm(*shape)[0].total_cycles
+            t_u = unpacked.cost_gemm(*shape)[0].total_cycles
+            assert t_a <= min(t_p, t_u) * 1.001
+
+    def test_decision_estimates_exposed(self, ref):
+        _, decision = ref.cost_gemm(16, 16, 16)
+        assert decision.pack_cycles_estimate >= 0
+        assert decision.nopack_penalty_estimate >= 0
+        assert "x" in decision.kernel_shape
+
+
+class TestAgainstLibraries:
+    def test_beats_openblas_on_edge_sizes(self, machine):
+        ref = ReferenceSmmDriver(machine)
+        ob = make_openblas(machine)
+        for s in (11, 23, 75):
+            e_ref = ref.cost_gemm(s, s, s)[0].efficiency(machine, np.float32)
+            e_ob = ob.cost_gemm(s, s, s).efficiency(machine, np.float32)
+            assert e_ref > e_ob
+
+    def test_competitive_with_blasfeo(self, machine):
+        ref = ReferenceSmmDriver(machine)
+        bf = make_blasfeo(machine)
+        for s in (16, 40, 80):
+            e_ref = ref.cost_gemm(s, s, s)[0].efficiency(machine, np.float32)
+            e_bf = bf.cost_gemm(s, s, s).efficiency(machine, np.float32)
+            assert e_ref > 0.85 * e_bf
+
+
+class TestParallelReference:
+    def test_thread_bounds(self, machine):
+        with pytest.raises(DriverError):
+            ReferenceSmmDriver(machine, threads=0)
+        with pytest.raises(DriverError):
+            ReferenceSmmDriver(machine, threads=65)
+
+    def test_parallel_correctness(self, machine):
+        ref = ReferenceSmmDriver(machine, threads=16)
+        rng = make_rng(4)
+        a = random_matrix(rng, 32, 24)
+        b = random_matrix(rng, 24, 40)
+        np.testing.assert_allclose(ref.gemm(a, b).c, a @ b,
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_parallel_decision_has_factorization(self, machine):
+        ref = ReferenceSmmDriver(machine, threads=64)
+        _, decision = ref.cost_gemm(64, 2048, 2048)
+        assert decision.factorization is not None
+        assert decision.factorization.threads == 64
+
+    def test_refuses_to_fragment_small_m(self, machine):
+        ref = ReferenceSmmDriver(machine, threads=64)
+        _, decision = ref.cost_gemm(8, 2048, 2048)
+        assert decision.factorization.ic == 1
+
+
+class TestJitTilePlan:
+    def test_coverage_exact(self, machine):
+        jit = JitKernelFactory(machine.core)
+        for (mc, nc) in [(8, 12), (75, 60), (11, 7), (1, 1), (96, 96)]:
+            plan = jit_tile_plan(jit, mc, nc)
+            assert plan_coverage(plan) == mc * nc
+
+    def test_exact_edges_no_column_padding(self, machine):
+        jit = JitKernelFactory(machine.core)
+        plan = jit_tile_plan(jit, 16, 13)
+        for inv in plan:
+            assert inv.padded_cols == inv.cols  # exact-width JIT kernels
+
+    def test_unpacked_edge_b_is_strided(self, machine):
+        jit = JitKernelFactory(machine.core)
+        plan = jit_tile_plan(jit, 16, 13, pack_edge_b=False)
+        n_edges = [inv for inv in plan if inv.cols != jit.main_spec.nr]
+        assert n_edges
+        assert all(inv.spec.b_layout == "strided" for inv in n_edges)
+
+    def test_strided_plan_all_strided(self, machine):
+        jit = JitKernelFactory(machine.core)
+        plan = jit_tile_plan(jit, 40, 40, strided=True)
+        assert all(inv.spec.b_layout == "strided" for inv in plan)
+
+    @settings(max_examples=30, deadline=None)
+    @given(mc=st.integers(1, 150), nc=st.integers(1, 150))
+    def test_coverage_property(self, machine, mc, nc):
+        jit = JitKernelFactory(machine.core)
+        assert plan_coverage(jit_tile_plan(jit, mc, nc)) == mc * nc
+
+
+class TestBatched:
+    def test_outputs_match(self, machine):
+        rng = make_rng(8)
+        batch = BatchedSmm(machine)
+        pairs = [
+            (random_matrix(rng, 8, 16), random_matrix(rng, 16, 12))
+            for _ in range(5)
+        ]
+        result = batch.run(pairs)
+        for (a, b), out in zip(pairs, result.outputs):
+            np.testing.assert_allclose(out, a @ b, rtol=1e-4, atol=1e-5)
+
+    def test_jit_cache_warms_up(self, machine):
+        rng = make_rng(9)
+        batch = BatchedSmm(machine)
+        pairs = [
+            (random_matrix(rng, 8, 16), random_matrix(rng, 16, 12))
+            for _ in range(20)
+        ]
+        result = batch.run(pairs)
+        assert result.jit_hit_rate > 0.8
+        assert result.shapes == ((8, 12, 16),)
+
+    def test_empty_batch_rejected(self, machine):
+        with pytest.raises(DriverError):
+            BatchedSmm(machine).run([])
+
+    def test_run_accumulate(self, machine):
+        rng = make_rng(10)
+        batch = BatchedSmm(machine)
+        pairs = [
+            (random_matrix(rng, 8, 8), random_matrix(rng, 8, 8))
+            for _ in range(3)
+        ]
+        c0 = random_matrix(rng, 8, 8)
+        result = batch.run_accumulate(pairs, c0)
+        expected = c0 + sum(a @ b for a, b in pairs)
+        np.testing.assert_allclose(result.outputs[0], expected,
+                                   rtol=1e-4, atol=1e-4)
+
+    def test_accumulate_empty_rejected(self, machine):
+        with pytest.raises(DriverError):
+            BatchedSmm(machine).run_accumulate(
+                [], np.zeros((2, 2), dtype=np.float32)
+            )
+
+    def test_timing_merged(self, machine):
+        rng = make_rng(11)
+        batch = BatchedSmm(machine)
+        pairs = [
+            (random_matrix(rng, 8, 8), random_matrix(rng, 8, 8))
+            for _ in range(4)
+        ]
+        result = batch.run(pairs)
+        assert result.timing.useful_flops == 4 * 2 * 8 * 8 * 8

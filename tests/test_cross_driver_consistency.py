@@ -1,0 +1,90 @@
+"""Cross-driver consistency: independent models must agree where their
+assumptions coincide, and disagree exactly where their designs differ."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fig10, reference_comparison
+from repro.blas import make_blasfeo, make_blis, make_openblas
+from repro.core import ReferenceSmmDriver
+
+
+class TestKernelLevelAgreement:
+    def test_openblas_and_blasfeo_share_kernel_speed(self, machine):
+        """Both model 16x4 pipelined kernels; on an aligned, cache-resident
+        shape their *kernel-only* efficiency must agree closely (they
+        differ in unroll factor only)."""
+        ob = make_openblas(machine).cost_gemm(64, 64, 64)
+        bf = make_blasfeo(machine).cost_gemm(64, 64, 64)
+        e_ob = ob.kernel_efficiency(machine, np.float32)
+        e_bf = bf.kernel_efficiency(machine, np.float32)
+        assert e_ob == pytest.approx(e_bf, rel=0.10)
+
+    def test_total_gap_equals_packing(self, machine):
+        """On that same shape the *total* gap between OpenBLAS and BLASFEO
+        must be explained by packing, nothing else."""
+        ob = make_openblas(machine).cost_gemm(64, 64, 64)
+        bf = make_blasfeo(machine).cost_gemm(64, 64, 64)
+        gap = ob.total_cycles - bf.total_cycles
+        assert gap == pytest.approx(
+            ob.packing_cycles + (ob.kernel_cycles - bf.kernel_cycles),
+            rel=0.05,
+        )
+
+    def test_blis_and_reference_share_tile_family(self, machine):
+        """BLIS's 8x12 and the JIT's {8x12, 12x8} are the same analytic
+        optimum; on aligned shapes their kernel efficiency agrees."""
+        blis = make_blis(machine).cost_gemm(96, 96, 96)
+        ref, _ = ReferenceSmmDriver(
+            machine, force_packing=False
+        ).cost_gemm(96, 96, 96)
+        assert blis.kernel_efficiency(machine, np.float32) == pytest.approx(
+            ref.kernel_efficiency(machine, np.float32), rel=0.12
+        )
+
+
+class TestDesignedDisagreements:
+    def test_edge_shapes_separate_the_policies(self, machine):
+        """At 75³ the three edge policies must give *different* answers —
+        if they agree, the models are not modeling the policies."""
+        effs = {
+            "openblas": make_openblas(machine).cost_gemm(75, 75, 75)
+            .efficiency(machine, np.float32),
+            "blis": make_blis(machine).cost_gemm(75, 75, 75)
+            .efficiency(machine, np.float32),
+            "blasfeo": make_blasfeo(machine).cost_gemm(75, 75, 75)
+            .efficiency(machine, np.float32),
+        }
+        values = sorted(effs.values())
+        assert values[1] - values[0] > 0.01
+        assert values[2] - values[1] > 0.01
+
+    def test_aligned_shapes_collapse_the_policies(self, machine):
+        """At 96³ (a multiple of every tile) edge policies cannot matter;
+        the spread must shrink to packing differences only."""
+        ob = make_openblas(machine).cost_gemm(96, 96, 96)
+        blis = make_blis(machine).cost_gemm(96, 96, 96)
+        assert ob.kernel_efficiency(machine, np.float32) == pytest.approx(
+            blis.kernel_efficiency(machine, np.float32), rel=0.1
+        )
+
+
+class TestExperimentCrossChecks:
+    def test_fig10_reference_dominates_blis_on_smm(self, machine):
+        """The reference design targets *small* M; it must dominate BLIS
+        there and stay in range as M leaves the SMM regime."""
+        figs = fig10(machine, threads=64, include_reference=True)
+        fig = figs["small-M"]
+        ref = fig.series_by_name("reference").ys
+        blis = fig.series_by_name("blis").ys
+        for x, r, b in zip(fig.xs, ref, blis):
+            if x <= 128:
+                assert r >= 0.9 * b, x
+            else:
+                assert r >= 0.75 * b, x
+
+    def test_reference_comparison_contains_all_series(self, machine):
+        fig = reference_comparison(machine)
+        assert {s.name for s in fig.series} == {
+            "openblas", "blis", "blasfeo", "eigen", "reference"
+        }

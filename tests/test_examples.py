@@ -1,0 +1,64 @@
+"""The examples must run end to end (they are part of the public surface)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, argv=None, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", ["16"], capsys)
+        assert "blasfeo" in out
+        assert "% of peak" in out
+        assert "reference SMM decision" in out
+
+    def test_quickstart_default_size(self, capsys):
+        out = run_example("quickstart.py", [], capsys)
+        assert "M = N = K = 32" in out
+
+    def test_dnn_layers(self, capsys):
+        out = run_example("dnn_layers.py", [], capsys)
+        assert "MLP" in out
+        assert "speedup" in out
+        assert "LSTM" in out
+
+    def test_block_sparse(self, capsys):
+        out = run_example("block_sparse_bcsr.py", [], capsys)
+        assert "BCSR SpMM" in out
+        assert "32x32" in out
+
+    def test_abft(self, capsys):
+        out = run_example("abft_checksum.py", [], capsys)
+        assert "located error at (37, 101)" in out
+        assert "verifies clean again" in out
+
+    def test_layout_locality(self, capsys):
+        out = run_example("layout_locality.py", [], capsys)
+        assert "waste factor" in out
+        assert "8.0x" in out
+
+    def test_custom_machine(self, capsys):
+        out = run_example("custom_machine.py", [], capsys)
+        assert "armv9-hypothetical" in out
+        assert "functional check on custom machine: OK" in out
+
+    @pytest.mark.slow
+    def test_characterization_sweep_quick(self, capsys):
+        out = run_example("characterization_sweep.py", ["--quick"], capsys)
+        assert "Table I" in out
+        assert "Figure 6" in out
+        assert "complete in" in out

@@ -1,0 +1,165 @@
+"""Failure injection: the library must fail loudly and correctly.
+
+Exercises malformed inputs, inconsistent configurations, NaN/Inf
+propagation, and adversarial geometry across every subsystem boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas import make_driver
+from repro.caches import CacheSim, GebpCacheModel
+from repro.core import ReferenceSmmDriver
+from repro.isa import KernelSequence, fmla, movi_zero
+from repro.isa.instructions import Instruction
+from repro.machine import CacheConfig, CoreConfig, phytium2000plus
+from repro.parallel import MultithreadedGemm
+from repro.util import make_rng, random_matrix
+from repro.util.errors import (
+    ConfigError,
+    DriverError,
+    IsaError,
+    ParallelError,
+    ReproError,
+    ScheduleError,
+)
+
+
+class TestMalformedInstructions:
+    def test_bad_port_rejected(self):
+        with pytest.raises(IsaError, match="port"):
+            Instruction(text="x", port="teleport", latency_key="alu")
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(IsaError, match="register"):
+            Instruction(text="x", port="alu", latency_key="alu",
+                        reads=("w0",))
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(text="x", port="fma", latency_key="fma", flops=-1)
+
+    def test_unknown_latency_surfaces_at_schedule_time(self, machine):
+        from repro.pipeline import OoOScheduler
+
+        rogue = Instruction(text="rogue", port="alu", latency_key="warp")
+        with pytest.raises(ScheduleError, match="latency key"):
+            OoOScheduler(machine.core).run([rogue])
+
+    def test_kernel_sequence_rejects_garbage(self):
+        with pytest.raises(IsaError):
+            KernelSequence("bad", (), (movi_zero("v0"), "nop"), (), {})
+
+
+class TestInconsistentConfigs:
+    def test_core_with_zero_window(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(scheduler_window=0)
+
+    def test_cache_too_small_for_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(name="x", size_bytes=32, line_bytes=64)
+
+    def test_cache_model_rejects_oversharing(self, machine):
+        with pytest.raises(ConfigError):
+            GebpCacheModel(machine, active_l2_sharers=99)
+
+    def test_machine_rejects_core_count_mismatch(self):
+        from dataclasses import replace
+
+        base = phytium2000plus()
+        with pytest.raises(ConfigError, match="divide"):
+            replace(base, l2=replace(base.l2, shared_by=7))
+
+
+class TestNumericalPoison:
+    @pytest.mark.parametrize("lib", ["openblas", "blis", "blasfeo", "eigen"])
+    def test_nan_propagates_like_numpy(self, machine, lib):
+        rng = make_rng(101)
+        a = random_matrix(rng, 8, 8)
+        b = random_matrix(rng, 8, 8)
+        a[2, 3] = np.nan
+        result = make_driver(lib, machine).gemm(a, b)
+        reference = a @ b
+        np.testing.assert_array_equal(np.isnan(result.c),
+                                      np.isnan(reference))
+
+    def test_inf_propagates(self, machine):
+        rng = make_rng(102)
+        a = random_matrix(rng, 8, 8)
+        b = random_matrix(rng, 8, 8)
+        a[0, 0] = np.inf
+        result = ReferenceSmmDriver(machine).gemm(a, b)
+        assert np.isinf(result.c).any()
+
+    def test_zero_alpha_zeroes_product(self, machine):
+        rng = make_rng(103)
+        a = random_matrix(rng, 8, 8)
+        b = random_matrix(rng, 8, 8)
+        c = random_matrix(rng, 8, 8)
+        result = make_driver("blis", machine).gemm(a, b, c=c, alpha=0.0,
+                                                   beta=1.0)
+        np.testing.assert_allclose(result.c, c, atol=1e-6)
+
+
+class TestAdversarialGeometry:
+    def test_one_by_everything(self, machine):
+        rng = make_rng(104)
+        for lib in ("openblas", "blis", "blasfeo", "eigen"):
+            drv = make_driver(lib, machine)
+            a = random_matrix(rng, 1, 173)
+            b = random_matrix(rng, 173, 1)
+            result = drv.gemm(a, b)
+            np.testing.assert_allclose(result.c, a @ b, rtol=1e-4,
+                                       atol=1e-5)
+
+    def test_prime_dimensions(self, machine):
+        rng = make_rng(105)
+        a = random_matrix(rng, 97, 89)
+        b = random_matrix(rng, 89, 83)
+        result = ReferenceSmmDriver(machine).gemm(a, b)
+        np.testing.assert_allclose(result.c, a @ b, rtol=1e-4, atol=1e-4)
+
+    def test_extreme_aspect_ratio(self, machine):
+        rng = make_rng(106)
+        a = random_matrix(rng, 2, 1024)
+        b = random_matrix(rng, 1024, 2)
+        for lib in ("openblas", "blasfeo"):
+            result = make_driver(lib, machine).gemm(a, b)
+            np.testing.assert_allclose(result.c, a @ b, rtol=1e-3,
+                                       atol=1e-3)
+
+    def test_degenerate_dimension_rejected(self, machine):
+        a = np.zeros((0, 4), dtype=np.float32, order="F")
+        b = np.zeros((4, 4), dtype=np.float32, order="F")
+        with pytest.raises(DriverError):
+            make_driver("blis", machine).gemm(a, b)
+
+
+class TestParallelMisuse:
+    def test_zero_threads(self, machine):
+        with pytest.raises(ParallelError):
+            MultithreadedGemm(machine, "blis", threads=0)
+
+    def test_cost_on_invalid_shape(self, machine):
+        mt = MultithreadedGemm(machine, "blis", threads=4)
+        with pytest.raises(ReproError):
+            mt.cost(0, 64, 64)
+
+
+class TestCacheSimPoison:
+    def test_huge_stride_is_safe(self, machine):
+        sim = CacheSim(machine.l1d)
+        misses = sim.access_range(0, 16, stride=1 << 30)
+        assert misses == 16
+
+    def test_zero_width_access_rejected(self, machine):
+        sim = CacheSim(machine.l1d)
+        with pytest.raises(ConfigError):
+            sim.access(0, 0)
+
+    def test_trace_rejects_bad_geometry(self):
+        from repro.caches import GebpTraceConfig
+
+        with pytest.raises(ConfigError):
+            GebpTraceConfig(mc=4, nc=4, kc=4, mr=0, nr=4)

@@ -1,0 +1,84 @@
+"""Final cross-cutting property batch: conservation and ordering laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas import make_driver
+from repro.kernels import JitKernelFactory, plan_coverage
+from repro.parallel import MultithreadedGemm, grid_partition
+from repro.core import jit_tile_plan
+
+
+class TestWorkConservation:
+    @settings(max_examples=30, deadline=None)
+    @given(m=st.integers(1, 256), n=st.integers(1, 256),
+           threads=st.sampled_from([2, 4, 8, 16, 64]))
+    def test_grid_partition_conserves_area(self, m, n, threads):
+        parts = grid_partition(m, n, threads)
+        assert sum(mi * nj for mi, nj in parts) == m * n
+
+    @settings(max_examples=20, deadline=None)
+    @given(m=st.integers(1, 120), n=st.integers(1, 120))
+    def test_jit_plan_padded_at_least_useful(self, machine, m, n):
+        jit = JitKernelFactory(machine.core)
+        plan = jit_tile_plan(jit, m, n)
+        useful = plan_coverage(plan)
+        executed = sum(
+            inv.padded_rows * inv.padded_cols * inv.calls for inv in plan
+        )
+        assert useful == m * n
+        assert executed >= useful
+
+    @settings(max_examples=15, deadline=None)
+    @given(m=st.integers(2, 80), n=st.integers(2, 80), k=st.integers(2, 80),
+           lib=st.sampled_from(["openblas", "blis", "blasfeo", "eigen"]))
+    def test_executed_flops_bound_useful(self, machine, m, n, k, lib):
+        t = make_driver(lib, machine).cost_gemm(m, n, k)
+        assert t.useful_flops == 2 * m * n * k
+        assert t.executed_flops >= t.useful_flops - 1e-6
+
+
+class TestMonotonicityLaws:
+    @settings(max_examples=15, deadline=None)
+    @given(m=st.integers(4, 64), n=st.integers(4, 64), k=st.integers(4, 64))
+    def test_bigger_problems_cost_more(self, machine, m, n, k):
+        drv = make_driver("blasfeo", machine)
+        base = drv.cost_gemm(m, n, k).total_cycles
+        assert drv.cost_gemm(m + 4, n, k).total_cycles > base * 0.999
+        assert drv.cost_gemm(m, n + 4, k).total_cycles > base * 0.999
+
+    @settings(max_examples=10, deadline=None)
+    @given(m=st.integers(32, 128))
+    def test_mt_total_work_at_least_serial_kernel(self, machine, m):
+        """Parallelism can hide time but not destroy work: the aggregate
+        kernel cycles across threads are at least the single-thread
+        kernel cycles (padding/edges can only add work)."""
+        from repro.blas import make_blis
+
+        st_k = make_blis(machine).cost_gemm(m, 512, 256).kernel_cycles
+        mt = MultithreadedGemm(machine, "blis", threads=16)
+        t, info = mt.cost(m, 512, 256)
+        fact = info["factorization"]
+        aggregate = t.kernel_cycles * fact.threads
+        assert aggregate > 0.8 * st_k
+
+    def test_efficiency_never_exceeds_one(self, machine):
+        for lib in ("openblas", "blis", "blasfeo", "eigen"):
+            for s in (8, 16, 32, 64, 128):
+                eff = make_driver(lib, machine).cost_gemm(s, s, s) \
+                    .efficiency(machine, np.float32)
+                assert 0.0 < eff <= 1.0, (lib, s)
+
+
+class TestDtypeOrdering:
+    @settings(max_examples=10, deadline=None)
+    @given(s=st.sampled_from([16, 32, 64, 96]))
+    def test_fp64_never_faster_in_cycles(self, machine, s):
+        """Same shape, half the lanes: fp64 costs at least as many cycles."""
+        f32 = make_driver("blasfeo", machine, dtype=np.float32) \
+            .cost_gemm(s, s, s).total_cycles
+        f64 = make_driver("blasfeo", machine, dtype=np.float64) \
+            .cost_gemm(s, s, s).total_cycles
+        assert f64 >= f32 * 0.999

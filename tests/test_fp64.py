@@ -1,0 +1,108 @@
+"""Double-precision coverage: the whole stack must work in fp64.
+
+The paper evaluates fp32; the machine's advertised 563.2 GFLOPS is the
+fp64 figure.  These tests pin the lane arithmetic (2 fp64 lanes per
+128-bit register), the scaled kernel catalogs, and functional correctness
+end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas import make_driver
+from repro.core import ReferenceSmmDriver
+from repro.kernels import JitKernelFactory, all_catalogs
+from repro.parallel import MultithreadedGemm
+from repro.util import make_rng, random_matrix
+
+LIBS = ["openblas", "blis", "blasfeo", "eigen"]
+
+
+class TestLaneArithmetic:
+    def test_lanes(self, machine):
+        assert machine.core.simd_lanes(np.float64) == 2
+
+    def test_peak_is_the_paper_number(self, machine):
+        assert machine.peak_gflops(np.float64, 64) == pytest.approx(563.2)
+
+    def test_catalog_tiles_scale_down(self):
+        cats32 = all_catalogs(lanes=4)
+        cats64 = all_catalogs(lanes=2)
+        for lib in cats32:
+            assert cats64[lib].main.mr == cats32[lib].main.mr // 2
+            assert cats64[lib].main.nr == cats32[lib].main.nr
+
+    def test_jit_main_feasible_fp64(self, machine):
+        jit = JitKernelFactory(machine.core, dtype=np.float64)
+        main = jit.main_spec
+        assert main.mr % 2 == 0
+        # the kernel actually generates
+        kernel = jit.kernel_for(main.mr, main.nr)
+        assert kernel.vector_registers_used() <= 32
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("lib", LIBS)
+    def test_matches_numpy(self, machine, lib):
+        rng = make_rng(64)
+        a = random_matrix(rng, 23, 17, dtype=np.float64)
+        b = random_matrix(rng, 17, 29, dtype=np.float64)
+        drv = make_driver(lib, machine, dtype=np.float64)
+        result = drv.gemm(a, b)
+        np.testing.assert_allclose(result.c, a @ b, rtol=1e-12, atol=1e-12)
+
+    def test_reference_matches_numpy(self, machine):
+        rng = make_rng(65)
+        a = random_matrix(rng, 19, 21, dtype=np.float64)
+        b = random_matrix(rng, 21, 13, dtype=np.float64)
+        ref = ReferenceSmmDriver(machine, dtype=np.float64)
+        np.testing.assert_allclose(ref.gemm(a, b).c, a @ b,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_multithreaded_fp64(self, machine):
+        rng = make_rng(66)
+        a = random_matrix(rng, 32, 32, dtype=np.float64)
+        b = random_matrix(rng, 32, 32, dtype=np.float64)
+        mt = MultithreadedGemm(machine, "blis", threads=8, dtype=np.float64)
+        np.testing.assert_allclose(mt.gemm(a, b).c, a @ b,
+                                   rtol=1e-12, atol=1e-12)
+
+
+class TestPerformanceShape:
+    def test_blasfeo_still_dominates(self, machine):
+        effs = {}
+        for lib in LIBS:
+            drv = make_driver(lib, machine, dtype=np.float64)
+            effs[lib] = drv.cost_gemm(40, 40, 40).efficiency(
+                machine, np.float64
+            )
+        assert effs["blasfeo"] > effs["openblas"]
+        assert effs["blasfeo"] > effs["blis"]
+        assert effs["eigen"] == min(effs.values())
+
+    def test_fp64_kernel_chains_still_bind(self, machine):
+        # fp64 halves the lanes: a 2x4 fp64 tile has 4 chains < 5 -> slow
+        from repro.blas import shared_analyzer, shared_generator
+        from repro.kernels import KernelSpec
+
+        gen = shared_generator()
+        analyzer = shared_analyzer(machine)
+        k = gen.generate(KernelSpec(2, 4, unroll=4, lanes=2, label="dp"))
+        eff = analyzer.analyze(k).flops_per_cycle / \
+            machine.core.flops_per_cycle(np.float64)
+        assert eff < 0.95
+
+    def test_efficiencies_are_fractions(self, machine):
+        for lib in LIBS:
+            drv = make_driver(lib, machine, dtype=np.float64)
+            eff = drv.cost_gemm(64, 64, 64).efficiency(machine, np.float64)
+            assert 0.0 < eff <= 1.0
+
+    def test_driver_rejects_wrong_dtype_operands(self, machine):
+        from repro.util.errors import DriverError
+
+        rng = make_rng(67)
+        drv = make_driver("openblas", machine, dtype=np.float64)
+        a32 = random_matrix(rng, 8, 8, dtype=np.float32)
+        with pytest.raises(DriverError):
+            drv.gemm(a32, a32)

@@ -1,0 +1,216 @@
+"""Unit tests for the ISA layer: registers, instructions, sequences."""
+
+import pytest
+
+from repro.isa import (
+    KernelSequence,
+    RegisterAllocator,
+    branch_nz,
+    concat_bodies,
+    dup,
+    fadd,
+    fmadd_scalar,
+    fmla,
+    fmul,
+    is_vreg,
+    is_xreg,
+    ldp_s,
+    ldr_q,
+    ldr_s,
+    movi_zero,
+    reg_index,
+    str_q,
+    str_s,
+    subs_imm,
+    total_flops,
+    total_mem_bytes,
+    vreg,
+    xreg,
+)
+from repro.util.errors import IsaError, RegisterAllocationError
+
+
+class TestRegisters:
+    def test_vreg_names(self):
+        assert vreg(0) == "v0"
+        assert vreg(31) == "v31"
+
+    def test_vreg_out_of_range(self):
+        with pytest.raises(IsaError):
+            vreg(32)
+        with pytest.raises(IsaError):
+            vreg(-1)
+
+    def test_xreg_range(self):
+        assert xreg(30) == "x30"
+        with pytest.raises(IsaError):
+            xreg(31)
+
+    def test_predicates(self):
+        assert is_vreg("v3") and not is_vreg("x3")
+        assert is_xreg("x3") and not is_xreg("v3")
+
+    def test_reg_index(self):
+        assert reg_index("v17") == 17
+
+    def test_reg_index_malformed(self):
+        with pytest.raises(IsaError):
+            reg_index("v")
+
+
+class TestRegisterAllocator:
+    def test_allocates_lowest_first(self):
+        alloc = RegisterAllocator()
+        assert alloc.alloc_v(2) == ["v0", "v1"]
+        assert alloc.live_vector_count == 2
+
+    def test_exhaustion_raises(self):
+        alloc = RegisterAllocator()
+        alloc.alloc_v(32)
+        with pytest.raises(RegisterAllocationError):
+            alloc.alloc_v(1)
+
+    def test_free_and_reuse(self):
+        alloc = RegisterAllocator()
+        regs = alloc.alloc_v(2)
+        alloc.free(regs[0])
+        assert alloc.alloc_v(1) == [regs[0]]
+
+    def test_free_unallocated_raises(self):
+        alloc = RegisterAllocator()
+        with pytest.raises(IsaError):
+            alloc.free("v5")
+
+    def test_scalar_pool(self):
+        alloc = RegisterAllocator()
+        assert alloc.alloc_x(1) == ["x0"]
+        with pytest.raises(RegisterAllocationError):
+            alloc.alloc_x(31)
+
+
+class TestInstructionFactories:
+    def test_ldr_q_post_increment_writes_base(self):
+        ins = ldr_q("v4", "x0", post_inc=16)
+        assert ins.port == "load"
+        assert "x0" in ins.writes and "v4" in ins.writes
+        assert ins.mem_bytes == 16
+
+    def test_ldr_q_plain_offset(self):
+        ins = ldr_q("v4", "x0", offset=32)
+        assert ins.writes == ("v4",)
+
+    def test_ldp_s_pair(self):
+        ins = ldp_s("v12", "v13", "x1")
+        assert set(["v12", "v13", "x1"]) == set(ins.writes)
+        assert ins.mem_bytes == 8
+
+    def test_ldp_s_same_dst_rejected(self):
+        with pytest.raises(IsaError):
+            ldp_s("v12", "v12", "x1")
+
+    def test_fmla_accumulator_is_read_and_written(self):
+        ins = fmla("v16", "v4", "v12", lane=0)
+        assert "v16" in ins.reads and "v16" in ins.writes
+        assert ins.flops == 8  # 4 lanes x 2 ops
+
+    def test_fmla_lane_text(self):
+        ins = fmla("v16", "v4", "v12", lane=2)
+        assert ".s[2]" in ins.text
+
+    def test_fmadd_scalar_flops(self):
+        assert fmadd_scalar("v1", "v2", "v3").flops == 2
+
+    def test_fmul_fadd(self):
+        assert fmul("v1", "v2", "v3").flops == 4
+        assert fadd("v1", "v2", "v3").flops == 4
+        assert fadd("v1", "v2", "v3").latency_key == "fadd"
+
+    def test_dup_is_alu(self):
+        assert dup("v1", "v2").port == "alu"
+
+    def test_stores_read_their_source(self):
+        s = str_q("v4", "x2", offset=16)
+        assert "v4" in s.reads and not s.writes
+        assert str_s("v4", "x2").mem_bytes == 4
+
+    def test_loop_control(self):
+        assert subs_imm("x3", "x3", 1).port == "alu"
+        assert branch_nz("x3").port == "branch"
+
+    def test_wrong_register_kind_rejected(self):
+        with pytest.raises(IsaError):
+            ldr_q("x0", "x1")
+        with pytest.raises(IsaError):
+            fmla("x1", "v2", "v3")
+        with pytest.raises(IsaError):
+            ldr_s("v1", "v2")
+
+    def test_totals(self):
+        seq = [fmla("v1", "v2", "v3"), ldr_q("v4", "x0"), str_q("v1", "x1")]
+        assert total_flops(seq) == 8
+        assert total_mem_bytes(seq) == 32
+
+
+def _tiny_kernel(unroll=1):
+    body = []
+    for _ in range(unroll):
+        body.append(ldr_q("v4", "x0", post_inc=16))
+        body.append(fmla("v16", "v4", "v12", lane=0))
+    body.append(subs_imm("x3", "x3", 1))
+    body.append(branch_nz("x3"))
+    return KernelSequence(
+        name="tiny",
+        prologue=(movi_zero("v16"),),
+        body=tuple(body),
+        epilogue=(str_q("v16", "x2"),),
+        meta={"mr": 4, "nr": 1, "unroll": unroll},
+    )
+
+
+class TestKernelSequence:
+    def test_empty_body_rejected(self):
+        with pytest.raises(IsaError):
+            KernelSequence("bad", (), (), (), {})
+
+    def test_non_instruction_rejected(self):
+        with pytest.raises(IsaError):
+            KernelSequence("bad", (), ("nop",), (), {})
+
+    def test_meta_accessors(self):
+        k = _tiny_kernel(unroll=2)
+        assert k.mr == 4 and k.nr == 1 and k.unroll == 2
+
+    def test_body_flops(self):
+        k = _tiny_kernel(unroll=3)
+        assert k.body_flops == 3 * 8
+        assert k.flops_per_kstep == 8.0
+
+    def test_port_histogram(self):
+        k = _tiny_kernel()
+        hist = k.port_histogram()
+        assert hist["load"] == 1 and hist["fma"] == 1
+        assert hist["alu"] == 1 and hist["branch"] == 1
+
+    def test_instruction_count_and_bytes(self):
+        k = _tiny_kernel()
+        assert k.instruction_count() == 1 + 4 + 1
+        assert k.encoded_bytes() == 4 * k.instruction_count()
+
+    def test_listing_contains_loop_label(self):
+        text = _tiny_kernel().listing()
+        assert ".loop:" in text
+        assert "fmla" in text
+
+    def test_registers_used(self):
+        k = _tiny_kernel()
+        regs = k.registers_used()
+        assert "v16" in regs and "x0" in regs
+        assert k.vector_registers_used() == 3  # v4, v12, v16
+
+    def test_concat_bodies(self):
+        merged = concat_bodies("merged", [_tiny_kernel(), _tiny_kernel()])
+        assert merged.instruction_count() == 2 * _tiny_kernel().instruction_count()
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(IsaError):
+            concat_bodies("x", [])

@@ -1,0 +1,125 @@
+"""Unit + property tests for library kernel catalogs and tile planning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    KernelCatalog,
+    all_catalogs,
+    blasfeo_catalog,
+    blis_catalog,
+    eigen_catalog,
+    openblas_catalog,
+    plan_coverage,
+    table1_rows,
+    tile_plan,
+)
+from repro.util.errors import KernelDesignError
+
+
+class TestCatalogs:
+    def test_table1_facts(self):
+        cats = all_catalogs()
+        assert cats["openblas"].main.mr == 16
+        assert cats["openblas"].main.unroll == 8
+        assert cats["blis"].main.mr == 8 and cats["blis"].main.nr == 12
+        assert cats["blis"].main.unroll == 4
+        assert cats["blasfeo"].main.mr == 16
+        assert cats["eigen"].main.unroll == 1
+        assert cats["eigen"].main.style == "compiled"
+
+    def test_edge_policies(self):
+        assert openblas_catalog().edge_policy == "pow2_kernels"
+        assert blis_catalog().edge_policy == "pad"
+        assert blasfeo_catalog().edge_policy == "pad"
+        assert eigen_catalog().edge_policy == "exact_scalar"
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(KernelDesignError):
+            KernelCatalog(
+                library="x",
+                main=openblas_catalog().main,
+                alternates=(),
+                edge_policy="improvise",
+            )
+
+    def test_table1_rows_render(self):
+        rows = table1_rows()
+        assert rows[0][0] == "Layers of assembly"
+        assert rows[1] == ["unrolling factor", "8", "4", "4", "1"]
+        assert "16x4" in rows[2][1]
+
+
+class TestTilePlanExactness:
+    @pytest.mark.parametrize("lib", ["openblas", "blis", "blasfeo", "eigen"])
+    @pytest.mark.parametrize("mc,nc", [
+        (16, 4), (16, 12), (75, 60), (80, 80), (11, 7), (1, 1), (5, 200),
+    ])
+    def test_coverage_exact(self, lib, mc, nc):
+        plan = tile_plan(all_catalogs()[lib], mc, nc)
+        assert plan_coverage(plan) == mc * nc
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        lib=st.sampled_from(["openblas", "blis", "blasfeo", "eigen"]),
+        mc=st.integers(min_value=1, max_value=200),
+        nc=st.integers(min_value=1, max_value=200),
+    )
+    def test_coverage_property(self, lib, mc, nc):
+        plan = tile_plan(all_catalogs()[lib], mc, nc)
+        assert plan_coverage(plan) == mc * nc
+        for inv in plan:
+            assert inv.padded_rows >= inv.rows
+            assert inv.padded_cols >= inv.cols
+            assert inv.calls >= 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(KernelDesignError):
+            tile_plan(openblas_catalog(), 0, 4)
+
+
+class TestEdgePolicyShapes:
+    def test_openblas_edges_are_pow2_naive(self):
+        plan = tile_plan(openblas_catalog(), 75, 60)
+        edge_invs = [inv for inv in plan if inv.is_edge]
+        assert edge_invs
+        for inv in edge_invs:
+            assert inv.spec.style == "naive"
+            assert inv.rows & (inv.rows - 1) == 0 or inv.rows == inv.spec.mr
+
+    def test_blis_edges_are_padded(self):
+        plan = tile_plan(blis_catalog(), 75, 60)
+        edge_invs = [inv for inv in plan if inv.is_edge]
+        assert edge_invs
+        for inv in edge_invs:
+            assert inv.padded_rows % 4 == 0
+            assert inv.padded_cols == inv.spec.nr
+
+    def test_blis_n_edge_pads_to_nr(self):
+        plan = tile_plan(blis_catalog(), 16, 13)  # N edge of 1
+        n_edges = [inv for inv in plan if inv.cols == 1]
+        assert n_edges and all(inv.padded_cols == 12 for inv in n_edges)
+
+    def test_eigen_edges_exact_with_scalar_tail(self):
+        plan = tile_plan(eigen_catalog(), 75, 60)
+        edge_invs = [inv for inv in plan if inv.is_edge]
+        assert edge_invs
+        for inv in edge_invs:
+            assert inv.padded_rows == inv.rows
+            assert inv.spec.style == "compiled"
+
+    def test_interior_uses_main_kernel(self):
+        for lib, cat in all_catalogs().items():
+            plan = tile_plan(cat, cat.mr * 3, cat.nr * 2)
+            assert len(plan) == 1
+            assert plan[0].spec == cat.main
+            assert plan[0].calls == 6
+
+    def test_padding_inflates_executed_work(self):
+        cat = blis_catalog()
+        plan = tile_plan(cat, 9, 12)  # one row tile + 1-row edge
+        executed = sum(
+            inv.padded_rows * inv.padded_cols * inv.calls for inv in plan
+        )
+        assert executed > 9 * 12

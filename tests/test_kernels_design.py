@@ -1,0 +1,113 @@
+"""Unit tests for the micro-kernel design-space models (Eq. 4, Eq. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    accumulator_chains,
+    accumulator_registers,
+    best_tile,
+    compute_to_memory_ratio,
+    enumerate_designs,
+    evaluate_tile,
+    registers_needed,
+    satisfies_latency_constraint,
+    satisfies_register_constraint,
+    staging_registers,
+)
+from repro.util.errors import KernelDesignError
+
+
+class TestRegisterAccounting:
+    def test_paper_eq4_instance(self):
+        # the paper's Eq. 4: mr*nr/4 <= 30 for 4-lane fp32 with 2 staging
+        assert accumulator_registers(16, 4, 4) == 16
+        assert accumulator_registers(8, 12, 4) == 24
+
+    def test_partial_vector_rounds_up(self):
+        assert accumulator_registers(3, 4, 4) == 4
+        assert accumulator_registers(5, 2, 4) == 4
+
+    def test_staging(self):
+        assert staging_registers(16, 4, 4) == 5  # 4 A vectors + 1 B vector
+        assert staging_registers(16, 4, 4, double_buffer=True) == 10
+
+    def test_registers_needed_totals(self):
+        assert registers_needed(16, 4, 4) == 21
+        assert registers_needed(8, 12, 4) == 24 + 2 + 3
+
+    def test_constraint_check(self):
+        assert satisfies_register_constraint(16, 4, 4)
+        assert satisfies_register_constraint(8, 12, 4)
+        assert not satisfies_register_constraint(16, 8, 4)  # 32+6 > 32
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(KernelDesignError):
+            accumulator_registers(0, 4, 4)
+        with pytest.raises(KernelDesignError):
+            compute_to_memory_ratio(4, 0)
+
+
+class TestCmr:
+    def test_paper_eq5_values(self):
+        assert compute_to_memory_ratio(16, 4) == pytest.approx(6.4)
+        assert compute_to_memory_ratio(8, 12) == pytest.approx(9.6)
+        assert compute_to_memory_ratio(4, 4) == pytest.approx(4.0)
+
+    def test_symmetry(self):
+        assert compute_to_memory_ratio(8, 12) == compute_to_memory_ratio(12, 8)
+
+    @given(st.integers(1, 32), st.integers(1, 32))
+    def test_monotone_in_each_dim(self, mr, nr):
+        base = compute_to_memory_ratio(mr, nr)
+        assert compute_to_memory_ratio(mr + 1, nr) > base
+        assert compute_to_memory_ratio(mr, nr + 1) > base
+
+
+class TestLatencyConstraint:
+    def test_wide_tile_satisfies(self, machine):
+        assert satisfies_latency_constraint(16, 4, 4, machine.core)
+        assert accumulator_chains(16, 4, 4) == 16
+
+    def test_narrow_tile_fails(self, machine):
+        # 1x4: 4 chains < fma_ports * fma_latency = 5
+        assert not satisfies_latency_constraint(1, 4, 4, machine.core)
+
+
+class TestEnumerationAndBest:
+    def test_evaluate_tile_fields(self, machine):
+        d = evaluate_tile(8, 12, 4, machine.core)
+        assert d.feasible
+        assert d.cmr == pytest.approx(9.6)
+        assert d.chains == 24
+
+    def test_enumerate_covers_grid(self, machine):
+        designs = enumerate_designs(machine.core, np.float32, 8, 8)
+        assert len(designs) == 64
+
+    def test_best_tile_is_feasible_and_maximal(self, machine):
+        best = best_tile(machine.core, np.float32, max_mr=16, max_nr=16)
+        assert best.feasible
+        for d in enumerate_designs(machine.core, np.float32, 16, 16):
+            if d.feasible:
+                assert best.cmr >= d.cmr
+
+    def test_best_tile_with_lane_multiples(self, machine):
+        best = best_tile(machine.core, np.float32, prefer_multiple_of=4,
+                         nr_multiple_of=4, max_mr=24, max_nr=24)
+        assert best.mr % 4 == 0 and best.nr % 4 == 0
+        # the analytic optimum under both lane constraints is 8x12 / 12x8
+        assert {best.mr, best.nr} == {8, 12}
+
+    def test_best_tile_no_feasible_raises(self, machine):
+        with pytest.raises(KernelDesignError):
+            best_tile(machine.core, np.float32, max_mr=1, max_nr=1)
+
+    def test_fp64_halves_lanes(self, machine):
+        d32 = evaluate_tile(8, 8, machine.core.simd_lanes(np.float32),
+                            machine.core)
+        d64 = evaluate_tile(8, 8, machine.core.simd_lanes(np.float64),
+                            machine.core)
+        assert d64.registers > d32.registers

@@ -1,0 +1,166 @@
+"""Unit tests for the micro-kernel generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.registers import N_VECTOR_REGISTERS
+from repro.kernels import KernelSpec, MicroKernelGenerator, edge_decomposition
+from repro.kernels.generator import derive_edge_spec
+from repro.util.errors import KernelDesignError
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return MicroKernelGenerator()
+
+
+class TestSpecValidation:
+    def test_rejects_bad_style(self):
+        with pytest.raises(KernelDesignError):
+            KernelSpec(8, 4, style="fancy")
+
+    def test_rejects_bad_layout(self):
+        with pytest.raises(KernelDesignError):
+            KernelSpec(8, 4, b_layout="zigzag")
+
+    def test_rejects_non_positive_dims(self):
+        with pytest.raises(KernelDesignError):
+            KernelSpec(0, 4)
+
+    def test_name_encodes_flags(self):
+        spec = KernelSpec(8, 4, style="compiled", contraction=False,
+                          b_layout="strided", pad_rows=True, label="x")
+        assert "nofma" in spec.name
+        assert "bstrided" in spec.name
+        assert "pad" in spec.name
+        assert "8x4" in spec.name
+
+
+class TestGeneration:
+    def test_memoization(self, gen):
+        spec = KernelSpec(8, 4, label="memo")
+        assert gen.generate(spec) is gen.generate(spec)
+
+    def test_flops_accounting(self, gen):
+        # 8x4 fp32 per k-step: 8 fmla x 8 flops = 64 useful flops
+        k = gen.generate(KernelSpec(8, 4, unroll=4, label="fl"))
+        assert k.flops_per_kstep == 64.0
+
+    def test_register_file_respected(self, gen):
+        for spec in (
+            KernelSpec(16, 4, unroll=8, label="r1"),
+            KernelSpec(8, 12, unroll=4, label="r2"),
+            KernelSpec(8, 8, unroll=8, label="r3"),
+        ):
+            k = gen.generate(spec)
+            assert k.vector_registers_used() <= N_VECTOR_REGISTERS
+
+    def test_too_large_tile_raises(self, gen):
+        with pytest.raises(KernelDesignError, match="Eq. 4"):
+            gen.generate(KernelSpec(16, 12, label="huge"))
+
+    def test_scalar_tail_rows(self, gen):
+        # mr=7 without padding: 1 full vector + 3 scalar rows per column
+        k = gen.generate(KernelSpec(7, 4, unroll=1, style="naive", label="t"))
+        scalar_fmas = sum(
+            1 for ins in k.body if "scalar" in ins.tags and "fma" in ins.tags
+        )
+        assert scalar_fmas == 3 * 4
+
+    def test_pad_rows_removes_scalar_tail(self, gen):
+        k = gen.generate(KernelSpec(7, 4, unroll=1, pad_rows=True, label="p"))
+        scalar_fmas = sum(
+            1 for ins in k.body if "scalar" in ins.tags and "fma" in ins.tags
+        )
+        assert scalar_fmas == 0
+        assert k.meta["mr_padded"] == 8
+
+    def test_unroll_scales_body(self, gen):
+        k1 = gen.generate(KernelSpec(8, 4, unroll=1, label="u1"))
+        k4 = gen.generate(KernelSpec(8, 4, unroll=4, label="u4"))
+        # loop control is constant, the rest scales by 4
+        assert len(k4.body) - 2 == 4 * (len(k1.body) - 2)
+
+    def test_naive_uses_ldp_pairs(self, gen):
+        k = gen.generate(KernelSpec(8, 4, style="naive", label="ldp"))
+        assert any("ldp" in ins.text for ins in k.body)
+
+    def test_compiled_emits_address_arithmetic(self, gen):
+        k = gen.generate(KernelSpec(12, 4, unroll=1, style="compiled",
+                                    label="addr"))
+        assert any("addr" in ins.tags for ins in k.body)
+
+    def test_uncontracted_emits_fmul_fadd(self, gen):
+        k = gen.generate(KernelSpec(12, 4, unroll=1, style="compiled",
+                                    contraction=False, label="nc"))
+        assert any("fmul" in ins.tags for ins in k.body)
+        assert any("fadd" in ins.tags for ins in k.body)
+        assert not any("fma" in ins.tags and "fmul" not in ins.tags
+                       and "fadd" not in ins.tags for ins in k.body)
+
+    def test_strided_b_layout_loads_scalars(self, gen):
+        k = gen.generate(KernelSpec(8, 4, b_layout="strided", label="sb"))
+        assert any("sload" in ins.tags for ins in k.body)
+
+    def test_epilogue_touches_c(self, gen):
+        k = gen.generate(KernelSpec(8, 4, label="epi"))
+        assert any(ins.is_store for ins in k.epilogue)
+        assert any(ins.is_load for ins in k.epilogue)
+
+    def test_padded_epilogue_scalar_copy_out(self, gen):
+        k = gen.generate(KernelSpec(5, 4, pad_rows=True, label="pe"))
+        scalar_stores = sum(1 for ins in k.epilogue if "sstore" in ins.tags)
+        assert scalar_stores == 1 * 4  # one partial lane row per column
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        mr=st.integers(min_value=1, max_value=12),
+        nr=st.integers(min_value=1, max_value=8),
+        unroll=st.sampled_from([1, 2, 4]),
+        style=st.sampled_from(["pipelined", "naive"]),
+    )
+    def test_generated_kernels_well_formed(self, gen, mr, nr, unroll, style):
+        spec = KernelSpec(mr, nr, unroll=unroll, style=style, label="hyp")
+        try:
+            k = gen.generate(spec)
+        except KernelDesignError:
+            return  # register overflow is a legal outcome
+        assert k.vector_registers_used() <= N_VECTOR_REGISTERS
+        assert k.flops_per_kstep == 2.0 * mr * nr
+        assert k.body[-1].port == "branch"
+
+
+class TestEdgeDecomposition:
+    def test_paper_example(self):
+        # M edge of 11 with 16-wide main kernel: 8 + 2 + 1
+        assert edge_decomposition(11, 16) == [8, 2, 1]
+
+    def test_exact_mode(self):
+        assert edge_decomposition(11, 16, powers_of_two=False) == [11]
+
+    def test_zero(self):
+        assert edge_decomposition(0, 16) == []
+
+    def test_sums_to_extent(self):
+        for extent in range(1, 33):
+            assert sum(edge_decomposition(extent, 16)) == extent
+
+    def test_parts_are_powers_of_two(self):
+        for extent in range(1, 33):
+            for part in edge_decomposition(extent, 16):
+                assert part & (part - 1) == 0
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(KernelDesignError):
+            edge_decomposition(-1, 16)
+
+
+class TestDeriveEdgeSpec:
+    def test_edge_is_naive_and_smaller(self):
+        main = KernelSpec(16, 4, unroll=8, label="main")
+        edge = derive_edge_spec(main, 2, 4)
+        assert edge.style == "naive"
+        assert edge.mr == 2
+        assert edge.unroll == 4
+        assert "edge" in edge.label

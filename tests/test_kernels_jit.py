@@ -1,0 +1,79 @@
+"""Unit tests for the JIT kernel factory."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import JitKernelFactory
+from repro.util.errors import KernelDesignError
+
+
+@pytest.fixture()
+def jit(machine):
+    return JitKernelFactory(machine.core)
+
+
+class TestMainSpec:
+    def test_main_is_lane_aligned_and_feasible(self, jit):
+        main = jit.main_spec
+        assert main.mr % 4 == 0
+        assert main.nr % 4 == 0
+        assert main.style == "pipelined"
+
+    def test_main_is_the_analytic_optimum(self, jit):
+        # for 32 x 128-bit registers the CMR optimum under lane alignment
+        # is the 8x12 / 12x8 family
+        main = jit.main_spec
+        assert {main.mr, main.nr} == {8, 12}
+
+    def test_fp64_lanes(self, machine):
+        jit64 = JitKernelFactory(machine.core, dtype=np.float64)
+        assert jit64.lanes == 2
+
+
+class TestCodeCache:
+    def test_cache_hit_statistics(self, jit):
+        jit.spec_for(3, 4)
+        jit.spec_for(3, 4)
+        jit.spec_for(5, 4)
+        assert jit.stats.requests == 3
+        assert jit.stats.compiles == 2
+        assert jit.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_same_spec_object_returned(self, jit):
+        assert jit.spec_for(3, 4) is jit.spec_for(3, 4)
+
+    def test_kernel_for_generates(self, jit):
+        k = jit.kernel_for(3, 4)
+        assert k.meta["mr"] == 3
+        assert k.meta["mr_padded"] == 4  # row padding to a full vector
+
+    def test_exact_multiple_not_padded(self, jit):
+        assert not jit.spec_for(8, 4).pad_rows
+        assert jit.spec_for(7, 4).pad_rows
+
+    def test_register_violation_raises(self, jit):
+        with pytest.raises(KernelDesignError, match="register"):
+            jit.spec_for(32, 32)
+
+    def test_bad_shape_rejected(self, jit):
+        with pytest.raises(KernelDesignError):
+            jit.spec_for(0, 4)
+
+
+class TestStridedMainSpec:
+    def test_strided_spec_fits_registers(self, jit, machine):
+        spec = jit.strided_main_spec()
+        # acc + a stage + one register per B element must fit
+        acc = (spec.mr // 4) * spec.nr
+        assert acc + spec.mr // 4 + spec.nr <= machine.core.vector_registers
+        assert spec.b_layout == "strided"
+
+    def test_strided_tile_smaller_than_packed(self, jit):
+        packed = jit.main_spec
+        strided = jit.strided_main_spec()
+        assert strided.mr * strided.nr <= packed.mr * packed.nr
+
+    def test_strided_keeps_latency_constraint(self, jit, machine):
+        spec = jit.strided_main_spec()
+        chains = (spec.mr // 4) * spec.nr
+        assert chains >= machine.core.ports["fma"] * machine.core.latencies["fma"]

@@ -1,0 +1,149 @@
+"""Unit tests for the machine-model configuration layer."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    NumaConfig,
+    a64fx_like,
+    machine_summary,
+    phytium2000plus,
+)
+from repro.util.errors import ConfigError
+
+
+class TestCoreConfig:
+    def test_simd_lanes_fp32_fp64(self):
+        core = CoreConfig()
+        assert core.simd_lanes(np.float32) == 4
+        assert core.simd_lanes(np.float64) == 2
+
+    def test_flops_per_cycle(self):
+        core = CoreConfig()
+        assert core.flops_per_cycle(np.float32) == 8.0
+        assert core.flops_per_cycle(np.float64) == 4.0
+
+    def test_peak_gflops(self):
+        core = CoreConfig(freq_hz=2.2e9)
+        assert core.peak_gflops(np.float64) == pytest.approx(8.8)
+
+    def test_rejects_missing_port_class(self):
+        with pytest.raises(ConfigError, match="port class"):
+            CoreConfig(ports={"fma": 1})
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ConfigError, match="latency"):
+            CoreConfig(latencies={"fma": 0})
+
+    def test_rejects_tiny_vector(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(vector_bits=32)
+
+    def test_rejects_wide_dtype(self):
+        core = CoreConfig(vector_bits=64)
+        with pytest.raises(ConfigError):
+            core.simd_lanes(np.complex128)
+
+
+class TestCacheConfig:
+    def test_n_sets(self):
+        c = CacheConfig(name="L1", size_bytes=32 * 1024, line_bytes=64,
+                        associativity=4)
+        assert c.n_sets == 128
+
+    def test_rejects_bad_replacement(self):
+        with pytest.raises(ConfigError, match="replacement"):
+            CacheConfig(name="x", size_bytes=1024, replacement="plru")
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(name="x", size_bytes=3 * 64 * 4, line_bytes=64,
+                        associativity=4)
+
+
+class TestNumaConfig:
+    def test_total_cores(self):
+        numa = NumaConfig(panels=8, cores_per_panel=8)
+        assert numa.total_cores == 64
+
+    def test_panel_of(self):
+        numa = NumaConfig(panels=8, cores_per_panel=8)
+        assert numa.panel_of(0) == 0
+        assert numa.panel_of(63) == 7
+        assert numa.panel_of(8) == 1
+
+    def test_panel_of_out_of_range(self):
+        numa = NumaConfig()
+        with pytest.raises(ConfigError):
+            numa.panel_of(64)
+
+    def test_remote_latency(self):
+        numa = NumaConfig(local_dram_latency=100, remote_factor=1.5)
+        assert numa.remote_dram_latency == 150
+
+
+class TestMachineConfig:
+    def test_phytium_peak_matches_paper(self, machine):
+        # the paper: 563.2 GFLOPS double precision across 64 cores
+        assert machine.peak_gflops(np.float64, 64) == pytest.approx(563.2)
+
+    def test_phytium_core_count(self, machine):
+        assert machine.n_cores == 64
+
+    def test_l2_cluster_of(self, machine):
+        assert machine.l2_cluster_of(0) == 0
+        assert machine.l2_cluster_of(3) == 0
+        assert machine.l2_cluster_of(4) == 1
+
+    def test_l2_cluster_rejects_bad_core(self, machine):
+        with pytest.raises(ConfigError):
+            machine.l2_cluster_of(64)
+
+    def test_peak_rejects_too_many_cores(self, machine):
+        with pytest.raises(ConfigError):
+            machine.peak_gflops(np.float32, 65)
+
+    def test_rejects_shared_l1(self):
+        base = phytium2000plus()
+        with pytest.raises(ConfigError, match="private"):
+            MachineConfig(
+                core=base.core,
+                l1d=CacheConfig(name="L1D", size_bytes=32 * 1024, shared_by=2),
+                l2=base.l2,
+                numa=base.numa,
+            )
+
+    def test_with_core_override(self, machine):
+        faster = machine.with_core(freq_hz=3.0e9)
+        assert faster.core.freq_hz == 3.0e9
+        assert machine.core.freq_hz == 2.2e9  # original untouched
+
+    def test_summary_mentions_key_facts(self, machine):
+        text = machine_summary(machine)
+        assert "phytium-2000+" in text
+        assert "64" in text
+        assert "563.2" in text
+
+    def test_a64fx_like_is_wider(self, wide_machine):
+        assert wide_machine.core.vector_bits == 512
+        assert wide_machine.core.simd_lanes(np.float32) == 16
+
+
+class TestPhytiumInstanceDetails:
+    def test_scheduler_window_positive(self, machine):
+        assert machine.core.scheduler_window > 0
+
+    def test_l2_is_shared_random(self, machine):
+        assert machine.l2.shared_by == 4
+        assert machine.l2.replacement == "random"
+
+    def test_l1_is_private_lru(self, machine):
+        assert machine.l1d.shared_by == 1
+        assert machine.l1d.replacement == "lru"
+
+    def test_numa_panels(self, machine):
+        assert machine.numa.panels == 8
+        assert machine.numa.cores_per_panel == 8

@@ -1,0 +1,191 @@
+"""Unit + property tests for layouts, panel-major storage and addresses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memlayout import (
+    AddressSpace,
+    MatrixHandle,
+    PanelMajorMatrix,
+    bind,
+    conversion_element_moves,
+    from_panel_major,
+    make_matrix,
+    to_panel_major,
+)
+from repro.util import make_rng, random_matrix
+from repro.util.errors import LayoutError
+
+
+class TestAddressSpace:
+    def test_alignment(self):
+        space = AddressSpace(alignment=64)
+        a = space.alloc("a", 10)
+        b = space.alloc("b", 10)
+        assert a.base % 64 == 0
+        assert b.base % 64 == 0
+        assert b.base >= a.end
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.alloc("a", 10)
+        with pytest.raises(LayoutError):
+            space.alloc("a", 10)
+
+    def test_lookup_and_owner(self):
+        space = AddressSpace()
+        a = space.alloc("a", 100, panel=3)
+        assert space.lookup("a") is a
+        assert space.owner_of(a.base + 50) is a
+        assert space.panel_of(a.base) == 3
+
+    def test_owner_of_unallocated(self):
+        space = AddressSpace()
+        with pytest.raises(LayoutError):
+            space.owner_of(12345)
+
+    def test_lookup_missing(self):
+        with pytest.raises(LayoutError):
+            AddressSpace().lookup("ghost")
+
+    def test_bad_alignment(self):
+        with pytest.raises(LayoutError):
+            AddressSpace(alignment=48)
+
+    def test_bytes_allocated(self):
+        space = AddressSpace()
+        space.alloc("a", 100)
+        space.alloc("b", 28)
+        assert space.bytes_allocated == 128
+
+    def test_contains(self):
+        space = AddressSpace()
+        a = space.alloc("a", 10)
+        assert a.contains(a.base)
+        assert not a.contains(a.end)
+
+
+class TestPanelMajor:
+    def test_round_trip_exact(self, rng):
+        dense = random_matrix(rng, 12, 7)
+        pm = to_panel_major(dense, ps=4)
+        np.testing.assert_array_equal(from_panel_major(pm), dense)
+
+    def test_padding_rows_zero(self, rng):
+        dense = random_matrix(rng, 10, 5)
+        pm = to_panel_major(dense, ps=4)
+        assert pm.padded_rows == 12
+        np.testing.assert_array_equal(pm.data[10:, :], 0)
+
+    def test_n_panels(self, rng):
+        pm = to_panel_major(random_matrix(rng, 9, 3), ps=4)
+        assert pm.n_panels == 3
+
+    def test_panel_view(self, rng):
+        dense = random_matrix(rng, 8, 3)
+        pm = to_panel_major(dense, ps=4)
+        np.testing.assert_array_equal(pm.panel(1), dense[4:8, :])
+
+    def test_panel_out_of_range(self, rng):
+        pm = to_panel_major(random_matrix(rng, 8, 3), ps=4)
+        with pytest.raises(LayoutError):
+            pm.panel(2)
+
+    def test_sliver_is_contiguous_column(self, rng):
+        dense = random_matrix(rng, 8, 3)
+        pm = to_panel_major(dense, ps=4)
+        np.testing.assert_array_equal(pm.sliver(0, 2), dense[0:4, 2])
+
+    def test_sliver_bad_col(self, rng):
+        pm = to_panel_major(random_matrix(rng, 8, 3), ps=4)
+        with pytest.raises(LayoutError):
+            pm.sliver(0, 3)
+
+    def test_element_offset_formula(self, rng):
+        pm = to_panel_major(random_matrix(rng, 11, 6), ps=4)
+        flat = pm.data.reshape(pm.n_panels, 6, 4).transpose(0, 2, 1)
+        for i, j in [(0, 0), (3, 5), (4, 0), (10, 2)]:
+            offset = pm.element_offset(i, j)
+            panel, rem = divmod(offset, 4 * 6)
+            col, lane = divmod(rem, 4)
+            assert pm.data[panel * 4 + lane, col] == pytest.approx(
+                pm.to_dense()[i, j]
+            )
+
+    def test_element_offset_out_of_range(self, rng):
+        pm = to_panel_major(random_matrix(rng, 4, 4), ps=4)
+        with pytest.raises(LayoutError):
+            pm.element_offset(4, 0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(LayoutError):
+            to_panel_major(np.zeros(4, dtype=np.float32), ps=4)
+
+    def test_conversion_moves(self):
+        assert conversion_element_moves(10, 5, 4) == 12 * 5
+        assert conversion_element_moves(8, 5, 4) == 8 * 5
+
+    def test_backing_store_validation(self):
+        with pytest.raises(LayoutError):
+            PanelMajorMatrix(rows=5, cols=3, ps=4,
+                             data=np.zeros((5, 3), dtype=np.float32))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=40),
+        cols=st.integers(min_value=1, max_value=40),
+        ps=st.sampled_from([2, 4, 8]),
+    )
+    def test_round_trip_property(self, rows, cols, ps):
+        rng = make_rng(rows * 1000 + cols * 10 + ps)
+        dense = random_matrix(rng, rows, cols)
+        pm = to_panel_major(dense, ps)
+        np.testing.assert_array_equal(pm.to_dense(), dense)
+        assert pm.padded_rows % ps == 0
+        assert pm.padded_rows - rows < ps
+
+
+class TestMatrixHandle:
+    def test_col_major_properties(self, rng):
+        h = make_matrix(random_matrix(rng, 6, 4))
+        assert h.rows == 6 and h.cols == 4
+        assert h.leading_dim == 6
+        assert h.itemsize == 4
+
+    def test_row_major_leading_dim(self, rng):
+        h = make_matrix(random_matrix(rng, 6, 4), order="row")
+        assert h.leading_dim == 4
+
+    def test_bad_order(self, rng):
+        with pytest.raises(LayoutError):
+            MatrixHandle(array=random_matrix(rng, 3, 3), order="diag")
+
+    def test_wrong_contiguity_rejected(self, rng):
+        c_ordered = np.ascontiguousarray(random_matrix(rng, 3, 4))
+        with pytest.raises(LayoutError):
+            MatrixHandle(array=c_ordered, order="col")
+
+    def test_element_address_col_major(self, rng):
+        space = AddressSpace()
+        h = bind(make_matrix(random_matrix(rng, 6, 4)), space, "A")
+        base = h.allocation.base
+        assert h.element_address(0, 0) == base
+        assert h.element_address(1, 0) == base + 4
+        assert h.element_address(0, 1) == base + 6 * 4
+
+    def test_element_address_requires_binding(self, rng):
+        h = make_matrix(random_matrix(rng, 3, 3))
+        with pytest.raises(LayoutError):
+            h.element_address(0, 0)
+
+    def test_element_address_bounds(self, rng):
+        space = AddressSpace()
+        h = bind(make_matrix(random_matrix(rng, 3, 3)), space, "A")
+        with pytest.raises(LayoutError):
+            h.element_address(3, 0)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(LayoutError):
+            make_matrix(np.zeros(3, dtype=np.float32))

@@ -1,0 +1,151 @@
+"""Unit + property tests for packing routines and their cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas.base import make_cache_model
+from repro.packing import (
+    PackingCostModel,
+    a_sliver,
+    b_sliver,
+    pack_a,
+    pack_b,
+    pack_loop_kernel,
+    unpack_a,
+    unpack_b,
+)
+from repro.util import make_rng, random_matrix
+from repro.util.errors import LayoutError
+
+
+class TestPackA:
+    def test_round_trip(self, rng):
+        block = random_matrix(rng, 13, 9)
+        packed = pack_a(block, mr=8)
+        np.testing.assert_array_equal(unpack_a(packed), block)
+
+    def test_padding_zeroed(self, rng):
+        packed = pack_a(random_matrix(rng, 13, 9), mr=8)
+        assert packed.padded_rows == 16
+        np.testing.assert_array_equal(packed.data[13:, :], 0)
+
+    def test_element_moves_count_padding(self, rng):
+        packed = pack_a(random_matrix(rng, 13, 9), mr=8)
+        assert packed.element_moves == 16 * 9
+
+    def test_sliver_views(self, rng):
+        block = random_matrix(rng, 16, 4)
+        packed = pack_a(block, mr=8)
+        np.testing.assert_array_equal(a_sliver(packed, 0), block[:8, :])
+        np.testing.assert_array_equal(a_sliver(packed, 1), block[8:, :])
+
+    def test_sliver_out_of_range(self, rng):
+        packed = pack_a(random_matrix(rng, 16, 4), mr=8)
+        with pytest.raises(LayoutError):
+            a_sliver(packed, 2)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(LayoutError):
+            pack_a(np.zeros(4, dtype=np.float32), mr=8)
+
+
+class TestPackB:
+    def test_round_trip(self, rng):
+        panel = random_matrix(rng, 9, 13)
+        packed = pack_b(panel, nr=4)
+        np.testing.assert_array_equal(unpack_b(packed), panel)
+
+    def test_padding(self, rng):
+        packed = pack_b(random_matrix(rng, 9, 13), nr=4)
+        assert packed.padded_cols == 16
+        np.testing.assert_array_equal(packed.data[:, 13:], 0)
+
+    def test_sliver(self, rng):
+        panel = random_matrix(rng, 9, 8)
+        packed = pack_b(panel, nr=4)
+        np.testing.assert_array_equal(b_sliver(packed, 1), panel[:, 4:8])
+
+    def test_sliver_out_of_range(self, rng):
+        packed = pack_b(random_matrix(rng, 9, 8), nr=4)
+        with pytest.raises(LayoutError):
+            b_sliver(packed, 2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=50),
+        cols=st.integers(min_value=1, max_value=50),
+        mr=st.sampled_from([4, 8, 16]),
+        nr=st.sampled_from([4, 8, 12]),
+    )
+    def test_gemm_from_packed_equals_numpy(self, rows, cols, mr, nr):
+        # the packed padded product, trimmed, must equal the dense product
+        rng = make_rng(rows * 977 + cols)
+        a = random_matrix(rng, rows, 17)
+        b = random_matrix(rng, 17, cols)
+        pa = pack_a(a, mr)
+        pb = pack_b(b, nr)
+        c_pad = pa.data @ pb.data
+        np.testing.assert_allclose(
+            c_pad[:rows, :cols], a @ b, rtol=1e-5, atol=1e-5
+        )
+
+
+class TestPackLoopKernel:
+    def test_contiguous_moves_more_per_iter(self):
+        seq = pack_loop_kernel(True, lanes=4, unroll=4)
+        assert seq.meta["elements"] == 16
+
+    def test_strided_has_scalar_gathers(self):
+        seq = pack_loop_kernel(False, lanes=4, unroll=2)
+        assert any("sload" in ins.tags for ins in seq.body)
+
+    def test_contiguous_is_vector_loads(self):
+        seq = pack_loop_kernel(True, lanes=4, unroll=2)
+        assert all("sload" not in ins.tags for ins in seq.body)
+
+
+class TestPackingCostModel:
+    @pytest.fixture()
+    def cost(self, machine):
+        return PackingCostModel(machine.core, make_cache_model(machine))
+
+    def test_zero_extent_is_free(self, cost):
+        cycles, moves = cost.pack_cycles(0, 10, 4, True)
+        assert cycles == 0.0 and moves == 0
+
+    def test_strided_costs_more(self, cost):
+        seq, _ = cost.pack_cycles(100, 100, 4, source_contiguous=True,
+                                  source_resident="l2")
+        strided, _ = cost.pack_cycles(100, 100, 4, source_contiguous=False,
+                                      source_resident="l2")
+        assert strided > seq
+
+    def test_cost_scales_with_elements(self, cost):
+        small, _ = cost.pack_cycles(50, 50, 4, True, source_resident="l2")
+        large, _ = cost.pack_cycles(100, 100, 4, True, source_resident="l2")
+        assert large > 3 * small
+
+    def test_padded_elements_override(self, cost):
+        plain, moves_plain = cost.pack_cycles(10, 10, 4, True,
+                                              source_resident="l2")
+        padded, moves_padded = cost.pack_cycles(
+            10, 10, 4, True, source_resident="l2", padded_elements=200
+        )
+        assert moves_plain == 100 and moves_padded == 200
+        assert padded > plain
+
+    def test_cold_source_costs_more(self, cost):
+        warm, _ = cost.pack_cycles(100, 100, 4, True, source_resident="l2")
+        cold, _ = cost.pack_cycles(100, 100, 4, True, source_resident="mem")
+        assert cold > warm
+
+    def test_cache_model_override(self, cost, machine):
+        contended = make_cache_model(machine, active_l2_sharers=4,
+                                     numa_remote_fraction=0.8,
+                                     bandwidth_share=1.0)
+        base, _ = cost.pack_cycles(200, 200, 4, False, source_resident="mem")
+        worse, _ = cost.pack_cycles(200, 200, 4, False, source_resident="mem",
+                                    cache_model=contended)
+        assert worse > base

@@ -1,0 +1,224 @@
+"""Unit tests for partitioning, synchronization and the MT executor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    BlisFactorization,
+    MultithreadedGemm,
+    ThreadTopology,
+    barrier_cycles,
+    blis_factorization,
+    blis_factorization_scored,
+    grid_partition,
+    openblas_partition,
+    split_even,
+    sync_points_per_iteration,
+)
+from repro.util import make_rng, random_matrix
+from repro.util.errors import ParallelError
+
+
+class TestSplitEven:
+    def test_exact_division(self):
+        assert split_even(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_spread(self):
+        assert split_even(10, 4) == [3, 3, 2, 2]
+
+    def test_more_parts_than_extent(self):
+        chunks = split_even(3, 8)
+        assert chunks == [1, 1, 1, 0, 0, 0, 0, 0]
+
+    def test_negative_extent(self):
+        with pytest.raises(ParallelError):
+            split_even(-1, 4)
+
+    @given(st.integers(0, 5000), st.integers(1, 128))
+    def test_conservation_and_balance(self, extent, parts):
+        chunks = split_even(extent, parts)
+        assert sum(chunks) == extent
+        assert max(chunks) - min(chunks) <= 1
+
+
+class TestPartitions:
+    def test_openblas_is_1d_over_m(self):
+        parts = openblas_partition(128, 2048, 64)
+        assert len(parts) == 64
+        assert all(n == 2048 for _, n in parts)
+        assert sum(m for m, _ in parts) == 128
+
+    def test_openblas_small_m_idles_threads(self):
+        parts = openblas_partition(16, 2048, 64)
+        assert sum(1 for m, _ in parts if m == 0) == 48
+
+    def test_grid_partition_covers(self):
+        parts = grid_partition(128, 256, 64)
+        assert len(parts) == 64
+        # grid: sum over distinct rows x cols recovers the full extent
+        total = sum(m * n for m, n in parts)
+        assert total == 128 * 256
+
+    def test_grid_matches_aspect(self):
+        # tall problem: more thread rows than columns
+        parts = grid_partition(4096, 64, 16)
+        m0 = max(m for m, _ in parts)
+        n0 = max(n for _, n in parts)
+        assert m0 > n0
+
+
+class TestBlisFactorization:
+    def test_threads_conserved(self):
+        fact = blis_factorization(128, 2048, 64, 8, 12)
+        assert fact.threads == 64
+
+    def test_small_m_not_fragmented(self):
+        # the paper: for small M BLIS refuses to parallelize M
+        fact = blis_factorization(16, 2048, 64, 8, 12)
+        assert fact.ic == 1
+
+    def test_paper_m16_example_sync_group(self):
+        fact = blis_factorization(16, 2048, 64, 8, 12)
+        assert fact.pack_b_group <= 8
+
+    def test_large_m_uses_ic(self):
+        fact = blis_factorization(256, 2048, 64, 8, 12)
+        assert fact.ic >= 8
+
+    def test_groups(self):
+        fact = BlisFactorization(jc=8, ic=2, jr=4)
+        assert fact.pack_b_group == 8
+        assert fact.pack_a_group == 4
+        assert fact.threads == 64
+
+    def test_invalid_extents(self):
+        with pytest.raises(ParallelError):
+            blis_factorization(0, 10, 4, 8, 12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        m=st.integers(1, 512),
+        n=st.integers(1, 4096),
+        threads=st.sampled_from([1, 2, 4, 8, 16, 32, 64]),
+    )
+    def test_factorization_always_valid(self, m, n, threads):
+        fact = blis_factorization(m, n, threads, 8, 12)
+        assert fact.threads == threads
+        assert fact.jc >= 1 and fact.ic >= 1 and fact.jr >= 1
+
+    def test_scored_variant_valid(self):
+        fact = blis_factorization_scored(128, 2048, 64, 8, 12)
+        assert fact.threads == 64
+
+
+class TestBarrier:
+    def test_single_thread_free(self, machine):
+        assert barrier_cycles(1, machine.numa) == 0.0
+
+    def test_grows_with_threads(self, machine):
+        c8 = barrier_cycles(8, machine.numa)
+        c64 = barrier_cycles(64, machine.numa)
+        assert 0 < c8 < c64
+
+    def test_cross_panel_costs_more_per_stage(self, machine):
+        # 16 threads span 2 panels: more than 4/3 of the 8-thread barrier
+        c8 = barrier_cycles(8, machine.numa)
+        c16 = barrier_cycles(16, machine.numa)
+        assert c16 > c8 * (4 / 3)
+
+    def test_rejects_bad_threads(self, machine):
+        with pytest.raises(ParallelError):
+            barrier_cycles(0, machine.numa)
+
+    def test_sync_points(self):
+        assert sync_points_per_iteration(False, False) == 1
+        assert sync_points_per_iteration(True, True) == 3
+
+
+class TestThreadTopology:
+    def test_single_thread(self, machine):
+        topo = ThreadTopology.for_machine(machine, 1)
+        assert topo.active_l2_sharers == 1
+        assert topo.panels_used == 1
+        assert topo.shared_remote_fraction == 0.0
+
+    def test_full_machine(self, machine):
+        topo = ThreadTopology.for_machine(machine, 64)
+        assert topo.active_l2_sharers == 4
+        assert topo.panels_used == 8
+        assert topo.shared_remote_fraction == pytest.approx(7 / 8)
+
+    def test_too_many_threads(self, machine):
+        with pytest.raises(ParallelError):
+            ThreadTopology.for_machine(machine, 65)
+
+
+class TestMultithreadedGemm:
+    def test_blasfeo_rejected(self, machine):
+        with pytest.raises(ParallelError, match="single-threaded"):
+            MultithreadedGemm(machine, "blasfeo", threads=4)
+
+    def test_unknown_library_rejected(self, machine):
+        with pytest.raises(ParallelError):
+            MultithreadedGemm(machine, "mkl", threads=4)
+
+    def test_functional_correctness(self, machine):
+        rng = make_rng(5)
+        a = random_matrix(rng, 48, 32)
+        b = random_matrix(rng, 32, 40)
+        for lib in ("openblas", "blis", "eigen"):
+            mt = MultithreadedGemm(machine, lib, threads=8)
+            result = mt.gemm(a, b)
+            np.testing.assert_allclose(result.c, a @ b, rtol=1e-4, atol=1e-5)
+
+    def test_alpha_beta(self, machine):
+        rng = make_rng(6)
+        a = random_matrix(rng, 16, 16)
+        b = random_matrix(rng, 16, 16)
+        c = random_matrix(rng, 16, 16)
+        mt = MultithreadedGemm(machine, "blis", threads=4)
+        result = mt.gemm(a, b, c=c, alpha=0.5, beta=2.0)
+        np.testing.assert_allclose(
+            result.c, 0.5 * (a @ b) + 2.0 * c, rtol=1e-4, atol=1e-5
+        )
+
+    def test_sync_cycles_present(self, machine):
+        mt = MultithreadedGemm(machine, "blis", threads=64)
+        timing, _ = mt.cost(64, 1024, 1024)
+        assert timing.sync_cycles > 0
+
+    def test_blis_beats_openblas_small_m(self, machine):
+        blis = MultithreadedGemm(machine, "blis", threads=64)
+        openblas = MultithreadedGemm(machine, "openblas", threads=64)
+        t_blis, _ = blis.cost(32, 2048, 2048)
+        t_ob, _ = openblas.cost(32, 2048, 2048)
+        assert t_blis.efficiency(machine, np.float32, 64) > \
+            2 * t_ob.efficiency(machine, np.float32, 64)
+
+    def test_openblas_idle_threads_hurt(self, machine):
+        mt = MultithreadedGemm(machine, "openblas", threads=64)
+        t16, _ = mt.cost(16, 2048, 2048)
+        t256, _ = mt.cost(256, 2048, 2048)
+        assert t256.efficiency(machine, np.float32, 64) > \
+            4 * t16.efficiency(machine, np.float32, 64)
+
+    def test_more_threads_help_large_problems(self, machine):
+        t1 = MultithreadedGemm(machine, "blis", threads=4) \
+            .cost(512, 2048, 512)[0]
+        t64 = MultithreadedGemm(machine, "blis", threads=64) \
+            .cost(512, 2048, 512)[0]
+        assert t64.total_cycles < t1.total_cycles
+
+    def test_info_reports_factorization(self, machine):
+        mt = MultithreadedGemm(machine, "blis", threads=64)
+        _, info = mt.cost(128, 2048, 2048)
+        assert info["factorization"].threads == 64
+
+    def test_kernel_efficiency_below_single_thread(self, machine):
+        # the paper: MT kernel efficiency is lower than single-thread
+        mt = MultithreadedGemm(machine, "blis", threads=64)
+        t, _ = mt.cost(64, 2048, 2048)
+        ke = t.kernel_efficiency(machine, np.float32, 64)
+        assert 0.3 < ke < 0.97

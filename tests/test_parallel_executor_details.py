@@ -1,0 +1,132 @@
+"""White-box tests of the multithreaded executor's cost assembly."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import MultithreadedGemm, ThreadTopology
+from repro.parallel.sync import barrier_cycles
+
+
+class TestTopologyDerivation:
+    @pytest.mark.parametrize("threads,sharers,panels", [
+        (1, 1, 1), (2, 2, 1), (4, 4, 1), (8, 4, 1), (9, 4, 2),
+        (16, 4, 2), (64, 4, 8),
+    ])
+    def test_compact_placement(self, machine, threads, sharers, panels):
+        topo = ThreadTopology.for_machine(machine, threads)
+        assert topo.active_l2_sharers == sharers
+        assert topo.panels_used == panels
+
+    def test_bandwidth_share_shrinks_per_thread(self, machine):
+        mt4 = MultithreadedGemm(machine, "blis", threads=4)
+        mt64 = MultithreadedGemm(machine, "blis", threads=64)
+        assert mt64.cache_mt.bandwidth_share < mt4.cache_mt.bandwidth_share
+
+
+class TestOpenblasScheme:
+    def test_idle_threads_reported(self, machine):
+        mt = MultithreadedGemm(machine, "openblas", threads=64)
+        _, info = mt.cost(16, 512, 512)
+        assert info["chunks_nonzero"] == 16
+        assert info["max_chunk"] == 1
+
+    def test_critical_path_set_by_largest_chunk(self, machine):
+        mt = MultithreadedGemm(machine, "openblas", threads=8)
+        # M=9 over 8 threads: one thread has 2 rows, the rest 1 -> the
+        # 2-row thread sets the pace; M=8 balances
+        t9, _ = mt.cost(9, 512, 512)
+        t8, _ = mt.cost(8, 512, 512)
+        assert t9.kernel_cycles > t8.kernel_cycles
+
+    def test_pack_b_split_across_all_threads(self, machine):
+        t8 = MultithreadedGemm(machine, "openblas", threads=8) \
+            .cost(64, 2048, 256)[0]
+        t64 = MultithreadedGemm(machine, "openblas", threads=64) \
+            .cost(64, 2048, 256)[0]
+        # cooperative pack: more threads -> less pack-B time on the
+        # critical path (bandwidth floor limits the gain)
+        assert t64.pack_b_cycles < t8.pack_b_cycles
+
+    def test_barrier_count_scales_with_kk_iterations(self, machine):
+        mt = MultithreadedGemm(machine, "openblas", threads=16)
+        sync1 = mt.cost(64, 256, 128)[0].sync_cycles
+        sync4 = mt.cost(64, 256, 4 * mt.driver.blocking.kc)[0].sync_cycles
+        assert sync4 > sync1
+
+
+class TestBlisScheme:
+    def test_pack_b_amortized_within_group(self, machine):
+        mt = MultithreadedGemm(machine, "blis", threads=64)
+        timing, info = mt.cost(128, 2048, 256)
+        fact = info["factorization"]
+        assert fact.pack_b_group > 1
+        # pack-B time reflects group cooperation (way below 1-thread cost)
+        from repro.blas import make_blis
+
+        st = make_blis(machine).cost_gemm(128, 2048, 256)
+        assert timing.pack_b_cycles < st.pack_b_cycles / 2
+
+    def test_sync_uses_group_sized_barriers(self, machine):
+        mt = MultithreadedGemm(machine, "blis", threads=64)
+        timing, info = mt.cost(16, 2048, 256)
+        fact = info["factorization"]
+        per_kk = barrier_cycles(fact.pack_b_group, machine.numa)
+        # sync per kk iteration is a small multiple of the group barrier
+        kks = -(-256 // mt.driver.blocking.kc)
+        assert timing.sync_cycles <= 3.5 * per_kk * kks
+
+    def test_eff_peaks_at_intermediate_m(self, machine):
+        mt = MultithreadedGemm(machine, "blis", threads=64)
+        effs = {
+            m: mt.cost(m, 2048, 2048)[0].efficiency(machine, np.float32, 64)
+            for m in (16, 128, 256)
+        }
+        assert effs[128] > effs[16]
+
+
+class TestEigenScheme:
+    def test_grid_info(self, machine):
+        mt = MultithreadedGemm(machine, "eigen", threads=16)
+        _, info = mt.cost(256, 256, 128)
+        assert info["scheme"] == "2d-grid"
+        assert info["grid_chunks"] == 16
+
+    def test_single_join_barrier(self, machine):
+        mt = MultithreadedGemm(machine, "eigen", threads=64)
+        timing, _ = mt.cost(256, 256, 128)
+        assert timing.sync_cycles == pytest.approx(
+            barrier_cycles(64, machine.numa)
+        )
+
+    def test_worst_chunk_sets_critical_path(self, machine):
+        mt = MultithreadedGemm(machine, "eigen", threads=4)
+        t_even, _ = mt.cost(64, 64, 64)
+        t_odd, _ = mt.cost(65, 65, 64)  # uneven chunks + edges
+        assert t_odd.total_cycles > t_even.total_cycles
+
+
+class TestCrossScheme:
+    def test_all_schemes_agree_functionally(self, machine):
+        from repro.util import make_rng, random_matrix
+
+        rng = make_rng(30)
+        a = random_matrix(rng, 40, 24)
+        b = random_matrix(rng, 24, 56)
+        outs = [
+            MultithreadedGemm(machine, lib, threads=8).gemm(a, b).c
+            for lib in ("openblas", "blis", "eigen")
+        ]
+        for out in outs[1:]:
+            np.testing.assert_allclose(out, outs[0], rtol=1e-5, atol=1e-6)
+
+    def test_useful_flops_identical_across_schemes(self, machine):
+        for lib in ("openblas", "blis", "eigen"):
+            mt = MultithreadedGemm(machine, lib, threads=16)
+            t, _ = mt.cost(48, 96, 32)
+            assert t.useful_flops == 2 * 48 * 96 * 32
+
+    def test_executed_flops_at_least_useful(self, machine):
+        for lib in ("openblas", "blis", "eigen"):
+            mt = MultithreadedGemm(machine, lib, threads=16)
+            t, _ = mt.cost(50, 100, 64)
+            assert t.executed_flops >= t.useful_flops * 0.99

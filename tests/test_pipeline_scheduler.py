@@ -1,0 +1,234 @@
+"""Unit tests for the out-of-order dataflow scheduler."""
+
+import pytest
+
+from repro.isa import (
+    branch_nz,
+    fadd,
+    fmla,
+    ldr_q,
+    movi_zero,
+    str_q,
+    subs_imm,
+)
+from repro.machine import CoreConfig
+from repro.pipeline import OoOScheduler, render_schedule
+from repro.util.errors import ScheduleError
+
+
+@pytest.fixture()
+def core():
+    return CoreConfig()
+
+
+@pytest.fixture()
+def sched(core):
+    return OoOScheduler(core)
+
+
+class TestBasicScheduling:
+    def test_empty_stream_rejected(self, sched):
+        with pytest.raises(ScheduleError):
+            sched.run([])
+
+    def test_single_instruction(self, sched, core):
+        res = sched.run([fmla("v0", "v1", "v2")])
+        assert res.total_cycles == core.latencies["fma"]
+        assert res.instructions == 1
+        assert res.flops == 8
+
+    def test_negative_penalty_rejected(self, sched):
+        with pytest.raises(ScheduleError):
+            sched.run([fmla("v0", "v1", "v2")], extra_load_cycles=-1)
+
+    def test_unknown_latency_key_rejected(self, sched):
+        from repro.isa.instructions import Instruction
+
+        bad = Instruction(text="mystery", port="alu", latency_key="nope")
+        with pytest.raises(ScheduleError, match="latency key"):
+            sched.run([bad])
+
+    def test_true_dependence_serializes(self, sched, core):
+        # load feeds fmla: fmla cannot issue before the load completes
+        stream = [ldr_q("v4", "x0"), fmla("v0", "v4", "v2")]
+        res = sched.run(stream, record_ops=True)
+        load_op, fma_op = res.ops
+        assert fma_op.issue_cycle >= load_op.issue_cycle + core.latencies["load"]
+
+    def test_independent_instructions_overlap(self, sched):
+        stream = [fmla("v0", "v8", "v9"), ldr_q("v4", "x0")]
+        res = sched.run(stream, record_ops=True)
+        assert res.ops[1].issue_cycle <= 1.0  # not delayed by the fma
+
+    def test_renaming_removes_waw(self, sched):
+        # two writes to v4 with independent readers: second pair must not
+        # wait for the first
+        stream = [
+            ldr_q("v4", "x0"),
+            fmla("v0", "v4", "v2"),
+            ldr_q("v4", "x1"),
+            fmla("v1", "v4", "v2"),
+        ]
+        res = sched.run(stream, record_ops=True)
+        assert res.ops[2].issue_cycle <= res.ops[1].issue_cycle
+
+    def test_post_increment_base_is_fast(self, sched):
+        # the pA pointer chain must not serialize at load latency
+        stream = [ldr_q("v4", "x0", post_inc=16) for _ in range(8)]
+        res = sched.run(stream, record_ops=True)
+        # with 2 load ports and next-cycle base writeback the 8 loads issue
+        # in ~4-8 cycles, not 8*3
+        assert res.ops[-1].issue_cycle < 12
+
+
+class TestPortContention:
+    def test_fma_port_throughput(self, sched):
+        # 8 independent FMAs on one pipe: one per cycle
+        stream = [fmla(f"v{i}", "v20", "v21") for i in range(8)]
+        res = sched.run(stream, record_ops=True)
+        issues = sorted(op.issue_cycle for op in res.ops)
+        assert issues == [float(i) for i in range(8)]
+
+    def test_two_load_ports(self, sched):
+        stream = [ldr_q(f"v{i}", "x0") for i in range(8)]
+        res = sched.run(stream, record_ops=True)
+        # pairs per cycle
+        assert max(op.issue_cycle for op in res.ops) == pytest.approx(3.0)
+
+    def test_later_ready_op_fills_earlier_hole(self, sched):
+        # a stalled older fma must not block a ready younger one (true OoO)
+        stream = [
+            ldr_q("v4", "x0"),
+            fmla("v0", "v4", "v2"),  # waits for the load
+            fmla("v1", "v8", "v9"),  # ready immediately
+        ]
+        res = sched.run(stream, record_ops=True)
+        assert res.ops[2].issue_cycle < res.ops[1].issue_cycle
+
+
+class TestAccumulatorChains:
+    def test_single_chain_limited_by_latency(self, sched, core):
+        # one accumulator: each fmla waits for the previous -> latency-bound
+        stream = [fmla("v0", "v8", "v9") for _ in range(10)]
+        res = sched.run(stream, record_ops=True)
+        lat = core.latencies["fma"]
+        gaps = [
+            res.ops[i + 1].issue_cycle - res.ops[i].issue_cycle
+            for i in range(9)
+        ]
+        assert all(g == pytest.approx(lat) for g in gaps)
+
+    def test_many_chains_reach_port_throughput(self, sched):
+        # 8 chains x 4 rounds: steady state 1 fma/cycle
+        stream = []
+        for _ in range(4):
+            for i in range(8):
+                stream.append(fmla(f"v{i}", "v20", "v21"))
+        res = sched.run(stream)
+        assert res.total_cycles <= 32 + 5
+
+
+class TestExtraLoadCycles:
+    def test_extra_latency_delays_consumer(self, sched, core):
+        base = sched.run(
+            [ldr_q("v4", "x0"), fmla("v0", "v4", "v2")], record_ops=True
+        )
+        slow = sched.run(
+            [ldr_q("v4", "x0"), fmla("v0", "v4", "v2")],
+            extra_load_cycles=10.0,
+            record_ops=True,
+        )
+        assert slow.ops[1].issue_cycle >= base.ops[1].issue_cycle + 10
+
+
+class TestDispatchAndRob:
+    def test_dispatch_width_bounds_start(self, core):
+        sched = OoOScheduler(core)
+        # 12 independent alu ops, 2 alu ports, dispatch 4/cycle
+        stream = [movi_zero(f"v{i}") for i in range(12)]
+        res = sched.run(stream, record_ops=True)
+        # instruction 8 dispatches at cycle 2 at the earliest
+        assert res.ops[8].issue_cycle >= 2.0
+
+    def test_rob_limits_runahead(self):
+        tiny_rob = CoreConfig(rob_entries=4)
+        sched = OoOScheduler(tiny_rob)
+        # a long-latency chain head plus many independents: with a 4-entry
+        # ROB the independents cannot run arbitrarily far ahead
+        chain = [fmla("v0", "v8", "v9") for _ in range(4)]
+        indep = [movi_zero(f"v{i}") for i in range(1, 13)]
+        res = sched.run(chain + indep, record_ops=True)
+        assert res.ops[-1].issue_cycle >= 10.0
+
+    def test_scheduler_window_constrains_issue(self):
+        narrow = CoreConfig(scheduler_window=2)
+        wide = CoreConfig(scheduler_window=64)
+        stream = [ldr_q("v4", "x0"), fmla("v0", "v4", "v2")] * 8
+        t_narrow = OoOScheduler(narrow).run(stream).total_cycles
+        t_wide = OoOScheduler(wide).run(stream).total_cycles
+        assert t_narrow >= t_wide
+
+
+class TestResultAccounting:
+    def test_port_busy_counts(self, sched):
+        stream = [ldr_q("v4", "x0"), fmla("v0", "v4", "v2"), str_q("v0", "x1")]
+        res = sched.run(stream)
+        assert res.port_busy["load"] == 1
+        assert res.port_busy["fma"] == 1
+        assert res.port_busy["store"] == 1
+
+    def test_port_utilization(self, sched, core):
+        stream = [fmla(f"v{i}", "v20", "v21") for i in range(8)]
+        res = sched.run(stream)
+        util = res.port_utilization(core)
+        assert 0.0 < util["fma"] <= 1.0
+
+    def test_flops_per_cycle(self, sched):
+        stream = [fmla(f"v{i}", "v20", "v21") for i in range(8)]
+        res = sched.run(stream)
+        assert res.flops_per_cycle > 0
+
+    def test_render_schedule_requires_record(self, sched):
+        res = sched.run([fmla("v0", "v1", "v2")])
+        with pytest.raises(ScheduleError):
+            render_schedule(res)
+
+    def test_render_schedule_text(self, sched):
+        res = sched.run([fmla("v0", "v1", "v2")], record_ops=True)
+        assert "fmla" in render_schedule(res)
+
+
+class TestCompletionProfile:
+    def test_marks_monotone(self, sched):
+        body = [
+            ldr_q("v4", "x0", post_inc=16),
+            fmla("v0", "v4", "v2"),
+            subs_imm("x3", "x3", 1),
+            branch_nz("x3"),
+        ]
+        stream = body * 6
+        marks = [len(body) * (i + 1) for i in range(6)]
+        profile = sched.completion_profile(stream, marks)
+        assert len(profile) == 6
+        assert all(b >= a for a, b in zip(profile, profile[1:]))
+
+    def test_bad_mark_rejected(self, sched):
+        with pytest.raises(ScheduleError):
+            sched.completion_profile([fmla("v0", "v1", "v2")], [2])
+
+
+class TestLoopIdioms:
+    def test_loop_control_does_not_bottleneck(self, sched):
+        body = []
+        for i in range(8):
+            body.append(fmla(f"v{i}", "v20", "v21"))
+        body.append(subs_imm("x3", "x3", 1))
+        body.append(branch_nz("x3"))
+        res = sched.run(body * 8)
+        # fma-port bound: ~64 cycles, loop control rides along
+        assert res.total_cycles < 64 + 16
+
+    def test_fadd_uses_fma_port(self, sched):
+        stream = [fadd(f"v{i}", "v20", "v21") for i in range(4)]
+        res = sched.run(stream)
+        assert res.port_busy["fma"] == 4

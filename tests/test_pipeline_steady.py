@@ -1,0 +1,135 @@
+"""Unit tests for steady-state kernel analysis."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import KernelSpec, MicroKernelGenerator
+from repro.pipeline import SteadyStateAnalyzer, bound_analysis
+from repro.util.errors import ScheduleError
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return MicroKernelGenerator()
+
+
+@pytest.fixture()
+def analyzer(machine):
+    return SteadyStateAnalyzer(machine.core)
+
+
+class TestAnalyzerBasics:
+    def test_rejects_tiny_measurement_windows(self, machine):
+        with pytest.raises(ScheduleError):
+            SteadyStateAnalyzer(machine.core, warmup_iters=0)
+        with pytest.raises(ScheduleError):
+            SteadyStateAnalyzer(machine.core, measure_iters=2)
+
+    def test_memoizes_by_kernel_identity(self, analyzer, gen):
+        k = gen.generate(KernelSpec(8, 4, label="memo"))
+        s1 = analyzer.analyze(k)
+        s2 = analyzer.analyze(k)
+        assert s1 is s2
+
+    def test_distinct_penalties_not_conflated(self, analyzer, gen):
+        k = gen.generate(KernelSpec(8, 4, label="pen"))
+        s0 = analyzer.analyze(k, 0.0)
+        s5 = analyzer.analyze(k, 5.0)
+        assert s5.cycles_per_iter >= s0.cycles_per_iter
+
+
+class TestSteadyStateValues:
+    def test_16x4_hits_port_bound(self, analyzer, gen, machine):
+        # 16 accumulator chains >= fma latency -> 1 fma/cycle steady state
+        k = gen.generate(KernelSpec(16, 4, unroll=8, label="ob"))
+        state = analyzer.analyze(k)
+        assert state.cycles_per_iter == pytest.approx(8 * 16, rel=0.02)
+        assert state.efficiency(machine.core, np.float32) == pytest.approx(
+            1.0, rel=0.02
+        )
+
+    def test_narrow_tile_is_chain_bound(self, analyzer, gen, machine):
+        # 1x4 scalar edge kernel: too few chains to cover the FMA latency
+        k = gen.generate(KernelSpec(1, 4, unroll=4, style="naive",
+                                    label="edge"))
+        state = analyzer.analyze(k)
+        assert state.efficiency(machine.core, np.float32) < 0.35
+
+    def test_padded_narrow_tile_wastes_lanes(self, analyzer, gen, machine):
+        # 1x4 padded to a full vector: raw throughput is decent but only a
+        # quarter of the lanes carry useful data
+        k = gen.generate(KernelSpec(1, 4, unroll=4, pad_rows=True,
+                                    label="edge-pad"))
+        state = analyzer.analyze(k)
+        raw = state.efficiency(machine.core, np.float32)
+        useful = raw * (1 / 4)
+        assert raw > 0.5
+        assert useful < 0.25
+
+    def test_uncontracted_kernel_is_half_speed(self, analyzer, gen, machine):
+        fused = gen.generate(KernelSpec(12, 4, unroll=1, style="compiled",
+                                        contraction=True, label="e1"))
+        split = gen.generate(KernelSpec(12, 4, unroll=1, style="compiled",
+                                        contraction=False, label="e2"))
+        e_fused = analyzer.analyze(fused).efficiency(machine.core, np.float32)
+        e_split = analyzer.analyze(split).efficiency(machine.core, np.float32)
+        assert e_split == pytest.approx(e_fused / 2, rel=0.05)
+
+    def test_load_penalty_degrades_throughput_eventually(
+        self, analyzer, gen, machine
+    ):
+        k = gen.generate(KernelSpec(8, 4, unroll=1, label="pen2"))
+        fast = analyzer.analyze(k, 0.0)
+        slow = analyzer.analyze(k, 40.0)
+        assert slow.cycles_per_iter > fast.cycles_per_iter
+
+
+class TestKernelCallCycles:
+    def test_composition(self, analyzer, gen):
+        k = gen.generate(KernelSpec(8, 4, unroll=4, label="call"))
+        state = analyzer.analyze(k)
+        cycles = state.kernel_call_cycles(kc=16)
+        expected = state.startup_cycles + 4 * state.cycles_per_iter \
+            + state.epilogue_cycles
+        assert cycles == pytest.approx(expected)
+
+    def test_remainder_charged_a_full_body(self, analyzer, gen):
+        k = gen.generate(KernelSpec(8, 4, unroll=4, label="rem"))
+        state = analyzer.analyze(k)
+        assert state.kernel_call_cycles(17) == state.kernel_call_cycles(20)
+        assert state.kernel_call_cycles(16) < state.kernel_call_cycles(17)
+
+    def test_rejects_non_positive_kc(self, analyzer, gen):
+        k = gen.generate(KernelSpec(8, 4, label="badkc"))
+        state = analyzer.analyze(k)
+        with pytest.raises(ScheduleError):
+            state.kernel_call_cycles(0)
+
+    def test_flops_per_cycle_positive(self, analyzer, gen):
+        k = gen.generate(KernelSpec(8, 8, label="fpc"))
+        assert analyzer.analyze(k).flops_per_cycle > 0
+
+
+class TestBoundAnalysis:
+    def test_measured_at_least_max_bound(self, analyzer, gen, machine):
+        for spec in (
+            KernelSpec(16, 4, unroll=8, label="b1"),
+            KernelSpec(8, 12, unroll=4, label="b2"),
+            KernelSpec(2, 4, unroll=4, style="naive", label="b3"),
+        ):
+            k = gen.generate(spec)
+            state = analyzer.analyze(k)
+            bounds = bound_analysis(k, machine.core)
+            assert state.cycles_per_iter >= max(bounds.values()) - 1e-6
+
+    def test_bound_keys(self, gen, machine):
+        k = gen.generate(KernelSpec(8, 4, label="b4"))
+        bounds = bound_analysis(k, machine.core)
+        assert "port:fma" in bounds
+        assert "dispatch" in bounds
+        assert "fma-chains" in bounds
+
+    def test_chain_bound_dominates_for_narrow_tiles(self, gen, machine):
+        k = gen.generate(KernelSpec(1, 4, unroll=4, pad_rows=True, label="b5"))
+        bounds = bound_analysis(k, machine.core)
+        assert bounds["fma-chains"] >= bounds["port:fma"]

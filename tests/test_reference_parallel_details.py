@@ -1,0 +1,60 @@
+"""White-box tests for the reference driver's multithreaded cost path."""
+
+import numpy as np
+import pytest
+
+from repro.core import ReferenceSmmDriver
+from repro.parallel import MultithreadedGemm
+
+
+class TestPerKcAssembly:
+    def test_sync_scales_with_k(self, machine):
+        ref = ReferenceSmmDriver(machine, threads=64, force_packing=True)
+        t1, _ = ref.cost_gemm(64, 2048, 256)
+        t4, _ = ref.cost_gemm(64, 2048, 1024)
+        assert t4.sync_cycles > 2 * t1.sync_cycles
+
+    def test_pack_scales_with_k(self, machine):
+        ref = ReferenceSmmDriver(machine, threads=64, force_packing=True)
+        t1, _ = ref.cost_gemm(64, 2048, 256)
+        t4, _ = ref.cost_gemm(64, 2048, 1024)
+        assert t4.pack_b_cycles == pytest.approx(4 * t1.pack_b_cycles,
+                                                 rel=0.1)
+
+    def test_large_b_streams_from_memory(self, machine):
+        """The residency decision must see the *global* B footprint."""
+        packed = ReferenceSmmDriver(machine, threads=64, force_packing=True)
+        t, _ = packed.cost_gemm(16, 2048, 2048)
+        # a 16 MB B cannot be packed for free: the pack phase is material
+        assert t.pack_b_cycles > 0.05 * t.total_cycles
+
+    def test_mt_efficiency_in_plausible_band(self, machine):
+        ref = ReferenceSmmDriver(machine, threads=64)
+        for m in (16, 64, 256):
+            t, _ = ref.cost_gemm(m, 2048, 2048)
+            eff = t.efficiency(machine, np.float32, 64)
+            assert 0.2 < eff < 0.85, (m, eff)
+
+    def test_reference_beats_blis_on_small_m(self, machine):
+        ref = ReferenceSmmDriver(machine, threads=64)
+        blis = MultithreadedGemm(machine, "blis", threads=64)
+        for m in (16, 48, 96):
+            e_ref = ref.cost_gemm(m, 2048, 2048)[0].efficiency(
+                machine, np.float32, 64)
+            e_blis = blis.cost(m, 2048, 2048)[0].efficiency(
+                machine, np.float32, 64)
+            assert e_ref > e_blis, m
+
+    def test_respects_roofline_at_scale(self, machine):
+        from repro.timing import respects_roofline
+
+        ref = ReferenceSmmDriver(machine, threads=64)
+        t, _ = ref.cost_gemm(128, 2048, 2048)
+        assert respects_roofline(t, machine, 128, 2048, 2048, n_cores=64)
+
+    def test_single_thread_path_unchanged_semantics(self, machine):
+        """threads=1 must keep using the single-thread cost path."""
+        ref1 = ReferenceSmmDriver(machine, threads=1)
+        t, decision = ref1.cost_gemm(32, 32, 32)
+        assert decision.factorization is None
+        assert t.sync_cycles == 0.0

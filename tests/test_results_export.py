@@ -1,0 +1,52 @@
+"""CSV export of figure/table results."""
+
+import csv
+import io
+
+from repro.analysis import FigureResult, FigureSeries, TableResult
+
+
+class TestFigureCsv:
+    def make(self):
+        return FigureResult(
+            figure_id="f", x_label="M", y_label="eff", xs=[8, 16],
+            series=[FigureSeries("a", [0.5, 0.6]),
+                    FigureSeries("b", [0.1, 0.2])],
+        )
+
+    def test_header_row(self):
+        rows = list(csv.reader(io.StringIO(self.make().to_csv())))
+        assert rows[0] == ["M", "a", "b"]
+
+    def test_data_rows(self):
+        rows = list(csv.reader(io.StringIO(self.make().to_csv())))
+        assert rows[1] == ["8", "0.5", "0.1"]
+        assert rows[2] == ["16", "0.6", "0.2"]
+
+    def test_round_trips_through_csv_reader(self):
+        text = self.make().to_csv()
+        rows = list(csv.reader(io.StringIO(text)))
+        assert len(rows) == 3
+
+    def test_real_experiment_exports(self, machine):
+        from repro.analysis import fig5b
+
+        text = fig5b(machine).to_csv()
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][0] == "M"
+        assert len(rows) == 1 + 20  # header + 20 sweep points
+
+
+class TestTableCsv:
+    def test_export(self):
+        t = TableResult("t", headers=["a", "b"], rows=[[1, 2], [3, 4]])
+        rows = list(csv.reader(io.StringIO(t.to_csv())))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_table2_exports(self, machine):
+        from repro.analysis import table2
+
+        text = table2(machine).to_csv()
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][0] == "M"
+        assert len(rows) == 17

@@ -1,0 +1,93 @@
+"""Roofline bounds and the global no-driver-exceeds-the-roof invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas import make_driver
+from repro.core import ReferenceSmmDriver
+from repro.parallel import MultithreadedGemm
+from repro.timing import respects_roofline, roofline
+from repro.util.errors import ConfigError
+
+LIBS = ["openblas", "blis", "blasfeo", "eigen"]
+
+
+class TestRooflineMath:
+    def test_warm_roof_is_compute(self, machine):
+        point = roofline(machine, 64, 64, 64, cold=False)
+        assert point.compute_bound
+        assert point.roof_gflops == machine.peak_gflops(np.float32, 1)
+
+    def test_cold_tiny_k_is_memory_bound(self, machine):
+        # K=1: two flops per C element against three operand touches
+        point = roofline(machine, 256, 256, 1, cold=True)
+        assert not point.compute_bound
+        assert point.max_efficiency < 0.5
+
+    def test_cold_large_cube_is_compute_bound(self, machine):
+        point = roofline(machine, 512, 512, 512, cold=True)
+        assert point.compute_bound
+
+    def test_intensity_grows_with_k(self, machine):
+        p1 = roofline(machine, 64, 64, 8, cold=True)
+        p2 = roofline(machine, 64, 64, 512, cold=True)
+        assert p2.intensity_flops_per_byte > p1.intensity_flops_per_byte
+
+    def test_multicore_roofs_scale(self, machine):
+        p1 = roofline(machine, 256, 256, 256, n_cores=1, cold=True)
+        p64 = roofline(machine, 256, 256, 256, n_cores=64, cold=True)
+        assert p64.compute_roof_gflops == 64 * p1.compute_roof_gflops
+        assert p64.memory_roof_gflops == 8 * p1.memory_roof_gflops
+
+    def test_rejects_bad_cores(self, machine):
+        with pytest.raises(ConfigError):
+            roofline(machine, 8, 8, 8, n_cores=0)
+
+    def test_flop_mismatch_rejected(self, machine):
+        t = make_driver("blis", machine).cost_gemm(16, 16, 16)
+        with pytest.raises(ConfigError):
+            respects_roofline(t, machine, 32, 32, 32)
+
+
+class TestDriversUnderTheRoof:
+    @pytest.mark.parametrize("lib", LIBS)
+    @pytest.mark.parametrize("shape", [
+        (8, 8, 8), (40, 40, 40), (75, 60, 60), (128, 128, 128),
+        (2, 100, 100), (100, 100, 2),
+    ])
+    def test_single_thread(self, machine, lib, shape):
+        t = make_driver(lib, machine).cost_gemm(*shape)
+        assert respects_roofline(t, machine, *shape)
+
+    @pytest.mark.parametrize("shape", [
+        (8, 8, 8), (13, 27, 9), (96, 96, 96),
+    ])
+    def test_reference(self, machine, shape):
+        t, _ = ReferenceSmmDriver(machine).cost_gemm(*shape)
+        assert respects_roofline(t, machine, *shape)
+
+    @pytest.mark.parametrize("lib", ["openblas", "blis", "eigen"])
+    def test_multithreaded(self, machine, lib):
+        mt = MultithreadedGemm(machine, lib, threads=64)
+        shape = (128, 2048, 2048)
+        t, _ = mt.cost(*shape)
+        assert respects_roofline(t, machine, *shape, n_cores=64)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(1, 96),
+        n=st.integers(1, 96),
+        k=st.integers(1, 96),
+        lib=st.sampled_from(LIBS),
+    )
+    def test_roofline_property(self, machine, m, n, k, lib):
+        t = make_driver(lib, machine).cost_gemm(m, n, k)
+        assert respects_roofline(t, machine, m, n, k)
+
+    @settings(max_examples=15, deadline=None)
+    @given(m=st.integers(1, 64), n=st.integers(1, 64), k=st.integers(1, 64))
+    def test_reference_roofline_property(self, machine, m, n, k):
+        t, _ = ReferenceSmmDriver(machine).cost_gemm(m, n, k)
+        assert respects_roofline(t, machine, m, n, k)

@@ -1,0 +1,116 @@
+"""Regression tests for the shared-cache aliasing bug.
+
+The steady-state analyzer and the analyzer registry were originally keyed
+by ``id()`` of kernel/core objects; after garbage collection a new object
+could reuse the address and silently inherit a *different* configuration's
+cached results (discovered as cross-test pollution between the a64fx
+sensitivity machine and the Phytium baseline).  These tests pin the
+value-based keying that fixed it.
+"""
+
+import gc
+
+import numpy as np
+
+from repro.blas import shared_analyzer, shared_generator
+from repro.kernels import JitKernelFactory, KernelSpec, MicroKernelGenerator
+from repro.machine import a64fx_like, phytium2000plus
+from repro.pipeline import SteadyStateAnalyzer
+
+
+class TestAnalyzerRegistry:
+    def test_equal_cores_share_one_analyzer(self):
+        m1 = phytium2000plus()
+        m2 = phytium2000plus()
+        assert m1.core is not m2.core
+        assert shared_analyzer(m1) is shared_analyzer(m2)
+
+    def test_different_cores_get_different_analyzers(self):
+        assert shared_analyzer(phytium2000plus()) is not \
+            shared_analyzer(a64fx_like())
+
+    def test_survives_gc_of_machines(self):
+        wide = a64fx_like()
+        wide_analyzer = shared_analyzer(wide)
+        del wide
+        gc.collect()
+        base = phytium2000plus()
+        assert shared_analyzer(base) is not wide_analyzer
+
+
+class TestSteadyStateKeying:
+    def test_same_name_across_generators_reuses_analysis(self, machine):
+        analyzer = SteadyStateAnalyzer(machine.core)
+        spec = KernelSpec(8, 4, unroll=2, label="keyed")
+        k1 = MicroKernelGenerator().generate(spec)
+        k2 = MicroKernelGenerator().generate(spec)
+        assert k1 is not k2
+        assert k1.name == k2.name
+        s1 = analyzer.analyze(k1)
+        s2 = analyzer.analyze(k2)
+        assert s1 is s2  # value-keyed memoization
+
+    def test_gc_cannot_alias_distinct_kernels(self, machine):
+        analyzer = SteadyStateAnalyzer(machine.core)
+        gen = MicroKernelGenerator()
+        slow = gen.generate(KernelSpec(1, 4, unroll=2, style="naive",
+                                       label="alias-slow"))
+        slow_state = analyzer.analyze(slow)
+        del gen, slow
+        gc.collect()
+        fast = MicroKernelGenerator().generate(
+            KernelSpec(16, 4, unroll=2, label="alias-fast")
+        )
+        fast_state = analyzer.analyze(fast)
+        assert fast_state.cycles_per_iter != slow_state.cycles_per_iter
+
+    def test_lane_count_is_part_of_the_key(self, machine):
+        # two specs identical except for lanes must not collide
+        analyzer = SteadyStateAnalyzer(machine.core)
+        gen = shared_generator()
+        k4 = gen.generate(KernelSpec(8, 4, unroll=2, lanes=4, label="lk"))
+        k2 = gen.generate(KernelSpec(8, 4, unroll=2, lanes=2, label="lk"))
+        assert k4.name != k2.name
+        s4 = analyzer.analyze(k4)
+        s2 = analyzer.analyze(k2)
+        # same math, but the 2-lane variant needs twice the fmla ops
+        assert s2.cycles_per_iter > s4.cycles_per_iter
+
+
+class TestCrossMachineIsolation:
+    def test_same_experiment_on_both_machines_stays_consistent(self):
+        """Run the a64fx machine, then verify Phytium numbers unchanged."""
+        from repro.blas import make_blasfeo
+
+        base = phytium2000plus()
+        before = make_blasfeo(base).cost_gemm(40, 40, 40).total_cycles
+
+        wide = a64fx_like()
+        make_blasfeo(wide).cost_gemm(40, 40, 40)
+        del wide
+        gc.collect()
+
+        after = make_blasfeo(phytium2000plus()).cost_gemm(
+            40, 40, 40
+        ).total_cycles
+        assert after == before
+
+    def test_jit_factories_are_machine_specific(self):
+        jit_base = JitKernelFactory(phytium2000plus().core)
+        jit_wide = JitKernelFactory(a64fx_like().core)
+        assert jit_base.lanes == 4
+        assert jit_wide.lanes == 16
+        assert jit_base.main_spec.name != jit_wide.main_spec.name
+
+    def test_efficiencies_differ_between_machines(self):
+        from repro.blas import make_openblas
+
+        base = phytium2000plus()
+        wide = a64fx_like()
+        e_base = make_openblas(base).cost_gemm(64, 64, 64).efficiency(
+            base, np.float32
+        )
+        e_wide = make_openblas(wide).cost_gemm(64, 64, 64).efficiency(
+            wide, np.float32
+        )
+        assert e_base != e_wide

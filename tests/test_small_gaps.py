@@ -1,0 +1,90 @@
+"""Gap-filling tests for small utilities and rarely-hit paths."""
+
+import numpy as np
+import pytest
+
+from repro.blas import make_blasfeo, quantize_penalty
+from repro.blas.base import GemmResult
+from repro.caches.simulator import CacheStats
+from repro.timing import GemmTiming
+from repro.util.errors import DriverError
+
+
+class TestQuantizePenalty:
+    def test_rounds_to_step(self):
+        assert quantize_penalty(0.07) == pytest.approx(0.05)
+        assert quantize_penalty(0.13) == pytest.approx(0.15)
+
+    def test_zero_stable(self):
+        assert quantize_penalty(0.0) == 0.0
+
+    def test_custom_step(self):
+        assert quantize_penalty(0.3, step=0.25) == pytest.approx(0.25)
+
+
+class TestGemmResult:
+    def test_gflops_per_core_cycle(self):
+        timing = GemmTiming(kernel_cycles=100.0, useful_flops=800)
+        result = GemmResult(c=np.zeros((1, 1), dtype=np.float32),
+                            timing=timing)
+        assert result.gflops_per_core_cycle == pytest.approx(8.0)
+
+    def test_zero_cycles_guarded(self):
+        result = GemmResult(c=np.zeros((1, 1), dtype=np.float32),
+                            timing=GemmTiming())
+        assert result.gflops_per_core_cycle == 0.0
+
+
+class TestCacheStats:
+    def test_reset(self):
+        stats = CacheStats(accesses=10, misses=3, evictions=1)
+        assert stats.hits == 7
+        stats.reset()
+        assert stats.accesses == 0
+        assert stats.miss_rate == 0.0
+
+
+class TestBlasfeoValidation:
+    def test_incompatible_panel_size_rejected(self, machine):
+        from repro.blas import BlasfeoGemmDriver
+
+        with pytest.raises(DriverError, match="panel size"):
+            BlasfeoGemmDriver(machine, ps=3)
+
+    def test_compatible_panel_sizes(self, machine):
+        from repro.blas import BlasfeoGemmDriver
+
+        for ps in (2, 4, 8):
+            drv = BlasfeoGemmDriver(machine, ps=ps)
+            assert drv.ps == ps
+
+    def test_cost_gemm_rejects_degenerate(self, machine):
+        drv = make_blasfeo(machine)
+        with pytest.raises(DriverError):
+            drv.cost_gemm(4, 0, 4)
+
+
+class TestTimingEdgeBehaviour:
+    def test_fraction_of_idle_timing(self):
+        assert GemmTiming().fraction("kernel") == 0.0
+
+    def test_gflops_of_idle_timing(self, machine):
+        assert GemmTiming().gflops(machine) == 0.0
+
+    def test_kernel_efficiency_of_idle_timing(self, machine):
+        assert GemmTiming().kernel_efficiency(machine, np.float32) == 0.0
+
+
+class TestSweepCustomRanges:
+    def test_fig5a_custom_step(self):
+        from repro.workloads import fig5a_square
+
+        shapes = fig5a_square(step=50, stop=200)
+        assert shapes == [(50, 50, 50), (100, 100, 100),
+                          (150, 150, 150), (200, 200, 200)]
+
+    def test_fig10_custom_step(self):
+        from repro.workloads import fig10_mt_sweeps
+
+        grids = fig10_mt_sweeps(step=128, stop=256)
+        assert [m for m, _, _ in grids["small-M"]] == [128, 256]

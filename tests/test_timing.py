@@ -1,0 +1,144 @@
+"""Unit tests for the analytic timing models and the breakdown type."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timing import (
+    GemmTiming,
+    arithmetic_intensity,
+    fma_width,
+    gemm_flops,
+    load_width,
+    num_fma,
+    num_load,
+    p2c,
+    p2c_derived,
+)
+from repro.util.errors import ConfigError
+
+
+class TestPaperEquations:
+    def test_load_width_matches_paper(self, machine):
+        # 16-byte vector registers, fp32: Load_width = 4
+        assert load_width(machine.core, np.float32) == 4
+
+    def test_fma_width_matches_paper(self, machine):
+        # FMA_width = 2 * 16/sizeof(float) = 8
+        assert fma_width(machine.core, np.float32) == 8
+
+    def test_num_load_counts_both_operands(self):
+        # (M*K + K*N) / Load_width
+        assert num_load(10, 20, 30, 4) == (10 * 30 + 30 * 20) / 4
+
+    def test_num_fma(self):
+        assert num_fma(10, 20, 30, 8) == 2 * 10 * 20 * 30 / 8
+
+    def test_p2c_paper_form(self):
+        assert p2c(10, 10) == pytest.approx(20 / 200)
+
+    def test_p2c_decreases_with_m_and_n(self):
+        assert p2c(4, 100) > p2c(8, 100) > p2c(16, 100)
+        assert p2c(100, 4) > p2c(100, 8)
+
+    def test_p2c_k_independent(self):
+        # the central claim of Sec. III-A
+        assert p2c_derived(16, 100, 2) == pytest.approx(
+            p2c_derived(16, 100, 200)
+        )
+
+    @given(st.integers(2, 300), st.integers(2, 300), st.integers(2, 300))
+    def test_p2c_derived_positive_and_k_free(self, m, n, k):
+        v1 = p2c_derived(m, n, k)
+        v2 = p2c_derived(m, n, k + 17)
+        assert v1 > 0
+        assert v1 == pytest.approx(v2)
+
+    def test_gemm_flops(self):
+        assert gemm_flops(3, 4, 5) == 120
+
+    def test_arithmetic_intensity_grows_with_size(self):
+        assert arithmetic_intensity(100, 100, 100) > arithmetic_intensity(
+            10, 10, 10
+        )
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigError):
+            gemm_flops(0, 4, 5)
+        with pytest.raises(ConfigError):
+            p2c(-1, 4)
+
+
+class TestGemmTiming:
+    def make(self, **kw):
+        defaults = dict(
+            kernel_cycles=800.0,
+            pack_a_cycles=50.0,
+            pack_b_cycles=150.0,
+            sync_cycles=0.0,
+            useful_flops=8000,
+            executed_flops=8800.0,
+        )
+        defaults.update(kw)
+        return GemmTiming(**defaults)
+
+    def test_total(self):
+        assert self.make().total_cycles == 1000.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            GemmTiming(kernel_cycles=-1)
+
+    def test_fractions(self):
+        t = self.make()
+        assert t.fraction("kernel") == pytest.approx(0.8)
+        assert t.fraction("pack_b") == pytest.approx(0.15)
+        assert t.packing_cycles == 200.0
+
+    def test_breakdown_percent_sums_to_100(self):
+        bp = self.make().breakdown_percent()
+        assert sum(bp.values()) == pytest.approx(100.0)
+
+    def test_empty_breakdown(self):
+        bp = GemmTiming().breakdown_percent()
+        assert all(v == 0.0 for v in bp.values())
+
+    def test_gflops_and_efficiency(self, machine):
+        t = self.make(kernel_cycles=1000.0, pack_a_cycles=0.0,
+                      pack_b_cycles=0.0, useful_flops=8000)
+        # 8000 flops in 1000 cycles = 8 flops/cycle = fp32 peak
+        assert t.efficiency(machine, np.float32, 1) == pytest.approx(1.0)
+
+    def test_kernel_efficiency_excludes_packing(self, machine):
+        t = self.make(kernel_cycles=1000.0, pack_a_cycles=0.0,
+                      pack_b_cycles=9000.0, useful_flops=8000)
+        assert t.kernel_efficiency(machine, np.float32) == pytest.approx(1.0)
+        assert t.efficiency(machine, np.float32) == pytest.approx(0.1)
+
+    def test_padding_waste(self):
+        t = self.make(useful_flops=80, executed_flops=100.0)
+        assert t.padding_waste == pytest.approx(0.2)
+
+    def test_padding_waste_clamped(self):
+        t = self.make(useful_flops=100, executed_flops=0.0)
+        assert t.padding_waste == 0.0
+
+    def test_merged_with(self):
+        a = self.make()
+        b = self.make(kernel_cycles=200.0)
+        merged = a.merged_with(b)
+        assert merged.kernel_cycles == 1000.0
+        assert merged.useful_flops == 16000
+        assert merged.total_cycles == a.total_cycles + b.total_cycles
+
+    def test_merged_extra_dicts(self):
+        a = self.make(extra={"x": 1.0})
+        b = self.make(extra={"x": 2.0, "y": 3.0})
+        merged = a.merged_with(b)
+        assert merged.extra == {"x": 3.0, "y": 3.0}
+
+    def test_seconds(self, machine):
+        t = self.make(kernel_cycles=machine.core.freq_hz, pack_a_cycles=0.0,
+                      pack_b_cycles=0.0)
+        assert t.seconds(machine) == pytest.approx(1.0)

@@ -1,0 +1,128 @@
+"""Unit tests for repro.util: units, tables, rng."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import DEFAULT_SEED, derive_seed, make_rng, random_matrix
+from repro.util.tables import format_figure, format_series, format_table, sparkline
+from repro.util.units import (
+    cycles_to_seconds,
+    format_bytes,
+    format_percent,
+    gflops,
+    ghz,
+    kib,
+    mib,
+)
+
+
+class TestUnits:
+    def test_kib_mib(self):
+        assert kib(32) == 32 * 1024
+        assert mib(2) == 2 * 1024 * 1024
+
+    def test_ghz(self):
+        assert ghz(2.2) == pytest.approx(2.2e9)
+
+    def test_cycles_to_seconds(self):
+        assert cycles_to_seconds(2.2e9, 2.2e9) == pytest.approx(1.0)
+
+    def test_cycles_to_seconds_rejects_zero_freq(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(100, 0)
+
+    def test_gflops(self):
+        assert gflops(2e9, 1.0) == pytest.approx(2.0)
+
+    def test_gflops_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            gflops(1e9, 0.0)
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.0 KiB"
+        assert format_bytes(3 * 1024 * 1024) == "3.0 MiB"
+
+    def test_format_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+    def test_format_percent(self):
+        assert format_percent(0.5) == "50.0%"
+        assert format_percent(0.123, digits=2) == "12.30%"
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.50" in lines[2]
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_sparkline_range(self):
+        s = sparkline([0, 1, 2, 3])
+        assert len(s) == 4
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_sparkline_constant_and_empty(self):
+        assert sparkline([5, 5]) == "▁▁"
+        assert sparkline([]) == ""
+
+    def test_format_series_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1, 2], [1.0])
+
+    def test_format_series_content(self):
+        text = format_series("lib", [10, 20], [0.5, 0.9], y_label="eff")
+        assert "lib" in text and "eff" in text
+        assert "0.500" in text
+
+    def test_format_figure(self):
+        text = format_figure("fig", [1, 2], [("a", [0.1, 0.2]), ("b", [0.3, 0.4])])
+        assert "fig" in text
+        assert "a" in text and "b" in text
+
+    def test_format_figure_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            format_figure("fig", [1, 2], [("a", [0.1])])
+
+
+class TestRng:
+    def test_determinism(self):
+        a = make_rng().standard_normal(8)
+        b = make_rng().standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_derive_seed_stable_and_distinct(self):
+        s1 = derive_seed(DEFAULT_SEED, "cache", "L1")
+        s2 = derive_seed(DEFAULT_SEED, "cache", "L1")
+        s3 = derive_seed(DEFAULT_SEED, "cache", "L2")
+        assert s1 == s2
+        assert s1 != s3
+
+    def test_random_matrix_order_and_dtype(self):
+        m = random_matrix(make_rng(), 5, 7)
+        assert m.shape == (5, 7)
+        assert m.dtype == np.float32
+        assert m.flags["F_CONTIGUOUS"]
+
+    def test_random_matrix_c_order(self):
+        m = random_matrix(make_rng(), 5, 7, order="C")
+        assert m.flags["C_CONTIGUOUS"]
+
+    def test_random_matrix_rejects_negative(self):
+        with pytest.raises(ValueError):
+            random_matrix(make_rng(), -1, 3)
+
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=1, max_value=16))
+    def test_random_matrix_bounded(self, r, c):
+        m = random_matrix(make_rng(), r, c)
+        assert np.all(m >= -1.0) and np.all(m < 1.0)

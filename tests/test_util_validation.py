@@ -1,0 +1,156 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.errors import ConfigError, KernelDesignError
+from repro.util.validation import (
+    all_distinct,
+    ceil_div,
+    check_choice,
+    check_fraction,
+    check_multiple_of,
+    check_non_negative_int,
+    check_positive_float,
+    check_positive_int,
+    check_power_of_two,
+    require,
+    round_up,
+)
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_config_error_by_default(self):
+        with pytest.raises(ConfigError, match="boom"):
+            require(False, "boom")
+
+    def test_raises_custom_exception(self):
+        with pytest.raises(KernelDesignError):
+            require(False, "boom", KernelDesignError)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ConfigError, match="must be positive"):
+            check_positive_int(bad, "x")
+
+    @pytest.mark.parametrize("bad", [1.5, "3", None])
+    def test_rejects_non_int(self, bad):
+        with pytest.raises(ConfigError, match="must be an int"):
+            check_positive_int(bad, "x")
+
+    def test_rejects_bool(self):
+        # bool is an int subclass but means something else
+        with pytest.raises(ConfigError):
+            check_positive_int(True, "x")
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            check_non_negative_int(-1, "x")
+
+
+class TestCheckPositiveFloat:
+    def test_accepts_float_and_int(self):
+        assert check_positive_float(2.5, "x") == 2.5
+        assert check_positive_float(2, "x") == 2.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            check_positive_float(0.0, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigError):
+            check_positive_float(True, "x")
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        assert check_fraction(ok, "x") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 2])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ConfigError):
+            check_fraction(bad, "x")
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("ok", [1, 2, 4, 64, 1024])
+    def test_accepts_powers(self, ok):
+        assert check_power_of_two(ok, "x") == ok
+
+    @pytest.mark.parametrize("bad", [3, 6, 12, 100])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ConfigError):
+            check_power_of_two(bad, "x")
+
+
+class TestCheckMultipleOf:
+    def test_accepts_multiple(self):
+        assert check_multiple_of(12, 4, "x") == 12
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ConfigError):
+            check_multiple_of(13, 4, "x")
+
+
+class TestCheckChoice:
+    def test_accepts_member(self):
+        assert check_choice("a", ("a", "b"), "x") == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ConfigError, match="must be one of"):
+            check_choice("z", ("a", "b"), "x")
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(0, 4, 0), (1, 4, 1), (4, 4, 1), (5, 4, 2), (8, 4, 2)]
+    )
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    @given(st.integers(min_value=0, max_value=10**6),
+           st.integers(min_value=1, max_value=10**4))
+    def test_matches_definition(self, a, b):
+        q = ceil_div(a, b)
+        assert q * b >= a
+        assert (q - 1) * b < a or q == 0
+
+
+class TestRoundUp:
+    @given(st.integers(min_value=0, max_value=10**6),
+           st.integers(min_value=1, max_value=512))
+    def test_round_up_properties(self, value, base):
+        r = round_up(value, base)
+        assert r >= value
+        assert r % base == 0
+        assert r - value < base
+
+
+class TestAllDistinct:
+    def test_distinct(self):
+        assert all_distinct([1, 2, 3])
+
+    def test_duplicate(self):
+        assert not all_distinct([1, 2, 1])
+
+    def test_empty(self):
+        assert all_distinct([])

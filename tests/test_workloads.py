@@ -1,0 +1,250 @@
+"""Tests for the application workloads: sweeps, DNN, BCSR, ABFT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ReferenceSmmDriver
+from repro.util import make_rng, random_matrix
+from repro.util.errors import ConfigError
+from repro.workloads import (
+    bcsr_spmm,
+    checksum_weights,
+    correct_single_error,
+    encode,
+    fig5a_square,
+    fig5b_small_m,
+    fig5c_small_n,
+    fig5d_small_k,
+    fig9_kernel_sweeps,
+    fig10_mt_sweeps,
+    im2col_conv_layers,
+    locate_single_error,
+    lstm_cell,
+    materialize,
+    mlp_layers,
+    random_bcsr,
+    table2_ms,
+    verify,
+)
+
+
+class TestSweeps:
+    def test_fig5a_grid(self):
+        shapes = fig5a_square()
+        assert shapes[0] == (5, 5, 5)
+        assert shapes[-1] == (200, 200, 200)
+        assert len(shapes) == 40
+
+    def test_fig5b_sweeps_m_only(self):
+        shapes = fig5b_small_m()
+        assert all(n == 100 and k == 100 for _, n, k in shapes)
+        assert [m for m, _, _ in shapes] == list(range(2, 41, 2))
+
+    def test_fig5c_and_d(self):
+        assert all(m == 100 and k == 100 for m, _, k in fig5c_small_n())
+        assert all(m == 100 and n == 100 for m, n, _ in fig5d_small_k())
+
+    def test_fig9_sweeps(self):
+        grids = fig9_kernel_sweeps()
+        assert set(grids) == {"sweep-M", "sweep-N", "sweep-K"}
+        assert all(n == 100 for _, n, _ in grids["sweep-M"])
+
+    def test_fig10_sweeps(self):
+        grids = fig10_mt_sweeps()
+        assert all(n == 2048 and k == 2048 for _, n, k in grids["small-M"])
+
+    def test_table2_ms(self):
+        ms = table2_ms()
+        assert ms[0] == 16 and ms[-1] == 256 and len(ms) == 16
+
+
+class TestDnnLayers:
+    def test_mlp_shapes_chain(self):
+        layers = mlp_layers(batch=8, widths=(256, 128, 64, 10))
+        assert [l.shape for l in layers] == [
+            (8, 128, 256), (8, 64, 128), (8, 10, 64)
+        ]
+
+    def test_mlp_bad_batch(self):
+        with pytest.raises(ConfigError):
+            mlp_layers(batch=0)
+
+    def test_lstm_gate_fusion(self):
+        layers = lstm_cell(batch=4, hidden=64, inputs=32)
+        assert layers[0].shape == (4, 256, 32)
+        assert layers[1].shape == (4, 256, 64)
+
+    def test_conv_im2col_shapes(self):
+        layers = im2col_conv_layers(image=28, channels=(1, 8), kernel=3)
+        (conv0,) = layers
+        assert conv0.m == 26 * 26
+        assert conv0.n == 8
+        assert conv0.k == 9
+
+    def test_conv_too_small_image(self):
+        with pytest.raises(ConfigError):
+            im2col_conv_layers(image=2, kernel=3)
+
+    def test_flops(self):
+        layer = mlp_layers(batch=2, widths=(4, 3))[0]
+        assert layer.flops == 2 * 2 * 3 * 4
+
+    def test_materialize_shapes(self, rng):
+        layers = mlp_layers(batch=2, widths=(8, 4))
+        pairs = materialize(layers, rng)
+        a, b = pairs[0]
+        assert a.shape == (2, 8) and b.shape == (8, 4)
+
+
+class TestBcsr:
+    def test_round_trip_dense(self, rng):
+        m = random_bcsr(rng, 32, 24, br=8, bc=8, density=0.5)
+        dense = m.to_dense()
+        assert dense.shape == (32, 24)
+
+    def test_density_accounting(self, rng):
+        m = random_bcsr(rng, 64, 64, br=8, bc=8, density=1.0)
+        assert m.density == pytest.approx(1.0)
+        assert m.nnz_blocks == 64
+
+    def test_empty_matrix(self, rng):
+        m = random_bcsr(rng, 16, 16, br=8, bc=8, density=0.0)
+        assert m.nnz_blocks == 0
+        np.testing.assert_array_equal(m.to_dense(), 0)
+
+    def test_indivisible_shape_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            random_bcsr(rng, 30, 24, br=8, bc=8)
+
+    def test_spmm_matches_dense(self, machine, rng):
+        matrix = random_bcsr(rng, 32, 24, br=8, bc=8, density=0.4)
+        dense_rhs = random_matrix(rng, 24, 12)
+        driver = ReferenceSmmDriver(machine)
+        out, timing = bcsr_spmm(matrix, dense_rhs, driver)
+        np.testing.assert_allclose(
+            out, matrix.to_dense() @ dense_rhs, rtol=1e-4, atol=1e-4
+        )
+        assert timing is None or timing.total_cycles > 0
+
+    def test_spmm_shape_check(self, machine, rng):
+        matrix = random_bcsr(rng, 16, 16, br=8, bc=8, density=1.0)
+        with pytest.raises(ConfigError):
+            bcsr_spmm(matrix, random_matrix(rng, 8, 4),
+                      ReferenceSmmDriver(machine))
+
+    @settings(max_examples=10, deadline=None)
+    @given(density=st.floats(min_value=0.1, max_value=1.0))
+    def test_spmm_property(self, machine, density):
+        rng = make_rng(int(density * 1000))
+        matrix = random_bcsr(rng, 16, 16, br=8, bc=8, density=density)
+        rhs = random_matrix(rng, 16, 8)
+        out, _ = bcsr_spmm(matrix, rhs, ReferenceSmmDriver(machine))
+        np.testing.assert_allclose(out, matrix.to_dense() @ rhs,
+                                   rtol=1e-4, atol=1e-4)
+
+
+class TestAbft:
+    def test_weights_shape(self):
+        w = checksum_weights(10)
+        assert w.shape == (2, 10)
+        np.testing.assert_array_equal(w[0], 1)
+        np.testing.assert_array_equal(w[1], np.arange(1, 11))
+
+    def test_single_checksum(self):
+        assert checksum_weights(5, double=False).shape == (1, 5)
+
+    def test_encode_and_verify_clean(self, machine, rng):
+        payload = random_matrix(rng, 20, 30)
+        enc = encode(payload, ReferenceSmmDriver(machine))
+        assert verify(payload, enc)
+
+    def test_detects_corruption(self, machine, rng):
+        payload = random_matrix(rng, 20, 30)
+        enc = encode(payload, ReferenceSmmDriver(machine))
+        payload[7, 13] += 1.0
+        assert not verify(payload, enc)
+
+    def test_locates_single_error(self, machine, rng):
+        payload = random_matrix(rng, 20, 30)
+        enc = encode(payload, ReferenceSmmDriver(machine))
+        payload[7, 13] += 2.5
+        hit = locate_single_error(payload, enc)
+        assert hit is not None
+        row, col, delta = hit
+        assert (row, col) == (7, 13)
+        assert delta == pytest.approx(2.5, abs=1e-2)
+
+    def test_corrects_single_error(self, machine, rng):
+        payload = random_matrix(rng, 16, 16)
+        clean = payload.copy()
+        enc = encode(payload, ReferenceSmmDriver(machine))
+        payload[3, 4] -= 1.75
+        fixed = correct_single_error(payload, enc)
+        np.testing.assert_allclose(fixed, clean, atol=1e-2)
+
+    def test_clean_payload_untouched(self, machine, rng):
+        payload = random_matrix(rng, 16, 16)
+        enc = encode(payload, ReferenceSmmDriver(machine))
+        fixed = correct_single_error(payload, enc)
+        np.testing.assert_array_equal(fixed, payload)
+
+    def test_location_requires_double(self, machine, rng):
+        payload = random_matrix(rng, 8, 8)
+        enc = encode(payload, ReferenceSmmDriver(machine), double=False)
+        with pytest.raises(ConfigError):
+            locate_single_error(payload, enc)
+
+    def test_encode_timing_is_smm_shaped(self, machine, rng):
+        payload = random_matrix(rng, 64, 128)
+        enc = encode(payload, ReferenceSmmDriver(machine))
+        assert enc.timing.useful_flops == 2 * 2 * 128 * 64
+
+
+class TestBcsrParallel:
+    def test_parallel_spmm_matches_dense(self, machine, rng):
+        from repro.core import BatchedSmm
+        from repro.workloads import bcsr_spmm_parallel
+
+        matrix = random_bcsr(rng, 64, 64, br=8, bc=8, density=0.3)
+        rhs = random_matrix(rng, 64, 8)
+        out, timing = bcsr_spmm_parallel(
+            matrix, rhs, BatchedSmm(machine), cores=8
+        )
+        np.testing.assert_allclose(out, matrix.to_dense() @ rhs,
+                                   rtol=1e-4, atol=1e-4)
+        assert timing.total_cycles > 0
+
+    def test_parallel_faster_than_serial(self, machine, rng):
+        from repro.core import BatchedSmm, ReferenceSmmDriver
+        from repro.workloads import bcsr_spmm_parallel
+
+        matrix = random_bcsr(rng, 128, 128, br=8, bc=8, density=0.3)
+        rhs = random_matrix(rng, 128, 8)
+        _, serial = bcsr_spmm(matrix, rhs, ReferenceSmmDriver(machine))
+        _, parallel = bcsr_spmm_parallel(
+            matrix, rhs, BatchedSmm(machine), cores=16
+        )
+        assert parallel.total_cycles < serial.total_cycles / 4
+
+    def test_empty_matrix_parallel(self, machine, rng):
+        from repro.core import BatchedSmm
+        from repro.workloads import bcsr_spmm_parallel
+
+        matrix = random_bcsr(rng, 16, 16, br=8, bc=8, density=0.0)
+        rhs = random_matrix(rng, 16, 4)
+        out, timing = bcsr_spmm_parallel(
+            matrix, rhs, BatchedSmm(machine), cores=4
+        )
+        np.testing.assert_array_equal(out, 0)
+        assert timing is None
+
+    def test_shape_mismatch_rejected(self, machine, rng):
+        from repro.core import BatchedSmm
+        from repro.workloads import bcsr_spmm_parallel
+
+        matrix = random_bcsr(rng, 16, 16, br=8, bc=8, density=1.0)
+        with pytest.raises(ConfigError):
+            bcsr_spmm_parallel(matrix, random_matrix(rng, 8, 4),
+                               BatchedSmm(machine), cores=4)
