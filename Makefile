@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples docs report verify check all clean
+.PHONY: install test lint bench examples docs report verify check all clean
 
 install:
 	pip install -e .
 
-test:
+test: lint
 	$(PYTHON) -m pytest tests/
+
+lint:
+	$(PYTHON) -m repro lint
+	$(PYTHON) -m repro lint --self-check
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

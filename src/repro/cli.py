@@ -57,6 +57,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("all", help="run the whole battery")
     sub.add_parser("verify", help="evaluate every paper claim (PASS/FAIL)")
 
+    lint = sub.add_parser(
+        "lint", help="statically verify every catalog/JIT kernel"
+    )
+    lint.add_argument(
+        "--self-check", action="store_true",
+        help="instead run the verifier's negative controls "
+        "(every rule must fire on its known-bad kernel)",
+    )
+    lint.add_argument(
+        "--inject-bad", action="store_true",
+        help="also lint a deliberately broken kernel (forces a "
+        "nonzero exit; exercises the error path end to end)",
+    )
+
     gemm = sub.add_parser("gemm", help="cost one GEMM shape")
     gemm.add_argument("m", type=int)
     gemm.add_argument("n", type=int)
@@ -127,6 +141,128 @@ def _run_gemm(machine, args) -> str:
     return "\n".join(lines)
 
 
+def _lint_kernels(machine) -> List:
+    """(origin, kernel) pairs covering everything ``repro lint`` checks.
+
+    Coverage: all four library catalogs (mains, alternates and the edge
+    kernels their edge policies emit), a generator grid across all three
+    styles and representative tile shapes, and the JIT factory's main,
+    edge and strided-B kernels.
+    """
+    from .kernels import JitKernelFactory, KernelSpec, MicroKernelGenerator
+    from .kernels.catalog import all_catalogs
+    from .verify import catalog_specs
+
+    labelled = []
+    for library, catalog in all_catalogs().items():
+        labelled.extend((library, spec) for spec in catalog_specs(catalog))
+    for style in ("pipelined", "naive", "compiled"):
+        for mr, nr, unroll in (
+            (8, 4, 4), (16, 4, 8), (12, 4, 1),
+            (4, 4, 2), (5, 3, 2), (3, 4, 1), (8, 6, 2),
+        ):
+            labelled.append(("grid", KernelSpec(
+                mr, nr, unroll=unroll, style=style, label="lint",
+            )))
+    jit = JitKernelFactory(machine.core)
+    labelled.append(("jit", jit.main_spec))
+    labelled.append(("jit", jit.spec_for(13, 4)))
+    labelled.append(("jit", jit.strided_main_spec()))
+
+    # verify=False: lint reports findings instead of raising on the spot
+    generator = MicroKernelGenerator(verify=False)
+    kernels, seen = [], set()
+    for origin, spec in labelled:
+        kernel = generator.generate(spec)
+        if kernel.name not in seen:
+            seen.add(kernel.name)
+            kernels.append((origin, kernel))
+    return kernels
+
+
+def _run_lint(machine, args) -> tuple:
+    """The ``repro lint`` command body: (report text, exit code)."""
+    from .isa.sequence import KernelSequence
+    from .pipeline import SteadyStateAnalyzer
+    from .util.tables import format_table
+    from .verify import KernelVerifier, self_check
+
+    if args.self_check:
+        results = self_check(machine.core)
+        rows = [(rule, "fired" if fired else "MISSED")
+                for rule, fired in results]
+        missed = sorted(rule for rule, fired in results if not fired)
+        text = format_table(
+            ("rule", "status"), rows, title="verifier self-check",
+        )
+        verdict = (f"FAIL: rules never fired: {missed}" if missed
+                   else f"OK: all {len(results)} rules fire on their "
+                   "negative controls")
+        return text + "\n\n" + verdict, 1 if missed else 0
+
+    kernels = _lint_kernels(machine)
+    if args.inject_bad:
+        # stripping the prologue leaves every accumulator uninitialized,
+        # the canonical V001 kernel
+        origin, donor = kernels[0]
+        kernels.append(("injected", KernelSequence(
+            name=donor.name + "-no-prologue",
+            prologue=(),
+            body=donor.body,
+            epilogue=donor.epilogue,
+            meta=dict(donor.meta),
+        )))
+
+    verifier = KernelVerifier(machine.core)
+    analyzer = SteadyStateAnalyzer(machine.core)
+    rows = []
+    n_errors = n_warnings = 0
+    bound_violations = []
+    findings = []
+    for origin, kernel in kernels:
+        report = verifier.verify(kernel)
+        findings.extend(
+            f"{d.severity}: {d.rule} [{kernel.name}] {d.message}"
+            for d in report.diagnostics
+        )
+        n_errors += len(report.errors)
+        n_warnings += len(report.warnings)
+        scheduled = None
+        if report.ok and report.bounds is not None:
+            scheduled = analyzer.analyze(kernel).cycles_per_iter
+            if report.bounds.cycles_lower_bound > scheduled + 1e-9:
+                bound_violations.append(kernel.name)
+        rows.append((
+            origin,
+            kernel.name,
+            len(report.errors),
+            len(report.warnings),
+            len(report.infos),
+            report.live_high_water,
+            (f"{report.bounds.cycles_lower_bound:.1f}"
+             if report.bounds is not None else "-"),
+            f"{scheduled:.1f}" if scheduled is not None else "-",
+        ))
+    text = format_table(
+        ("origin", "kernel", "err", "warn", "info",
+         "live regs", "static lb", "scheduled"),
+        rows, title="kernel lint",
+    )
+    lines = [text, ""]
+    lines.extend(findings)
+    ok = not n_errors and not bound_violations
+    if bound_violations:
+        lines.append(
+            f"FAIL: static lower bound exceeds scheduled cycles for "
+            f"{bound_violations} (unsound bound or scheduler bug)"
+        )
+    lines.append(
+        f"{'OK' if ok else 'FAIL'}: {len(kernels)} kernels, "
+        f"{n_errors} errors, {n_warnings} warnings"
+    )
+    return "\n".join(lines), 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -176,6 +312,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             "claims reproduce" + (f"; FAILING: {sorted(failures)}"
                                   if failures else "")
         )
+    elif args.command == "lint":
+        text, code = _run_lint(machine, args)
+        print(text)
+        return code
     elif args.command == "report":
         from .analysis import generate_report
 

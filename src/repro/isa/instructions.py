@@ -70,10 +70,18 @@ def ldr_q(dst: str, base: str, offset: int = 0, post_inc: int = 0) -> Instructio
     """128-bit vector load: ``ldr q<dst>, [x<base>], #imm``.
 
     Post-increment addressing writes the base register back, creating the
-    address-chain dependence real kernels carry.
+    address-chain dependence real kernels carry.  ``offset`` and
+    ``post_inc`` are mutually exclusive addressing modes (A64 has no
+    offset-plus-writeback form for this encoding), so passing both is
+    rejected rather than silently dropping the offset.
     """
     _require_v(dst, "ldr_q dst")
     _require_x(base, "ldr_q base")
+    if offset and post_inc:
+        raise IsaError(
+            f"ldr_q {dst}: offset ({offset}) and post_inc ({post_inc}) are "
+            "mutually exclusive addressing modes"
+        )
     if post_inc:
         text = f"ldr q{dst[1:]}, [{base}], #{post_inc}"
     elif offset:

@@ -55,6 +55,20 @@ class KernelCatalog:
         """Preferred tile columns."""
         return self.main.nr
 
+    def audit(self, core=None):
+        """Statically verify every kernel this catalog can emit.
+
+        Generates the main kernel, the Table-I alternates and the edge
+        kernels of this library's edge policy, runs each through the
+        static verifier and returns ``{kernel_name: VerificationReport}``.
+        Pass a :class:`~repro.machine.config.CoreConfig` to additionally
+        compute static cycle bounds against that core model.
+        """
+        # imported lazily: repro.verify audits through this module
+        from ..verify import audit_catalog
+
+        return audit_catalog(self, core=core)
+
 
 def _scaled_mr(base_mr: int, lanes: int) -> int:
     """Tile height scaled from the 4-lane fp32 NEON baseline.

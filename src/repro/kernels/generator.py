@@ -123,21 +123,34 @@ _PA, _PB, _PC, _KCNT, _TMP0, _TMP1 = (
 
 
 class MicroKernelGenerator:
-    """Generates and memoizes micro-kernels.
+    """Generates, verifies and memoizes micro-kernels.
 
     Memoization matters twice over: GEMM drivers request the same kernel for
     every tile of every call, and the steady-state analyzer caches by object
     identity.
+
+    Every freshly built kernel is run through the static verifier
+    (:mod:`repro.verify`) before it enters the cache: an uninitialized
+    accumulator or a register-budget violation raises
+    :class:`~repro.util.errors.KernelVerificationError` instead of flowing
+    into the scheduler as a silently wrong cycle count.  Pass
+    ``verify=False`` to opt out (e.g. when auditing deliberately broken
+    kernels).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, verify: bool = True) -> None:
         self._cache: Dict[KernelSpec, KernelSequence] = {}
+        self.verify = verify
 
     def generate(self, spec: KernelSpec) -> KernelSequence:
-        """The kernel for ``spec`` (cached)."""
+        """The kernel for ``spec`` (cached, verified on first build)."""
         hit = self._cache.get(spec)
         if hit is None:
             hit = _build_kernel(spec)
+            if self.verify:
+                from ..verify import assert_kernel_ok
+
+                assert_kernel_ok(hit)
             self._cache[spec] = hit
         return hit
 

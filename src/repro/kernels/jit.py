@@ -51,6 +51,7 @@ class JitKernelFactory:
         unroll: int = 4,
         max_mr: int = 0,
         max_nr: int = 0,
+        verify: bool = True,
     ) -> None:
         check_positive_int(unroll, "unroll", KernelDesignError)
         self.core = core
@@ -61,7 +62,9 @@ class JitKernelFactory:
         # machines still have a feasible lane-aligned design space
         max_mr = max_mr or max(24, 6 * self.lanes)
         max_nr = max_nr or max(24, 6 * self.lanes)
-        self._gen = MicroKernelGenerator()
+        # every JIT-emitted kernel is statically verified like a
+        # generator kernel; verify=False opts the whole code cache out
+        self._gen = MicroKernelGenerator(verify=verify)
         self._spec_cache: Dict[Tuple[int, int], KernelSpec] = {}
         self.stats = JitStats()
         # mr must be a multiple of the vector length (full A vectors); nr

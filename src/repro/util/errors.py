@@ -37,6 +37,10 @@ class KernelDesignError(ReproError):
     """A micro-kernel tile shape violates a hardware design constraint."""
 
 
+class KernelVerificationError(KernelDesignError):
+    """An emitted kernel failed static verification (def-use / Eq. 4)."""
+
+
 class DriverError(ReproError):
     """A GEMM driver was invoked with invalid operands or parameters."""
 

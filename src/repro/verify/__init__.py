@@ -1,0 +1,51 @@
+"""Static kernel verifier: def-use/liveness, Eq. 4 budget, cycle bounds.
+
+The analyses run over the same :class:`~repro.isa.KernelSequence` IR the
+pipeline scheduler consumes, so every kernel the generator or JIT emits is
+machine-checked *before* it can reach a timing model.  ``python -m repro
+lint`` runs the full catalog audit; ``repro lint --self-check`` proves the
+rules still fire on known-bad kernels.
+"""
+
+from .bounds import StaticBounds, critical_path_rate, static_bounds
+from .defuse import DefUseResult, analyze_defuse
+from .diagnostics import (
+    RULES,
+    SEVERITIES,
+    Diagnostic,
+    Rule,
+    VerificationReport,
+    make_diagnostic,
+    rules_table,
+)
+from .verifier import (
+    KernelVerifier,
+    assert_kernel_ok,
+    audit_catalog,
+    audit_catalogs,
+    catalog_specs,
+    self_check,
+    verify_kernel,
+)
+
+__all__ = [
+    "Diagnostic",
+    "Rule",
+    "RULES",
+    "SEVERITIES",
+    "VerificationReport",
+    "make_diagnostic",
+    "rules_table",
+    "DefUseResult",
+    "analyze_defuse",
+    "StaticBounds",
+    "static_bounds",
+    "critical_path_rate",
+    "KernelVerifier",
+    "verify_kernel",
+    "assert_kernel_ok",
+    "audit_catalog",
+    "audit_catalogs",
+    "catalog_specs",
+    "self_check",
+]

@@ -1,0 +1,134 @@
+"""Static cycle lower bounds for kernel loop bodies.
+
+Everything here is computed from ``reads``/``writes``/``port`` alone — no
+scheduling.  Three families of bounds, each a provable relaxation of the
+out-of-order scheduler in :mod:`repro.pipeline.scheduler`:
+
+* **port pressure** — ``count(port) / ports[port]``: each instruction
+  occupies one issue slot of its class for one cycle, so a body with `n`
+  instructions on a class served by `p` units needs at least ``n/p``
+  cycles per iteration;
+* **dispatch** — ``len(body) / dispatch_width``: the in-order front end
+  paces every instruction regardless of dataflow;
+* **critical path** — the longest loop-carried dependence chain: a
+  register that every writer also reads forms an unbroken value chain
+  from one iteration into the next, and the sum of its writers' result
+  latencies bounds the iteration period from below.  This covers the two
+  chain species rank-1-update kernels carry — ``fmla`` accumulator chains
+  (FMA latency each) and post-incremented address chains (one
+  address-generation cycle each).
+
+The scheduler honors every constraint these bounds relax plus several more
+(ROB, finite window, port conflicts, integer issue slots), so for any
+kernel::
+
+    max(bounds) <= SteadyStateAnalyzer.cycles_per_iter
+
+— the invariant the cross-check tests and ``repro lint`` enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from ..isa.registers import is_xreg
+from ..isa.sequence import KernelSequence
+from ..machine.config import CoreConfig
+from ..util.errors import ScheduleError
+
+__all__ = ["StaticBounds", "static_bounds", "critical_path_rate"]
+
+
+@dataclass(frozen=True)
+class StaticBounds:
+    """Per-resource lower bounds on body cycles/iteration, from IR alone."""
+
+    kernel_name: str
+    port_bounds: Dict[str, float]
+    dispatch_bound: float
+    critical_path_bound: float
+
+    @property
+    def throughput_bound(self) -> float:
+        """Best bound ignoring latency: max of port and dispatch bounds."""
+        worst_port = max(self.port_bounds.values(), default=0.0)
+        return max(worst_port, self.dispatch_bound)
+
+    @property
+    def cycles_lower_bound(self) -> float:
+        """The binding static bound: max over all families."""
+        return max(self.throughput_bound, self.critical_path_bound)
+
+    @property
+    def latency_limited(self) -> bool:
+        """True when the dependence chains, not any unit, set the floor.
+
+        This is the paper's Fig. 7 edge-kernel pathology: too few
+        independent accumulator chains to cover the FMA latency.
+        """
+        return self.critical_path_bound > self.throughput_bound + 1e-9
+
+    def to_dict(self) -> Dict[str, float]:
+        """Flat dict rendering (port bounds prefixed ``port:``)."""
+        out: Dict[str, float] = {
+            f"port:{p}": b for p, b in self.port_bounds.items()
+        }
+        out["dispatch"] = self.dispatch_bound
+        out["critical-path"] = self.critical_path_bound
+        out["lower-bound"] = self.cycles_lower_bound
+        return out
+
+
+def critical_path_rate(kernel: KernelSequence, core: CoreConfig) -> float:
+    """Cycles/iteration forced by loop-carried single-register chains.
+
+    For each register ``r`` written in the body: if *every* body write of
+    ``r`` also reads ``r`` (an unbroken read-modify-write chain), the value
+    of ``r`` flows through all of those instructions once per iteration and
+    back across the loop edge, so the iteration period is at least the sum
+    of their result latencies.  A write that does not read ``r`` renames
+    the chain away (the scheduler models perfect renaming) and contributes
+    no cycle.  A load's base-register post-increment writeback counts one
+    cycle (address generation), matching the scheduler; all other writes
+    count their full result latency.
+
+    The returned value is the maximum such chain over all registers — the
+    critical path of the loop-carried dependence graph restricted to
+    single-register cycles, which are the only cycles the kernel generator
+    (and the library kernels it models) ever emits.
+    """
+    latencies = core.latencies
+    chain: Dict[str, float] = {}
+    broken: Set[str] = set()
+    for ins in kernel.body:
+        lat = latencies.get(ins.latency_key)
+        if lat is None:
+            raise ScheduleError(
+                f"{ins.text!r}: unknown latency key {ins.latency_key!r}"
+            )
+        for reg in ins.writes:
+            if reg not in ins.reads:
+                broken.add(reg)
+                continue
+            if ins.is_load and is_xreg(reg):
+                step = 1.0  # post-increment address-generation writeback
+            else:
+                step = float(lat)
+            chain[reg] = chain.get(reg, 0.0) + step
+    rates = [length for reg, length in chain.items() if reg not in broken]
+    return max(rates, default=0.0)
+
+
+def static_bounds(kernel: KernelSequence, core: CoreConfig) -> StaticBounds:
+    """All static lower bounds for ``kernel``'s body on ``core``."""
+    port_bounds = {
+        port: count / core.ports[port]
+        for port, count in kernel.port_histogram().items()
+    }
+    return StaticBounds(
+        kernel_name=kernel.name,
+        port_bounds=port_bounds,
+        dispatch_bound=len(kernel.body) / core.dispatch_width,
+        critical_path_bound=critical_path_rate(kernel, core),
+    )

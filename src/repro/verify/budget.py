@@ -1,0 +1,59 @@
+"""Register-budget pass: the paper's Eq. 4 as a machine-checked invariant.
+
+Two views of the same constraint:
+
+* **measured** — the liveness pass's high-water mark of simultaneously
+  live vector registers must fit the architectural file.  Exceeding it is
+  an outright error (``V101-reg-budget``): the kernel as emitted cannot
+  exist without spills, which the instruction stream does not contain.
+* **analytic** — Eq. 4 evaluated on the kernel's declared tile shape
+  (``meta['mr']``/``meta['nr']``/``meta['lanes']``):
+  ``ceil(mr/lanes)*nr + staging <= file``.  When the analytic demand
+  exceeds the file but the emitted code squeaked through (shared staging,
+  folded temporaries), the kernel is one scheduling decision away from
+  spilling — flagged ``V102-reg-pressure`` as a warning.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa.sequence import KernelSequence
+from .defuse import DefUseResult
+from .diagnostics import Diagnostic, make_diagnostic
+
+__all__ = ["budget_diagnostics"]
+
+
+def budget_diagnostics(
+    kernel: KernelSequence,
+    defuse: DefUseResult,
+    n_registers: int,
+) -> List[Diagnostic]:
+    """Eq. 4 checks for one kernel against a file of ``n_registers``."""
+    # imported here: repro.kernels imports the generator, which verifies
+    # through this package, so a module-level import would be circular
+    from ..kernels.design import registers_needed
+
+    out: List[Diagnostic] = []
+    if defuse.live_high_water > n_registers:
+        out.append(make_diagnostic(
+            "V101-reg-budget",
+            f"{defuse.live_high_water} vector registers live at once but "
+            f"the file holds {n_registers} (Eq. 4 violated)",
+            kernel.name,
+        ))
+    meta = kernel.meta
+    if all(k in meta for k in ("mr", "nr", "lanes")):
+        demand = registers_needed(
+            int(meta["mr"]), int(meta["nr"]), int(meta["lanes"])
+        )
+        if demand > n_registers:
+            out.append(make_diagnostic(
+                "V102-reg-pressure",
+                f"Eq. 4 demand of a {meta['mr']}x{meta['nr']} tile at "
+                f"{meta['lanes']} lanes is {demand} registers; the file "
+                f"holds {n_registers}",
+                kernel.name,
+            ))
+    return out

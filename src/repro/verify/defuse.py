@@ -1,0 +1,174 @@
+"""Def-use and liveness analysis over kernel instruction sequences.
+
+The pass interprets a :class:`~repro.isa.KernelSequence` the way the
+hardware executes it — prologue once, loop body repeatedly, epilogue once —
+by analyzing the linearized stream ``prologue, body, body, epilogue``.
+Two body copies are exactly enough to expose back-edge effects: a register
+read at the top of the body is defined either before the loop (prologue) or
+by a later instruction of the previous iteration, and both cases appear in
+the doubled stream.
+
+Scalar (``x``) registers are the kernel's ABI: pointers and the trip
+counter arrive live-in and stay live-out, so they are exempt from the
+uninitialized-read and dead-write rules.  Vector registers have no ABI
+meaning across the kernel boundary — every value must be produced before
+it is consumed, and every produced value should be consumed (results leave
+through stores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ..isa.instructions import Instruction
+from ..isa.registers import is_vreg
+from ..isa.sequence import KernelSequence
+from .diagnostics import Diagnostic, make_diagnostic
+
+__all__ = ["DefUseResult", "analyze_defuse"]
+
+
+@dataclass(frozen=True)
+class DefUseResult:
+    """Outcome of the def-use/liveness pass over one kernel."""
+
+    kernel_name: str
+    diagnostics: Tuple[Diagnostic, ...]
+    #: loop-carried read-modify-write vector registers (the accumulators)
+    accumulators: Tuple[str, ...]
+    #: maximum simultaneously-live vector registers at any program point
+    live_high_water: int
+    #: distinct vector registers touched anywhere in the kernel
+    vector_registers_used: int
+
+
+def _linearize(
+    kernel: KernelSequence,
+) -> List[Tuple[str, int, int, Instruction]]:
+    """The analyzed stream: (part, index-in-part, iteration, instruction).
+
+    The body appears twice (iterations 1 and 2) so loop-carried effects are
+    visible to the straight-line passes; diagnostics deduplicate on the
+    (part, index) anchor, so the doubling never reports a site twice.
+    """
+    stream: List[Tuple[str, int, int, Instruction]] = []
+    for i, ins in enumerate(kernel.prologue):
+        stream.append(("prologue", i, 1, ins))
+    for iteration in (1, 2):
+        for i, ins in enumerate(kernel.body):
+            stream.append(("body", i, iteration, ins))
+    for i, ins in enumerate(kernel.epilogue):
+        stream.append(("epilogue", i, 1, ins))
+    return stream
+
+
+def _find_accumulators(kernel: KernelSequence) -> Set[str]:
+    """Loop-carried RMW vector registers of the body.
+
+    A register qualifies when some body instruction both reads and writes
+    it *and* its first access in body program order is a read — i.e. the
+    value survives the back-edge.  Scratch registers that are rebuilt every
+    iteration (``dup``/``fmul`` temporaries) fail the first-access test and
+    are legitimately overwritten.
+    """
+    first_access: Dict[str, str] = {}
+    rmw: Set[str] = set()
+    for ins in kernel.body:
+        for reg in ins.reads:
+            first_access.setdefault(reg, "read")
+        for reg in ins.writes:
+            first_access.setdefault(reg, "write")
+            if reg in ins.reads and is_vreg(reg):
+                rmw.add(reg)
+    return {reg for reg in rmw if first_access.get(reg) == "read"}
+
+
+def analyze_defuse(kernel: KernelSequence) -> DefUseResult:
+    """Run the def-use, clobber, dead-write and liveness checks.
+
+    Emits ``V001-uninit-read`` for vector registers consumed before any
+    definition along the prologue→body→body→epilogue path,
+    ``V002-acc-clobber`` for body writes that destroy a loop-carried
+    accumulator without reading it, and ``V003-dead-write`` (advisory) for
+    produced values nothing ever consumes.
+    """
+    stream = _linearize(kernel)
+    accumulators = _find_accumulators(kernel)
+    diagnostics: List[Diagnostic] = []
+    reported: Set[Tuple[str, str, int, str]] = set()
+
+    def report(rule: str, message: str, part: str, index: int,
+               register: str) -> None:
+        key = (rule, part, index, register)
+        if key in reported:
+            return
+        reported.add(key)
+        diagnostics.append(make_diagnostic(
+            rule, message, kernel.name, part=part, index=index,
+            register=register,
+        ))
+
+    # -- forward pass: uninitialized reads, clobbers, dead writes ----------
+    defined: Set[str] = set()
+    # register -> (part, index, consumed?) of its latest unretired write
+    pending: Dict[str, Tuple[str, int, bool]] = {}
+    for part, index, iteration, ins in stream:
+        for reg in ins.reads:
+            if is_vreg(reg) and reg not in defined:
+                report(
+                    "V001-uninit-read",
+                    f"{ins.text!r} reads {reg} before any write "
+                    f"(iteration {iteration})",
+                    part, index, reg,
+                )
+                defined.add(reg)  # report each register's first leak once
+            if reg in pending:
+                site_part, site_index, _ = pending[reg]
+                pending[reg] = (site_part, site_index, True)
+        for reg in ins.writes:
+            if (part == "body" and reg in accumulators
+                    and reg not in ins.reads):
+                report(
+                    "V002-acc-clobber",
+                    f"{ins.text!r} overwrites loop-carried accumulator "
+                    f"{reg} without reading it",
+                    part, index, reg,
+                )
+            if is_vreg(reg):
+                prev = pending.get(reg)
+                if prev is not None and not prev[2]:
+                    report(
+                        "V003-dead-write",
+                        f"value written to {reg} is overwritten before "
+                        "any read",
+                        prev[0], prev[1], reg,
+                    )
+                pending[reg] = (part, index, False)
+            defined.add(reg)
+    for reg, (site_part, site_index, consumed) in pending.items():
+        if not consumed:
+            report(
+                "V003-dead-write",
+                f"value written to {reg} is never read before the kernel "
+                "ends",
+                site_part, site_index, reg,
+            )
+
+    # -- backward pass: liveness high-water mark ---------------------------
+    live: Set[str] = set()
+    high_water = 0
+    for _, _, _, ins in reversed(stream):
+        live.difference_update(ins.writes)
+        live.update(r for r in ins.reads if is_vreg(r))
+        if len(live) > high_water:
+            high_water = len(live)
+
+    diagnostics.sort(key=lambda d: d.sort_key())
+    return DefUseResult(
+        kernel_name=kernel.name,
+        diagnostics=tuple(diagnostics),
+        accumulators=tuple(sorted(accumulators)),
+        live_high_water=high_water,
+        vector_registers_used=kernel.vector_registers_used(),
+    )

@@ -1,0 +1,185 @@
+"""Diagnostics engine for the static kernel verifier.
+
+Every finding the analysis passes produce is a :class:`Diagnostic` carrying
+a stable rule ID (``V001-uninit-read`` ...), a severity, and the program
+point it anchors to.  Rule IDs are versioned API: tests, CI greps and the
+``repro lint`` output all key on them, so they must never be renumbered.
+The full rule inventory lives in :data:`RULES` and is rendered into the
+documentation by :func:`rules_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..util.tables import format_table
+
+#: Severities in decreasing order of gravity; ``error`` fails verification,
+#: ``warning`` flags spill/pressure risk, ``info`` is advisory.
+SEVERITIES: Tuple[str, ...] = ("error", "warning", "info")
+
+#: Kernel parts in program order (used to sort diagnostics stably).
+PART_ORDER: Tuple[str, ...] = ("prologue", "body", "epilogue")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One verification rule: stable ID, fixed severity, short summary."""
+
+    rule_id: str
+    severity: str
+    summary: str
+
+
+#: The rule inventory, keyed by stable rule ID.
+RULES: Dict[str, Rule] = {
+    r.rule_id: r
+    for r in (
+        Rule("V001-uninit-read", "error",
+             "vector register read before any write"),
+        Rule("V002-acc-clobber", "error",
+             "loop-carried accumulator overwritten without being read"),
+        Rule("V003-dead-write", "info",
+             "value written to a vector register is never consumed"),
+        Rule("V101-reg-budget", "error",
+             "live vector-register high-water mark exceeds the register "
+             "file (Eq. 4)"),
+        Rule("V102-reg-pressure", "warning",
+             "analytic Eq. 4 demand of the tile shape exceeds the register "
+             "file"),
+        Rule("V201-latency-bound", "info",
+             "dependence-chain bound exceeds every throughput bound "
+             "(the Fig. 7 edge-kernel signature)"),
+        Rule("V202-unknown-latency", "error",
+             "instruction latency key missing from the core model"),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding, anchored to a kernel program point."""
+
+    rule: str
+    severity: str
+    message: str
+    kernel: str
+    part: str = ""
+    index: int = -1
+    register: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict rendering for machine consumption (JSON-friendly)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "kernel": self.kernel,
+            "part": self.part,
+            "index": self.index,
+            "register": self.register,
+        }
+
+    def sort_key(self) -> Tuple[int, str, int, int, str]:
+        """Stable ordering: severity, rule, program point, register."""
+        sev = SEVERITIES.index(self.severity) if self.severity in SEVERITIES else 99
+        part = PART_ORDER.index(self.part) if self.part in PART_ORDER else 99
+        return (sev, self.rule, part, self.index, self.register)
+
+
+def make_diagnostic(
+    rule_id: str,
+    message: str,
+    kernel: str,
+    part: str = "",
+    index: int = -1,
+    register: str = "",
+) -> Diagnostic:
+    """Build a :class:`Diagnostic` for ``rule_id``, severity from the registry."""
+    rule = RULES[rule_id]
+    return Diagnostic(
+        rule=rule.rule_id,
+        severity=rule.severity,
+        message=message,
+        kernel=kernel,
+        part=part,
+        index=index,
+        register=register,
+    )
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """All findings of one kernel's verification, plus summary metrics."""
+
+    kernel_name: str
+    diagnostics: Tuple[Diagnostic, ...]
+    #: maximum simultaneously-live vector registers (liveness pass)
+    live_high_water: int = 0
+    #: static cycle bounds (present when a core model was supplied)
+    bounds: Optional["StaticBounds"] = None  # noqa: F821 - see bounds.py
+
+    def by_severity(self, severity: str) -> Tuple[Diagnostic, ...]:
+        """All diagnostics of the given severity."""
+        return tuple(d for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        """Error-severity findings (any present fails verification)."""
+        return self.by_severity("error")
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        """Warning-severity findings."""
+        return self.by_severity("warning")
+
+    @property
+    def infos(self) -> Tuple[Diagnostic, ...]:
+        """Advisory findings."""
+        return self.by_severity("info")
+
+    @property
+    def ok(self) -> bool:
+        """True when the kernel has no error-severity findings."""
+        return not self.errors
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict rendering (diagnostics as dicts, bounds summarized)."""
+        out: Dict[str, object] = {
+            "kernel": self.kernel_name,
+            "ok": self.ok,
+            "live_high_water": self.live_high_water,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+        if self.bounds is not None:
+            out["cycles_lower_bound"] = self.bounds.cycles_lower_bound
+        return out
+
+    def render(self) -> str:
+        """Human-readable report: verdict line plus a diagnostics table."""
+        verdict = "OK" if self.ok else "FAIL"
+        head = (
+            f"verify {self.kernel_name}: {verdict} "
+            f"({len(self.errors)} errors, {len(self.warnings)} warnings, "
+            f"{len(self.infos)} infos; live HWM {self.live_high_water} vregs)"
+        )
+        if not self.diagnostics:
+            return head
+        rows = [
+            [d.rule, d.severity, d.part or "-",
+             d.index if d.index >= 0 else "-", d.register or "-", d.message]
+            for d in self.diagnostics
+        ]
+        table = format_table(
+            ["rule", "severity", "part", "idx", "register", "message"], rows
+        )
+        return f"{head}\n{table}"
+
+
+def rules_table() -> str:
+    """The rule inventory rendered as a text table (for docs and ``lint``)."""
+    rows = [[r.rule_id, r.severity, r.summary]
+            for r in sorted(RULES.values(), key=lambda r: r.rule_id)]
+    return format_table(["rule", "severity", "summary"], rows,
+                        title="kernel verifier rules")

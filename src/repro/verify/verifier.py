@@ -1,0 +1,258 @@
+"""The kernel verifier: orchestrates the static-analysis passes.
+
+:class:`KernelVerifier` runs the def-use/liveness pass, the Eq. 4 register
+budget pass, and (when a core model is supplied) the static-bound pass over
+one :class:`~repro.isa.KernelSequence` and folds the findings into a
+:class:`~repro.verify.diagnostics.VerificationReport`.
+
+Entry points by layer:
+
+* :func:`verify_kernel` / :func:`assert_kernel_ok` — one kernel; the
+  generator and JIT factory call the latter on every emitted kernel;
+* :func:`audit_catalog` / :func:`audit_catalogs` — every kernel a library
+  catalog can emit, edges included (``KernelCatalog.audit`` delegates
+  here);
+* :func:`self_check` — proves each rule still fires on a known-bad
+  kernel, the negative control run by ``repro lint --self-check``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.instructions import (
+    Instruction,
+    fmla,
+    ldr_q,
+    movi_zero,
+    subs_imm,
+    branch_nz,
+)
+from ..isa.registers import N_VECTOR_REGISTERS
+from ..isa.sequence import KernelSequence
+from ..machine.config import CoreConfig
+from ..util.errors import KernelVerificationError
+from .bounds import static_bounds
+from .budget import budget_diagnostics
+from .defuse import analyze_defuse
+from .diagnostics import RULES, Diagnostic, VerificationReport, make_diagnostic
+
+__all__ = [
+    "KernelVerifier",
+    "verify_kernel",
+    "assert_kernel_ok",
+    "audit_catalog",
+    "audit_catalogs",
+    "catalog_specs",
+    "self_check",
+]
+
+
+class KernelVerifier:
+    """Static analyzer over kernel IR: def-use, Eq. 4 budget, bounds.
+
+    Without a core model only the structural passes run (this is what the
+    generator uses — structure must hold on any machine).  With one, the
+    verifier also validates latency keys, computes static cycle bounds and
+    flags latency-limited kernels.
+    """
+
+    def __init__(
+        self,
+        core: Optional[CoreConfig] = None,
+        n_registers: int = 0,
+    ) -> None:
+        self.core = core
+        self.n_registers = n_registers or (
+            core.vector_registers if core is not None else N_VECTOR_REGISTERS
+        )
+
+    def verify(self, kernel: KernelSequence) -> VerificationReport:
+        """All passes over ``kernel``, folded into one report."""
+        defuse = analyze_defuse(kernel)
+        diagnostics: List[Diagnostic] = list(defuse.diagnostics)
+        diagnostics.extend(
+            budget_diagnostics(kernel, defuse, self.n_registers)
+        )
+        bounds = None
+        if self.core is not None:
+            missing = sorted({
+                ins.latency_key
+                for ins in kernel.all_instructions()
+                if ins.latency_key not in self.core.latencies
+            })
+            for key in missing:
+                diagnostics.append(make_diagnostic(
+                    "V202-unknown-latency",
+                    f"latency key {key!r} is not in the core model "
+                    f"({self.core.name})",
+                    kernel.name,
+                ))
+            if not missing:
+                bounds = static_bounds(kernel, self.core)
+                if bounds.latency_limited:
+                    diagnostics.append(make_diagnostic(
+                        "V201-latency-bound",
+                        "dependence chains bound the body at "
+                        f"{bounds.critical_path_bound:.1f} cycles/iteration "
+                        f"(throughput floor {bounds.throughput_bound:.1f}) "
+                        "- too few independent accumulator chains",
+                        kernel.name,
+                    ))
+        diagnostics.sort(key=lambda d: d.sort_key())
+        return VerificationReport(
+            kernel_name=kernel.name,
+            diagnostics=tuple(diagnostics),
+            live_high_water=defuse.live_high_water,
+            bounds=bounds,
+        )
+
+
+def verify_kernel(
+    kernel: KernelSequence, core: Optional[CoreConfig] = None
+) -> VerificationReport:
+    """One-shot verification of ``kernel`` (convenience wrapper)."""
+    return KernelVerifier(core).verify(kernel)
+
+
+def assert_kernel_ok(
+    kernel: KernelSequence, core: Optional[CoreConfig] = None
+) -> VerificationReport:
+    """Verify ``kernel`` and raise on any error-severity finding.
+
+    This is the generator/JIT gate: a structurally broken kernel must
+    never reach the scheduler, where it would silently produce wrong
+    cycle counts.
+    """
+    report = verify_kernel(kernel, core)
+    if not report.ok:
+        raise KernelVerificationError(
+            f"kernel {kernel.name!r} failed static verification:\n"
+            + "\n".join(
+                f"  {d.rule}: {d.message}" for d in report.errors
+            )
+        )
+    return report
+
+
+def catalog_specs(catalog) -> List:
+    """Main, alternate and representative edge specs of one catalog.
+
+    This is the coverage set every catalog audit (and ``repro lint``)
+    verifies: the main kernel, the Table-I alternates, and the edge
+    kernels the catalog's edge policy produces for a macro-tile with
+    remainders in both dimensions.
+    """
+    from ..kernels.catalog import tile_plan
+
+    main = catalog.main
+    specs = [main] + list(catalog.alternates)
+    # a macro-tile with both an M- and an N-edge exercises the catalog's
+    # full edge policy (pow2 decomposition, padding, or scalar tails)
+    mc = 2 * main.mr + max(1, main.mr // 2 - 1)
+    nc = 2 * main.nr + max(1, main.nr - 1) if main.nr > 1 else 2 * main.nr
+    for invocation in tile_plan(catalog, mc, nc):
+        if invocation.spec not in specs:
+            specs.append(invocation.spec)
+    return specs
+
+
+def audit_catalog(
+    catalog,
+    core: Optional[CoreConfig] = None,
+) -> Dict[str, VerificationReport]:
+    """Verify every kernel ``catalog`` can emit, keyed by kernel name.
+
+    Covers the main kernel, the Table-I alternates, and the edge kernels
+    the catalog's edge policy produces for a macro-tile with remainders in
+    both dimensions.
+    """
+    from ..kernels.generator import MicroKernelGenerator
+
+    verifier = KernelVerifier(core)
+    generator = MicroKernelGenerator(verify=False)  # audit reports, not raises
+    reports: Dict[str, VerificationReport] = {}
+    for spec in catalog_specs(catalog):
+        kernel = generator.generate(spec)
+        if kernel.name not in reports:
+            reports[kernel.name] = verifier.verify(kernel)
+    return reports
+
+
+def audit_catalogs(
+    core: Optional[CoreConfig] = None, lanes: int = 4
+) -> Dict[str, Dict[str, VerificationReport]]:
+    """Audit all four library catalogs at ``lanes`` lanes."""
+    from ..kernels.catalog import all_catalogs
+
+    return {
+        library: audit_catalog(catalog, core)
+        for library, catalog in all_catalogs(lanes).items()
+    }
+
+
+def _looped(name: str, prologue, body, meta=None) -> KernelSequence:
+    """A minimal kernel with standard loop control appended to ``body``."""
+    return KernelSequence(
+        name=name,
+        prologue=tuple(prologue),
+        body=tuple(body) + (subs_imm("x3", "x3", 1), branch_nz("x3")),
+        epilogue=(),
+        meta=meta or {},
+    )
+
+
+def _bad_kernels(core: CoreConfig) -> List[Tuple[str, KernelSequence, int]]:
+    """(expected rule, kernel, register-file size) negative controls."""
+    inits = [movi_zero("v1"), movi_zero("v2")]
+    regs = core.vector_registers
+    cases = [
+        ("V001-uninit-read",
+         _looped("bad-uninit", inits, [fmla("v0", "v1", "v2")]), regs),
+        ("V002-acc-clobber",
+         _looped("bad-clobber", inits + [movi_zero("v0")],
+                 [fmla("v0", "v1", "v2"), movi_zero("v0")]), regs),
+        ("V003-dead-write",
+         _looped("bad-dead-write", inits + [movi_zero("v0")],
+                 [ldr_q("v9", "x0"), fmla("v0", "v1", "v2")]), regs),
+        ("V101-reg-budget",
+         _looped("bad-budget",
+                 [movi_zero(f"v{i}") for i in range(8)] + inits[:1],
+                 [fmla(f"v{i}", "v1", "v1") for i in range(8)]), 4),
+        ("V102-reg-pressure",
+         _looped("bad-pressure", inits + [movi_zero("v0")],
+                 [fmla("v0", "v1", "v2")],
+                 meta={"mr": 32, "nr": 32, "lanes": 4}), regs),
+        ("V201-latency-bound",
+         _looped("bad-latency", inits + [movi_zero("v0")],
+                 [fmla("v0", "v1", "v2") for _ in range(4)]), regs),
+        ("V202-unknown-latency",
+         _looped("bad-latency-key", inits + [movi_zero("v0")],
+                 [fmla("v0", "v1", "v2"),
+                  Instruction(text="mystery v0", port="alu",
+                              latency_key="mystery", reads=("v0",),
+                              writes=("v0",))]), regs),
+    ]
+    return cases
+
+
+def self_check(core: Optional[CoreConfig] = None) -> List[Tuple[str, bool]]:
+    """Prove every rule fires on its negative control.
+
+    Returns ``(rule_id, fired)`` pairs covering the whole rule inventory;
+    ``repro lint --self-check`` fails unless every entry fired.  This
+    guards the verifier itself: a refactor that silently stops a rule from
+    firing turns every downstream audit into a rubber stamp.
+    """
+    if core is None:
+        core = CoreConfig()
+    results: List[Tuple[str, bool]] = []
+    for rule, kernel, n_registers in _bad_kernels(core):
+        report = KernelVerifier(core, n_registers=n_registers).verify(kernel)
+        fired = any(d.rule == rule for d in report.diagnostics)
+        results.append((rule, fired))
+    covered = {rule for rule, _ in results}
+    for rule in sorted(RULES):
+        if rule not in covered:
+            results.append((rule, False))
+    return results

@@ -1,0 +1,44 @@
+"""Tests for the ``repro lint`` CLI command."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert not args.self_check and not args.inject_bad
+
+    def test_lint_flags(self):
+        args = build_parser().parse_args(["lint", "--self-check"])
+        assert args.self_check
+        args = build_parser().parse_args(["lint", "--inject-bad"])
+        assert args.inject_bad
+
+
+class TestLintCommand:
+    def test_clean_catalog_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "OK:" in out and "0 errors" in out
+        # covers all four libraries plus the grid and the JIT
+        for origin in ("openblas", "blis", "blasfeo", "eigen",
+                       "grid", "jit"):
+            assert origin in out
+        # static and scheduled cycles are shown side by side
+        assert "static lb" in out and "scheduled" in out
+
+    def test_inject_bad_exits_nonzero(self, capsys):
+        assert main(["lint", "--inject-bad"]) != 0
+        out = capsys.readouterr().out
+        assert "V001-uninit-read" in out
+        assert "FAIL:" in out
+
+    def test_self_check_exits_zero(self, capsys):
+        assert main(["lint", "--self-check"]) == 0
+        out = capsys.readouterr().out
+        assert "fired" in out and "MISSED" not in out
+        for rule in ("V001-uninit-read", "V101-reg-budget",
+                     "V201-latency-bound"):
+            assert rule in out

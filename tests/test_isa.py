@@ -99,6 +99,10 @@ class TestInstructionFactories:
         ins = ldr_q("v4", "x0", offset=32)
         assert ins.writes == ("v4",)
 
+    def test_ldr_q_offset_and_post_inc_conflict(self):
+        with pytest.raises(IsaError):
+            ldr_q("v4", "x0", offset=32, post_inc=16)
+
     def test_ldp_s_pair(self):
         ins = ldp_s("v12", "v13", "x1")
         assert set(["v12", "v13", "x1"]) == set(ins.writes)

@@ -1,0 +1,187 @@
+"""Static cycle lower bounds, cross-checked against the scheduler.
+
+The load-bearing property: every static bound is a relaxation of the
+out-of-order scheduler, so ``cycles_lower_bound`` must never exceed
+``SteadyStateAnalyzer.cycles_per_iter`` for any kernel the repo can emit.
+"""
+
+import pytest
+
+from repro.isa import (
+    KernelSequence,
+    branch_nz,
+    fmla,
+    ldr_q,
+    movi_zero,
+    str_q,
+    subs_imm,
+)
+from repro.kernels import (
+    JitKernelFactory,
+    KernelSpec,
+    MicroKernelGenerator,
+    all_catalogs,
+)
+from repro.pipeline import SteadyStateAnalyzer
+from repro.verify import catalog_specs, critical_path_rate, static_bounds
+
+
+def looped(name, prologue, body, epilogue=()):
+    return KernelSequence(
+        name=name,
+        prologue=tuple(prologue),
+        body=tuple(body) + (subs_imm("x3", "x3", 1), branch_nz("x3")),
+        epilogue=tuple(epilogue),
+        meta={},
+    )
+
+
+def all_emittable_specs(core):
+    """Catalog + style-grid + JIT specs, the lint coverage set."""
+    specs = []
+    for catalog in all_catalogs().values():
+        specs.extend(catalog_specs(catalog))
+    for style in ("pipelined", "naive", "compiled"):
+        for mr, nr, unroll in ((8, 4, 4), (16, 4, 8), (12, 4, 1),
+                               (4, 4, 2), (5, 3, 2), (3, 4, 1)):
+            specs.append(KernelSpec(mr, nr, unroll=unroll, style=style,
+                                    label="xcheck"))
+    jit = JitKernelFactory(core)
+    specs.append(jit.main_spec)
+    specs.append(jit.spec_for(13, 4))
+    specs.append(jit.strided_main_spec())
+    return specs
+
+
+class TestCriticalPath:
+    def test_serial_fmla_chain(self, machine):
+        # 4 dependent fmla on one accumulator: 4 * fma latency
+        k = looped(
+            "chain",
+            [movi_zero("v0"), movi_zero("v1"), movi_zero("v2")],
+            [fmla("v0", "v1", "v2") for _ in range(4)],
+            epilogue=[str_q("v0", "x2")],
+        )
+        expected = 4 * machine.core.latencies["fma"]
+        assert critical_path_rate(k, machine.core) == expected
+
+    def test_independent_chains_do_not_sum(self, machine):
+        # two independent accumulators: each chain is 1 fmla long
+        k = looped(
+            "indep",
+            [movi_zero(f"v{i}") for i in range(4)],
+            [fmla("v0", "v2", "v3"), fmla("v1", "v2", "v3")],
+            epilogue=[str_q("v0", "x2"), str_q("v1", "x2")],
+        )
+        assert (critical_path_rate(k, machine.core)
+                == machine.core.latencies["fma"])
+
+    def test_post_increment_address_chain_counts_one_cycle(self, machine):
+        # the x0 post-increment chain: 2 writebacks * 1 cycle, not 2 * load
+        # latency — matches the scheduler's early base-register writeback
+        k = looped(
+            "addr",
+            [movi_zero("v0"), movi_zero("v2")],
+            [ldr_q("v1", "x0", post_inc=16),
+             ldr_q("v3", "x0", post_inc=16),
+             fmla("v0", "v1", "v2"),
+             fmla("v0", "v3", "v2")],
+            epilogue=[str_q("v0", "x2")],
+        )
+        rate = critical_path_rate(k, machine.core)
+        assert rate == 2 * machine.core.latencies["fma"]  # acc chain wins
+        # and the address chain alone is 2.0, far below 2 * load latency
+
+    def test_renamed_register_breaks_chain(self, machine):
+        # movi in the body renames v0 away: the fmla chain contributes
+        # nothing and only the 1-cycle subs counter chain remains
+        k = looped(
+            "renamed",
+            [movi_zero("v1"), movi_zero("v2")],
+            [movi_zero("v0"), fmla("v0", "v1", "v2")],
+            epilogue=[str_q("v0", "x2")],
+        )
+        assert critical_path_rate(k, machine.core) == 1.0
+
+
+class TestStaticBounds:
+    def test_port_and_dispatch_bounds(self, machine):
+        k = looped(
+            "ports",
+            [movi_zero("v0"), movi_zero("v1"), movi_zero("v2")],
+            [fmla("v0", "v1", "v2") for _ in range(8)],
+            epilogue=[str_q("v0", "x2")],
+        )
+        b = static_bounds(k, machine.core)
+        assert b.port_bounds["fma"] == 8 / machine.core.ports["fma"]
+        # 8 fmla + subs + branch
+        assert b.dispatch_bound == 10 / machine.core.dispatch_width
+        assert b.cycles_lower_bound >= b.throughput_bound
+
+    def test_latency_limited_flag(self, machine):
+        # a single long chain is latency-limited; 8 independent ones are not
+        serial = looped(
+            "serial",
+            [movi_zero("v0"), movi_zero("v1"), movi_zero("v2")],
+            [fmla("v0", "v1", "v2") for _ in range(4)],
+            epilogue=[str_q("v0", "x2")],
+        )
+        assert static_bounds(serial, machine.core).latency_limited
+        wide = looped(
+            "wide",
+            [movi_zero(f"v{i}") for i in range(10)],
+            [fmla(f"v{i}", "v8", "v9") for i in range(8)],
+            epilogue=[str_q(f"v{i}", "x2") for i in range(8)],
+        )
+        assert not static_bounds(wide, machine.core).latency_limited
+
+    def test_to_dict(self, machine):
+        b = static_bounds(looped(
+            "d", [movi_zero("v0"), movi_zero("v1"), movi_zero("v2")],
+            [fmla("v0", "v1", "v2")], epilogue=[str_q("v0", "x2")],
+        ), machine.core)
+        d = b.to_dict()
+        assert d["lower-bound"] == b.cycles_lower_bound
+        assert "port:fma" in d and "dispatch" in d and "critical-path" in d
+
+
+class TestSchedulerCrossCheck:
+    """Satellite: static bound <= scheduled cycles, for every kernel."""
+
+    def test_bound_never_exceeds_scheduler(self, machine):
+        generator = MicroKernelGenerator(verify=False)
+        analyzer = SteadyStateAnalyzer(machine.core)
+        seen = set()
+        checked = 0
+        for spec in all_emittable_specs(machine.core):
+            kernel = generator.generate(spec)
+            if kernel.name in seen:
+                continue
+            seen.add(kernel.name)
+            bounds = static_bounds(kernel, machine.core)
+            scheduled = analyzer.analyze(kernel).cycles_per_iter
+            assert bounds.cycles_lower_bound <= scheduled + 1e-6, (
+                f"{kernel.name}: static bound {bounds.cycles_lower_bound} "
+                f"exceeds scheduled {scheduled}"
+            )
+            checked += 1
+        assert checked > 40  # catalogs + grid + jit, deduplicated
+
+    def test_bound_is_tight_for_fma_bound_main_kernels(self, machine):
+        # the OpenBLAS main kernel saturates the FMA unit: the port bound
+        # is exact, which pins the scheduler model against drift
+        generator = MicroKernelGenerator(verify=False)
+        analyzer = SteadyStateAnalyzer(machine.core)
+        catalog = all_catalogs()["openblas"]
+        kernel = generator.generate(catalog.main)
+        bounds = static_bounds(kernel, machine.core)
+        scheduled = analyzer.analyze(kernel).cycles_per_iter
+        assert bounds.cycles_lower_bound == pytest.approx(scheduled)
+
+    def test_edge_kernels_flag_latency_limited(self, machine):
+        # the paper's Fig. 7 signature: 1-accumulator naive edge kernels
+        # are bound by the fma chain, not by any unit
+        generator = MicroKernelGenerator(verify=False)
+        spec = KernelSpec(1, 1, unroll=4, style="naive", label="edge")
+        bounds = static_bounds(generator.generate(spec), machine.core)
+        assert bounds.latency_limited

@@ -1,0 +1,127 @@
+"""Property tests: everything the repo can emit verifies clean.
+
+Satellites: the FP-factory accumulator-read audit, the catalog-wide
+zero-error property, and the deliberately-broken negative controls.
+"""
+
+import pytest
+
+from repro.isa import KernelSequence, fadd, fmadd_scalar, fmla, fmul
+from repro.kernels import (
+    JitKernelFactory,
+    KernelSpec,
+    MicroKernelGenerator,
+    all_catalogs,
+)
+from repro.util import KernelVerificationError
+from repro.verify import (
+    RULES,
+    audit_catalog,
+    audit_catalogs,
+    catalog_specs,
+    self_check,
+    verify_kernel,
+)
+
+
+class TestFpFactoryReads:
+    """Accumulator-updating ops must read what they write (satellite)."""
+
+    def test_fmla_reads_accumulator(self):
+        ins = fmla("v0", "v1", "v2")
+        assert "v0" in ins.reads and ins.writes == ("v0",)
+
+    def test_fmadd_scalar_reads_accumulator(self):
+        ins = fmadd_scalar("v0", "v1", "v2")
+        assert "v0" in ins.reads and ins.writes == ("v0",)
+
+    def test_fmul_fadd_read_both_operands(self):
+        assert set(fmul("v0", "v1", "v2").reads) == {"v1", "v2"}
+        assert set(fadd("v0", "v1", "v2").reads) == {"v1", "v2"}
+
+    def test_emitted_fma_ops_read_their_destination(self, machine):
+        # audit over real kernels: every fma-class body instruction that
+        # updates an accumulator carries the RAW edge the scheduler needs
+        generator = MicroKernelGenerator(verify=False)
+        for catalog in all_catalogs().values():
+            for spec in catalog_specs(catalog):
+                kernel = generator.generate(spec)
+                for ins in kernel.body:
+                    if "fma" in ins.tags:
+                        for reg in ins.writes:
+                            assert reg in ins.reads, (
+                                f"{kernel.name}: {ins.text} writes {reg} "
+                                "without reading it"
+                            )
+
+
+class TestCatalogProperty:
+    """Every catalog kernel (edges included) verifies with zero errors."""
+
+    def test_all_catalogs_verify_clean(self, machine):
+        audits = audit_catalogs(machine.core)
+        assert set(audits) == {"openblas", "blis", "blasfeo", "eigen"}
+        for library, reports in audits.items():
+            assert reports, library
+            for name, report in reports.items():
+                assert report.ok, f"{library}/{name}: {report.render()}"
+                assert not report.warnings, f"{library}/{name}"
+                assert 0 < report.live_high_water <= 32
+
+    def test_generated_grid_verifies_clean(self, machine):
+        generator = MicroKernelGenerator(verify=False)
+        for style in ("pipelined", "naive", "compiled"):
+            for mr, nr, unroll in ((8, 4, 4), (16, 4, 8), (4, 4, 2),
+                                   (5, 3, 2), (3, 4, 1)):
+                spec = KernelSpec(mr, nr, unroll=unroll, style=style,
+                                  label="prop")
+                report = verify_kernel(generator.generate(spec),
+                                       machine.core)
+                assert report.ok, report.render()
+
+    def test_jit_kernels_verify_clean(self, machine):
+        jit = JitKernelFactory(machine.core)
+        for spec in (jit.main_spec, jit.spec_for(13, 4),
+                     jit.strided_main_spec()):
+            report = verify_kernel(jit.generator.generate(spec),
+                                   machine.core)
+            assert report.ok, report.render()
+
+    def test_catalog_audit_method_delegates(self, machine):
+        catalog = all_catalogs()["openblas"]
+        reports = catalog.audit(machine.core)
+        assert reports == audit_catalog(catalog, machine.core)
+        assert catalog.main.name in reports
+
+
+class TestNegativeControls:
+    def test_clobbered_kernel_fails(self, machine):
+        # strip the prologue of a real kernel: accumulators arrive undefined
+        generator = MicroKernelGenerator(verify=False)
+        good = generator.generate(all_catalogs()["openblas"].main)
+        bad = KernelSequence(
+            name=good.name + "-broken", prologue=(), body=good.body,
+            epilogue=good.epilogue, meta=dict(good.meta),
+        )
+        report = verify_kernel(bad, machine.core)
+        assert not report.ok
+        assert any(d.rule == "V001-uninit-read" for d in report.errors)
+
+    def test_generator_gate_rejects_nothing_it_emits(self, machine):
+        # verify=True is the default: generation itself is the assertion
+        generator = MicroKernelGenerator()
+        for spec in catalog_specs(all_catalogs()["blis"]):
+            generator.generate(spec)
+
+    def test_jit_verify_flag_opt_out(self, machine):
+        # both settings must emit identical kernels; the flag only gates
+        # the assert_kernel_ok call
+        on = JitKernelFactory(machine.core, verify=True).kernel_for(8, 4)
+        off = JitKernelFactory(machine.core, verify=False).kernel_for(8, 4)
+        assert on.name == off.name
+        assert on.body == off.body
+
+    def test_self_check_covers_every_rule(self, machine):
+        results = self_check(machine.core)
+        assert {rule for rule, _ in results} == set(RULES)
+        assert all(fired for _, fired in results), results

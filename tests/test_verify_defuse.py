@@ -1,0 +1,231 @@
+"""Unit tests for the static verifier: def-use, budget and diagnostics."""
+
+import pytest
+
+from repro.isa import (
+    KernelSequence,
+    branch_nz,
+    dup,
+    fmla,
+    ldr_q,
+    movi_zero,
+    str_q,
+    subs_imm,
+)
+from repro.isa.instructions import Instruction
+from repro.util import KernelVerificationError
+from repro.verify import (
+    RULES,
+    KernelVerifier,
+    analyze_defuse,
+    assert_kernel_ok,
+    make_diagnostic,
+    rules_table,
+    verify_kernel,
+)
+
+
+def looped(name, prologue, body, epilogue=(), meta=None):
+    """A minimal kernel with standard loop control appended to the body."""
+    return KernelSequence(
+        name=name,
+        prologue=tuple(prologue),
+        body=tuple(body) + (subs_imm("x3", "x3", 1), branch_nz("x3")),
+        epilogue=tuple(epilogue),
+        meta=meta or {},
+    )
+
+
+def good_kernel():
+    """A well-formed 1-accumulator rank-1 update kernel."""
+    return looped(
+        "good",
+        [movi_zero("v0")],
+        [ldr_q("v1", "x0", post_inc=16),
+         ldr_q("v2", "x1", post_inc=16),
+         fmla("v0", "v1", "v2")],
+        epilogue=[str_q("v0", "x2")],
+    )
+
+
+class TestUninitRead:
+    def test_clean_kernel_has_no_errors(self):
+        result = analyze_defuse(good_kernel())
+        assert not [d for d in result.diagnostics if d.severity == "error"]
+
+    def test_read_before_write_fires_v001(self):
+        k = looped("bad", [movi_zero("v1"), movi_zero("v2")],
+                   [fmla("v0", "v1", "v2")])
+        result = analyze_defuse(k)
+        rules = [d.rule for d in result.diagnostics]
+        assert "V001-uninit-read" in rules
+
+    def test_stripped_prologue_fires_v001(self):
+        g = good_kernel()
+        k = KernelSequence(name="stripped", prologue=(), body=g.body,
+                           epilogue=g.epilogue, meta=dict(g.meta))
+        result = analyze_defuse(k)
+        assert any(d.rule == "V001-uninit-read" and d.register == "v0"
+                   for d in result.diagnostics)
+
+    def test_each_register_reported_once_despite_doubled_body(self):
+        k = looped("bad", [movi_zero("v1"), movi_zero("v2")],
+                   [fmla("v0", "v1", "v2")])
+        result = analyze_defuse(k)
+        v001 = [d for d in result.diagnostics
+                if d.rule == "V001-uninit-read"]
+        assert len(v001) == 1
+
+    def test_xregs_are_abi_live_in(self):
+        # pointers/counters arrive live-in; reading them is not a leak
+        result = analyze_defuse(good_kernel())
+        assert not any(d.register.startswith("x")
+                       for d in result.diagnostics
+                       if d.rule == "V001-uninit-read")
+
+
+class TestAccumulatorClobber:
+    def test_clobber_fires_v002(self):
+        k = looped(
+            "clobber",
+            [movi_zero("v0"), movi_zero("v1"), movi_zero("v2")],
+            [fmla("v0", "v1", "v2"), movi_zero("v0")],
+        )
+        result = analyze_defuse(k)
+        assert any(d.rule == "V002-acc-clobber" and d.register == "v0"
+                   for d in result.diagnostics)
+
+    def test_dup_temporary_is_not_an_accumulator(self):
+        # v3 is rebuilt by dup each iteration: legitimate overwrite
+        k = looped(
+            "dup-temp",
+            [movi_zero("v0"), movi_zero("v1"), movi_zero("v2")],
+            [dup("v3", "v2"), fmla("v0", "v1", "v3")],
+            epilogue=[str_q("v0", "x2")],
+        )
+        result = analyze_defuse(k)
+        assert "v3" not in result.accumulators
+        assert not any(d.rule == "V002-acc-clobber"
+                       for d in result.diagnostics)
+
+    def test_accumulators_detected(self):
+        result = analyze_defuse(good_kernel())
+        assert result.accumulators == ("v0",)
+
+
+class TestDeadWrite:
+    def test_unconsumed_load_fires_v003(self):
+        k = looped(
+            "dead",
+            [movi_zero("v0"), movi_zero("v1"), movi_zero("v2")],
+            [ldr_q("v9", "x0"), fmla("v0", "v1", "v2")],
+            epilogue=[str_q("v0", "x2")],
+        )
+        result = analyze_defuse(k)
+        assert any(d.rule == "V003-dead-write" and d.register == "v9"
+                   for d in result.diagnostics)
+
+    def test_v003_is_advisory(self):
+        assert RULES["V003-dead-write"].severity == "info"
+
+    def test_stored_result_is_consumed(self):
+        result = analyze_defuse(good_kernel())
+        assert not any(d.rule == "V003-dead-write" and d.register == "v0"
+                       for d in result.diagnostics)
+
+
+class TestLiveness:
+    def test_high_water_mark(self):
+        # at the fmla, v0 v1 v2 are simultaneously live
+        result = analyze_defuse(good_kernel())
+        assert result.live_high_water == 3
+
+    def test_register_budget_v101(self, machine):
+        report = KernelVerifier(machine.core, n_registers=2).verify(
+            good_kernel()
+        )
+        assert any(d.rule == "V101-reg-budget" for d in report.diagnostics)
+        assert not report.ok
+
+    def test_shape_pressure_v102(self, machine):
+        k = looped(
+            "pressure",
+            [movi_zero("v0"), movi_zero("v1"), movi_zero("v2")],
+            [fmla("v0", "v1", "v2")],
+            epilogue=[str_q("v0", "x2")],
+            meta={"mr": 32, "nr": 32, "lanes": 4},
+        )
+        report = KernelVerifier(machine.core).verify(k)
+        assert any(d.rule == "V102-reg-pressure"
+                   for d in report.diagnostics)
+
+
+class TestVerifierAndReport:
+    def test_unknown_latency_key_v202(self, machine):
+        k = looped(
+            "mystery",
+            [movi_zero("v0"), movi_zero("v1"), movi_zero("v2")],
+            [fmla("v0", "v1", "v2"),
+             Instruction(text="mystery v0", port="alu",
+                         latency_key="mystery", reads=("v0",),
+                         writes=("v0",))],
+            epilogue=[str_q("v0", "x2")],
+        )
+        report = KernelVerifier(machine.core).verify(k)
+        assert any(d.rule == "V202-unknown-latency"
+                   for d in report.diagnostics)
+        assert report.bounds is None  # bounds need valid latency keys
+
+    def test_structural_only_without_core(self):
+        report = verify_kernel(good_kernel())
+        assert report.ok
+        assert report.bounds is None
+
+    def test_bounds_attached_with_core(self, machine):
+        report = verify_kernel(good_kernel(), machine.core)
+        assert report.bounds is not None
+        assert report.bounds.cycles_lower_bound > 0
+
+    def test_assert_kernel_ok_passes_good(self, machine):
+        assert assert_kernel_ok(good_kernel(), machine.core).ok
+
+    def test_assert_kernel_ok_raises_on_bad(self, machine):
+        g = good_kernel()
+        bad = KernelSequence(name="bad", prologue=(), body=g.body,
+                             epilogue=g.epilogue, meta=dict(g.meta))
+        with pytest.raises(KernelVerificationError) as err:
+            assert_kernel_ok(bad, machine.core)
+        assert "V001-uninit-read" in str(err.value)
+
+    def test_report_render_and_dict(self, machine):
+        g = good_kernel()
+        bad = KernelSequence(name="bad", prologue=(), body=g.body,
+                             epilogue=g.epilogue, meta=dict(g.meta))
+        report = verify_kernel(bad, machine.core)
+        text = report.render()
+        assert "FAIL" in text and "V001-uninit-read" in text
+        d = report.to_dict()
+        assert d["ok"] is False
+        assert any(item["rule"] == "V001-uninit-read"
+                   for item in d["diagnostics"])
+
+    def test_diagnostics_sorted_by_severity(self, machine):
+        g = good_kernel()
+        bad = KernelSequence(name="bad", prologue=(),
+                             body=(ldr_q("v9", "x0"),) + g.body,
+                             epilogue=g.epilogue, meta=dict(g.meta))
+        report = verify_kernel(bad, machine.core)
+        sev_rank = {"error": 0, "warning": 1, "info": 2}
+        ranks = [sev_rank[d.severity] for d in report.diagnostics]
+        assert ranks == sorted(ranks)
+
+    def test_make_diagnostic_uses_registry_severity(self):
+        d = make_diagnostic("V001-uninit-read", "msg", "k")
+        assert d.severity == "error"
+        d = make_diagnostic("V201-latency-bound", "msg", "k")
+        assert d.severity == "info"
+
+    def test_rules_table_lists_all_rules(self):
+        text = rules_table()
+        for rule_id in RULES:
+            assert rule_id in text
