@@ -13,6 +13,7 @@ test: lint
 lint:
 	$(PYTHON) -m repro lint
 	$(PYTHON) -m repro lint --self-check
+	$(PYTHON) -m repro.util.apidoc --check
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

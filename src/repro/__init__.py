@@ -5,7 +5,9 @@ The package is a laboratory: a cycle-approximate model of the Phytium 2000+
 many-core processor (pipeline, caches, NUMA), an ARMv8/NEON micro-kernel
 instruction layer, faithful models of the four BLAS libraries the paper
 evaluates (OpenBLAS, BLIS, BLASFEO, Eigen), deterministic multithreaded
-execution, and the paper's proposed reference SMM implementation.
+execution, the paper's proposed reference SMM implementation, and an
+input-aware adaptive tuner with a persistent on-disk tuning cache
+(``repro.tuning``, driven by the ``repro tune`` CLI).
 
 Quick start::
 
@@ -45,6 +47,7 @@ from .machine import (
 )
 from .parallel import MultithreadedGemm
 from .timing import GemmTiming, gemm_flops, p2c
+from .tuning import AdaptiveTuner, TunedPlan, TuningCache, warm_cache
 from .util import DEFAULT_SEED, ReproError, make_rng, random_matrix
 
 __version__ = "1.0.0"
@@ -78,6 +81,11 @@ __all__ = [
     "GemmTiming",
     "gemm_flops",
     "p2c",
+    # input-aware tuning
+    "AdaptiveTuner",
+    "TunedPlan",
+    "TuningCache",
+    "warm_cache",
     # utilities
     "ReproError",
     "make_rng",

@@ -8,6 +8,7 @@ regenerate any paper artifact without writing code:
 ``python -m repro fig9 | fig10``         — multi-panel figures
 ``python -m repro table1 | table2``      — the tables
 ``python -m repro gemm M N K [--lib L] [--threads T]`` — one costed GEMM
+``python -m repro tune <warm|query|sweep|export|clear>`` — adaptive tuner
 ``python -m repro all``                  — the whole battery
 """
 
@@ -70,6 +71,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="also lint a deliberately broken kernel (forces a "
         "nonzero exit; exercises the error path end to end)",
     )
+
+    tune = sub.add_parser(
+        "tune", help="input-aware adaptive kernel tuner "
+        "(warm/query/sweep/export/clear)"
+    )
+    tsub = tune.add_subparsers(dest="tune_command", required=True)
+
+    def _tune_common(p) -> None:
+        p.add_argument("--cache", default=None,
+                       help="tuning-cache file "
+                       "(default .repro_tuning_cache.json)")
+        p.add_argument("--machine", default="phytium2000plus",
+                       choices=("phytium2000plus", "graviton2_like",
+                                "a64fx_like"),
+                       help="machine model to tune for")
+        p.add_argument("--threads", type=int, default=1)
+
+    warm = tsub.add_parser(
+        "warm", help="pre-tune a shape grid into the cache (process pool)"
+    )
+    _tune_common(warm)
+    warm.add_argument("--shapes", default="4:64",
+                      help="square-shape grid lo:hi[:step] (default 4:64)")
+    warm.add_argument("--jobs", type=int, default=None,
+                      help="worker processes (default: auto; 1 = serial)")
+
+    query = tsub.add_parser("query", help="show the tuned plan for a shape")
+    _tune_common(query)
+    query.add_argument("m", type=int)
+    query.add_argument("n", type=int)
+    query.add_argument("k", type=int)
+
+    tsweep = tsub.add_parser(
+        "sweep", help="tuner-backed efficiency sweep over a shape grid"
+    )
+    _tune_common(tsweep)
+    tsweep.add_argument("--shapes", default="4:64:4",
+                        help="square-shape grid lo:hi[:step]")
+
+    export = tsub.add_parser("export", help="dump the tuning cache as JSON")
+    _tune_common(export)
+    export.add_argument("--output", default="",
+                        help="write to a file instead of stdout")
+
+    clear = tsub.add_parser("clear", help="delete the tuning cache")
+    _tune_common(clear)
 
     gemm = sub.add_parser("gemm", help="cost one GEMM shape")
     gemm.add_argument("m", type=int)
@@ -263,6 +310,87 @@ def _run_lint(machine, args) -> tuple:
     return "\n".join(lines), 0 if ok else 1
 
 
+def _run_tune(args) -> tuple:
+    """The ``repro tune`` command body: (report text, exit code)."""
+    from .tuning import (
+        AdaptiveTuner,
+        TuningCache,
+        machine_by_name,
+        tuned_sweep,
+        warm_cache,
+    )
+    from .util.tables import format_table
+    from .workloads.sweeps import parse_shape_range
+
+    machine = machine_by_name(args.machine)
+    cache = TuningCache(machine, path=args.cache)
+    tuner = AdaptiveTuner(machine, cache=cache)
+    cmd = args.tune_command
+
+    if cmd in ("warm", "sweep"):
+        try:
+            shapes = parse_shape_range(args.shapes)
+        except ValueError as exc:
+            return f"error: {exc}", 2
+
+    if cmd == "warm":
+        report = warm_cache(
+            tuner, shapes, threads=args.threads,
+            jobs=args.jobs, machine_name=args.machine,
+        )
+        summary = cache.summary()
+        memo = tuner.driver(1).analyzer.cache_info()
+        return "\n".join([
+            report.render(),
+            f"cache: {summary['entries']} entries @ {summary['path']} "
+            f"(fingerprint {summary['fingerprint']})",
+            f"scheduler memo: {memo['entries']} kernel steady-states",
+        ]), 0
+
+    if cmd == "query":
+        plan = tuner.tune(args.m, args.n, args.k, threads=args.threads)
+        if cache.dirty:
+            cache.save()
+        return plan.render(), 0
+
+    if cmd == "sweep":
+        rows = []
+        for (m, n, k), plan in tuned_sweep(tuner, shapes,
+                                           threads=args.threads):
+            fact = plan.factorization
+            rows.append((
+                f"{m}x{n}x{k}",
+                plan.kernel_shape,
+                "yes" if plan.packed_b else "no",
+                "-" if fact is None else "x".join(str(f) for f in fact),
+                f"{plan.gflops:.1f}",
+                f"{plan.efficiency:.1%}",
+                f"{plan.speedup_vs_heuristic:.2f}x",
+            ))
+        if cache.dirty:
+            cache.save()
+        return format_table(
+            ("shape", "tile", "packB", "jc x ic x jr x ir",
+             "GFLOPS", "eff", "vs fixed"),
+            rows,
+            title=f"tuned sweep ({args.threads} thread(s), "
+            f"{machine.name})",
+        ), 0
+
+    if cmd == "export":
+        text = cache.export_json()
+        if args.output:
+            import pathlib
+
+            pathlib.Path(args.output).write_text(text + "\n")
+            return f"wrote {args.output}", 0
+        return text, 0
+
+    # clear
+    cache.clear()
+    return f"cleared tuning cache {cache.path}", 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -314,6 +442,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     elif args.command == "lint":
         text, code = _run_lint(machine, args)
+        print(text)
+        return code
+    elif args.command == "tune":
+        text, code = _run_tune(args)
         print(text)
         return code
     elif args.command == "report":

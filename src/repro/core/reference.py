@@ -143,36 +143,60 @@ class ReferenceSmmDriver:
             return self._cost_single(m, n, k)
         return self._cost_parallel(m, n, k)
 
-    def _cost_single(self, m: int, n: int, k: int):
+    def cost_with(self, m: int, n: int, k: int, main=None,
+                  packed_b: Optional[bool] = None, factorization=None):
+        """(GemmTiming, SmmDecision) under an explicit plan.
+
+        The adaptive tuner's entry point: pins any of the driver's three
+        free choices — the main-tile :class:`~repro.kernels.KernelSpec`
+        (``main``), the packing decision (``packed_b``), and for
+        multithreaded drivers the loop factorization — and prices the
+        resulting plan with the same models :meth:`cost_gemm` uses.  Every
+        pinned argument left ``None`` falls back to the driver's own
+        adaptive choice, so ``cost_with()`` with no overrides is exactly
+        the fixed-heuristic cost.
+        """
+        if self.threads == 1:
+            return self._cost_single(m, n, k, main=main, packed_b=packed_b)
+        return self._cost_parallel(
+            m, n, k, main=main, packed_b=packed_b,
+            factorization=factorization,
+        )
+
+    def _cost_single(self, m: int, n: int, k: int, main=None,
+                     packed_b: Optional[bool] = None):
         itemsize = self.dtype.itemsize
         timing = GemmTiming(useful_flops=gemm_flops(m, n, k))
 
         # --- packing-optional decision -------------------------------
         pack_cycles, nopack_penalty = self._estimate_pack_tradeoff(
-            m, n, k, itemsize
+            m, n, k, itemsize, main=main
         )
         effective_pack = (
             self._fused_pack_cycles(m, n, k, itemsize)
             if self.fused_packing else pack_cycles
         )
-        packed_b = (
-            self.force_packing
-            if self.force_packing is not None
-            else effective_pack < nopack_penalty
-        )
+        if packed_b is None:
+            packed_b = (
+                self.force_packing
+                if self.force_packing is not None
+                else effective_pack < nopack_penalty
+            )
 
         if packed_b:
             timing.pack_b_cycles += effective_pack
 
-        kern, executed = self._kernel_cost(m, n, k, itemsize, packed_b)
+        kern, executed = self._kernel_cost(m, n, k, itemsize, packed_b,
+                                           main=main)
         timing.kernel_cycles += kern
         timing.executed_flops += executed
 
+        shape_spec = main if main is not None else self.jit.main_spec
         decision = SmmDecision(
             packed_b=packed_b,
             pack_cycles_estimate=effective_pack,
             nopack_penalty_estimate=nopack_penalty,
-            kernel_shape=f"{self.jit.main_spec.mr}x{self.jit.main_spec.nr}",
+            kernel_shape=f"{shape_spec.mr}x{shape_spec.nr}",
             threads=1,
         )
         return timing, decision
@@ -198,7 +222,8 @@ class ReferenceSmmDriver:
         )
         return estimate.fused_extra_cycles
 
-    def _cost_parallel(self, m: int, n: int, k: int):
+    def _cost_parallel(self, m: int, n: int, k: int, main=None,
+                       packed_b: Optional[bool] = None, factorization=None):
         """Multithreaded critical path, assembled per kc-iteration.
 
         Mirrors the BLIS executor's structure (cooperative B pack within
@@ -209,8 +234,11 @@ class ReferenceSmmDriver:
         packing all of B at once.
         """
         itemsize = self.dtype.itemsize
-        main = self.jit.main_spec
-        fact = blis_factorization(m, n, self.threads, main.mr, main.nr)
+        tile = main if main is not None else self.jit.main_spec
+        fact = (
+            factorization if factorization is not None
+            else blis_factorization(m, n, self.threads, tile.mr, tile.nr)
+        )
         numa = self.machine.numa
         timing = GemmTiming(useful_flops=gemm_flops(m, n, k))
 
@@ -230,13 +258,14 @@ class ReferenceSmmDriver:
 
         pack_cycles, nopack_penalty = self._estimate_pack_tradeoff(
             m_chunk, n_chunk, kc, itemsize,
-            source_residency=global_res,
+            source_residency=global_res, main=main,
         )
-        packed_b = (
-            self.force_packing
-            if self.force_packing is not None
-            else pack_cycles < nopack_penalty
-        )
+        if packed_b is None:
+            packed_b = (
+                self.force_packing
+                if self.force_packing is not None
+                else pack_cycles < nopack_penalty
+            )
 
         for kk in range(0, k, kc):
             kcb = min(kc, k - kk)
@@ -245,7 +274,7 @@ class ReferenceSmmDriver:
                 # globally-resident source
                 group_pack, _ = self._pack_estimate(
                     m_chunk, n_group, kcb, itemsize,
-                    source_residency=global_res,
+                    source_residency=global_res, main=main,
                 )
                 timing.pack_b_cycles += group_pack / fact.pack_b_group
                 timing.sync_cycles += barrier_cycles(fact.pack_b_group, numa)
@@ -254,7 +283,7 @@ class ReferenceSmmDriver:
                 b_res = global_res
             kern, executed = self._kernel_cost(
                 m_chunk, n_chunk, kcb, itemsize, packed_b,
-                residency_pair=(a_res, b_res),
+                residency_pair=(a_res, b_res), main=main,
             )
             timing.kernel_cycles += kern
             timing.executed_flops += executed * fact.ic * fact.jc * fact.jr
@@ -264,16 +293,16 @@ class ReferenceSmmDriver:
             packed_b=packed_b,
             pack_cycles_estimate=pack_cycles,
             nopack_penalty_estimate=nopack_penalty,
-            kernel_shape=f"{main.mr}x{main.nr}",
+            kernel_shape=f"{tile.mr}x{tile.nr}",
             threads=self.threads,
             factorization=fact,
         )
         return timing, decision
 
     def _pack_estimate(self, m: int, n: int, k: int, itemsize: int,
-                       source_residency: Optional[str] = None):
+                       source_residency: Optional[str] = None, main=None):
         """(cycles, padded elements) for packing one (k x n) B panel."""
-        main = self.jit.main_spec
+        main = main if main is not None else self.jit.main_spec
         padded = k * ceil_div(n, main.nr) * main.nr
         source = source_residency or self._residency(m, n, k, itemsize)
         cycles, _ = self.packing_cost.pack_cycles(
@@ -287,10 +316,11 @@ class ReferenceSmmDriver:
     # ------------------------------------------------------------------
 
     def _estimate_pack_tradeoff(self, m: int, n: int, k: int, itemsize: int,
-                                source_residency: Optional[str] = None):
+                                source_residency: Optional[str] = None,
+                                main=None):
         """(pack cycles, unpacked-kernel penalty cycles) for operand B."""
-        main = self.jit.main_spec
-        padded_b = k * ceil_div(n, main.nr) * main.nr
+        panel = main if main is not None else self.jit.main_spec
+        padded_b = k * ceil_div(n, panel.nr) * panel.nr
         source = source_residency or self._residency(m, n, k, itemsize)
         pack_cycles, _ = self.packing_cost.pack_cycles(
             k, n, itemsize,
@@ -298,32 +328,43 @@ class ReferenceSmmDriver:
             source_resident=source,
             padded_elements=padded_b,
         )
-        # penalty of unpacked B: price both kernel variants and subtract
+        # penalty of unpacked B: price both kernel variants and subtract.
+        # An explicitly pinned main tile only applies to its own B layout,
+        # so the opposite variant falls back to the orientation search.
         pair = (None if source_residency is None
                 else (source_residency, source_residency))
+        packed_main = main if main is not None and main.b_layout == "packed" else None
+        strided_main = main if main is not None and main.b_layout == "strided" else None
         packed_kern, _ = self._kernel_cost(m, n, k, itemsize, packed_b=True,
-                                           residency_pair=pair)
+                                           residency_pair=pair,
+                                           main=packed_main)
         unpacked_kern, _ = self._kernel_cost(m, n, k, itemsize,
                                              packed_b=False,
-                                             residency_pair=pair)
+                                             residency_pair=pair,
+                                             main=strided_main)
         return pack_cycles, max(unpacked_kern - packed_kern, 0.0)
 
     def _kernel_cost(self, m: int, n: int, k: int, itemsize: int,
-                     packed_b: bool, residency_pair=None):
+                     packed_b: bool, residency_pair=None, main=None):
         """(cycles, executed_flops) of the JIT kernel sweep over (m, n, k).
 
-        The JIT tries both orientations of its main tile (e.g. 8x12 and
-        12x8) and keeps the cheaper plan — part of the paper's "adaptive
-        code generation" plank: the best combination of micro-kernels
-        depends on the input shape.
+        With ``main=None`` the JIT tries both orientations of its main tile
+        (e.g. 8x12 and 12x8) and keeps the cheaper plan — part of the
+        paper's "adaptive code generation" plank: the best combination of
+        micro-kernels depends on the input shape.  An explicit ``main``
+        pins the tile (the tuner prices each candidate separately).
         """
         from ..util.errors import KernelDesignError
 
+        candidates = (
+            [main] if main is not None
+            else self.jit.main_candidates(packed_b)
+        )
         best = None
-        for main in self._main_candidates(packed_b):
+        for candidate_main in candidates:
             try:
                 candidate = self._kernel_cost_with_main(
-                    m, n, k, itemsize, packed_b, main,
+                    m, n, k, itemsize, packed_b, candidate_main,
                     residency_pair=residency_pair,
                 )
             except KernelDesignError:
@@ -336,22 +377,6 @@ class ReferenceSmmDriver:
                 f"(packed_b={packed_b})"
             )
         return best
-
-    def _main_candidates(self, packed_b: bool):
-        from dataclasses import replace as _replace
-
-        main = self.jit.main_spec if packed_b else self.jit.strided_main_spec()
-        candidates = [main]
-        if main.mr != main.nr:
-            try:
-                flipped = _replace(
-                    main, mr=main.nr, nr=main.mr,
-                    pad_rows=(main.nr % self.jit.lanes != 0),
-                )
-                candidates.append(flipped)
-            except Exception:  # infeasible orientation: keep the primary
-                pass
-        return candidates
 
     def _kernel_cost_with_main(self, m: int, n: int, k: int, itemsize: int,
                                packed_b: bool, main, residency_pair=None):

@@ -137,6 +137,32 @@ def enumerate_designs(
     return designs
 
 
+def candidate_tiles(
+    core: CoreConfig,
+    dtype,
+    limit: int = 4,
+    max_mr: int = 32,
+    max_nr: int = 32,
+) -> List[TileDesign]:
+    """The ``limit`` best feasible lane-aligned tiles, by descending CMR.
+
+    The adaptive tuner's tile search space: unlike :func:`best_tile` (one
+    winner), this keeps the CMR frontier so shapes that do not divide by
+    the single best tile can be matched against close runners-up (e.g.
+    8x12 vs 12x8 vs 8x8 vs 16x4 on a 128-bit NEON core).  Duplicate
+    aspect-ratio mirrors are retained — edge waste differs between them.
+    """
+    check_positive_int(limit, "limit", KernelDesignError)
+    lanes = core.simd_lanes(dtype)
+    feasible = [
+        d
+        for d in enumerate_designs(core, dtype, max_mr, max_nr)
+        if d.feasible and d.mr % lanes == 0 and d.nr % min(lanes, 4) == 0
+    ]
+    feasible.sort(key=lambda d: (-d.cmr, d.registers, -d.mr))
+    return feasible[:limit]
+
+
 def best_tile(
     core: CoreConfig,
     dtype,

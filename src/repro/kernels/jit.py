@@ -114,6 +114,30 @@ class JitKernelFactory:
         """The generated :class:`KernelSequence` for an (mr x nr) tile."""
         return self._gen.generate(self.spec_for(mr, nr))
 
+    def main_candidates(self, packed_b: bool = True) -> list:
+        """Main-tile specs worth pricing for one plan, best first.
+
+        Both orientations of the analytically best tile (when the flipped
+        one fits the register file) — the driver and the adaptive tuner
+        price each and keep the cheaper plan.  With ``packed_b=False`` the
+        candidates are strided-B kernels under the tighter register
+        constraint of unpacked operands.
+        """
+        from dataclasses import replace
+
+        main = self.main_spec if packed_b else self.strided_main_spec()
+        candidates = [main]
+        if main.mr != main.nr:
+            flipped = replace(
+                main, mr=main.nr, nr=main.mr,
+                pad_rows=(main.nr % self.lanes != 0),
+            )
+            design = evaluate_tile(flipped.mr, flipped.nr, self.lanes,
+                                   self.core)
+            if design.register_ok:
+                candidates.append(flipped)
+        return candidates
+
     def strided_main_spec(self) -> KernelSpec:
         """Best main tile for *unpacked* B (strided scalar B loads).
 

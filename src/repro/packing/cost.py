@@ -77,6 +77,10 @@ class PackingCostModel:
             True: pack_loop_kernel(True, lanes),
             False: pack_loop_kernel(False, lanes),
         }
+        # tuner sweeps price the same pack shapes hundreds of times; the
+        # memo only covers calls against the default cache model (an
+        # override's sharing/NUMA state is not part of the key)
+        self._memo: Dict[Tuple, Tuple[float, int]] = {}
 
     def pack_cycles(
         self,
@@ -98,6 +102,13 @@ class PackingCostModel:
         if rows <= 0 or cols <= 0:
             return 0.0, 0
         elements = padded_elements or rows * cols
+        key = None
+        if cache_model is None:
+            key = (rows, cols, itemsize, source_contiguous,
+                   source_resident, elements)
+            hit = self._memo.get(key)
+            if hit is not None:
+                return hit
         model = cache_model if cache_model is not None else self.cache_model
         phase = model.packing_phase(
             rows, cols, itemsize, source_contiguous, source_resident
@@ -112,4 +123,6 @@ class PackingCostModel:
         # channels (packing IS the bandwidth-heavy phase of GEMM).
         cycles = iters * state.cycles_per_iter + phase.stall_cycles
         cycles = max(cycles, model.dram_floor_cycles(phase))
+        if key is not None:
+            self._memo[key] = (cycles, elements)
         return cycles, elements

@@ -140,6 +140,43 @@ def blis_factorization(
     return BlisFactorization(jc=jc, ic=ic, jr=jr)
 
 
+def factorization_candidates(
+    m: int,
+    n: int,
+    threads: int,
+    mr: int,
+    nr: int,
+) -> List[BlisFactorization]:
+    """Distinct loop factorizations worth pricing for one (m, n) problem.
+
+    The adaptive tuner's partitioning search space: the paper's rule-based
+    BLIS choice, the scored alternative, the two single-dimension extremes
+    (all-M like OpenBLAS, all-N), and a balanced 2-D split.  Deduplicated;
+    the rule-based choice always comes first so a cost tie keeps it.
+    """
+    check_positive_int(threads, "threads", ParallelError)
+    candidates = [
+        blis_factorization(m, n, threads, mr, nr),
+        blis_factorization_scored(m, n, threads, mr, nr),
+        BlisFactorization(jc=1, ic=threads, jr=1),
+        BlisFactorization(jc=threads, ic=1, jr=1),
+    ]
+    root = int(math.isqrt(threads))
+    for tm in range(root, 0, -1):
+        if threads % tm == 0:
+            candidates.append(
+                BlisFactorization(jc=threads // tm, ic=tm, jr=1)
+            )
+            break
+    seen, unique = set(), []
+    for fact in candidates:
+        ident = (fact.jc, fact.ic, fact.jr, fact.ir)
+        if ident not in seen:
+            seen.add(ident)
+            unique.append(fact)
+    return unique
+
+
 def blis_factorization_scored(
     m: int,
     n: int,

@@ -142,6 +142,15 @@ class SteadyStateAnalyzer:
         """Convenience: cycles of one call of ``kernel`` over ``kc`` k-steps."""
         return self.analyze(kernel, extra_load_cycles).kernel_call_cycles(kc)
 
+    def cache_info(self) -> Dict[str, int]:
+        """Memo statistics: distinct (kernel, load-penalty) pairs analyzed.
+
+        Tuner warm-ups schedule the same micro-kernels across many shapes;
+        this counter is how the ``repro tune`` CLI reports how much
+        scheduling work the memo absorbed.
+        """
+        return {"entries": len(self._cache)}
+
 
 def bound_analysis(kernel: KernelSequence, core: CoreConfig) -> Dict[str, float]:
     """Closed-form lower bounds on cycles/iteration, per limiting resource.

@@ -114,6 +114,35 @@ class GemmTiming:
             extra=extra,
         )
 
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-serializable field dump (tuning-cache entry format)."""
+        out: Dict[str, float] = {
+            "kernel_cycles": self.kernel_cycles,
+            "pack_a_cycles": self.pack_a_cycles,
+            "pack_b_cycles": self.pack_b_cycles,
+            "sync_cycles": self.sync_cycles,
+            "other_cycles": self.other_cycles,
+            "useful_flops": self.useful_flops,
+            "executed_flops": self.executed_flops,
+        }
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "GemmTiming":
+        """Rebuild a breakdown from :meth:`as_dict` output."""
+        return cls(
+            kernel_cycles=float(data.get("kernel_cycles", 0.0)),
+            pack_a_cycles=float(data.get("pack_a_cycles", 0.0)),
+            pack_b_cycles=float(data.get("pack_b_cycles", 0.0)),
+            sync_cycles=float(data.get("sync_cycles", 0.0)),
+            other_cycles=float(data.get("other_cycles", 0.0)),
+            useful_flops=int(data.get("useful_flops", 0)),
+            executed_flops=float(data.get("executed_flops", 0.0)),
+            extra=dict(data.get("extra", {})),
+        )
+
     def breakdown_percent(self) -> Dict[str, float]:
         """Phase shares in percent (the Table II row format)."""
         total = self.total_cycles

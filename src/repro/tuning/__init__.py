@@ -1,0 +1,52 @@
+"""Input-aware adaptive kernel tuning with a persistent decision cache.
+
+The paper's Sec. IV argues an SMM library must *adapt* to its inputs;
+IAAT-style systems show the adaptation pays off when tuning decisions are
+searched once and persisted.  This package is that layer for the repro
+laboratory:
+
+* :class:`AdaptiveTuner` — enumerates (tile, packing, partitioning)
+  candidate plans per problem shape, prices them with the shared cost
+  models, statically verifies the winning kernel and returns an
+  executable :class:`TunedPlan`;
+* :class:`TuningCache` — versioned on-disk JSON store keyed by shape
+  bucket + machine fingerprint + code version, fronted by an in-memory
+  LRU, invalidated wholesale when the machine config changes;
+* :func:`warm_cache` — process-pool fan-out that pre-tunes whole M/N/K
+  grids (the ``repro tune warm`` engine).
+
+CLI: ``python -m repro tune warm|query|sweep|export|clear``.
+"""
+
+from .cache import (
+    DEFAULT_CACHE_PATH,
+    TUNING_SCHEMA_VERSION,
+    CacheStats,
+    TuningCache,
+    bucket_dim,
+    bucket_shape,
+    machine_fingerprint,
+    plan_key,
+)
+from .plan import PlanKey, TunedPlan
+from .tuner import AdaptiveTuner, TuneReport, tuned_sweep
+from .warm import MACHINE_FACTORIES, machine_by_name, warm_cache
+
+__all__ = [
+    "AdaptiveTuner",
+    "TuneReport",
+    "tuned_sweep",
+    "TunedPlan",
+    "PlanKey",
+    "TuningCache",
+    "CacheStats",
+    "TUNING_SCHEMA_VERSION",
+    "DEFAULT_CACHE_PATH",
+    "bucket_dim",
+    "bucket_shape",
+    "plan_key",
+    "machine_fingerprint",
+    "MACHINE_FACTORIES",
+    "machine_by_name",
+    "warm_cache",
+]

@@ -1,0 +1,270 @@
+"""Persistent, versioned tuning cache with an in-memory LRU front.
+
+IAAT-style input-aware tuning only pays off when decisions persist: the
+search runs once per (shape bucket, machine, code version) and every later
+call is a table lookup.  :class:`TuningCache` implements that table:
+
+* **shape bucketing** — exact keys in the SMM regime (dimensions <= 64),
+  coarser buckets beyond it, so nearby large shapes share one entry;
+* **machine fingerprinting** — the on-disk file is keyed by a hash of the
+  full machine configuration, the dtype and the tuning schema/code
+  version; any mismatch invalidates the whole file (a tuned plan for the
+  wrong register file or NUMA layout is worse than no plan);
+* **an LRU front** — hot entries are served from a bounded in-memory map
+  without touching disk; the JSON file is only read once and written
+  atomically (temp file + rename).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from ..machine.config import MachineConfig
+from ..util.errors import ConfigError
+from ..util.validation import ceil_div, check_positive_int
+from .plan import PlanKey, TunedPlan
+
+#: bump when the plan schema or the cost models change incompatibly
+TUNING_SCHEMA_VERSION = 1
+
+#: default on-disk location (overridable per cache / via the CLI)
+DEFAULT_CACHE_PATH = ".repro_tuning_cache.json"
+
+#: dimensions at or below this are cached exactly (the paper's SMM regime)
+EXACT_BUCKET_LIMIT = 64
+
+
+def machine_fingerprint(machine: MachineConfig, dtype=np.float32) -> str:
+    """Short stable hash identifying (machine config, dtype, code version).
+
+    Built from the dataclass reprs, which cover every modeled parameter —
+    change a cache size, a latency or the NUMA layout and the fingerprint
+    (hence the cache) changes with it.
+    """
+    from .. import __version__
+
+    payload = "|".join((
+        repr(machine),
+        str(np.dtype(dtype)),
+        f"schema={TUNING_SCHEMA_VERSION}",
+        f"code={__version__}",
+    ))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def bucket_dim(x: int) -> int:
+    """One dimension's bucket: exact <= 64, then 16-multiples, then 64s."""
+    check_positive_int(x, "dimension", ConfigError)
+    if x <= EXACT_BUCKET_LIMIT:
+        return x
+    if x <= 256:
+        return ceil_div(x, 16) * 16
+    return ceil_div(x, 64) * 64
+
+
+def bucket_shape(m: int, n: int, k: int) -> tuple:
+    """The (m, n, k) bucket a problem shape falls into."""
+    return (bucket_dim(m), bucket_dim(n), bucket_dim(k))
+
+
+def plan_key(m: int, n: int, k: int, dtype, threads: int = 1) -> PlanKey:
+    """The bucketed :class:`PlanKey` for one problem instance."""
+    bm, bn, bk = bucket_shape(m, n, k)
+    return PlanKey(m=bm, n=bn, k=bk, dtype=str(np.dtype(dtype)),
+                   threads=threads)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+
+class TuningCache:
+    """Versioned on-disk plan store fronted by a bounded LRU map."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        dtype=np.float32,
+        path: Optional[str] = None,
+        capacity: int = 4096,
+    ) -> None:
+        check_positive_int(capacity, "capacity", ConfigError)
+        self.machine = machine
+        self.dtype = np.dtype(dtype)
+        #: empty string = memory-only (pool workers, throwaway tuners)
+        self.path = path if path is not None else DEFAULT_CACHE_PATH
+        self.capacity = capacity
+        self.fingerprint = machine_fingerprint(machine, dtype)
+        self.stats = CacheStats()
+        self._lru: "OrderedDict[str, TunedPlan]" = OrderedDict()
+        self._loaded = False
+        self._dirty = False
+
+    # -- persistence ---------------------------------------------------
+
+    def load(self) -> int:
+        """Read the on-disk file (once); returns entries accepted.
+
+        A version or fingerprint mismatch discards the file's entries —
+        that is the invalidation path for machine-config or code changes.
+        """
+        if self._loaded:
+            return len(self._lru)
+        self._loaded = True
+        if not self.path or not os.path.exists(self.path):
+            return 0
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.stats.invalidations += 1
+            return 0
+        if (
+            data.get("schema") != TUNING_SCHEMA_VERSION
+            or data.get("fingerprint") != self.fingerprint
+        ):
+            self.stats.invalidations += 1
+            return 0
+        accepted = 0
+        for token, entry in data.get("entries", {}).items():
+            try:
+                plan = TunedPlan.from_dict(entry, source="cache")
+            except ConfigError:
+                continue  # skip corrupt entries, keep the rest
+            self._insert(token, plan)
+            accepted += 1
+        self._dirty = False
+        return accepted
+
+    def save(self) -> str:
+        """Atomically write all cached entries to disk; returns the path."""
+        self.load()
+        if not self.path:
+            self._dirty = False
+            return self.path
+        payload = {
+            "schema": TUNING_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "machine": self.machine.name,
+            "dtype": str(self.dtype),
+            "entries": {
+                token: plan.to_dict() for token, plan in self._lru.items()
+            },
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self._dirty = False
+        return self.path
+
+    def clear(self) -> None:
+        """Drop every entry, in memory and on disk."""
+        self._lru.clear()
+        self._loaded = True
+        self._dirty = False
+        if self.path and os.path.exists(self.path):
+            os.unlink(self.path)
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, m: int, n: int, k: int, threads: int = 1) -> Optional[TunedPlan]:
+        """The cached plan for the shape's bucket, or None (counts stats)."""
+        self.load()
+        token = plan_key(m, n, k, self.dtype, threads).token
+        plan = self._lru.get(token)
+        if plan is None:
+            self.stats.misses += 1
+            return None
+        self._lru.move_to_end(token)
+        self.stats.hits += 1
+        return plan
+
+    def put(self, plan: TunedPlan) -> None:
+        """Insert (or replace) the entry for the plan's key."""
+        self.load()
+        self._insert(plan.key.token, plan)
+        self._dirty = True
+
+    def _insert(self, token: str, plan: TunedPlan) -> None:
+        self._lru[token] = plan
+        self._lru.move_to_end(token)
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        self.load()
+        return len(self._lru)
+
+    def __iter__(self) -> Iterator[TunedPlan]:
+        self.load()
+        return iter(list(self._lru.values()))
+
+    @property
+    def dirty(self) -> bool:
+        """True when in-memory entries are newer than the on-disk file."""
+        return self._dirty
+
+    def export_json(self) -> str:
+        """The full cache as pretty-printed JSON text (``tune export``)."""
+        self.load()
+        return json.dumps(
+            {
+                "schema": TUNING_SCHEMA_VERSION,
+                "fingerprint": self.fingerprint,
+                "machine": self.machine.name,
+                "dtype": str(self.dtype),
+                "entries": {
+                    token: plan.to_dict()
+                    for token, plan in self._lru.items()
+                },
+            },
+            indent=1,
+            sort_keys=True,
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Counters for the CLI status line."""
+        self.load()
+        return {
+            "path": self.path,
+            "entries": len(self._lru),
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "hit_rate": self.stats.hit_rate,
+            "invalidations": self.stats.invalidations,
+            "fingerprint": self.fingerprint,
+        }

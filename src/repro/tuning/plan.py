@@ -1,0 +1,205 @@
+"""Executable tuning plans: what the adaptive tuner selects and caches.
+
+A :class:`TunedPlan` pins down every adaptive degree of freedom of the
+reference SMM driver for one problem shape — the micro-kernel tile (from
+the JIT design space), whether B is packed (the Sec. IV packing-optional
+decision), and the loop factorization for multithreaded runs — together
+with the modeled cycle breakdown that justified the choice.  Plans are
+plain data: they serialize to JSON dictionaries for the on-disk tuning
+cache and reconstruct the exact :class:`~repro.kernels.KernelSpec` that
+produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..kernels.generator import KernelSpec
+from ..parallel.partition import BlisFactorization
+from ..timing.breakdown import GemmTiming
+from ..util.errors import ConfigError
+
+#: plan provenance markers
+PLAN_SOURCES = ("tuned", "heuristic", "cache")
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Identity of one tuning decision: bucketed shape, dtype, threads."""
+
+    m: int
+    n: int
+    k: int
+    dtype: str
+    threads: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) < 1 or self.threads < 1:
+            raise ConfigError(f"invalid plan key {self}")
+
+    @property
+    def token(self) -> str:
+        """Stable string key used by the on-disk cache."""
+        return f"{self.m}x{self.n}x{self.k}:{self.dtype}:t{self.threads}"
+
+
+@dataclass(frozen=True)
+class TunedPlan:
+    """One executable plan: tile + packing + partitioning + modeled cost."""
+
+    key: PlanKey
+    #: generating spec of the main micro-kernel tile
+    spec: KernelSpec
+    packed_b: bool
+    #: thread-count factorization over the loop nest (None when threads=1)
+    factorization: Optional[Tuple[int, int, int, int]]
+    total_cycles: float
+    gflops: float
+    efficiency: float
+    #: cycle breakdown (kernel / pack_a / pack_b / sync / other)
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    #: True when the selected kernel passed the PR-1 static verifier
+    verified: bool = False
+    #: 'tuned' (searched), 'heuristic' (fixed-policy fallback), 'cache'
+    source: str = "tuned"
+    #: modeled cycles of the fixed-heuristic plan for the same key
+    heuristic_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.source not in PLAN_SOURCES:
+            raise ConfigError(f"unknown plan source {self.source!r}")
+        if self.total_cycles <= 0:
+            raise ConfigError(
+                f"plan for {self.key.token} has non-positive cycles"
+            )
+
+    @property
+    def kernel_shape(self) -> str:
+        """The selected tile as 'mrxnr'."""
+        return f"{self.spec.mr}x{self.spec.nr}"
+
+    @property
+    def speedup_vs_heuristic(self) -> float:
+        """Modeled heuristic cycles over plan cycles (>= 1 by design)."""
+        if self.heuristic_cycles <= 0:
+            return 1.0
+        return self.heuristic_cycles / self.total_cycles
+
+    def blis_factorization(self) -> Optional[BlisFactorization]:
+        """The factorization as a :class:`BlisFactorization` (or None)."""
+        if self.factorization is None:
+            return None
+        jc, ic, jr, ir = self.factorization
+        return BlisFactorization(jc=jc, ic=ic, jr=jr, ir=ir)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable representation (the cache entry format)."""
+        return {
+            "key": asdict(self.key),
+            "spec": asdict(self.spec),
+            "packed_b": self.packed_b,
+            "factorization": (
+                list(self.factorization)
+                if self.factorization is not None else None
+            ),
+            "total_cycles": self.total_cycles,
+            "gflops": self.gflops,
+            "efficiency": self.efficiency,
+            "breakdown": dict(self.breakdown),
+            "verified": self.verified,
+            "source": self.source,
+            "heuristic_cycles": self.heuristic_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict, source: Optional[str] = None) -> "TunedPlan":
+        """Reconstruct a plan from :meth:`to_dict` output."""
+        try:
+            key = PlanKey(**data["key"])
+            spec = KernelSpec(**data["spec"])
+            fact = data.get("factorization")
+            return cls(
+                key=key,
+                spec=spec,
+                packed_b=bool(data["packed_b"]),
+                factorization=tuple(fact) if fact is not None else None,
+                total_cycles=float(data["total_cycles"]),
+                gflops=float(data["gflops"]),
+                efficiency=float(data["efficiency"]),
+                breakdown={
+                    str(k): float(v)
+                    for k, v in data.get("breakdown", {}).items()
+                },
+                verified=bool(data.get("verified", False)),
+                source=source or str(data.get("source", "tuned")),
+                heuristic_cycles=float(data.get("heuristic_cycles", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed plan entry: {exc}") from exc
+
+    @classmethod
+    def from_timing(
+        cls,
+        key: PlanKey,
+        spec: KernelSpec,
+        packed_b: bool,
+        factorization,
+        timing: GemmTiming,
+        machine,
+        dtype,
+        **extra,
+    ) -> "TunedPlan":
+        """Build a plan from a costed :class:`GemmTiming`."""
+        fact = None
+        if factorization is not None:
+            fact = (factorization.jc, factorization.ic,
+                    factorization.jr, factorization.ir)
+        return cls(
+            key=key,
+            spec=spec,
+            packed_b=packed_b,
+            factorization=fact,
+            total_cycles=timing.total_cycles,
+            gflops=timing.gflops(machine),
+            efficiency=timing.efficiency(machine, dtype, key.threads),
+            breakdown={
+                "kernel": timing.kernel_cycles,
+                "pack_a": timing.pack_a_cycles,
+                "pack_b": timing.pack_b_cycles,
+                "sync": timing.sync_cycles,
+                "other": timing.other_cycles,
+            },
+            **extra,
+        )
+
+    def render(self) -> str:
+        """Human-readable one-plan summary (the ``tune query`` output)."""
+        lines = [
+            f"plan {self.key.token} [{self.source}]",
+            f"  tile          : {self.kernel_shape} "
+            f"(style={self.spec.style}, unroll={self.spec.unroll}, "
+            f"b_layout={self.spec.b_layout})",
+            f"  packed B      : {'yes' if self.packed_b else 'no'}",
+        ]
+        if self.factorization is not None:
+            jc, ic, jr, ir = self.factorization
+            lines.append(
+                f"  factorization : jc={jc} ic={ic} jr={jr} ir={ir}"
+            )
+        total = self.total_cycles
+        shares = "  ".join(
+            f"{name} {100.0 * cycles / total:.1f}%"
+            for name, cycles in self.breakdown.items()
+            if cycles > 0
+        ) or "kernel 100.0%"
+        lines.extend([
+            f"  cycles        : {total:,.0f}",
+            f"  GFLOPS        : {self.gflops:.2f}  "
+            f"({self.efficiency:.1%} of peak)",
+            f"  breakdown     : {shares}",
+            f"  vs heuristic  : {self.speedup_vs_heuristic:.2f}x "
+            f"(heuristic {self.heuristic_cycles:,.0f} cycles)",
+            f"  verified      : {'yes' if self.verified else 'no'}",
+        ])
+        return "\n".join(lines)

@@ -1,0 +1,292 @@
+"""Input-aware adaptive kernel tuner (paper Sec. IV made systematic).
+
+For one (M, N, K, dtype, threads) problem the tuner enumerates candidate
+plans over the driver's three adaptive degrees of freedom:
+
+* **micro-kernel tile** — both orientations of the JIT's analytically best
+  tile plus the CMR frontier of the Eq. 4/Eq. 5 design space (packed B),
+  and the strided-B tile under the tighter unpacked register constraint;
+* **packing** — B packed into slivers vs kernels running off the
+  column-major source (the P2C trade-off priced by the packing model);
+* **loop partitioning** — for multithreaded runs, the rule-based BLIS
+  factorization, the scored factorizer, the 1-D extremes and a balanced
+  2-D split, with barrier groups priced by the sync model.
+
+Every candidate is priced end to end by
+:meth:`~repro.core.reference.ReferenceSmmDriver.cost_with` — the same
+SteadyStateAnalyzer + packing + sync composition every experiment uses —
+and the cheapest plan whose kernel passes the static verifier wins.  The
+fixed-heuristic plan (the driver's own built-in policy) is always priced
+too, so a tuned plan is never slower on the modeled cost than the
+heuristic it replaces.  Results are memoized through a persistent
+:class:`~repro.tuning.cache.TuningCache`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.reference import ReferenceSmmDriver
+from ..kernels.design import candidate_tiles
+from ..kernels.generator import KernelSpec
+from ..machine.config import MachineConfig
+from ..parallel.partition import factorization_candidates
+from ..util.errors import DriverError, KernelDesignError, ReproError
+from ..verify import KernelVerifier
+from .cache import TuningCache, plan_key
+from .plan import PlanKey, TunedPlan
+
+Shape = Tuple[int, int, int]
+
+
+@dataclass
+class TuneReport:
+    """Outcome of tuning a batch of shapes (the ``tune warm`` summary)."""
+
+    requested: int = 0
+    cache_hits: int = 0
+    tuned: int = 0
+    failed: int = 0
+    elapsed_seconds: float = 0.0
+    #: total modeled speedup of tuned plans over the fixed heuristic
+    speedups: List[float] = field(default_factory=list)
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits per requested shape."""
+        if self.requested == 0:
+            return 0.0
+        return self.cache_hits / self.requested
+
+    @property
+    def mean_speedup(self) -> float:
+        """Mean modeled speedup vs the fixed heuristic."""
+        if not self.speedups:
+            return 1.0
+        return sum(self.speedups) / len(self.speedups)
+
+    def render(self) -> str:
+        """One-paragraph summary for the CLI."""
+        return (
+            f"{self.requested} shape(s): {self.cache_hits} cache hit(s) "
+            f"({self.hit_rate:.0%}), {self.tuned} tuned, "
+            f"{self.failed} failed, {self.elapsed_seconds:.2f} s; "
+            f"mean modeled speedup vs heuristic {self.mean_speedup:.2f}x"
+        )
+
+
+class AdaptiveTuner:
+    """Selects and caches the best (tile, packing, partitioning) plan."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        dtype=np.float32,
+        cache: Optional[TuningCache] = None,
+        cache_path: Optional[str] = None,
+        tile_limit: int = 4,
+    ) -> None:
+        self.machine = machine
+        self.dtype = np.dtype(dtype)
+        self.cache = (
+            cache if cache is not None
+            else TuningCache(machine, dtype, path=cache_path)
+        )
+        self.tile_limit = tile_limit
+        self._drivers: Dict[int, ReferenceSmmDriver] = {}
+        self._verifier = KernelVerifier(machine.core)
+        self._verified: Dict[str, bool] = {}
+
+    # -- driver / candidate machinery ----------------------------------
+
+    def driver(self, threads: int = 1) -> ReferenceSmmDriver:
+        """The (memoized) reference driver for one thread count."""
+        drv = self._drivers.get(threads)
+        if drv is None:
+            drv = ReferenceSmmDriver(self.machine, self.dtype,
+                                     threads=threads)
+            self._drivers[threads] = drv
+        return drv
+
+    def tile_candidates(self, packed_b: bool) -> List[KernelSpec]:
+        """Main-tile specs to price for one packing decision."""
+        jit = self.driver(1).jit
+        specs = list(jit.main_candidates(packed_b))
+        if packed_b:
+            seen = {(s.mr, s.nr) for s in specs}
+            for design in candidate_tiles(self.machine.core, self.dtype,
+                                          limit=self.tile_limit):
+                if (design.mr, design.nr) in seen:
+                    continue
+                seen.add((design.mr, design.nr))
+                try:
+                    specs.append(jit.spec_for(design.mr, design.nr))
+                except KernelDesignError:
+                    continue
+        return specs
+
+    def _plan_space(self, m: int, n: int, k: int,
+                    threads: int) -> Iterable[Tuple[KernelSpec, bool, object]]:
+        """(spec, packed_b, factorization) triples to price."""
+        for packed_b in (True, False):
+            for spec in self.tile_candidates(packed_b):
+                if threads == 1:
+                    yield spec, packed_b, None
+                    continue
+                for fact in factorization_candidates(
+                    m, n, threads, spec.mr, spec.nr
+                ):
+                    yield spec, packed_b, fact
+
+    def _kernel_verified(self, spec: KernelSpec) -> bool:
+        """PR-1 static verification of the spec's kernel (memoized)."""
+        cached = self._verified.get(spec.name)
+        if cached is None:
+            try:
+                kernel = self.driver(1).jit.generator.generate(spec)
+                cached = self._verifier.verify(kernel).ok
+            except ReproError:
+                cached = False
+            self._verified[spec.name] = cached
+        return cached
+
+    # -- tuning --------------------------------------------------------
+
+    def heuristic_plan(self, m: int, n: int, k: int,
+                       threads: int = 1) -> TunedPlan:
+        """The fixed-heuristic plan: the driver's own built-in policy."""
+        key = plan_key(m, n, k, self.dtype, threads)
+        driver = self.driver(threads)
+        timing, decision = driver.cost_gemm(key.m, key.n, key.k)
+        spec = self._heuristic_spec(driver, decision)
+        return TunedPlan.from_timing(
+            key, spec, decision.packed_b, decision.factorization,
+            timing, self.machine, self.dtype,
+            verified=self._kernel_verified(spec),
+            source="heuristic",
+            heuristic_cycles=timing.total_cycles,
+        )
+
+    def _heuristic_spec(self, driver, decision) -> KernelSpec:
+        for spec in driver.jit.main_candidates(decision.packed_b):
+            if f"{spec.mr}x{spec.nr}" == decision.kernel_shape:
+                return spec
+        return driver.jit.main_spec
+
+    def tune(self, m: int, n: int, k: int, threads: int = 1,
+             use_cache: bool = True) -> TunedPlan:
+        """The best plan for one problem (cached per shape bucket)."""
+        if use_cache:
+            hit = self.cache.get(m, n, k, threads)
+            if hit is not None:
+                return hit
+        plan = self.search(m, n, k, threads)
+        if use_cache:
+            self.cache.put(plan)
+        return plan
+
+    def search(self, m: int, n: int, k: int, threads: int = 1) -> TunedPlan:
+        """Full candidate search for the shape's bucket (cache bypassed).
+
+        Guarantees: the returned plan's kernel passed the static verifier,
+        and its modeled cycles are <= the fixed heuristic's.
+        """
+        key = plan_key(m, n, k, self.dtype, threads)
+        driver = self.driver(threads)
+        heuristic = self.heuristic_plan(m, n, k, threads)
+
+        best: Optional[Tuple[float, KernelSpec, bool, object, object]] = None
+        for spec, packed_b, fact in self._plan_space(key.m, key.n, key.k,
+                                                     threads):
+            if not self._kernel_verified(spec):
+                continue
+            try:
+                timing, _ = driver.cost_with(
+                    key.m, key.n, key.k, main=spec, packed_b=packed_b,
+                    factorization=fact,
+                )
+            except (KernelDesignError, DriverError):
+                continue
+            cycles = timing.total_cycles
+            if best is None or cycles < best[0]:
+                best = (cycles, spec, packed_b, fact, timing)
+
+        if best is None or best[0] > heuristic.total_cycles:
+            # nothing verified beats (or every candidate failed): fall back
+            # to the heuristic plan, keeping the never-slower guarantee
+            return heuristic
+        _, spec, packed_b, fact, timing = best
+        return TunedPlan.from_timing(
+            key, spec, packed_b, fact, timing, self.machine, self.dtype,
+            verified=True,
+            source="tuned",
+            heuristic_cycles=heuristic.total_cycles,
+        )
+
+    def tune_many(self, shapes: Sequence[Shape], threads: int = 1,
+                  save: bool = True) -> TuneReport:
+        """Tune a batch serially through the cache; see also
+        :func:`repro.tuning.warm.warm_cache` for the process-pool path."""
+        report = TuneReport(requested=len(shapes))
+        start = time.perf_counter()
+        for m, n, k in shapes:
+            before = self.cache.stats.hits
+            try:
+                plan = self.tune(m, n, k, threads=threads)
+            except ReproError:
+                report.failed += 1
+                continue
+            if self.cache.stats.hits > before:
+                report.cache_hits += 1
+            else:
+                report.tuned += 1
+                report.speedups.append(plan.speedup_vs_heuristic)
+        report.elapsed_seconds = time.perf_counter() - start
+        if save and self.cache.dirty:
+            self.cache.save()
+        return report
+
+    # -- execution -----------------------------------------------------
+
+    def execute(self, a: np.ndarray, b: np.ndarray, threads: int = 1):
+        """Run C = A @ B under the tuned plan; returns a GemmResult.
+
+        Numerics go through NumPy exactly like the reference driver; the
+        timing attached to the result is the tuned plan's modeled cost.
+        """
+        m, k = a.shape
+        _, n = b.shape
+        plan = self.tune(m, n, k, threads=threads)
+        driver = self.driver(threads)
+        timing, decision = driver.cost_with(
+            m, n, k, main=plan.spec, packed_b=plan.packed_b,
+            factorization=plan.blis_factorization(),
+        )
+        result = driver.gemm(a, b)
+        result.info["plan"] = plan
+        result.info["decision"] = decision
+        result.timing.kernel_cycles = timing.kernel_cycles
+        result.timing.pack_a_cycles = timing.pack_a_cycles
+        result.timing.pack_b_cycles = timing.pack_b_cycles
+        result.timing.sync_cycles = timing.sync_cycles
+        result.timing.other_cycles = timing.other_cycles
+        result.timing.executed_flops = timing.executed_flops
+        return result
+
+
+def tuned_sweep(tuner: AdaptiveTuner, shapes: Sequence[Shape],
+                threads: int = 1) -> List[Tuple[Shape, TunedPlan]]:
+    """Tune every shape of a sweep; rows for the ``tune sweep`` table.
+
+    The tuner-backed replacement for fixed-heuristic workload sweeps: each
+    shape gets its own (tile, packing, partitioning) plan instead of one
+    policy for the whole grid.
+    """
+    return [
+        ((m, n, k), tuner.tune(m, n, k, threads=threads))
+        for m, n, k in shapes
+    ]

@@ -1,0 +1,160 @@
+"""Parallel tuning-cache warm-up (the ``repro tune warm`` engine).
+
+A full M/N/K sweep warm-up tunes dozens to hundreds of independent shape
+buckets; each bucket's candidate search is CPU-bound (kernel scheduling),
+so the warm-up fans shapes out across a :class:`ProcessPoolExecutor`.
+Workers build one tuner per process (machines are reconstructed by name —
+configs travel as registry keys, not pickles of live model state), tune
+with the cache bypassed, and return plain plan dictionaries; the parent
+merges them into the persistent cache and saves once, atomically.  Any
+pool failure degrades to the serial path — warm-up is an optimization,
+never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..machine import a64fx_like, graviton2_like, phytium2000plus
+from ..util.errors import ConfigError, ReproError
+from .cache import TuningCache
+from .plan import TunedPlan
+from .tuner import AdaptiveTuner, TuneReport
+
+Shape = Tuple[int, int, int]
+
+#: machine factories addressable by name (what travels to pool workers)
+MACHINE_FACTORIES = {
+    "phytium2000plus": phytium2000plus,
+    "graviton2_like": graviton2_like,
+    "a64fx_like": a64fx_like,
+}
+
+
+def machine_by_name(name: str):
+    """Construct a registered machine model by factory name."""
+    try:
+        return MACHINE_FACTORIES[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown machine {name!r}; known: {sorted(MACHINE_FACTORIES)}"
+        ) from None
+
+
+# -- pool worker (module-level so it pickles) --------------------------
+
+_WORKER_TUNER: Optional[AdaptiveTuner] = None
+
+
+def _pool_init(machine_name: str, dtype_name: str) -> None:
+    """Build this worker process's tuner once (no disk cache attached)."""
+    global _WORKER_TUNER
+    machine = machine_by_name(machine_name)
+    _WORKER_TUNER = AdaptiveTuner(
+        machine, np.dtype(dtype_name),
+        cache=TuningCache(machine, np.dtype(dtype_name), path=""),
+    )
+
+
+def _tune_one(job: Tuple[Shape, int]) -> Optional[Dict]:
+    """Tune one shape in a pool worker; returns the plan as a dict."""
+    (m, n, k), threads = job
+    try:
+        return _WORKER_TUNER.tune(m, n, k, threads=threads,
+                                  use_cache=False).to_dict()
+    except ReproError:
+        return None
+
+
+# -- parent-side warm-up ----------------------------------------------
+
+
+def default_jobs(n_shapes: int) -> int:
+    """Worker count: bounded by shapes, cores and a sanity cap."""
+    return max(1, min(n_shapes, os.cpu_count() or 1, 8))
+
+
+def warm_cache(
+    tuner: AdaptiveTuner,
+    shapes: Sequence[Shape],
+    threads: int = 1,
+    jobs: Optional[int] = None,
+    machine_name: Optional[str] = None,
+) -> TuneReport:
+    """Tune every uncached shape, fanning out across a process pool.
+
+    ``machine_name`` must be a :data:`MACHINE_FACTORIES` key for the pool
+    path; when omitted (a bespoke machine config) or when the pool cannot
+    start, the warm-up runs serially in-process instead.
+    """
+    report = TuneReport(requested=len(shapes))
+    start = time.perf_counter()
+
+    pending: List[Shape] = []
+    for m, n, k in shapes:
+        if tuner.cache.get(m, n, k, threads) is not None:
+            report.cache_hits += 1
+        else:
+            pending.append((m, n, k))
+
+    if pending:
+        jobs = default_jobs(len(pending)) if jobs is None else max(1, jobs)
+        plans: List[Optional[TunedPlan]] = []
+        if jobs > 1 and len(pending) > 1 and machine_name is not None:
+            plans = _pool_tune(pending, threads, jobs, machine_name,
+                               str(tuner.dtype))
+        if not plans:  # serial path (requested, unregistered, or pool failed)
+            plans = []
+            for m, n, k in pending:
+                try:
+                    plans.append(tuner.search(m, n, k, threads=threads))
+                except ReproError:
+                    plans.append(None)
+        for plan in plans:
+            if plan is None:
+                report.failed += 1
+                continue
+            tuner.cache.put(plan)
+            report.tuned += 1
+            report.speedups.append(plan.speedup_vs_heuristic)
+
+    if tuner.cache.dirty:
+        tuner.cache.save()
+    report.elapsed_seconds = time.perf_counter() - start
+    return report
+
+
+def _pool_tune(pending: Sequence[Shape], threads: int, jobs: int,
+               machine_name: str, dtype_name: str) -> List[Optional[TunedPlan]]:
+    """Fan the pending shapes out over worker processes.
+
+    Returns [] when the pool cannot run (caller falls back to serial).
+    """
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        # Warm the process-global steady-state/generator caches in the
+        # parent *before* forking: on fork-based platforms every worker
+        # inherits the scheduled main kernels for free, which is where
+        # nearly all of a per-worker warm-up goes.
+        _pool_init(machine_name, dtype_name)
+        first = _tune_one((pending[0], threads))
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)),
+            initializer=_pool_init,
+            initargs=(machine_name, dtype_name),
+        ) as pool:
+            raw = [first] + list(pool.map(
+                _tune_one, [(shape, threads) for shape in pending[1:]],
+            ))
+    except (OSError, ValueError, ImportError, RuntimeError,
+            ConfigError):
+        return []
+    return [
+        TunedPlan.from_dict(entry) if entry is not None else None
+        for entry in raw
+    ]

@@ -133,11 +133,47 @@ def undocumented_members(package_name: str = "repro") -> List[str]:
     return sorted(set(missing))
 
 
-def main() -> int:  # pragma: no cover - thin CLI wrapper
-    """Regenerate ``docs/API.md`` in place."""
+def check(target) -> int:
+    """Fail (non-zero) when docs or docstrings have drifted from the code.
+
+    Two gates, both required by ``make lint``: the committed ``docs/API.md``
+    must byte-match a fresh render, and every public class/function/method
+    must carry a docstring (:func:`undocumented_members` empty).
+    """
+    status = 0
+    fresh = generate_api_reference() + "\n"
+    committed = target.read_text() if target.exists() else ""
+    if committed != fresh:
+        print(f"STALE: {target} does not match generated output; "
+              "run `make docs` (python -m repro.util.apidoc)")
+        status = 1
+    missing = undocumented_members()
+    if missing:
+        print(f"MISSING DOCSTRINGS ({len(missing)}):")
+        for item in missing:
+            print(f"  - {item}")
+        status = 1
+    if status == 0:
+        print(f"ok: {target} is fresh and all public members documented")
+    return status
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin CLI wrapper
+    """Regenerate ``docs/API.md`` in place (or ``--check`` its freshness)."""
+    import argparse
     import pathlib
 
+    parser = argparse.ArgumentParser(prog="repro.util.apidoc")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify docs/API.md is fresh and docstrings complete; "
+             "write nothing",
+    )
+    args = parser.parse_args(argv)
+
     target = pathlib.Path(__file__).resolve().parents[3] / "docs" / "API.md"
+    if args.check:
+        return check(target)
     target.parent.mkdir(exist_ok=True)
     target.write_text(generate_api_reference() + "\n")
     print(f"wrote {target}")

@@ -16,6 +16,7 @@ from .dnn import (
     lstm_cell,
     materialize,
     mlp_layers,
+    tuned_layer_costs,
 )
 from .sweeps import (
     MT_LARGE,
@@ -26,7 +27,9 @@ from .sweeps import (
     fig6_packing_sweeps,
     fig9_kernel_sweeps,
     fig10_mt_sweeps,
+    parse_shape_range,
     table2_ms,
+    tuned_sweep_shapes,
 )
 
 __all__ = [
@@ -38,6 +41,8 @@ __all__ = [
     "fig9_kernel_sweeps",
     "fig10_mt_sweeps",
     "table2_ms",
+    "parse_shape_range",
+    "tuned_sweep_shapes",
     "MT_LARGE",
     "LayerGemm",
     "mlp_layers",
@@ -45,6 +50,7 @@ __all__ = [
     "lstm_cell",
     "im2col_conv_layers",
     "materialize",
+    "tuned_layer_costs",
     "BcsrMatrix",
     "random_bcsr",
     "bcsr_spmm",

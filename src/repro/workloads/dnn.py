@@ -131,3 +131,17 @@ def materialize(
          random_matrix(rng, layer.k, layer.n, dtype))
         for layer in layers
     ]
+
+
+def tuned_layer_costs(layers: List[LayerGemm], tuner, threads: int = 1):
+    """Cost each layer's GEMM under the adaptive tuner's chosen plan.
+
+    ``tuner`` is a :class:`repro.tuning.AdaptiveTuner` (duck-typed to keep
+    this module import-light); returns ``(layer, plan)`` pairs.  This is
+    the tuner-backed path DNN sweeps use instead of one fixed kernel and
+    packing policy for every layer shape.
+    """
+    return [
+        (layer, tuner.tune(layer.m, layer.n, layer.k, threads=threads))
+        for layer in layers
+    ]

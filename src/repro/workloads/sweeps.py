@@ -70,3 +70,43 @@ def fig10_mt_sweeps(step: int = 16, stop: int = 256) -> dict:
 def table2_ms(step: int = 16, stop: int = 256) -> List[int]:
     """Table II's M column: 16..256 step 16."""
     return list(range(step, stop + 1, step))
+
+
+def parse_shape_range(spec: str) -> List[Shape]:
+    """Parse a ``lo:hi[:step]`` range into square SMM shapes.
+
+    The ``repro tune --shapes`` grammar: ``"4:64"`` means every square
+    shape M = N = K from 4 to 64 inclusive; ``"4:64:4"`` strides by 4.
+    """
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(
+            f"shape range must be 'lo:hi' or 'lo:hi:step', got {spec!r}"
+        )
+    try:
+        numbers = [int(p) for p in parts]
+    except ValueError:
+        raise ValueError(f"non-integer shape range {spec!r}") from None
+    lo, hi = numbers[0], numbers[1]
+    step = numbers[2] if len(numbers) == 3 else 1
+    if lo < 1 or hi < lo or step < 1:
+        raise ValueError(f"invalid shape range {spec!r}")
+    return [(s, s, s) for s in range(lo, hi + 1, step)]
+
+
+def tuned_sweep_shapes(kind: str = "square") -> List[Shape]:
+    """The shape grid a tuner-backed sweep covers for one paper figure.
+
+    ``square`` is the Fig. 5(a) grid, ``M``/``N``/``K`` the Fig. 9 kernel
+    sweeps — these feed :func:`repro.tuning.tuned_sweep` so workload
+    sweeps consult the adaptive tuner instead of a fixed heuristic.
+    """
+    grids = {
+        "square": fig5a_square(),
+        "M": fig9_kernel_sweeps()["sweep-M"],
+        "N": fig9_kernel_sweeps()["sweep-N"],
+        "K": fig9_kernel_sweeps()["sweep-K"],
+    }
+    if kind not in grids:
+        raise ValueError(f"unknown sweep kind {kind!r}; known: {sorted(grids)}")
+    return grids[kind]

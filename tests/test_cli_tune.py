@@ -1,0 +1,114 @@
+"""End-to-end tests of the ``repro tune`` CLI subcommands."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def cache_path(tmp_path):
+    return str(tmp_path / "tuning.json")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune"])
+
+    def test_warm_defaults(self):
+        args = build_parser().parse_args(["tune", "warm"])
+        assert args.tune_command == "warm"
+        assert args.shapes == "4:64"
+        assert args.machine == "phytium2000plus"
+        assert args.threads == 1
+
+    def test_query_takes_shape(self):
+        args = build_parser().parse_args(["tune", "query", "8", "16", "24"])
+        assert (args.m, args.n, args.k) == (8, 16, 24)
+
+    def test_rejects_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["tune", "warm", "--machine", "x86_like"]
+            )
+
+
+class TestWarm:
+    def test_populates_cache_then_full_hits(self, cache_path, capsys):
+        assert main(["tune", "warm", "--shapes", "4:12:4",
+                     "--cache", cache_path, "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "3 shape(s): 0 cache hit(s)" in out
+        assert "3 tuned" in out
+        assert os.path.exists(cache_path)
+
+        assert main(["tune", "warm", "--shapes", "4:12:4",
+                     "--cache", cache_path, "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "3 cache hit(s) (100%)" in out
+        assert "0 tuned" in out
+
+    def test_bad_shape_range_exits_2(self, cache_path, capsys):
+        assert main(["tune", "warm", "--shapes", "banana",
+                     "--cache", cache_path]) == 2
+        assert "error" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_renders_plan(self, cache_path, capsys):
+        assert main(["tune", "query", "8", "8", "8",
+                     "--cache", cache_path]) == 0
+        out = capsys.readouterr().out
+        assert "plan 8x8x8:float32:t1" in out
+        assert "packed B" in out
+        assert "vs heuristic" in out
+        assert "verified      : yes" in out
+
+    def test_query_is_persisted(self, cache_path, capsys):
+        main(["tune", "query", "8", "8", "8", "--cache", cache_path])
+        capsys.readouterr()
+        with open(cache_path) as fh:
+            data = json.load(fh)
+        assert "8x8x8:float32:t1" in data["entries"]
+
+    def test_multithreaded_query_shows_factorization(self, cache_path,
+                                                     capsys):
+        assert main(["tune", "query", "64", "64", "64", "--threads", "4",
+                     "--cache", cache_path]) == 0
+        assert "factorization" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_sweep_table(self, cache_path, capsys):
+        assert main(["tune", "sweep", "--shapes", "8:16:8",
+                     "--cache", cache_path]) == 0
+        out = capsys.readouterr().out
+        assert "tuned sweep" in out
+        assert "8x8x8" in out and "16x16x16" in out
+        assert "GFLOPS" in out and "vs fixed" in out
+
+
+class TestExportClear:
+    def test_export_stdout_and_file(self, cache_path, tmp_path, capsys):
+        main(["tune", "query", "8", "8", "8", "--cache", cache_path])
+        capsys.readouterr()
+
+        assert main(["tune", "export", "--cache", cache_path]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["entries"]) == 1
+
+        target = str(tmp_path / "dump.json")
+        assert main(["tune", "export", "--cache", cache_path,
+                     "--output", target]) == 0
+        assert json.load(open(target))["entries"]
+
+    def test_clear_deletes_cache(self, cache_path, capsys):
+        main(["tune", "query", "8", "8", "8", "--cache", cache_path])
+        capsys.readouterr()
+        assert os.path.exists(cache_path)
+        assert main(["tune", "clear", "--cache", cache_path]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert not os.path.exists(cache_path)

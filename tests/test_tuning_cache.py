@@ -1,0 +1,207 @@
+"""Tuning-cache persistence: round-trips, bucketing, invalidation, LRU."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.machine import graviton2_like
+from repro.tuning import (
+    TUNING_SCHEMA_VERSION,
+    AdaptiveTuner,
+    TuningCache,
+    bucket_dim,
+    bucket_shape,
+    machine_fingerprint,
+    plan_key,
+)
+
+
+@pytest.fixture(scope="module")
+def tuner(machine):
+    """One disk-less tuner for plan construction (module-shared)."""
+    return AdaptiveTuner(machine, cache=TuningCache(machine, path=""))
+
+
+@pytest.fixture()
+def cache_path(tmp_path):
+    return str(tmp_path / "tuning.json")
+
+
+class TestBucketing:
+    def test_small_shapes_exact(self):
+        for x in (1, 7, 24, 64):
+            assert bucket_dim(x) == x
+
+    def test_mid_shapes_round_to_16(self):
+        assert bucket_dim(65) == 80
+        assert bucket_dim(100) == 112
+        assert bucket_dim(256) == 256
+
+    def test_large_shapes_round_to_64(self):
+        assert bucket_dim(257) == 320
+        assert bucket_dim(2048) == 2048
+
+    def test_bucket_shape_componentwise(self):
+        assert bucket_shape(24, 100, 300) == (24, 112, 320)
+
+    def test_plan_key_token_includes_threads_and_dtype(self):
+        key = plan_key(24, 100, 100, np.float32, threads=4)
+        assert key.token == "24x112x112:float32:t4"
+
+    def test_rejects_nonpositive(self):
+        from repro.util import ReproError
+
+        with pytest.raises(ReproError):
+            bucket_dim(0)
+
+
+class TestFingerprint:
+    def test_stable_for_same_config(self, machine):
+        assert machine_fingerprint(machine) == machine_fingerprint(machine)
+
+    def test_differs_across_machines(self, machine):
+        assert (machine_fingerprint(machine)
+                != machine_fingerprint(graviton2_like()))
+
+    def test_differs_across_dtypes(self, machine):
+        assert (machine_fingerprint(machine, np.float32)
+                != machine_fingerprint(machine, np.float64))
+
+
+class TestRoundTrip:
+    def test_save_then_reload_hits(self, machine, tuner, cache_path):
+        plan = tuner.search(8, 8, 8)
+        cache = TuningCache(machine, path=cache_path)
+        cache.put(plan)
+        assert cache.dirty
+        cache.save()
+        assert not cache.dirty
+
+        fresh = TuningCache(machine, path=cache_path)
+        assert len(fresh) == 1
+        hit = fresh.get(8, 8, 8)
+        assert hit is not None
+        assert hit.source == "cache"
+        assert hit.key == plan.key
+        assert hit.kernel_shape == plan.kernel_shape
+        assert hit.total_cycles == pytest.approx(plan.total_cycles)
+        assert fresh.stats.hits == 1
+
+    def test_bucketed_lookup_shares_entries(self, machine, tuner, cache_path):
+        plan = tuner.search(24, 100, 100)
+        cache = TuningCache(machine, path=cache_path)
+        cache.put(plan)
+        # 100 and 112 land in the same 16-multiple bucket
+        assert cache.get(24, 112, 112) is not None
+        assert cache.get(24, 100, 100) is not None
+        assert cache.get(24, 64, 64) is None
+
+    def test_memory_only_cache_never_touches_disk(self, machine, tuner):
+        cache = TuningCache(machine, path="")
+        cache.put(tuner.search(8, 8, 8))
+        assert cache.save() == ""
+        assert len(cache) == 1
+
+
+class TestInvalidation:
+    def test_machine_change_discards_file(self, machine, tuner, cache_path):
+        cache = TuningCache(machine, path=cache_path)
+        cache.put(tuner.search(8, 8, 8))
+        cache.save()
+
+        other = TuningCache(graviton2_like(), path=cache_path)
+        assert len(other) == 0
+        assert other.stats.invalidations == 1
+
+    def test_dtype_change_discards_file(self, machine, tuner, cache_path):
+        cache = TuningCache(machine, path=cache_path)
+        cache.put(tuner.search(8, 8, 8))
+        cache.save()
+
+        other = TuningCache(machine, np.float64, path=cache_path)
+        assert len(other) == 0
+        assert other.stats.invalidations == 1
+
+    def test_schema_bump_discards_file(self, machine, tuner, cache_path):
+        cache = TuningCache(machine, path=cache_path)
+        cache.put(tuner.search(8, 8, 8))
+        cache.save()
+        with open(cache_path) as fh:
+            data = json.load(fh)
+        data["schema"] = TUNING_SCHEMA_VERSION + 1
+        with open(cache_path, "w") as fh:
+            json.dump(data, fh)
+
+        fresh = TuningCache(machine, path=cache_path)
+        assert len(fresh) == 0
+        assert fresh.stats.invalidations == 1
+
+    def test_corrupt_file_discarded_not_fatal(self, machine, cache_path):
+        with open(cache_path, "w") as fh:
+            fh.write("{not json")
+        cache = TuningCache(machine, path=cache_path)
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+    def test_corrupt_entry_skipped_others_kept(self, machine, tuner,
+                                               cache_path):
+        cache = TuningCache(machine, path=cache_path)
+        cache.put(tuner.search(8, 8, 8))
+        cache.put(tuner.search(12, 12, 12))
+        cache.save()
+        with open(cache_path) as fh:
+            data = json.load(fh)
+        first = sorted(data["entries"])[0]
+        del data["entries"][first]["spec"]
+        with open(cache_path, "w") as fh:
+            json.dump(data, fh)
+
+        fresh = TuningCache(machine, path=cache_path)
+        assert len(fresh) == 1
+
+    def test_clear_removes_file(self, machine, tuner, cache_path):
+        import os
+
+        cache = TuningCache(machine, path=cache_path)
+        cache.put(tuner.search(8, 8, 8))
+        cache.save()
+        assert os.path.exists(cache_path)
+        cache.clear()
+        assert not os.path.exists(cache_path)
+        assert len(cache) == 0
+
+
+class TestLru:
+    def test_capacity_evicts_oldest(self, machine, tuner):
+        cache = TuningCache(machine, path="", capacity=2)
+        p1 = tuner.search(4, 4, 4)
+        p2 = tuner.search(8, 8, 8)
+        p3 = tuner.search(12, 12, 12)
+        cache.put(p1)
+        cache.put(p2)
+        cache.get(4, 4, 4)  # touch p1 so p2 is now oldest
+        cache.put(p3)
+        assert len(cache) == 2
+        assert cache.get(8, 8, 8) is None
+        assert cache.get(4, 4, 4) is not None
+        assert cache.get(12, 12, 12) is not None
+
+    def test_stats_track_hits_and_misses(self, machine, tuner):
+        cache = TuningCache(machine, path="")
+        cache.put(tuner.search(8, 8, 8))
+        cache.get(8, 8, 8)
+        cache.get(9, 9, 9)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_summary_and_export(self, machine, tuner):
+        cache = TuningCache(machine, path="")
+        cache.put(tuner.search(8, 8, 8))
+        summary = cache.summary()
+        assert summary["entries"] == 1
+        assert summary["fingerprint"] == cache.fingerprint
+        exported = json.loads(cache.export_json())
+        assert exported["schema"] == TUNING_SCHEMA_VERSION
+        assert len(exported["entries"]) == 1

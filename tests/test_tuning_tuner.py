@@ -1,0 +1,146 @@
+"""Adaptive-tuner behavior: optimality, the never-slower guarantee,
+verification gating, and tuned execution."""
+
+import numpy as np
+import pytest
+
+from repro.tuning import AdaptiveTuner, TuningCache, plan_key, tuned_sweep
+from repro.util import make_rng
+
+#: the small grid the acceptance criteria quantify over
+GRID = [(4, 4, 4), (8, 8, 8), (12, 24, 16), (24, 24, 24),
+        (40, 8, 100), (64, 64, 64)]
+
+
+@pytest.fixture(scope="module")
+def tuner(machine):
+    """Disk-less tuner shared across the module (search memos are hot)."""
+    return AdaptiveTuner(machine, cache=TuningCache(machine, path=""))
+
+
+def exhaustive_best_cycles(tuner, m, n, k, threads=1):
+    """Brute-force the tuner's own candidate space; the modeled optimum."""
+    key = plan_key(m, n, k, tuner.dtype, threads)
+    driver = tuner.driver(threads)
+    best = tuner.heuristic_plan(m, n, k, threads).total_cycles
+    for spec, packed_b, fact in tuner._plan_space(key.m, key.n, key.k,
+                                                  threads):
+        if not tuner._kernel_verified(spec):
+            continue
+        timing, _ = driver.cost_with(key.m, key.n, key.k, main=spec,
+                                     packed_b=packed_b, factorization=fact)
+        best = min(best, timing.total_cycles)
+    return best
+
+
+class TestSearchOptimality:
+    @pytest.mark.parametrize("shape", GRID)
+    def test_matches_exhaustive_search(self, tuner, shape):
+        m, n, k = shape
+        plan = tuner.search(m, n, k)
+        assert plan.total_cycles == pytest.approx(
+            exhaustive_best_cycles(tuner, m, n, k)
+        )
+
+    def test_matches_exhaustive_search_multithreaded(self, tuner):
+        plan = tuner.search(64, 64, 64, threads=4)
+        assert plan.total_cycles == pytest.approx(
+            exhaustive_best_cycles(tuner, 64, 64, 64, threads=4)
+        )
+
+
+class TestNeverSlower:
+    @pytest.mark.parametrize("shape", GRID)
+    def test_tuned_plan_at_most_heuristic_cycles(self, tuner, shape):
+        m, n, k = shape
+        plan = tuner.search(m, n, k)
+        heuristic = tuner.heuristic_plan(m, n, k)
+        assert plan.total_cycles <= heuristic.total_cycles
+        assert plan.speedup_vs_heuristic >= 1.0
+
+    def test_never_slower_multithreaded(self, tuner):
+        for threads in (2, 4, 16):
+            plan = tuner.search(48, 2048, 48, threads=threads)
+            heuristic = tuner.heuristic_plan(48, 2048, 48, threads=threads)
+            assert plan.total_cycles <= heuristic.total_cycles
+
+    def test_heuristic_fallback_keeps_guarantee(self, tuner, monkeypatch):
+        # with every candidate rejected by the verifier the tuner must
+        # return the heuristic plan rather than nothing
+        monkeypatch.setattr(tuner, "_kernel_verified", lambda spec: False)
+        plan = tuner.search(8, 8, 8)
+        assert plan.source == "heuristic"
+        assert plan.total_cycles == pytest.approx(plan.heuristic_cycles)
+
+
+class TestVerificationGate:
+    def test_selected_kernel_passes_static_verifier(self, tuner):
+        from repro.verify import KernelVerifier
+
+        plan = tuner.search(24, 24, 24)
+        assert plan.verified
+        kernel = tuner.driver(1).jit.generator.generate(plan.spec)
+        assert KernelVerifier(tuner.machine.core).verify(kernel).ok
+
+
+class TestPlanShape:
+    def test_single_thread_has_no_factorization(self, tuner):
+        assert tuner.search(8, 8, 8).factorization is None
+
+    def test_multithreaded_factorization_covers_threads(self, tuner):
+        plan = tuner.search(64, 64, 64, threads=8)
+        assert plan.factorization is not None
+        jc, ic, jr, ir = plan.factorization
+        assert jc * ic * jr * ir == 8
+
+    def test_keys_are_bucketed(self, tuner):
+        plan = tuner.search(24, 100, 100)
+        assert (plan.key.m, plan.key.n, plan.key.k) == (24, 112, 112)
+
+
+class TestCachedTuning:
+    def test_tune_hits_cache_second_time(self, machine):
+        tuner = AdaptiveTuner(machine, cache=TuningCache(machine, path=""))
+        first = tuner.tune(8, 8, 8)
+        before = tuner.cache.stats.hits
+        second = tuner.tune(8, 8, 8)
+        assert tuner.cache.stats.hits == before + 1
+        assert second.total_cycles == pytest.approx(first.total_cycles)
+
+    def test_tune_many_reports_hits_and_speedups(self, machine):
+        tuner = AdaptiveTuner(machine, cache=TuningCache(machine, path=""))
+        shapes = [(4, 4, 4), (8, 8, 8)]
+        report = tuner.tune_many(shapes)
+        assert (report.requested, report.tuned, report.cache_hits) == (2, 2, 0)
+        assert report.mean_speedup >= 1.0
+
+        again = tuner.tune_many(shapes)
+        assert again.cache_hits == 2
+        assert again.hit_rate == pytest.approx(1.0)
+
+    def test_tuned_sweep_covers_grid(self, tuner):
+        rows = tuned_sweep(tuner, GRID)
+        assert [shape for shape, _ in rows] == GRID
+        assert all(plan.total_cycles > 0 for _, plan in rows)
+
+
+class TestExecution:
+    def test_execute_is_numerically_exact(self, tuner):
+        rng = make_rng()
+        a = rng.standard_normal((24, 16)).astype(np.float32)
+        b = rng.standard_normal((16, 24)).astype(np.float32)
+        result = tuner.execute(a, b)
+        np.testing.assert_allclose(result.c, a.astype(np.float64)
+                                   @ b.astype(np.float64),
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_execute_attaches_plan_and_tuned_timing(self, tuner):
+        rng = make_rng()
+        a = rng.standard_normal((24, 24)).astype(np.float32)
+        b = rng.standard_normal((24, 24)).astype(np.float32)
+        result = tuner.execute(a, b)
+        plan = result.info["plan"]
+        assert plan.key == plan_key(24, 24, 24, tuner.dtype, 1)
+        assert result.timing.total_cycles == pytest.approx(
+            plan.total_cycles, rel=1e-6
+        )
