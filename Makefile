@@ -2,7 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench examples docs report verify check all clean
+.PHONY: install test lint bench bench-smoke examples docs report verify check all clean
+
+# one fast representative per benchmarks/test_fig*.py (the CI smoke set);
+# --benchmark-disable runs each figure pipeline once instead of timing it
+BENCH_SMOKE = \
+	benchmarks/test_fig5_single_thread.py::test_fig5b_small_m \
+	benchmarks/test_fig6_packing_overhead.py::test_fig6_packing_overhead \
+	benchmarks/test_fig7_microkernel_schedule.py::test_fig7_schedule_analysis \
+	benchmarks/test_fig8_edge_packing.py::test_fig8_edge_packing \
+	benchmarks/test_fig9_kernel_efficiency.py::test_fig9_kernel_efficiency \
+	benchmarks/test_fig10_multithread.py::test_fig10_multithread
 
 install:
 	pip install -e .
@@ -17,6 +27,9 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	$(PYTHON) -m pytest $(BENCH_SMOKE) --benchmark-disable -q
 
 examples:
 	$(PYTHON) examples/quickstart.py
@@ -35,7 +48,9 @@ report:
 verify:
 	$(PYTHON) -m repro verify
 
-check: test bench
+# the CI-style gate: full tier-1 tests (which run lint first) plus one
+# smoke pass through every figure benchmark
+check: test bench-smoke
 
 all: install check docs report
 

@@ -46,11 +46,19 @@ from .machine import (
     phytium2000plus,
 )
 from .parallel import MultithreadedGemm
-from .timing import GemmTiming, gemm_flops, p2c
+from .plan import (
+    ENGINE,
+    Engine,
+    ExecutionPlan,
+    RecordingTraceSink,
+    TraceEvent,
+    TraceSink,
+)
+from .timing import GemmTiming, gemm_flops, p2c, timing_from_trace
 from .tuning import AdaptiveTuner, TunedPlan, TuningCache, warm_cache
 from .util import DEFAULT_SEED, ReproError, make_rng, random_matrix
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -77,10 +85,18 @@ __all__ = [
     "SmmDecision",
     "BatchedSmm",
     "BatchResult",
+    # the execution-plan IR and traced pricing engine
+    "ExecutionPlan",
+    "Engine",
+    "ENGINE",
+    "TraceSink",
+    "TraceEvent",
+    "RecordingTraceSink",
     # timing
     "GemmTiming",
     "gemm_flops",
     "p2c",
+    "timing_from_trace",
     # input-aware tuning
     "AdaptiveTuner",
     "TunedPlan",

@@ -1,13 +1,17 @@
 """GEMM drivers modeling the four libraries the paper evaluates."""
 
 from .base import (
+    ANALYZER_CACHE_MAX,
+    GEMM_INFO_KEYS,
     BlockingParams,
     GemmResult,
     KernelCostModel,
     default_blocking,
     make_cache_model,
     quantize_penalty,
+    result_info,
     shared_analyzer,
+    shared_analyzer_cache_info,
     shared_generator,
     validate_gemm_operands,
 )
@@ -48,13 +52,17 @@ def make_driver(library: str, machine, dtype=None, **kwargs):
 
 
 __all__ = [
+    "ANALYZER_CACHE_MAX",
+    "GEMM_INFO_KEYS",
     "BlockingParams",
     "GemmResult",
     "KernelCostModel",
     "default_blocking",
     "make_cache_model",
     "quantize_penalty",
+    "result_info",
     "shared_analyzer",
+    "shared_analyzer_cache_info",
     "shared_generator",
     "validate_gemm_operands",
     "GotoGemmDriver",

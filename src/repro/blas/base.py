@@ -14,6 +14,7 @@ steady-state analyses are cached across drivers and experiments.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -29,7 +30,15 @@ from ..util.errors import DriverError
 from ..util.validation import check_positive_int
 
 _GENERATOR = MicroKernelGenerator()
-_ANALYZERS: Dict[str, SteadyStateAnalyzer] = {}
+
+#: LRU bound of the shared-analyzer cache: analyzers are per *core
+#: config*, and even machine-sweep experiments touch only a handful of
+#: distinct cores at a time, so a small bound keeps sweeps from growing
+#: the process footprint without ever evicting a hot entry.
+ANALYZER_CACHE_MAX = 8
+
+_ANALYZERS: "OrderedDict[str, SteadyStateAnalyzer]" = OrderedDict()
+_ANALYZER_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def shared_generator() -> MicroKernelGenerator:
@@ -42,14 +51,75 @@ def shared_analyzer(machine: MachineConfig) -> SteadyStateAnalyzer:
 
     Keyed by the core's *value* (its dataclass repr), not object identity:
     id-based keys alias when a machine object is garbage collected and a
-    different one reuses its address.
+    different one reuses its address.  Bounded as a small LRU
+    (:data:`ANALYZER_CACHE_MAX` entries) so machine sweeps over many core
+    variants cannot grow the process unboundedly; see
+    :func:`shared_analyzer_cache_info`.
     """
     key = repr(machine.core)
     analyzer = _ANALYZERS.get(key)
-    if analyzer is None:
-        analyzer = SteadyStateAnalyzer(machine.core)
-        _ANALYZERS[key] = analyzer
+    if analyzer is not None:
+        _ANALYZERS.move_to_end(key)
+        _ANALYZER_STATS["hits"] += 1
+        return analyzer
+    _ANALYZER_STATS["misses"] += 1
+    analyzer = SteadyStateAnalyzer(machine.core)
+    _ANALYZERS[key] = analyzer
+    while len(_ANALYZERS) > ANALYZER_CACHE_MAX:
+        _ANALYZERS.popitem(last=False)
+        _ANALYZER_STATS["evictions"] += 1
     return analyzer
+
+
+def shared_analyzer_cache_info() -> Dict[str, int]:
+    """Shared-analyzer cache statistics (like the other shared caches).
+
+    Returns ``entries`` / ``maxsize`` / ``hits`` / ``misses`` /
+    ``evictions`` counts for the process-wide analyzer LRU.
+    """
+    return {
+        "entries": len(_ANALYZERS),
+        "maxsize": ANALYZER_CACHE_MAX,
+        "hits": _ANALYZER_STATS["hits"],
+        "misses": _ANALYZER_STATS["misses"],
+        "evictions": _ANALYZER_STATS["evictions"],
+    }
+
+
+#: The canonical ``GemmResult.info`` vocabulary every driver emits.
+#:
+#: ============== =====================================================
+#: ``library``    library/driver name string (e.g. ``"openblas"``)
+#: ``threads``    thread count the timing models (int, >= 1)
+#: ``kernel_shape`` main micro-kernel tile as ``"MRxNR"`` (e.g. ``"8x12"``)
+#: ``packed_b``   whether B was packed for the kernels (bool)
+#: ============== =====================================================
+#:
+#: Driver-specific extras ride alongside under stable names:
+#: ``execution_plan`` (the lowered :class:`~repro.plan.ir.ExecutionPlan`),
+#: ``tile_plan`` (catalog tile statistics), ``blocking``, ``decision``,
+#: ``jit_stats``, ``scheme``/``factorization``/``grid_chunks``/
+#: ``chunks_nonzero``/``max_chunk`` (multithreaded schemes), ``ps``/
+#: ``conversion_charged`` (BLASFEO), ``tuned_plan`` (the adaptive tuner).
+GEMM_INFO_KEYS = ("library", "threads", "kernel_shape", "packed_b")
+
+
+def result_info(
+    library: str,
+    threads: int,
+    kernel_shape: str,
+    packed_b: bool,
+    **extras: object,
+) -> Dict[str, object]:
+    """Build a ``GemmResult.info`` dict with the canonical keys first."""
+    info: Dict[str, object] = {
+        "library": library,
+        "threads": threads,
+        "kernel_shape": kernel_shape,
+        "packed_b": packed_b,
+    }
+    info.update(extras)
+    return info
 
 
 def quantize_penalty(x: float, step: float = 0.05) -> float:

@@ -22,15 +22,15 @@ import numpy as np
 
 from ..kernels.catalog import blasfeo_catalog
 from ..machine.config import MachineConfig
-from ..memlayout.panelmajor import conversion_element_moves, to_panel_major
+from ..memlayout.panelmajor import to_panel_major
 from ..packing.cost import PackingCostModel
 from ..timing.breakdown import GemmTiming
-from ..timing.models import gemm_flops
 from ..util.errors import DriverError
 from .base import (
     GemmResult,
     KernelCostModel,
     make_cache_model,
+    result_info,
     validate_gemm_operands,
 )
 
@@ -85,22 +85,9 @@ class BlasfeoGemmDriver:
             raise DriverError(
                 f"driver configured for {self.dtype}, operands are {a.dtype}"
             )
-        itemsize = self.dtype.itemsize
-        timing = GemmTiming(useful_flops=gemm_flops(m, n, k))
-
-        # format conversion (application-side; optionally charged)
+        # format conversion (application-side; charged to the plan's
+        # 'other' bucket only when include_conversion is set)
         pm_a = to_panel_major(np.asarray(a), self.ps)
-        if self.include_conversion:
-            moves_a = conversion_element_moves(m, k, self.ps)
-            cycles_a, _ = self.packing_cost.pack_cycles(
-                m, k, itemsize,
-                source_contiguous=False,
-                source_resident="l2" if self.warm else "mem",
-                padded_elements=moves_a,
-            )
-            # B stays column-major (its panels are the kernel's B slivers);
-            # conversion only applies to A in BLASFEO's sgemm_nn.
-            timing.other_cycles += cycles_a
 
         # ---- functional compute from the panel-major buffer ----
         # the zero-padded tail panel participates in the multiply exactly
@@ -111,56 +98,29 @@ class BlasfeoGemmDriver:
             out += beta * c
         out += alpha * c_pad[:m, :]
 
-        # ---- cost: one flat pass of micro-kernels over the M x N grid ----
-        resident = self._residency(m, n, k, itemsize)
-        phase = self.cache_model.kernel_phase(
-            m, n, k, self.catalog.mr, self.catalog.nr, itemsize,
-            a_resident=resident,
-            b_resident=resident,
-            simd_lanes=self.kernel_cost.lanes,
+        plan = self.plan_gemm(m, n, k)
+        timing = plan.price()
+        info = result_info(
+            library=self.name,
+            threads=1,
+            kernel_shape=f"{self.catalog.mr}x{self.catalog.nr}",
+            packed_b=False,  # panel-major operands need no packing step
+            ps=self.ps,
+            conversion_charged=self.include_conversion,
+            tile_plan=self.kernel_cost.plan_stats(self.catalog, m, n),
+            execution_plan=plan,
         )
-        cycles, executed = self.kernel_cost.gebp_kernel_cycles(
-            self.catalog, m, n, k, phase=phase, cache=self.cache_model
-        )
-        timing.kernel_cycles += cycles
-        timing.executed_flops += executed
-
-        info = {
-            "library": self.name,
-            "ps": self.ps,
-            "conversion_charged": self.include_conversion,
-            "plan": self.kernel_cost.plan_stats(self.catalog, m, n),
-        }
         return GemmResult(c=out, timing=timing, info=info)
+
+    def plan_gemm(self, m: int, n: int, k: int):
+        """Lower one SMM call to an ExecutionPlan (flat kernel pass)."""
+        from ..plan.lower import lower_blasfeo
+
+        return lower_blasfeo(self, m, n, k)
 
     def cost_gemm(self, m: int, n: int, k: int) -> GemmTiming:
         """Cycle accounting only (no operands); mirrors :meth:`gemm`."""
-        if m <= 0 or n <= 0 or k <= 0:
-            raise DriverError(f"invalid GEMM shape {m}x{n}x{k}")
-        itemsize = self.dtype.itemsize
-        timing = GemmTiming(useful_flops=gemm_flops(m, n, k))
-        if self.include_conversion:
-            moves_a = conversion_element_moves(m, k, self.ps)
-            cycles_a, _ = self.packing_cost.pack_cycles(
-                m, k, itemsize,
-                source_contiguous=False,
-                source_resident="l2" if self.warm else "mem",
-                padded_elements=moves_a,
-            )
-            timing.other_cycles += cycles_a
-        resident = self._residency(m, n, k, itemsize)
-        phase = self.cache_model.kernel_phase(
-            m, n, k, self.catalog.mr, self.catalog.nr, itemsize,
-            a_resident=resident,
-            b_resident=resident,
-            simd_lanes=self.kernel_cost.lanes,
-        )
-        cycles, executed = self.kernel_cost.gebp_kernel_cycles(
-            self.catalog, m, n, k, phase=phase, cache=self.cache_model
-        )
-        timing.kernel_cycles += cycles
-        timing.executed_flops += executed
-        return timing
+        return self.plan_gemm(m, n, k).price()
 
     def _residency(self, m: int, n: int, k: int, itemsize: int) -> str:
         if not self.warm:

@@ -22,7 +22,6 @@ from ..machine.config import MachineConfig
 from ..packing.cost import PackingCostModel
 from ..packing.pack import pack_a, pack_b
 from ..timing.breakdown import GemmTiming
-from ..timing.models import gemm_flops
 from ..util.errors import DriverError
 from .base import (
     BlockingParams,
@@ -30,6 +29,7 @@ from .base import (
     KernelCostModel,
     default_blocking,
     make_cache_model,
+    result_info,
     validate_gemm_operands,
 )
 
@@ -137,15 +137,31 @@ class GotoGemmDriver:
                         ncb = min(blocking.nc, n - jj)
                         run_gebp(ii, mcb, jj, ncb, kk, kcb)
 
-        timing = self.cost_gemm(m, n, k)
-        info = {
-            "library": self.name,
-            "blocking": blocking,
-            "plan": self.kernel_cost.plan_stats(
+        plan = self.plan_gemm(m, n, k)
+        timing = plan.price()
+        info = result_info(
+            library=self.name,
+            threads=1,
+            kernel_shape=f"{catalog.mr}x{catalog.nr}",
+            packed_b=True,  # the Goto structure always packs both operands
+            blocking=blocking,
+            tile_plan=self.kernel_cost.plan_stats(
                 catalog, min(m, blocking.mc), min(n, blocking.nc)
             ),
-        }
+            execution_plan=plan,
+        )
         return GemmResult(c=out, timing=timing, info=info)
+
+    def plan_gemm(self, m: int, n: int, k: int, cache_model=None):
+        """Lower one (m x n x k) execution to an ExecutionPlan.
+
+        ``cache_model`` overrides the driver's single-core cache situation —
+        the multithreaded executor passes one configured with L2 sharing and
+        NUMA remote fractions to lower per-thread sub-problems.
+        """
+        from ..plan.lower import lower_goto
+
+        return lower_goto(self, m, n, k, cache_model=cache_model)
 
     def cost_gemm(
         self,
@@ -156,83 +172,11 @@ class GotoGemmDriver:
     ) -> GemmTiming:
         """Cycle accounting of one (m x n x k) execution, no data movement.
 
-        ``cache_model`` overrides the driver's single-core cache situation —
-        the multithreaded executor passes one configured with L2 sharing and
-        NUMA remote fractions to cost per-thread sub-problems.
+        Lowers to an :class:`~repro.plan.ir.ExecutionPlan` and prices it
+        with the shared engine (pass a sink to
+        :meth:`~repro.plan.ir.ExecutionPlan.price` for a trace).
         """
-        if m <= 0 or n <= 0 or k <= 0:
-            raise DriverError(f"invalid GEMM shape {m}x{n}x{k}")
-        cache = cache_model if cache_model is not None else self.cache_model
-        blocking = self.blocking
-        catalog = self.catalog
-        itemsize = self.dtype.itemsize
-        timing = GemmTiming(useful_flops=gemm_flops(m, n, k))
-        source_res = self._source_residency(m, n, k, itemsize, cache)
-
-        def pack_b_cost(kcb: int, ncb: int) -> float:
-            cycles, _ = self.packing_cost.pack_cycles(
-                kcb, ncb, itemsize,
-                source_contiguous=self.config.pack_b_contiguous,
-                source_resident=source_res,
-                padded_elements=kcb * _round_up(ncb, catalog.nr),
-                cache_model=cache,
-            )
-            return cycles
-
-        def pack_a_cost(mcb: int, kcb: int) -> float:
-            cycles, _ = self.packing_cost.pack_cycles(
-                mcb, kcb, itemsize,
-                source_contiguous=self.config.pack_a_contiguous,
-                source_resident=source_res,
-                padded_elements=_round_up(mcb, catalog.mr) * kcb,
-                cache_model=cache,
-            )
-            return cycles
-
-        def gebp_cost(mcb: int, ncb: int, kcb: int):
-            tiny = self.config.warm and (
-                (mcb * kcb + kcb * ncb + mcb * ncb) * itemsize
-                <= 0.75 * self.machine.l1d.size_bytes
-            )
-            phase = cache.kernel_phase(
-                mcb, ncb, kcb, catalog.mr, catalog.nr, itemsize,
-                a_resident="l1" if tiny else "l2",
-                b_resident="l1" if tiny else self._packed_b_residency(
-                    kcb, ncb, itemsize, cache),
-                simd_lanes=self.kernel_cost.lanes,
-            )
-            return self.kernel_cost.gebp_kernel_cycles(
-                catalog, mcb, ncb, kcb, phase=phase, cache=cache
-            )
-
-        if self.config.outer_loop == "n":
-            # Goto order: pack B once per (jj, kk); A per (jj, kk, ii)
-            for jj in range(0, n, blocking.nc):
-                ncb = min(blocking.nc, n - jj)
-                for kk in range(0, k, blocking.kc):
-                    kcb = min(blocking.kc, k - kk)
-                    timing.pack_b_cycles += pack_b_cost(kcb, ncb)
-                    for ii in range(0, m, blocking.mc):
-                        mcb = min(blocking.mc, m - ii)
-                        timing.pack_a_cycles += pack_a_cost(mcb, kcb)
-                        cycles, executed = gebp_cost(mcb, ncb, kcb)
-                        timing.kernel_cycles += cycles
-                        timing.executed_flops += executed
-        else:
-            # Eigen order: outermost over M; A packed per (ii, kk), B
-            # re-packed per (ii, kk, jj) panel
-            for ii in range(0, m, blocking.mc):
-                mcb = min(blocking.mc, m - ii)
-                for kk in range(0, k, blocking.kc):
-                    kcb = min(blocking.kc, k - kk)
-                    timing.pack_a_cycles += pack_a_cost(mcb, kcb)
-                    for jj in range(0, n, blocking.nc):
-                        ncb = min(blocking.nc, n - jj)
-                        timing.pack_b_cycles += pack_b_cost(kcb, ncb)
-                        cycles, executed = gebp_cost(mcb, ncb, kcb)
-                        timing.kernel_cycles += cycles
-                        timing.executed_flops += executed
-        return timing
+        return self.plan_gemm(m, n, k, cache_model=cache_model).price()
 
     # -------------------------------------------------------------------
 
@@ -256,7 +200,3 @@ class GotoGemmDriver:
         if kc * nc * itemsize <= 0.5 * cache.effective_l2_bytes:
             return "l2"
         return "mem"
-
-
-def _round_up(value: int, base: int) -> int:
-    return ((value + base - 1) // base) * base

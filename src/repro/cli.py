@@ -125,6 +125,25 @@ def build_parser() -> argparse.ArgumentParser:
     gemm.add_argument("--lib", choices=_LIBS, default="reference")
     gemm.add_argument("--threads", type=int, default=1)
 
+    trace = sub.add_parser(
+        "trace", help="dump one GEMM's execution plan and event trace"
+    )
+    trace.add_argument("m", type=int)
+    trace.add_argument("n", type=int)
+    trace.add_argument("k", type=int)
+    trace.add_argument("--lib", choices=_LIBS + ("reference-fused",),
+                       default="reference",
+                       help="driver to lower (reference-fused = "
+                       "reference with fused B packing)")
+    trace.add_argument("--threads", type=int, default=1)
+    trace.add_argument("--tuned", action="store_true",
+                       help="trace the adaptive tuner's plan for the "
+                       "shape instead of the driver's heuristic plan "
+                       "(reference driver only)")
+    trace.add_argument("--json", default="", metavar="PATH",
+                       help="write the JSON trace to PATH "
+                       "('-' = raw JSON on stdout)")
+
     report = sub.add_parser(
         "report", help="generate the full markdown report"
     )
@@ -186,6 +205,90 @@ def _run_gemm(machine, args) -> str:
     if extra:
         lines.append(f"  {extra}")
     return "\n".join(lines)
+
+
+def _trace_plan(machine, args):
+    """Lower the requested driver/shape to an ExecutionPlan."""
+    if args.tuned:
+        if not args.lib.startswith("reference"):
+            raise SystemExit(
+                "error: --tuned traces the reference driver "
+                "(the tuner's execution backend); drop --lib or use "
+                "--lib reference"
+            )
+        from .tuning import AdaptiveTuner
+
+        return AdaptiveTuner(machine).plan_execution(
+            args.m, args.n, args.k, threads=args.threads
+        )
+    if args.lib.startswith("reference"):
+        driver = ReferenceSmmDriver(
+            machine, threads=args.threads,
+            fused_packing=(args.lib == "reference-fused"),
+        )
+        return driver.plan_gemm(args.m, args.n, args.k)
+    if args.threads > 1:
+        mt = MultithreadedGemm(machine, args.lib, threads=args.threads)
+        return mt.plan_gemm(args.m, args.n, args.k)
+    return make_driver(args.lib, machine).plan_gemm(args.m, args.n, args.k)
+
+
+def _run_trace(machine, args) -> tuple:
+    """The ``repro trace`` command body: (report text, exit code)."""
+    import json
+
+    from .pipeline.diagnose import summarize_trace
+    from .plan import RecordingTraceSink
+    from .timing.breakdown import timing_from_trace
+
+    plan = _trace_plan(machine, args)
+    sink = RecordingTraceSink()
+    timing = plan.price(sink=sink)
+
+    # reconciliation: replaying the trace's phase events must rebuild the
+    # priced buckets bit for bit (the golden-parity property, per trace)
+    replayed = timing_from_trace(sink.events)
+    reconciled = replayed.as_dict() == timing.as_dict()
+
+    dump = plan.to_dict()
+    payload = {
+        "meta": dump["meta"],
+        "ops": dump["ops"],
+        "plan": dump["tree"],
+        "timing": timing.as_dict(),
+        "events": [event.to_dict() for event in sink.events],
+        "reconciled": reconciled,
+    }
+    dumped = json.dumps(payload, indent=2, sort_keys=True)
+    if args.json == "-":
+        return dumped, 0 if reconciled else 1
+
+    bp = timing.breakdown_percent()
+    lines = [
+        f"{args.lib} GEMM {args.m}x{args.n}x{args.k}, "
+        f"{args.threads} thread(s) — execution plan "
+        f"({plan.count_ops()} node(s)):",
+        plan.render_tree(),
+        "",
+        f"  cycles        : {timing.total_cycles:,.0f}",
+        f"  GFLOPS        : {timing.gflops(machine):.2f}",
+        f"  breakdown     : kernel {bp['kernel']:.1f}%  "
+        f"packA {bp['pack_a']:.1f}%  packB {bp['pack_b']:.1f}%  "
+        f"sync {bp['sync']:.1f}%  other {bp['other']:.1f}%",
+        "",
+        summarize_trace(sink.events).render(),
+        "",
+        "trace reconciliation: "
+        + ("OK (event sums match the priced timing bit for bit)"
+           if reconciled else
+           "FAIL (event sums do not rebuild the priced timing)"),
+    ]
+    if args.json:
+        import pathlib
+
+        pathlib.Path(args.json).write_text(dumped + "\n")
+        lines.append(f"wrote {args.json}")
+    return "\n".join(lines), 0 if reconciled else 1
 
 
 def _lint_kernels(machine) -> List:
@@ -412,6 +515,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         out.append(analysis.table2(machine).render())
     elif args.command == "gemm":
         out.append(_run_gemm(machine, args))
+    elif args.command == "trace":
+        text, code = _run_trace(machine, args)
+        print(text)
+        return code
     elif args.command == "kernel":
         from .blas import shared_analyzer, shared_generator
         from .kernels import KernelSpec

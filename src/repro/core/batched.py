@@ -61,6 +61,24 @@ class BatchedSmm:
         self.machine = machine
         self.dtype = np.dtype(dtype)
 
+    def plan_batch(self, shapes: Sequence[Tuple[int, int, int]]):
+        """Lower a batch of (m, n, k) shapes to one merged ExecutionPlan.
+
+        The plan's merge root sums the per-problem buckets exactly like
+        folding :meth:`~repro.timing.breakdown.GemmTiming.merged_with`
+        over the individual timings, so ``plan_batch(shapes).price()``
+        matches the timing :meth:`run` would report for those shapes.
+        """
+        if not shapes:
+            raise DriverError("empty batch")
+        from ..plan.lower import lower_batch
+
+        return lower_batch(self.driver, shapes)
+
+    def cost_batch(self, shapes: Sequence[Tuple[int, int, int]]) -> GemmTiming:
+        """Aggregate cycle accounting for a batch (no operands)."""
+        return self.plan_batch(shapes).price()
+
     def run(
         self,
         pairs: Iterable[Tuple[np.ndarray, np.ndarray]],

@@ -28,19 +28,14 @@ import numpy as np
 from ..blas.base import (
     GemmResult,
     make_cache_model,
+    result_info,
     shared_analyzer,
     validate_gemm_operands,
 )
 from ..kernels.jit import JitKernelFactory
 from ..machine.config import MachineConfig
 from ..packing.cost import PackingCostModel
-from ..parallel.partition import blis_factorization
-from ..parallel.sync import barrier_cycles
-from ..timing.breakdown import GemmTiming
-from ..timing.models import gemm_flops
 from ..util.errors import DriverError
-from ..util.validation import ceil_div
-from .planner import jit_tile_plan
 
 
 @dataclass(frozen=True)
@@ -127,306 +122,60 @@ class ReferenceSmmDriver:
         out = np.asarray(alpha * (a @ b), order="F")
         if c is not None and beta != 0.0:
             out = out + beta * c
-        timing, decision = self.cost_gemm(m, n, k)
-        info: Dict[str, object] = {
-            "library": self.name,
-            "decision": decision,
-            "jit_stats": self.jit.stats,
-        }
+        plan = self.plan_gemm(m, n, k)
+        timing = plan.price()
+        decision = plan.meta["decision"]
+        info: Dict[str, object] = result_info(
+            library=self.name,
+            threads=self.threads,
+            kernel_shape=decision.kernel_shape,
+            packed_b=decision.packed_b,
+            decision=decision,
+            jit_stats=self.jit.stats,
+            execution_plan=plan,
+        )
         return GemmResult(c=np.asarray(out, order="F"), timing=timing, info=info)
 
     # ------------------------------------------------------------------
 
+    def plan_gemm(self, m: int, n: int, k: int):
+        """Lower one call to an ExecutionPlan with the adaptive choices."""
+        return self.plan_with(m, n, k)
+
+    def plan_with(self, m: int, n: int, k: int, main=None,
+                  packed_b: Optional[bool] = None, factorization=None):
+        """Lower one call under an explicit plan (the tuner's pins).
+
+        Pins any of the driver's three free choices — the main-tile
+        :class:`~repro.kernels.KernelSpec` (``main``), the packing
+        decision (``packed_b``), and for multithreaded drivers the loop
+        factorization.  Every pinned argument left ``None`` falls back
+        to the driver's own adaptive choice; ``meta["provenance"]``
+        records which case ran.
+        """
+        from ..plan.lower import lower_reference
+
+        return lower_reference(
+            self, m, n, k, main=main, packed_b=packed_b,
+            factorization=factorization,
+        )
+
     def cost_gemm(self, m: int, n: int, k: int):
         """(GemmTiming, SmmDecision) for one call."""
-        if self.threads == 1:
-            return self._cost_single(m, n, k)
-        return self._cost_parallel(m, n, k)
+        plan = self.plan_gemm(m, n, k)
+        return plan.price(), plan.meta["decision"]
 
     def cost_with(self, m: int, n: int, k: int, main=None,
                   packed_b: Optional[bool] = None, factorization=None):
         """(GemmTiming, SmmDecision) under an explicit plan.
 
-        The adaptive tuner's entry point: pins any of the driver's three
-        free choices — the main-tile :class:`~repro.kernels.KernelSpec`
-        (``main``), the packing decision (``packed_b``), and for
-        multithreaded drivers the loop factorization — and prices the
-        resulting plan with the same models :meth:`cost_gemm` uses.  Every
-        pinned argument left ``None`` falls back to the driver's own
-        adaptive choice, so ``cost_with()`` with no overrides is exactly
-        the fixed-heuristic cost.
+        The adaptive tuner's entry point: lowers via :meth:`plan_with`
+        and prices the plan with the same engine :meth:`cost_gemm` uses,
+        so ``cost_with()`` with no overrides is exactly the
+        fixed-heuristic cost.
         """
-        if self.threads == 1:
-            return self._cost_single(m, n, k, main=main, packed_b=packed_b)
-        return self._cost_parallel(
+        plan = self.plan_with(
             m, n, k, main=main, packed_b=packed_b,
             factorization=factorization,
         )
-
-    def _cost_single(self, m: int, n: int, k: int, main=None,
-                     packed_b: Optional[bool] = None):
-        itemsize = self.dtype.itemsize
-        timing = GemmTiming(useful_flops=gemm_flops(m, n, k))
-
-        # --- packing-optional decision -------------------------------
-        pack_cycles, nopack_penalty = self._estimate_pack_tradeoff(
-            m, n, k, itemsize, main=main
-        )
-        effective_pack = (
-            self._fused_pack_cycles(m, n, k, itemsize)
-            if self.fused_packing else pack_cycles
-        )
-        if packed_b is None:
-            packed_b = (
-                self.force_packing
-                if self.force_packing is not None
-                else effective_pack < nopack_penalty
-            )
-
-        if packed_b:
-            timing.pack_b_cycles += effective_pack
-
-        kern, executed = self._kernel_cost(m, n, k, itemsize, packed_b,
-                                           main=main)
-        timing.kernel_cycles += kern
-        timing.executed_flops += executed
-
-        shape_spec = main if main is not None else self.jit.main_spec
-        decision = SmmDecision(
-            packed_b=packed_b,
-            pack_cycles_estimate=effective_pack,
-            nopack_penalty_estimate=nopack_penalty,
-            kernel_shape=f"{shape_spec.mr}x{shape_spec.nr}",
-            threads=1,
-        )
-        return timing, decision
-
-    def _fused_pack_cycles(self, m: int, n: int, k: int,
-                           itemsize: int) -> float:
-        """Pack-B cost when fused into kernel execution (Fig. 11)."""
-        from .fusion import fused_pack_cycles
-
-        main = self.jit.main_spec
-        padded = k * ceil_div(n, main.nr) * main.nr
-        source = self._residency(m, n, k, itemsize)
-        phase = self.cache_model.packing_phase(
-            k, n, itemsize, source_contiguous=False, source_resident=source
-        )
-        kernel = self.jit.generator.generate(main)
-        state = self.analyzer.analyze(kernel)
-        kern_cycles, _ = self._kernel_cost(m, n, k, itemsize, packed_b=True)
-        estimate = fused_pack_cycles(
-            self.machine.core, kernel, state, kern_cycles,
-            padded, phase.stall_cycles, lanes=self.jit.lanes,
-            source_contiguous=False,
-        )
-        return estimate.fused_extra_cycles
-
-    def _cost_parallel(self, m: int, n: int, k: int, main=None,
-                       packed_b: Optional[bool] = None, factorization=None):
-        """Multithreaded critical path, assembled per kc-iteration.
-
-        Mirrors the BLIS executor's structure (cooperative B pack within
-        the jc group, barriers sized by the group, per-thread kernel sweep)
-        but with the reference design's JIT kernels and packing-optional
-        decision.  K is blocked at a kc matched to L1 like the library
-        drivers do, so large-K problems synchronize per panel instead of
-        packing all of B at once.
-        """
-        itemsize = self.dtype.itemsize
-        tile = main if main is not None else self.jit.main_spec
-        fact = (
-            factorization if factorization is not None
-            else blis_factorization(m, n, self.threads, tile.mr, tile.nr)
-        )
-        numa = self.machine.numa
-        timing = GemmTiming(useful_flops=gemm_flops(m, n, k))
-
-        m_chunk = ceil_div(m, fact.ic)
-        n_group = ceil_div(n, fact.jc)
-        n_chunk = ceil_div(n_group, fact.jr)
-        kc = max(32, min(k, 256))
-
-        # residency is a property of the *global* problem: a 2048x2048 B
-        # streams from memory even though each thread's slice is small
-        global_res = self._residency(m, n, k, itemsize)
-        a_res = (
-            "l2" if m * k * itemsize
-            <= 0.75 * self.cache_model.effective_l2_bytes and self.warm
-            else global_res
-        )
-
-        pack_cycles, nopack_penalty = self._estimate_pack_tradeoff(
-            m_chunk, n_chunk, kc, itemsize,
-            source_residency=global_res, main=main,
-        )
-        if packed_b is None:
-            packed_b = (
-                self.force_packing
-                if self.force_packing is not None
-                else pack_cycles < nopack_penalty
-            )
-
-        for kk in range(0, k, kc):
-            kcb = min(kc, k - kk)
-            if packed_b:
-                # the jc group packs its B panel cooperatively from the
-                # globally-resident source
-                group_pack, _ = self._pack_estimate(
-                    m_chunk, n_group, kcb, itemsize,
-                    source_residency=global_res, main=main,
-                )
-                timing.pack_b_cycles += group_pack / fact.pack_b_group
-                timing.sync_cycles += barrier_cycles(fact.pack_b_group, numa)
-                b_res = "l2"  # just packed into the cluster's L2
-            else:
-                b_res = global_res
-            kern, executed = self._kernel_cost(
-                m_chunk, n_chunk, kcb, itemsize, packed_b,
-                residency_pair=(a_res, b_res), main=main,
-            )
-            timing.kernel_cycles += kern
-            timing.executed_flops += executed * fact.ic * fact.jc * fact.jr
-            timing.sync_cycles += barrier_cycles(fact.pack_b_group, numa)
-
-        decision = SmmDecision(
-            packed_b=packed_b,
-            pack_cycles_estimate=pack_cycles,
-            nopack_penalty_estimate=nopack_penalty,
-            kernel_shape=f"{tile.mr}x{tile.nr}",
-            threads=self.threads,
-            factorization=fact,
-        )
-        return timing, decision
-
-    def _pack_estimate(self, m: int, n: int, k: int, itemsize: int,
-                       source_residency: Optional[str] = None, main=None):
-        """(cycles, padded elements) for packing one (k x n) B panel."""
-        main = main if main is not None else self.jit.main_spec
-        padded = k * ceil_div(n, main.nr) * main.nr
-        source = source_residency or self._residency(m, n, k, itemsize)
-        cycles, _ = self.packing_cost.pack_cycles(
-            k, n, itemsize,
-            source_contiguous=False,
-            source_resident=source,
-            padded_elements=padded,
-        )
-        return cycles, padded
-
-    # ------------------------------------------------------------------
-
-    def _estimate_pack_tradeoff(self, m: int, n: int, k: int, itemsize: int,
-                                source_residency: Optional[str] = None,
-                                main=None):
-        """(pack cycles, unpacked-kernel penalty cycles) for operand B."""
-        panel = main if main is not None else self.jit.main_spec
-        padded_b = k * ceil_div(n, panel.nr) * panel.nr
-        source = source_residency or self._residency(m, n, k, itemsize)
-        pack_cycles, _ = self.packing_cost.pack_cycles(
-            k, n, itemsize,
-            source_contiguous=False,
-            source_resident=source,
-            padded_elements=padded_b,
-        )
-        # penalty of unpacked B: price both kernel variants and subtract.
-        # An explicitly pinned main tile only applies to its own B layout,
-        # so the opposite variant falls back to the orientation search.
-        pair = (None if source_residency is None
-                else (source_residency, source_residency))
-        packed_main = main if main is not None and main.b_layout == "packed" else None
-        strided_main = main if main is not None and main.b_layout == "strided" else None
-        packed_kern, _ = self._kernel_cost(m, n, k, itemsize, packed_b=True,
-                                           residency_pair=pair,
-                                           main=packed_main)
-        unpacked_kern, _ = self._kernel_cost(m, n, k, itemsize,
-                                             packed_b=False,
-                                             residency_pair=pair,
-                                             main=strided_main)
-        return pack_cycles, max(unpacked_kern - packed_kern, 0.0)
-
-    def _kernel_cost(self, m: int, n: int, k: int, itemsize: int,
-                     packed_b: bool, residency_pair=None, main=None):
-        """(cycles, executed_flops) of the JIT kernel sweep over (m, n, k).
-
-        With ``main=None`` the JIT tries both orientations of its main tile
-        (e.g. 8x12 and 12x8) and keeps the cheaper plan — part of the
-        paper's "adaptive code generation" plank: the best combination of
-        micro-kernels depends on the input shape.  An explicit ``main``
-        pins the tile (the tuner prices each candidate separately).
-        """
-        from ..util.errors import KernelDesignError
-
-        candidates = (
-            [main] if main is not None
-            else self.jit.main_candidates(packed_b)
-        )
-        best = None
-        for candidate_main in candidates:
-            try:
-                candidate = self._kernel_cost_with_main(
-                    m, n, k, itemsize, packed_b, candidate_main,
-                    residency_pair=residency_pair,
-                )
-            except KernelDesignError:
-                continue  # this orientation does not fit the register file
-            if best is None or candidate[0] < best[0]:
-                best = candidate
-        if best is None:
-            raise DriverError(
-                f"no feasible kernel plan for {m}x{n}x{k} "
-                f"(packed_b={packed_b})"
-            )
-        return best
-
-    def _kernel_cost_with_main(self, m: int, n: int, k: int, itemsize: int,
-                               packed_b: bool, main, residency_pair=None):
-        if residency_pair is not None and residency_pair[0] is not None:
-            a_res, b_res = residency_pair
-        else:
-            tiny = self.warm and (
-                (m * k + k * n + m * n) * itemsize
-                <= 0.75 * self.machine.l1d.size_bytes
-            )
-            a_res = b_res = (
-                "l1" if tiny else self._residency(m, n, k, itemsize)
-            )
-        phase = self.cache_model.kernel_phase(
-            m, n, k, main.mr, main.nr, itemsize,
-            a_resident=a_res,
-            b_resident=b_res,
-            simd_lanes=self.jit.lanes,
-        )
-        cycles = 0.0
-        executed = 0.0
-        plan = jit_tile_plan(
-            self.jit, m, n, pack_edge_b=self.pack_edge_b,
-            main=main, strided=not packed_b,
-        )
-        for inv in plan:
-            kernel = self.jit.generator.generate(inv.spec)
-            state = self.analyzer.analyze(kernel)
-            call = state.kernel_call_cycles(k)
-            if packed_b and inv.spec.b_layout == "strided":
-                # Fig. 8: inside an otherwise-packed plan, a strided
-                # invocation is an N-edge sliver left unpacked — its
-                # elements are discontiguous relative to the packed buffer.
-                # (In the fully-unpacked plan B columns stay contiguous in
-                # the column-major source, so no such charge applies.)
-                call += self.cache_model.strided_b_extra_stall(
-                    k, inv.padded_cols, itemsize
-                )
-            cycles += inv.calls * call
-            executed += inv.calls * 2.0 * inv.padded_rows * inv.padded_cols * k
-        cycles += phase.stall_cycles
-        cycles = max(cycles, self.cache_model.dram_floor_cycles(phase))
-        return cycles, executed
-
-    def _residency(self, m: int, n: int, k: int, itemsize: int) -> str:
-        if not self.warm:
-            return "mem"
-        footprint = (m * k + k * n + m * n) * itemsize
-        if footprint <= 0.75 * self.machine.l1d.size_bytes:
-            return "l1"
-        if footprint <= 0.75 * self.cache_model.effective_l2_bytes:
-            return "l2"
-        return "mem"
+        return plan.price(), plan.meta["decision"]

@@ -35,17 +35,8 @@ from ..blas.goto import GotoGemmDriver
 from ..blas.libraries import make_blis, make_eigen, make_openblas
 from ..machine.config import MachineConfig
 from ..packing.cost import PackingCostModel
-from ..timing.breakdown import GemmTiming
-from ..timing.models import gemm_flops
 from ..util.errors import ParallelError
 from ..util.validation import ceil_div, check_positive_int
-from .partition import (
-    BlisFactorization,
-    blis_factorization,
-    grid_partition,
-    split_even,
-)
-from .sync import barrier_cycles
 
 _SCHEMES = ("openblas", "blis", "eigen")
 
@@ -149,209 +140,35 @@ class MultithreadedGemm:
         """C = alpha*A@B + beta*C; timing is the simulated critical path."""
         from ..blas.base import GemmResult, validate_gemm_operands
 
+        from ..blas.base import result_info
+
         m, n, k = validate_gemm_operands(a, b, c)
         out = np.asarray(alpha * (a @ b), order="F")
         if c is not None and beta != 0.0:
             out = out + beta * c
-        timing, info = self.cost(m, n, k)
-        info["library"] = self.library
-        info["threads"] = self.threads
+        plan = self.plan_gemm(m, n, k)
+        timing = plan.price()
+        cat = self.driver.catalog
+        info = result_info(
+            library=self.library,
+            threads=self.threads,
+            kernel_shape=f"{cat.mr}x{cat.nr}",
+            packed_b=True,  # every scheme packs B (cooperatively)
+            execution_plan=plan,
+            **plan.meta["info"],
+        )
         return GemmResult(c=np.asarray(out, order="F"), timing=timing, info=info)
+
+    def plan_gemm(self, m: int, n: int, k: int):
+        """Lower one call to an ExecutionPlan for the configured scheme."""
+        from ..plan.lower import lower_library_mt
+
+        return lower_library_mt(self, m, n, k)
 
     def cost(self, m: int, n: int, k: int):
         """(GemmTiming, info) for the configured scheme."""
-        if self.library == "openblas":
-            return self._cost_openblas(m, n, k)
-        if self.library == "blis":
-            return self._cost_blis(m, n, k)
-        return self._cost_eigen(m, n, k)
-
-    # ------------------------------------------------------------------
-
-    def _cost_openblas(self, m: int, n: int, k: int):
-        drv = self.driver
-        blocking = drv.blocking
-        cat = drv.catalog
-        itemsize = self.dtype.itemsize
-        T = self.threads
-        numa = self.machine.numa
-        timing = GemmTiming(useful_flops=gemm_flops(m, n, k))
-        chunks = [c for c in split_even(m, T)]
-        max_chunk = max(chunks)
-        source_res = drv._source_residency(m, n, k, itemsize, self.cache_mt)
-
-        for jj in range(0, n, blocking.nc):
-            ncb = min(blocking.nc, n - jj)
-            for kk in range(0, k, blocking.kc):
-                kcb = min(blocking.kc, k - kk)
-                # cooperative B pack, split across all T threads
-                pb_total, _ = self.packing_cost.pack_cycles(
-                    kcb, ncb, itemsize,
-                    source_contiguous=drv.config.pack_b_contiguous,
-                    source_resident=source_res,
-                    padded_elements=kcb * _round_up(ncb, cat.nr),
-                )
-                timing.pack_b_cycles += pb_total / T
-                timing.sync_cycles += barrier_cycles(T, numa)
-
-                # each thread: private A pack + kernel sweep over its strip.
-                # Critical path = the largest chunk; executed flops sum over
-                # the (at most two) distinct chunk sizes.
-                b_shared = min(self.machine.l2.shared_by, T)
-                pa, kern, executed_max = self._strip_cost(
-                    cat, max_chunk, ncb, kcb, itemsize, source_res,
-                    pack_a_contiguous=drv.config.pack_a_contiguous,
-                    mc=blocking.mc,
-                    b_shared_by=b_shared,
-                )
-                timing.pack_a_cycles += pa
-                timing.kernel_cycles += kern
-                for chunk_size in set(ch for ch in chunks if ch > 0):
-                    count = sum(1 for ch in chunks if ch == chunk_size)
-                    if chunk_size == max_chunk:
-                        executed = executed_max
-                    else:
-                        _, _, executed = self._strip_cost(
-                            cat, chunk_size, ncb, kcb, itemsize, source_res,
-                            pack_a_contiguous=drv.config.pack_a_contiguous,
-                            mc=blocking.mc,
-                            b_shared_by=b_shared,
-                        )
-                    timing.executed_flops += executed * count
-                timing.sync_cycles += barrier_cycles(T, numa)
-        info = {"scheme": "1d-m", "chunks_nonzero": sum(1 for c in chunks if c),
-                "max_chunk": max_chunk}
-        return timing, info
-
-    def _cost_blis(self, m: int, n: int, k: int):
-        drv = self.driver
-        blocking = drv.blocking
-        cat = drv.catalog
-        itemsize = self.dtype.itemsize
-        numa = self.machine.numa
-        fact: BlisFactorization = blis_factorization(
-            m, n, self.threads, cat.mr, cat.nr
-        )
-        timing = GemmTiming(useful_flops=gemm_flops(m, n, k))
-        source_res = drv._source_residency(m, n, k, itemsize, self.cache_mt)
-
-        n_group = max(split_even(n, fact.jc))  # one jc group's N extent
-        m_chunk = max(split_even(m, fact.ic))  # one thread's M extent
-        n_thread = max(split_even(n_group, fact.jr))  # one thread's N extent
-
-        for jj in range(0, n_group, blocking.nc):
-            ncb = min(blocking.nc, n_group - jj)
-            ncb_thread = min(n_thread, ncb)
-            for kk in range(0, k, blocking.kc):
-                kcb = min(blocking.kc, k - kk)
-                # B pack cooperative within the jc group
-                pb_total, _ = self.packing_cost.pack_cycles(
-                    kcb, ncb, itemsize,
-                    source_contiguous=drv.config.pack_b_contiguous,
-                    source_resident=source_res,
-                    padded_elements=kcb * _round_up(ncb, cat.nr),
-                )
-                timing.pack_b_cycles += pb_total / fact.pack_b_group
-                timing.sync_cycles += barrier_cycles(fact.pack_b_group, numa)
-
-                # A pack cooperative within the jr group, kernel per thread
-                pa, kern, executed = self._strip_cost(
-                    cat, m_chunk, ncb_thread, kcb, itemsize, source_res,
-                    pack_a_contiguous=drv.config.pack_a_contiguous,
-                    mc=blocking.mc,
-                    pack_a_share=fact.pack_a_group,
-                    b_shared_by=min(self.machine.l2.shared_by,
-                                    fact.pack_b_group),
-                )
-                timing.pack_a_cycles += pa
-                timing.kernel_cycles += kern
-                timing.executed_flops += executed * fact.ic * fact.jc * fact.jr
-                if fact.pack_a_group > 1:
-                    timing.sync_cycles += barrier_cycles(fact.pack_a_group, numa)
-                timing.sync_cycles += barrier_cycles(fact.pack_b_group, numa)
-        info = {"scheme": "multidim", "factorization": fact}
-        return timing, info
-
-    def _cost_eigen(self, m: int, n: int, k: int):
-        drv = self.driver
-        numa = self.machine.numa
-        chunks = grid_partition(m, n, self.threads)
-        timing = GemmTiming(useful_flops=gemm_flops(m, n, k))
-        worst: Optional[GemmTiming] = None
-        per_shape = {}
-        for (mi, nj) in set(chunks):
-            if mi == 0 or nj == 0:
-                continue
-            t = drv.cost_gemm(mi, nj, k, cache_model=self.cache_mt)
-            per_shape[(mi, nj)] = t
-            if worst is None or t.total_cycles > worst.total_cycles:
-                worst = t
-        if worst is None:
-            raise ParallelError("empty partition")
-        timing.kernel_cycles = worst.kernel_cycles
-        timing.pack_a_cycles = worst.pack_a_cycles
-        timing.pack_b_cycles = worst.pack_b_cycles
-        timing.executed_flops = sum(
-            per_shape[(mi, nj)].executed_flops
-            for (mi, nj) in chunks if (mi, nj) in per_shape
-        )
-        timing.sync_cycles = barrier_cycles(self.threads, numa)
-        info = {"scheme": "2d-grid", "grid_chunks": len(chunks)}
-        return timing, info
-
-    # ------------------------------------------------------------------
-
-    def _strip_cost(
-        self,
-        catalog,
-        m_strip: int,
-        ncb: int,
-        kcb: int,
-        itemsize: int,
-        source_res: str,
-        pack_a_contiguous: bool,
-        mc: int,
-        pack_a_share: int = 1,
-        b_shared_by: int = 1,
-    ):
-        """(pack_a, kernel, executed_flops) for one thread's M-strip.
-
-        ``b_shared_by``: cores of one L2 cluster reading the same packed B
-        panel (their DRAM fills amortize).
-        """
-        if m_strip <= 0:
-            return 0.0, 0.0, 0.0
-        pack_a = 0.0
-        kernel = 0.0
-        executed = 0.0
-        for ii in range(0, m_strip, mc):
-            mcb = min(mc, m_strip - ii)
-            pa, _ = self.packing_cost.pack_cycles(
-                mcb, kcb, itemsize,
-                source_contiguous=pack_a_contiguous,
-                source_resident=source_res,
-                padded_elements=_round_up(mcb, catalog.mr) * kcb,
-            )
-            pack_a += pa / pack_a_share
-            phase = self.cache_mt.kernel_phase(
-                mcb, ncb, kcb, catalog.mr, catalog.nr, itemsize,
-                a_resident="l2",
-                b_resident="l2"
-                if kcb * ncb * itemsize <= 0.5 * self.cache_mt.effective_l2_bytes
-                else "mem",
-                simd_lanes=self.kernel_cost.lanes,
-                b_shared_by=b_shared_by,
-            )
-            cyc, exe = self.kernel_cost.gebp_kernel_cycles(
-                catalog, mcb, ncb, kcb, phase=phase, cache=self.cache_mt
-            )
-            kernel += cyc
-            executed += exe
-        return pack_a, kernel, executed
-
-
-def _round_up(value: int, base: int) -> int:
-    return ((value + base - 1) // base) * base
+        plan = self.plan_gemm(m, n, k)
+        return plan.price(), dict(plan.meta["info"])
 
 
 #: loose alias used in the gemm() return annotation (GemmResult is imported

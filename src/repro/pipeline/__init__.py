@@ -1,6 +1,11 @@
 """Core pipeline model: OoO scheduling and steady-state kernel analysis."""
 
-from .diagnose import KernelDiagnosis, diagnose_kernel
+from .diagnose import (
+    KernelDiagnosis,
+    TraceSummary,
+    diagnose_kernel,
+    summarize_trace,
+)
 from .scheduler import OoOScheduler, ScheduleResult, ScheduledOp, render_schedule
 from .steady import SteadyState, SteadyStateAnalyzer, bound_analysis
 
@@ -14,4 +19,6 @@ __all__ = [
     "bound_analysis",
     "KernelDiagnosis",
     "diagnose_kernel",
+    "TraceSummary",
+    "summarize_trace",
 ]

@@ -7,8 +7,8 @@ the "kernel doctor" behind ``python -m repro kernel``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
 from ..isa.sequence import KernelSequence
 from ..machine.config import CoreConfig
@@ -79,3 +79,127 @@ def diagnose_kernel(
         binding_resource=binding,
         stall_histogram=histogram,
     )
+
+
+# ---------------------------------------------------------------------------
+# execution-trace diagnosis (the GEMM-level counterpart of the kernel doctor)
+# ---------------------------------------------------------------------------
+
+
+def _trace_field(event, name: str):
+    if isinstance(event, dict):
+        return event.get(name)
+    return getattr(event, name, None)
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate view of one engine event trace (``repro trace``).
+
+    Built from the structured events the pricing engine emits (see
+    :mod:`repro.plan.trace`); works on event objects or their JSON-dict
+    forms, so it can digest a dumped trace file as well as a live
+    :class:`~repro.plan.trace.RecordingTraceSink`.
+    """
+
+    events: int = 0
+    #: cycles charged per timing bucket, in trace order
+    bucket_cycles: Dict[str, float] = field(default_factory=dict)
+    #: phase events charged per timing bucket
+    bucket_events: Dict[str, int] = field(default_factory=dict)
+    #: the most expensive single charges: (cycles, bucket, op label)
+    top_charges: List[Tuple[float, str, str]] = field(default_factory=list)
+    #: cache-model attribution summed over kernel phases
+    stall_cycles: float = 0.0
+    dram_bytes: float = 0.0
+    l2_miss_lines: float = 0.0
+    #: JIT kernel-cache behaviour over the traced execution
+    kernel_requests: int = 0
+    kernel_compiles: int = 0
+    executed_flops: float = 0.0
+    useful_flops: int = 0
+    provenance: str = ""
+
+    @property
+    def total_cycles(self) -> float:
+        """Sum of all charged cycles."""
+        return sum(self.bucket_cycles.values())
+
+    def render(self) -> str:
+        """Human-readable multi-line trace digest."""
+        total = self.total_cycles or 1.0
+        lines = [f"trace: {self.events} event(s), "
+                 f"{self.total_cycles:.0f} cycles charged"]
+        if self.provenance:
+            lines.append(f"  provenance   : {self.provenance}")
+        for bucket, cycles in sorted(self.bucket_cycles.items(),
+                                     key=lambda kv: -kv[1]):
+            lines.append(
+                f"  {bucket:<7} {cycles:14.1f} cycles "
+                f"({cycles / total:6.1%}) over "
+                f"{self.bucket_events.get(bucket, 0)} event(s)"
+            )
+        if self.stall_cycles or self.dram_bytes:
+            lines.append(
+                f"  cache model  : {self.stall_cycles:.1f} stall cycles, "
+                f"{self.l2_miss_lines:.0f} L2-miss lines, "
+                f"{self.dram_bytes:.0f} DRAM bytes"
+            )
+        if self.kernel_requests:
+            lines.append(
+                f"  kernel cache : {self.kernel_requests} request(s), "
+                f"{self.kernel_compiles} compile(s)"
+            )
+        if self.useful_flops:
+            lines.append(
+                f"  flops        : {self.useful_flops} useful, "
+                f"{self.executed_flops:.0f} executed"
+            )
+        if self.top_charges:
+            lines.append("  hottest ops:")
+            for cycles, bucket, label in self.top_charges:
+                lines.append(
+                    f"    {cycles:14.1f}  {bucket:<7} {label}"
+                )
+        return "\n".join(lines)
+
+
+def summarize_trace(events, top: int = 5) -> TraceSummary:
+    """Digest an engine event trace into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    charges: List[Tuple[float, str, str]] = []
+    for event in events:
+        summary.events += 1
+        kind = _trace_field(event, "kind")
+        detail = _trace_field(event, "detail") or {}
+        if kind == "phase":
+            bucket = _trace_field(event, "bucket")
+            cycles = _trace_field(event, "cycles") or 0.0
+            summary.bucket_cycles[bucket] = (
+                summary.bucket_cycles.get(bucket, 0.0) + cycles
+            )
+            summary.bucket_events[bucket] = (
+                summary.bucket_events.get(bucket, 0) + 1
+            )
+            charges.append(
+                (cycles, bucket, str(_trace_field(event, "label")))
+            )
+        elif kind == "cache":
+            summary.stall_cycles += detail.get("stall_cycles", 0.0)
+            summary.dram_bytes += detail.get("dram_bytes", 0.0)
+            summary.l2_miss_lines += detail.get("l2_miss_lines", 0.0)
+        elif kind == "kernel_cache":
+            summary.kernel_requests += int(detail.get("requests", 0))
+            summary.kernel_compiles += int(detail.get("compiles", 0))
+        elif kind == "flops":
+            summary.executed_flops += detail.get("executed_flops", 0.0)
+        elif kind == "plan":
+            useful = detail.get("useful_flops")
+            if useful is not None:
+                summary.useful_flops += int(useful)
+            summary.provenance = str(detail.get("provenance", "")) or (
+                summary.provenance
+            )
+    charges.sort(key=lambda item: -item[0])
+    summary.top_charges = charges[:top]
+    return summary

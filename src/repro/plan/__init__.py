@@ -1,0 +1,76 @@
+"""ExecutionPlan IR, lowering, and the single traced pricing engine.
+
+Every GEMM driver in the repo — the Goto-structured library models, the
+BLASFEO panel-major model, the paper's reference SMM, and the simulated
+multithreaded executor — used to re-implement the paper's phase accounting
+(kernel / pack-A / pack-B / sync, Fig. 6 and Table II) by hand.  This
+package splits that into the BLIS-style normal form:
+
+* **plan** (:mod:`repro.plan.ir`) — a typed tree of loop-nest sections,
+  packing ops, micro-kernel invocations and sync points.  A plan only
+  *describes* work; it holds no cycle numbers.
+* **lowering** (:mod:`repro.plan.lower`) — each driver is a thin function
+  from its library configuration to a plan.  All adaptive decisions
+  (packing-optional, tile orientation, factorization) are made here and
+  recorded in the plan's metadata.
+* **engine** (:mod:`repro.plan.engine`) — the one place that prices plans
+  against the machine, cache and pipeline models and accumulates a
+  :class:`~repro.timing.breakdown.GemmTiming`.  Pricing optionally streams
+  structured :mod:`trace <repro.plan.trace>` events (phase spans with cycle
+  attribution, cache-model queries, kernel-cache hits, plan provenance)
+  through a zero-overhead-when-off sink.
+
+Golden parity: plan-derived timings are bit-for-bit identical to the
+pre-refactor per-driver accounting (see
+``tests/test_cross_driver_consistency.py``).
+"""
+
+from .engine import ENGINE, Engine, PricingContext, operand_residency
+from .ir import (
+    BarrierOp,
+    CriticalPathOp,
+    ExecutionPlan,
+    FusedPackOp,
+    GebpOp,
+    JitSweepOp,
+    MergeOp,
+    PackOp,
+    PlanNode,
+    Section,
+    ThreadStripsOp,
+)
+from .lower import (
+    lower_batch,
+    lower_blasfeo,
+    lower_goto,
+    lower_library_mt,
+    lower_reference,
+)
+from .trace import PHASE_BUCKETS, RecordingTraceSink, TraceEvent, TraceSink
+
+__all__ = [
+    "ExecutionPlan",
+    "PlanNode",
+    "Section",
+    "PackOp",
+    "GebpOp",
+    "JitSweepOp",
+    "FusedPackOp",
+    "BarrierOp",
+    "ThreadStripsOp",
+    "CriticalPathOp",
+    "MergeOp",
+    "Engine",
+    "ENGINE",
+    "PricingContext",
+    "operand_residency",
+    "lower_goto",
+    "lower_blasfeo",
+    "lower_reference",
+    "lower_library_mt",
+    "lower_batch",
+    "TraceSink",
+    "RecordingTraceSink",
+    "TraceEvent",
+    "PHASE_BUCKETS",
+]

@@ -1,0 +1,578 @@
+"""The single pricing engine: ExecutionPlan -> GemmTiming.
+
+Every driver's cycle accounting lives here now.  The engine walks a plan
+tree depth-first in child order and charges each op against the machine,
+cache and pipeline models bound in the plan's :class:`PricingContext`,
+accumulating into the same :class:`~repro.timing.breakdown.GemmTiming`
+buckets — in the same order, with the same float expressions — as the
+pre-refactor per-driver loops, so results are bit-for-bit identical
+(golden-parity tested).
+
+The module-level helpers (:func:`jit_sweep_cost`,
+:func:`estimate_pack_tradeoff`, :func:`fused_pack_extra`,
+:func:`operand_residency`) are the shared pricing primitives; the
+lowerings also call them to make adaptive decisions (packing-optional,
+orientation search) before the plan is built.  All underlying models are
+pure or memoized, so decision-time and pricing-time calls return
+identical values regardless of call order.
+
+Tracing: pass a :class:`~repro.plan.trace.TraceSink` to
+:meth:`Engine.price`.  Every emission site is guarded by
+``if sink is not None`` and detail dicts are built only inside the
+guard — pricing with ``sink=None`` does no extra work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from ..core.fusion import fused_pack_cycles
+from ..core.planner import jit_tile_plan
+from ..parallel.sync import barrier_cycles
+from ..timing.breakdown import GemmTiming
+from ..util.errors import DriverError, KernelDesignError, ParallelError
+from ..util.validation import ceil_div
+from .ir import (
+    BarrierOp,
+    CriticalPathOp,
+    ExecutionPlan,
+    FusedPackOp,
+    GebpOp,
+    JitSweepOp,
+    MergeOp,
+    PackOp,
+    PlanNode,
+    Section,
+    ThreadStripsOp,
+)
+from .trace import TraceEvent, TraceSink
+
+
+@dataclass
+class PricingContext:
+    """The model bindings one plan is priced against.
+
+    Which fields are set depends on the lowering: catalog drivers bind
+    ``kernel_cost``/``catalog``; the reference SMM binds
+    ``jit``/``analyzer``.  ``cache`` is already configured for the
+    plan's sharing/NUMA situation (single-core or multithreaded).
+    """
+
+    machine: Any
+    cache: Any
+    packing: Any
+    itemsize: int
+    kernel_cost: Any = None
+    catalog: Any = None
+    jit: Any = None
+    analyzer: Any = None
+    warm: bool = True
+    pack_edge_b: bool = True
+
+
+# ---------------------------------------------------------------------------
+# shared pricing primitives (also used by lowerings for adaptive decisions)
+# ---------------------------------------------------------------------------
+
+
+def operand_residency(ctx: PricingContext, m: int, n: int, k: int) -> str:
+    """Where the warm working set lives, by footprint (l1/l2/mem)."""
+    if not ctx.warm:
+        return "mem"
+    footprint = (m * k + k * n + m * n) * ctx.itemsize
+    if footprint <= 0.75 * ctx.machine.l1d.size_bytes:
+        return "l1"
+    if footprint <= 0.75 * ctx.cache.effective_l2_bytes:
+        return "l2"
+    return "mem"
+
+
+def jit_sweep_cost(
+    ctx: PricingContext,
+    m: int,
+    n: int,
+    k: int,
+    packed_b: bool,
+    residency_pair: Optional[Tuple[Optional[str], Optional[str]]] = None,
+    main: Any = None,
+) -> Tuple[float, float]:
+    """(cycles, executed_flops) of the JIT kernel sweep over (m, n, k).
+
+    With ``main=None`` the JIT tries both orientations of its main tile
+    (e.g. 8x12 and 12x8) and keeps the cheaper plan; an explicit ``main``
+    pins the tile (the tuner prices each candidate separately).
+    """
+    candidates = (
+        [main] if main is not None else ctx.jit.main_candidates(packed_b)
+    )
+    best = None
+    for candidate_main in candidates:
+        try:
+            candidate = _jit_sweep_with_main(
+                ctx, m, n, k, packed_b, candidate_main,
+                residency_pair=residency_pair,
+            )
+        except KernelDesignError:
+            continue  # this orientation does not fit the register file
+        if best is None or candidate[0] < best[0]:
+            best = candidate
+    if best is None:
+        raise DriverError(
+            f"no feasible kernel plan for {m}x{n}x{k} "
+            f"(packed_b={packed_b})"
+        )
+    return best
+
+
+def _jit_sweep_with_main(
+    ctx: PricingContext,
+    m: int,
+    n: int,
+    k: int,
+    packed_b: bool,
+    main: Any,
+    residency_pair=None,
+) -> Tuple[float, float]:
+    itemsize = ctx.itemsize
+    if residency_pair is not None and residency_pair[0] is not None:
+        a_res, b_res = residency_pair
+    else:
+        tiny = ctx.warm and (
+            (m * k + k * n + m * n) * itemsize
+            <= 0.75 * ctx.machine.l1d.size_bytes
+        )
+        a_res = b_res = "l1" if tiny else operand_residency(ctx, m, n, k)
+    phase = ctx.cache.kernel_phase(
+        m, n, k, main.mr, main.nr, itemsize,
+        a_resident=a_res,
+        b_resident=b_res,
+        simd_lanes=ctx.jit.lanes,
+    )
+    cycles = 0.0
+    executed = 0.0
+    plan = jit_tile_plan(
+        ctx.jit, m, n, pack_edge_b=ctx.pack_edge_b,
+        main=main, strided=not packed_b,
+    )
+    for inv in plan:
+        kernel = ctx.jit.generator.generate(inv.spec)
+        state = ctx.analyzer.analyze(kernel)
+        call = state.kernel_call_cycles(k)
+        if packed_b and inv.spec.b_layout == "strided":
+            # Fig. 8: inside an otherwise-packed plan, a strided
+            # invocation is an N-edge sliver left unpacked — its elements
+            # are discontiguous relative to the packed buffer.
+            call += ctx.cache.strided_b_extra_stall(
+                k, inv.padded_cols, itemsize
+            )
+        cycles += inv.calls * call
+        executed += inv.calls * 2.0 * inv.padded_rows * inv.padded_cols * k
+    cycles += phase.stall_cycles
+    cycles = max(cycles, ctx.cache.dram_floor_cycles(phase))
+    return cycles, executed
+
+
+def pack_panel_estimate(
+    ctx: PricingContext,
+    m: int,
+    n: int,
+    k: int,
+    source_residency: Optional[str] = None,
+    main: Any = None,
+) -> Tuple[float, int]:
+    """(cycles, padded elements) for packing one (k x n) B panel."""
+    main = main if main is not None else ctx.jit.main_spec
+    padded = k * ceil_div(n, main.nr) * main.nr
+    source = source_residency or operand_residency(ctx, m, n, k)
+    cycles, _ = ctx.packing.pack_cycles(
+        k, n, ctx.itemsize,
+        source_contiguous=False,
+        source_resident=source,
+        padded_elements=padded,
+    )
+    return cycles, padded
+
+
+def estimate_pack_tradeoff(
+    ctx: PricingContext,
+    m: int,
+    n: int,
+    k: int,
+    source_residency: Optional[str] = None,
+    main: Any = None,
+) -> Tuple[float, float]:
+    """(pack cycles, unpacked-kernel penalty cycles) for operand B."""
+    panel = main if main is not None else ctx.jit.main_spec
+    padded_b = k * ceil_div(n, panel.nr) * panel.nr
+    source = source_residency or operand_residency(ctx, m, n, k)
+    pack_cycles, _ = ctx.packing.pack_cycles(
+        k, n, ctx.itemsize,
+        source_contiguous=False,
+        source_resident=source,
+        padded_elements=padded_b,
+    )
+    # penalty of unpacked B: price both kernel variants and subtract.
+    # An explicitly pinned main tile only applies to its own B layout,
+    # so the opposite variant falls back to the orientation search.
+    pair = (None if source_residency is None
+            else (source_residency, source_residency))
+    packed_main = (
+        main if main is not None and main.b_layout == "packed" else None
+    )
+    strided_main = (
+        main if main is not None and main.b_layout == "strided" else None
+    )
+    packed_kern, _ = jit_sweep_cost(
+        ctx, m, n, k, packed_b=True, residency_pair=pair, main=packed_main
+    )
+    unpacked_kern, _ = jit_sweep_cost(
+        ctx, m, n, k, packed_b=False, residency_pair=pair, main=strided_main
+    )
+    return pack_cycles, max(unpacked_kern - packed_kern, 0.0)
+
+
+def fused_pack_extra(
+    ctx: PricingContext, m: int, n: int, k: int
+) -> float:
+    """Pack-B cost when fused into kernel execution (Fig. 11)."""
+    itemsize = ctx.itemsize
+    main = ctx.jit.main_spec
+    padded = k * ceil_div(n, main.nr) * main.nr
+    source = operand_residency(ctx, m, n, k)
+    phase = ctx.cache.packing_phase(
+        k, n, itemsize, source_contiguous=False, source_resident=source
+    )
+    kernel = ctx.jit.generator.generate(main)
+    state = ctx.analyzer.analyze(kernel)
+    kern_cycles, _ = jit_sweep_cost(ctx, m, n, k, packed_b=True)
+    estimate = fused_pack_cycles(
+        ctx.machine.core, kernel, state, kern_cycles,
+        padded, phase.stall_cycles, lanes=ctx.jit.lanes,
+        source_contiguous=False,
+    )
+    return estimate.fused_extra_cycles
+
+
+def _round_up(value: int, base: int) -> int:
+    return ((value + base - 1) // base) * base
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+
+class Engine:
+    """Prices/executes ExecutionPlans against the bound models."""
+
+    def price(
+        self, plan: ExecutionPlan, sink: Optional[TraceSink] = None
+    ) -> GemmTiming:
+        """Walk ``plan`` and accumulate its GemmTiming.
+
+        With a ``sink``, structured trace events stream out in pricing
+        order (see :mod:`repro.plan.trace`); with ``sink=None`` no event
+        machinery runs at all.
+        """
+        timing = GemmTiming(useful_flops=plan.meta.get("useful_flops", 0))
+        if sink is not None:
+            sink.emit(TraceEvent(
+                "plan", str(plan.meta.get("driver", "plan")),
+                detail=_meta_detail(plan),
+            ))
+        self._node(plan.root, plan.context, timing, sink)
+        if sink is not None:
+            sink.emit(TraceEvent(
+                "total", str(plan.meta.get("driver", "plan")),
+                cycles=timing.total_cycles,
+                detail={
+                    "kernel": timing.kernel_cycles,
+                    "pack_a": timing.pack_a_cycles,
+                    "pack_b": timing.pack_b_cycles,
+                    "sync": timing.sync_cycles,
+                    "other": timing.other_cycles,
+                    "executed_flops": timing.executed_flops,
+                    "useful_flops": timing.useful_flops,
+                },
+            ))
+        return timing
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _node(self, node: PlanNode, ctx, timing, sink) -> None:
+        if isinstance(node, Section):
+            for child in node.children:
+                self._node(child, ctx, timing, sink)
+        elif isinstance(node, PackOp):
+            self._pack(node, ctx, timing, sink)
+        elif isinstance(node, GebpOp):
+            self._gebp(node, ctx, timing, sink)
+        elif isinstance(node, JitSweepOp):
+            self._jit_sweep(node, ctx, timing, sink)
+        elif isinstance(node, FusedPackOp):
+            self._fused_pack(node, ctx, timing, sink)
+        elif isinstance(node, BarrierOp):
+            self._barrier(node, ctx, timing, sink)
+        elif isinstance(node, ThreadStripsOp):
+            self._thread_strips(node, ctx, timing, sink)
+        elif isinstance(node, CriticalPathOp):
+            self._critical_path(node, ctx, timing, sink)
+        elif isinstance(node, MergeOp):
+            self._merge(node, timing, sink)
+        else:
+            raise DriverError(
+                f"engine cannot price plan node kind {node.kind!r}"
+            )
+
+    # -- accumulation helpers ----------------------------------------------
+
+    def _charge(self, timing, sink, node, bucket, cycles, detail=None):
+        if bucket == "kernel":
+            timing.kernel_cycles += cycles
+        elif bucket == "pack_a":
+            timing.pack_a_cycles += cycles
+        elif bucket == "pack_b":
+            timing.pack_b_cycles += cycles
+        elif bucket == "sync":
+            timing.sync_cycles += cycles
+        elif bucket == "other":
+            timing.other_cycles += cycles
+        else:
+            raise DriverError(f"unknown timing bucket {bucket!r}")
+        if sink is not None:
+            sink.emit(TraceEvent(
+                "phase", node.label, bucket=bucket, cycles=cycles,
+                detail=detail or {},
+            ))
+
+    def _add_executed(self, timing, sink, node, executed):
+        timing.executed_flops += executed
+        if sink is not None:
+            sink.emit(TraceEvent(
+                "flops", node.label, detail={"executed_flops": executed},
+            ))
+
+    # -- op pricing ---------------------------------------------------------
+
+    def _pack(self, node: PackOp, ctx, timing, sink) -> None:
+        cycles, elements = ctx.packing.pack_cycles(
+            node.rows, node.cols, node.itemsize,
+            source_contiguous=node.contiguous,
+            source_resident=node.resident,
+            padded_elements=node.padded_elements,
+            cache_model=ctx.cache if node.explicit_cache else None,
+        )
+        if node.share is not None:
+            cycles = cycles / node.share
+        detail = None
+        if sink is not None:
+            detail = {
+                "rows": node.rows, "cols": node.cols,
+                "resident": node.resident,
+                "padded_elements": node.padded_elements,
+                "share": node.share, "elements": elements,
+            }
+        self._charge(timing, sink, node, node.bucket, cycles, detail)
+
+    def _gebp(self, node: GebpOp, ctx, timing, sink) -> None:
+        catalog = ctx.catalog
+        phase = ctx.cache.kernel_phase(
+            node.mc, node.nc, node.kc, catalog.mr, catalog.nr, node.itemsize,
+            a_resident=node.a_resident,
+            b_resident=node.b_resident,
+            simd_lanes=ctx.kernel_cost.lanes,
+            b_shared_by=node.b_shared_by,
+        )
+        cycles, executed = ctx.kernel_cost.gebp_kernel_cycles(
+            catalog, node.mc, node.nc, node.kc, phase=phase, cache=ctx.cache
+        )
+        detail = None
+        if sink is not None:
+            detail = {
+                "tile": f"{node.mc}x{node.nc}x{node.kc}",
+                "a_resident": node.a_resident,
+                "b_resident": node.b_resident,
+            }
+            sink.emit(TraceEvent(
+                "cache", node.label, detail={
+                    "stall_cycles": phase.stall_cycles,
+                    "extra_load_cycles": phase.extra_load_cycles,
+                    "l1_miss_lines": phase.l1_miss_lines,
+                    "l2_miss_lines": phase.l2_miss_lines,
+                    "dram_bytes": phase.dram_bytes,
+                },
+            ))
+        self._charge(timing, sink, node, "kernel", cycles, detail)
+        value = executed
+        for factor in node.executed_factors:
+            value = value * factor
+        self._add_executed(timing, sink, node, value)
+
+    def _jit_sweep(self, node: JitSweepOp, ctx, timing, sink) -> None:
+        if sink is not None and ctx.jit is not None:
+            requests0 = ctx.jit.stats.requests
+            compiles0 = ctx.jit.stats.compiles
+        pair = (
+            None if node.a_resident is None
+            else (node.a_resident, node.b_resident)
+        )
+        cycles, executed = jit_sweep_cost(
+            ctx, node.m, node.n, node.k, node.packed_b,
+            residency_pair=pair, main=node.main,
+        )
+        detail = None
+        if sink is not None:
+            detail = {
+                "shape": f"{node.m}x{node.n}x{node.k}",
+                "packed_b": node.packed_b,
+                "a_resident": node.a_resident,
+                "b_resident": node.b_resident,
+            }
+            if ctx.jit is not None:
+                stats = ctx.jit.stats
+                sink.emit(TraceEvent(
+                    "kernel_cache", node.label, detail={
+                        "requests": stats.requests - requests0,
+                        "compiles": stats.compiles - compiles0,
+                        "hit_rate": stats.hit_rate,
+                    },
+                ))
+        self._charge(timing, sink, node, "kernel", cycles, detail)
+        value = executed
+        for factor in node.executed_factors:
+            value = value * factor
+        self._add_executed(timing, sink, node, value)
+
+    def _fused_pack(self, node: FusedPackOp, ctx, timing, sink) -> None:
+        cycles = fused_pack_extra(ctx, node.m, node.n, node.k)
+        detail = None
+        if sink is not None:
+            detail = {"shape": f"{node.m}x{node.n}x{node.k}", "fused": True}
+        self._charge(timing, sink, node, "pack_b", cycles, detail)
+
+    def _barrier(self, node: BarrierOp, ctx, timing, sink) -> None:
+        cycles = barrier_cycles(node.group, ctx.machine.numa)
+        detail = None
+        if sink is not None:
+            detail = {"group": node.group}
+        self._charge(timing, sink, node, "sync", cycles, detail)
+
+    def _thread_strips(self, node: ThreadStripsOp, ctx, timing, sink) -> None:
+        max_chunk = max(node.chunks)
+        pack_a, kernel, executed_max = self._strip_cost(ctx, node, max_chunk)
+        detail = None
+        if sink is not None:
+            detail = {
+                "max_chunk": max_chunk,
+                "chunks": list(node.chunks),
+                "pack_a_share": node.pack_a_share,
+                "b_shared_by": node.b_shared_by,
+            }
+        self._charge(timing, sink, node, "pack_a", pack_a, detail)
+        self._charge(timing, sink, node, "kernel", kernel, detail)
+        # executed flops sum over the (at most two) distinct chunk sizes
+        for chunk_size in set(ch for ch in node.chunks if ch > 0):
+            count = sum(1 for ch in node.chunks if ch == chunk_size)
+            if chunk_size == max_chunk:
+                executed = executed_max
+            else:
+                _, _, executed = self._strip_cost(ctx, node, chunk_size)
+            value = executed * count
+            for factor in node.executed_factors:
+                value = value * factor
+            self._add_executed(timing, sink, node, value)
+
+    def _strip_cost(self, ctx, node: ThreadStripsOp, m_strip: int):
+        """(pack_a, kernel, executed_flops) for one thread's M-strip."""
+        if m_strip <= 0:
+            return 0.0, 0.0, 0.0
+        catalog = ctx.catalog
+        pack_a = 0.0
+        kernel = 0.0
+        executed = 0.0
+        for ii in range(0, m_strip, node.mc):
+            mcb = min(node.mc, m_strip - ii)
+            pa, _ = ctx.packing.pack_cycles(
+                mcb, node.kcb, node.itemsize,
+                source_contiguous=node.pack_a_contiguous,
+                source_resident=node.source_resident,
+                padded_elements=_round_up(mcb, catalog.mr) * node.kcb,
+            )
+            pack_a += pa / node.pack_a_share
+            phase = ctx.cache.kernel_phase(
+                mcb, node.ncb, node.kcb, catalog.mr, catalog.nr,
+                node.itemsize,
+                a_resident="l2",
+                b_resident="l2"
+                if node.kcb * node.ncb * node.itemsize
+                <= 0.5 * ctx.cache.effective_l2_bytes
+                else "mem",
+                simd_lanes=ctx.kernel_cost.lanes,
+                b_shared_by=node.b_shared_by,
+            )
+            cyc, exe = ctx.kernel_cost.gebp_kernel_cycles(
+                catalog, mcb, node.ncb, node.kcb, phase=phase, cache=ctx.cache
+            )
+            kernel += cyc
+            executed += exe
+        return pack_a, kernel, executed
+
+    def _critical_path(self, node: CriticalPathOp, ctx, timing, sink) -> None:
+        worst = None
+        priced = {}
+        for shape in set(node.chunks):
+            sub = node.subplans.get(shape)
+            if sub is None:
+                continue
+            t = self.price(sub, sink=None)
+            priced[shape] = t
+            if worst is None or t.total_cycles > worst.total_cycles:
+                worst = t
+        if worst is None:
+            raise ParallelError("empty partition")
+        detail = None
+        if sink is not None:
+            detail = {
+                "grid_chunks": len(node.chunks),
+                "distinct_shapes": len(priced),
+            }
+        self._charge(timing, sink, node, "kernel", worst.kernel_cycles, detail)
+        self._charge(timing, sink, node, "pack_a", worst.pack_a_cycles, detail)
+        self._charge(timing, sink, node, "pack_b", worst.pack_b_cycles, detail)
+        executed = sum(
+            priced[shape].executed_flops
+            for shape in node.chunks if shape in priced
+        )
+        self._add_executed(timing, sink, node, executed)
+
+    def _merge(self, node: MergeOp, timing, sink) -> None:
+        # sub-plans are priced silently and only the roll-up is emitted,
+        # so a trace's phase-event sums stay bit-equal to the buckets
+        for sub in node.subplans:
+            if sink is not None:
+                sink.emit(TraceEvent(
+                    "plan", str(sub.meta.get("driver", "plan")),
+                    detail=_meta_detail(sub),
+                ))
+            t = self.price(sub, sink=None)
+            timing.useful_flops += t.useful_flops
+            self._charge(timing, sink, node, "kernel", t.kernel_cycles)
+            self._charge(timing, sink, node, "pack_a", t.pack_a_cycles)
+            self._charge(timing, sink, node, "pack_b", t.pack_b_cycles)
+            self._charge(timing, sink, node, "sync", t.sync_cycles)
+            self._charge(timing, sink, node, "other", t.other_cycles)
+            self._add_executed(timing, sink, node, t.executed_flops)
+            for key, val in t.extra.items():
+                timing.extra[key] = timing.extra.get(key, 0.0) + val
+
+
+def _meta_detail(plan: ExecutionPlan) -> dict:
+    """JSON-safe plan metadata for the 'plan' trace event."""
+    from .ir import _jsonable
+
+    return {str(k): _jsonable(v) for k, v in plan.meta.items()}
+
+
+#: the process-wide default engine (stateless; safe to share)
+ENGINE = Engine()

@@ -1,0 +1,299 @@
+"""The ExecutionPlan IR: a typed tree describing one GEMM's work.
+
+A plan is *pure structure*: loop-nest sections, packing operations,
+micro-kernel invocations and synchronization points, each carrying the
+static parameters (block shapes, residencies, sharing groups) that the
+drivers' lowerings decided.  No node holds a cycle count — pricing is the
+:class:`~repro.plan.engine.Engine`'s job, which walks the tree depth-first
+in child order so that floating-point accumulation into the
+:class:`~repro.timing.breakdown.GemmTiming` buckets reproduces the
+pre-refactor per-driver loops bit-for-bit.
+
+Node vocabulary (one per distinct accounting primitive in the drivers):
+
+========================  ====================================================
+:class:`Section`          structural grouping (a loop iteration, a phase)
+:class:`PackOp`           one priced pack (A, B, or format conversion)
+:class:`GebpOp`           one catalog-kernel GEBP sweep over a macro-tile
+:class:`JitSweepOp`       one JIT-kernel sweep (reference SMM), with the
+                          orientation search left to the engine
+:class:`FusedPackOp`      pack-B fused into kernel slack (Fig. 11)
+:class:`BarrierOp`        one tree barrier over a thread group
+:class:`ThreadStripsOp`   per-thread M-strips of a cooperative kc-step
+                          (critical path = largest strip)
+:class:`CriticalPathOp`   max over independent sub-plans (2-D grid scheme)
+:class:`MergeOp`          sum of sub-plans (batched SMM)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, Optional, Tuple
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of node parameters for JSON dumps."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    mr = getattr(value, "mr", None)
+    nr = getattr(value, "nr", None)
+    if mr is not None and nr is not None:
+        return f"{mr}x{nr}"
+    return repr(value)
+
+
+class PlanNode:
+    """Base class: tree walking and serialization shared by all nodes."""
+
+    kind: ClassVar[str] = "node"
+    label: str
+    children: Tuple["PlanNode", ...] = ()
+
+    def params(self) -> Dict[str, Any]:
+        """The node's static parameters (everything but label/children)."""
+        out: Dict[str, Any] = {}
+        for f in dataclasses.fields(self):
+            if f.name in ("label", "children", "subplans"):
+                continue
+            out[f.name] = _jsonable(getattr(self, f.name))
+        return out
+
+    def walk(self, depth: int = 0):
+        """Yield ``(depth, node)`` depth-first in child order."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def count(self) -> int:
+        """Number of nodes in this subtree (sub-plans not included)."""
+        return sum(1 for _ in self.walk())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready tree dump."""
+        out: Dict[str, Any] = {"kind": self.kind, "label": self.label}
+        params = self.params()
+        if params:
+            out["params"] = params
+        subplans = getattr(self, "subplans", None)
+        if subplans:
+            out["subplans"] = {
+                str(key): sub.root.to_dict() for key, sub in subplans.items()
+            }
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+
+@dataclass
+class Section(PlanNode):
+    """Structural grouping of child operations (priced in child order)."""
+
+    label: str
+    children: Tuple[PlanNode, ...] = ()
+    kind: ClassVar[str] = "section"
+
+
+@dataclass
+class PackOp(PlanNode):
+    """One pack of a ``rows x cols`` operand panel.
+
+    ``bucket`` selects the timing bucket (``pack_a`` / ``pack_b`` /
+    ``other`` — the last for BLASFEO's format conversion).  ``share`` is
+    the cooperating-thread count the cost is divided by (``None`` = the
+    pack is private and undivided).  ``explicit_cache`` mirrors the Goto
+    driver passing its cache model explicitly to
+    :meth:`~repro.packing.cost.PackingCostModel.pack_cycles` (bypassing
+    the memo) instead of relying on the model's bound default.
+    """
+
+    label: str
+    bucket: str
+    rows: int
+    cols: int
+    itemsize: int
+    contiguous: bool
+    resident: str
+    padded_elements: int = 0
+    share: Optional[int] = None
+    explicit_cache: bool = False
+    kind: ClassVar[str] = "pack"
+
+
+@dataclass
+class GebpOp(PlanNode):
+    """One GEBP sweep of the catalog's kernels over an ``mc x nc x kc`` tile."""
+
+    label: str
+    mc: int
+    nc: int
+    kc: int
+    itemsize: int
+    a_resident: str
+    b_resident: str
+    b_shared_by: int = 1
+    executed_factors: Tuple[int, ...] = ()
+    kind: ClassVar[str] = "gebp"
+
+
+@dataclass
+class JitSweepOp(PlanNode):
+    """One JIT-kernel sweep over ``m x n`` with depth ``k`` (reference SMM).
+
+    ``main=None`` leaves the main-tile orientation search (e.g. 8x12 vs
+    12x8) to the engine; a pinned :class:`~repro.kernels.KernelSpec`
+    prices exactly that tile.  ``a_resident=None`` means residencies are
+    derived from the problem footprint at pricing time (the
+    single-thread tiny-problem check); the parallel lowering pins them.
+    """
+
+    label: str
+    m: int
+    n: int
+    k: int
+    itemsize: int
+    packed_b: bool
+    a_resident: Optional[str] = None
+    b_resident: Optional[str] = None
+    main: Any = None
+    executed_factors: Tuple[int, ...] = ()
+    kind: ClassVar[str] = "jit_sweep"
+
+
+@dataclass
+class FusedPackOp(PlanNode):
+    """Pack-B fused into the kernel's spare issue slots (paper Fig. 11)."""
+
+    label: str
+    m: int
+    n: int
+    k: int
+    itemsize: int
+    kind: ClassVar[str] = "fused_pack"
+
+
+@dataclass
+class BarrierOp(PlanNode):
+    """One tree barrier over ``group`` cooperating threads."""
+
+    label: str
+    group: int
+    kind: ClassVar[str] = "barrier"
+
+
+@dataclass
+class ThreadStripsOp(PlanNode):
+    """Per-thread M-strips of one cooperative kc-step.
+
+    The critical path charges pack-A and kernel cycles for the largest
+    chunk; executed flops sum over every distinct nonzero chunk size
+    (weighted by multiplicity) and are then scaled by
+    ``executed_factors`` (the BLIS jc*ic*jr replication), folded left to
+    match the original accumulation order.
+    """
+
+    label: str
+    chunks: Tuple[int, ...]
+    ncb: int
+    kcb: int
+    itemsize: int
+    source_resident: str
+    pack_a_contiguous: bool
+    mc: int
+    pack_a_share: int = 1
+    b_shared_by: int = 1
+    executed_factors: Tuple[int, ...] = ()
+    kind: ClassVar[str] = "thread_strips"
+
+
+@dataclass
+class CriticalPathOp(PlanNode):
+    """Max over independent sub-plans (the 2-D grid scheme).
+
+    ``chunks`` is the full partition (with multiplicity); ``subplans``
+    maps each distinct nonzero chunk shape to its lowered sub-plan.  The
+    engine prices every distinct sub-plan once, charges the worst one's
+    kernel/pack buckets, and sums executed flops over all chunks.
+    """
+
+    label: str
+    chunks: Tuple[Tuple[int, int], ...]
+    subplans: Dict[Tuple[int, int], "ExecutionPlan"] = field(
+        default_factory=dict
+    )
+    kind: ClassVar[str] = "critical_path"
+
+
+@dataclass
+class MergeOp(PlanNode):
+    """Sum of independent sub-plans (batched SMM accounting)."""
+
+    label: str
+    subplans: Tuple["ExecutionPlan", ...] = ()
+    kind: ClassVar[str] = "merge"
+
+
+@dataclass
+class ExecutionPlan:
+    """A lowered GEMM: the op tree plus metadata and a pricing context.
+
+    ``meta`` records the lowering's adaptive decisions and provenance
+    (driver name, shape, threads, ``useful_flops``, the reference SMM's
+    :class:`~repro.core.reference.SmmDecision`, scheme info, tuner
+    provenance).  ``context`` is the
+    :class:`~repro.plan.engine.PricingContext` binding the machine,
+    cache, packing and kernel models the engine prices against.
+    """
+
+    root: PlanNode
+    meta: Dict[str, Any]
+    context: Any
+
+    def walk(self):
+        """Yield ``(depth, node)`` over the whole tree."""
+        yield from self.root.walk()
+
+    def count_ops(self) -> int:
+        """Total node count (sub-plans of critical-path/merge not included)."""
+        return self.root.count()
+
+    def price(self, sink=None):
+        """Price this plan with the default engine."""
+        from .engine import ENGINE
+
+        return ENGINE.price(self, sink=sink)
+
+    def render_tree(self, max_lines: int = 80) -> str:
+        """Human-readable tree dump, truncated to ``max_lines`` lines."""
+        lines = []
+        total = 0
+        for depth, node in self.walk():
+            total += 1
+            if len(lines) >= max_lines:
+                continue
+            params = node.params()
+            blurb = ", ".join(
+                f"{k}={v}" for k, v in params.items()
+                if v not in (None, (), [])
+            )
+            pad = "  " * depth
+            lines.append(
+                f"{pad}{node.kind} {node.label}"
+                + (f"  [{blurb}]" if blurb else "")
+            )
+        if total > len(lines):
+            lines.append(f"... ({total - len(lines)} more nodes)")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dump of metadata and the op tree."""
+        return {
+            "meta": _jsonable(self.meta),
+            "ops": self.count_ops(),
+            "tree": self.root.to_dict(),
+        }

@@ -1,0 +1,597 @@
+"""Driver lowerings: library configuration -> ExecutionPlan.
+
+Each function reproduces exactly the loop structure and adaptive
+decisions of the driver it replaces, but emits IR nodes instead of
+charging cycles.  The plan's ``meta`` records the decisions (packing
+choice, factorization, scheme info) so callers keep getting the same
+``SmmDecision`` / scheme-info objects as before the refactor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.reference import SmmDecision
+from ..parallel.partition import blis_factorization, grid_partition, split_even
+from ..timing.models import gemm_flops
+from ..util.errors import DriverError
+from ..util.validation import ceil_div
+from .engine import (
+    PricingContext,
+    estimate_pack_tradeoff,
+    fused_pack_extra,
+    operand_residency,
+)
+from .ir import (
+    BarrierOp,
+    CriticalPathOp,
+    ExecutionPlan,
+    FusedPackOp,
+    GebpOp,
+    JitSweepOp,
+    MergeOp,
+    PackOp,
+    Section,
+    ThreadStripsOp,
+)
+
+
+def _round_up(value: int, base: int) -> int:
+    return ((value + base - 1) // base) * base
+
+
+# ---------------------------------------------------------------------------
+# Goto-structured catalog drivers (OpenBLAS / BLIS / Eigen)
+# ---------------------------------------------------------------------------
+
+
+def lower_goto(driver, m: int, n: int, k: int, cache_model=None) -> ExecutionPlan:
+    """Lower one Goto-structured GEMM (Fig. 4 Layers 1-7) to a plan.
+
+    ``cache_model`` overrides the driver's single-core cache situation —
+    the multithreaded executor passes one configured for L2 sharing and
+    NUMA to lower per-thread sub-problems.
+    """
+    if m <= 0 or n <= 0 or k <= 0:
+        raise DriverError(f"invalid GEMM shape {m}x{n}x{k}")
+    cache = cache_model if cache_model is not None else driver.cache_model
+    blocking = driver.blocking
+    catalog = driver.catalog
+    config = driver.config
+    itemsize = driver.dtype.itemsize
+    ctx = PricingContext(
+        machine=driver.machine,
+        cache=cache,
+        packing=driver.packing_cost,
+        itemsize=itemsize,
+        kernel_cost=driver.kernel_cost,
+        catalog=driver.catalog,
+        warm=config.warm,
+    )
+    source_res = driver._source_residency(m, n, k, itemsize, cache)
+
+    def pack_b_op(kcb: int, ncb: int) -> PackOp:
+        return PackOp(
+            label=f"pack_b[{kcb}x{ncb}]", bucket="pack_b",
+            rows=kcb, cols=ncb, itemsize=itemsize,
+            contiguous=config.pack_b_contiguous, resident=source_res,
+            padded_elements=kcb * _round_up(ncb, catalog.nr),
+            explicit_cache=True,
+        )
+
+    def pack_a_op(mcb: int, kcb: int) -> PackOp:
+        return PackOp(
+            label=f"pack_a[{mcb}x{kcb}]", bucket="pack_a",
+            rows=mcb, cols=kcb, itemsize=itemsize,
+            contiguous=config.pack_a_contiguous, resident=source_res,
+            padded_elements=_round_up(mcb, catalog.mr) * kcb,
+            explicit_cache=True,
+        )
+
+    def gebp_op(mcb: int, ncb: int, kcb: int) -> GebpOp:
+        tiny = config.warm and (
+            (mcb * kcb + kcb * ncb + mcb * ncb) * itemsize
+            <= 0.75 * driver.machine.l1d.size_bytes
+        )
+        return GebpOp(
+            label=f"gebp[{mcb}x{ncb}x{kcb}]",
+            mc=mcb, nc=ncb, kc=kcb, itemsize=itemsize,
+            a_resident="l1" if tiny else "l2",
+            b_resident="l1" if tiny else driver._packed_b_residency(
+                kcb, ncb, itemsize, cache),
+        )
+
+    sections = []
+    if config.outer_loop == "n":
+        # Goto order: pack B once per (jj, kk); A per (jj, kk, ii)
+        for jj in range(0, n, blocking.nc):
+            ncb = min(blocking.nc, n - jj)
+            for kk in range(0, k, blocking.kc):
+                kcb = min(blocking.kc, k - kk)
+                kids = [pack_b_op(kcb, ncb)]
+                for ii in range(0, m, blocking.mc):
+                    mcb = min(blocking.mc, m - ii)
+                    kids.append(pack_a_op(mcb, kcb))
+                    kids.append(gebp_op(mcb, ncb, kcb))
+                sections.append(
+                    Section(f"panel[j={jj},k={kk}]", tuple(kids))
+                )
+    else:
+        # Eigen order: outermost over M; A packed per (ii, kk), B
+        # re-packed per (ii, kk, jj) panel
+        for ii in range(0, m, blocking.mc):
+            mcb = min(blocking.mc, m - ii)
+            for kk in range(0, k, blocking.kc):
+                kcb = min(blocking.kc, k - kk)
+                kids = [pack_a_op(mcb, kcb)]
+                for jj in range(0, n, blocking.nc):
+                    ncb = min(blocking.nc, n - jj)
+                    kids.append(pack_b_op(kcb, ncb))
+                    kids.append(gebp_op(mcb, ncb, kcb))
+                sections.append(
+                    Section(f"panel[i={ii},k={kk}]", tuple(kids))
+                )
+
+    root = Section(f"goto-{config.outer_loop}-order", tuple(sections))
+    meta = {
+        "driver": driver.name,
+        "shape": (m, n, k),
+        "threads": 1,
+        "useful_flops": gemm_flops(m, n, k),
+        "order": config.outer_loop,
+        "source_residency": source_res,
+        "blocking": (blocking.mc, blocking.kc, blocking.nc),
+        "kernel_shape": f"{catalog.mr}x{catalog.nr}",
+    }
+    return ExecutionPlan(root=root, meta=meta, context=ctx)
+
+
+# ---------------------------------------------------------------------------
+# BLASFEO panel-major driver
+# ---------------------------------------------------------------------------
+
+
+def lower_blasfeo(driver, m: int, n: int, k: int) -> ExecutionPlan:
+    """Lower one BLASFEO SMM call: no packing, one flat kernel pass."""
+    from ..memlayout.panelmajor import conversion_element_moves
+
+    if m <= 0 or n <= 0 or k <= 0:
+        raise DriverError(f"invalid GEMM shape {m}x{n}x{k}")
+    itemsize = driver.dtype.itemsize
+    ctx = PricingContext(
+        machine=driver.machine,
+        cache=driver.cache_model,
+        packing=driver.packing_cost,
+        itemsize=itemsize,
+        kernel_cost=driver.kernel_cost,
+        catalog=driver.catalog,
+        warm=driver.warm,
+    )
+    kids = []
+    if driver.include_conversion:
+        # application-side panel-major conversion, charged to 'other';
+        # B stays column-major (its panels are the kernel's B slivers)
+        kids.append(PackOp(
+            label=f"panel-convert[A:{m}x{k}]", bucket="other",
+            rows=m, cols=k, itemsize=itemsize,
+            contiguous=False,
+            resident="l2" if driver.warm else "mem",
+            padded_elements=conversion_element_moves(m, k, driver.ps),
+        ))
+    resident = driver._residency(m, n, k, itemsize)
+    kids.append(GebpOp(
+        label=f"kernel-pass[{m}x{n}x{k}]",
+        mc=m, nc=n, kc=k, itemsize=itemsize,
+        a_resident=resident, b_resident=resident,
+    ))
+    root = Section("blasfeo-flat", tuple(kids))
+    meta = {
+        "driver": driver.name,
+        "shape": (m, n, k),
+        "threads": 1,
+        "useful_flops": gemm_flops(m, n, k),
+        "ps": driver.ps,
+        "conversion_charged": driver.include_conversion,
+        "kernel_shape": f"{driver.catalog.mr}x{driver.catalog.nr}",
+    }
+    return ExecutionPlan(root=root, meta=meta, context=ctx)
+
+
+# ---------------------------------------------------------------------------
+# reference SMM driver (single-thread and kc-blocked parallel)
+# ---------------------------------------------------------------------------
+
+
+def lower_reference(
+    driver,
+    m: int,
+    n: int,
+    k: int,
+    main=None,
+    packed_b: Optional[bool] = None,
+    factorization=None,
+) -> ExecutionPlan:
+    """Lower one reference-SMM call, making the packing-optional choice.
+
+    Pinned arguments (``main`` / ``packed_b`` / ``factorization``) come
+    from the tuner; any left ``None`` falls back to the driver's own
+    adaptive decision, and ``meta["provenance"]`` records which case ran.
+    """
+    pinned = (
+        main is not None or packed_b is not None or factorization is not None
+    )
+    ctx = PricingContext(
+        machine=driver.machine,
+        cache=driver.cache_model,
+        packing=driver.packing_cost,
+        itemsize=driver.dtype.itemsize,
+        jit=driver.jit,
+        analyzer=driver.analyzer,
+        warm=driver.warm,
+        pack_edge_b=driver.pack_edge_b,
+    )
+    if driver.threads == 1:
+        plan = _lower_reference_single(driver, ctx, m, n, k, main, packed_b)
+    else:
+        plan = _lower_reference_parallel(
+            driver, ctx, m, n, k, main, packed_b, factorization
+        )
+    plan.meta["provenance"] = "pinned" if pinned else "adaptive"
+    return plan
+
+
+def _lower_reference_single(driver, ctx, m, n, k, main, packed_b):
+    itemsize = ctx.itemsize
+
+    # --- packing-optional decision (at lowering time) ----------------
+    pack_cycles, nopack_penalty = estimate_pack_tradeoff(
+        ctx, m, n, k, main=main
+    )
+    effective_pack = (
+        fused_pack_extra(ctx, m, n, k)
+        if driver.fused_packing else pack_cycles
+    )
+    if packed_b is None:
+        packed_b = (
+            driver.force_packing
+            if driver.force_packing is not None
+            else effective_pack < nopack_penalty
+        )
+
+    kids = []
+    if packed_b:
+        if driver.fused_packing:
+            kids.append(FusedPackOp(
+                label=f"fused-pack-b[{k}x{n}]",
+                m=m, n=n, k=k, itemsize=itemsize,
+            ))
+        else:
+            panel = main if main is not None else driver.jit.main_spec
+            kids.append(PackOp(
+                label=f"pack_b[{k}x{n}]", bucket="pack_b",
+                rows=k, cols=n, itemsize=itemsize,
+                contiguous=False,
+                resident=operand_residency(ctx, m, n, k),
+                padded_elements=k * ceil_div(n, panel.nr) * panel.nr,
+            ))
+    kids.append(JitSweepOp(
+        label=f"jit-sweep[{m}x{n}x{k}]",
+        m=m, n=n, k=k, itemsize=itemsize,
+        packed_b=packed_b, main=main,
+    ))
+
+    shape_spec = main if main is not None else driver.jit.main_spec
+    decision = SmmDecision(
+        packed_b=packed_b,
+        pack_cycles_estimate=effective_pack,
+        nopack_penalty_estimate=nopack_penalty,
+        kernel_shape=f"{shape_spec.mr}x{shape_spec.nr}",
+        threads=1,
+    )
+    meta = {
+        "driver": driver.name,
+        "shape": (m, n, k),
+        "threads": 1,
+        "useful_flops": gemm_flops(m, n, k),
+        "decision": decision,
+        "packed_b": packed_b,
+        "kernel_shape": decision.kernel_shape,
+        "fused_packing": driver.fused_packing,
+    }
+    return ExecutionPlan(
+        root=Section("reference-smm", tuple(kids)), meta=meta, context=ctx
+    )
+
+
+def _lower_reference_parallel(
+    driver, ctx, m, n, k, main, packed_b, factorization
+):
+    """Multithreaded critical path, assembled per kc-iteration.
+
+    Mirrors the BLIS executor's structure (cooperative B pack within the
+    jc group, barriers sized by the group, per-thread kernel sweep) but
+    with the reference design's JIT kernels and packing-optional
+    decision.
+    """
+    itemsize = ctx.itemsize
+    tile = main if main is not None else driver.jit.main_spec
+    fact = (
+        factorization if factorization is not None
+        else blis_factorization(m, n, driver.threads, tile.mr, tile.nr)
+    )
+
+    m_chunk = ceil_div(m, fact.ic)
+    n_group = ceil_div(n, fact.jc)
+    n_chunk = ceil_div(n_group, fact.jr)
+    kc = max(32, min(k, 256))
+
+    # residency is a property of the *global* problem: a 2048x2048 B
+    # streams from memory even though each thread's slice is small
+    global_res = operand_residency(ctx, m, n, k)
+    a_res = (
+        "l2" if m * k * itemsize
+        <= 0.75 * ctx.cache.effective_l2_bytes and driver.warm
+        else global_res
+    )
+
+    pack_cycles, nopack_penalty = estimate_pack_tradeoff(
+        ctx, m_chunk, n_chunk, kc,
+        source_residency=global_res, main=main,
+    )
+    if packed_b is None:
+        packed_b = (
+            driver.force_packing
+            if driver.force_packing is not None
+            else pack_cycles < nopack_penalty
+        )
+
+    panel = main if main is not None else driver.jit.main_spec
+    kids = []
+    for kk in range(0, k, kc):
+        kcb = min(kc, k - kk)
+        step = []
+        if packed_b:
+            # the jc group packs its B panel cooperatively from the
+            # globally-resident source
+            step.append(PackOp(
+                label=f"pack_b[k={kk}]", bucket="pack_b",
+                rows=kcb, cols=n_group, itemsize=itemsize,
+                contiguous=False, resident=global_res,
+                padded_elements=(
+                    kcb * ceil_div(n_group, panel.nr) * panel.nr
+                ),
+                share=fact.pack_b_group,
+            ))
+            step.append(BarrierOp(
+                label="pack-b-barrier", group=fact.pack_b_group
+            ))
+            b_res = "l2"  # just packed into the cluster's L2
+        else:
+            b_res = global_res
+        step.append(JitSweepOp(
+            label=f"jit-sweep[k={kk}]",
+            m=m_chunk, n=n_chunk, k=kcb, itemsize=itemsize,
+            packed_b=packed_b,
+            a_resident=a_res, b_resident=b_res, main=main,
+            executed_factors=(fact.ic, fact.jc, fact.jr),
+        ))
+        step.append(BarrierOp(label="kc-barrier", group=fact.pack_b_group))
+        kids.append(Section(f"kc[{kk}]", tuple(step)))
+
+    decision = SmmDecision(
+        packed_b=packed_b,
+        pack_cycles_estimate=pack_cycles,
+        nopack_penalty_estimate=nopack_penalty,
+        kernel_shape=f"{tile.mr}x{tile.nr}",
+        threads=driver.threads,
+        factorization=fact,
+    )
+    meta = {
+        "driver": driver.name,
+        "shape": (m, n, k),
+        "threads": driver.threads,
+        "useful_flops": gemm_flops(m, n, k),
+        "decision": decision,
+        "packed_b": packed_b,
+        "kernel_shape": decision.kernel_shape,
+        "factorization": fact,
+    }
+    return ExecutionPlan(
+        root=Section("reference-smm-mt", tuple(kids)), meta=meta, context=ctx
+    )
+
+
+# ---------------------------------------------------------------------------
+# multithreaded library schemes (OpenBLAS 1-D / BLIS multidim / Eigen grid)
+# ---------------------------------------------------------------------------
+
+
+def lower_library_mt(mt, m: int, n: int, k: int) -> ExecutionPlan:
+    """Lower one multithreaded library GEMM for ``mt``'s scheme."""
+    if mt.library == "openblas":
+        return _lower_mt_openblas(mt, m, n, k)
+    if mt.library == "blis":
+        return _lower_mt_blis(mt, m, n, k)
+    return _lower_mt_eigen(mt, m, n, k)
+
+
+def _mt_context(mt) -> PricingContext:
+    return PricingContext(
+        machine=mt.machine,
+        cache=mt.cache_mt,
+        packing=mt.packing_cost,
+        itemsize=mt.dtype.itemsize,
+        kernel_cost=mt.kernel_cost,
+        catalog=mt.driver.catalog,
+        warm=mt.driver.config.warm,
+    )
+
+
+def _mt_meta(mt, m, n, k, info) -> dict:
+    return {
+        "driver": mt.library,
+        "shape": (m, n, k),
+        "threads": mt.threads,
+        "useful_flops": gemm_flops(m, n, k),
+        "kernel_shape": f"{mt.driver.catalog.mr}x{mt.driver.catalog.nr}",
+        "info": info,
+    }
+
+
+def _lower_mt_openblas(mt, m, n, k) -> ExecutionPlan:
+    """1-D M split across all T threads; B packed cooperatively by all."""
+    drv = mt.driver
+    blocking = drv.blocking
+    cat = drv.catalog
+    itemsize = mt.dtype.itemsize
+    T = mt.threads
+    chunks = tuple(c for c in split_even(m, T))
+    source_res = drv._source_residency(m, n, k, itemsize, mt.cache_mt)
+    b_shared = min(mt.machine.l2.shared_by, T)
+
+    kids = []
+    for jj in range(0, n, blocking.nc):
+        ncb = min(blocking.nc, n - jj)
+        for kk in range(0, k, blocking.kc):
+            kcb = min(blocking.kc, k - kk)
+            step = (
+                PackOp(
+                    label=f"pack_b[{kcb}x{ncb}]", bucket="pack_b",
+                    rows=kcb, cols=ncb, itemsize=itemsize,
+                    contiguous=drv.config.pack_b_contiguous,
+                    resident=source_res,
+                    padded_elements=kcb * _round_up(ncb, cat.nr),
+                    share=T,
+                ),
+                BarrierOp(label="pack-b-barrier", group=T),
+                ThreadStripsOp(
+                    label=f"m-strips[{kcb}x{ncb}]",
+                    chunks=chunks, ncb=ncb, kcb=kcb, itemsize=itemsize,
+                    source_resident=source_res,
+                    pack_a_contiguous=drv.config.pack_a_contiguous,
+                    mc=blocking.mc,
+                    b_shared_by=b_shared,
+                ),
+                BarrierOp(label="kc-barrier", group=T),
+            )
+            kids.append(Section(f"panel[j={jj},k={kk}]", step))
+    info = {
+        "scheme": "1d-m",
+        "chunks_nonzero": sum(1 for c in chunks if c),
+        "max_chunk": max(chunks),
+    }
+    return ExecutionPlan(
+        root=Section("mt-1d-m", tuple(kids)),
+        meta=_mt_meta(mt, m, n, k, info),
+        context=_mt_context(mt),
+    )
+
+
+def _lower_mt_blis(mt, m, n, k) -> ExecutionPlan:
+    """Multi-dimensional: T factorized over (jc, ic, jr)."""
+    drv = mt.driver
+    blocking = drv.blocking
+    cat = drv.catalog
+    itemsize = mt.dtype.itemsize
+    fact = blis_factorization(m, n, mt.threads, cat.mr, cat.nr)
+    source_res = drv._source_residency(m, n, k, itemsize, mt.cache_mt)
+
+    n_group = max(split_even(n, fact.jc))  # one jc group's N extent
+    m_chunk = max(split_even(m, fact.ic))  # one thread's M extent
+    n_thread = max(split_even(n_group, fact.jr))  # one thread's N extent
+
+    kids = []
+    for jj in range(0, n_group, blocking.nc):
+        ncb = min(blocking.nc, n_group - jj)
+        ncb_thread = min(n_thread, ncb)
+        for kk in range(0, k, blocking.kc):
+            kcb = min(blocking.kc, k - kk)
+            step = [
+                # B pack cooperative within the jc group
+                PackOp(
+                    label=f"pack_b[{kcb}x{ncb}]", bucket="pack_b",
+                    rows=kcb, cols=ncb, itemsize=itemsize,
+                    contiguous=drv.config.pack_b_contiguous,
+                    resident=source_res,
+                    padded_elements=kcb * _round_up(ncb, cat.nr),
+                    share=fact.pack_b_group,
+                ),
+                BarrierOp(label="pack-b-barrier", group=fact.pack_b_group),
+                # A pack cooperative within the jr group, kernel per thread
+                ThreadStripsOp(
+                    label=f"m-strips[{kcb}x{ncb_thread}]",
+                    chunks=(m_chunk,), ncb=ncb_thread, kcb=kcb,
+                    itemsize=itemsize,
+                    source_resident=source_res,
+                    pack_a_contiguous=drv.config.pack_a_contiguous,
+                    mc=blocking.mc,
+                    pack_a_share=fact.pack_a_group,
+                    b_shared_by=min(
+                        mt.machine.l2.shared_by, fact.pack_b_group
+                    ),
+                    executed_factors=(fact.ic, fact.jc, fact.jr),
+                ),
+            ]
+            if fact.pack_a_group > 1:
+                step.append(BarrierOp(
+                    label="pack-a-barrier", group=fact.pack_a_group
+                ))
+            step.append(BarrierOp(
+                label="kc-barrier", group=fact.pack_b_group
+            ))
+            kids.append(Section(f"panel[j={jj},k={kk}]", tuple(step)))
+    info = {"scheme": "multidim", "factorization": fact}
+    return ExecutionPlan(
+        root=Section("mt-multidim", tuple(kids)),
+        meta=_mt_meta(mt, m, n, k, info),
+        context=_mt_context(mt),
+    )
+
+
+def _lower_mt_eigen(mt, m, n, k) -> ExecutionPlan:
+    """Balanced 2-D grid of independent sub-GEMMs, one join barrier."""
+    chunks = grid_partition(m, n, mt.threads)
+    subplans = {}
+    for (mi, nj) in set(chunks):
+        if mi == 0 or nj == 0:
+            continue
+        subplans[(mi, nj)] = lower_goto(
+            mt.driver, mi, nj, k, cache_model=mt.cache_mt
+        )
+    kids = (
+        CriticalPathOp(
+            label="2d-grid", chunks=tuple(chunks), subplans=subplans
+        ),
+        BarrierOp(label="join", group=mt.threads),
+    )
+    info = {"scheme": "2d-grid", "grid_chunks": len(chunks)}
+    return ExecutionPlan(
+        root=Section("mt-2d-grid", kids),
+        meta=_mt_meta(mt, m, n, k, info),
+        context=_mt_context(mt),
+    )
+
+
+# ---------------------------------------------------------------------------
+# batched SMM
+# ---------------------------------------------------------------------------
+
+
+def lower_batch(driver, shapes) -> ExecutionPlan:
+    """Lower a batch of (m, n, k) problems to one merged plan.
+
+    ``driver`` is any single-problem driver with a ``plan_gemm`` method;
+    the merge node sums the sub-plans' buckets exactly like folding
+    :meth:`~repro.timing.breakdown.GemmTiming.merged_with` over the
+    per-problem timings.
+    """
+    subplans = tuple(driver.plan_gemm(m, n, k) for (m, n, k) in shapes)
+    meta = {
+        "driver": getattr(driver, "name", driver.__class__.__name__),
+        "shape": tuple(tuple(s) for s in shapes),
+        "threads": getattr(driver, "threads", 1),
+        "useful_flops": 0,  # accumulated from the sub-plans when priced
+        "batch": len(subplans),
+    }
+    root = MergeOp(label=f"batch[{len(subplans)}]", subplans=subplans)
+    return ExecutionPlan(root=root, meta=meta, context=None)

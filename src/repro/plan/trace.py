@@ -1,0 +1,101 @@
+"""Structured trace events emitted by the pricing engine.
+
+The engine guards every emission with ``if sink is not None`` and builds
+event details only inside that guard, so tracing is zero-overhead when
+off.  Event kinds:
+
+``plan``
+    One per priced plan (and per sub-plan of a batch): driver, shape,
+    threads, useful flops, the lowering's decision and provenance.
+``phase``
+    One per bucket charge, in charge order: ``bucket`` names the
+    :class:`~repro.timing.breakdown.GemmTiming` field (``kernel`` /
+    ``pack_a`` / ``pack_b`` / ``sync`` / ``other``) and ``cycles`` the
+    exact amount added — replaying phase events in order reproduces the
+    priced buckets bit-for-bit.
+``flops``
+    One per executed-flops charge (``detail["executed_flops"]``).
+``cache``
+    A cache-model query: the phase's stall cycles, miss lines and DRAM
+    bytes for one kernel sweep.
+``kernel_cache``
+    JIT kernel-cache activity around one sweep: request/compile deltas
+    and the running hit rate.
+``total``
+    Final roll-up of the priced timing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+#: bucket names phase events may carry, in GemmTiming field order
+PHASE_BUCKETS = ("kernel", "pack_a", "pack_b", "sync", "other")
+
+
+@dataclass
+class TraceEvent:
+    """One engine observation (see module docstring for kinds)."""
+
+    kind: str
+    label: str
+    bucket: Optional[str] = None
+    cycles: Optional[float] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dump (None fields omitted)."""
+        out: Dict[str, Any] = {"kind": self.kind, "label": self.label}
+        if self.bucket is not None:
+            out["bucket"] = self.bucket
+        if self.cycles is not None:
+            out["cycles"] = self.cycles
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+class TraceSink:
+    """Receiver interface for engine trace events."""
+
+    def emit(self, event: TraceEvent) -> None:
+        """Consume one event."""
+        raise NotImplementedError
+
+
+class RecordingTraceSink(TraceSink):
+    """Buffers every event in order; the CLI/diagnose consumer."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        """Append ``event`` to the buffer."""
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def bucket_totals(self) -> Dict[str, float]:
+        """Per-bucket cycle sums of the phase events, in emission order.
+
+        Accumulates with the same left-to-right float additions the
+        engine used, so the totals equal the priced ``GemmTiming``
+        buckets exactly.
+        """
+        totals = {bucket: 0.0 for bucket in PHASE_BUCKETS}
+        for event in self.events:
+            if event.kind == "phase" and event.bucket in totals:
+                totals[event.bucket] += event.cycles
+        return totals
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The whole event stream as a JSON array."""
+        return json.dumps(
+            [event.to_dict() for event in self.events], indent=indent
+        )

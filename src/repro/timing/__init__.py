@@ -1,6 +1,6 @@
 """Analytic timing models and the GEMM phase-breakdown result type."""
 
-from .breakdown import GemmTiming
+from .breakdown import GemmTiming, timing_from_trace
 from .roofline import RooflinePoint, respects_roofline, roofline
 from .models import (
     arithmetic_intensity,
@@ -15,6 +15,7 @@ from .models import (
 
 __all__ = [
     "GemmTiming",
+    "timing_from_trace",
     "RooflinePoint",
     "roofline",
     "respects_roofline",

@@ -156,3 +156,45 @@ class GemmTiming:
             "sync": 100.0 * self.sync_cycles / total,
             "other": 100.0 * self.other_cycles / total,
         }
+
+
+def _event_field(event, name: str):
+    """Read ``name`` off a trace event or its JSON-dict form."""
+    if isinstance(event, dict):
+        return event.get(name)
+    return getattr(event, name, None)
+
+
+def timing_from_trace(events) -> GemmTiming:
+    """Rebuild a :class:`GemmTiming` from an engine event trace.
+
+    Accepts either :class:`~repro.plan.trace.TraceEvent` objects (e.g. a
+    :class:`~repro.plan.trace.RecordingTraceSink`) or their ``to_dict()``
+    JSON forms, so a dumped trace file reconstructs the same breakdown.
+    Phase events are summed *in trace order* per bucket — the same
+    accumulation order the engine used — so the result is bit-for-bit
+    the timing the engine priced alongside the trace.
+    """
+    timing = GemmTiming()
+    for event in events:
+        kind = _event_field(event, "kind")
+        if kind == "phase":
+            bucket = _event_field(event, "bucket")
+            cycles = _event_field(event, "cycles")
+            if bucket is None or cycles is None:
+                continue
+            setattr(timing, f"{bucket}_cycles",
+                    getattr(timing, f"{bucket}_cycles") + cycles)
+        elif kind == "flops":
+            detail = _event_field(event, "detail") or {}
+            timing.executed_flops += detail.get("executed_flops", 0.0)
+        elif kind == "plan":
+            # batch traces carry one plan event per sub-problem (the root
+            # merge plan itself contributes zero), so useful flops sum
+            detail = _event_field(event, "detail") or {}
+            useful = detail.get("useful_flops")
+            if useful is not None:
+                timing.useful_flops += int(useful)
+    return timing
+
+

@@ -267,7 +267,7 @@ class AdaptiveTuner:
             factorization=plan.blis_factorization(),
         )
         result = driver.gemm(a, b)
-        result.info["plan"] = plan
+        result.info["tuned_plan"] = plan
         result.info["decision"] = decision
         result.timing.kernel_cycles = timing.kernel_cycles
         result.timing.pack_a_cycles = timing.pack_a_cycles
@@ -276,6 +276,31 @@ class AdaptiveTuner:
         result.timing.other_cycles = timing.other_cycles
         result.timing.executed_flops = timing.executed_flops
         return result
+
+    def plan_execution(self, m: int, n: int, k: int, threads: int = 1):
+        """The tuned problem lowered to a traceable ExecutionPlan.
+
+        Pins the tuned choices (tile, packing, factorization) into the
+        reference driver's lowering and stamps the plan's metadata with
+        the tuner's provenance — where the plan came from (``tuned`` vs
+        ``heuristic`` fallback), whether the kernel was verified, and the
+        modeled speedup — so a trace of a tuned run is self-describing.
+        Price with a :class:`~repro.plan.trace.RecordingTraceSink` to see
+        where the tuned plan spends its cycles.
+        """
+        tuned = self.tune(m, n, k, threads=threads)
+        driver = self.driver(threads)
+        plan = driver.plan_with(
+            m, n, k, main=tuned.spec, packed_b=tuned.packed_b,
+            factorization=tuned.blis_factorization(),
+        )
+        plan.meta["provenance"] = f"tuner:{tuned.source}"
+        plan.meta["tuner"] = {
+            "source": tuned.source,
+            "verified": tuned.verified,
+            "speedup_vs_heuristic": tuned.speedup_vs_heuristic,
+        }
+        return plan
 
 
 def tuned_sweep(tuner: AdaptiveTuner, shapes: Sequence[Shape],

@@ -1,0 +1,140 @@
+"""Record golden GemmTiming values for the plan-engine parity suite.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/record_golden.py
+
+Writes ``tests/data/golden_timings.json``: the exact per-phase cycle
+breakdown of every driver on the paper's Fig. 5 / Fig. 10 shape sweeps
+(plus edge/remainder shapes).  The committed file was recorded *before*
+the ExecutionPlan refactor, so ``tests/test_cross_driver_consistency.py``
+can assert that plan-derived timings reproduce the hand-rolled
+accounting bit-for-bit.  Re-run only to extend the grid, never to paper
+over a parity break.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.blas import make_blasfeo, make_blis, make_eigen, make_openblas
+from repro.core import ReferenceSmmDriver
+from repro.machine import phytium2000plus
+from repro.parallel import MultithreadedGemm
+from repro.workloads import sweeps
+
+DATA_PATH = pathlib.Path(__file__).parent / "data" / "golden_timings.json"
+
+#: remainder-heavy shapes that stress every edge policy
+EDGE_SHAPES = [
+    (2, 2, 2),
+    (5, 3, 2),
+    (7, 11, 13),
+    (13, 4, 7),
+    (33, 65, 129),
+    (75, 75, 75),
+    (97, 101, 89),
+]
+
+#: one point per Fig. 10 regime (small / mid / large small-dimension)
+MT_POINTS = (16, 80, 256)
+MT_THREADS = (4, 64)
+
+
+def single_thread_grid():
+    """The Fig. 5 sweeps plus the edge shapes."""
+    shapes = []
+    shapes.extend(sweeps.fig5a_square())
+    shapes.extend(sweeps.fig5b_small_m())
+    shapes.extend(sweeps.fig5c_small_n())
+    shapes.extend(sweeps.fig5d_small_k())
+    shapes.extend(EDGE_SHAPES)
+    # de-duplicate, preserving order
+    seen, out = set(), []
+    for s in shapes:
+        if s not in seen:
+            seen.add(s)
+            out.append(s)
+    return out
+
+
+def mt_grid():
+    """A Fig. 10 subset: every sweep at three small-dimension points."""
+    large = sweeps.MT_LARGE
+    shapes = []
+    for p in MT_POINTS:
+        shapes.append((p, large, large))
+        shapes.append((large, p, large))
+        shapes.append((large, large, p))
+    return shapes
+
+
+def record(machine=None) -> dict:
+    """Compute the full golden set; returns the JSON-ready dict."""
+    machine = machine or phytium2000plus()
+    entries = []
+
+    st_drivers = {
+        "openblas": make_openblas(machine),
+        "blis": make_blis(machine),
+        "eigen": make_eigen(machine),
+        "blasfeo": make_blasfeo(machine),
+    }
+    st_shapes = single_thread_grid()
+    for name, drv in st_drivers.items():
+        for (m, n, k) in st_shapes:
+            timing = drv.cost_gemm(m, n, k)
+            entries.append({
+                "driver": name, "threads": 1, "shape": [m, n, k],
+                "timing": timing.as_dict(),
+            })
+
+    reference = ReferenceSmmDriver(machine)
+    fused = ReferenceSmmDriver(machine, fused_packing=True)
+    for name, drv in (("reference", reference), ("reference-fused", fused)):
+        for (m, n, k) in st_shapes:
+            timing, decision = drv.cost_gemm(m, n, k)
+            entries.append({
+                "driver": name, "threads": 1, "shape": [m, n, k],
+                "timing": timing.as_dict(),
+                "packed_b": bool(decision.packed_b),
+            })
+
+    for threads in MT_THREADS:
+        for lib in ("openblas", "blis", "eigen"):
+            mt = MultithreadedGemm(machine, lib, threads=threads)
+            for (m, n, k) in mt_grid():
+                timing, _ = mt.cost(m, n, k)
+                entries.append({
+                    "driver": lib, "threads": threads, "shape": [m, n, k],
+                    "timing": timing.as_dict(),
+                })
+        ref_mt = ReferenceSmmDriver(machine, threads=threads)
+        for (m, n, k) in mt_grid():
+            timing, decision = ref_mt.cost_gemm(m, n, k)
+            entries.append({
+                "driver": "reference", "threads": threads,
+                "shape": [m, n, k],
+                "timing": timing.as_dict(),
+                "packed_b": bool(decision.packed_b),
+            })
+
+    return {
+        "machine": machine.name,
+        "dtype": str(np.dtype(np.float32)),
+        "entries": entries,
+    }
+
+
+def main() -> None:
+    data = record()
+    DATA_PATH.parent.mkdir(parents=True, exist_ok=True)
+    DATA_PATH.write_text(json.dumps(data, indent=1) + "\n")
+    print(f"wrote {len(data['entries'])} golden entries to {DATA_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -102,7 +102,7 @@ class TestResidencyLogic:
         rng = make_rng(22)
         result = drv.gemm(random_matrix(rng, 20, 20),
                           random_matrix(rng, 20, 20))
-        plan = result.info["plan"]
+        plan = result.info["tile_plan"]
         assert plan["calls"] >= 1
         assert plan["edge_calls"] >= 1  # 20 is not a multiple of 16
 

@@ -83,3 +83,59 @@ class TestCommands:
         assert main(["gemm", "64", "512", "512", "--threads", "8"]) == 0
         out = capsys.readouterr().out
         assert "8 thread(s)" in out
+
+
+class TestTraceCommand:
+    def test_trace_renders_plan_and_reconciles(self, capsys):
+        assert main(["trace", "24", "24", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "execution plan" in out
+        assert "jit_sweep" in out
+        assert "trace reconciliation: OK" in out
+
+    def test_trace_goto_driver(self, capsys):
+        assert main(["trace", "48", "48", "48", "--lib", "openblas"]) == 0
+        out = capsys.readouterr().out
+        assert "pack" in out and "gebp" in out
+        assert "trace reconciliation: OK" in out
+
+    def test_trace_multithreaded(self, capsys):
+        assert main(["trace", "80", "512", "512", "--lib", "blis",
+                     "--threads", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "barrier" in out
+        assert "trace reconciliation: OK" in out
+
+    def test_trace_json_stdout_is_valid_and_reconciled(self, capsys):
+        import json as jsonlib
+
+        assert main(["trace", "33", "17", "9", "--json", "-"]) == 0
+        payload = jsonlib.loads(capsys.readouterr().out)
+        assert payload["reconciled"] is True
+        assert payload["events"][0]["kind"] == "plan"
+        assert payload["events"][-1]["kind"] == "total"
+        # per-phase event sums must rebuild the timing's buckets
+        sums = {}
+        for event in payload["events"]:
+            if event["kind"] == "phase":
+                sums[event["bucket"]] = (
+                    sums.get(event["bucket"], 0.0) + event["cycles"]
+                )
+        timing = payload["timing"]
+        for bucket in ("kernel", "pack_a", "pack_b", "sync", "other"):
+            assert sums.get(bucket, 0.0) == timing[f"{bucket}_cycles"]
+
+    def test_trace_json_file(self, capsys, tmp_path):
+        import json as jsonlib
+
+        path = tmp_path / "trace.json"
+        assert main(["trace", "16", "16", "16", "--lib", "blasfeo",
+                     "--json", str(path)]) == 0
+        assert f"wrote {path}" in capsys.readouterr().out
+        payload = jsonlib.loads(path.read_text())
+        assert payload["reconciled"] is True
+        assert payload["meta"]["driver"] == "blasfeo"
+
+    def test_trace_tuned_requires_reference(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", "8", "8", "8", "--lib", "blis", "--tuned"])

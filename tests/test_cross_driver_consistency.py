@@ -88,3 +88,103 @@ class TestExperimentCrossChecks:
         assert {s.name for s in fig.series} == {
             "openblas", "blis", "blasfeo", "eigen", "reference"
         }
+
+
+# ---------------------------------------------------------------------------
+# golden plan parity: the ExecutionPlan refactor's acceptance gate
+# ---------------------------------------------------------------------------
+
+import json
+import pathlib
+
+from repro.blas import make_driver
+from repro.parallel import MultithreadedGemm
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_timings.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """The pre-refactor GemmTiming recordings (tests/record_golden.py)."""
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _golden_entries(golden, driver, threads):
+    entries = [e for e in golden["entries"]
+               if e["driver"] == driver and e["threads"] == threads]
+    assert entries, f"no golden entries for {driver}@{threads}"
+    return entries
+
+
+class TestGoldenPlanParity:
+    """Every driver's plan-derived GemmTiming must reproduce the timing
+    recorded *before* the ExecutionPlan refactor — bit for bit, every
+    bucket, on the paper's Fig. 5 / Fig. 10 sweeps plus edge shapes.
+
+    ``as_dict()`` equality is exact float equality: any reordering of the
+    engine's accumulation, any dropped or doubled charge, fails here.
+    """
+
+    def test_recorded_grid_is_complete(self, golden, machine):
+        assert golden["machine"] == machine.name
+        assert len(golden["entries"]) >= 700
+        drivers = {e["driver"] for e in golden["entries"]}
+        assert drivers == {"openblas", "blis", "eigen", "blasfeo",
+                           "reference", "reference-fused"}
+
+    @pytest.mark.parametrize("lib", ("openblas", "blis", "eigen", "blasfeo"))
+    def test_single_thread_libraries(self, golden, machine, lib):
+        driver = make_driver(lib, machine)
+        for entry in _golden_entries(golden, lib, threads=1):
+            m, n, k = entry["shape"]
+            timing = driver.cost_gemm(m, n, k)
+            assert timing.as_dict() == entry["timing"], (lib, (m, n, k))
+
+    @pytest.mark.parametrize("fused", (False, True),
+                             ids=("plain", "fused-packing"))
+    def test_reference_smm(self, golden, machine, fused):
+        driver = ReferenceSmmDriver(machine, fused_packing=fused)
+        name = "reference-fused" if fused else "reference"
+        for entry in _golden_entries(golden, name, threads=1):
+            m, n, k = entry["shape"]
+            timing, decision = driver.cost_gemm(m, n, k)
+            assert timing.as_dict() == entry["timing"], (name, (m, n, k))
+            assert bool(decision.packed_b) == entry["packed_b"], (m, n, k)
+
+    @pytest.mark.parametrize("threads", (4, 64))
+    @pytest.mark.parametrize("lib", ("openblas", "blis", "eigen"))
+    def test_multithreaded_schemes(self, golden, machine, lib, threads):
+        mt = MultithreadedGemm(machine, lib, threads=threads)
+        for entry in _golden_entries(golden, lib, threads=threads):
+            m, n, k = entry["shape"]
+            timing, _ = mt.cost(m, n, k)
+            assert timing.as_dict() == entry["timing"], \
+                (lib, threads, (m, n, k))
+
+    @pytest.mark.parametrize("threads", (4, 64))
+    def test_reference_multithreaded(self, golden, machine, threads):
+        driver = ReferenceSmmDriver(machine, threads=threads)
+        for entry in _golden_entries(golden, "reference", threads=threads):
+            m, n, k = entry["shape"]
+            timing, decision = driver.cost_gemm(m, n, k)
+            assert timing.as_dict() == entry["timing"], (threads, (m, n, k))
+            assert bool(decision.packed_b) == entry["packed_b"], (m, n, k)
+
+    def test_traced_pricing_changes_nothing(self, golden, machine):
+        """Pricing with a recording sink must not perturb a single bit of
+        the result, and the trace's phase events must rebuild it."""
+        from repro.plan import RecordingTraceSink
+        from repro.timing import timing_from_trace
+
+        entries = _golden_entries(golden, "openblas", threads=1)
+        checks = 0
+        for entry in entries[::40]:  # a spread across the sweep
+            m, n, k = entry["shape"]
+            plan = make_driver("openblas", machine).plan_gemm(m, n, k)
+            sink = RecordingTraceSink()
+            timing = plan.price(sink=sink)
+            assert timing.as_dict() == entry["timing"]
+            assert timing_from_trace(sink.events).as_dict() == \
+                entry["timing"]
+            checks += 1
+        assert checks >= 3

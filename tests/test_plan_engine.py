@@ -1,0 +1,207 @@
+"""The ExecutionPlan IR, the pricing engine and the trace layer.
+
+Parity against the pre-refactor accounting lives in
+``test_cross_driver_consistency.py`` (the golden suite); these tests pin
+the plan layer's own contracts: tree structure, JSON dumps, traced vs
+untraced pricing, trace reconciliation, batch merging and the tuner's
+provenance stamp.
+"""
+
+import json
+
+import pytest
+
+from repro.blas import make_blasfeo, make_driver, make_openblas
+from repro.core import BatchedSmm, ReferenceSmmDriver
+from repro.parallel import MultithreadedGemm
+from repro.pipeline import summarize_trace
+from repro.plan import (
+    ENGINE,
+    ExecutionPlan,
+    PHASE_BUCKETS,
+    RecordingTraceSink,
+    Section,
+    TraceEvent,
+)
+from repro.timing import timing_from_trace
+from repro.tuning import AdaptiveTuner
+from repro.util import ReproError
+
+
+class TestPlanTree:
+    def test_walk_and_count(self, machine):
+        plan = make_openblas(machine).plan_gemm(48, 48, 48)
+        nodes = list(plan.walk())
+        assert len(nodes) == plan.count_ops() > 1
+        depths = [depth for depth, _ in nodes]
+        assert depths[0] == 0 and max(depths) >= 1
+
+    def test_render_tree_truncates(self, machine):
+        plan = make_openblas(machine).plan_gemm(48, 48, 48)
+        text = plan.render_tree(max_lines=2)
+        assert len(text.splitlines()) <= 3  # 2 lines + the "... more" note
+        assert "more nodes" in text
+
+    def test_to_dict_is_json_ready(self, machine):
+        plan = ReferenceSmmDriver(machine).plan_gemm(33, 17, 9)
+        dumped = json.loads(json.dumps(plan.to_dict()))
+        assert dumped["ops"] == plan.count_ops()
+        assert dumped["meta"]["shape"] == [33, 17, 9]
+        assert dumped["tree"]["kind"] == "section"
+
+    def test_meta_records_provenance(self, machine):
+        driver = ReferenceSmmDriver(machine)
+        adaptive = driver.plan_gemm(24, 24, 24)
+        assert adaptive.meta["provenance"] == "adaptive"
+        pinned = driver.plan_with(24, 24, 24, packed_b=True)
+        assert pinned.meta["provenance"] == "pinned"
+        assert pinned.meta["decision"].packed_b is True
+
+
+class TestEngine:
+    def test_unknown_node_kind_rejected(self, machine):
+        class Rogue:
+            kind = "rogue"
+            label = "rogue"
+
+        plan = ExecutionPlan(root=Rogue(), meta={}, context=None)
+        with pytest.raises(ReproError):
+            ENGINE.price(plan)
+
+    def test_empty_section_prices_to_zero(self):
+        plan = ExecutionPlan(
+            root=Section(label="empty", children=()),
+            meta={"useful_flops": 0}, context=None,
+        )
+        timing = plan.price()
+        assert timing.total_cycles == 0.0
+
+    def test_sink_does_not_perturb_pricing(self, machine):
+        plan = make_blasfeo(machine).plan_gemm(13, 4, 7)
+        silent = plan.price()
+        sink = RecordingTraceSink()
+        traced = plan.price(sink=sink)
+        assert traced.as_dict() == silent.as_dict()
+        assert len(sink) > 0
+
+
+class TestTraceReconciliation:
+    @pytest.mark.parametrize("make_plan", [
+        lambda m: make_driver("openblas", m).plan_gemm(75, 75, 75),
+        lambda m: make_driver("eigen", m).plan_gemm(33, 65, 129),
+        lambda m: make_blasfeo(m).plan_gemm(24, 24, 24),
+        lambda m: ReferenceSmmDriver(m).plan_gemm(97, 101, 89),
+        lambda m: ReferenceSmmDriver(m, threads=16).plan_gemm(64, 512, 512),
+        lambda m: MultithreadedGemm(m, "blis", threads=64)
+        .plan_gemm(80, 2048, 2048),
+        lambda m: MultithreadedGemm(m, "eigen", threads=4)
+        .plan_gemm(256, 2048, 2048),
+    ], ids=["goto", "goto-m-order", "blasfeo", "reference", "reference-mt",
+            "mt-blis", "mt-eigen"])
+    def test_phase_events_rebuild_the_buckets(self, machine, make_plan):
+        plan = make_plan(machine)
+        sink = RecordingTraceSink()
+        timing = plan.price(sink=sink)
+
+        totals = sink.bucket_totals()
+        assert totals["kernel"] == timing.kernel_cycles
+        assert totals["pack_a"] == timing.pack_a_cycles
+        assert totals["pack_b"] == timing.pack_b_cycles
+        assert totals["sync"] == timing.sync_cycles
+        assert totals["other"] == timing.other_cycles
+
+        replayed = timing_from_trace(sink.events)
+        assert replayed.as_dict() == timing.as_dict()
+
+    def test_reconciles_from_json_round_trip(self, machine):
+        plan = ReferenceSmmDriver(machine).plan_gemm(33, 65, 129)
+        sink = RecordingTraceSink()
+        timing = plan.price(sink=sink)
+        dicts = json.loads(sink.to_json())
+        assert timing_from_trace(dicts).as_dict() == timing.as_dict()
+
+    def test_event_stream_shape(self, machine):
+        plan = ReferenceSmmDriver(machine).plan_gemm(24, 24, 24)
+        sink = RecordingTraceSink()
+        plan.price(sink=sink)
+        kinds = [event.kind for event in sink]
+        assert kinds[0] == "plan" and kinds[-1] == "total"
+        assert "phase" in kinds and "kernel_cache" in kinds
+        for event in sink:
+            if event.kind == "phase":
+                assert event.bucket in PHASE_BUCKETS
+
+
+class TestTraceSummary:
+    def test_summary_totals_and_render(self, machine):
+        plan = MultithreadedGemm(machine, "openblas", threads=64) \
+            .plan_gemm(16, 2048, 2048)
+        sink = RecordingTraceSink()
+        timing = plan.price(sink=sink)
+        summary = summarize_trace(sink.events)
+        assert summary.total_cycles == pytest.approx(timing.total_cycles)
+        assert summary.useful_flops == timing.useful_flops
+        assert summary.top_charges
+        text = summary.render()
+        assert "sync" in text and "hottest ops" in text
+
+    def test_summary_accepts_dict_events(self, machine):
+        plan = make_openblas(machine).plan_gemm(48, 48, 48)
+        sink = RecordingTraceSink()
+        plan.price(sink=sink)
+        from_objects = summarize_trace(sink.events)
+        from_dicts = summarize_trace(json.loads(sink.to_json()))
+        assert from_dicts.bucket_cycles == from_objects.bucket_cycles
+        assert from_dicts.events == from_objects.events
+
+
+class TestBatchPlans:
+    def test_batch_merge_matches_merged_with_fold(self, machine):
+        batch = BatchedSmm(machine)
+        shapes = [(8, 8, 8), (16, 16, 16), (5, 3, 2), (8, 8, 8)]
+        merged = batch.cost_batch(shapes)
+        folded = None
+        for shape in shapes:
+            timing, _ = batch.driver.cost_gemm(*shape)
+            folded = timing if folded is None else folded.merged_with(timing)
+        assert merged.as_dict() == folded.as_dict()
+
+    def test_batch_trace_emits_one_rollup_per_problem(self, machine):
+        batch = BatchedSmm(machine)
+        plan = batch.plan_batch([(8, 8, 8), (16, 16, 16)])
+        sink = RecordingTraceSink()
+        timing = plan.price(sink=sink)
+        assert timing_from_trace(sink.events).as_dict() == timing.as_dict()
+        phases = [e for e in sink if e.kind == "phase"]
+        # five buckets rolled up per sub-problem, nothing double-counted
+        assert len(phases) == 2 * len(PHASE_BUCKETS)
+
+    def test_empty_batch_rejected(self, machine):
+        with pytest.raises(ReproError):
+            BatchedSmm(machine).plan_batch([])
+
+
+class TestTunerProvenance:
+    def test_plan_execution_stamps_tuner_provenance(self, machine,
+                                                    tmp_path):
+        tuner = AdaptiveTuner(machine,
+                              cache_path=str(tmp_path / "cache.json"))
+        plan = tuner.plan_execution(24, 16, 8)
+        assert plan.meta["provenance"].startswith("tuner:")
+        assert plan.meta["tuner"]["source"] in ("tuned", "heuristic")
+        assert plan.meta["tuner"]["verified"] is True
+        sink = RecordingTraceSink()
+        timing = plan.price(sink=sink)
+        assert timing_from_trace(sink.events).as_dict() == timing.as_dict()
+        plan_events = [e for e in sink if e.kind == "plan"]
+        assert plan_events[0].detail["provenance"].startswith("tuner:")
+
+    def test_tuned_plan_costs_what_the_tuner_promised(self, machine,
+                                                      tmp_path):
+        tuner = AdaptiveTuner(machine,
+                              cache_path=str(tmp_path / "cache.json"))
+        tuned = tuner.tune(32, 32, 32)
+        plan = tuner.plan_execution(32, 32, 32)
+        assert plan.price().total_cycles == pytest.approx(
+            tuned.total_cycles, rel=1e-9
+        )

@@ -1,0 +1,71 @@
+"""The normalized ``GemmResult.info`` vocabulary (every driver speaks it).
+
+``repro.blas.GEMM_INFO_KEYS`` names the canonical keys — ``library``,
+``threads``, ``kernel_shape``, ``packed_b`` — and every driver must emit
+all of them, first and in that order, with consistent types.  Driver
+extras ride alongside under their documented names.
+"""
+
+import re
+
+import pytest
+
+from repro.blas import GEMM_INFO_KEYS, make_driver, result_info
+from repro.core import ReferenceSmmDriver
+from repro.parallel import MultithreadedGemm
+from repro.util import make_rng, random_matrix
+
+KERNEL_SHAPE_RE = re.compile(r"^\d+x\d+$")
+
+
+def _gemm_result(machine, which):
+    rng = make_rng(7)
+    a, b = random_matrix(rng, 24, 16), random_matrix(rng, 16, 24)
+    if which in ("openblas", "blis", "eigen", "blasfeo"):
+        return make_driver(which, machine).gemm(a, b)
+    if which == "reference":
+        return ReferenceSmmDriver(machine).gemm(a, b)
+    if which == "reference-mt":
+        return ReferenceSmmDriver(machine, threads=4).gemm(a, b)
+    assert which.startswith("mt-")
+    return MultithreadedGemm(machine, which[3:], threads=4).gemm(a, b)
+
+
+ALL_DRIVERS = ("openblas", "blis", "eigen", "blasfeo", "reference",
+               "reference-mt", "mt-openblas", "mt-blis", "mt-eigen")
+
+
+class TestCanonicalVocabulary:
+    @pytest.mark.parametrize("which", ALL_DRIVERS)
+    def test_every_driver_emits_the_canonical_keys(self, machine, which):
+        info = _gemm_result(machine, which).info
+        # all present, canonical keys first and in order
+        assert tuple(info)[:len(GEMM_INFO_KEYS)] == GEMM_INFO_KEYS
+        assert isinstance(info["library"], str) and info["library"]
+        assert isinstance(info["threads"], int) and info["threads"] >= 1
+        assert KERNEL_SHAPE_RE.match(info["kernel_shape"])
+        assert isinstance(info["packed_b"], bool)
+
+    @pytest.mark.parametrize("which", ALL_DRIVERS)
+    def test_every_driver_attaches_its_execution_plan(self, machine, which):
+        info = _gemm_result(machine, which).info
+        plan = info["execution_plan"]
+        assert plan.count_ops() >= 1
+        assert plan.meta["threads"] == info["threads"]
+
+    def test_threads_reported_faithfully(self, machine):
+        assert _gemm_result(machine, "mt-blis").info["threads"] == 4
+        assert _gemm_result(machine, "reference-mt").info["threads"] == 4
+        assert _gemm_result(machine, "openblas").info["threads"] == 1
+
+
+class TestResultInfoHelper:
+    def test_orders_canonical_keys_first(self):
+        info = result_info("lib", 2, "8x12", True, zeta=1, alpha=2)
+        assert tuple(info)[:4] == GEMM_INFO_KEYS
+        assert info["zeta"] == 1 and info["alpha"] == 2
+
+    def test_extras_cannot_shadow_canonical_values(self):
+        info = result_info("lib", 1, "4x4", False)
+        assert info["library"] == "lib"
+        assert info["packed_b"] is False

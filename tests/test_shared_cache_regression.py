@@ -114,3 +114,59 @@ class TestCrossMachineIsolation:
             wide, np.float32
         )
         assert e_base != e_wide
+
+
+class TestAnalyzerLruBound:
+    """The shared-analyzer registry is a bounded LRU with statistics."""
+
+    @staticmethod
+    def _variant_machines(count):
+        """Machines whose cores differ only in frequency (distinct keys)."""
+        import dataclasses
+        from types import SimpleNamespace
+
+        base = phytium2000plus().core
+        return [
+            SimpleNamespace(core=dataclasses.replace(
+                base, freq_hz=base.freq_hz + 1000.0 * (i + 1)
+            ))
+            for i in range(count)
+        ]
+
+    def test_cache_info_reports_the_contract(self):
+        from repro.blas import ANALYZER_CACHE_MAX, shared_analyzer_cache_info
+
+        info = shared_analyzer_cache_info()
+        assert set(info) == {"entries", "maxsize", "hits", "misses",
+                             "evictions"}
+        assert info["maxsize"] == ANALYZER_CACHE_MAX
+        assert 0 <= info["entries"] <= info["maxsize"]
+
+    def test_entry_count_stays_bounded_under_sweeps(self):
+        from repro.blas import shared_analyzer_cache_info
+
+        for machine in self._variant_machines(12):
+            shared_analyzer(machine)
+        info = shared_analyzer_cache_info()
+        assert info["entries"] <= info["maxsize"]
+        assert info["evictions"] >= 4  # 12 variants through an 8-slot LRU
+
+    def test_hits_and_misses_are_counted(self):
+        from repro.blas import shared_analyzer_cache_info
+
+        machine = self._variant_machines(1)[0]
+        before = shared_analyzer_cache_info()
+        first = shared_analyzer(machine)
+        second = shared_analyzer(machine)
+        after = shared_analyzer_cache_info()
+        assert first is second
+        assert after["hits"] >= before["hits"] + 1
+        assert after["misses"] >= before["misses"]
+
+    def test_lru_keeps_the_hot_entry(self):
+        base = phytium2000plus()
+        hot = shared_analyzer(base)
+        for machine in self._variant_machines(7):
+            shared_analyzer(machine)
+            # re-touching the hot entry keeps it most-recently-used
+            assert shared_analyzer(base) is hot

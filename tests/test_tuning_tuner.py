@@ -139,7 +139,7 @@ class TestExecution:
         a = rng.standard_normal((24, 24)).astype(np.float32)
         b = rng.standard_normal((24, 24)).astype(np.float32)
         result = tuner.execute(a, b)
-        plan = result.info["plan"]
+        plan = result.info["tuned_plan"]
         assert plan.key == plan_key(24, 24, 24, tuner.dtype, 1)
         assert result.timing.total_cycles == pytest.approx(
             plan.total_cycles, rel=1e-6
