@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke examples docs report verify check all clean
+.PHONY: install test lint lint-plans-negative bench bench-smoke examples docs report verify check all clean
 
 # one fast representative per benchmarks/test_fig*.py (the CI smoke set);
 # --benchmark-disable runs each figure pipeline once instead of timing it
@@ -23,7 +23,14 @@ test: lint
 lint:
 	$(PYTHON) -m repro lint
 	$(PYTHON) -m repro lint --self-check
+	$(PYTHON) -m repro lint --plans
 	$(PYTHON) -m repro.util.apidoc --check
+
+# plan-rule mutation controls: every V3xx rule must fire on its injected
+# violation, and a deliberately broken plan must fail the lint (nonzero)
+lint-plans-negative:
+	$(PYTHON) -m repro lint --plans --self-check
+	! $(PYTHON) -m repro lint --plans 24 16 8 --inject-bad
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -48,9 +55,10 @@ report:
 verify:
 	$(PYTHON) -m repro verify
 
-# the CI-style gate: full tier-1 tests (which run lint first) plus one
-# smoke pass through every figure benchmark
-check: test bench-smoke
+# the CI-style gate: full tier-1 tests (which run lint first), the
+# plan-rule mutation controls, plus one smoke pass through every figure
+# benchmark
+check: test lint-plans-negative bench-smoke
 
 all: install check docs report
 

@@ -59,17 +59,43 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("verify", help="evaluate every paper claim (PASS/FAIL)")
 
     lint = sub.add_parser(
-        "lint", help="statically verify every catalog/JIT kernel"
+        "lint", help="statically verify kernels (default) or lowered "
+        "execution plans (--plans)"
     )
     lint.add_argument(
         "--self-check", action="store_true",
         help="instead run the verifier's negative controls "
-        "(every rule must fire on its known-bad kernel)",
+        "(every rule must fire on its known-bad kernel or plan)",
     )
     lint.add_argument(
         "--inject-bad", action="store_true",
-        help="also lint a deliberately broken kernel (forces a "
+        help="also lint a deliberately broken kernel/plan (forces a "
         "nonzero exit; exercises the error path end to end)",
+    )
+    lint.add_argument(
+        "--plans", action="store_true",
+        help="analyze ExecutionPlans (V3xx rules) instead of kernels; "
+        "with no shape, sweeps the golden Fig. 5/Fig. 10 grids over "
+        "every driver at 1/4/64 threads",
+    )
+    lint.add_argument(
+        "shape", nargs="*", type=int, metavar="M N K",
+        help="with --plans: analyze one GEMM shape instead of the "
+        "golden sweep",
+    )
+    lint.add_argument(
+        "--lib", choices=_LIBS + ("reference-fused",), default=None,
+        help="with --plans: restrict the analysis to one driver",
+    )
+    lint.add_argument(
+        "--threads", type=int, default=None,
+        help="with --plans: thread count for the lowering "
+        "(default: 1, or the 1/4/64 sweep without a shape)",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON diagnostics "
+        "(code/severity/node-path) instead of tables",
     )
 
     tune = sub.add_parser(
@@ -330,25 +356,134 @@ def _lint_kernels(machine) -> List:
     return kernels
 
 
+def _self_check_output(results, title: str, as_json: bool) -> tuple:
+    """Render a (rule, fired) negative-control run for either verifier."""
+    import json
+
+    from .util.tables import format_table
+
+    missed = sorted(rule for rule, fired in results if not fired)
+    if as_json:
+        payload = {
+            "mode": title,
+            "ok": not missed,
+            "results": [
+                {"rule": rule, "fired": fired} for rule, fired in results
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True), 1 if missed else 0
+    rows = [(rule, "fired" if fired else "MISSED")
+            for rule, fired in results]
+    text = format_table(("rule", "status"), rows, title=title)
+    verdict = (f"FAIL: rules never fired: {missed}" if missed
+               else f"OK: all {len(results)} rules fire on their "
+               "negative controls")
+    return text + "\n\n" + verdict, 1 if missed else 0
+
+
+def _run_plan_lint(machine, args) -> tuple:
+    """The ``repro lint --plans`` command body: (report text, exit code).
+
+    With no shape, sweeps the golden Fig. 5 / Fig. 10 grids across every
+    driver at 1/4/64 threads and fails on *any* finding (the acceptance
+    bar: every legal lowering analyzes clean).  ``M N K [--lib] [--threads]``
+    narrows to one case; ``--self-check`` runs the V3xx mutation
+    negative controls; ``--inject-bad`` appends a known-broken plan.
+    """
+    import json
+
+    from .util.tables import format_table
+    from .verify import plan_self_check, verify_plan
+    from .verify.planlint import golden_plan_cases, inject_bad_plan
+
+    if args.self_check:
+        return _self_check_output(
+            plan_self_check(machine), "plan verifier self-check",
+            args.json,
+        )
+
+    if args.shape and len(args.shape) != 3:
+        return "error: --plans expects either no shape or M N K", 2
+    shape = tuple(args.shape) if args.shape else None
+    libs = (args.lib,) if args.lib else None
+    threads = (args.threads,) if args.threads is not None else None
+
+    cases = list(golden_plan_cases(
+        machine, shape=shape, libs=libs, threads=threads,
+    ))
+    reports = [
+        (lib, t, shp, verify_plan(plan, label=lib))
+        for lib, t, shp, plan in cases
+    ]
+    if args.inject_bad:
+        rule_id, bad = inject_bad_plan(machine)
+        shp = bad.meta.get("shape", (0, 0, 0))
+        reports.append(("injected", 1, shp, verify_plan(bad, "injected")))
+
+    findings = [
+        (lib, t, shp, d)
+        for lib, t, shp, report in reports
+        for d in report.diagnostics
+    ]
+    ok = not findings
+
+    if args.json:
+        payload = {
+            "mode": "plans",
+            "ok": ok,
+            "plans": len(reports),
+            "cases": [
+                dict(report.to_dict(), threads=t)
+                for _, t, _, report in reports
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True), 0 if ok else 1
+
+    # summarize per (driver, threads); the golden sweep is ~700 plans
+    groups = {}
+    for lib, t, _, report in reports:
+        row = groups.setdefault((lib, t), [0, 0, 0, 0, 0])
+        row[0] += 1
+        row[1] += report.nodes
+        row[2] += len(report.errors)
+        row[3] += len(report.warnings)
+        row[4] += len(report.infos)
+    rows = [
+        (lib, t, *counts) for (lib, t), counts in sorted(groups.items())
+    ]
+    lines = [format_table(
+        ("driver", "threads", "plans", "nodes", "err", "warn", "info"),
+        rows, title="plan lint",
+    ), ""]
+    for lib, t, shp, d in findings:
+        shape_txt = "x".join(str(s) for s in shp)
+        lines.append(
+            f"{d.severity}: {d.rule} [{lib} {shape_txt} @{t}t] "
+            f"{d.path}: {d.message}"
+        )
+    lines.append(
+        f"{'OK' if ok else 'FAIL'}: {len(reports)} plans, "
+        f"{len(findings)} finding(s)"
+    )
+    return "\n".join(lines), 0 if ok else 1
+
+
 def _run_lint(machine, args) -> tuple:
     """The ``repro lint`` command body: (report text, exit code)."""
+    import json
+
     from .isa.sequence import KernelSequence
     from .pipeline import SteadyStateAnalyzer
     from .util.tables import format_table
     from .verify import KernelVerifier, self_check
 
+    if args.plans:
+        return _run_plan_lint(machine, args)
+
     if args.self_check:
-        results = self_check(machine.core)
-        rows = [(rule, "fired" if fired else "MISSED")
-                for rule, fired in results]
-        missed = sorted(rule for rule, fired in results if not fired)
-        text = format_table(
-            ("rule", "status"), rows, title="verifier self-check",
+        return _self_check_output(
+            self_check(machine.core), "verifier self-check", args.json,
         )
-        verdict = (f"FAIL: rules never fired: {missed}" if missed
-                   else f"OK: all {len(results)} rules fire on their "
-                   "negative controls")
-        return text + "\n\n" + verdict, 1 if missed else 0
 
     kernels = _lint_kernels(machine)
     if args.inject_bad:
@@ -369,6 +504,7 @@ def _run_lint(machine, args) -> tuple:
     n_errors = n_warnings = 0
     bound_violations = []
     findings = []
+    json_cases = []
     for origin, kernel in kernels:
         report = verifier.verify(kernel)
         findings.extend(
@@ -382,6 +518,8 @@ def _run_lint(machine, args) -> tuple:
             scheduled = analyzer.analyze(kernel).cycles_per_iter
             if report.bounds.cycles_lower_bound > scheduled + 1e-9:
                 bound_violations.append(kernel.name)
+        if args.json:
+            json_cases.append(dict(report.to_dict(), origin=origin))
         rows.append((
             origin,
             kernel.name,
@@ -393,6 +531,16 @@ def _run_lint(machine, args) -> tuple:
              if report.bounds is not None else "-"),
             f"{scheduled:.1f}" if scheduled is not None else "-",
         ))
+    ok = not n_errors and not bound_violations
+    if args.json:
+        payload = {
+            "mode": "kernels",
+            "ok": ok,
+            "kernels": len(kernels),
+            "bound_violations": bound_violations,
+            "cases": json_cases,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True), 0 if ok else 1
     text = format_table(
         ("origin", "kernel", "err", "warn", "info",
          "live regs", "static lb", "scheduled"),
@@ -400,7 +548,6 @@ def _run_lint(machine, args) -> tuple:
     )
     lines = [text, ""]
     lines.extend(findings)
-    ok = not n_errors and not bound_violations
     if bound_violations:
         lines.append(
             f"FAIL: static lower bound exceeds scheduled cycles for "

@@ -264,7 +264,20 @@ def _round_up(value: int, base: int) -> int:
 
 
 class Engine:
-    """Prices/executes ExecutionPlans against the bound models."""
+    """Prices/executes ExecutionPlans against the bound models.
+
+    With ``verify=True`` every top-level :meth:`price` call first runs
+    the V3xx static plan analysis (:mod:`repro.verify.planlint`) and
+    raises :class:`~repro.util.errors.PlanVerificationError` on any
+    error-severity finding, so an illegal plan never reaches the pricing
+    models.  The gate is opt-in (off by default for production parity
+    speed; the test suite switches it on) and runs once per plan — the
+    analyzer itself recurses into critical-path and merge sub-plans, so
+    the engine's internal sub-plan pricing stays ungated.
+    """
+
+    def __init__(self, verify: bool = False) -> None:
+        self.verify = verify
 
     def price(
         self, plan: ExecutionPlan, sink: Optional[TraceSink] = None
@@ -275,6 +288,16 @@ class Engine:
         order (see :mod:`repro.plan.trace`); with ``sink=None`` no event
         machinery runs at all.
         """
+        if self.verify:
+            from ..verify.planlint import assert_plan_ok
+
+            assert_plan_ok(plan)
+        return self._price(plan, sink)
+
+    def _price(
+        self, plan: ExecutionPlan, sink: Optional[TraceSink] = None
+    ) -> GemmTiming:
+        """The ungated pricing walk (sub-plan recursion lands here)."""
         timing = GemmTiming(useful_flops=plan.meta.get("useful_flops", 0))
         if sink is not None:
             sink.emit(TraceEvent(
@@ -525,7 +548,7 @@ class Engine:
             sub = node.subplans.get(shape)
             if sub is None:
                 continue
-            t = self.price(sub, sink=None)
+            t = self._price(sub, sink=None)
             priced[shape] = t
             if worst is None or t.total_cycles > worst.total_cycles:
                 worst = t
@@ -555,7 +578,7 @@ class Engine:
                     "plan", str(sub.meta.get("driver", "plan")),
                     detail=_meta_detail(sub),
                 ))
-            t = self.price(sub, sink=None)
+            t = self._price(sub, sink=None)
             timing.useful_flops += t.useful_flops
             self._charge(timing, sink, node, "kernel", t.kernel_cycles)
             self._charge(timing, sink, node, "pack_a", t.pack_a_cycles)

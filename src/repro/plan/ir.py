@@ -34,7 +34,14 @@ from typing import Any, ClassVar, Dict, Optional, Tuple
 
 
 def _jsonable(value: Any) -> Any:
-    """Best-effort conversion of node parameters for JSON dumps."""
+    """Deterministic conversion of node parameters for JSON dumps.
+
+    Every unknown object becomes a *structured descriptor* — a dict
+    keyed by the type name with recursively-converted public fields —
+    never ``repr()``, whose output can embed memory addresses or other
+    run-dependent text and make otherwise-identical plan dumps
+    un-diffable.
+    """
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, (tuple, list)):
@@ -45,7 +52,18 @@ def _jsonable(value: Any) -> Any:
     nr = getattr(value, "nr", None)
     if mr is not None and nr is not None:
         return f"{mr}x{nr}"
-    return repr(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out: Dict[str, Any] = {"type": type(value).__name__}
+        for f in dataclasses.fields(value):
+            out[f.name] = _jsonable(getattr(value, f.name))
+        return out
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return {"type": type(value).__name__, **_jsonable(to_dict())}
+    text = str(value)
+    if " at 0x" in text:  # default object repr: address is run-dependent
+        return {"type": type(value).__name__}
+    return {"type": type(value).__name__, "str": text}
 
 
 class PlanNode:
@@ -127,7 +145,13 @@ class PackOp(PlanNode):
 
 @dataclass
 class GebpOp(PlanNode):
-    """One GEBP sweep of the catalog's kernels over an ``mc x nc x kc`` tile."""
+    """One GEBP sweep of the catalog's kernels over an ``mc x nc x kc`` tile.
+
+    ``packing_free`` marks kernels that run directly off the source
+    layout (BLASFEO's panel-major design) and therefore legitimately
+    have no dominating pack operations — the plan analyzer exempts them
+    from the V321 dataflow requirement.
+    """
 
     label: str
     mc: int
@@ -138,6 +162,7 @@ class GebpOp(PlanNode):
     b_resident: str
     b_shared_by: int = 1
     executed_factors: Tuple[int, ...] = ()
+    packing_free: bool = False
     kind: ClassVar[str] = "gebp"
 
 

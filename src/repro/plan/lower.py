@@ -183,6 +183,7 @@ def lower_blasfeo(driver, m: int, n: int, k: int) -> ExecutionPlan:
         label=f"kernel-pass[{m}x{n}x{k}]",
         mc=m, nc=n, kc=k, itemsize=itemsize,
         a_resident=resident, b_resident=resident,
+        packing_free=True,  # panel-major: kernels read the source layout
     ))
     root = Section("blasfeo-flat", tuple(kids))
     meta = {

@@ -36,7 +36,7 @@ from ..kernels.generator import KernelSpec
 from ..machine.config import MachineConfig
 from ..parallel.partition import factorization_candidates
 from ..util.errors import DriverError, KernelDesignError, ReproError
-from ..verify import KernelVerifier
+from ..verify import KernelVerifier, verify_plan
 from .cache import TuningCache, plan_key
 from .plan import PlanKey, TunedPlan
 
@@ -192,8 +192,10 @@ class AdaptiveTuner:
     def search(self, m: int, n: int, k: int, threads: int = 1) -> TunedPlan:
         """Full candidate search for the shape's bucket (cache bypassed).
 
-        Guarantees: the returned plan's kernel passed the static verifier,
-        and its modeled cycles are <= the fixed heuristic's.
+        Guarantees: the returned plan's kernel passed the static verifier
+        (PR-1, V0xx-V2xx), its lowered ExecutionPlan passed the plan
+        analyzer (V3xx) *before* any pricing model ran, and its modeled
+        cycles are <= the fixed heuristic's.
         """
         key = plan_key(m, n, k, self.dtype, threads)
         driver = self.driver(threads)
@@ -205,12 +207,15 @@ class AdaptiveTuner:
             if not self._kernel_verified(spec):
                 continue
             try:
-                timing, _ = driver.cost_with(
+                plan = driver.plan_with(
                     key.m, key.n, key.k, main=spec, packed_b=packed_b,
                     factorization=fact,
                 )
             except (KernelDesignError, DriverError):
                 continue
+            if not verify_plan(plan).ok:
+                continue  # illegal candidate plan: rejected before costing
+            timing = plan.price()
             cycles = timing.total_cycles
             if best is None or cycles < best[0]:
                 best = (cycles, spec, packed_b, fact, timing)

@@ -45,5 +45,9 @@ class DriverError(ReproError):
     """A GEMM driver was invoked with invalid operands or parameters."""
 
 
+class PlanVerificationError(DriverError):
+    """An ExecutionPlan failed static verification (V3xx plan lints)."""
+
+
 class ParallelError(ReproError):
     """A parallelization plan is infeasible (e.g. thread factorization)."""

@@ -1,10 +1,14 @@
-"""Static kernel verifier: def-use/liveness, Eq. 4 budget, cycle bounds.
+"""Static verification: kernels (V0xx-V2xx) and execution plans (V3xx).
 
-The analyses run over the same :class:`~repro.isa.KernelSequence` IR the
-pipeline scheduler consumes, so every kernel the generator or JIT emits is
-machine-checked *before* it can reach a timing model.  ``python -m repro
-lint`` runs the full catalog audit; ``repro lint --self-check`` proves the
-rules still fire on known-bad kernels.
+The kernel analyses run over the same :class:`~repro.isa.KernelSequence`
+IR the pipeline scheduler consumes, so every kernel the generator or JIT
+emits is machine-checked *before* it can reach a timing model.  The plan
+analyses (:mod:`repro.verify.planlint`) walk lowered
+:class:`~repro.plan.ir.ExecutionPlan` trees and check concurrency,
+cache-residency, dataflow and FMA-conservation invariants without
+pricing anything.  ``python -m repro lint`` runs the full catalog audit
+and ``repro lint --plans`` the golden plan sweep; each mode's
+``--self-check`` proves the rules still fire on known-bad inputs.
 """
 
 from .bounds import StaticBounds, critical_path_rate, static_bounds
@@ -17,6 +21,20 @@ from .diagnostics import (
     VerificationReport,
     make_diagnostic,
     rules_table,
+)
+from .planlint import (
+    PlanVerifier,
+    assert_plan_ok,
+    golden_plan_cases,
+    plan_self_check,
+    verify_plan,
+)
+from .planrules import (
+    PLAN_RULES,
+    PlanDiagnostic,
+    PlanLintReport,
+    make_plan_diagnostic,
+    plan_rules_table,
 )
 from .verifier import (
     KernelVerifier,
@@ -48,4 +66,14 @@ __all__ = [
     "audit_catalogs",
     "catalog_specs",
     "self_check",
+    "PLAN_RULES",
+    "PlanDiagnostic",
+    "PlanLintReport",
+    "make_plan_diagnostic",
+    "plan_rules_table",
+    "PlanVerifier",
+    "verify_plan",
+    "assert_plan_ok",
+    "plan_self_check",
+    "golden_plan_cases",
 ]

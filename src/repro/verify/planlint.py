@@ -1,0 +1,834 @@
+"""Static analysis of ExecutionPlan trees: the V3xx plan lints.
+
+The :class:`PlanVerifier` walks a lowered
+:class:`~repro.plan.ir.ExecutionPlan` *without pricing it* and checks the
+structural invariants every legal lowering satisfies:
+
+* **concurrency** (V301-V303) — per-thread write tiles partition C,
+  cooperatively packed panels are barrier-separated from their
+  consumers, and every barrier group tiles the plan's thread count;
+* **cache residency** (V311-V313) — each residency claim a node carries
+  (``a_resident`` / ``b_resident`` / pack ``resident``) is consistent
+  with the machine model's capacity budgets, and cooperative packed
+  panels fit the cluster's shared L2;
+* **lifetime/dataflow** (V321-V323) — every packed-panel consumer is
+  dominated by a live pack of a compatible shape, and no pack dies
+  unconsumed;
+* **conservation** (V331-V332) — the plan's tiles cover M*N*K FMA
+  products (exactly for exact lowerings, at least once for
+  representative ones), and merge plans partition their batch.
+
+The residency budgets deliberately mirror the *loosest* predicate any
+lowering uses when making the corresponding claim, so a clean driver can
+never be flagged: an ``l1`` claim implies the Goto tiny-GEBP working-set
+test (<= 0.75 of L1d); an ``l2`` claim always implies a footprint within
+0.75 of the *physical* L2 (per-core predicates use the effective —
+sharing-divided — capacity, which is stricter); a cooperative pack is
+bounded by the whole cluster-shared L2.
+
+Entry points: :func:`verify_plan` (report), :func:`assert_plan_ok`
+(raises :class:`~repro.util.errors.PlanVerificationError`, the engine's
+verify-before-price gate), :func:`plan_self_check` (mutation negative
+controls — every rule must fire on its injected violation) and
+:func:`golden_plan_cases` (the ``repro lint --plans`` sweep).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..plan.ir import (
+    BarrierOp,
+    CriticalPathOp,
+    ExecutionPlan,
+    FusedPackOp,
+    GebpOp,
+    JitSweepOp,
+    MergeOp,
+    PackOp,
+    Section,
+    ThreadStripsOp,
+)
+from ..timing.models import gemm_flops
+from ..util.errors import PlanVerificationError
+from .planrules import PlanDiagnostic, PlanLintReport, make_plan_diagnostic
+
+#: residency budgets as fractions of capacity (see module docstring)
+L1_CLAIM_FRACTION = 0.75
+L2_CLAIM_FRACTION = 0.75
+
+#: the six drivers the golden verification sweep lowers
+GOLDEN_DRIVERS: Tuple[str, ...] = (
+    "openblas", "blis", "eigen", "blasfeo", "reference", "reference-fused",
+)
+
+#: drivers with a multithreaded lowering (reference-fused and blasfeo
+#: are single-thread designs)
+GOLDEN_MT_DRIVERS: Tuple[str, ...] = (
+    "openblas", "blis", "eigen", "reference",
+)
+
+
+def _node_path(parent: str, node: Any) -> str:
+    kind = getattr(node, "kind", node.__class__.__name__)
+    label = getattr(node, "label", "")
+    seg = f"{kind}[{label}]" if label else str(kind)
+    return f"{parent}/{seg}" if parent else seg
+
+
+@dataclass
+class _Panel:
+    """One live packed panel inside a section scope."""
+
+    path: str
+    rows: int
+    cols: int
+    share: int
+    synced: bool
+    consumed: bool = False
+
+
+@dataclass
+class _WalkState:
+    """Per-plan verification context threaded through the walk."""
+
+    driver: str
+    threads: int
+    mnk: Optional[Tuple[int, int, int]]
+    ctx: Any
+    diags: List[PlanDiagnostic]
+
+    def diag(self, rule_id: str, message: str, path: str) -> None:
+        self.diags.append(
+            make_plan_diagnostic(rule_id, message, self.driver, path)
+        )
+
+
+def _count_nodes(node: Any) -> int:
+    """Node count including critical-path/merge sub-plan trees."""
+    total = 1
+    for child in getattr(node, "children", ()):
+        total += _count_nodes(child)
+    subplans = getattr(node, "subplans", None)
+    if isinstance(subplans, dict):
+        subplans = tuple(subplans.values())
+    for sub in subplans or ():
+        total += _count_nodes(sub.root)
+    return total
+
+
+def _gemm_shape(meta: Dict[str, Any]) -> Optional[Tuple[int, int, int]]:
+    shape = meta.get("shape")
+    if (isinstance(shape, (tuple, list)) and len(shape) == 3
+            and all(isinstance(s, int) and s > 0 for s in shape)):
+        return tuple(shape)
+    return None
+
+
+class PlanVerifier:
+    """Static analyzer for ExecutionPlan trees (rules V301-V332)."""
+
+    def verify(self, plan: ExecutionPlan,
+               label: Optional[str] = None) -> PlanLintReport:
+        """Analyze one plan; returns the full report (never raises)."""
+        meta = plan.meta if isinstance(plan.meta, dict) else {}
+        driver = str(label if label is not None
+                     else meta.get("driver", "plan"))
+        threads = meta.get("threads", 1)
+        threads = threads if isinstance(threads, int) and threads > 0 else 1
+        shape = meta.get("shape", ())
+        if not isinstance(shape, (tuple, list)):
+            shape = ()
+
+        diags: List[PlanDiagnostic] = []
+        root = plan.root
+        if isinstance(root, MergeOp):
+            self._verify_merge(plan, root, driver, diags)
+        else:
+            st = _WalkState(
+                driver=driver, threads=threads,
+                mnk=_gemm_shape(meta), ctx=plan.context, diags=diags,
+            )
+            self._scope((root,), "", st)
+            self._check_coverage(plan, root, st)
+
+        return PlanLintReport(
+            driver=driver,
+            shape=tuple(shape),
+            threads=threads,
+            diagnostics=tuple(sorted(diags, key=lambda d: d.sort_key())),
+            nodes=_count_nodes(root),
+        )
+
+    # -- section scopes (dataflow state machine) ------------------------
+
+    def _scope(self, children, parent_path: str, st: _WalkState) -> None:
+        """Verify one section scope: packs live per-section, in order."""
+        live: Dict[str, _Panel] = {}
+        for child in children:
+            path = _node_path(parent_path, child)
+            if isinstance(child, Section):
+                self._scope(getattr(child, "children", ()), path, st)
+            elif isinstance(child, PackOp):
+                self._pack(child, path, live, st)
+            elif isinstance(child, FusedPackOp):
+                self._fused_pack(child, path, live, st)
+            elif isinstance(child, BarrierOp):
+                self._barrier(child, path, live, st)
+            elif isinstance(child, GebpOp):
+                self._gebp(child, path, live, st)
+            elif isinstance(child, JitSweepOp):
+                self._jit_sweep(child, path, live, st)
+            elif isinstance(child, ThreadStripsOp):
+                self._thread_strips(child, path, live, st)
+            elif isinstance(child, CriticalPathOp):
+                self._critical_path(child, path, st)
+            # unknown node kinds are structural no-ops for the analyzer;
+            # the pricing engine still rejects them
+        for panel in live.values():
+            if not panel.consumed:
+                st.diag(
+                    "V322-dead-pack",
+                    "packed panel reaches the end of its section "
+                    "without a consumer",
+                    panel.path,
+                )
+
+    def _produce(self, live: Dict[str, _Panel], bucket: str,
+                 panel: _Panel, st: _WalkState) -> None:
+        prev = live.get(bucket)
+        if prev is not None and not prev.consumed:
+            st.diag(
+                "V322-dead-pack",
+                f"{bucket} panel overwritten before any consumer read it",
+                prev.path,
+            )
+        live[bucket] = panel
+
+    def _consume(self, live: Dict[str, _Panel], bucket: str,
+                 need_rows: int, need_cols: int, path: str,
+                 st: _WalkState) -> None:
+        panel = live.get(bucket)
+        if panel is None:
+            st.diag(
+                "V321-missing-pack",
+                f"consumes a packed {bucket} panel but no dominating "
+                "pack produced one in this scope",
+                path,
+            )
+            return
+        if not panel.synced:
+            st.diag(
+                "V302-unsynced-pack",
+                f"reads the cooperatively packed {bucket} panel "
+                f"(share {panel.share}) with no barrier over the "
+                "packing group since the pack",
+                path,
+            )
+            panel.synced = True  # report each missing barrier once
+        if need_rows > panel.rows or need_cols > panel.cols:
+            st.diag(
+                "V323-stale-panel",
+                f"reads {need_rows}x{need_cols} from the live {bucket} "
+                f"panel of {panel.rows}x{panel.cols} (stale or "
+                "overwritten kc-step buffer)",
+                path,
+            )
+        panel.consumed = True
+
+    # -- node handlers ---------------------------------------------------
+
+    def _pack(self, node: PackOp, path: str,
+              live: Dict[str, _Panel], st: _WalkState) -> None:
+        self._pack_residency(node, path, st)
+        if node.bucket not in ("pack_a", "pack_b"):
+            return  # format conversions ('other') feed packing-free kernels
+        share = node.share if node.share and node.share > 1 else 1
+        self._produce(live, node.bucket, _Panel(
+            path=path, rows=node.rows, cols=node.cols,
+            share=share, synced=share <= 1,
+        ), st)
+
+    def _fused_pack(self, node: FusedPackOp, path: str,
+                    live: Dict[str, _Panel], st: _WalkState) -> None:
+        # fused pack-B produces the same k x n panel, hidden in kernel slack
+        self._produce(live, "pack_b", _Panel(
+            path=path, rows=node.k, cols=node.n, share=1, synced=True,
+        ), st)
+
+    def _barrier(self, node: BarrierOp, path: str,
+                 live: Dict[str, _Panel], st: _WalkState) -> None:
+        group = node.group
+        if group < 1 or group > st.threads or st.threads % group != 0:
+            st.diag(
+                "V303-barrier-group",
+                f"barrier group {group} does not tile the plan's "
+                f"{st.threads} thread(s)",
+                path,
+            )
+            return
+        for panel in live.values():
+            if not panel.synced and group >= panel.share:
+                panel.synced = True
+
+    def _gebp(self, node: GebpOp, path: str,
+              live: Dict[str, _Panel], st: _WalkState) -> None:
+        self._gebp_residency(node, path, st)
+        if node.packing_free:
+            return  # BLASFEO-style: kernels run off the source layout
+        self._consume(live, "pack_a", node.mc, node.kc, path, st)
+        self._consume(live, "pack_b", node.kc, node.nc, path, st)
+
+    def _jit_sweep(self, node: JitSweepOp, path: str,
+                   live: Dict[str, _Panel], st: _WalkState) -> None:
+        self._jit_residency(node, path, st)
+        if node.packed_b:
+            self._consume(live, "pack_b", node.k, node.n, path, st)
+
+    def _thread_strips(self, node: ThreadStripsOp, path: str,
+                       live: Dict[str, _Panel], st: _WalkState) -> None:
+        negative = [c for c in node.chunks if c < 0]
+        if negative:
+            st.diag(
+                "V301-write-overlap",
+                f"negative per-thread M-chunk(s) {negative}",
+                path,
+            )
+        if not node.executed_factors and st.mnk is not None:
+            m = st.mnk[0]
+            total = sum(node.chunks)
+            if total > m:
+                st.diag(
+                    "V301-write-overlap",
+                    f"per-thread M-strips sum to {total} over an M "
+                    f"extent of {m} (two threads own the same C rows)",
+                    path,
+                )
+        self._consume(live, "pack_b", node.kcb, node.ncb, path, st)
+
+    def _critical_path(self, node: CriticalPathOp, path: str,
+                       st: _WalkState) -> None:
+        bad = [c for c in node.chunks if c[0] < 0 or c[1] < 0]
+        if bad:
+            st.diag(
+                "V301-write-overlap",
+                f"negative grid chunk(s) {bad}",
+                path,
+            )
+        if st.mnk is not None:
+            m, n, _ = st.mnk
+            area = sum(max(mi, 0) * max(nj, 0) for (mi, nj) in node.chunks)
+            if area > m * n:
+                st.diag(
+                    "V301-write-overlap",
+                    f"grid chunks cover {area} C elements over an "
+                    f"{m}x{n} output (overlapping write tiles)",
+                    path,
+                )
+        # each distinct sub-plan is a full plan with its own context
+        for key in sorted(set(node.chunks)):
+            sub = node.subplans.get(key)
+            if sub is None:
+                continue
+            report = self.verify(sub, label=st.driver)
+            for d in report.diagnostics:
+                st.diags.append(dataclasses.replace(
+                    d, path=f"{path}/{d.path}",
+                ))
+
+    # -- residency claims (V311-V313) ------------------------------------
+
+    def _caches(self, st: _WalkState):
+        """(l1d_bytes, l2_bytes) from the plan's machine, or None."""
+        machine = getattr(st.ctx, "machine", None)
+        if machine is None:
+            return None
+        return machine.l1d.size_bytes, machine.l2.size_bytes
+
+    def _pack_residency(self, node: PackOp, path: str,
+                        st: _WalkState) -> None:
+        caps = self._caches(st)
+        if caps is None:
+            return
+        l1, l2 = caps
+        panel_bytes = node.rows * node.cols * node.itemsize
+        if node.resident == "l1" and panel_bytes > L1_CLAIM_FRACTION * l1:
+            st.diag(
+                "V311-l1-residency",
+                f"pack source claimed L1-resident but the panel alone is "
+                f"{panel_bytes} B (> {L1_CLAIM_FRACTION:.0%} of "
+                f"{l1} B L1d)",
+                path,
+            )
+        elif node.resident == "l2" and panel_bytes > L2_CLAIM_FRACTION * l2:
+            st.diag(
+                "V312-l2-residency",
+                f"pack source claimed L2-resident but the panel alone is "
+                f"{panel_bytes} B (> {L2_CLAIM_FRACTION:.0%} of "
+                f"{l2} B L2)",
+                path,
+            )
+        if node.share is not None and node.share > 1:
+            padded = node.padded_elements or (node.rows * node.cols)
+            shared_bytes = padded * node.itemsize
+            if shared_bytes > l2:
+                st.diag(
+                    "V313-shared-l2-budget",
+                    f"cooperatively packed panel of {shared_bytes} B "
+                    f"(share {node.share}) exceeds the entire "
+                    f"{l2} B cluster-shared L2",
+                    path,
+                )
+
+    def _gebp_residency(self, node: GebpOp, path: str,
+                        st: _WalkState) -> None:
+        caps = self._caches(st)
+        if caps is None:
+            return
+        l1, l2 = caps
+        if "l1" in (node.a_resident, node.b_resident):
+            ws = (node.mc * node.kc + node.kc * node.nc
+                  + node.mc * node.nc) * node.itemsize
+            if ws > L1_CLAIM_FRACTION * l1:
+                st.diag(
+                    "V311-l1-residency",
+                    f"GEBP tile claimed L1-resident with a working set "
+                    f"of {ws} B (> {L1_CLAIM_FRACTION:.0%} of {l1} B "
+                    "L1d)",
+                    path,
+                )
+        if node.a_resident == "l2":
+            a_bytes = node.mc * node.kc * node.itemsize
+            if a_bytes > L2_CLAIM_FRACTION * l2:
+                st.diag(
+                    "V312-l2-residency",
+                    f"A block claimed L2-resident at {a_bytes} B "
+                    f"(> {L2_CLAIM_FRACTION:.0%} of {l2} B L2)",
+                    path,
+                )
+        if node.b_resident == "l2":
+            b_bytes = node.kc * node.nc * node.itemsize
+            if b_bytes > L2_CLAIM_FRACTION * l2:
+                st.diag(
+                    "V312-l2-residency",
+                    f"B panel claimed L2-resident at {b_bytes} B "
+                    f"(> {L2_CLAIM_FRACTION:.0%} of {l2} B L2)",
+                    path,
+                )
+
+    def _jit_residency(self, node: JitSweepOp, path: str,
+                       st: _WalkState) -> None:
+        caps = self._caches(st)
+        if caps is None:
+            return
+        l1, l2 = caps
+        if "l1" in (node.a_resident, node.b_resident):
+            ws = (node.m * node.k + node.k * node.n
+                  + node.m * node.n) * node.itemsize
+            if ws > L1_CLAIM_FRACTION * l1:
+                st.diag(
+                    "V311-l1-residency",
+                    f"JIT sweep claimed L1-resident with a working set "
+                    f"of {ws} B (> {L1_CLAIM_FRACTION:.0%} of {l1} B "
+                    "L1d)",
+                    path,
+                )
+        if node.a_resident == "l2":
+            a_bytes = node.m * node.k * node.itemsize
+            if a_bytes > L2_CLAIM_FRACTION * l2:
+                st.diag(
+                    "V312-l2-residency",
+                    f"A slice claimed L2-resident at {a_bytes} B "
+                    f"(> {L2_CLAIM_FRACTION:.0%} of {l2} B L2)",
+                    path,
+                )
+        if node.b_resident == "l2":
+            b_bytes = node.k * node.n * node.itemsize
+            if b_bytes > L2_CLAIM_FRACTION * l2:
+                st.diag(
+                    "V312-l2-residency",
+                    f"B slice claimed L2-resident at {b_bytes} B "
+                    f"(> {L2_CLAIM_FRACTION:.0%} of {l2} B L2)",
+                    path,
+                )
+
+    # -- conservation (V331-V332) ----------------------------------------
+
+    def _check_coverage(self, plan: ExecutionPlan, root,
+                        st: _WalkState) -> None:
+        if st.mnk is None:
+            return
+        m, n, k = st.mnk
+        target = m * n * k
+        root_path = _node_path("", root)
+        covered, exact = self._covered(root, root_path, st)
+        if exact and covered != target:
+            what = ("missing edge tiles" if covered < target
+                    else "overlapping tiles")
+            st.diag(
+                "V331-flop-coverage",
+                f"plan tiles cover {covered} of {target} M*N*K "
+                f"products ({what})",
+                root_path,
+            )
+        elif not exact and covered < target:
+            st.diag(
+                "V331-flop-coverage",
+                f"representative tiles cover only {covered} of "
+                f"{target} M*N*K products (under-replicated "
+                "factorization)",
+                root_path,
+            )
+        useful = plan.meta.get("useful_flops")
+        expected = gemm_flops(m, n, k)
+        if useful is not None and useful != expected:
+            st.diag(
+                "V331-flop-coverage",
+                f"meta useful_flops {useful} disagrees with "
+                f"{expected} for {m}x{n}x{k}",
+                root_path,
+            )
+
+    def _covered(self, node, path: str,
+                 st: _WalkState) -> Tuple[int, bool]:
+        """(covered M*N*K products, exact?) for one subtree.
+
+        Exact subtrees enumerate every tile they execute; representative
+        ones (``executed_factors``) replicate one thread's tile by the
+        factorization, where ceil-padding legitimately over-covers.
+        """
+        if isinstance(node, Section):
+            total, exact = 0, True
+            for child in getattr(node, "children", ()):
+                got, sub_exact = self._covered(
+                    child, _node_path(path, child), st
+                )
+                total += got
+                exact = exact and sub_exact
+            return total, exact
+        if isinstance(node, GebpOp):
+            value = node.mc * node.nc * node.kc
+            for f in node.executed_factors:
+                value *= f
+            return value, not node.executed_factors
+        if isinstance(node, JitSweepOp):
+            value = node.m * node.n * node.k
+            for f in node.executed_factors:
+                value *= f
+            return value, not node.executed_factors
+        if isinstance(node, ThreadStripsOp):
+            value = sum(max(c, 0) for c in node.chunks) * node.ncb * node.kcb
+            for f in node.executed_factors:
+                value *= f
+            return value, not node.executed_factors
+        if isinstance(node, CriticalPathOp):
+            total = 0
+            for (mi, nj) in node.chunks:
+                if mi <= 0 or nj <= 0:
+                    continue
+                sub = node.subplans.get((mi, nj))
+                if sub is None:
+                    st.diag(
+                        "V331-flop-coverage",
+                        f"nonzero grid chunk {mi}x{nj} has no sub-plan "
+                        "(uncovered C tile)",
+                        path,
+                    )
+                    continue
+                sub_shape = _gemm_shape(sub.meta) or (mi, nj, 0)
+                total += sub_shape[0] * sub_shape[1] * sub_shape[2]
+            return total, True
+        return 0, True
+
+    # -- merge plans (V332) ----------------------------------------------
+
+    def _verify_merge(self, plan: ExecutionPlan, root: MergeOp,
+                      driver: str, diags: List[PlanDiagnostic]) -> None:
+        meta = plan.meta
+        root_path = _node_path("", root)
+        subplans = root.subplans
+        st = _WalkState(driver=driver, threads=1, mnk=None,
+                        ctx=None, diags=diags)
+
+        batch = meta.get("batch")
+        if batch is not None and batch != len(subplans):
+            st.diag(
+                "V332-batch-partition",
+                f"meta batch {batch} disagrees with {len(subplans)} "
+                "sub-plan(s)",
+                root_path,
+            )
+        shapes = meta.get("shape")
+        if isinstance(shapes, (tuple, list)):
+            if len(shapes) != len(subplans):
+                st.diag(
+                    "V332-batch-partition",
+                    f"meta lists {len(shapes)} problem shape(s) for "
+                    f"{len(subplans)} sub-plan(s)",
+                    root_path,
+                )
+            else:
+                for i, (sub, shape) in enumerate(zip(subplans, shapes)):
+                    sub_shape = sub.meta.get("shape")
+                    if (isinstance(shape, (tuple, list))
+                            and isinstance(sub_shape, (tuple, list))
+                            and tuple(sub_shape) != tuple(shape)):
+                        st.diag(
+                            "V332-batch-partition",
+                            f"sub-plan {i} lowers "
+                            f"{'x'.join(str(s) for s in sub_shape)} but "
+                            "the batch metadata lists "
+                            f"{'x'.join(str(s) for s in shape)}",
+                            f"{root_path}/sub[{i}]",
+                        )
+        # every batch member is a full plan: recurse the whole analysis
+        for i, sub in enumerate(subplans):
+            report = self.verify(sub, label=driver)
+            for d in report.diagnostics:
+                diags.append(dataclasses.replace(
+                    d, path=f"{root_path}/sub[{i}]/{d.path}",
+                ))
+
+
+#: the process-wide default verifier (stateless; safe to share)
+PLAN_VERIFIER = PlanVerifier()
+
+
+def verify_plan(plan: ExecutionPlan,
+                label: Optional[str] = None) -> PlanLintReport:
+    """Statically analyze one plan with the default verifier."""
+    return PLAN_VERIFIER.verify(plan, label=label)
+
+
+def assert_plan_ok(plan: ExecutionPlan) -> PlanLintReport:
+    """Verify a plan, raising on any error-severity finding.
+
+    The engine's verify-before-price gate: a plan that fails the static
+    analysis never reaches the pricing models.
+    """
+    report = verify_plan(plan)
+    if not report.ok:
+        raise PlanVerificationError(report.render())
+    return report
+
+
+# ---------------------------------------------------------------------------
+# mutation self-test (negative controls)
+# ---------------------------------------------------------------------------
+
+
+def _find(plan: ExecutionPlan, node_type):
+    """First node of ``node_type`` in the plan tree (depth-first)."""
+    for _, node in plan.walk():
+        if isinstance(node, node_type):
+            return node
+    raise AssertionError(
+        f"self-check plan has no {node_type.__name__} node"
+    )
+
+
+def _find_section_with(plan: ExecutionPlan, node_type):
+    """First Section whose direct children include a ``node_type``."""
+    for _, node in plan.walk():
+        if isinstance(node, Section) and any(
+            isinstance(c, node_type) for c in node.children
+        ):
+            return node
+    raise AssertionError(
+        f"self-check plan has no section containing "
+        f"{node_type.__name__}"
+    )
+
+
+def _mutant_plans(machine) -> Iterator[Tuple[str, ExecutionPlan]]:
+    """(rule_id, plan) pairs, each plan injected with one violation.
+
+    Every mutant starts from a *real* lowered plan (so the surrounding
+    structure is legal) and flips exactly the invariant its rule checks.
+    Mutations may trip secondary rules too; the self-check only requires
+    that the targeted rule fires.
+    """
+    from ..blas import make_blasfeo, make_openblas
+    from ..core import BatchedSmm, ReferenceSmmDriver
+    from ..parallel import MultithreadedGemm
+
+    def mt_plan():
+        return MultithreadedGemm(
+            machine, "openblas", threads=4
+        ).plan_gemm(64, 256, 256)
+
+    def ref_packed_plan():
+        return ReferenceSmmDriver(machine).plan_with(
+            32, 32, 32, packed_b=True
+        )
+
+    # V301: inflate one per-thread M-chunk so the strips overlap in C
+    plan = mt_plan()
+    strips = _find(plan, ThreadStripsOp)
+    strips.chunks = (strips.chunks[0] + 7,) + tuple(strips.chunks[1:])
+    yield "V301-write-overlap", plan
+
+    # V302: drop the post-pack barrier before the cooperative sweep
+    plan = mt_plan()
+    section = _find_section_with(plan, BarrierOp)
+    kept = []
+    removed = False
+    for child in section.children:
+        if not removed and isinstance(child, BarrierOp):
+            removed = True  # the pack-b barrier is the first one
+            continue
+        kept.append(child)
+    section.children = tuple(kept)
+    yield "V302-unsynced-pack", plan
+
+    # V303: a barrier group that does not divide the thread count
+    plan = mt_plan()
+    _find(plan, BarrierOp).group = 3  # threads=4, 4 % 3 != 0
+    yield "V303-barrier-group", plan
+
+    # V311: keep the 'l1' claim while blowing up the kernel tile
+    plan = make_blasfeo(machine).plan_gemm(8, 8, 8)
+    gebp = _find(plan, GebpOp)
+    gebp.mc = gebp.nc = gebp.kc = 512
+    yield "V311-l1-residency", plan
+
+    # V312: an 'l2'-claimed A block far beyond the physical L2
+    plan = make_openblas(machine).plan_gemm(48, 48, 48)
+    gebp = _find(plan, GebpOp)
+    gebp.mc = gebp.kc = 4096
+    yield "V312-l2-residency", plan
+
+    # V313: a cooperative pack bigger than the whole shared L2
+    plan = mt_plan()
+    pack = _find(plan, PackOp)
+    pack.padded_elements = 2 * machine.l2.size_bytes // pack.itemsize
+    yield "V313-shared-l2-budget", plan
+
+    # V321: packed kernel sweep with its producing pack deleted
+    plan = ref_packed_plan()
+    plan.root.children = tuple(
+        c for c in plan.root.children if not isinstance(c, PackOp)
+    )
+    yield "V321-missing-pack", plan
+
+    # V322: pack left dead by flipping the consumer to unpacked
+    plan = ref_packed_plan()
+    _find(plan, JitSweepOp).packed_b = False
+    yield "V322-dead-pack", plan
+
+    # V323: shrink the packed panel under its consumer's K extent
+    plan = ref_packed_plan()
+    pack = _find(plan, PackOp)
+    pack.rows = pack.rows // 2
+    yield "V323-stale-panel", plan
+
+    # V331: delete one GEBP tile (an uncovered hole in C)
+    plan = make_openblas(machine).plan_gemm(48, 48, 48)
+    section = _find_section_with(plan, GebpOp)
+    section.children = tuple(
+        c for c in section.children if not isinstance(c, GebpOp)
+    )
+    yield "V331-flop-coverage", plan
+
+    # V332: a merge plan whose batch metadata lists a dropped problem
+    plan = BatchedSmm(machine).plan_batch([(8, 8, 8), (16, 16, 16)])
+    plan.root.subplans = plan.root.subplans[:1]
+    yield "V332-batch-partition", plan
+
+
+def plan_self_check(machine) -> List[Tuple[str, bool]]:
+    """Negative controls: does every plan rule fire on its mutant?
+
+    Mirrors :func:`repro.verify.verifier.self_check`: returns
+    ``(rule_id, fired)`` pairs, one per V3xx rule, where ``fired`` means
+    the injected violation produced at least one diagnostic of exactly
+    that rule.
+    """
+    results = []
+    for rule_id, plan in _mutant_plans(machine):
+        report = verify_plan(plan)
+        fired = any(d.rule == rule_id for d in report.diagnostics)
+        results.append((rule_id, fired))
+    return results
+
+
+def inject_bad_plan(machine) -> Tuple[str, ExecutionPlan]:
+    """One deliberately broken plan for the ``--inject-bad`` CLI path."""
+    for rule_id, plan in _mutant_plans(machine):
+        if rule_id == "V321-missing-pack":
+            return rule_id, plan
+    raise AssertionError("V321 mutant missing from the self-check set")
+
+
+# ---------------------------------------------------------------------------
+# the golden verification sweep (``repro lint --plans``)
+# ---------------------------------------------------------------------------
+
+
+def lower_named(machine, lib: str, threads: int,
+                m: int, n: int, k: int) -> ExecutionPlan:
+    """Lower one (driver, threads, shape) case like the golden recorder."""
+    from ..blas import make_driver
+    from ..core import ReferenceSmmDriver
+    from ..parallel import MultithreadedGemm
+
+    if lib in ("reference", "reference-fused"):
+        driver = ReferenceSmmDriver(
+            machine, threads=threads,
+            fused_packing=(lib == "reference-fused"),
+        )
+        return driver.plan_gemm(m, n, k)
+    if threads > 1:
+        return MultithreadedGemm(machine, lib, threads=threads) \
+            .plan_gemm(m, n, k)
+    return make_driver(lib, machine).plan_gemm(m, n, k)
+
+
+def golden_plan_cases(
+    machine,
+    shape: Optional[Tuple[int, int, int]] = None,
+    libs: Optional[Tuple[str, ...]] = None,
+    threads: Optional[Tuple[int, ...]] = None,
+) -> Iterator[Tuple[str, int, Tuple[int, int, int], ExecutionPlan]]:
+    """Yield ``(lib, threads, shape, plan)`` over the verification grid.
+
+    With no arguments this is the full golden sweep the acceptance
+    criteria pin: every driver's lowering of the Fig. 5 / Fig. 10 shape
+    grids at 1/4/64 threads must analyze clean.  ``shape``/``libs``/
+    ``threads`` narrow the sweep (the CLI's ``lint --plans M N K
+    --lib L --threads T`` form).
+    """
+    from ..workloads import sweeps
+
+    if shape is not None:
+        for lib in libs or GOLDEN_DRIVERS:
+            for t in threads or (1,):
+                if t > 1 and lib not in GOLDEN_MT_DRIVERS:
+                    continue
+                yield lib, t, shape, lower_named(machine, lib, t, *shape)
+        return
+
+    st_libs = tuple(
+        lib for lib in (libs or GOLDEN_DRIVERS) if lib in GOLDEN_DRIVERS
+    )
+    mt_libs = tuple(
+        lib for lib in (libs or GOLDEN_MT_DRIVERS)
+        if lib in GOLDEN_MT_DRIVERS
+    )
+    thread_set = threads or (1,) + sweeps.GOLDEN_MT_THREADS
+    if 1 in thread_set:
+        for lib in st_libs:
+            for (m, n, k) in sweeps.golden_single_thread_grid():
+                yield lib, 1, (m, n, k), lower_named(
+                    machine, lib, 1, m, n, k
+                )
+    for t in thread_set:
+        if t == 1:
+            continue
+        for lib in mt_libs:
+            for (m, n, k) in sweeps.golden_mt_grid():
+                yield lib, t, (m, n, k), lower_named(
+                    machine, lib, t, m, n, k
+                )

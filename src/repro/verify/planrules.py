@@ -1,0 +1,188 @@
+"""Rule inventory and diagnostics for the plan-level static analyzer.
+
+The V3xx rules check :class:`~repro.plan.ir.ExecutionPlan` trees — the
+level where the paper's structural claims live (Goto residency, Eq. 1-3
+packing accounting, Fig. 7-9 edge coverage, Table II synchronization) —
+without pricing anything.  They complement the V0xx/V1xx/V2xx kernel
+rules in :mod:`repro.verify.diagnostics`: a kernel rule fires on one
+:class:`~repro.isa.KernelSequence`, a plan rule fires on the op tree a
+driver lowering produced.
+
+Like the kernel rules, plan rule IDs are versioned API (tests, CI greps
+and ``repro lint --plans`` output key on them) and must never be
+renumbered.  Every rule has a mutation self-test
+(:func:`repro.verify.planlint.plan_self_check`) proving it still fires
+on an injected violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..util.tables import format_table
+from .diagnostics import SEVERITIES, Rule
+
+#: The plan-analysis rule inventory, keyed by stable rule ID.
+PLAN_RULES: Dict[str, Rule] = {
+    r.rule_id: r
+    for r in (
+        # -- concurrency (V301-V303) ---------------------------------
+        Rule("V301-write-overlap", "error",
+             "per-thread write tiles overlap (a C element is owned by "
+             "two threads)"),
+        Rule("V302-unsynced-pack", "error",
+             "cooperatively packed panel consumed without an "
+             "intervening barrier over the packing group"),
+        Rule("V303-barrier-group", "error",
+             "barrier group inconsistent with the plan's thread count "
+             "(a thread would sit in two groups, or none)"),
+        # -- cache residency (V311-V313) -----------------------------
+        Rule("V311-l1-residency", "error",
+             "working set claimed L1-resident exceeds the L1 residency "
+             "budget"),
+        Rule("V312-l2-residency", "error",
+             "operand panel claimed L2-resident exceeds the physical "
+             "L2 capacity"),
+        Rule("V313-shared-l2-budget", "warning",
+             "cooperatively packed panel exceeds the cluster's entire "
+             "shared L2 (the 4-core budget)"),
+        # -- lifetime / dataflow (V321-V323) --------------------------
+        Rule("V321-missing-pack", "error",
+             "kernel consumes a packed panel no dominating pack "
+             "produced"),
+        Rule("V322-dead-pack", "warning",
+             "packed panel is never consumed before it dies (wasted "
+             "pack cycles)"),
+        Rule("V323-stale-panel", "error",
+             "kernel reads beyond the live packed panel (stale or "
+             "overwritten kc-step buffer)"),
+        # -- conservation (V331-V332) --------------------------------
+        Rule("V331-flop-coverage", "error",
+             "plan tiles do not cover exactly M*N*K FMAs (missing edge "
+             "tiles or overlapping work)"),
+        Rule("V332-batch-partition", "error",
+             "merge plan does not partition the batch (sub-plan shapes "
+             "disagree with the batch metadata)"),
+    )
+}
+
+
+@dataclass(frozen=True)
+class PlanDiagnostic:
+    """One plan-analyzer finding, anchored to a node path in the tree.
+
+    ``path`` is the slash-joined chain of ``kind[label]`` segments from
+    the plan root to the offending node (sub-plans are entered through
+    their owning ``critical_path``/``merge`` node), so a finding can be
+    located in a ``repro trace`` dump of the same plan.
+    """
+
+    rule: str
+    severity: str
+    message: str
+    driver: str
+    path: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict rendering for machine consumption (JSON-friendly)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "driver": self.driver,
+            "path": self.path,
+        }
+
+    def sort_key(self) -> Tuple[int, str, str]:
+        """Stable ordering: severity, rule, node path."""
+        sev = (SEVERITIES.index(self.severity)
+               if self.severity in SEVERITIES else 99)
+        return (sev, self.rule, self.path)
+
+
+def make_plan_diagnostic(
+    rule_id: str, message: str, driver: str, path: str
+) -> PlanDiagnostic:
+    """Build a :class:`PlanDiagnostic`; severity comes from the registry."""
+    rule = PLAN_RULES[rule_id]
+    return PlanDiagnostic(
+        rule=rule.rule_id,
+        severity=rule.severity,
+        message=message,
+        driver=driver,
+        path=path,
+    )
+
+
+@dataclass(frozen=True)
+class PlanLintReport:
+    """All findings of one plan's static analysis, plus identity."""
+
+    driver: str
+    shape: Tuple
+    threads: int
+    diagnostics: Tuple[PlanDiagnostic, ...]
+    nodes: int = 0
+
+    def by_severity(self, severity: str) -> Tuple[PlanDiagnostic, ...]:
+        """All diagnostics of the given severity."""
+        return tuple(d for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> Tuple[PlanDiagnostic, ...]:
+        """Error-severity findings (any present fails verification)."""
+        return self.by_severity("error")
+
+    @property
+    def warnings(self) -> Tuple[PlanDiagnostic, ...]:
+        """Warning-severity findings."""
+        return self.by_severity("warning")
+
+    @property
+    def infos(self) -> Tuple[PlanDiagnostic, ...]:
+        """Advisory findings."""
+        return self.by_severity("info")
+
+    @property
+    def ok(self) -> bool:
+        """True when the plan has no error-severity findings."""
+        return not self.errors
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict rendering (diagnostics as dicts)."""
+        return {
+            "driver": self.driver,
+            "shape": list(self.shape),
+            "threads": self.threads,
+            "nodes": self.nodes,
+            "ok": self.ok,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def render(self) -> str:
+        """Human-readable report: verdict line plus a diagnostics table."""
+        verdict = "OK" if self.ok else "FAIL"
+        shape = "x".join(str(s) for s in self.shape) if self.shape else "-"
+        head = (
+            f"planlint {self.driver} {shape} "
+            f"({self.threads} thread(s), {self.nodes} nodes): {verdict} "
+            f"({len(self.errors)} errors, {len(self.warnings)} warnings, "
+            f"{len(self.infos)} infos)"
+        )
+        if not self.diagnostics:
+            return head
+        rows = [
+            [d.rule, d.severity, d.path, d.message]
+            for d in self.diagnostics
+        ]
+        table = format_table(["rule", "severity", "path", "message"], rows)
+        return f"{head}\n{table}"
+
+
+def plan_rules_table() -> str:
+    """The plan-rule inventory as a text table (for docs and ``lint``)."""
+    rows = [[r.rule_id, r.severity, r.summary]
+            for r in sorted(PLAN_RULES.values(), key=lambda r: r.rule_id)]
+    return format_table(["rule", "severity", "summary"], rows,
+                        title="plan analyzer rules")

@@ -19,6 +19,23 @@ Shape = Tuple[int, int, int]
 #: the large extent used for multithreaded irregular shapes
 MT_LARGE = 2048
 
+#: remainder-heavy shapes that stress every edge policy (golden grid)
+EDGE_SHAPES: Tuple[Shape, ...] = (
+    (2, 2, 2),
+    (5, 3, 2),
+    (7, 11, 13),
+    (13, 4, 7),
+    (33, 65, 129),
+    (75, 75, 75),
+    (97, 101, 89),
+)
+
+#: one point per Fig. 10 regime (small / mid / large small-dimension)
+GOLDEN_MT_POINTS: Tuple[int, ...] = (16, 80, 256)
+
+#: the thread counts the golden multithreaded grid is recorded at
+GOLDEN_MT_THREADS: Tuple[int, ...] = (4, 64)
+
 
 def fig5a_square(step: int = 5, stop: int = 200) -> List[Shape]:
     """M = N = K in {step, 2*step, ..., stop}."""
@@ -65,6 +82,37 @@ def fig10_mt_sweeps(step: int = 16, stop: int = 256) -> dict:
         "small-N": [(MT_LARGE, n, MT_LARGE) for n in range(step, stop + 1, step)],
         "small-K": [(MT_LARGE, MT_LARGE, k) for k in range(step, stop + 1, step)],
     }
+
+
+def golden_single_thread_grid() -> List[Shape]:
+    """The golden single-thread grid: Fig. 5 sweeps plus the edge shapes.
+
+    The exact shape set ``tests/record_golden.py`` records and the plan
+    analyzer (``repro lint --plans``) sweeps — kept here so the two can
+    never drift apart.
+    """
+    shapes: List[Shape] = []
+    shapes.extend(fig5a_square())
+    shapes.extend(fig5b_small_m())
+    shapes.extend(fig5c_small_n())
+    shapes.extend(fig5d_small_k())
+    shapes.extend(EDGE_SHAPES)
+    seen, out = set(), []
+    for s in shapes:
+        if s not in seen:
+            seen.add(s)
+            out.append(s)
+    return out
+
+
+def golden_mt_grid() -> List[Shape]:
+    """The golden Fig. 10 subset: every sweep at three small-dim points."""
+    shapes: List[Shape] = []
+    for p in GOLDEN_MT_POINTS:
+        shapes.append((p, MT_LARGE, MT_LARGE))
+        shapes.append((MT_LARGE, p, MT_LARGE))
+        shapes.append((MT_LARGE, MT_LARGE, p))
+    return shapes
 
 
 def table2_ms(step: int = 16, stop: int = 256) -> List[int]:

@@ -1,10 +1,25 @@
-"""Shared fixtures: one machine model and seeded RNG per session."""
+"""Shared fixtures: one machine model and seeded RNG per session.
+
+The session also arms the pricing engine's verify-before-price gate, so
+every plan any test prices is first statically analyzed (V3xx rules) —
+golden parity under the gate proves verification never perturbs pricing.
+"""
 
 import numpy as np
 import pytest
 
 from repro.machine import a64fx_like, phytium2000plus
+from repro.plan import ENGINE
 from repro.util import make_rng
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _plan_verify_gate():
+    """Every plan priced by the suite passes the V3xx analyzer first."""
+    previous = ENGINE.verify
+    ENGINE.verify = True
+    yield
+    ENGINE.verify = previous
 
 
 @pytest.fixture(scope="session")

@@ -28,48 +28,11 @@ from repro.workloads import sweeps
 
 DATA_PATH = pathlib.Path(__file__).parent / "data" / "golden_timings.json"
 
-#: remainder-heavy shapes that stress every edge policy
-EDGE_SHAPES = [
-    (2, 2, 2),
-    (5, 3, 2),
-    (7, 11, 13),
-    (13, 4, 7),
-    (33, 65, 129),
-    (75, 75, 75),
-    (97, 101, 89),
-]
-
-#: one point per Fig. 10 regime (small / mid / large small-dimension)
-MT_POINTS = (16, 80, 256)
-MT_THREADS = (4, 64)
-
-
-def single_thread_grid():
-    """The Fig. 5 sweeps plus the edge shapes."""
-    shapes = []
-    shapes.extend(sweeps.fig5a_square())
-    shapes.extend(sweeps.fig5b_small_m())
-    shapes.extend(sweeps.fig5c_small_n())
-    shapes.extend(sweeps.fig5d_small_k())
-    shapes.extend(EDGE_SHAPES)
-    # de-duplicate, preserving order
-    seen, out = set(), []
-    for s in shapes:
-        if s not in seen:
-            seen.add(s)
-            out.append(s)
-    return out
-
-
-def mt_grid():
-    """A Fig. 10 subset: every sweep at three small-dimension points."""
-    large = sweeps.MT_LARGE
-    shapes = []
-    for p in MT_POINTS:
-        shapes.append((p, large, large))
-        shapes.append((large, p, large))
-        shapes.append((large, large, p))
-    return shapes
+# the golden grid is defined once in repro.workloads.sweeps so the plan
+# lint sweep (``repro lint --plans``) audits exactly the recorded shapes
+MT_THREADS = sweeps.GOLDEN_MT_THREADS
+single_thread_grid = sweeps.golden_single_thread_grid
+mt_grid = sweeps.golden_mt_grid
 
 
 def record(machine=None) -> dict:

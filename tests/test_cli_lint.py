@@ -1,4 +1,6 @@
-"""Tests for the ``repro lint`` CLI command."""
+"""Tests for the ``repro lint`` CLI command (kernel and plan modes)."""
+
+import json
 
 import pytest
 
@@ -9,12 +11,26 @@ class TestParser:
     def test_lint_defaults(self):
         args = build_parser().parse_args(["lint"])
         assert not args.self_check and not args.inject_bad
+        assert not args.plans and not args.json
+        assert args.shape == [] and args.lib is None and args.threads is None
 
     def test_lint_flags(self):
         args = build_parser().parse_args(["lint", "--self-check"])
         assert args.self_check
         args = build_parser().parse_args(["lint", "--inject-bad"])
         assert args.inject_bad
+
+    def test_lint_plan_flags(self):
+        args = build_parser().parse_args(
+            ["lint", "--plans", "24", "16", "8",
+             "--lib", "blis", "--threads", "4", "--json"])
+        assert args.plans and args.json
+        assert args.shape == [24, 16, 8]
+        assert args.lib == "blis" and args.threads == 4
+
+    def test_lint_rejects_unknown_lib(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--plans", "--lib", "mkl"])
 
 
 class TestLintCommand:
@@ -42,3 +58,65 @@ class TestLintCommand:
         for rule in ("V001-uninit-read", "V101-reg-budget",
                      "V201-latency-bound"):
             assert rule in out
+
+    def test_kernel_json_payload(self, capsys):
+        assert main(["lint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "kernels" and payload["ok"]
+        assert payload["kernels"] == len(payload["cases"])
+        assert payload["bound_violations"] == []
+
+
+class TestPlanLintCommand:
+    def test_single_shape_all_drivers_clean(self, capsys):
+        assert main(["lint", "--plans", "24", "16", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "OK: 6 plans, 0 finding(s)" in out
+        for lib in ("openblas", "blis", "eigen", "blasfeo",
+                    "reference", "reference-fused"):
+            assert lib in out
+
+    def test_narrowed_case_clean(self, capsys):
+        assert main(["lint", "--plans", "80", "2048", "2048",
+                     "--lib", "blis", "--threads", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "OK: 1 plans, 0 finding(s)" in out
+
+    def test_bad_shape_arity_exits_two(self, capsys):
+        assert main(["lint", "--plans", "24", "16"]) == 2
+        assert "M N K" in capsys.readouterr().out
+
+    def test_inject_bad_exits_nonzero(self, capsys):
+        assert main(["lint", "--plans", "24", "16", "8",
+                     "--inject-bad"]) != 0
+        out = capsys.readouterr().out
+        assert "V321-missing-pack" in out and "FAIL:" in out
+
+    def test_self_check_all_plan_rules_fire(self, capsys):
+        assert main(["lint", "--plans", "--self-check"]) == 0
+        out = capsys.readouterr().out
+        assert "MISSED" not in out
+        for rule in ("V301-write-overlap", "V311-l1-residency",
+                     "V321-missing-pack", "V331-flop-coverage",
+                     "V332-batch-partition"):
+            assert rule in out
+
+    def test_plan_json_payload(self, capsys):
+        assert main(["lint", "--plans", "5", "3", "2",
+                     "--lib", "reference", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "plans" and payload["ok"]
+        assert payload["plans"] == 1
+        case = payload["cases"][0]
+        assert case["driver"] == "reference"
+        assert case["shape"] == [5, 3, 2]
+        assert case["diagnostics"] == [] and case["ok"]
+
+    def test_self_check_json_payload(self, capsys):
+        assert main(["lint", "--plans", "--self-check", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"]
+        assert {r["rule"] for r in payload["results"]} >= {
+            "V301-write-overlap", "V321-missing-pack",
+        }
+        assert all(r["fired"] for r in payload["results"])

@@ -1,0 +1,208 @@
+"""The plan-level static analyzer (V3xx rules).
+
+Three layers of contract:
+
+* every golden driver's lowering analyzes clean (representative shapes;
+  the full sweep runs under ``repro lint --plans`` in ``make lint``);
+* every rule fires on its injected mutant (negative controls);
+* the engine's verify-before-price gate rejects broken plans without
+  perturbing the timings of legal ones.
+"""
+
+import json
+
+import pytest
+
+from repro.blas import make_blasfeo, make_driver
+from repro.core import BatchedSmm, ReferenceSmmDriver
+from repro.parallel import MultithreadedGemm
+from repro.plan import ENGINE, ExecutionPlan, Section
+from repro.tuning import AdaptiveTuner
+from repro.util.errors import PlanVerificationError
+from repro.verify import (
+    PLAN_RULES,
+    PlanVerifier,
+    assert_plan_ok,
+    golden_plan_cases,
+    plan_rules_table,
+    plan_self_check,
+    verify_plan,
+)
+from repro.verify.planlint import inject_bad_plan, lower_named
+
+
+class TestCleanPlans:
+    """Representative lowerings of every driver analyze with no findings."""
+
+    @pytest.mark.parametrize("make_plan", [
+        lambda m: make_driver("openblas", m).plan_gemm(48, 48, 48),
+        lambda m: make_driver("blis", m).plan_gemm(33, 65, 129),
+        lambda m: make_driver("eigen", m).plan_gemm(75, 75, 75),
+        lambda m: make_blasfeo(m).plan_gemm(24, 24, 24),
+        lambda m: ReferenceSmmDriver(m).plan_gemm(97, 101, 89),
+        lambda m: ReferenceSmmDriver(m, fused_packing=True)
+        .plan_gemm(40, 100, 100),
+        lambda m: ReferenceSmmDriver(m, threads=16).plan_gemm(64, 512, 512),
+        lambda m: MultithreadedGemm(m, "openblas", threads=64)
+        .plan_gemm(80, 2048, 2048),
+        lambda m: MultithreadedGemm(m, "blis", threads=4)
+        .plan_gemm(2048, 16, 2048),
+        lambda m: MultithreadedGemm(m, "eigen", threads=4)
+        .plan_gemm(256, 2048, 2048),
+        lambda m: BatchedSmm(m)
+        .plan_batch([(8, 8, 8), (16, 16, 16), (5, 3, 2)]),
+    ], ids=["openblas", "blis", "eigen", "blasfeo", "reference",
+            "reference-fused", "reference-mt", "mt-openblas", "mt-blis",
+            "mt-eigen", "batched"])
+    def test_no_findings(self, machine, make_plan):
+        report = verify_plan(make_plan(machine))
+        assert report.ok
+        assert report.diagnostics == ()
+        assert report.nodes > 0
+
+    def test_golden_cases_narrowed(self, machine):
+        cases = list(golden_plan_cases(machine, shape=(24, 16, 8)))
+        assert [lib for lib, *_ in cases] == [
+            "openblas", "blis", "eigen", "blasfeo",
+            "reference", "reference-fused",
+        ]
+        for lib, threads, shape, plan in cases:
+            assert threads == 1 and shape == (24, 16, 8)
+            assert verify_plan(plan, label=lib).ok
+
+    def test_lower_named_mt(self, machine):
+        plan = lower_named(machine, "blis", 64, 80, 2048, 2048)
+        assert isinstance(plan, ExecutionPlan)
+        assert verify_plan(plan).ok
+
+
+class TestMutationSelfCheck:
+    def test_every_rule_fires_on_its_mutant(self, machine):
+        results = plan_self_check(machine)
+        assert sorted(rid for rid, _ in results) == sorted(PLAN_RULES)
+        assert all(fired for _, fired in results)
+
+    def test_inject_bad_plan_is_v321(self, machine):
+        rule_id, plan = inject_bad_plan(machine)
+        assert rule_id == "V321-missing-pack"
+        report = verify_plan(plan, label="injected")
+        assert not report.ok
+        assert any(d.rule == rule_id for d in report.errors)
+
+
+class TestEngineGate:
+    def test_assert_plan_ok_raises_with_report(self, machine):
+        _, bad = inject_bad_plan(machine)
+        with pytest.raises(PlanVerificationError) as err:
+            assert_plan_ok(bad)
+        assert "V321-missing-pack" in str(err.value)
+
+    def test_gate_rejects_before_pricing(self, machine):
+        _, bad = inject_bad_plan(machine)
+        assert ENGINE.verify  # armed session-wide by conftest
+        with pytest.raises(PlanVerificationError):
+            bad.price()
+
+    def test_gate_does_not_perturb_timings(self, machine):
+        plan = make_driver("openblas", machine).plan_gemm(48, 48, 48)
+        gated = plan.price()
+        previous = ENGINE.verify
+        ENGINE.verify = False
+        try:
+            ungated = plan.price()
+        finally:
+            ENGINE.verify = previous
+        assert gated.as_dict() == ungated.as_dict()
+
+    def test_gate_off_by_default(self, machine):
+        from repro.plan.engine import Engine
+        assert Engine().verify is False
+
+
+class TestTunerIntegration:
+    def test_tuned_plan_analyzes_clean(self, machine):
+        tuner = AdaptiveTuner(machine, cache_path=None)
+        plan = tuner.plan_execution(33, 17, 9)
+        assert verify_plan(plan).ok
+
+    def test_search_skips_plans_failing_verification(self, machine,
+                                                     monkeypatch):
+        import repro.tuning.tuner as tuner_mod
+
+        tuner = AdaptiveTuner(machine, cache_path=None)
+        heuristic = tuner.heuristic_plan(24, 24, 24)
+        # every candidate plan is reported illegal -> heuristic fallback
+        monkeypatch.setattr(
+            tuner_mod, "verify_plan",
+            lambda plan, label=None: verify_plan(
+                inject_bad_plan(machine)[1]
+            ),
+        )
+        tuned = tuner.search(24, 24, 24)
+        assert tuned.source == "heuristic"
+        assert tuned.total_cycles == heuristic.total_cycles
+
+
+class TestReporting:
+    def test_report_to_dict_round_trips(self, machine):
+        _, bad = inject_bad_plan(machine)
+        report = verify_plan(bad, label="injected")
+        dumped = json.loads(json.dumps(report.to_dict()))
+        assert dumped["ok"] is False
+        assert dumped["driver"] == "injected"
+        assert dumped["nodes"] == report.nodes
+        rules = [d["rule"] for d in dumped["diagnostics"]]
+        assert "V321-missing-pack" in rules
+
+    def test_render_includes_verdict_and_rule(self, machine):
+        _, bad = inject_bad_plan(machine)
+        text = verify_plan(bad, label="injected").render()
+        assert "FAIL" in text and "V321-missing-pack" in text
+        clean = make_blasfeo(machine).plan_gemm(8, 8, 8)
+        assert "OK" in verify_plan(clean).render()
+
+    def test_diagnostics_sorted_errors_first(self, machine):
+        _, bad = inject_bad_plan(machine)
+        report = verify_plan(bad)
+        keys = [d.sort_key() for d in report.diagnostics]
+        assert keys == sorted(keys)
+
+    def test_rules_table_lists_every_rule(self):
+        table = plan_rules_table()
+        for rule_id in PLAN_RULES:
+            assert rule_id in table
+
+    def test_rule_ids_are_stable(self):
+        assert sorted(PLAN_RULES) == [
+            "V301-write-overlap", "V302-unsynced-pack",
+            "V303-barrier-group", "V311-l1-residency",
+            "V312-l2-residency", "V313-shared-l2-budget",
+            "V321-missing-pack", "V322-dead-pack", "V323-stale-panel",
+            "V331-flop-coverage", "V332-batch-partition",
+        ]
+        for rule in PLAN_RULES.values():
+            assert rule.severity in ("error", "warning", "info")
+
+
+class TestRobustness:
+    def test_unknown_node_kind_is_ignored(self, machine):
+        class Rogue:
+            kind = "rogue"
+
+        plan = make_blasfeo(machine).plan_gemm(8, 8, 8)
+        root = plan.root
+        hacked = ExecutionPlan(
+            root=Section(label=root.label,
+                         children=root.children + (Rogue(),)),
+            context=plan.context,
+            meta=dict(plan.meta),
+        )
+        assert verify_plan(hacked).ok  # analyzer skips what it can't read
+
+    def test_contextless_plan_skips_residency(self, machine):
+        plan = ReferenceSmmDriver(machine).plan_gemm(33, 17, 9)
+        bare = ExecutionPlan(root=plan.root, context=None,
+                             meta=dict(plan.meta))
+        report = PlanVerifier().verify(bare)
+        assert not [d for d in report.diagnostics
+                    if d.rule.startswith("V31")]

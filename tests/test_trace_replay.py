@@ -1,0 +1,98 @@
+"""Trace replay on composite plans (merge batches, 2-D critical paths).
+
+``timing_from_trace`` must rebuild the engine's GemmTiming from the
+event stream alone for the two composite roots the basic reconciliation
+suite (``test_plan_engine.py``) only samples: :class:`MergeOp` batch
+plans, whose buckets are sums over sub-plans, and 2-D-grid
+:class:`CriticalPathOp` plans (the mt-eigen lowering), whose buckets
+come from the slowest chunk of an M x N thread grid.
+"""
+
+import json
+
+import pytest
+
+from repro.core import BatchedSmm
+from repro.parallel import MultithreadedGemm
+from repro.plan import RecordingTraceSink
+from repro.plan.ir import CriticalPathOp, MergeOp
+from repro.timing import timing_from_trace
+
+BATCHES = [
+    [(8, 8, 8)],
+    [(8, 8, 8), (16, 16, 16)],
+    [(5, 3, 2), (33, 65, 129), (75, 75, 75), (97, 101, 89)],
+]
+
+
+class TestMergeReplay:
+    @pytest.mark.parametrize("shapes", BATCHES,
+                             ids=["single", "pair", "edge-mix"])
+    def test_batched_buckets_rebuild(self, machine, shapes):
+        plan = BatchedSmm(machine).plan_batch(shapes)
+        assert isinstance(plan.root, MergeOp)
+        sink = RecordingTraceSink()
+        timing = plan.price(sink=sink)
+        replayed = timing_from_trace(sink.events)
+        assert replayed.as_dict() == timing.as_dict()
+
+    def test_batched_matches_run_accounting(self, machine):
+        batched = BatchedSmm(machine)
+        plan = batched.plan_batch(BATCHES[-1])
+        sink = RecordingTraceSink()
+        timing = plan.price(sink=sink)
+        # the merged plan prices to the fold of the per-problem timings,
+        # and the replay preserves that through the event stream
+        assert timing.total_cycles == pytest.approx(sum(
+            batched.driver.cost_gemm(m, n, k)[0].total_cycles
+            for m, n, k in BATCHES[-1]
+        ))
+        assert timing_from_trace(sink.events).total_cycles \
+            == timing.total_cycles
+
+    def test_json_round_trip(self, machine):
+        plan = BatchedSmm(machine).plan_batch(BATCHES[1])
+        sink = RecordingTraceSink()
+        timing = plan.price(sink=sink)
+        dicts = json.loads(sink.to_json())
+        assert timing_from_trace(dicts).as_dict() == timing.as_dict()
+
+
+class TestCriticalPathReplay:
+    @pytest.mark.parametrize("shape,threads", [
+        ((256, 2048, 2048), 4),
+        ((80, 2048, 2048), 64),
+        ((2048, 2048, 16), 64),
+    ], ids=["grid-4", "grid-64", "small-k-64"])
+    def test_eigen_grid_buckets_rebuild(self, machine, shape, threads):
+        plan = MultithreadedGemm(machine, "eigen",
+                                 threads=threads).plan_gemm(*shape)
+        assert any(isinstance(node, CriticalPathOp)
+                   for _, node in plan.walk())
+        sink = RecordingTraceSink()
+        timing = plan.price(sink=sink)
+
+        totals = sink.bucket_totals()
+        assert totals["kernel"] == timing.kernel_cycles
+        assert totals["sync"] == timing.sync_cycles
+
+        replayed = timing_from_trace(sink.events)
+        assert replayed.as_dict() == timing.as_dict()
+
+    def test_grid_json_round_trip(self, machine):
+        plan = MultithreadedGemm(machine, "eigen",
+                                 threads=64).plan_gemm(80, 2048, 2048)
+        sink = RecordingTraceSink()
+        timing = plan.price(sink=sink)
+        dicts = json.loads(sink.to_json())
+        assert timing_from_trace(dicts).as_dict() == timing.as_dict()
+
+    def test_trace_is_grid_shaped(self, machine):
+        plan = MultithreadedGemm(machine, "eigen",
+                                 threads=4).plan_gemm(256, 2048, 2048)
+        sink = RecordingTraceSink()
+        plan.price(sink=sink)
+        kinds = [event.kind for event in sink]
+        assert kinds[0] == "plan" and kinds[-1] == "total"
+        # one phase event stream per grid chunk's critical sub-plan
+        assert any(event.kind == "phase" for event in sink)
