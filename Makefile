@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-plans-negative bench bench-smoke examples docs report verify check all clean
+.PHONY: install test lint lint-plans-negative bench bench-smoke bench-record examples docs report verify check all clean
 
 # one fast representative per benchmarks/test_fig*.py (the CI smoke set);
 # --benchmark-disable runs each figure pipeline once instead of timing it
@@ -26,14 +26,20 @@ lint:
 	$(PYTHON) -m repro lint --plans
 	$(PYTHON) -m repro.util.apidoc --check
 
-# plan-rule mutation controls: every V3xx rule must fire on its injected
-# violation, and a deliberately broken plan must fail the lint (nonzero)
+# plan-rule mutation controls: every V3xx/V4xx rule must fire on its
+# injected violation, and a deliberately broken plan must fail the lint
+# (nonzero)
 lint-plans-negative:
 	$(PYTHON) -m repro lint --plans --self-check
 	! $(PYTHON) -m repro lint --plans 24 16 8 --inject-bad
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# perf trajectory: lint-sweep wall-clock + plans-priced-per-second,
+# written to BENCH_<rev>.json at the repo root
+bench-record:
+	$(PYTHON) -m repro.util.benchrecord
 
 bench-smoke:
 	$(PYTHON) -m pytest $(BENCH_SMOKE) --benchmark-disable -q

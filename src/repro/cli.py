@@ -74,7 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--plans", action="store_true",
-        help="analyze ExecutionPlans (V3xx rules) instead of kernels; "
+        help="analyze ExecutionPlans (V3xx-V4xx rules) instead of "
+        "kernels; "
         "with no shape, sweeps the golden Fig. 5/Fig. 10 grids over "
         "every driver at 1/4/64 threads",
     )
@@ -96,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit machine-readable JSON diagnostics "
         "(code/severity/node-path) instead of tables",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the full V0xx-V4xx rule catalog (id, severity, "
+        "summary) and exit",
     )
 
     tune = sub.add_parser(
@@ -356,17 +362,50 @@ def _lint_kernels(machine) -> List:
     return kernels
 
 
+def _run_list_rules(as_json: bool) -> tuple:
+    """The ``repro lint --list-rules`` body: the full V0xx-V4xx catalog."""
+    import json
+
+    from .util.tables import format_table
+    from .verify import RULE_CATALOG_VERSION, full_rule_catalog
+
+    rules = sorted(full_rule_catalog().values(), key=lambda r: r.rule_id)
+    if as_json:
+        payload = {
+            "mode": "rules",
+            "rule_catalog_version": RULE_CATALOG_VERSION,
+            "rules": [
+                {"rule": r.rule_id, "severity": r.severity,
+                 "summary": r.summary}
+                for r in rules
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True), 0
+    text = format_table(
+        ("rule", "severity", "summary"),
+        [(r.rule_id, r.severity, r.summary) for r in rules],
+        title=f"rule catalog (version {RULE_CATALOG_VERSION})",
+    )
+    return (
+        f"{text}\n\n{len(rules)} rule(s), "
+        f"catalog version {RULE_CATALOG_VERSION}",
+        0,
+    )
+
+
 def _self_check_output(results, title: str, as_json: bool) -> tuple:
     """Render a (rule, fired) negative-control run for either verifier."""
     import json
 
     from .util.tables import format_table
+    from .verify import RULE_CATALOG_VERSION
 
     missed = sorted(rule for rule, fired in results if not fired)
     if as_json:
         payload = {
             "mode": title,
             "ok": not missed,
+            "rule_catalog_version": RULE_CATALOG_VERSION,
             "results": [
                 {"rule": rule, "fired": fired} for rule, fired in results
             ],
@@ -393,7 +432,12 @@ def _run_plan_lint(machine, args) -> tuple:
     import json
 
     from .util.tables import format_table
-    from .verify import plan_self_check, verify_plan
+    from .verify import (
+        RULE_CATALOG_VERSION,
+        plan_self_check,
+        verification_cache_info,
+        verify_plan,
+    )
     from .verify.planlint import golden_plan_cases, inject_bad_plan
 
     if args.self_check:
@@ -432,6 +476,8 @@ def _run_plan_lint(machine, args) -> tuple:
             "mode": "plans",
             "ok": ok,
             "plans": len(reports),
+            "rule_catalog_version": RULE_CATALOG_VERSION,
+            "memo": verification_cache_info(),
             "cases": [
                 dict(report.to_dict(), threads=t)
                 for _, t, _, report in reports
@@ -461,6 +507,11 @@ def _run_plan_lint(machine, args) -> tuple:
             f"{d.severity}: {d.rule} [{lib} {shape_txt} @{t}t] "
             f"{d.path}: {d.message}"
         )
+    memo = verification_cache_info()
+    lines.append(
+        f"verification memo: {memo['hits']} hit(s), "
+        f"{memo['misses']} miss(es), {memo['size']} entries"
+    )
     lines.append(
         f"{'OK' if ok else 'FAIL'}: {len(reports)} plans, "
         f"{len(findings)} finding(s)"
@@ -475,7 +526,10 @@ def _run_lint(machine, args) -> tuple:
     from .isa.sequence import KernelSequence
     from .pipeline import SteadyStateAnalyzer
     from .util.tables import format_table
-    from .verify import KernelVerifier, self_check
+    from .verify import RULE_CATALOG_VERSION, KernelVerifier, self_check
+
+    if args.list_rules:
+        return _run_list_rules(args.json)
 
     if args.plans:
         return _run_plan_lint(machine, args)
@@ -537,6 +591,7 @@ def _run_lint(machine, args) -> tuple:
             "mode": "kernels",
             "ok": ok,
             "kernels": len(kernels),
+            "rule_catalog_version": RULE_CATALOG_VERSION,
             "bound_violations": bound_violations,
             "cases": json_cases,
         }
@@ -601,7 +656,23 @@ def _run_tune(args) -> tuple:
         plan = tuner.tune(args.m, args.n, args.k, threads=args.threads)
         if cache.dirty:
             cache.save()
-        return plan.render(), 0
+        lines = [plan.render()]
+        if tuner.last_rejections:
+            shown = tuner.last_rejections[:8]
+            lines.append(
+                f"{len(tuner.last_rejections)} candidate plan(s) "
+                "rejected by the static analyzer:"
+            )
+            lines.extend(
+                f"  {d.rule} [{d.driver}] {d.path}: {d.message}"
+                for d in shown
+            )
+            if len(tuner.last_rejections) > len(shown):
+                lines.append(
+                    f"  ... and {len(tuner.last_rejections) - len(shown)}"
+                    " more"
+                )
+        return "\n".join(lines), 0
 
     if cmd == "sweep":
         rows = []

@@ -8,6 +8,7 @@ from .partition import (
     grid_partition,
     openblas_partition,
     split_even,
+    strip_spans,
 )
 from .sync import barrier_cycles, sync_points_per_iteration
 
@@ -15,6 +16,7 @@ __all__ = [
     "MultithreadedGemm",
     "ThreadTopology",
     "split_even",
+    "strip_spans",
     "openblas_partition",
     "grid_partition",
     "blis_factorization",

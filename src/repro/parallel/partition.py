@@ -37,6 +37,29 @@ def split_even(extent: int, parts: int) -> List[int]:
     return [base + (1 if i < extra else 0) for i in range(parts)]
 
 
+def strip_spans(extent: int, chunks) -> List[Tuple[int, int]]:
+    """Canonical ``[start, end)`` row span of each per-thread chunk.
+
+    Thread ``t``'s start offset is fixed by the balanced partition of
+    ``extent`` over ``len(chunks)`` threads (:func:`split_even` prefix
+    sums — how the 1-D M split assigns row blocks); its span extends by
+    its *declared* chunk size.  For a legal partition
+    ``chunks == split_even(extent, len(chunks))`` and the spans tile
+    ``[0, extent)`` exactly — no gap, no overlap; an inflated chunk
+    overlaps its successor's rows (the V411 race signature) and a
+    deflated one leaves a gap.  This is the placement both the static
+    race analyzer (:mod:`repro.verify.races`) and its dynamic tiling
+    oracle (``tests/test_partition_tiling.py``) agree on.
+    """
+    if not chunks:
+        return []
+    offset, spans = 0, []
+    for nominal, declared in zip(split_even(extent, len(chunks)), chunks):
+        spans.append((offset, offset + max(declared, 0)))
+        offset += nominal
+    return spans
+
+
 def openblas_partition(m: int, n: int, threads: int) -> List[Tuple[int, int]]:
     """Per-thread (m_chunk, n_chunk) under the OpenBLAS scheme (1-D over M)."""
     check_positive_int(threads, "threads", ParallelError)

@@ -36,7 +36,7 @@ from ..kernels.generator import KernelSpec
 from ..machine.config import MachineConfig
 from ..parallel.partition import factorization_candidates
 from ..util.errors import DriverError, KernelDesignError, ReproError
-from ..verify import KernelVerifier, verify_plan
+from ..verify import KernelVerifier, PlanDiagnostic, verify_plan
 from .cache import TuningCache, plan_key
 from .plan import PlanKey, TunedPlan
 
@@ -51,6 +51,8 @@ class TuneReport:
     cache_hits: int = 0
     tuned: int = 0
     failed: int = 0
+    #: candidate plans the static analyzer rejected before pricing
+    rejected: int = 0
     elapsed_seconds: float = 0.0
     #: total modeled speedup of tuned plans over the fixed heuristic
     speedups: List[float] = field(default_factory=list)
@@ -74,7 +76,8 @@ class TuneReport:
         return (
             f"{self.requested} shape(s): {self.cache_hits} cache hit(s) "
             f"({self.hit_rate:.0%}), {self.tuned} tuned, "
-            f"{self.failed} failed, {self.elapsed_seconds:.2f} s; "
+            f"{self.failed} failed, {self.rejected} candidate plan(s) "
+            f"rejected by the analyzer, {self.elapsed_seconds:.2f} s; "
             f"mean modeled speedup vs heuristic {self.mean_speedup:.2f}x"
         )
 
@@ -100,6 +103,10 @@ class AdaptiveTuner:
         self._drivers: Dict[int, ReferenceSmmDriver] = {}
         self._verifier = KernelVerifier(machine.core)
         self._verified: Dict[str, bool] = {}
+        #: plan-analyzer findings that rejected candidates in the most
+        #: recent :meth:`search` (each carries the ``tuner:<source>``
+        #: provenance in its driver tag, for ``repro tune`` attribution)
+        self.last_rejections: List["PlanDiagnostic"] = []
 
     # -- driver / candidate machinery ----------------------------------
 
@@ -194,12 +201,15 @@ class AdaptiveTuner:
 
         Guarantees: the returned plan's kernel passed the static verifier
         (PR-1, V0xx-V2xx), its lowered ExecutionPlan passed the plan
-        analyzer (V3xx) *before* any pricing model ran, and its modeled
-        cycles are <= the fixed heuristic's.
+        analyzer (V3xx-V4xx) *before* any pricing model ran, and its
+        modeled cycles are <= the fixed heuristic's.  Rejected candidates
+        leave their findings in :attr:`last_rejections`, tagged with the
+        ``tuner:candidate`` provenance.
         """
         key = plan_key(m, n, k, self.dtype, threads)
         driver = self.driver(threads)
         heuristic = self.heuristic_plan(m, n, k, threads)
+        self.last_rejections = []
 
         best: Optional[Tuple[float, KernelSpec, bool, object, object]] = None
         for spec, packed_b, fact in self._plan_space(key.m, key.n, key.k,
@@ -213,8 +223,13 @@ class AdaptiveTuner:
                 )
             except (KernelDesignError, DriverError):
                 continue
-            if not verify_plan(plan).ok:
-                continue  # illegal candidate plan: rejected before costing
+            plan.meta["provenance"] = "tuner:candidate"
+            report = verify_plan(plan)
+            if not report.ok:
+                # illegal candidate plan: rejected before costing; keep
+                # the findings so the CLI can attribute the rejection
+                self.last_rejections.extend(report.errors)
+                continue
             timing = plan.price()
             cycles = timing.total_cycles
             if best is None or cycles < best[0]:
@@ -249,6 +264,7 @@ class AdaptiveTuner:
                 report.cache_hits += 1
             else:
                 report.tuned += 1
+                report.rejected += len(self.last_rejections)
                 report.speedups.append(plan.speedup_vs_heuristic)
         report.elapsed_seconds = time.perf_counter() - start
         if save and self.cache.dirty:

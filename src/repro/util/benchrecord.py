@@ -1,0 +1,139 @@
+"""Performance-trajectory recorder: ``make bench-record``.
+
+Measures the two throughput numbers the verified-platform roadmap
+tracks across PRs and writes them to ``BENCH_<rev>.json`` at the repo
+root:
+
+* **lint sweep** — wall-clock of the golden 708-plan ``repro lint
+  --plans`` sweep with the full V3xx+V4xx analysis armed (the
+  acceptance ceiling every analyzer PR must stay under), plus the
+  verification-memo counters;
+* **pricing** — plans priced per second over every golden driver on the
+  edge-shape set, with the engine's verify-before-price gate on (the
+  end-to-end cost a batch/serve layer would pay per plan).
+
+One JSON file per revision seeds the perf-trajectory store: compare two
+files to see whether an analyzer or engine change moved either number.
+
+Run as ``python -m repro.util.benchrecord [--rev REV] [--output PATH]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+def _current_rev() -> str:
+    """Short git revision of the working tree, or ``unknown``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def measure_lint_sweep(machine) -> Dict[str, object]:
+    """Time the golden plan sweep with the full analysis armed."""
+    from ..verify import (
+        clear_verification_cache,
+        golden_plan_cases,
+        verification_cache_info,
+        verify_plan,
+    )
+
+    clear_verification_cache()
+    start = time.perf_counter()
+    plans, findings = 0, 0
+    for lib, _, _, plan in golden_plan_cases(machine):
+        plans += 1
+        findings += len(verify_plan(plan, label=lib).diagnostics)
+    elapsed = time.perf_counter() - start
+    return {
+        "plans": plans,
+        "findings": findings,
+        "wall_seconds": round(elapsed, 3),
+        "plans_per_second": round(plans / elapsed, 1) if elapsed else 0.0,
+        "memo": verification_cache_info(),
+    }
+
+
+def measure_pricing(machine) -> Dict[str, object]:
+    """Plans priced per second: every golden driver over the edge set."""
+    from ..plan import ENGINE
+    from ..verify.planlint import GOLDEN_DRIVERS, lower_named
+    from ..workloads.sweeps import EDGE_SHAPES
+
+    cases: List = []
+    for lib in GOLDEN_DRIVERS:
+        for (m, n, k) in EDGE_SHAPES:
+            cases.append(lower_named(machine, lib, 1, m, n, k))
+    previous = ENGINE.verify
+    ENGINE.verify = True  # the gate a batch/serve layer would run under
+    start = time.perf_counter()
+    try:
+        for plan in cases:
+            plan.price()
+    finally:
+        ENGINE.verify = previous
+    elapsed = time.perf_counter() - start
+    return {
+        "plans": len(cases),
+        "wall_seconds": round(elapsed, 3),
+        "plans_per_second": (
+            round(len(cases) / elapsed, 1) if elapsed else 0.0
+        ),
+    }
+
+
+def record(rev: Optional[str] = None,
+           output: Optional[str] = None) -> Path:
+    """Measure both numbers and write ``BENCH_<rev>.json``."""
+    from ..machine import phytium2000plus
+    from ..verify import RULE_CATALOG_VERSION
+
+    rev = rev or _current_rev()
+    machine = phytium2000plus()
+    payload = {
+        "rev": rev,
+        "machine_model": machine.name,
+        "python": platform.python_version(),
+        "rule_catalog_version": RULE_CATALOG_VERSION,
+        "lint_sweep": measure_lint_sweep(machine),
+        "pricing": measure_pricing(machine),
+    }
+    path = Path(output) if output else Path(f"BENCH_{rev}.json")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.util.benchrecord",
+        description="record lint-sweep and pricing throughput for the "
+        "perf-trajectory store",
+    )
+    parser.add_argument("--rev", default=None,
+                        help="revision tag (default: git short rev)")
+    parser.add_argument("--output", default=None,
+                        help="output path (default BENCH_<rev>.json)")
+    args = parser.parse_args(argv)
+    path = record(rev=args.rev, output=args.output)
+    print(f"wrote {path}")
+    print(path.read_text().rstrip())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,17 +1,31 @@
-"""Static verification: kernels (V0xx-V2xx) and execution plans (V3xx).
+"""Static verification: kernels (V0xx-V2xx) and plans (V3xx-V4xx).
 
 The kernel analyses run over the same :class:`~repro.isa.KernelSequence`
 IR the pipeline scheduler consumes, so every kernel the generator or JIT
 emits is machine-checked *before* it can reach a timing model.  The plan
 analyses (:mod:`repro.verify.planlint`) walk lowered
 :class:`~repro.plan.ir.ExecutionPlan` trees and check concurrency,
-cache-residency, dataflow and FMA-conservation invariants without
-pricing anything.  ``python -m repro lint`` runs the full catalog audit
-and ``repro lint --plans`` the golden plan sweep; each mode's
+cache-residency, dataflow and FMA-conservation invariants (V3xx), then
+hand the tree to the symbolic dataflow analyzer
+(:mod:`repro.verify.dataflow`, V401-V402 memory safety) and the
+happens-before race analyzer (:mod:`repro.verify.races`, V411-V421)
+without pricing anything.  ``python -m repro lint`` runs the full
+catalog audit, ``repro lint --plans`` the golden plan sweep and
+``repro lint --list-rules`` the combined rule catalog; each mode's
 ``--self-check`` proves the rules still fire on known-bad inputs.
 """
 
 from .bounds import StaticBounds, critical_path_rate, static_bounds
+from .dataflow import (
+    Access,
+    DataflowAnalyzer,
+    Interval,
+    OperandModel,
+    PlanAddressModel,
+    analyze_dataflow,
+    build_address_model,
+    strip_row_intervals,
+)
 from .defuse import DefUseResult, analyze_defuse
 from .diagnostics import (
     RULES,
@@ -25,16 +39,28 @@ from .diagnostics import (
 from .planlint import (
     PlanVerifier,
     assert_plan_ok,
+    clear_verification_cache,
     golden_plan_cases,
+    plan_fingerprint,
     plan_self_check,
+    verification_cache_info,
     verify_plan,
 )
 from .planrules import (
     PLAN_RULES,
+    RULE_CATALOG_VERSION,
     PlanDiagnostic,
     PlanLintReport,
+    full_rule_catalog,
     make_plan_diagnostic,
     plan_rules_table,
+)
+from .races import (
+    HappensBefore,
+    HbEvent,
+    RaceAnalyzer,
+    analyze_races,
+    grid_tiling,
 )
 from .verifier import (
     KernelVerifier,
@@ -67,6 +93,8 @@ __all__ = [
     "catalog_specs",
     "self_check",
     "PLAN_RULES",
+    "RULE_CATALOG_VERSION",
+    "full_rule_catalog",
     "PlanDiagnostic",
     "PlanLintReport",
     "make_plan_diagnostic",
@@ -75,5 +103,21 @@ __all__ = [
     "verify_plan",
     "assert_plan_ok",
     "plan_self_check",
+    "plan_fingerprint",
+    "verification_cache_info",
+    "clear_verification_cache",
     "golden_plan_cases",
+    "Interval",
+    "Access",
+    "OperandModel",
+    "PlanAddressModel",
+    "DataflowAnalyzer",
+    "analyze_dataflow",
+    "build_address_model",
+    "strip_row_intervals",
+    "HbEvent",
+    "HappensBefore",
+    "RaceAnalyzer",
+    "analyze_races",
+    "grid_tiling",
 ]

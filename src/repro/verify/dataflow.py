@@ -1,0 +1,362 @@
+"""Symbolic interval dataflow over ExecutionPlan trees (rules V401/V402).
+
+The V3xx analyzer (:mod:`repro.verify.planlint`) checks plan *structure*;
+this module reasons about *addresses*.  Every PackOp / GebpOp /
+JitSweepOp / FusedPackOp / ThreadStripsOp touches rectangular regions of
+the GEMM operands and of the packed panels, and each region is an affine
+interval in the problem extents (M, N, K) and the node's tile parameters
+(mc, nc, kc, mr, nr, chunk sizes).  The analyzer derives those intervals
+symbolically — no pricing, no data — and proves every touch in bounds
+against a :class:`~repro.memlayout.addressspace.AddressSpace` model of
+the operands:
+
+* **V401** — a matrix touch (A, B or C) whose interval cannot be placed
+  inside the operand's extent: the access reads or writes outside the
+  allocation for *every* legal placement.
+* **V402** — a packed-panel write of more logical elements than the
+  pack buffer's declared capacity (``padded_elements``): the pack
+  overruns its own allocation.
+
+Placement convention: a tile of extent ``e`` over an operand extent
+``E`` is in bounds iff ``e <= E`` (some offset ``0 <= o <= E - e``
+exists).  Thread strips carry real offsets — thread ``t``'s rows start
+at the balanced-partition prefix sum (see
+:func:`repro.parallel.partition.strip_spans`) — so their intervals are
+checked as placed, which is also what the race analyzer
+(:mod:`repro.verify.races`) overlaps pairwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..memlayout.addressspace import AddressSpace, Allocation
+from ..parallel.partition import strip_spans
+from ..plan.ir import (
+    ExecutionPlan,
+    FusedPackOp,
+    GebpOp,
+    JitSweepOp,
+    MergeOp,
+    PackOp,
+    ThreadStripsOp,
+)
+from ..util.validation import ceil_div
+from .planrules import PlanDiagnostic, make_plan_diagnostic
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open integer interval ``[lo, hi)`` (rows, columns, bytes)."""
+
+    lo: int
+    hi: int
+
+    @classmethod
+    def sized(cls, lo: int, length: int) -> "Interval":
+        """The interval of ``length`` elements starting at ``lo``."""
+        return cls(lo, lo + max(length, 0))
+
+    @property
+    def length(self) -> int:
+        """Element count (empty intervals have length 0)."""
+        return max(self.hi - self.lo, 0)
+
+    @property
+    def empty(self) -> bool:
+        """True when the interval covers nothing."""
+        return self.hi <= self.lo
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two intervals share at least one element."""
+        return (not self.empty and not other.empty
+                and self.lo < other.hi and other.lo < self.hi)
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """The common sub-interval (possibly empty)."""
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def within(self, outer: "Interval") -> bool:
+        """True when this interval lies entirely inside ``outer``."""
+        return self.empty or (self.lo >= outer.lo and self.hi <= outer.hi)
+
+    def __str__(self) -> str:
+        return f"[{self.lo}, {self.hi})"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One symbolic region access: a buffer, a mode, a 2-D interval."""
+
+    buffer: str  # 'A' | 'B' | 'C' | 'pack_a' | 'pack_b'
+    mode: str  # 'read' | 'write'
+    rows: Interval
+    cols: Interval
+    path: str
+
+    def region(self) -> str:
+        """``A[0, 8)x[0, 4)``-style rendering for diagnostics."""
+        return f"{self.buffer}{self.rows}x{self.cols}"
+
+
+def strip_row_intervals(extent: int, chunks) -> List[Interval]:
+    """Per-thread C/A row intervals of one ThreadStripsOp fan-out.
+
+    Thread ``t``'s rows start at the balanced partition's prefix sum and
+    span its declared chunk — the placement
+    :func:`repro.parallel.partition.strip_spans` defines, under which a
+    legal ``split_even`` chunking tiles ``[0, extent)`` exactly and an
+    inflated chunk overlaps its successor.
+    """
+    return [Interval(lo, hi) for lo, hi in strip_spans(extent, chunks)]
+
+
+# ---------------------------------------------------------------------------
+# the memlayout address-space model of one plan's operands
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OperandModel:
+    """One GEMM operand bound to an address-space allocation.
+
+    ``padded_rows`` differs from ``rows`` only for panel-major storage
+    (BLASFEO zero-pads the tail panel to ``ps`` rows); byte spans are
+    computed column-major over the padded extent, exactly like
+    :meth:`~repro.memlayout.panelmajor.PanelMajorMatrix.element_offset`
+    linearizes panel-major element addresses.
+    """
+
+    name: str
+    rows: int
+    cols: int
+    padded_rows: int
+    itemsize: int
+    allocation: Allocation
+
+    @property
+    def extent(self) -> Tuple[Interval, Interval]:
+        """(row interval, column interval) of the logical operand."""
+        return Interval(0, self.rows), Interval(0, self.cols)
+
+    def byte_span(self, rows: Interval, cols: Interval) -> Interval:
+        """Byte-address hull of a (rows x cols) region of this operand."""
+        if rows.empty or cols.empty:
+            return Interval(self.allocation.base, self.allocation.base)
+        first = (cols.lo * self.padded_rows + rows.lo) * self.itemsize
+        last = ((cols.hi - 1) * self.padded_rows
+                + (rows.hi - 1) + 1) * self.itemsize
+        return Interval(self.allocation.base + first,
+                        self.allocation.base + last)
+
+
+@dataclass(frozen=True)
+class PlanAddressModel:
+    """The plan's operands laid out in one simulated address space."""
+
+    space: AddressSpace
+    operands: Dict[str, OperandModel]
+    itemsize: int
+
+    def describe(self, access: Access) -> str:
+        """Region plus byte addresses, for V401 diagnostics."""
+        operand = self.operands.get(access.buffer)
+        if operand is None:
+            return access.region()
+        span = operand.byte_span(
+            access.rows.intersect(Interval(0, max(access.rows.hi, 0))),
+            access.cols.intersect(Interval(0, max(access.cols.hi, 0))),
+        )
+        return (f"{access.region()} (bytes [{span.lo:#x}, {span.hi:#x}) of "
+                f"the {operand.allocation.nbytes}-byte {operand.name} "
+                "allocation)")
+
+
+def _first_itemsize(plan: ExecutionPlan) -> int:
+    for _, node in plan.walk():
+        size = getattr(node, "itemsize", None)
+        if isinstance(size, int) and size > 0:
+            return size
+    return 4
+
+
+def build_address_model(
+    plan: ExecutionPlan, mnk: Tuple[int, int, int]
+) -> PlanAddressModel:
+    """Allocate the plan's A/B/C operands in a fresh address space.
+
+    Column-major extents; when the plan's metadata carries a panel
+    height ``ps`` (the BLASFEO lowering), A is padded to whole panels
+    the way the panel-major conversion allocates it.
+    """
+    m, n, k = mnk
+    itemsize = _first_itemsize(plan)
+    meta = plan.meta if isinstance(plan.meta, dict) else {}
+    ps = meta.get("ps")
+    a_rows = (ceil_div(m, ps) * ps
+              if isinstance(ps, int) and ps > 0 else m)
+    space = AddressSpace()
+    operands = {}
+    for name, rows, padded, cols in (
+        ("A", m, a_rows, k), ("B", k, k, n), ("C", m, m, n),
+    ):
+        alloc = space.alloc(name, padded * cols * itemsize, panel=0)
+        operands[name] = OperandModel(
+            name=name, rows=rows, cols=cols, padded_rows=padded,
+            itemsize=itemsize, allocation=alloc,
+        )
+    return PlanAddressModel(space=space, operands=operands,
+                            itemsize=itemsize)
+
+
+# ---------------------------------------------------------------------------
+# per-node symbolic access sets
+# ---------------------------------------------------------------------------
+
+
+def node_accesses(node: Any, mnk: Tuple[int, int, int],
+                  path: str) -> List[Access]:
+    """The matrix regions one plan node touches, as placed intervals.
+
+    Tiles without explicit offsets are placed at the origin (the
+    in-bounds proof only needs *some* legal placement to exist, i.e.
+    extent-fits-extent); thread strips carry their canonical offsets.
+    """
+    m, n, k = mnk
+    out: List[Access] = []
+
+    def touch(buffer: str, mode: str, rows: Interval,
+              cols: Interval) -> None:
+        out.append(Access(buffer=buffer, mode=mode, rows=rows,
+                          cols=cols, path=path))
+
+    if isinstance(node, PackOp):
+        source = "B" if node.bucket == "pack_b" else "A"
+        touch(source, "read", Interval.sized(0, node.rows),
+              Interval.sized(0, node.cols))
+    elif isinstance(node, FusedPackOp):
+        touch("B", "read", Interval.sized(0, node.k),
+              Interval.sized(0, node.n))
+    elif isinstance(node, GebpOp):
+        touch("A", "read", Interval.sized(0, node.mc),
+              Interval.sized(0, node.kc))
+        touch("B", "read", Interval.sized(0, node.kc),
+              Interval.sized(0, node.nc))
+        touch("C", "write", Interval.sized(0, node.mc),
+              Interval.sized(0, node.nc))
+    elif isinstance(node, JitSweepOp):
+        touch("A", "read", Interval.sized(0, node.m),
+              Interval.sized(0, node.k))
+        touch("B", "read", Interval.sized(0, node.k),
+              Interval.sized(0, node.n))
+        touch("C", "write", Interval.sized(0, node.m),
+              Interval.sized(0, node.n))
+    elif isinstance(node, ThreadStripsOp):
+        for rows in strip_row_intervals(m, node.chunks):
+            if rows.empty:
+                continue
+            touch("A", "read", rows, Interval.sized(0, node.kcb))
+            touch("C", "write", rows, Interval.sized(0, node.ncb))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the analyzer
+# ---------------------------------------------------------------------------
+
+
+class DataflowAnalyzer:
+    """Interval in-bounds proofs for every matrix and packed-panel touch."""
+
+    def analyze(self, plan: ExecutionPlan, driver: str,
+                mnk: Optional[Tuple[int, int, int]]
+                ) -> List[PlanDiagnostic]:
+        """V401/V402 findings for one plan (sub-plans excluded: the
+        verifier recurses into critical-path/merge sub-plans itself)."""
+        if mnk is None or isinstance(plan.root, MergeOp):
+            return []
+        model = build_address_model(plan, mnk)
+        diags: List[PlanDiagnostic] = []
+        self._walk(plan.root, "", driver, mnk, model, diags)
+        return diags
+
+    def _walk(self, node: Any, parent: str, driver: str, mnk,
+              model: PlanAddressModel,
+              diags: List[PlanDiagnostic]) -> None:
+        path = _segment(parent, node)
+        if isinstance(node, PackOp):
+            self._check_pack_capacity(node, path, driver, model, diags)
+        for access in node_accesses(node, mnk, path):
+            self._check_bounds(access, driver, model, diags)
+        for child in getattr(node, "children", ()):
+            self._walk(child, path, driver, mnk, model, diags)
+        # critical-path/merge sub-plans are full plans with their own
+        # shapes; PlanVerifier re-enters the analysis per sub-plan
+
+    def _check_bounds(self, access: Access, driver: str,
+                      model: PlanAddressModel,
+                      diags: List[PlanDiagnostic]) -> None:
+        operand = model.operands.get(access.buffer)
+        if operand is None:
+            return
+        row_extent, col_extent = operand.extent
+        if (access.rows.within(row_extent)
+                and access.cols.within(col_extent)):
+            return
+        diags.append(make_plan_diagnostic(
+            "V401-oob-access",
+            f"{access.mode}s {model.describe(access)} outside the "
+            f"{operand.rows}x{operand.cols} operand extent — no legal "
+            "placement keeps the touch in bounds",
+            driver, access.path,
+        ))
+
+    def _check_pack_capacity(self, node: PackOp, path: str, driver: str,
+                             model: PlanAddressModel,
+                             diags: List[PlanDiagnostic]) -> None:
+        if node.padded_elements <= 0:
+            return  # capacity not declared: nothing to prove against
+        logical = node.rows * node.cols
+        if logical <= node.padded_elements:
+            return
+        diags.append(make_plan_diagnostic(
+            "V402-pack-overrun",
+            f"packs {node.rows}x{node.cols} = {logical} logical "
+            f"element(s) into a buffer of {node.padded_elements} "
+            f"element(s) ({node.padded_elements * node.itemsize} B) — "
+            f"the pack overruns its allocation by "
+            f"{(logical - node.padded_elements) * node.itemsize} B",
+            driver, path,
+        ))
+
+
+def _segment(parent: str, node: Any) -> str:
+    kind = getattr(node, "kind", node.__class__.__name__)
+    label = getattr(node, "label", "")
+    seg = f"{kind}[{label}]" if label else str(kind)
+    return f"{parent}/{seg}" if parent else seg
+
+
+#: the process-wide default dataflow analyzer (stateless)
+DATAFLOW_ANALYZER = DataflowAnalyzer()
+
+
+def analyze_dataflow(plan: ExecutionPlan, driver: str,
+                     mnk: Optional[Tuple[int, int, int]]
+                     ) -> List[PlanDiagnostic]:
+    """V401/V402 findings for one plan with the default analyzer."""
+    return DATAFLOW_ANALYZER.analyze(plan, driver, mnk)
+
+
+__all__ = [
+    "Interval",
+    "Access",
+    "OperandModel",
+    "PlanAddressModel",
+    "build_address_model",
+    "node_accesses",
+    "strip_row_intervals",
+    "DataflowAnalyzer",
+    "analyze_dataflow",
+]

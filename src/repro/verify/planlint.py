@@ -36,6 +36,8 @@ controls — every rule must fire on its injected violation) and
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -53,7 +55,9 @@ from ..plan.ir import (
 )
 from ..timing.models import gemm_flops
 from ..util.errors import PlanVerificationError
+from .dataflow import analyze_dataflow
 from .planrules import PlanDiagnostic, PlanLintReport, make_plan_diagnostic
+from .races import analyze_races
 
 #: residency budgets as fractions of capacity (see module docstring)
 L1_CLAIM_FRACTION = 0.75
@@ -127,15 +131,187 @@ def _gemm_shape(meta: Dict[str, Any]) -> Optional[Tuple[int, int, int]]:
     return None
 
 
+# ---------------------------------------------------------------------------
+# verification memoization (plan fingerprints)
+# ---------------------------------------------------------------------------
+#
+# The analysis is a pure function of (plan structure, metadata, machine),
+# so results are memoized on a canonical structural key.  The key is
+# recomputed on every call from the *current* field values — mutating a
+# node in place (the mutation self-checks do) changes the key, never
+# returns a stale verdict.  This is the first concrete step toward the
+# ROADMAP's hash-consing of plan subtrees: :func:`plan_fingerprint`
+# exposes the same identity as a stable hex digest.
+
+_PRIMITIVES = (type(None), bool, int, float, str)
+
+
+def _canonical_value(value: Any) -> Any:
+    """Hashable, structure-preserving token for one node field value."""
+    if isinstance(value, _PRIMITIVES):
+        return value
+    if isinstance(value, (tuple, list)):
+        return tuple(_canonical_value(v) for v in value)
+    return repr(value)
+
+
+def _canonical_node(node: Any) -> Tuple:
+    """Recursive structural identity of one op-tree node."""
+    kind = getattr(node, "kind", node.__class__.__name__)
+    fields: List[Tuple[str, Any]] = []
+    if dataclasses.is_dataclass(node):
+        for f in dataclasses.fields(node):
+            if f.name in ("children", "subplans"):
+                continue
+            fields.append(
+                (f.name, _canonical_value(getattr(node, f.name)))
+            )
+    children = tuple(
+        _canonical_node(c) for c in getattr(node, "children", ())
+    )
+    subplans = getattr(node, "subplans", None)
+    if isinstance(subplans, dict):
+        subs = tuple(
+            (_canonical_value(key), _canonical_plan_body(sub))
+            for key, sub in sorted(subplans.items())
+        )
+    elif isinstance(subplans, (tuple, list)):
+        subs = tuple(_canonical_plan_body(sub) for sub in subplans)
+    else:
+        subs = ()
+    return (str(kind), tuple(fields), children, subs)
+
+
+def _canonical_plan_body(plan: ExecutionPlan) -> Tuple:
+    """Structural identity of a plan: analysis-relevant meta + tree."""
+    meta = plan.meta if isinstance(plan.meta, dict) else {}
+    return (
+        _canonical_value(meta.get("driver")),
+        _canonical_value(meta.get("shape")),
+        meta.get("threads") if isinstance(meta.get("threads"), int)
+        else None,
+        meta.get("useful_flops")
+        if isinstance(meta.get("useful_flops"), int) else None,
+        _canonical_value(meta.get("batch")),
+        _canonical_value(meta.get("provenance")),
+        _canonical_node(plan.root),
+    )
+
+
+#: machine identity tokens, cached by object id (MachineConfig reprs are
+#: stable but expensive; the strong reference keeps ids from being reused)
+_MACHINE_TOKENS: Dict[int, Tuple[Any, str]] = {}
+
+
+def _machine_token(ctx: Any) -> str:
+    machine = getattr(ctx, "machine", None)
+    if machine is None:
+        return "<no-machine>"
+    cached = _MACHINE_TOKENS.get(id(machine))
+    if cached is None or cached[0] is not machine:
+        cached = (machine, repr(machine))
+        _MACHINE_TOKENS[id(machine)] = cached
+    return cached[1]
+
+
+def _memo_key(plan: ExecutionPlan, label: Optional[str]) -> Tuple:
+    return (label, _machine_token(plan.context),
+            _canonical_plan_body(plan))
+
+
+class _VerifyMemo:
+    """Bounded LRU of :class:`PlanLintReport` results by structural key."""
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._store: "OrderedDict[Tuple, PlanLintReport]" = OrderedDict()
+
+    def get(self, key: Tuple) -> Optional[PlanLintReport]:
+        report = self._store.get(key)
+        if report is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return report
+
+    def put(self, key: Tuple, report: PlanLintReport) -> None:
+        self._store[key] = report
+        self._store.move_to_end(key)
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = self.misses = 0
+
+    def info(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._store),
+            "maxsize": self.maxsize,
+        }
+
+
+_VERIFY_MEMO = _VerifyMemo()
+
+
+def plan_fingerprint(plan: ExecutionPlan,
+                     label: Optional[str] = None) -> str:
+    """Stable 16-hex-digit identity of (plan structure, machine).
+
+    Two plans share a fingerprint iff the analyzer would produce the
+    same report for both — the memoization key, digested.
+    """
+    raw = repr(_memo_key(plan, label)).encode("utf-8")
+    return hashlib.sha256(raw).hexdigest()[:16]
+
+
+def verification_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the verification memo (for ``lint``)."""
+    return _VERIFY_MEMO.info()
+
+
+def clear_verification_cache() -> None:
+    """Drop all memoized verification results and reset the counters."""
+    _VERIFY_MEMO.clear()
+
+
 class PlanVerifier:
     """Static analyzer for ExecutionPlan trees (rules V301-V332)."""
 
     def verify(self, plan: ExecutionPlan,
                label: Optional[str] = None) -> PlanLintReport:
-        """Analyze one plan; returns the full report (never raises)."""
+        """Analyze one plan; returns the full report (never raises).
+
+        Results are memoized on the plan's structural fingerprint (see
+        :func:`plan_fingerprint`): re-verifying an identical structure
+        on the same machine — the engine gate does, for every pricing
+        of the same plan — is a dictionary lookup.  The key is rebuilt
+        from current field values each call, so in-place mutation is
+        always observed.
+        """
+        key = _memo_key(plan, label)
+        cached = _VERIFY_MEMO.get(key)
+        if cached is not None:
+            return cached
+        report = self._analyze(plan, label)
+        _VERIFY_MEMO.put(key, report)
+        return report
+
+    def _analyze(self, plan: ExecutionPlan,
+                 label: Optional[str]) -> PlanLintReport:
         meta = plan.meta if isinstance(plan.meta, dict) else {}
         driver = str(label if label is not None
                      else meta.get("driver", "plan"))
+        provenance = meta.get("provenance")
+        if (label is None and isinstance(provenance, str)
+                and provenance.startswith("tuner:")):
+            # attribute tuner-generated candidates in every diagnostic
+            driver = f"{driver}[{provenance}]"
         threads = meta.get("threads", 1)
         threads = threads if isinstance(threads, int) and threads > 0 else 1
         shape = meta.get("shape", ())
@@ -153,6 +329,8 @@ class PlanVerifier:
             )
             self._scope((root,), "", st)
             self._check_coverage(plan, root, st)
+            diags.extend(analyze_dataflow(plan, driver, st.mnk))
+            diags.extend(analyze_races(plan, driver, st.threads, st.mnk))
 
         return PlanLintReport(
             driver=driver,
@@ -736,6 +914,52 @@ def _mutant_plans(machine) -> Iterator[Tuple[str, ExecutionPlan]]:
     plan = BatchedSmm(machine).plan_batch([(8, 8, 8), (16, 16, 16)])
     plan.root.subplans = plan.root.subplans[:1]
     yield "V332-batch-partition", plan
+
+    # V401: inflate a pack's row extent so it reads B beyond K
+    plan = ref_packed_plan()
+    pack = _find(plan, PackOp)
+    pack.rows = pack.rows * 4
+    yield "V401-oob-access", plan
+
+    # V402: undersize the pack buffer below what the pack writes
+    plan = ref_packed_plan()
+    pack = _find(plan, PackOp)
+    pack.padded_elements = (pack.rows * pack.cols) // 2
+    yield "V402-pack-overrun", plan
+
+    # V411: overlapping thread strips (two threads own the same C rows)
+    plan = mt_plan()
+    strips = _find(plan, ThreadStripsOp)
+    strips.chunks = (strips.chunks[0] + 7,) + tuple(strips.chunks[1:])
+    yield "V411-strip-race", plan
+
+    # V412: missing barrier between the cooperative pack and its readers
+    plan = mt_plan()
+    section = _find_section_with(plan, BarrierOp)
+    kept = []
+    removed = False
+    for child in section.children:
+        if not removed and isinstance(child, BarrierOp):
+            removed = True
+            continue
+        kept.append(child)
+    section.children = tuple(kept)
+    yield "V412-unordered-read", plan
+
+    # V413: warp the 2-D grid so no disjoint decomposition exists
+    plan = MultithreadedGemm(
+        machine, "eigen", threads=4
+    ).plan_gemm(64, 64, 64)
+    cp = _find(plan, CriticalPathOp)
+    first = cp.chunks[0]
+    cp.chunks = ((first[0] + 5, first[1]),) + tuple(cp.chunks[1:])
+    yield "V413-grid-race", plan
+
+    # V421: claim one packed B shared far beyond an L2 cluster
+    plan = mt_plan()
+    strips = _find(plan, ThreadStripsOp)
+    strips.b_shared_by = machine.l2.shared_by * 8
+    yield "V421-topology-mismatch", plan
 
 
 def plan_self_check(machine) -> List[Tuple[str, bool]]:

@@ -64,8 +64,44 @@ PLAN_RULES: Dict[str, Rule] = {
         Rule("V332-batch-partition", "error",
              "merge plan does not partition the batch (sub-plan shapes "
              "disagree with the batch metadata)"),
+        # -- symbolic dataflow (V401-V402) -----------------------------
+        Rule("V401-oob-access", "error",
+             "symbolic read/write set escapes the operand's address-"
+             "space extent (no legal placement keeps it in bounds)"),
+        Rule("V402-pack-overrun", "error",
+             "packed panel writes more elements than its declared "
+             "buffer capacity (pack buffer overrun)"),
+        # -- happens-before races (V411-V413) --------------------------
+        Rule("V411-strip-race", "error",
+             "two concurrent thread strips write overlapping C rows "
+             "(write-write race inside one fan-out)"),
+        Rule("V412-unordered-read", "error",
+             "cooperatively packed panel read with no happens-before "
+             "edge from the pack (missing barrier over the group)"),
+        Rule("V413-grid-race", "error",
+             "2-D grid chunks admit no disjoint row x column "
+             "decomposition (concurrent sub-GEMMs share C tiles)"),
+        # -- machine-topology consistency (V421) -----------------------
+        Rule("V421-topology-mismatch", "error",
+             "sharing-group claim inconsistent with the machine's "
+             "core/L2-cluster topology"),
     )
 }
+
+#: Bumped whenever the combined kernel+plan rule inventory changes shape
+#: (new family, renamed field); surfaced as ``rule_catalog_version`` in
+#: ``repro lint --json`` so downstream consumers can detect drift.
+RULE_CATALOG_VERSION = 2
+
+
+def full_rule_catalog() -> Dict[str, Rule]:
+    """Kernel rules (V0xx-V2xx) merged with plan rules (V3xx-V4xx)."""
+    from .diagnostics import RULES as KERNEL_RULES
+
+    catalog: Dict[str, Rule] = {}
+    catalog.update(KERNEL_RULES)
+    catalog.update(PLAN_RULES)
+    return catalog
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,362 @@
+"""Happens-before race analysis over ExecutionPlan trees (V411-V421).
+
+The paper's multithreaded findings (Fig. 10, Table II) hinge on which
+loop each library parallelizes and where packed panels live.  The plan
+IR encodes exactly that — :class:`~repro.plan.ir.ThreadStripsOp` fans
+one kc-step out across threads, :class:`~repro.plan.ir.PackOp` records
+cooperative packing groups, :class:`~repro.plan.ir.BarrierOp` the
+synchronization points — so races are statically decidable:
+
+* **V411** — two thread strips' C row intervals overlap.  Strips of one
+  fan-out are concurrent by construction (no barrier can separate
+  them), so interval overlap *is* a write-write race.
+* **V412** — a cooperatively packed panel is read with no
+  happens-before edge from the pack: the program order covers only the
+  reader's own packing slice, the other packers' slices need a barrier
+  over the whole group.
+* **V413** — the 2-D grid of a :class:`~repro.plan.ir.CriticalPathOp`
+  admits no disjoint row x column decomposition within the C extent —
+  some pair of concurrent sub-GEMMs writes the same C tile.
+* **V421** — a sharing-group claim is inconsistent with the machine's
+  panel topology: more packers than plan threads, more threads than
+  cores, or a ``b_shared_by`` wider than one shared-L2 cluster.
+
+The happens-before model is deliberately small.  Within one section
+scope, events execute in program order *per thread*; an event by a
+cooperating group of ``g`` threads is ordered before a later event iff
+a barrier over at least ``g`` threads sits between them
+(:meth:`HappensBefore.ordered`).  That mirrors the synchronization
+semantics the sync cost model prices (tree barriers over the packing
+group) and the ``_barrier`` logic of the V3xx scope walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..plan.ir import (
+    BarrierOp,
+    CriticalPathOp,
+    ExecutionPlan,
+    FusedPackOp,
+    GebpOp,
+    JitSweepOp,
+    MergeOp,
+    PackOp,
+    Section,
+    ThreadStripsOp,
+)
+from .dataflow import Interval, strip_row_intervals
+from .planrules import PlanDiagnostic, make_plan_diagnostic
+
+
+@dataclass(frozen=True)
+class HbEvent:
+    """One node of the happens-before graph (program-order position).
+
+    ``kind`` is ``'write'`` / ``'read'`` / ``'barrier'``; ``group`` is
+    the number of threads executing the event (1 = private, the plan's
+    packing group for cooperative packs, the barrier group for
+    barriers); ``buffer`` names the packed panel a write/read touches.
+    """
+
+    seq: int
+    kind: str
+    group: int
+    path: str
+    buffer: str = ""
+
+
+@dataclass
+class HappensBefore:
+    """Happens-before over one section scope's event sequence.
+
+    Edges: program order within a thread, plus barrier edges — a
+    barrier over ``g`` threads orders everything the ``g`` cooperating
+    threads did before it against everything they do after.
+    """
+
+    events: List[HbEvent] = field(default_factory=list)
+
+    def add(self, kind: str, group: int, path: str,
+            buffer: str = "") -> HbEvent:
+        """Append one event in program order."""
+        event = HbEvent(seq=len(self.events), kind=kind,
+                        group=max(group, 1), path=path, buffer=buffer)
+        self.events.append(event)
+        return event
+
+    def ordered(self, before: HbEvent, after: HbEvent) -> bool:
+        """True when ``before`` happens-before ``after`` for *all*
+        threads involved.
+
+        A private event (group 1) is ordered by program order alone; a
+        cooperative event needs an intervening barrier covering its
+        whole group — program order only covers the consuming thread's
+        own slice of the cooperation.
+        """
+        if before.seq >= after.seq:
+            return False
+        if before.group <= 1:
+            return True
+        return any(
+            e.kind == "barrier"
+            and before.seq < e.seq < after.seq
+            and e.group >= before.group
+            for e in self.events
+        )
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Materialized (before_seq, after_seq) pairs (docs/tests)."""
+        out = []
+        for a in self.events:
+            for b in self.events:
+                if (a.kind != "barrier" and b.kind != "barrier"
+                        and self.ordered(a, b)):
+                    out.append((a.seq, b.seq))
+        return out
+
+
+def grid_tiling(
+    chunks: Tuple[Tuple[int, int], ...], m: int, n: int
+) -> Optional[Tuple[List[int], List[int]]]:
+    """Recover a disjoint (m_chunks, n_chunks) cross-product, if any.
+
+    A 2-D grid lowering emits ``[(mi, nj) for mi in m_chunks for nj in
+    n_chunks]``; any decomposition whose row sums fit M and column sums
+    fit N is a witness that the sub-GEMMs' C tiles can be placed
+    disjointly.  Returns ``None`` when no period of the chunk list
+    yields such a witness — the V413 signal.
+    """
+    count = len(chunks)
+    if count == 0:
+        return [], []
+    njs = [c[1] for c in chunks]
+    for period in range(1, count + 1):
+        if count % period != 0:
+            continue
+        if any(njs[i] != njs[i % period] for i in range(count)):
+            continue
+        mis = []
+        consistent = True
+        for block in range(count // period):
+            rows = {c[0] for c in chunks[block * period:
+                                         (block + 1) * period]}
+            if len(rows) != 1:
+                consistent = False
+                break
+            mis.append(rows.pop())
+        if not consistent:
+            continue
+        if (sum(max(mi, 0) for mi in mis) <= m
+                and sum(max(nj, 0) for nj in njs[:period]) <= n):
+            return mis, njs[:period]
+    return None
+
+
+@dataclass
+class _RaceState:
+    """Per-plan race-analysis context."""
+
+    driver: str
+    threads: int
+    mnk: Optional[Tuple[int, int, int]]
+    diags: List[PlanDiagnostic]
+
+    def diag(self, rule_id: str, message: str, path: str) -> None:
+        self.diags.append(
+            make_plan_diagnostic(rule_id, message, self.driver, path)
+        )
+
+
+class RaceAnalyzer:
+    """Static data-race and topology-consistency checks (V411-V421)."""
+
+    def analyze(self, plan: ExecutionPlan, driver: str, threads: int,
+                mnk: Optional[Tuple[int, int, int]]
+                ) -> List[PlanDiagnostic]:
+        """V411-V413 plus V421 findings for one plan (sub-plans
+        excluded: the verifier recurses into them itself)."""
+        if isinstance(plan.root, MergeOp):
+            return []
+        st = _RaceState(driver=driver, threads=threads, mnk=mnk,
+                        diags=[])
+        self._scope((plan.root,), "", st)
+        machine = getattr(plan.context, "machine", None)
+        if machine is not None:
+            self._topology(plan.root, "", machine, st)
+        return st.diags
+
+    # -- happens-before construction per section scope -------------------
+
+    def _scope(self, children, parent: str, st: _RaceState) -> None:
+        """Build one scope's happens-before graph and check races.
+
+        Packed panels live per section scope (the kc-step structure all
+        lowerings share), so conflicting accesses are scoped the same
+        way the V3xx dataflow state machine scopes panel lifetimes.
+        """
+        hb = HappensBefore()
+        writes: Dict[str, HbEvent] = {}
+        for child in children:
+            path = _segment(parent, child)
+            if isinstance(child, Section):
+                self._scope(getattr(child, "children", ()), path, st)
+            elif isinstance(child, PackOp):
+                if child.bucket in ("pack_a", "pack_b"):
+                    share = child.share if child.share else 1
+                    writes[child.bucket] = hb.add(
+                        "write", share, path, buffer=child.bucket)
+            elif isinstance(child, FusedPackOp):
+                writes["pack_b"] = hb.add(
+                    "write", 1, path, buffer="pack_b")
+            elif isinstance(child, BarrierOp):
+                hb.add("barrier", child.group, path)
+            elif isinstance(child, GebpOp):
+                if not child.packing_free:
+                    self._read(hb, writes, "pack_a", 1, path, st)
+                    self._read(hb, writes, "pack_b", 1, path, st)
+            elif isinstance(child, JitSweepOp):
+                if child.packed_b:
+                    group = st.threads if child.executed_factors else 1
+                    self._read(hb, writes, "pack_b", group, path, st)
+            elif isinstance(child, ThreadStripsOp):
+                self._read(hb, writes, "pack_b", len(child.chunks),
+                           path, st)
+                self._strip_overlap(child, path, st)
+            elif isinstance(child, CriticalPathOp):
+                self._grid_overlap(child, path, st)
+
+    def _read(self, hb: HappensBefore, writes: Dict[str, HbEvent],
+              buffer: str, group: int, path: str,
+              st: _RaceState) -> None:
+        """One consumer read: needs a happens-before edge from the
+        buffer's cooperative write (V412)."""
+        read = hb.add("read", group, path, buffer=buffer)
+        write = writes.get(buffer)
+        if write is None or hb.ordered(write, read):
+            return
+        st.diag(
+            "V412-unordered-read",
+            f"reads the {buffer} panel packed cooperatively by "
+            f"{write.group} thread(s) with no happens-before edge from "
+            "the pack (program order covers only the reader's own "
+            f"slice; no intervening barrier spans the group of "
+            f"{write.group})",
+            path,
+        )
+        # one finding per missing edge: treat as ordered afterwards
+        writes.pop(buffer, None)
+
+    # -- strip / grid write-write overlap (V411 / V413) -------------------
+
+    def _strip_overlap(self, node: ThreadStripsOp, path: str,
+                       st: _RaceState) -> None:
+        if st.mnk is None:
+            return
+        m = st.mnk[0]
+        intervals = strip_row_intervals(m, node.chunks)
+        for t in range(len(intervals) - 1):
+            mine, rest = intervals[t], intervals[t + 1]
+            if not mine.overlaps(rest):
+                continue
+            shared = mine.intersect(rest)
+            st.diag(
+                "V411-strip-race",
+                f"thread {t}'s C rows {mine} overlap thread {t + 1}'s "
+                f"{rest} (both write rows {shared} of C; strips of one "
+                "fan-out are concurrent, so this is a write-write "
+                "race)",
+                path,
+            )
+            return  # one finding per fan-out
+
+    def _grid_overlap(self, node: CriticalPathOp, path: str,
+                      st: _RaceState) -> None:
+        if st.mnk is None:
+            return
+        m, n, _ = st.mnk
+        if grid_tiling(node.chunks, m, n) is None:
+            st.diag(
+                "V413-grid-race",
+                f"the {len(node.chunks)}-chunk grid admits no disjoint "
+                f"row x column decomposition within the {m}x{n} C "
+                "extent — concurrent sub-GEMMs write overlapping C "
+                "tiles",
+                path,
+            )
+
+    # -- NUMA / shared-L2 topology consistency (V421) ----------------------
+
+    def _topology(self, node: Any, parent: str, machine,
+                  st: _RaceState) -> None:
+        path = _segment(parent, node)
+        cluster = machine.l2.shared_by
+        cores = machine.n_cores
+        if parent == "" and st.threads > cores:
+            st.diag(
+                "V421-topology-mismatch",
+                f"plan runs {st.threads} thread(s) on a machine with "
+                f"{cores} core(s) ({machine.numa.panels} panel(s) x "
+                f"{machine.numa.cores_per_panel})",
+                path,
+            )
+        if isinstance(node, PackOp):
+            share = node.share or 1
+            if share > st.threads or share > cores:
+                st.diag(
+                    "V421-topology-mismatch",
+                    f"cooperative pack group of {share} exceeds the "
+                    f"plan's {st.threads} thread(s) on {cores} core(s)",
+                    path,
+                )
+        shared_claim = getattr(node, "b_shared_by", 1)
+        if isinstance(node, (GebpOp, ThreadStripsOp)) \
+                and shared_claim > cluster:
+            st.diag(
+                "V421-topology-mismatch",
+                f"claims one packed-B copy shared by {shared_claim} "
+                f"core(s), but an L2 cluster spans only {cluster} "
+                "core(s) — the panel cannot be placed in one shared "
+                "L2",
+                path,
+            )
+        if isinstance(node, ThreadStripsOp) \
+                and node.pack_a_share > st.threads:
+            st.diag(
+                "V421-topology-mismatch",
+                f"pack-A group of {node.pack_a_share} exceeds the "
+                f"plan's {st.threads} thread(s)",
+                path,
+            )
+        for child in getattr(node, "children", ()):
+            self._topology(child, path, machine, st)
+
+
+def _segment(parent: str, node: Any) -> str:
+    kind = getattr(node, "kind", node.__class__.__name__)
+    label = getattr(node, "label", "")
+    seg = f"{kind}[{label}]" if label else str(kind)
+    return f"{parent}/{seg}" if parent else seg
+
+
+#: the process-wide default race analyzer (stateless)
+RACE_ANALYZER = RaceAnalyzer()
+
+
+def analyze_races(plan: ExecutionPlan, driver: str, threads: int,
+                  mnk: Optional[Tuple[int, int, int]]
+                  ) -> List[PlanDiagnostic]:
+    """V411-V421 findings for one plan with the default analyzer."""
+    return RACE_ANALYZER.analyze(plan, driver, threads, mnk)
+
+
+__all__ = [
+    "HbEvent",
+    "HappensBefore",
+    "grid_tiling",
+    "RaceAnalyzer",
+    "analyze_races",
+    "Interval",
+]

@@ -32,6 +32,10 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["lint", "--plans", "--lib", "mkl"])
 
+    def test_lint_list_rules_flag(self):
+        args = build_parser().parse_args(["lint", "--list-rules"])
+        assert args.list_rules
+
 
 class TestLintCommand:
     def test_clean_catalog_exits_zero(self, capsys):
@@ -65,6 +69,32 @@ class TestLintCommand:
         assert payload["mode"] == "kernels" and payload["ok"]
         assert payload["kernels"] == len(payload["cases"])
         assert payload["bound_violations"] == []
+        assert isinstance(payload["rule_catalog_version"], int)
+
+
+class TestListRulesCommand:
+    def test_lists_every_family(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("V001-uninit-read", "V101-reg-budget",
+                     "V201-latency-bound", "V301-write-overlap",
+                     "V401-oob-access", "V411-strip-race",
+                     "V421-topology-mismatch"):
+            assert rule in out
+        assert "catalog version" in out
+
+    def test_json_payload_matches_catalog(self, capsys):
+        from repro.verify import RULE_CATALOG_VERSION, full_rule_catalog
+
+        assert main(["lint", "--list-rules", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "rules"
+        assert payload["rule_catalog_version"] == RULE_CATALOG_VERSION
+        listed = {r["rule"] for r in payload["rules"]}
+        assert listed == set(full_rule_catalog())
+        for r in payload["rules"]:
+            assert r["severity"] in ("error", "warning", "info")
+            assert r["summary"]
 
 
 class TestPlanLintCommand:
@@ -98,7 +128,10 @@ class TestPlanLintCommand:
         assert "MISSED" not in out
         for rule in ("V301-write-overlap", "V311-l1-residency",
                      "V321-missing-pack", "V331-flop-coverage",
-                     "V332-batch-partition"):
+                     "V332-batch-partition", "V401-oob-access",
+                     "V402-pack-overrun", "V411-strip-race",
+                     "V412-unordered-read", "V413-grid-race",
+                     "V421-topology-mismatch"):
             assert rule in out
 
     def test_plan_json_payload(self, capsys):
@@ -107,10 +140,16 @@ class TestPlanLintCommand:
         payload = json.loads(capsys.readouterr().out)
         assert payload["mode"] == "plans" and payload["ok"]
         assert payload["plans"] == 1
+        assert isinstance(payload["rule_catalog_version"], int)
+        assert set(payload["memo"]) >= {"hits", "misses", "size"}
         case = payload["cases"][0]
         assert case["driver"] == "reference"
         assert case["shape"] == [5, 3, 2]
         assert case["diagnostics"] == [] and case["ok"]
+
+    def test_plan_text_reports_memo(self, capsys):
+        assert main(["lint", "--plans", "24", "16", "8"]) == 0
+        assert "verification memo:" in capsys.readouterr().out
 
     def test_self_check_json_payload(self, capsys):
         assert main(["lint", "--plans", "--self-check", "--json"]) == 0

@@ -1,0 +1,143 @@
+"""Thread partitions exactly tile the iteration space (dynamic oracle).
+
+The V411 static race check declares two strips racy iff their row
+intervals overlap under the canonical placement
+(:func:`repro.parallel.strip_spans`).  These tests are the dynamic
+oracle that check is validated against: for every golden Fig. 5 /
+Fig. 10 shape at 1/4/64 threads, the per-thread chunks of every
+partitioning scheme must cover each point of the M (or M x N) iteration
+space exactly once — no gap, no overlap.
+"""
+
+import pytest
+
+from repro.parallel import (
+    blis_factorization,
+    grid_partition,
+    openblas_partition,
+    split_even,
+    strip_spans,
+)
+from repro.workloads import sweeps
+
+THREAD_COUNTS = (1, 4, 64)
+
+
+def golden_shapes():
+    shapes = list(sweeps.golden_single_thread_grid())
+    shapes.extend(sweeps.golden_mt_grid())
+    seen, out = set(), []
+    for s in shapes:
+        if s not in seen:
+            seen.add(s)
+            out.append(s)
+    return out
+
+
+GOLDEN_SHAPES = golden_shapes()
+
+
+def assert_exact_1d_tiling(extent, chunks):
+    """Strip spans partition [0, extent): each point covered once."""
+    spans = strip_spans(extent, chunks)
+    assert len(spans) == len(chunks)
+    coverage = [0] * extent
+    for start, end in spans:
+        assert 0 <= start <= end <= extent
+        for row in range(start, end):
+            coverage[row] += 1
+    assert all(c == 1 for c in coverage), (
+        f"gap/overlap in strips of extent {extent}: {spans}"
+    )
+
+
+class TestSplitEvenStrips:
+    """split_even chunks tile [0, M) exactly under strip_spans."""
+
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    @pytest.mark.parametrize("shape", GOLDEN_SHAPES,
+                             ids=lambda s: "x".join(map(str, s)))
+    def test_exact_m_tiling(self, shape, threads):
+        m = shape[0]
+        assert_exact_1d_tiling(m, split_even(m, threads))
+
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    @pytest.mark.parametrize("shape", GOLDEN_SHAPES,
+                             ids=lambda s: "x".join(map(str, s)))
+    def test_conservation(self, shape, threads):
+        m = shape[0]
+        chunks = split_even(m, threads)
+        assert sum(chunks) == m
+        assert all(c >= 0 for c in chunks)
+        assert max(chunks) - min(chunks) <= 1  # balanced
+
+    def test_inflated_chunk_overlaps_successor(self):
+        # the V411 mutation signature: +7 on chunk 0 overlaps strip 1
+        chunks = split_even(64, 4)
+        spans = strip_spans(64, (chunks[0] + 7,) + tuple(chunks[1:]))
+        assert spans[0][1] > spans[1][0]
+
+    def test_deflated_chunk_leaves_gap(self):
+        chunks = split_even(64, 4)
+        spans = strip_spans(64, (chunks[0] - 3,) + tuple(chunks[1:]))
+        assert spans[0][1] < spans[1][0]
+
+
+class TestOpenblasPartition:
+    """The 1-D-over-M scheme conserves the full M x N output."""
+
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    @pytest.mark.parametrize("shape", GOLDEN_SHAPES,
+                             ids=lambda s: "x".join(map(str, s)))
+    def test_chunks_tile_output(self, shape, threads):
+        m, n, _ = shape
+        chunks = openblas_partition(m, n, threads)
+        assert len(chunks) == threads
+        assert all(nj == n for _, nj in chunks)
+        assert_exact_1d_tiling(m, [mi for mi, _ in chunks])
+
+
+class TestGridPartition:
+    """The 2-D grid scheme covers each C element exactly once."""
+
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    @pytest.mark.parametrize("shape", GOLDEN_SHAPES,
+                             ids=lambda s: "x".join(map(str, s)))
+    def test_grid_covers_output_exactly(self, shape, threads):
+        m, n, _ = shape
+        chunks = grid_partition(m, n, threads)
+        assert len(chunks) == threads
+        # a grid is a cross product: recover the axis chunk lists and
+        # require both to tile their extent exactly
+        area = sum(mi * nj for mi, nj in chunks)
+        assert area == m * n
+        njs = [nj for _, nj in chunks]
+        period = next(
+            p for p in range(1, threads + 1)
+            if threads % p == 0
+            and all(njs[i] == njs[i % p] for i in range(threads))
+            and all(
+                len({chunks[b * p + i][0] for i in range(p)}) == 1
+                for b in range(threads // p)
+            )
+            and sum(chunks[b * p][0] for b in range(threads // p)) == m
+            and sum(njs[:p]) == n
+        )
+        assert_exact_1d_tiling(n, njs[:period])
+        assert_exact_1d_tiling(
+            m, [chunks[b * period][0] for b in range(threads // period)]
+        )
+
+
+class TestBlisFactorization:
+    """The rule-based factorization never loses or duplicates threads."""
+
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    @pytest.mark.parametrize("shape", GOLDEN_SHAPES,
+                             ids=lambda s: "x".join(map(str, s)))
+    def test_thread_product_and_m_tiling(self, shape, threads):
+        m, n, _ = shape
+        fact = blis_factorization(m, n, threads, mr=8, nr=4)
+        assert fact.threads == threads
+        # the ic-way M split must itself tile [0, M) exactly
+        assert_exact_1d_tiling(m, split_even(m, fact.ic))

@@ -179,9 +179,111 @@ class TestReporting:
             "V312-l2-residency", "V313-shared-l2-budget",
             "V321-missing-pack", "V322-dead-pack", "V323-stale-panel",
             "V331-flop-coverage", "V332-batch-partition",
+            "V401-oob-access", "V402-pack-overrun",
+            "V411-strip-race", "V412-unordered-read",
+            "V413-grid-race", "V421-topology-mismatch",
         ]
         for rule in PLAN_RULES.values():
             assert rule.severity in ("error", "warning", "info")
+
+    def test_full_catalog_merges_kernel_and_plan_rules(self):
+        from repro.verify import RULES, RULE_CATALOG_VERSION, \
+            full_rule_catalog
+
+        catalog = full_rule_catalog()
+        assert set(catalog) == set(RULES) | set(PLAN_RULES)
+        assert isinstance(RULE_CATALOG_VERSION, int)
+        assert RULE_CATALOG_VERSION >= 2
+
+
+class TestMemoization:
+    def test_fingerprint_stable_across_lowerings(self, machine):
+        from repro.verify import plan_fingerprint
+
+        a = make_driver("openblas", machine).plan_gemm(48, 48, 48)
+        b = make_driver("openblas", machine).plan_gemm(48, 48, 48)
+        assert plan_fingerprint(a) == plan_fingerprint(b)
+        c = make_driver("openblas", machine).plan_gemm(48, 48, 64)
+        assert plan_fingerprint(a) != plan_fingerprint(c)
+
+    def test_reverification_hits_the_memo(self, machine):
+        from repro.verify import verification_cache_info
+
+        plan = make_driver("blis", machine).plan_gemm(33, 65, 129)
+        verify_plan(plan)
+        before = verification_cache_info()["hits"]
+        report = verify_plan(plan)
+        assert verification_cache_info()["hits"] == before + 1
+        assert report.ok
+
+    def test_mutation_invalidates_the_memo(self, machine):
+        from repro.util.errors import PlanVerificationError
+        from repro.verify import plan_fingerprint
+
+        plan = ReferenceSmmDriver(machine).plan_with(
+            32, 32, 32, packed_b=True
+        )
+        assert verify_plan(plan).ok
+        clean_fp = plan_fingerprint(plan)
+        from repro.plan.ir import PackOp
+
+        for _, node in plan.walk():
+            if isinstance(node, PackOp):
+                node.rows = node.rows * 4
+                break
+        assert plan_fingerprint(plan) != clean_fp
+        report = verify_plan(plan)  # recomputed, not the stale OK
+        assert not report.ok
+        with pytest.raises(PlanVerificationError):
+            assert_plan_ok(plan)
+
+    def test_cache_clear_resets_counters(self, machine):
+        from repro.verify import (
+            clear_verification_cache,
+            verification_cache_info,
+        )
+
+        verify_plan(make_driver("openblas", machine).plan_gemm(8, 8, 8))
+        clear_verification_cache()
+        info = verification_cache_info()
+        assert info["size"] == 0 and info["hits"] == 0
+        # repopulate so later tests keep their warm-cache behavior
+        verify_plan(make_driver("openblas", machine).plan_gemm(8, 8, 8))
+
+
+class TestTunerProvenance:
+    def test_rejections_carry_tuner_provenance(self, machine,
+                                               monkeypatch):
+        import repro.tuning.tuner as tuner_mod
+
+        tuner = AdaptiveTuner(machine, cache_path=None)
+        real_verify = tuner_mod.verify_plan
+
+        def failing_verify(plan, label=None):
+            # candidate plans carry the provenance stamp; verifying a
+            # broken structure must attribute findings to the tuner
+            assert plan.meta.get("provenance") == "tuner:candidate"
+            _, bad = inject_bad_plan(machine)
+            bad.meta["provenance"] = "tuner:candidate"
+            return real_verify(bad)
+
+        monkeypatch.setattr(tuner_mod, "verify_plan", failing_verify)
+        tuned = tuner.search(24, 24, 24)
+        assert tuned.source == "heuristic"
+        assert tuner.last_rejections
+        for diag in tuner.last_rejections:
+            assert "tuner:candidate" in diag.driver
+
+    def test_clean_search_leaves_no_rejections(self, machine):
+        tuner = AdaptiveTuner(machine, cache_path=None)
+        tuner.search(24, 24, 24)
+        assert tuner.last_rejections == []
+
+    def test_tune_report_counts_rejections(self):
+        from repro.tuning.tuner import TuneReport
+
+        report = TuneReport(requested=2, tuned=2, rejected=3)
+        assert "3 candidate plan(s) rejected" in report.render()
 
 
 class TestRobustness:

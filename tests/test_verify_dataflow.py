@@ -1,0 +1,160 @@
+"""The symbolic interval dataflow analyzer (V401/V402)."""
+
+import pytest
+
+from repro.blas import make_blasfeo, make_driver
+from repro.core import ReferenceSmmDriver
+from repro.plan.ir import PackOp, ThreadStripsOp
+from repro.verify.dataflow import (
+    Access,
+    Interval,
+    analyze_dataflow,
+    build_address_model,
+    node_accesses,
+    strip_row_intervals,
+)
+from repro.verify.planlint import _find
+
+
+class TestInterval:
+    def test_sized_and_length(self):
+        iv = Interval.sized(3, 5)
+        assert (iv.lo, iv.hi, iv.length) == (3, 8, 5)
+        assert Interval.sized(3, -2).empty
+
+    def test_overlap_and_intersect(self):
+        a, b = Interval(0, 8), Interval(6, 12)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert a.intersect(b) == Interval(6, 8)
+        assert not a.overlaps(Interval(8, 12))  # half-open: touching
+        assert not a.overlaps(Interval(4, 4))  # empty never overlaps
+
+    def test_within(self):
+        outer = Interval(0, 10)
+        assert Interval(2, 10).within(outer)
+        assert not Interval(2, 11).within(outer)
+        assert Interval(5, 5).within(Interval(0, 1))  # empty fits anywhere
+
+    def test_str_is_half_open(self):
+        assert str(Interval(0, 8)) == "[0, 8)"
+
+
+class TestStripRowIntervals:
+    def test_legal_chunks_tile_exactly(self):
+        ivs = strip_row_intervals(10, (3, 3, 2, 2))
+        assert [iv.lo for iv in ivs] == [0, 3, 6, 8]
+        assert ivs[-1].hi == 10
+        for a, b in zip(ivs, ivs[1:]):
+            assert not a.overlaps(b)
+
+    def test_inflated_chunk_overlaps(self):
+        ivs = strip_row_intervals(10, (5, 3, 2, 2))
+        assert ivs[0].overlaps(ivs[1])
+
+
+class TestAddressModel:
+    def test_operands_allocated_disjoint(self, machine):
+        plan = make_driver("openblas", machine).plan_gemm(48, 48, 48)
+        model = build_address_model(plan, (48, 48, 48))
+        allocs = [model.operands[x].allocation for x in ("A", "B", "C")]
+        for i, a in enumerate(allocs):
+            assert a.nbytes == 48 * 48 * 4
+            for b in allocs[i + 1:]:
+                assert a.end <= b.base or b.end <= a.base
+
+    def test_blasfeo_pads_a_to_panels(self, machine):
+        plan = make_blasfeo(machine).plan_gemm(10, 8, 8)
+        ps = plan.meta["ps"]
+        model = build_address_model(plan, (10, 8, 8))
+        a = model.operands["A"]
+        assert a.rows == 10
+        assert a.padded_rows % ps == 0 and a.padded_rows >= 10
+
+    def test_byte_span_is_column_major(self, machine):
+        plan = make_driver("openblas", machine).plan_gemm(8, 8, 8)
+        model = build_address_model(plan, (8, 8, 8))
+        a = model.operands["A"]
+        span = a.byte_span(Interval(0, 2), Interval(0, 1))
+        assert span.length == 2 * a.itemsize
+        full = a.byte_span(Interval(0, 8), Interval(0, 8))
+        assert full.length == a.allocation.nbytes
+
+    def test_describe_includes_bytes(self, machine):
+        plan = make_driver("openblas", machine).plan_gemm(8, 8, 8)
+        model = build_address_model(plan, (8, 8, 8))
+        access = Access("A", "read", Interval(0, 8), Interval(0, 8), "p")
+        text = model.describe(access)
+        assert "A[0, 8)x[0, 8)" in text and "bytes" in text
+
+
+class TestNodeAccesses:
+    def test_gebp_reads_a_b_writes_c(self, machine):
+        plan = make_driver("openblas", machine).plan_gemm(48, 48, 48)
+        from repro.plan.ir import GebpOp
+
+        gebp = _find(plan, GebpOp)
+        accesses = node_accesses(gebp, (48, 48, 48), "p")
+        modes = {(a.buffer, a.mode) for a in accesses}
+        assert modes == {("A", "read"), ("B", "read"), ("C", "write")}
+
+    def test_thread_strips_carry_offsets(self, machine):
+        from repro.parallel import MultithreadedGemm
+
+        plan = MultithreadedGemm(machine, "openblas", threads=4) \
+            .plan_gemm(64, 256, 256)
+        strips = _find(plan, ThreadStripsOp)
+        accesses = node_accesses(strips, (64, 256, 256), "p")
+        c_rows = [a.rows for a in accesses if a.buffer == "C"]
+        assert c_rows[0].lo == 0 and c_rows[-1].hi == 64
+        for a, b in zip(c_rows, c_rows[1:]):
+            assert a.hi == b.lo  # contiguous, disjoint
+
+
+class TestAnalyzer:
+    @pytest.mark.parametrize("make_plan, shape", [
+        (lambda m: make_driver("openblas", m).plan_gemm(48, 48, 48),
+         (48, 48, 48)),
+        (lambda m: make_blasfeo(m).plan_gemm(10, 8, 8), (10, 8, 8)),
+        (lambda m: ReferenceSmmDriver(m).plan_gemm(97, 101, 89),
+         (97, 101, 89)),
+    ], ids=["openblas", "blasfeo", "reference"])
+    def test_clean_plans_have_no_findings(self, machine, make_plan, shape):
+        assert analyze_dataflow(make_plan(machine), "t", shape) == []
+
+    def test_no_shape_skips_analysis(self, machine):
+        plan = make_driver("openblas", machine).plan_gemm(8, 8, 8)
+        assert analyze_dataflow(plan, "t", None) == []
+
+    def test_inflated_pack_is_v401(self, machine):
+        plan = ReferenceSmmDriver(machine).plan_with(
+            32, 32, 32, packed_b=True
+        )
+        pack = _find(plan, PackOp)
+        pack.rows = pack.rows * 4
+        diags = analyze_dataflow(plan, "t", (32, 32, 32))
+        assert any(d.rule == "V401-oob-access" for d in diags)
+        msg = next(d for d in diags if d.rule == "V401-oob-access").message
+        assert "outside" in msg
+
+    def test_undersized_buffer_is_v402(self, machine):
+        plan = ReferenceSmmDriver(machine).plan_with(
+            32, 32, 32, packed_b=True
+        )
+        pack = _find(plan, PackOp)
+        pack.padded_elements = (pack.rows * pack.cols) // 2
+        diags = analyze_dataflow(plan, "t", (32, 32, 32))
+        rules = [d.rule for d in diags]
+        assert "V402-pack-overrun" in rules
+
+    def test_overflowing_strip_is_v401(self, machine):
+        from repro.parallel import MultithreadedGemm
+
+        plan = MultithreadedGemm(machine, "openblas", threads=4) \
+            .plan_gemm(64, 256, 256)
+        strips = _find(plan, ThreadStripsOp)
+        last = strips.chunks[-1]
+        strips.chunks = tuple(strips.chunks[:-1]) + (last + 9,)
+        diags = analyze_dataflow(plan, "t", (64, 256, 256))
+        assert any(d.rule == "V401-oob-access" and d.message.startswith(
+            "write"
+        ) for d in diags)

@@ -1,0 +1,154 @@
+"""The happens-before race analyzer (V411-V421)."""
+
+import pytest
+
+from repro.machine import graviton2_like
+from repro.parallel import MultithreadedGemm
+from repro.plan.ir import BarrierOp, CriticalPathOp, ThreadStripsOp
+from repro.verify.planlint import _find, _find_section_with
+from repro.verify.races import (
+    HappensBefore,
+    analyze_races,
+    grid_tiling,
+)
+
+
+def _shape(plan):
+    return tuple(plan.meta["shape"])
+
+
+class TestHappensBefore:
+    def test_private_events_follow_program_order(self):
+        hb = HappensBefore()
+        w = hb.add("write", 1, "w")
+        r = hb.add("read", 1, "r")
+        assert hb.ordered(w, r)
+        assert not hb.ordered(r, w)
+
+    def test_cooperative_write_needs_barrier(self):
+        hb = HappensBefore()
+        w = hb.add("write", 4, "w", buffer="pack_b")
+        r = hb.add("read", 4, "r", buffer="pack_b")
+        assert not hb.ordered(w, r)
+
+    def test_barrier_over_group_orders(self):
+        hb = HappensBefore()
+        w = hb.add("write", 4, "w", buffer="pack_b")
+        hb.add("barrier", 4, "b")
+        r = hb.add("read", 4, "r", buffer="pack_b")
+        assert hb.ordered(w, r)
+
+    def test_narrow_barrier_does_not_order(self):
+        hb = HappensBefore()
+        w = hb.add("write", 4, "w", buffer="pack_b")
+        hb.add("barrier", 2, "b")  # covers half the packing group
+        r = hb.add("read", 4, "r", buffer="pack_b")
+        assert not hb.ordered(w, r)
+
+    def test_edges_materialize_orderings(self):
+        hb = HappensBefore()
+        w = hb.add("write", 2, "w")
+        hb.add("barrier", 2, "b")
+        r = hb.add("read", 1, "r")
+        assert (w.seq, r.seq) in hb.edges()
+
+
+class TestGridTiling:
+    def test_cross_product_has_witness(self):
+        chunks = tuple(
+            (mi, nj) for mi in (32, 32) for nj in (16, 16, 16, 16)
+        )
+        mis, njs = grid_tiling(chunks, 64, 64)
+        assert sum(mis) == 64 and sum(njs) == 64
+
+    def test_single_chunk(self):
+        assert grid_tiling(((64, 64),), 64, 64) == ([64], [64])
+
+    def test_warped_grid_has_no_witness(self):
+        chunks = ((37, 32), (32, 32), (32, 32), (32, 32))
+        assert grid_tiling(chunks, 64, 64) is None
+
+    def test_zero_chunks_are_tolerated(self):
+        chunks = tuple((mi, nj) for mi in (3, 2) for nj in (1, 0))
+        assert grid_tiling(chunks, 5, 1) is not None
+
+
+class TestCleanPlans:
+    @pytest.mark.parametrize("lib, threads, shape", [
+        ("openblas", 4, (64, 256, 256)),
+        ("openblas", 64, (80, 2048, 2048)),
+        ("blis", 4, (2048, 16, 2048)),
+        ("eigen", 4, (256, 2048, 2048)),
+    ])
+    def test_mt_lowerings_race_free(self, machine, lib, threads, shape):
+        plan = MultithreadedGemm(machine, lib, threads=threads) \
+            .plan_gemm(*shape)
+        assert analyze_races(plan, lib, threads, shape) == []
+
+    def test_single_l2_cluster_machine(self):
+        g = graviton2_like()
+        plan = MultithreadedGemm(g, "openblas", threads=64) \
+            .plan_gemm(80, 2048, 2048)
+        assert analyze_races(plan, "openblas", 64, (80, 2048, 2048)) == []
+
+
+class TestRaceFindings:
+    def mt_plan(self, machine):
+        return MultithreadedGemm(
+            machine, "openblas", threads=4
+        ).plan_gemm(64, 256, 256)
+
+    def test_overlapping_strips_are_v411(self, machine):
+        plan = self.mt_plan(machine)
+        strips = _find(plan, ThreadStripsOp)
+        strips.chunks = (strips.chunks[0] + 7,) + tuple(strips.chunks[1:])
+        diags = analyze_races(plan, "t", 4, _shape(plan))
+        v411 = [d for d in diags if d.rule == "V411-strip-race"]
+        assert len(v411) == 1  # one finding per fan-out
+        assert "write-write" in v411[0].message
+
+    def test_missing_barrier_is_v412(self, machine):
+        plan = self.mt_plan(machine)
+        section = _find_section_with(plan, BarrierOp)
+        kept, removed = [], False
+        for child in section.children:
+            if not removed and isinstance(child, BarrierOp):
+                removed = True
+                continue
+            kept.append(child)
+        section.children = tuple(kept)
+        diags = analyze_races(plan, "t", 4, _shape(plan))
+        assert any(d.rule == "V412-unordered-read" for d in diags)
+
+    def test_warped_grid_is_v413(self, machine):
+        plan = MultithreadedGemm(machine, "eigen", threads=4) \
+            .plan_gemm(64, 64, 64)
+        cp = _find(plan, CriticalPathOp)
+        first = cp.chunks[0]
+        cp.chunks = ((first[0] + 5, first[1]),) + tuple(cp.chunks[1:])
+        diags = analyze_races(plan, "t", 4, _shape(plan))
+        assert any(d.rule == "V413-grid-race" for d in diags)
+
+    def test_oversharded_b_is_v421(self, machine):
+        plan = self.mt_plan(machine)
+        strips = _find(plan, ThreadStripsOp)
+        strips.b_shared_by = machine.l2.shared_by * 8
+        diags = analyze_races(plan, "t", 4, _shape(plan))
+        v421 = [d for d in diags if d.rule == "V421-topology-mismatch"]
+        assert v421 and "L2 cluster" in v421[0].message
+
+    def test_more_threads_than_cores_is_v421(self, machine):
+        plan = self.mt_plan(machine)
+        diags = analyze_races(
+            plan, "t", machine.n_cores * 2, _shape(plan)
+        )
+        assert any(d.rule == "V421-topology-mismatch" for d in diags)
+
+    def test_contextless_plan_skips_topology(self, machine):
+        from repro.plan.ir import ExecutionPlan
+
+        plan = self.mt_plan(machine)
+        bare = ExecutionPlan(root=plan.root, context=None,
+                             meta=dict(plan.meta))
+        diags = analyze_races(bare, "t", 4, _shape(plan))
+        assert not [d for d in diags if d.rule.startswith("V421")]
