@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-plans-negative bench bench-smoke bench-record examples docs report verify check all clean
+.PHONY: install test lint lint-plans-negative bench bench-smoke bench-record examples docs docs-check report verify check all clean
 
 # one fast representative per benchmarks/test_fig*.py (the CI smoke set);
 # --benchmark-disable runs each figure pipeline once instead of timing it
@@ -36,8 +36,9 @@ lint-plans-negative:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# perf trajectory: lint-sweep wall-clock + plans-priced-per-second,
-# written to BENCH_<rev>.json at the repo root
+# perf trajectory: lint-sweep wall-clock, batch cold/warm sweep
+# throughput and plans-priced-per-second, written to BENCH_<rev>.json
+# at the repo root
 bench-record:
 	$(PYTHON) -m repro.util.benchrecord
 
@@ -55,6 +56,12 @@ examples:
 docs:
 	$(PYTHON) -m repro.util.apidoc
 
+# documentation gates: the committed API reference must match a fresh
+# render, and every repo-relative reference in the guides must resolve
+docs-check:
+	$(PYTHON) -m repro.util.apidoc --check
+	$(PYTHON) -m repro.util.doccheck
+
 report:
 	$(PYTHON) -m repro report --output REPORT.md
 
@@ -62,12 +69,13 @@ verify:
 	$(PYTHON) -m repro verify
 
 # the CI-style gate: full tier-1 tests (which run lint first), the
-# plan-rule mutation controls, plus one smoke pass through every figure
-# benchmark
-check: test lint-plans-negative bench-smoke
+# plan-rule mutation controls, the documentation gates, plus one smoke
+# pass through every figure benchmark
+check: test lint-plans-negative docs-check bench-smoke
 
 all: install check docs report
 
 clean:
 	rm -rf benchmarks/out .pytest_cache .hypothesis
+	rm -f .repro_steady_cache.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

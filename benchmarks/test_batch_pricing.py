@@ -1,0 +1,44 @@
+"""BATCH: grid sweeps through the vectorized batch pricing layer.
+
+Prices the paper's Fig. 5(a) grid with :func:`repro.workloads.priced_grid`
+(one ``ShapeGridPricer`` call), checks the vectorized per-phase arrays
+against per-plan ``Engine`` pricing bit-for-bit, and benchmarks the warm
+replay path — the throughput a tuner candidate search or efficiency
+sweep sees once the charge tapes are recorded.
+"""
+
+import numpy as np
+
+from repro.plan import ENGINE, ShapeGridPricer, clear_batch_pricing_cache
+from repro.workloads import fig5a_square, priced_grid
+
+
+def test_batch_grid_matches_single_plan_pricing(machine, emit):
+    shapes = fig5a_square()
+    clear_batch_pricing_cache()
+    grid = priced_grid(machine, shapes, lib="blasfeo")
+
+    pricer = ShapeGridPricer(machine, lib="blasfeo")
+    lines = []
+    for i, (m, n, k) in enumerate(shapes):
+        single = ENGINE.price(pricer.lower(m, n, k))
+        assert grid.total_cycles[i] == single.total_cycles, (m, n, k)
+        assert grid.kernel_cycles[i] == single.kernel_cycles, (m, n, k)
+        assert grid.executed_flops[i] == single.executed_flops, (m, n, k)
+    peak = machine.core.flops_per_cycle(np.float32)
+    eff = grid.efficiency(peak)
+    for (m, n, k), e in zip(shapes, eff):
+        lines.append(f"{m:4d}x{n:4d}x{k:4d}  {e:6.1%}")
+    emit("batch_fig5a_blasfeo", "\n".join(lines))
+    assert np.all(eff > 0.0)
+    assert np.all(eff <= 1.0)
+
+
+def test_batch_grid_warm_replay(benchmark, machine):
+    shapes = fig5a_square()
+    pricer = ShapeGridPricer(machine, lib="reference")
+    pricer.price_grid(shapes)  # record tapes
+    grid = benchmark(pricer.price_grid, shapes)  # replay them
+    assert len(grid.timings) == len(shapes)
+    info = pricer.cache_info()
+    assert info["tapes"]["hits"] > 0

@@ -424,13 +424,24 @@ def _run_plan_lint(machine, args) -> tuple:
     """The ``repro lint --plans`` command body: (report text, exit code).
 
     With no shape, sweeps the golden Fig. 5 / Fig. 10 grids across every
-    driver at 1/4/64 threads and fails on *any* finding (the acceptance
-    bar: every legal lowering analyzes clean).  ``M N K [--lib] [--threads]``
-    narrows to one case; ``--self-check`` runs the V3xx mutation
-    negative controls; ``--inject-bad`` appends a known-broken plan.
+    driver at 1/4/64 threads, prices every plan through the batch
+    engine, and fails on *any* finding (the acceptance bar: every legal
+    lowering analyzes clean).  ``M N K [--lib] [--threads]`` narrows to
+    one case; ``--self-check`` runs the V3xx mutation negative
+    controls; ``--inject-bad`` appends a known-broken plan.
+
+    The sweep runs on the persistent steady-state store (see
+    :mod:`repro.pipeline.steadystore`): the first invocation on a
+    machine model analyzes every micro-kernel and saves the table; later
+    invocations are table lookups and the full 708-plan sweep — lower,
+    verify, price — completes in well under a second.
     """
     import json
+    import time
 
+    from .blas.base import shared_analyzer
+    from .pipeline import attach_steady_store, save_attached_stores
+    from .plan import batch_pricing_cache_info, price_batch
     from .util.tables import format_table
     from .verify import (
         RULE_CATALOG_VERSION,
@@ -452,6 +463,8 @@ def _run_plan_lint(machine, args) -> tuple:
     libs = (args.lib,) if args.lib else None
     threads = (args.threads,) if args.threads is not None else None
 
+    attach_steady_store(shared_analyzer(machine))
+    start = time.perf_counter()
     cases = list(golden_plan_cases(
         machine, shape=shape, libs=libs, threads=threads,
     ))
@@ -459,6 +472,12 @@ def _run_plan_lint(machine, args) -> tuple:
         (lib, t, shp, verify_plan(plan, label=lib))
         for lib, t, shp, plan in cases
     ]
+    # batch pricing over the whole sweep: the <1 s acceptance target
+    # covers lower + verify + price (see docs/PERFORMANCE.md)
+    price_batch([plan for _, _, _, plan in cases])
+    sweep_seconds = time.perf_counter() - start
+    save_attached_stores()
+    batch_info = batch_pricing_cache_info()
     if args.inject_bad:
         rule_id, bad = inject_bad_plan(machine)
         shp = bad.meta.get("shape", (0, 0, 0))
@@ -476,8 +495,10 @@ def _run_plan_lint(machine, args) -> tuple:
             "mode": "plans",
             "ok": ok,
             "plans": len(reports),
+            "sweep_seconds": sweep_seconds,
             "rule_catalog_version": RULE_CATALOG_VERSION,
             "memo": verification_cache_info(),
+            "batch": batch_info,
             "cases": [
                 dict(report.to_dict(), threads=t)
                 for _, t, _, report in reports
@@ -512,9 +533,17 @@ def _run_plan_lint(machine, args) -> tuple:
         f"verification memo: {memo['hits']} hit(s), "
         f"{memo['misses']} miss(es), {memo['size']} entries"
     )
+    tapes = batch_info["tapes"]
+    tape_total = tapes["hits"] + tapes["misses"]
+    hit_rate = tapes["hits"] / tape_total if tape_total else 0.0
     lines.append(
-        f"{'OK' if ok else 'FAIL'}: {len(reports)} plans, "
-        f"{len(findings)} finding(s)"
+        f"batch pricing: {tapes['hits']} tape hit(s), "
+        f"{tapes['misses']} miss(es) ({hit_rate:.0%} hit rate), "
+        f"{batch_info['interning']['unique']} interned subtree(s)"
+    )
+    lines.append(
+        f"{'OK' if ok else 'FAIL'}: {len(reports)} plans priced in "
+        f"{sweep_seconds:.2f}s, {len(findings)} finding(s)"
     )
     return "\n".join(lines), 0 if ok else 1
 

@@ -8,6 +8,13 @@ from .diagnose import (
 )
 from .scheduler import OoOScheduler, ScheduleResult, ScheduledOp, render_schedule
 from .steady import SteadyState, SteadyStateAnalyzer, bound_analysis
+from .steadystore import (
+    SteadyStateStore,
+    attach_steady_store,
+    core_fingerprint,
+    save_attached_stores,
+    store_stats,
+)
 
 __all__ = [
     "OoOScheduler",
@@ -17,6 +24,11 @@ __all__ = [
     "SteadyState",
     "SteadyStateAnalyzer",
     "bound_analysis",
+    "SteadyStateStore",
+    "attach_steady_store",
+    "core_fingerprint",
+    "save_attached_stores",
+    "store_stats",
     "KernelDiagnosis",
     "diagnose_kernel",
     "TraceSummary",

@@ -82,8 +82,37 @@ class ScheduleResult:
 class OoOScheduler:
     """Greedy list scheduler over the dataflow graph of a dynamic stream."""
 
+    #: bound on the per-instruction metadata cache (entries are tiny;
+    #: kernel bodies reuse the same Instruction objects thousands of
+    #: times per stream, so the cache is what makes scheduling cheap)
+    META_CACHE_MAX = 1 << 18
+
     def __init__(self, core: CoreConfig) -> None:
         self.core = core
+        # id-keyed decode cache: (instruction, base latency, is_load,
+        # port, reads, (reg, is_postinc_writeback) writes, flops, bytes).
+        # The strong instruction reference keeps ids from being reused.
+        self._meta: Dict[int, tuple] = {}
+
+    def _decode(self, ins: Instruction) -> tuple:
+        cached = self._meta.get(id(ins))
+        if cached is not None and cached[0] is ins:
+            return cached
+        lat = self.core.latencies.get(ins.latency_key)
+        if lat is None:
+            raise ScheduleError(
+                f"{ins.text!r}: unknown latency key {ins.latency_key!r}"
+            )
+        is_load = ins.is_load
+        cached = (
+            ins, float(lat), is_load, ins.port, tuple(ins.reads),
+            tuple((reg, is_load and is_xreg(reg)) for reg in ins.writes),
+            ins.flops, ins.mem_bytes,
+        )
+        if len(self._meta) >= self.META_CACHE_MAX:
+            self._meta.clear()
+        self._meta[id(ins)] = cached
+        return cached
 
     def run(
         self,
@@ -103,9 +132,10 @@ class OoOScheduler:
                 f"extra_load_cycles must be >= 0, got {extra_load_cycles}"
             )
         core = self.core
-        latencies = core.latencies
         width = core.dispatch_width
         rob = core.rob_entries
+        decode = self._decode
+        ceil = math.ceil
 
         # Port occupancy per integer cycle slot.  True out-of-order issue
         # lets a ready instruction fill an idle slot *before* slots already
@@ -134,13 +164,9 @@ class OoOScheduler:
         dispatch_floor = 0
 
         for index, ins in enumerate(stream):
-            lat = latencies.get(ins.latency_key)
-            if lat is None:
-                raise ScheduleError(
-                    f"{ins.text!r}: unknown latency key {ins.latency_key!r}"
-                )
-            result_latency = float(lat)
-            if ins.is_load:
+            (_, result_latency, is_load, ins_port, reads, writes,
+             ins_flops, ins_mem_bytes) = decode(ins)
+            if is_load:
                 result_latency += extra_load_cycles
 
             dispatch_cycle = max(index // width, dispatch_floor)
@@ -151,7 +177,7 @@ class OoOScheduler:
             dispatch_floor = dispatch_cycle
 
             operands_ready = 0.0
-            for reg in ins.reads:
+            for reg in reads:
                 t = reg_ready.get(reg)
                 if t is not None and t > operands_ready:
                     operands_ready = t
@@ -162,21 +188,21 @@ class OoOScheduler:
                 issue_times[index - window] if index >= window else 0.0
             )
             ready = max(float(dispatch_cycle), operands_ready, window_ready)
-            capacity = core.ports[ins.port]
-            usage = slot_usage[ins.port]
-            slot = max(math.ceil(ready), full_below[ins.port])
+            capacity = core.ports[ins_port]
+            usage = slot_usage[ins_port]
+            slot = max(ceil(ready), full_below[ins_port])
             while usage.get(slot, 0) >= capacity:
                 slot += 1
             usage[slot] = usage.get(slot, 0) + 1
-            hint = full_below[ins.port]
+            hint = full_below[ins_port]
             while usage.get(hint, 0) >= capacity:
                 hint += 1
-            full_below[ins.port] = hint
+            full_below[ins_port] = hint
             issue = float(slot)
             complete = issue + result_latency
 
-            for reg in ins.writes:
-                if ins.is_load and is_xreg(reg):
+            for reg, postinc in writes:
+                if postinc:
                     # post-increment writeback: address available next cycle
                     reg_ready[reg] = issue + 1.0
                 else:
@@ -186,10 +212,10 @@ class OoOScheduler:
             retire.append(max(prev_retire, complete))
             issue_times.append(issue)
 
-            port_busy[ins.port] += 1
+            port_busy[ins_port] += 1
             n += 1
-            flops += ins.flops
-            mem_bytes += ins.mem_bytes
+            flops += ins_flops
+            mem_bytes += ins_mem_bytes
             if complete > last_complete:
                 last_complete = complete
             if record_ops:

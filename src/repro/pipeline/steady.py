@@ -77,6 +77,9 @@ class SteadyStateAnalyzer:
         self.measure_iters = measure_iters
         self._scheduler = OoOScheduler(core)
         self._cache: Dict[Tuple[str, float], SteadyState] = {}
+        #: optional persistent backing table (see repro.pipeline.steadystore);
+        #: attached by batch entry points, never by default
+        self.store = None
 
     def analyze(
         self, kernel: KernelSequence, extra_load_cycles: float = 0.0
@@ -91,6 +94,11 @@ class SteadyStateAnalyzer:
         hit = self._cache.get(key)
         if hit is not None:
             return hit
+        if self.store is not None:
+            stored = self.store.get(kernel.name, key[1])
+            if stored is not None:
+                self._cache[key] = stored
+                return stored
 
         n_iters = self.warmup_iters + self.measure_iters
         stream = list(kernel.prologue)
@@ -134,6 +142,8 @@ class SteadyStateAnalyzer:
             unroll=kernel.unroll,
         )
         self._cache[key] = state
+        if self.store is not None:
+            self.store.put(kernel.name, key[1], state)
         return state
 
     def kernel_call_cycles(

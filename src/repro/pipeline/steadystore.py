@@ -1,0 +1,246 @@
+"""Persistent steady-state kernel analyses: install once, look up forever.
+
+Scheduling a micro-kernel's dynamic stream through the out-of-order model
+is the single most expensive step in pricing (tens of milliseconds per
+distinct kernel); a full golden sweep touches a hundred-odd kernels.  The
+in-process memo on :class:`~repro.pipeline.steady.SteadyStateAnalyzer`
+absorbs repeats within one process, but every fresh CLI invocation pays
+the whole cost again.  This module is the IAAT move (PAPERS.md): do the
+expensive analysis once per (machine, kernel, load penalty), persist it,
+and make every later process an O(1) table lookup.
+
+Discipline mirrors :class:`~repro.tuning.cache.TuningCache`:
+
+* the on-disk JSON is keyed by a **core fingerprint** — a hash of the
+  core config repr, the analyzer's warmup/measure iteration counts, the
+  store schema version and the code version.  Any mismatch invalidates
+  the entire file (a steady-state for a different register file, ROB
+  size or scheduler revision is worse than none);
+* writes are **atomic** (temp file + rename in the same directory);
+* floats round-trip exactly: ``json`` serializes via ``repr`` and
+  ``float(repr(x)) == x`` for finite doubles, so a stored analysis is
+  bit-for-bit the one computed — golden-timing parity holds across the
+  cold/warm boundary.
+
+The store is **opt-in per analyzer** (``attach_steady_store``): batch
+entry points (``repro lint --plans``, ``make bench-record``, tuner
+warm-ups) attach it to the shared analyzer and save on exit; unit tests
+and one-shot pricing never touch disk.  Disable with
+``REPRO_STEADY_CACHE=0`` or redirect with ``REPRO_STEADY_CACHE=path``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from .steady import SteadyState, SteadyStateAnalyzer
+
+#: bump when SteadyState fields or the scheduler model change incompatibly
+STEADY_SCHEMA_VERSION = 1
+
+#: default on-disk location (cwd, next to the tuning cache)
+DEFAULT_STORE_PATH = ".repro_steady_cache.json"
+
+#: environment override: a path, or "0"/"off" to disable attachment
+ENV_VAR = "REPRO_STEADY_CACHE"
+
+_FIELDS = ("cycles_per_iter", "startup_cycles", "epilogue_cycles",
+           "flops_per_iter", "unroll")
+
+
+def core_fingerprint(analyzer: SteadyStateAnalyzer) -> str:
+    """Hash identifying (core config, analyzer params, schema, code)."""
+    from .. import __version__
+
+    payload = "|".join((
+        repr(analyzer.core),
+        f"warmup={analyzer.warmup_iters}",
+        f"measure={analyzer.measure_iters}",
+        f"schema={STEADY_SCHEMA_VERSION}",
+        f"code={__version__}",
+    ))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class SteadyStateStore:
+    """On-disk table of steady-state analyses for one core fingerprint."""
+
+    def __init__(self, path: str = DEFAULT_STORE_PATH,
+                 fingerprint: str = "") -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.primitive_hits = 0
+        self.primitive_misses = 0
+        self._dirty = False
+        self._entries: Dict[str, SteadyState] = {}
+        self._primitives: Dict[str, object] = {}
+        self._load()
+
+    @staticmethod
+    def _key(kernel_name: str, penalty_key: float) -> str:
+        return f"{kernel_name}@{penalty_key!r}"
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict):
+            return
+        if raw.get("fingerprint") != self.fingerprint:
+            # wrong machine/schema/code: drop wholesale, rewrite on save
+            self.invalidations += 1
+            self._dirty = True
+            return
+        for key, fields in raw.get("entries", {}).items():
+            name = key.rsplit("@", 1)[0]
+            try:
+                self._entries[key] = SteadyState(
+                    kernel_name=name,
+                    **{f: fields[f] for f in _FIELDS},
+                )
+            except (KeyError, TypeError):
+                continue
+        primitives = raw.get("primitives", {})
+        if isinstance(primitives, dict):
+            self._primitives = primitives
+
+    def get(self, kernel_name: str,
+            penalty_key: float) -> Optional[SteadyState]:
+        """The stored analysis for (kernel, load penalty), or None."""
+        state = self._entries.get(self._key(kernel_name, penalty_key))
+        if state is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return state
+
+    def put(self, kernel_name: str, penalty_key: float,
+            state: SteadyState) -> None:
+        """Store one analysis; persisted on the next :meth:`save`."""
+        self._entries[self._key(kernel_name, penalty_key)] = state
+        self._dirty = True
+
+    def get_primitive(self, key: tuple):
+        """Stored pricing-primitive value for a memo key, or None.
+
+        Keys are the engine's ``(name, context_token, args)`` tuples —
+        pure primitives, so ``repr`` is a stable serialization.  Values
+        are floats or tuples of floats; JSON turns tuples into lists,
+        so restore the tuple shape on the way out (repr round-trip
+        keeps every float bit-exact).
+        """
+        raw = self._primitives.get(repr(key))
+        if raw is None:
+            self.primitive_misses += 1
+            return None
+        self.primitive_hits += 1
+        return tuple(raw) if isinstance(raw, list) else raw
+
+    def put_primitive(self, key: tuple, value) -> None:
+        """Store one pricing-primitive value under its memo key."""
+        self._primitives[repr(key)] = value
+        self._dirty = True
+
+    def save(self) -> bool:
+        """Atomically write the store if it changed; True when written."""
+        if not self._dirty:
+            return False
+        payload = {
+            "fingerprint": self.fingerprint,
+            "schema": STEADY_SCHEMA_VERSION,
+            "entries": {
+                key: {f: getattr(state, f) for f in _FIELDS}
+                for key, state in sorted(self._entries.items())
+            },
+            "primitives": dict(sorted(self._primitives.items())),
+        }
+        text = json.dumps(payload, indent=1, sort_keys=True)
+        directory = self.path.parent if str(self.path.parent) else Path(".")
+        fd, tmp = tempfile.mkstemp(
+            dir=str(directory), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text + "\n")
+            os.replace(tmp, str(self.path))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        self._dirty = False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def info(self) -> Dict[str, int]:
+        """Counter snapshot: entries, hits/misses, invalidations."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "primitives": len(self._primitives),
+            "primitive_hits": self.primitive_hits,
+            "primitive_misses": self.primitive_misses,
+        }
+
+
+#: stores attached this process, for :func:`store_stats` roll-up
+_ATTACHED: Dict[str, SteadyStateStore] = {}
+
+
+def attach_steady_store(
+    analyzer: SteadyStateAnalyzer,
+    path: Optional[str] = None,
+) -> Optional[SteadyStateStore]:
+    """Attach (or reuse) a persistent store on ``analyzer``.
+
+    Resolves the path from ``path`` or the ``REPRO_STEADY_CACHE``
+    environment variable (``0``/``off``/empty value disables and returns
+    None).  One store instance is shared per resolved path, so repeated
+    attachment from the CLI and the benchmark recorder agree.
+    """
+    env = os.environ.get(ENV_VAR)
+    if path is None:
+        if env is not None and env.strip().lower() in ("", "0", "off"):
+            return None
+        path = env if env else DEFAULT_STORE_PATH
+    fingerprint = core_fingerprint(analyzer)
+    key = f"{os.path.abspath(path)}#{fingerprint}"
+    store = _ATTACHED.get(key)
+    if store is None:
+        store = SteadyStateStore(path=path, fingerprint=fingerprint)
+        _ATTACHED[key] = store
+    analyzer.store = store
+    return store
+
+
+def save_attached_stores() -> int:
+    """Save every dirty attached store; returns how many were written."""
+    return sum(1 for store in _ATTACHED.values() if store.save())
+
+
+def store_stats() -> Dict[str, int]:
+    """Aggregate counters across every store attached this process."""
+    totals = {"stores": len(_ATTACHED), "entries": 0, "hits": 0,
+              "misses": 0, "invalidations": 0, "primitives": 0,
+              "primitive_hits": 0, "primitive_misses": 0}
+    for store in _ATTACHED.values():
+        for field in ("hits", "misses", "invalidations",
+                      "primitive_hits", "primitive_misses"):
+            totals[field] += getattr(store, field)
+        totals["entries"] += len(store)
+        totals["primitives"] += len(store._primitives)
+    return totals

@@ -23,9 +23,38 @@ package splits that into the BLIS-style normal form:
 Golden parity: plan-derived timings are bit-for-bit identical to the
 pre-refactor per-driver accounting (see
 ``tests/test_cross_driver_consistency.py``).
+
+Batch pricing (:mod:`repro.plan.batch`) prices whole plan sets through
+hash-consed subtrees and memoized charge tapes — bit-for-bit equal to
+single-plan pricing, 10-100x faster on sweeps; identity comes from
+:mod:`repro.plan.fingerprint`, the canonical-structure module the
+verification memo shares.
 """
 
+from .batch import (
+    BATCH_PRICER,
+    BatchPricer,
+    GridPricing,
+    ShapeGridPricer,
+    batch_pricing_cache_info,
+    clear_batch_pricing_cache,
+    price_batch,
+    price_plan,
+    skeleton_census,
+    skeleton_key,
+)
 from .engine import ENGINE, Engine, PricingContext, operand_residency
+from .fingerprint import (
+    BoundedMemo,
+    InternPool,
+    canonical_node,
+    canonical_plan_body,
+    context_token,
+    machine_token,
+    node_fingerprint,
+    plan_fingerprint,
+    pricing_key,
+)
 from .ir import (
     BarrierOp,
     CriticalPathOp,
@@ -64,6 +93,25 @@ __all__ = [
     "ENGINE",
     "PricingContext",
     "operand_residency",
+    "BatchPricer",
+    "BATCH_PRICER",
+    "GridPricing",
+    "ShapeGridPricer",
+    "price_plan",
+    "price_batch",
+    "batch_pricing_cache_info",
+    "clear_batch_pricing_cache",
+    "skeleton_key",
+    "skeleton_census",
+    "BoundedMemo",
+    "InternPool",
+    "canonical_node",
+    "canonical_plan_body",
+    "context_token",
+    "machine_token",
+    "node_fingerprint",
+    "plan_fingerprint",
+    "pricing_key",
     "lower_goto",
     "lower_blasfeo",
     "lower_reference",

@@ -1,0 +1,374 @@
+"""Batch pricing: hash-consed subtrees, memoized charge tapes, grids.
+
+The single-plan :class:`~repro.plan.engine.Engine` walks an op tree and
+accumulates float charges into :class:`~repro.timing.breakdown.GemmTiming`
+buckets.  Across an M-N-K sweep the same subtrees recur (identical
+PackOp/GebpOp/JitSweepOp bodies show up under many shapes), so the batch
+layer prices each *structure* once and replays the result everywhere:
+
+* every top-level subtree is hash-consed through an
+  :class:`~repro.plan.fingerprint.InternPool` and priced at most once
+  per (subtree structure, pricing-context token);
+* the memoized value is a **charge tape** — the exact sequence of
+  ``(bucket, cycles)`` / executed-flop mutations the engine applied —
+  not the summed buckets.  Replaying the tape performs the same float
+  additions in the same order as a fresh walk, so batch results are
+  bit-for-bit equal to single-plan pricing.  (Caching sums instead
+  would re-associate the additions: ``(a + b) + c != a + (b + c)`` in
+  floats, and the golden-parity suite would catch it.)
+* :class:`ShapeGridPricer` prices a whole shape grid in one call and
+  returns numpy arrays over the grid (per-bucket cycles, flops,
+  efficiency) — the vectorized sweep form the figure benchmarks and the
+  ``repro lint --plans`` target consume.
+
+Cache keys come from :mod:`repro.plan.fingerprint`: the context token
+covers every model binding pricing can read (machine, cache sharing,
+packing model, JIT factory, dtype width), so a machine or configuration
+change can never replay a stale tape.  Counters for all the caches in
+this layer surface through :func:`batch_pricing_cache_info`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..timing.breakdown import GemmTiming
+from ..util.errors import DriverError
+from .engine import ENGINE, Engine, primitive_memo_info
+from .fingerprint import (
+    BoundedMemo,
+    InternPool,
+    canonical_node,
+    context_token,
+    pricing_key,
+)
+from .ir import ExecutionPlan, Section
+
+#: tape opcodes (see _TapeRecorder)
+_CHARGE, _EXECUTED, _USEFUL, _EXTRA = "c", "e", "u", "x"
+
+
+class _TapeRecorder(Engine):
+    """An engine that records every mutation of one target timing.
+
+    Sub-plan pricing (critical-path / merge internals) accumulates into
+    fresh timing objects; only mutations of the *target* — the timing
+    the memoized subtree charges into — land on the tape, so a replay
+    applies exactly the outer-level effects and nothing twice.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(verify=False)
+        self._tape: Optional[List[Tuple]] = None
+        self._target: Optional[GemmTiming] = None
+
+    def record(self, node, ctx, timing: GemmTiming) -> Tuple[Tuple, ...]:
+        """Price ``node`` into ``timing``, returning the charge tape."""
+        self._tape, self._target = [], timing
+        try:
+            self._node(node, ctx, timing, None)
+            return tuple(self._tape)
+        finally:
+            self._tape = self._target = None
+
+    # -- recording hooks ----------------------------------------------------
+
+    def _charge(self, timing, sink, node, bucket, cycles, detail=None):
+        if timing is self._target:
+            self._tape.append((_CHARGE, bucket, cycles))
+        super()._charge(timing, sink, node, bucket, cycles, detail)
+
+    def _add_executed(self, timing, sink, node, executed):
+        if timing is self._target:
+            self._tape.append((_EXECUTED, executed))
+        super()._add_executed(timing, sink, node, executed)
+
+    def _add_useful(self, timing, useful):
+        if timing is self._target:
+            self._tape.append((_USEFUL, useful))
+        super()._add_useful(timing, useful)
+
+    def _add_extra(self, timing, key, value):
+        if timing is self._target:
+            self._tape.append((_EXTRA, key, value))
+        super()._add_extra(timing, key, value)
+
+
+def _replay(tape: Sequence[Tuple], timing: GemmTiming) -> None:
+    """Apply a recorded tape: the engine's own mutations, in order."""
+    for op in tape:
+        tag = op[0]
+        if tag == _CHARGE:
+            bucket, cycles = op[1], op[2]
+            if bucket == "kernel":
+                timing.kernel_cycles += cycles
+            elif bucket == "pack_a":
+                timing.pack_a_cycles += cycles
+            elif bucket == "pack_b":
+                timing.pack_b_cycles += cycles
+            elif bucket == "sync":
+                timing.sync_cycles += cycles
+            elif bucket == "other":
+                timing.other_cycles += cycles
+            else:
+                raise DriverError(f"unknown timing bucket {bucket!r}")
+        elif tag == _EXECUTED:
+            timing.executed_flops += op[1]
+        elif tag == _USEFUL:
+            timing.useful_flops += op[1]
+        else:
+            timing.extra[op[1]] = timing.extra.get(op[1], 0.0) + op[2]
+
+
+class BatchPricer:
+    """Prices plans through the interned, tape-memoized fast path."""
+
+    def __init__(self, maxsize: int = 8192) -> None:
+        self._memo: BoundedMemo = BoundedMemo(maxsize=maxsize)
+        self._pool = InternPool()
+        self._recorder = _TapeRecorder()
+
+    def price(self, plan: ExecutionPlan,
+              engine: Optional[Engine] = None) -> GemmTiming:
+        """Price one plan; bit-for-bit equal to ``engine.price(plan)``.
+
+        ``engine`` defaults to the process-wide :data:`~repro.plan.engine.ENGINE`;
+        its verify-before-price gate is honored (and is itself memoized
+        by plan fingerprint, so repeat structures pay nothing).
+        """
+        engine = engine if engine is not None else ENGINE
+        if engine.verify:
+            from ..verify.planlint import assert_plan_ok
+
+            assert_plan_ok(plan)
+        timing = GemmTiming(
+            useful_flops=plan.meta.get("useful_flops", 0)
+        )
+        root = plan.root
+        ctx = plan.context
+        if isinstance(root, Section):
+            # top-level subtrees are the unit of sharing: panel sections
+            # and pack/kernel ops recur across the shapes of a sweep
+            for child in root.children:
+                self._price_node(child, ctx, timing)
+        else:
+            self._price_node(root, ctx, timing)
+        return timing
+
+    def _price_node(self, node, ctx, timing: GemmTiming) -> None:
+        # hash-cons the subtree; the canonical key doubles as the memo
+        # key component, so interning and memoization always agree.
+        # Pricing walks the *original* node: interned representatives
+        # are shared and must stay read-only.
+        _, canon = self._pool.intern(node)
+        key = pricing_key(node, ctx, canonical=canon)
+        tape = self._memo.get(key)
+        if tape is None:
+            tape = self._recorder.record(node, ctx, timing)
+            self._memo.put(key, tape)
+        else:
+            _replay(tape, timing)
+
+    def cache_info(self) -> Dict[str, Any]:
+        """Hit/miss counters of the tape memo and the intern pool."""
+        return {"tapes": self._memo.info(), "interning": self._pool.info()}
+
+    def clear(self) -> None:
+        """Drop every memoized tape and interned subtree."""
+        self._memo.clear()
+        self._pool.clear()
+
+
+#: the process-wide batch pricer (single-threaded use, like ENGINE)
+BATCH_PRICER = BatchPricer()
+
+
+def price_plan(plan: ExecutionPlan,
+               engine: Optional[Engine] = None) -> GemmTiming:
+    """Price one plan through the shared batch memo."""
+    return BATCH_PRICER.price(plan, engine=engine)
+
+
+def price_batch(plans: Iterable[ExecutionPlan],
+                engine: Optional[Engine] = None) -> List[GemmTiming]:
+    """Price many plans; one GemmTiming per plan, golden-parity exact."""
+    return [BATCH_PRICER.price(plan, engine=engine) for plan in plans]
+
+
+def batch_pricing_cache_info() -> Dict[str, Any]:
+    """Counters of every cache on the batch pricing path.
+
+    ``tapes`` — memoized per-subtree charge tapes; ``interning`` — the
+    hash-consing pool; ``primitives`` — the memoized pricing primitives
+    (kernel sweeps, pack tradeoffs); ``steady_store`` — the persistent
+    steady-state store, when one is attached.
+    """
+    from ..pipeline.steadystore import store_stats
+
+    info = BATCH_PRICER.cache_info()
+    info["primitives"] = primitive_memo_info()
+    info["steady_store"] = store_stats()
+    return info
+
+
+def clear_batch_pricing_cache() -> None:
+    """Drop every batch-layer cache (tapes, intern pool, primitives)."""
+    from .engine import clear_primitive_memo
+
+    BATCH_PRICER.clear()
+    clear_primitive_memo()
+
+
+# ---------------------------------------------------------------------------
+# whole-grid pricing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GridPricing:
+    """Vectorized result of pricing one shape grid.
+
+    Arrays are indexed by grid position; ``timings`` holds the exact
+    per-plan :class:`GemmTiming` objects (golden-parity floats — the
+    arrays are views over the same values for numpy post-processing).
+    """
+
+    lib: str
+    threads: int
+    shapes: np.ndarray          #: (N, 3) int array of (m, n, k)
+    kernel_cycles: np.ndarray
+    pack_a_cycles: np.ndarray
+    pack_b_cycles: np.ndarray
+    sync_cycles: np.ndarray
+    other_cycles: np.ndarray
+    total_cycles: np.ndarray
+    executed_flops: np.ndarray
+    useful_flops: np.ndarray
+    timings: List[GemmTiming] = field(repr=False, default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.timings)
+
+    def flops_per_cycle(self) -> np.ndarray:
+        """Useful flops per cycle across the grid (vectorized)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(
+                self.total_cycles > 0,
+                self.useful_flops / self.total_cycles, 0.0,
+            )
+        return out
+
+    def gflops(self, freq_ghz: float) -> np.ndarray:
+        """Modeled GFLOP/s across the grid at ``freq_ghz``."""
+        return self.flops_per_cycle() * freq_ghz
+
+    def efficiency(self, peak_flops_per_cycle: float) -> np.ndarray:
+        """Fraction of peak across the grid."""
+        return self.flops_per_cycle() / peak_flops_per_cycle
+
+
+class ShapeGridPricer:
+    """Prices whole shape grids in one call through the batch layer.
+
+    Lowering is driver-memoized (one driver per (machine, lib, threads),
+    its kernel and steady-state caches warm across the grid) and pricing
+    runs through the shared tape memo, so a grid where only loop-trip
+    counts vary between structurally similar plans amortizes to one
+    model evaluation per distinct structure.
+    """
+
+    def __init__(self, machine, lib: str = "reference",
+                 threads: int = 1,
+                 engine: Optional[Engine] = None) -> None:
+        self.machine = machine
+        self.lib = lib
+        self.threads = threads
+        self.engine = engine if engine is not None else ENGINE
+
+    def lower(self, m: int, n: int, k: int) -> ExecutionPlan:
+        """Lower one shape with the memoized driver."""
+        from ..verify.planlint import lower_named
+
+        return lower_named(self.machine, self.lib, self.threads, m, n, k)
+
+    def price_grid(
+        self, shapes: Sequence[Tuple[int, int, int]]
+    ) -> GridPricing:
+        """Lower + price every shape; returns vectorized grid arrays."""
+        shape_list = [tuple(int(s) for s in shape) for shape in shapes]
+        plans = [self.lower(m, n, k) for (m, n, k) in shape_list]
+        timings = price_batch(plans, engine=self.engine)
+        arr = np.asarray(shape_list, dtype=np.int64).reshape(-1, 3)
+        column = lambda name: np.asarray(  # noqa: E731
+            [getattr(t, name) for t in timings], dtype=np.float64
+        )
+        return GridPricing(
+            lib=self.lib,
+            threads=self.threads,
+            shapes=arr,
+            kernel_cycles=column("kernel_cycles"),
+            pack_a_cycles=column("pack_a_cycles"),
+            pack_b_cycles=column("pack_b_cycles"),
+            sync_cycles=column("sync_cycles"),
+            other_cycles=column("other_cycles"),
+            total_cycles=np.asarray(
+                [t.total_cycles for t in timings], dtype=np.float64
+            ),
+            executed_flops=column("executed_flops"),
+            useful_flops=np.asarray(
+                [t.useful_flops for t in timings], dtype=np.float64
+            ),
+            timings=list(timings),
+        )
+
+    def cache_info(self) -> Dict[str, Any]:
+        """Counters of the caches this pricer runs on."""
+        return batch_pricing_cache_info()
+
+
+def skeleton_key(node) -> Tuple:
+    """Canonical structure with scalar trip counts masked.
+
+    Two plans share a skeleton when they differ only in integer loop
+    extents (``m``/``n``/``k``/``mc``/``rows``/``chunks``/...); the grid
+    pricer reports how many distinct skeletons a sweep touched.  This is
+    a *reporting* identity only — pricing caches always key on the full
+    canonical form, so different trip counts never share a tape.
+    """
+    canon = canonical_node(node)
+
+    def mask(value):
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int):
+            return "<int>"
+        if isinstance(value, str):
+            # labels embed trip counts too ("jit-sweep[100x100x4]")
+            return re.sub(r"\d+", "#", value)
+        if isinstance(value, tuple):
+            return tuple(mask(v) for v in value)
+        return value
+
+    return mask(canon)
+
+
+def skeleton_census(plans: Iterable[ExecutionPlan]) -> Dict[str, int]:
+    """(plans, distinct skeletons, distinct structures) over ``plans``."""
+    skeletons = set()
+    structures = set()
+    count = 0
+    for plan in plans:
+        count += 1
+        skeletons.add(skeleton_key(plan.root))
+        structures.add(
+            (context_token(plan.context), canonical_node(plan.root))
+        )
+    return {
+        "plans": count,
+        "skeletons": len(skeletons),
+        "structures": len(structures),
+    }

@@ -33,6 +33,7 @@ from ..parallel.sync import barrier_cycles
 from ..timing.breakdown import GemmTiming
 from ..util.errors import DriverError, KernelDesignError, ParallelError
 from ..util.validation import ceil_div
+from .fingerprint import BoundedMemo, context_token
 from .ir import (
     BarrierOp,
     CriticalPathOp,
@@ -74,6 +75,49 @@ class PricingContext:
 # ---------------------------------------------------------------------------
 # shared pricing primitives (also used by lowerings for adaptive decisions)
 # ---------------------------------------------------------------------------
+#
+# The expensive primitives (kernel sweeps, pack-vs-penalty searches,
+# fused-pack estimates) are memoized on (context token, arguments) in a
+# bounded LRU: each is a pure function of its arguments and the context's
+# model bindings, so a repeat call — lowerings make the same adaptive
+# decision for every recurring shape of a sweep, and pricing re-asks the
+# same question — returns the identical floats without re-running the
+# scheduler underneath.  Counters surface through
+# :func:`repro.plan.batch.batch_pricing_cache_info`.
+
+_PRIMITIVE_MEMO = BoundedMemo(maxsize=16384)
+
+
+def primitive_memo_info() -> dict:
+    """Hit/miss counters of the pricing-primitive memo."""
+    return _PRIMITIVE_MEMO.info()
+
+
+def clear_primitive_memo() -> None:
+    """Drop all memoized pricing-primitive results."""
+    _PRIMITIVE_MEMO.clear()
+
+
+def _memo_primitive(name: str, ctx: PricingContext, args: Tuple, compute):
+    key = (name, context_token(ctx), args)
+    hit = _PRIMITIVE_MEMO.get(key)
+    if hit is not None:
+        return hit
+    # second chance: the persistent steady store (when a batch entry
+    # point attached one to the analyzer) carries primitive results
+    # across processes — keys are pure primitives, values round-trip
+    # bit-exactly through JSON.
+    store = getattr(ctx.analyzer, "store", None)
+    if store is not None:
+        stored = store.get_primitive(key)
+        if stored is not None:
+            _PRIMITIVE_MEMO.put(key, stored)
+            return stored
+    value = compute()
+    _PRIMITIVE_MEMO.put(key, value)
+    if store is not None:
+        store.put_primitive(key, value)
+    return value
 
 
 def operand_residency(ctx: PricingContext, m: int, n: int, k: int) -> str:
@@ -103,6 +147,25 @@ def jit_sweep_cost(
     (e.g. 8x12 and 12x8) and keeps the cheaper plan; an explicit ``main``
     pins the tile (the tuner prices each candidate separately).
     """
+    pair = tuple(residency_pair) if residency_pair is not None else None
+    return _memo_primitive(
+        "jit_sweep_cost", ctx,
+        (m, n, k, packed_b, pair, repr(main) if main is not None else None),
+        lambda: _jit_sweep_cost_impl(
+            ctx, m, n, k, packed_b, residency_pair, main
+        ),
+    )
+
+
+def _jit_sweep_cost_impl(
+    ctx: PricingContext,
+    m: int,
+    n: int,
+    k: int,
+    packed_b: bool,
+    residency_pair: Optional[Tuple[Optional[str], Optional[str]]] = None,
+    main: Any = None,
+) -> Tuple[float, float]:
     candidates = (
         [main] if main is not None else ctx.jit.main_candidates(packed_b)
     )
@@ -203,6 +266,24 @@ def estimate_pack_tradeoff(
     main: Any = None,
 ) -> Tuple[float, float]:
     """(pack cycles, unpacked-kernel penalty cycles) for operand B."""
+    return _memo_primitive(
+        "estimate_pack_tradeoff", ctx,
+        (m, n, k, source_residency,
+         repr(main) if main is not None else None),
+        lambda: _estimate_pack_tradeoff_impl(
+            ctx, m, n, k, source_residency, main
+        ),
+    )
+
+
+def _estimate_pack_tradeoff_impl(
+    ctx: PricingContext,
+    m: int,
+    n: int,
+    k: int,
+    source_residency: Optional[str] = None,
+    main: Any = None,
+) -> Tuple[float, float]:
     panel = main if main is not None else ctx.jit.main_spec
     padded_b = k * ceil_div(n, panel.nr) * panel.nr
     source = source_residency or operand_residency(ctx, m, n, k)
@@ -236,6 +317,15 @@ def fused_pack_extra(
     ctx: PricingContext, m: int, n: int, k: int
 ) -> float:
     """Pack-B cost when fused into kernel execution (Fig. 11)."""
+    return _memo_primitive(
+        "fused_pack_extra", ctx, (m, n, k),
+        lambda: _fused_pack_extra_impl(ctx, m, n, k),
+    )
+
+
+def _fused_pack_extra_impl(
+    ctx: PricingContext, m: int, n: int, k: int
+) -> float:
     itemsize = ctx.itemsize
     main = ctx.jit.main_spec
     padded = k * ceil_div(n, main.nr) * main.nr
@@ -293,6 +383,20 @@ class Engine:
 
             assert_plan_ok(plan)
         return self._price(plan, sink)
+
+    def price_batch(self, plans) -> list:
+        """Price many plans through the memoized batch layer.
+
+        Returns one :class:`GemmTiming` per plan, bit-for-bit equal to
+        pricing each plan alone with :meth:`price` (the batch layer
+        replays recorded charge tapes in the engine's own accumulation
+        order — see :mod:`repro.plan.batch`).  The engine's
+        verify-before-price gate applies per plan exactly as in
+        :meth:`price`.
+        """
+        from .batch import price_batch
+
+        return price_batch(plans, engine=self)
 
     def _price(
         self, plan: ExecutionPlan, sink: Optional[TraceSink] = None
@@ -375,6 +479,12 @@ class Engine:
             sink.emit(TraceEvent(
                 "flops", node.label, detail={"executed_flops": executed},
             ))
+
+    def _add_useful(self, timing, useful):
+        timing.useful_flops += useful
+
+    def _add_extra(self, timing, key, value):
+        timing.extra[key] = timing.extra.get(key, 0.0) + value
 
     # -- op pricing ---------------------------------------------------------
 
@@ -579,7 +689,7 @@ class Engine:
                     detail=_meta_detail(sub),
                 ))
             t = self._price(sub, sink=None)
-            timing.useful_flops += t.useful_flops
+            self._add_useful(timing, t.useful_flops)
             self._charge(timing, sink, node, "kernel", t.kernel_cycles)
             self._charge(timing, sink, node, "pack_a", t.pack_a_cycles)
             self._charge(timing, sink, node, "pack_b", t.pack_b_cycles)
@@ -587,7 +697,7 @@ class Engine:
             self._charge(timing, sink, node, "other", t.other_cycles)
             self._add_executed(timing, sink, node, t.executed_flops)
             for key, val in t.extra.items():
-                timing.extra[key] = timing.extra.get(key, 0.0) + val
+                self._add_extra(timing, key, val)
 
 
 def _meta_detail(plan: ExecutionPlan) -> dict:

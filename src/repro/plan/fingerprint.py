@@ -1,0 +1,354 @@
+"""Structural plan identity: canonical keys, fingerprints, hash-consing.
+
+One module owns the notion of "two plans are the same": the verifier's
+memo (PR 6) and the batch pricing layer key their caches off the
+canonical forms built here, so a cache can never confuse two plans the
+other layer would distinguish.
+
+* :func:`canonical_node` / :func:`canonical_plan_body` — hashable,
+  structure-preserving identity of an op tree / a whole plan.  Keys are
+  rebuilt from *current* field values on every call, so in-place node
+  mutation (the lint self-checks mutate real plans) always changes the
+  key and can never resurrect a stale cached verdict or price.
+* :func:`machine_token` / :func:`context_token` — stable string identity
+  of the machine model / the full :class:`~repro.plan.engine.PricingContext`
+  a plan is priced against.  Pricing caches key on the context token:
+  two structurally identical plans priced against different cache
+  sharing, packing models or JIT factories never share an entry.
+* :func:`node_fingerprint` / :func:`plan_fingerprint` — the same
+  identities digested to 16 hex chars (stable across processes for
+  logging and persisted stores).
+* :class:`InternPool` — hash-consing of op subtrees: structurally equal
+  nodes across an M-N-K sweep intern to one representative, so
+  per-subtree work (pricing, verification) runs once per *structure*
+  rather than once per plan.
+* :class:`BoundedMemo` — the bounded LRU with hit/miss counters every
+  cache in the verify and batch layers uses.
+
+Nothing here imports the engine or verifier; both import this module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+#: field values hashed verbatim in canonical keys
+PRIMITIVES = (type(None), bool, int, float, str)
+
+
+def canonical_value(value: Any) -> Any:
+    """Hashable, structure-preserving token for one node field value."""
+    if isinstance(value, PRIMITIVES):
+        return value
+    if isinstance(value, (tuple, list)):
+        return tuple(canonical_value(v) for v in value)
+    return repr(value)
+
+
+def canonical_node(node: Any) -> Tuple:
+    """Recursive structural identity of one op-tree node."""
+    kind = getattr(node, "kind", node.__class__.__name__)
+    fields: List[Tuple[str, Any]] = []
+    if dataclasses.is_dataclass(node):
+        for f in dataclasses.fields(node):
+            if f.name in ("children", "subplans"):
+                continue
+            fields.append(
+                (f.name, canonical_value(getattr(node, f.name)))
+            )
+    children = tuple(
+        canonical_node(c) for c in getattr(node, "children", ())
+    )
+    subplans = getattr(node, "subplans", None)
+    if isinstance(subplans, dict):
+        subs = tuple(
+            (canonical_value(key), canonical_plan_body(sub))
+            for key, sub in sorted(subplans.items())
+        )
+    elif isinstance(subplans, (tuple, list)):
+        subs = tuple(canonical_plan_body(sub) for sub in subplans)
+    else:
+        subs = ()
+    return (str(kind), tuple(fields), children, subs)
+
+
+def canonical_plan_body(plan: Any) -> Tuple:
+    """Structural identity of a plan: analysis-relevant meta + tree."""
+    meta = plan.meta if isinstance(plan.meta, dict) else {}
+    return (
+        canonical_value(meta.get("driver")),
+        canonical_value(meta.get("shape")),
+        meta.get("threads") if isinstance(meta.get("threads"), int)
+        else None,
+        meta.get("useful_flops")
+        if isinstance(meta.get("useful_flops"), int) else None,
+        canonical_value(meta.get("batch")),
+        canonical_value(meta.get("provenance")),
+        canonical_node(plan.root),
+    )
+
+
+# ---------------------------------------------------------------------------
+# machine / context identity tokens
+# ---------------------------------------------------------------------------
+#
+# Model reprs are stable (the machine config and kernel specs are frozen
+# dataclasses; model classes expose only scalar configuration publicly)
+# but expensive, so tokens are cached by object id.  The strong reference
+# held next to each token keeps the id from being reused by a new object.
+
+_TOKENS: "OrderedDict[int, Tuple[Any, str]]" = OrderedDict()
+_TOKEN_LIMIT = 8192
+
+
+def _cached_token(obj: Any, build) -> str:
+    cached = _TOKENS.get(id(obj))
+    if cached is not None and cached[0] is obj:
+        return cached[1]
+    token = build(obj)
+    _TOKENS[id(obj)] = (obj, token)
+    while len(_TOKENS) > _TOKEN_LIMIT:
+        _TOKENS.popitem(last=False)
+    return token
+
+
+def _model_token(obj: Any, depth: int = 0) -> str:
+    """Stable configuration identity of one model object.
+
+    Dataclasses and primitives token as their reprs; other model objects
+    token as their class name plus their public, non-callable attributes
+    (counters named ``stats`` and underscore-prefixed caches are state,
+    not configuration, and are skipped).
+    """
+    if obj is None or isinstance(obj, PRIMITIVES):
+        return repr(obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        # not repr(obj): a dataclass holding model objects would embed
+        # their default `<... at 0x...>` reprs, making the token
+        # process-specific and useless as a persistent-store key.
+        def build_dc(target: Any) -> str:
+            parts = [
+                f"{f.name}={_model_token(getattr(target, f.name), depth + 1)}"
+                for f in dataclasses.fields(target)
+            ]
+            return f"{type(target).__qualname__}({', '.join(parts)})"
+
+        return _cached_token(obj, build_dc)
+    cls = type(obj).__qualname__
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is None or depth >= 3:
+        return f"{cls}:{obj!r}"
+
+    def build(target: Any) -> str:
+        parts = []
+        for name in sorted(vars(target)):
+            if name.startswith("_") or name == "stats":
+                continue
+            value = getattr(target, name)
+            if callable(value):
+                continue
+            parts.append(f"{name}={_model_token(value, depth + 1)}")
+        return f"{cls}({', '.join(parts)})"
+
+    return _cached_token(obj, build)
+
+
+def machine_token(machine: Any) -> str:
+    """Stable identity string of one machine model (repr, id-cached)."""
+    if machine is None:
+        return "<no-machine>"
+    return _cached_token(machine, repr)
+
+
+def model_token(obj: Any) -> str:
+    """Public entry to :func:`_model_token` for non-plan cost models."""
+    return _model_token(obj)
+
+
+def context_machine_token(ctx: Any) -> str:
+    """The machine token of a plan's pricing context (verifier key)."""
+    return machine_token(getattr(ctx, "machine", None))
+
+
+def context_token(ctx: Any) -> str:
+    """Full identity of a :class:`PricingContext`'s model bindings.
+
+    Everything the pricing of a node can read from the context is in the
+    token; two contexts with equal tokens price any node identically.
+    """
+    if ctx is None:
+        return "<no-context>"
+    return _cached_token(ctx, lambda c: _model_token(c))
+
+
+def _digest(raw: str) -> str:
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+
+def node_fingerprint(node: Any, ctx: Any = None) -> str:
+    """16-hex digest of one subtree's structure (optionally with context)."""
+    if ctx is None:
+        return _digest(repr(canonical_node(node)))
+    return _digest(repr((context_token(ctx), canonical_node(node))))
+
+
+def plan_fingerprint(plan: Any, label: Optional[str] = None) -> str:
+    """Stable 16-hex-digit identity of (plan structure, machine).
+
+    Two plans share a fingerprint iff the analyzer would produce the
+    same report for both — the verification memo key, digested.
+    """
+    raw = repr(verification_key(plan, label))
+    return _digest(raw)
+
+
+def verification_key(plan: Any, label: Optional[str] = None) -> Tuple:
+    """The verifier's memo key: (label, machine, canonical plan body)."""
+    return (label, context_machine_token(plan.context),
+            canonical_plan_body(plan))
+
+
+def _subplan_context_tokens(node: Any, out: List[str]) -> None:
+    """Context tokens of nested sub-plans, in deterministic walk order.
+
+    Critical-path and merge sub-plans carry their *own* contexts (the
+    multithreaded lowerings bind per-thread cache sharing), which the
+    canonical body deliberately omits — pricing keys must include them.
+    """
+    for child in getattr(node, "children", ()):
+        _subplan_context_tokens(child, out)
+    subplans = getattr(node, "subplans", None)
+    if isinstance(subplans, dict):
+        subs = [sub for _, sub in sorted(subplans.items())]
+    elif isinstance(subplans, (tuple, list)):
+        subs = list(subplans)
+    else:
+        subs = []
+    for sub in subs:
+        out.append(context_token(sub.context))
+        _subplan_context_tokens(sub.root, out)
+
+
+def nested_context_tokens(node: Any) -> Tuple[str, ...]:
+    """Context tokens of every sub-plan under ``node``, in walk order."""
+    out: List[str] = []
+    _subplan_context_tokens(node, out)
+    return tuple(out)
+
+
+def pricing_key(node: Any, ctx: Any, useful_flops: Any = None,
+                canonical: Optional[Tuple] = None) -> Tuple:
+    """Memo key for pricing one subtree under one context.
+
+    ``(context token, nested sub-plan context tokens, canonical
+    subtree)`` — everything :meth:`Engine._node` can read.  The optional
+    ``useful_flops`` pins plan-level metadata for whole-plan keys;
+    ``canonical`` reuses an already-computed :func:`canonical_node`.
+    """
+    return (
+        context_token(ctx), nested_context_tokens(node),
+        useful_flops if isinstance(useful_flops, int) else None,
+        canonical if canonical is not None else canonical_node(node),
+    )
+
+
+# ---------------------------------------------------------------------------
+# bounded LRU + hash-consing pool
+# ---------------------------------------------------------------------------
+
+
+class BoundedMemo:
+    """Bounded LRU with hit/miss counters (the shape of every plan cache)."""
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._store: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def get(self, key: Any) -> Optional[Any]:
+        """The cached value (refreshing its LRU slot), or None."""
+        value = self._store.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert a value, evicting least-recently-used past maxsize."""
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._store.clear()
+        self.hits = self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def info(self) -> Dict[str, int]:
+        """Counter snapshot: hits, misses, size, maxsize."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._store),
+            "maxsize": self.maxsize,
+        }
+
+
+class InternPool:
+    """Hash-consing of plan subtrees by structural identity.
+
+    :meth:`intern` returns one representative node per structure: the
+    first node seen with a given canonical form.  Callers must treat
+    interned nodes as read-only (they are shared).  Two nodes differing
+    in *any* field — including scalar loop-trip counts like ``kc`` or
+    per-thread ``chunks`` — have different canonical forms and never
+    merge; the property tests pin this.
+    """
+
+    def __init__(self, maxsize: int = 16384) -> None:
+        self.maxsize = maxsize
+        self.requests = 0
+        self._store: "OrderedDict[Tuple, Any]" = OrderedDict()
+
+    def intern(self, node: Any) -> Tuple[Any, Tuple]:
+        """(representative node, canonical key) for ``node``."""
+        self.requests += 1
+        key = canonical_node(node)
+        kept = self._store.get(key)
+        if kept is not None:
+            self._store.move_to_end(key)
+            return kept, key
+        self._store[key] = node
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+        return node, key
+
+    @property
+    def unique(self) -> int:
+        """Distinct structures currently interned."""
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop every interned representative and reset counters."""
+        self._store.clear()
+        self.requests = 0
+
+    def info(self) -> Dict[str, int]:
+        """Counter snapshot: requests, unique structures, shared hits."""
+        shared = self.requests - self.unique
+        return {
+            "requests": self.requests,
+            "unique": self.unique,
+            "shared": max(shared, 0),
+            "maxsize": self.maxsize,
+        }

@@ -35,6 +35,7 @@ from ..kernels.design import candidate_tiles
 from ..kernels.generator import KernelSpec
 from ..machine.config import MachineConfig
 from ..parallel.partition import factorization_candidates
+from ..plan.batch import price_plan
 from ..util.errors import DriverError, KernelDesignError, ReproError
 from ..verify import KernelVerifier, PlanDiagnostic, verify_plan
 from .cache import TuningCache, plan_key
@@ -230,7 +231,11 @@ class AdaptiveTuner:
                 # the findings so the CLI can attribute the rejection
                 self.last_rejections.extend(report.errors)
                 continue
-            timing = plan.price()
+            # batch pricing layer: candidate plans for one bucket share
+            # most of their subtrees, so memoized charge tapes make the
+            # search sublinear in candidates (bit-for-bit equal to
+            # plan.price(), see tests/test_plan_batch.py)
+            timing = price_plan(plan)
             cycles = timing.total_cycles
             if best is None or cycles < best[0]:
                 best = (cycles, spec, packed_b, fact, timing)

@@ -10,10 +10,15 @@ root:
   verification-memo counters;
 * **pricing** — plans priced per second over every golden driver on the
   edge-shape set, with the engine's verify-before-price gate on (the
-  end-to-end cost a batch/serve layer would pay per plan).
+  end-to-end cost a batch/serve layer would pay per plan);
+* **batch sweep** — the same golden plan set priced through the batch
+  layer (:mod:`repro.plan.batch`), cold then warm, with the tape /
+  interning / primitive cache counters (docs/PERFORMANCE.md).
 
-One JSON file per revision seeds the perf-trajectory store: compare two
-files to see whether an analyzer or engine change moved either number.
+All measurements run with the persistent steady-state store attached —
+the configuration ``repro lint --plans`` ships with.  One JSON file per
+revision seeds the perf-trajectory store: compare two files to see
+whether an analyzer or engine change moved any number.
 
 Run as ``python -m repro.util.benchrecord [--rev REV] [--output PATH]``.
 """
@@ -96,14 +101,50 @@ def measure_pricing(machine) -> Dict[str, object]:
     }
 
 
+def measure_batch_sweep(machine) -> Dict[str, object]:
+    """Batch-pricing throughput over the golden plan set, cold and warm.
+
+    Cold prices through freshly-recorded charge tapes; warm replays
+    them.  The gap is the headroom memoization buys a grid sweep (the
+    tuner's candidate search and ``ShapeGridPricer`` ride the same
+    caches).
+    """
+    from ..plan import (
+        batch_pricing_cache_info,
+        clear_batch_pricing_cache,
+        price_batch,
+    )
+    from ..verify.planlint import golden_plan_cases
+
+    plans = [plan for _, _, _, plan in golden_plan_cases(machine)]
+    clear_batch_pricing_cache()
+    start = time.perf_counter()
+    price_batch(plans)
+    cold = time.perf_counter() - start
+    start = time.perf_counter()
+    price_batch(plans)
+    warm = time.perf_counter() - start
+    return {
+        "plans": len(plans),
+        "cold_seconds": round(cold, 3),
+        "warm_seconds": round(warm, 3),
+        "cold_plans_per_second": round(len(plans) / cold, 1) if cold else 0.0,
+        "warm_plans_per_second": round(len(plans) / warm, 1) if warm else 0.0,
+        "cache": batch_pricing_cache_info(),
+    }
+
+
 def record(rev: Optional[str] = None,
            output: Optional[str] = None) -> Path:
-    """Measure both numbers and write ``BENCH_<rev>.json``."""
+    """Measure all three numbers and write ``BENCH_<rev>.json``."""
+    from ..blas.base import shared_analyzer
     from ..machine import phytium2000plus
+    from ..pipeline import attach_steady_store, save_attached_stores
     from ..verify import RULE_CATALOG_VERSION
 
     rev = rev or _current_rev()
     machine = phytium2000plus()
+    attach_steady_store(shared_analyzer(machine))
     payload = {
         "rev": rev,
         "machine_model": machine.name,
@@ -111,7 +152,9 @@ def record(rev: Optional[str] = None,
         "rule_catalog_version": RULE_CATALOG_VERSION,
         "lint_sweep": measure_lint_sweep(machine),
         "pricing": measure_pricing(machine),
+        "batch_sweep": measure_batch_sweep(machine),
     }
+    save_attached_stores()
     path = Path(output) if output else Path(f"BENCH_{rev}.json")
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

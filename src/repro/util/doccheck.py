@@ -1,0 +1,119 @@
+"""Documentation link checker: every repo-relative reference must resolve.
+
+The guides under ``docs/`` and the top-level narrative documents point at
+source files, tests and each other constantly (markdown links and
+backtick references like ``tests/test_plan_batch.py``).  Renaming a file
+silently strands those pointers; this checker walks the documents,
+extracts every reference that looks repo-relative, and fails when one no
+longer resolves.  ``make docs-check`` runs it next to the API-reference
+freshness gate (:mod:`repro.util.apidoc`), and ``make check`` runs both.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: documents scanned: the guides plus the cross-referenced narratives
+DOC_GLOBS = ("docs/*.md",)
+DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md")
+
+#: names that look like file references but are command outputs or
+#: files of *other* repositories mentioned by name
+SKIP_NAMES = frozenset({"REPORT.md", "eval.py"})
+
+#: markdown inline link targets: [text](target)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: backtick path references, optionally with a ::test-id suffix
+_PATH_REF = re.compile(
+    r"`([A-Za-z0-9_.\-/]+\.(?:md|py|json|toml))(?:::[A-Za-z0-9_:\[\]]+)?`"
+)
+
+#: link schemes that are not filesystem paths
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_doc_files(root: Path) -> Iterator[Path]:
+    """The markdown documents the checker covers, in sorted order."""
+    seen = []
+    for pattern in DOC_GLOBS:
+        seen.extend(root.glob(pattern))
+    for name in DOC_FILES:
+        path = root / name
+        if path.exists():
+            seen.append(path)
+    return iter(sorted(set(seen)))
+
+
+def extract_references(text: str) -> List[str]:
+    """Repo-relative reference candidates in one document's text.
+
+    Markdown link targets (external schemes and pure anchors skipped)
+    plus backtick file references; ``::test`` suffixes and ``#fragment``
+    parts are stripped so the result is a plain path candidate.
+    """
+    refs = []
+    for target in _LINK.findall(text):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        refs.append(target.split("#", 1)[0])
+    refs.extend(_PATH_REF.findall(text))
+    return [r for r in refs if r and r not in SKIP_NAMES]
+
+
+def _resolves(ref: str, doc: Path, root: Path) -> bool:
+    # a reference may be rooted at the repo, at the document's own
+    # directory, or (module-style shorthand like `verify/races.py`)
+    # inside the package source tree
+    candidates = [root / ref, doc.parent / ref]
+    if "/" in ref:
+        candidates.append(root / "src" / "repro" / ref)
+    else:
+        # bare names (`conftest.py`) are anchored wherever they exist
+        candidates.extend(root.glob(f"**/{ref}"))
+    return any(c.exists() for c in candidates)
+
+
+def broken_references(root: Path) -> List[Tuple[str, str]]:
+    """(document, reference) pairs that no longer resolve to a file."""
+    broken = []
+    for doc in iter_doc_files(root):
+        for ref in extract_references(doc.read_text()):
+            if not _resolves(ref, doc, root):
+                broken.append((str(doc.relative_to(root)), ref))
+    return broken
+
+
+def check(root: Path) -> int:
+    """Print a verdict for every scanned document; non-zero on breakage."""
+    docs = list(iter_doc_files(root))
+    broken = broken_references(root)
+    if broken:
+        print(f"BROKEN REFERENCES ({len(broken)}):")
+        for doc, ref in broken:
+            print(f"  - {doc}: {ref}")
+        return 1
+    print(f"ok: {len(docs)} document(s), all repo-relative references "
+          "resolve")
+    return 0
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin CLI wrapper
+    """Check every repo-relative reference in the documentation set."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro.util.doccheck")
+    parser.add_argument(
+        "--root", default=None,
+        help="repository root (default: three levels above this file)",
+    )
+    args = parser.parse_args(argv)
+    root = (Path(args.root) if args.root
+            else Path(__file__).resolve().parents[3])
+    return check(root)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -43,6 +43,7 @@ from .planlint import (
     golden_plan_cases,
     plan_fingerprint,
     plan_self_check,
+    shared_driver,
     verification_cache_info,
     verify_plan,
 )
@@ -107,6 +108,7 @@ __all__ = [
     "verification_cache_info",
     "clear_verification_cache",
     "golden_plan_cases",
+    "shared_driver",
     "Interval",
     "Access",
     "OperandModel",

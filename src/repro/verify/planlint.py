@@ -36,11 +36,16 @@ controls — every rule must fire on its injected violation) and
 from __future__ import annotations
 
 import dataclasses
-import hashlib
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from ..plan.fingerprint import (
+    BoundedMemo,
+    canonical_plan_body,
+    context_machine_token,
+    plan_fingerprint,
+    verification_key,
+)
 from ..plan.ir import (
     BarrierOp,
     CriticalPathOp,
@@ -136,138 +141,21 @@ def _gemm_shape(meta: Dict[str, Any]) -> Optional[Tuple[int, int, int]]:
 # ---------------------------------------------------------------------------
 #
 # The analysis is a pure function of (plan structure, metadata, machine),
-# so results are memoized on a canonical structural key.  The key is
-# recomputed on every call from the *current* field values — mutating a
-# node in place (the mutation self-checks do) changes the key, never
-# returns a stale verdict.  This is the first concrete step toward the
-# ROADMAP's hash-consing of plan subtrees: :func:`plan_fingerprint`
+# so results are memoized on a canonical structural key — built by
+# :mod:`repro.plan.fingerprint`, the module the batch pricing layer keys
+# its caches off too, so both layers agree on what "the same plan"
+# means.  The key is recomputed on every call from the *current* field
+# values — mutating a node in place (the mutation self-checks do)
+# changes the key, never returns a stale verdict.
+# :func:`~repro.plan.fingerprint.plan_fingerprint` (re-exported here)
 # exposes the same identity as a stable hex digest.
 
-_PRIMITIVES = (type(None), bool, int, float, str)
+# backwards-compatible aliases (pre-split internal names)
+_canonical_plan_body = canonical_plan_body
+_machine_token = context_machine_token
+_memo_key = verification_key
 
-
-def _canonical_value(value: Any) -> Any:
-    """Hashable, structure-preserving token for one node field value."""
-    if isinstance(value, _PRIMITIVES):
-        return value
-    if isinstance(value, (tuple, list)):
-        return tuple(_canonical_value(v) for v in value)
-    return repr(value)
-
-
-def _canonical_node(node: Any) -> Tuple:
-    """Recursive structural identity of one op-tree node."""
-    kind = getattr(node, "kind", node.__class__.__name__)
-    fields: List[Tuple[str, Any]] = []
-    if dataclasses.is_dataclass(node):
-        for f in dataclasses.fields(node):
-            if f.name in ("children", "subplans"):
-                continue
-            fields.append(
-                (f.name, _canonical_value(getattr(node, f.name)))
-            )
-    children = tuple(
-        _canonical_node(c) for c in getattr(node, "children", ())
-    )
-    subplans = getattr(node, "subplans", None)
-    if isinstance(subplans, dict):
-        subs = tuple(
-            (_canonical_value(key), _canonical_plan_body(sub))
-            for key, sub in sorted(subplans.items())
-        )
-    elif isinstance(subplans, (tuple, list)):
-        subs = tuple(_canonical_plan_body(sub) for sub in subplans)
-    else:
-        subs = ()
-    return (str(kind), tuple(fields), children, subs)
-
-
-def _canonical_plan_body(plan: ExecutionPlan) -> Tuple:
-    """Structural identity of a plan: analysis-relevant meta + tree."""
-    meta = plan.meta if isinstance(plan.meta, dict) else {}
-    return (
-        _canonical_value(meta.get("driver")),
-        _canonical_value(meta.get("shape")),
-        meta.get("threads") if isinstance(meta.get("threads"), int)
-        else None,
-        meta.get("useful_flops")
-        if isinstance(meta.get("useful_flops"), int) else None,
-        _canonical_value(meta.get("batch")),
-        _canonical_value(meta.get("provenance")),
-        _canonical_node(plan.root),
-    )
-
-
-#: machine identity tokens, cached by object id (MachineConfig reprs are
-#: stable but expensive; the strong reference keeps ids from being reused)
-_MACHINE_TOKENS: Dict[int, Tuple[Any, str]] = {}
-
-
-def _machine_token(ctx: Any) -> str:
-    machine = getattr(ctx, "machine", None)
-    if machine is None:
-        return "<no-machine>"
-    cached = _MACHINE_TOKENS.get(id(machine))
-    if cached is None or cached[0] is not machine:
-        cached = (machine, repr(machine))
-        _MACHINE_TOKENS[id(machine)] = cached
-    return cached[1]
-
-
-def _memo_key(plan: ExecutionPlan, label: Optional[str]) -> Tuple:
-    return (label, _machine_token(plan.context),
-            _canonical_plan_body(plan))
-
-
-class _VerifyMemo:
-    """Bounded LRU of :class:`PlanLintReport` results by structural key."""
-
-    def __init__(self, maxsize: int = 4096) -> None:
-        self.maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
-        self._store: "OrderedDict[Tuple, PlanLintReport]" = OrderedDict()
-
-    def get(self, key: Tuple) -> Optional[PlanLintReport]:
-        report = self._store.get(key)
-        if report is None:
-            self.misses += 1
-            return None
-        self._store.move_to_end(key)
-        self.hits += 1
-        return report
-
-    def put(self, key: Tuple, report: PlanLintReport) -> None:
-        self._store[key] = report
-        self._store.move_to_end(key)
-        while len(self._store) > self.maxsize:
-            self._store.popitem(last=False)
-
-    def clear(self) -> None:
-        self._store.clear()
-        self.hits = self.misses = 0
-
-    def info(self) -> Dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "size": len(self._store),
-            "maxsize": self.maxsize,
-        }
-
-
-_VERIFY_MEMO = _VerifyMemo()
-
-
-def plan_fingerprint(plan: ExecutionPlan,
-                     label: Optional[str] = None) -> str:
-    """Stable 16-hex-digit identity of (plan structure, machine).
-
-    Two plans share a fingerprint iff the analyzer would produce the
-    same report for both — the memoization key, digested.
-    """
-    raw = repr(_memo_key(plan, label)).encode("utf-8")
-    return hashlib.sha256(raw).hexdigest()[:16]
+_VERIFY_MEMO = BoundedMemo(maxsize=4096)
 
 
 def verification_cache_info() -> Dict[str, int]:
@@ -991,23 +879,43 @@ def inject_bad_plan(machine) -> Tuple[str, ExecutionPlan]:
 # ---------------------------------------------------------------------------
 
 
-def lower_named(machine, lib: str, threads: int,
-                m: int, n: int, k: int) -> ExecutionPlan:
-    """Lower one (driver, threads, shape) case like the golden recorder."""
+#: drivers reused across a sweep, keyed by (machine identity, lib,
+#: threads).  A fresh driver per case would re-run the JIT tile search
+#: and lose every kernel/steady-state cache between shapes — the
+#: dominant cost of the golden sweep.  Drivers are stateless w.r.t. the
+#: plans they lower (each ``plan_gemm`` builds a fresh context), so
+#: sharing one per configuration is exactly what real callers do.
+_DRIVER_MEMO = BoundedMemo(maxsize=64)
+
+
+def shared_driver(machine, lib: str, threads: int):
+    """The memoized driver instance for one (machine, lib, threads)."""
     from ..blas import make_driver
     from ..core import ReferenceSmmDriver
     from ..parallel import MultithreadedGemm
+    from ..plan.fingerprint import machine_token
 
+    key = (machine_token(machine), lib, threads)
+    driver = _DRIVER_MEMO.get(key)
+    if driver is not None:
+        return driver
     if lib in ("reference", "reference-fused"):
         driver = ReferenceSmmDriver(
             machine, threads=threads,
             fused_packing=(lib == "reference-fused"),
         )
-        return driver.plan_gemm(m, n, k)
-    if threads > 1:
-        return MultithreadedGemm(machine, lib, threads=threads) \
-            .plan_gemm(m, n, k)
-    return make_driver(lib, machine).plan_gemm(m, n, k)
+    elif threads > 1:
+        driver = MultithreadedGemm(machine, lib, threads=threads)
+    else:
+        driver = make_driver(lib, machine)
+    _DRIVER_MEMO.put(key, driver)
+    return driver
+
+
+def lower_named(machine, lib: str, threads: int,
+                m: int, n: int, k: int) -> ExecutionPlan:
+    """Lower one (driver, threads, shape) case like the golden recorder."""
+    return shared_driver(machine, lib, threads).plan_gemm(m, n, k)
 
 
 def golden_plan_cases(

@@ -142,6 +142,26 @@ def parse_shape_range(spec: str) -> List[Shape]:
     return [(s, s, s) for s in range(lo, hi + 1, step)]
 
 
+def priced_grid(machine, shapes: List[Shape], lib: str = "reference",
+                threads: int = 1):
+    """Price one shape grid in a single batch call.
+
+    Thin sugar over :class:`repro.plan.ShapeGridPricer` so workload and
+    benchmark sweeps get vectorized per-phase cycle arrays (and the
+    memoized charge tapes behind them) without touching drivers
+    directly::
+
+        grid = priced_grid(machine, fig5a_square())
+        eff = grid.efficiency(peak_flops_per_cycle)
+
+    Deferred import: this module stays a dependency-free shape catalog
+    for everything that only needs the grids.
+    """
+    from ..plan import ShapeGridPricer
+
+    return ShapeGridPricer(machine, lib=lib, threads=threads).price_grid(shapes)
+
+
 def tuned_sweep_shapes(kind: str = "square") -> List[Shape]:
     """The shape grid a tuner-backed sweep covers for one paper figure.
 

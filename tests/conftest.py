@@ -14,6 +14,26 @@ from repro.util import make_rng
 
 
 @pytest.fixture(scope="session", autouse=True)
+def _steady_store_sandbox(tmp_path_factory):
+    """Keep the persistent steady-state store out of the repo root.
+
+    Anything under test that attaches a store (the lint CLI, the
+    benchmark recorder) writes to a session-scoped temp file instead of
+    ``.repro_steady_cache.json`` in the working directory.
+    """
+    import os
+
+    path = tmp_path_factory.mktemp("steady") / "steady_cache.json"
+    previous = os.environ.get("REPRO_STEADY_CACHE")
+    os.environ["REPRO_STEADY_CACHE"] = str(path)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_STEADY_CACHE", None)
+    else:
+        os.environ["REPRO_STEADY_CACHE"] = previous
+
+
+@pytest.fixture(scope="session", autouse=True)
 def _plan_verify_gate():
     """Every plan priced by the suite passes the V3xx analyzer first."""
     previous = ENGINE.verify

@@ -101,7 +101,8 @@ class TestPlanLintCommand:
     def test_single_shape_all_drivers_clean(self, capsys):
         assert main(["lint", "--plans", "24", "16", "8"]) == 0
         out = capsys.readouterr().out
-        assert "OK: 6 plans, 0 finding(s)" in out
+        assert "OK: 6 plans priced in" in out
+        assert "0 finding(s)" in out
         for lib in ("openblas", "blis", "eigen", "blasfeo",
                     "reference", "reference-fused"):
             assert lib in out
@@ -110,7 +111,8 @@ class TestPlanLintCommand:
         assert main(["lint", "--plans", "80", "2048", "2048",
                      "--lib", "blis", "--threads", "64"]) == 0
         out = capsys.readouterr().out
-        assert "OK: 1 plans, 0 finding(s)" in out
+        assert "OK: 1 plans priced in" in out
+        assert "0 finding(s)" in out
 
     def test_bad_shape_arity_exits_two(self, capsys):
         assert main(["lint", "--plans", "24", "16"]) == 2
@@ -147,9 +149,23 @@ class TestPlanLintCommand:
         assert case["shape"] == [5, 3, 2]
         assert case["diagnostics"] == [] and case["ok"]
 
-    def test_plan_text_reports_memo(self, capsys):
+    def test_plan_json_reports_sweep_time_and_batch_caches(self, capsys):
+        assert main(["lint", "--plans", "5", "3", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload["sweep_seconds"], float)
+        assert payload["sweep_seconds"] > 0.0
+        batch = payload["batch"]
+        for section in ("tapes", "interning", "primitives", "steady_store"):
+            assert section in batch
+        assert set(batch["tapes"]) >= {"hits", "misses", "size", "maxsize"}
+        assert batch["interning"]["requests"] >= batch["interning"]["unique"]
+
+    def test_plan_text_reports_memo_and_batch(self, capsys):
         assert main(["lint", "--plans", "24", "16", "8"]) == 0
-        assert "verification memo:" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "verification memo:" in out
+        assert "batch pricing:" in out
+        assert "hit rate" in out
 
     def test_self_check_json_payload(self, capsys):
         assert main(["lint", "--plans", "--self-check", "--json"]) == 0

@@ -1,0 +1,55 @@
+"""Documentation link checker: extraction, resolution, the repo itself."""
+
+from pathlib import Path
+
+from repro.util.doccheck import (
+    broken_references,
+    check,
+    extract_references,
+)
+
+
+class TestExtraction:
+    def test_markdown_links_and_backtick_paths(self):
+        text = (
+            "See [the guide](docs/PERFORMANCE.md#cache) and "
+            "`tests/test_plan_batch.py::TestInvalidation`; external "
+            "[link](https://example.com) and [anchor](#here) are skipped, "
+            "as is the `REPORT.md` a command writes."
+        )
+        refs = extract_references(text)
+        assert "docs/PERFORMANCE.md" in refs
+        assert "tests/test_plan_batch.py" in refs
+        assert not any(r.startswith("http") or r.startswith("#")
+                       for r in refs)
+        assert "REPORT.md" not in refs
+
+    def test_plain_prose_yields_nothing(self):
+        assert extract_references("run `make bench-record` twice") == []
+
+
+class TestResolution:
+    def test_broken_reference_is_reported(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "GUIDE.md").write_text(
+            "see `docs/MISSING.md` and [ok](GUIDE.md)\n"
+        )
+        broken = broken_references(tmp_path)
+        assert broken == [("docs/GUIDE.md", "docs/MISSING.md")]
+        assert check(tmp_path) == 1
+
+    def test_module_style_shorthand_resolves_via_src(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        pkg = tmp_path / "src" / "repro" / "verify"
+        pkg.mkdir(parents=True)
+        (pkg / "races.py").write_text("")
+        (docs / "GUIDE.md").write_text("see `verify/races.py`\n")
+        assert broken_references(tmp_path) == []
+
+
+class TestRepository:
+    def test_repo_docs_have_no_broken_references(self):
+        root = Path(__file__).resolve().parents[1]
+        assert broken_references(root) == []

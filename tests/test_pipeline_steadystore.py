@@ -1,0 +1,132 @@
+"""Persistent steady-state store: round-trips, invalidation, atomicity."""
+
+import json
+import os
+
+import pytest
+
+from repro.kernels import KernelSpec, MicroKernelGenerator
+from repro.pipeline import (
+    SteadyStateAnalyzer,
+    attach_steady_store,
+    core_fingerprint,
+    store_stats,
+)
+from repro.pipeline.steadystore import SteadyStateStore
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return MicroKernelGenerator()
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    return str(tmp_path / "steady.json")
+
+
+class TestRoundTrip:
+    def test_states_round_trip_bit_exactly(self, machine, gen, store_path):
+        analyzer = SteadyStateAnalyzer(machine.core)
+        fingerprint = core_fingerprint(analyzer)
+        kernel = gen.generate(KernelSpec(8, 4, label="rt"))
+        state = analyzer.analyze(kernel)
+
+        store = SteadyStateStore(path=store_path, fingerprint=fingerprint)
+        store.put(kernel.name, 0.0, state)
+        assert store.save()
+        assert not store.save()  # clean store: no rewrite
+
+        reloaded = SteadyStateStore(path=store_path, fingerprint=fingerprint)
+        got = reloaded.get(kernel.name, 0.0)
+        assert got is not None
+        # bit-exact: json floats serialize via repr and repr round-trips
+        assert got.cycles_per_iter == state.cycles_per_iter
+        assert got.startup_cycles == state.startup_cycles
+        assert got.epilogue_cycles == state.epilogue_cycles
+        assert got.flops_per_iter == state.flops_per_iter
+        assert got.unroll == state.unroll
+        assert got.kernel_call_cycles(64) == state.kernel_call_cycles(64)
+
+    def test_primitives_round_trip(self, store_path):
+        store = SteadyStateStore(path=store_path, fingerprint="fp")
+        key = ("jit_sweep_cost", "ctx-token", (8, 4, 2, True, None, None))
+        store.put_primitive(key, (12345.678901234567, 8192.0))
+        store.put_primitive(("fused_pack_extra", "ctx", (1, 2, 3)), 0.25)
+        assert store.save()
+        reloaded = SteadyStateStore(path=store_path, fingerprint="fp")
+        assert reloaded.get_primitive(key) == (12345.678901234567, 8192.0)
+        assert reloaded.get_primitive(
+            ("fused_pack_extra", "ctx", (1, 2, 3))
+        ) == 0.25
+        assert reloaded.get_primitive(("missing", "", ())) is None
+        info = reloaded.info()
+        assert info["primitive_hits"] == 2
+        assert info["primitive_misses"] == 1
+
+
+class TestInvalidation:
+    def test_fingerprint_mismatch_drops_everything(self, store_path):
+        store = SteadyStateStore(path=store_path, fingerprint="old")
+        store.put_primitive(("k", "t", ()), 1.0)
+        assert store.save()
+        other = SteadyStateStore(path=store_path, fingerprint="new")
+        assert len(other) == 0
+        assert other.get_primitive(("k", "t", ())) is None
+        assert other.invalidations == 1
+        # the invalidated store rewrites itself on save
+        assert other.save()
+        again = SteadyStateStore(path=store_path, fingerprint="new")
+        assert again.invalidations == 0
+
+    def test_core_fingerprint_covers_analyzer_params(self, machine):
+        a = SteadyStateAnalyzer(machine.core)
+        b = SteadyStateAnalyzer(machine.core, measure_iters=64)
+        assert core_fingerprint(a) != core_fingerprint(b)
+
+    def test_corrupt_file_is_ignored(self, store_path):
+        with open(store_path, "w") as fh:
+            fh.write("{ not json")
+        store = SteadyStateStore(path=store_path, fingerprint="fp")
+        assert len(store) == 0
+
+
+class TestAttachment:
+    def test_attach_uses_env_path_and_analyze_persists(
+        self, machine, gen, store_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_STEADY_CACHE", store_path)
+        analyzer = SteadyStateAnalyzer(machine.core)
+        store = attach_steady_store(analyzer)
+        assert store is not None and analyzer.store is store
+        kernel = gen.generate(KernelSpec(4, 4, label="att"))
+        state = analyzer.analyze(kernel)
+        assert store.save()
+
+        # a fresh analyzer in a "new process" reads the stored analysis
+        cold = SteadyStateAnalyzer(machine.core)
+        cold_store = attach_steady_store(cold, path=store_path)
+        hits_before = cold_store.hits
+        got = cold.analyze(kernel)
+        assert cold_store.hits == hits_before + 1
+        assert got.cycles_per_iter == state.cycles_per_iter
+
+        stats = store_stats()
+        assert stats["stores"] >= 1
+        assert stats["entries"] >= 1
+
+    def test_env_zero_disables(self, machine, monkeypatch):
+        monkeypatch.setenv("REPRO_STEADY_CACHE", "0")
+        analyzer = SteadyStateAnalyzer(machine.core)
+        assert attach_steady_store(analyzer) is None
+        assert analyzer.store is None
+
+    def test_save_is_atomic_no_partial_files(self, store_path):
+        store = SteadyStateStore(path=store_path, fingerprint="fp")
+        store.put_primitive(("k", "t", ()), 2.0)
+        assert store.save()
+        directory = os.path.dirname(store_path)
+        assert os.listdir(directory) == [os.path.basename(store_path)]
+        # the written file is well-formed json with the fingerprint
+        payload = json.loads(open(store_path).read())
+        assert payload["fingerprint"] == "fp"

@@ -1,0 +1,184 @@
+"""Batch pricing layer: golden parity, LRU bounds, cache invalidation.
+
+The contract under test (docs/PERFORMANCE.md): pricing through the
+batch layer — hash-consed subtrees, memoized charge tapes, grid
+vectorization — is **bit-for-bit** equal to single-plan ``Engine``
+pricing, on the record path and on the replay path, and no cache can
+serve a result across a machine or model-configuration change.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plan import (
+    ENGINE,
+    BatchPricer,
+    BoundedMemo,
+    InternPool,
+    ShapeGridPricer,
+    batch_pricing_cache_info,
+    canonical_node,
+    context_token,
+    pricing_key,
+)
+from repro.plan.batch import skeleton_census, skeleton_key
+from repro.plan.ir import PackOp
+from repro.verify.planlint import golden_plan_cases, lower_named
+
+
+@pytest.fixture(scope="module")
+def golden_cases(machine):
+    return list(golden_plan_cases(machine))
+
+
+class TestGoldenParity:
+    def test_bit_for_bit_over_golden_grid(self, golden_cases):
+        """Record AND replay paths equal Engine pricing, all 708 plans.
+
+        The golden grid covers every driver at 1 thread and the
+        multithreaded drivers at 4 and 64 threads; ``as_dict`` equality
+        is exact float equality on every bucket.
+        """
+        assert {t for _, t, _, _ in golden_cases} == {1, 4, 64}
+        assert len(golden_cases) == 708
+        pricer = BatchPricer()
+        plans = [plan for _, _, _, plan in golden_cases]
+        single = [ENGINE.price(plan).as_dict() for plan in plans]
+        recorded = [pricer.price(plan).as_dict() for plan in plans]
+        assert recorded == single
+        replayed = [pricer.price(plan).as_dict() for plan in plans]
+        assert replayed == single
+        info = pricer.cache_info()
+        # second pass must run entirely off tapes
+        assert info["tapes"]["hits"] >= info["tapes"]["misses"]
+
+    def test_grid_pricer_arrays_match_timings(self, machine):
+        shapes = [(8, 8, 8), (24, 16, 8), (33, 65, 129)]
+        grid = ShapeGridPricer(machine, lib="openblas").price_grid(shapes)
+        assert grid.shapes.shape == (3, 3)
+        for i, timing in enumerate(grid.timings):
+            assert grid.total_cycles[i] == timing.total_cycles
+            assert grid.kernel_cycles[i] == timing.kernel_cycles
+            assert grid.executed_flops[i] == timing.executed_flops
+        fpc = grid.flops_per_cycle()
+        assert np.all(fpc >= 0.0)
+        assert np.all(grid.gflops(2.2) == fpc * 2.2)
+
+
+class TestBoundedMemo:
+    def test_lru_bound_and_eviction_order(self):
+        memo = BoundedMemo(maxsize=2)
+        memo.put("a", 1)
+        memo.put("b", 2)
+        assert memo.get("a") == 1  # refreshes a; b is now LRU
+        memo.put("c", 3)
+        assert len(memo) == 2
+        assert memo.get("b") is None  # evicted
+        assert memo.get("a") == 1
+        assert memo.get("c") == 3
+
+    def test_hit_miss_counters(self):
+        memo = BoundedMemo(maxsize=4)
+        assert memo.get("x") is None
+        memo.put("x", 0.0)
+        assert memo.get("x") == 0.0
+        info = memo.info()
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+        assert info["size"] == 1
+        memo.clear()
+        assert len(memo) == 0
+
+
+class TestInvalidation:
+    def test_machine_change_never_replays_a_stale_tape(
+        self, machine, wide_machine
+    ):
+        """Same shape, different machine: distinct keys, correct results."""
+        plan_a = lower_named(machine, "openblas", 1, 24, 16, 8)
+        plan_b = lower_named(wide_machine, "openblas", 1, 24, 16, 8)
+        assert context_token(plan_a.context) != context_token(plan_b.context)
+        pricer = BatchPricer()
+        got_a = pricer.price(plan_a).as_dict()
+        got_b = pricer.price(plan_b).as_dict()
+        assert got_a == ENGINE.price(plan_a).as_dict()
+        assert got_b == ENGINE.price(plan_b).as_dict()
+        assert got_a != got_b  # a 512-bit machine prices differently
+
+    def test_context_token_covers_model_rebinding(self, machine):
+        plan = lower_named(machine, "reference", 1, 8, 8, 8)
+        ctx = plan.context
+        rebound = dataclasses.replace(ctx, itemsize=8)
+        assert context_token(ctx) != context_token(rebound)
+
+
+class TestInterning:
+    def _pack(self, rows, cols):
+        return PackOp(
+            label="b-panel", bucket="pack_b", rows=rows, cols=cols,
+            itemsize=4, contiguous=False, resident="l2",
+        )
+
+    def test_identical_structures_share_one_representative(self):
+        pool = InternPool()
+        rep1, key1 = pool.intern(self._pack(64, 8))
+        rep2, key2 = pool.intern(self._pack(64, 8))
+        assert rep1 is rep2
+        assert key1 == key2
+        assert pool.info()["requests"] == 2
+        assert pool.unique == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=512),
+        cols=st.integers(min_value=1, max_value=512),
+        other_rows=st.integers(min_value=1, max_value=512),
+        other_cols=st.integers(min_value=1, max_value=512),
+    )
+    def test_interning_never_merges_different_trip_counts(
+        self, rows, cols, other_rows, other_cols
+    ):
+        """Property: plans differing only in loop extents never share a
+        canonical key (so they can never share a charge tape), even
+        though they share a *skeleton*."""
+        a, b = self._pack(rows, cols), self._pack(other_rows, other_cols)
+        pool = InternPool()
+        rep_a, key_a = pool.intern(a)
+        rep_b, key_b = pool.intern(b)
+        assert skeleton_key(a) == skeleton_key(b)
+        if (rows, cols) == (other_rows, other_cols):
+            assert key_a == key_b and rep_a is rep_b
+        else:
+            assert key_a != key_b and rep_a is not rep_b
+            assert pricing_key(a, None) != pricing_key(b, None)
+
+    def test_skeleton_census_over_a_sweep(self, machine):
+        plans = [
+            lower_named(machine, "blasfeo", 1, s, s, s)
+            for s in (8, 16, 24, 32)
+        ]
+        census = skeleton_census(plans)
+        assert census["plans"] == 4
+        # every shape is a distinct structure ...
+        assert census["structures"] == 4
+        # ... but the sweep reuses far fewer plan shapes
+        assert census["skeletons"] < census["structures"]
+
+
+class TestCacheInfo:
+    def test_global_info_shape(self, machine):
+        info = batch_pricing_cache_info()
+        for section in ("tapes", "interning", "primitives", "steady_store"):
+            assert section in info
+        assert {"hits", "misses", "size", "maxsize"} <= set(
+            info["tapes"]
+        )
+
+    def test_canonical_node_ignores_meta_identity(self, machine):
+        p1 = lower_named(machine, "reference", 1, 5, 3, 2)
+        p2 = lower_named(machine, "reference", 1, 5, 3, 2)
+        assert canonical_node(p1.root) == canonical_node(p2.root)
