@@ -12,7 +12,8 @@ BENCH_SMOKE = \
 	benchmarks/test_fig7_microkernel_schedule.py::test_fig7_schedule_analysis \
 	benchmarks/test_fig8_edge_packing.py::test_fig8_edge_packing \
 	benchmarks/test_fig9_kernel_efficiency.py::test_fig9_kernel_efficiency \
-	benchmarks/test_fig10_multithread.py::test_fig10_multithread
+	benchmarks/test_fig10_multithread.py::test_fig10_multithread \
+	benchmarks/test_het_partition.py::test_weighted_beats_even_on_big_little
 
 install:
 	pip install -e .
@@ -37,8 +38,8 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # perf trajectory: lint-sweep wall-clock, batch cold/warm sweep
-# throughput and plans-priced-per-second, written to BENCH_<rev>.json
-# at the repo root
+# throughput, plans-priced-per-second, and the big.LITTLE weighted-vs-
+# even speedup envelope, written to BENCH_<rev>.json at the repo root
 bench-record:
 	$(PYTHON) -m repro.util.benchrecord
 

@@ -1,0 +1,69 @@
+"""HET-PARTITION: weighted vs balanced M-strips on a big.LITTLE socket.
+
+Fig. 10-style heterogeneous scaling: the small-M multithreaded sweep
+lowered with the 1-D M-split scheme on ``big_little_like()`` (4 big +
+4 little cores), once with the legacy balanced split and once with the
+throughput-weighted mr-granular partition.  Shape checks: the weighted
+partition is strictly cheaper on modeled wall-clock for every shape
+(the little class no longer paces the kc-step barrier), and the
+homogeneous Phytium lowering is bit-for-bit unaffected by the
+partition knob (weighted degenerates to even).
+"""
+
+from repro.analysis import fig10_heterogeneous
+from repro.machine import big_little_like
+from repro.parallel import MultithreadedGemm
+from repro.plan.fingerprint import plan_fingerprint
+
+
+def test_weighted_beats_even_on_big_little(benchmark, emit):
+    fig = benchmark(fig10_heterogeneous)
+    emit("het_partition", fig.render())
+
+    even = fig.series_by_name("even").ys
+    weighted = fig.series_by_name("weighted").ys
+    speedup = fig.series_by_name("speedup").ys
+
+    # weighted is strictly cheaper for every Fig. 10 small-M shape
+    assert all(w < e for w, e in zip(weighted, even))
+    # and meaningfully so somewhere in the sweep (little class off the
+    # critical path entirely for at least one shape)
+    assert max(speedup) > 1.3
+    # never pathological: bounded gain, monotone sanity
+    assert all(1.0 < s < 8.0 for s in speedup)
+
+
+def test_partition_knob_degenerates_on_homogeneous(machine):
+    """On the homogeneous Phytium, partition="weighted" is a no-op."""
+    shapes = [(64, 2048, 2048), (128, 256, 256)]
+    for m, n, k in shapes:
+        even = MultithreadedGemm(
+            machine, "openblas", threads=8, partition="even"
+        ).plan_gemm(m, n, k)
+        weighted = MultithreadedGemm(
+            machine, "openblas", threads=8, partition="weighted"
+        ).plan_gemm(m, n, k)
+        assert plan_fingerprint(even) == plan_fingerprint(weighted)
+        assert even.price().total_cycles == weighted.price().total_cycles
+
+
+def test_weighted_partition_tags_match_classes():
+    """Every strip of a weighted big.LITTLE plan carries its class tag."""
+    from repro.plan.ir import ThreadStripsOp
+
+    mach = big_little_like()
+    mt = MultithreadedGemm(mach, "openblas", threads=8)
+    assert mt.partition == "weighted"  # auto resolves on asymmetric sockets
+    plan = mt.plan_gemm(96, 512, 512)
+    strips = [n for _, n in plan.walk() if isinstance(n, ThreadStripsOp)]
+    assert strips
+    for node in strips:
+        assert len(node.core_classes) == len(node.chunks) == 8
+        assert node.core_classes == tuple(
+            mach.core_class_of(t) for t in range(8)
+        )
+        # big strips are at least as large as little strips
+        bigs = [c for c, t in zip(node.chunks, node.core_classes) if t == 0]
+        littles = [c for c, t in zip(node.chunks, node.core_classes)
+                   if t == 1]
+        assert min(bigs) >= max(littles)

@@ -13,6 +13,7 @@ from .experiments import (
     fig8,
     fig9,
     fig10,
+    fig10_heterogeneous,
     reference_comparison,
     table1,
     table2,
@@ -51,6 +52,7 @@ __all__ = [
     "fig8",
     "fig9",
     "fig10",
+    "fig10_heterogeneous",
     "table1",
     "table2",
     "reference_comparison",

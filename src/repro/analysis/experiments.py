@@ -326,6 +326,53 @@ def fig10(
     return out
 
 
+def fig10_heterogeneous(
+    machine: Optional[MachineConfig] = None,
+    threads: Optional[int] = None,
+    dtype=np.float32,
+    library: str = "openblas",
+) -> FigureResult:
+    """Weighted vs balanced M-partition on an asymmetric socket.
+
+    The Fig. 10 small-M sweep re-run with the 1-D M-split scheme on a
+    heterogeneous machine (default :func:`~repro.machine.phytium
+    .big_little_like`), lowered twice: once with the legacy balanced
+    split and once with throughput-weighted strips.  The ``speedup``
+    series is even/weighted modeled cycles — above 1.0 exactly where
+    unweighting lets the little class pace the kc-step barrier.
+    """
+    from ..machine.phytium import big_little_like
+
+    machine = machine if machine is not None else big_little_like()
+    threads = threads if threads is not None else machine.n_cores
+    shapes = sweeps.fig10_mt_sweeps()["small-M"]
+    xs = [m for (m, _, _) in shapes]
+    cycles: Dict[str, List[float]] = {}
+    for partition in ("even", "weighted"):
+        mt = MultithreadedGemm(
+            machine, library, threads=threads, dtype=dtype,
+            partition=partition,
+        )
+        cycles[partition] = [
+            mt.cost(m, n, k)[0].total_cycles for (m, n, k) in shapes
+        ]
+    speedups = [
+        even / weighted
+        for even, weighted in zip(cycles["even"], cycles["weighted"])
+    ]
+    return FigureResult(
+        figure_id="fig10-het-partition",
+        x_label="M",
+        y_label="modeled cycles (even vs weighted) / speedup",
+        xs=xs,
+        series=[
+            FigureSeries(name="even", ys=cycles["even"]),
+            FigureSeries(name="weighted", ys=cycles["weighted"]),
+            FigureSeries(name="speedup", ys=speedups),
+        ],
+    )
+
+
 # ---------------------------------------------------------------------------
 # Tables
 # ---------------------------------------------------------------------------

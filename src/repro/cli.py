@@ -48,6 +48,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("machine", help="print the machine model")
+
+    machines = sub.add_parser(
+        "machines", help="list every machine model (core classes, SIMD "
+        "width, peak GFLOPS)"
+    )
+    machines.add_argument(
+        "--json", action="store_true",
+        help="emit the machine inventory as JSON instead of text",
+    )
+
     for name in sorted(_FIGURES):
         sub.add_parser(name, help=f"render {name}")
     for name in sorted(_MULTI):
@@ -94,6 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 1, or the 1/4/64 sweep without a shape)",
     )
     lint.add_argument(
+        "--machine", default="phytium2000plus",
+        choices=("phytium2000plus", "graviton2_like", "a64fx_like",
+                 "big_little_like", "sve512_like"),
+        help="machine model to lint against (the golden thread sweep "
+        "clamps to its core count)",
+    )
+    lint.add_argument(
         "--json", action="store_true",
         help="emit machine-readable JSON diagnostics "
         "(code/severity/node-path) instead of tables",
@@ -116,7 +133,8 @@ def build_parser() -> argparse.ArgumentParser:
                        "(default .repro_tuning_cache.json)")
         p.add_argument("--machine", default="phytium2000plus",
                        choices=("phytium2000plus", "graviton2_like",
-                                "a64fx_like"),
+                                "a64fx_like", "big_little_like",
+                                "sve512_like"),
                        help="machine model to tune for")
         p.add_argument("--threads", type=int, default=1)
 
@@ -462,6 +480,15 @@ def _run_plan_lint(machine, args) -> tuple:
     shape = tuple(args.shape) if args.shape else None
     libs = (args.lib,) if args.lib else None
     threads = (args.threads,) if args.threads is not None else None
+    if threads is None and machine.n_cores < 64:
+        # small sockets (e.g. big_little_like) can't run the 64-thread
+        # leg of the golden sweep; clamp to the core count
+        from .workloads import sweeps as _sweeps
+
+        threads = tuple(sorted({
+            min(t, machine.n_cores)
+            for t in (1,) + _sweeps.GOLDEN_MT_THREADS
+        }))
 
     attach_steady_store(shared_analyzer(machine))
     start = time.perf_counter()
@@ -644,6 +671,66 @@ def _run_lint(machine, args) -> tuple:
     return "\n".join(lines), 0 if ok else 1
 
 
+def _run_machines(args) -> tuple:
+    """The ``repro machines`` command body: (report text, exit code).
+
+    Inventories every registered machine factory with its core-class
+    breakdown — per class: core count, SIMD width, frequency and
+    aggregate peak — so asymmetric sockets are legible at a glance.
+    """
+    import json
+
+    from .tuning.warm import MACHINE_FACTORIES
+
+    dtype = np.float32
+    inventory = []
+    for name in sorted(MACHINE_FACTORIES):
+        machine = MACHINE_FACTORIES[name]()
+        classes = []
+        for idx, cls in enumerate(machine.classes):
+            classes.append({
+                "index": idx,
+                "name": cls.name,
+                "cores": cls.count,
+                "vector_bits": cls.core.vector_bits,
+                "simd_lanes_f32": cls.simd_lanes(dtype),
+                "freq_ghz": cls.core.freq_hz / 1e9,
+                "peak_gflops_f32": round(cls.peak_gflops(dtype), 2),
+            })
+        inventory.append({
+            "factory": name,
+            "machine": machine.name,
+            "cores": machine.n_cores,
+            "heterogeneous": machine.is_heterogeneous,
+            "classes": classes,
+            "peak_gflops_f32": round(
+                machine.peak_gflops(dtype, machine.n_cores), 2
+            ),
+        })
+
+    if args.json:
+        return json.dumps({"machines": inventory}, indent=2), 0
+
+    lines = [f"machine models ({len(inventory)}):"]
+    for entry in inventory:
+        kind = ("heterogeneous" if entry["heterogeneous"]
+                else "homogeneous")
+        lines.append(
+            f"  {entry['factory']}: {entry['cores']} cores "
+            f"({kind}, {len(entry['classes'])} class(es)), "
+            f"peak {entry['peak_gflops_f32']:.1f} GFLOPS fp32"
+        )
+        for cls in entry["classes"]:
+            lines.append(
+                f"    [{cls['index']}] {cls['name']}: "
+                f"{cls['cores']} x {cls['vector_bits']}-bit SIMD "
+                f"({cls['simd_lanes_f32']} f32 lanes) @ "
+                f"{cls['freq_ghz']:.2f} GHz, "
+                f"{cls['peak_gflops_f32']:.1f} GFLOPS"
+            )
+    return "\n".join(lines), 0
+
+
 def _run_tune(args) -> tuple:
     """The ``repro tune`` command body: (report text, exit code)."""
     from .tuning import (
@@ -749,6 +836,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "machine":
         out.append(machine_summary(machine))
+    elif args.command == "machines":
+        text, code = _run_machines(args)
+        print(text)
+        return code
     elif args.command in _FIGURES:
         out.append(_FIGURES[args.command](machine).render())
     elif args.command in _MULTI:
@@ -795,6 +886,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                                   if failures else "")
         )
     elif args.command == "lint":
+        if getattr(args, "machine", "phytium2000plus") != "phytium2000plus":
+            from .tuning.warm import MACHINE_FACTORIES
+
+            machine = MACHINE_FACTORIES[args.machine]()
         text, code = _run_lint(machine, args)
         print(text)
         return code

@@ -24,7 +24,7 @@ FMA pipes: ``chains >= fma_ports * fma_latency``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from ..machine.config import CoreConfig
 from ..util.errors import KernelDesignError
@@ -161,6 +161,34 @@ def candidate_tiles(
     ]
     feasible.sort(key=lambda d: (-d.cmr, d.registers, -d.mr))
     return feasible[:limit]
+
+
+def class_tile_candidates(
+    machine,
+    dtype,
+    limit: int = 4,
+    max_mr: int = 32,
+    max_nr: int = 32,
+) -> List[Tuple[int, TileDesign]]:
+    """Per-core-class CMR frontiers, merged: ``(class_index, design)``.
+
+    Every core class of the machine enumerates its own frontier under
+    its own SIMD width and register file — a 512-bit SVE class proposes
+    16-lane f32 tiles a NEON class never would — and the union feeds one
+    tile search.  A duplicate (mr, nr) keeps its first (lowest class
+    index) owner.  Homogeneous machines yield exactly
+    :func:`candidate_tiles` of the base core, tagged class 0.
+    """
+    merged: List[Tuple[int, TileDesign]] = []
+    seen = set()
+    for idx, cls in enumerate(machine.classes):
+        for design in candidate_tiles(cls.core, dtype, limit=limit,
+                                      max_mr=max_mr, max_nr=max_nr):
+            if (design.mr, design.nr) in seen:
+                continue
+            seen.add((design.mr, design.nr))
+            merged.append((idx, design))
+    return merged
 
 
 def best_tile(

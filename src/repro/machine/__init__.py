@@ -3,16 +3,24 @@
 from .config import (
     PORT_CLASSES,
     CacheConfig,
+    CoreClass,
     CoreConfig,
     MachineConfig,
     NumaConfig,
     dtype_itemsize,
     machine_summary,
 )
-from .phytium import a64fx_like, graviton2_like, phytium2000plus
+from .phytium import (
+    a64fx_like,
+    big_little_like,
+    graviton2_like,
+    phytium2000plus,
+    sve512_like,
+)
 
 __all__ = [
     "PORT_CLASSES",
+    "CoreClass",
     "CoreConfig",
     "CacheConfig",
     "NumaConfig",
@@ -22,4 +30,6 @@ __all__ = [
     "phytium2000plus",
     "a64fx_like",
     "graviton2_like",
+    "big_little_like",
+    "sve512_like",
 ]

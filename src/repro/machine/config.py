@@ -14,7 +14,7 @@ Units: sizes in bytes, frequencies in Hz, latencies in core cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -216,14 +216,67 @@ class NumaConfig:
 
 
 @dataclass(frozen=True)
+class CoreClass:
+    """One homogeneous group of cores inside a (possibly asymmetric) socket.
+
+    A big.LITTLE socket is a list of these: each class binds a
+    :class:`CoreConfig` (pipeline resources, SIMD width, frequency), the
+    number of cores of that class, and — when the classes differ in their
+    private cache sizing — per-class L1D/L2 overrides.  ``None`` cache
+    overrides mean "use the machine-level cache config".
+    """
+
+    core: CoreConfig
+    count: int
+    l1d: Optional[CacheConfig] = None
+    l2: Optional[CacheConfig] = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.count, "count")
+        if self.l1d is not None:
+            require(
+                self.l1d.shared_by == 1,
+                f"class {self.core.name!r}: L1D must be private "
+                f"(shared_by=1), got {self.l1d.shared_by}",
+            )
+
+    @property
+    def name(self) -> str:
+        """The class name (its core model's name)."""
+        return self.core.name
+
+    def simd_lanes(self, dtype) -> int:
+        """Elements of ``dtype`` per vector register of this class."""
+        return self.core.simd_lanes(dtype)
+
+    def flops_per_cycle(self, dtype) -> float:
+        """Peak flops per cycle of one core of this class."""
+        return self.core.flops_per_cycle(dtype)
+
+    def peak_gflops(self, dtype) -> float:
+        """Aggregate peak of the whole class in GFLOPS."""
+        return self.core.peak_gflops(dtype) * self.count
+
+
+@dataclass(frozen=True)
 class MachineConfig:
-    """A whole many-core processor: core model, caches, topology."""
+    """A whole many-core processor: core model, caches, topology.
+
+    ``core_classes`` is ``None`` for the homogeneous machines the paper
+    studies (every core is ``core``); an asymmetric socket supplies a
+    tuple of :class:`CoreClass` entries whose counts sum to the NUMA core
+    count.  Class 0 is the *base* class and must equal ``core`` so every
+    legacy single-core-model consumer keeps reading a coherent view.
+    Core ids map to classes in consecutive blocks: class 0 owns ids
+    ``[0, count_0)``, class 1 owns ``[count_0, count_0 + count_1)``, ...
+    """
 
     core: CoreConfig
     l1d: CacheConfig
     l2: CacheConfig
     numa: NumaConfig
     name: str = "generic-manycore"
+    core_classes: Optional[Tuple[CoreClass, ...]] = None
 
     def __post_init__(self) -> None:
         require(
@@ -235,20 +288,122 @@ class MachineConfig:
             f"L2 sharing degree {self.l2.shared_by} must divide the core "
             f"count {self.numa.total_cores}",
         )
+        if self.core_classes is not None:
+            require(
+                len(self.core_classes) >= 1,
+                "core_classes must be None or a non-empty tuple",
+            )
+            total = sum(cls.count for cls in self.core_classes)
+            require(
+                total == self.numa.total_cores,
+                f"core-class counts sum to {total}, expected the NUMA core "
+                f"count {self.numa.total_cores}",
+            )
+            require(
+                self.core_classes[0].core == self.core,
+                "core_classes[0].core must equal the machine's base core "
+                f"(class 0 is {self.core_classes[0].core.name!r}, base is "
+                f"{self.core.name!r})",
+            )
+
+    def __repr__(self) -> str:
+        # Hand-written to stay byte-identical to the dataclass-generated
+        # repr for homogeneous machines: plan fingerprints and the tuning
+        # cache key on repr(machine), and pre-class golden fingerprints
+        # must not move.  ``core_classes`` appears only when set.
+        base = (
+            f"{self.__class__.__qualname__}(core={self.core!r}, "
+            f"l1d={self.l1d!r}, l2={self.l2!r}, numa={self.numa!r}, "
+            f"name={self.name!r}"
+        )
+        if self.core_classes is None:
+            return base + ")"
+        return base + f", core_classes={self.core_classes!r})"
 
     @property
     def n_cores(self) -> int:
         """Total number of cores."""
         return self.numa.total_cores
 
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether the socket has more than one core class."""
+        return self.core_classes is not None and len(self.core_classes) > 1
+
+    @property
+    def classes(self) -> Tuple[CoreClass, ...]:
+        """The core classes; homogeneous machines synthesize one class."""
+        if self.core_classes is not None:
+            return self.core_classes
+        return (CoreClass(core=self.core, count=self.n_cores),)
+
+    def core_class_of(self, core_id: int) -> int:
+        """Class index owning ``core_id`` (consecutive id blocks)."""
+        if not 0 <= core_id < self.n_cores:
+            raise ConfigError(
+                f"core_id {core_id} out of range [0, {self.n_cores})"
+            )
+        base = 0
+        for idx, cls in enumerate(self.classes):
+            base += cls.count
+            if core_id < base:
+                return idx
+        raise ConfigError(  # pragma: no cover - counts validated in init
+            f"core_id {core_id} not covered by core classes"
+        )
+
+    def class_l1d(self, class_idx: int) -> CacheConfig:
+        """The private L1D config of class ``class_idx``."""
+        cls = self.classes[class_idx]
+        return cls.l1d if cls.l1d is not None else self.l1d
+
+    def class_l2(self, class_idx: int) -> CacheConfig:
+        """The L2 config serving class ``class_idx``."""
+        cls = self.classes[class_idx]
+        return cls.l2 if cls.l2 is not None else self.l2
+
+    def class_machine(self, class_idx: int) -> "MachineConfig":
+        """A homogeneous view of one class (for per-class cost models).
+
+        The view binds the class's core and cache overrides and drops
+        ``core_classes``, so the existing single-class kernel, cache and
+        packing models price that class without modification.
+        """
+        cls = self.classes[class_idx]
+        if self.core_classes is None:
+            return self
+        return replace(
+            self,
+            core=cls.core,
+            l1d=cls.l1d if cls.l1d is not None else self.l1d,
+            l2=cls.l2 if cls.l2 is not None else self.l2,
+            core_classes=None,
+        )
+
     def peak_gflops(self, dtype, n_cores: int = 1) -> float:
-        """Aggregate peak for ``n_cores`` cores in GFLOPS."""
+        """Aggregate peak for the first ``n_cores`` cores in GFLOPS.
+
+        On a heterogeneous machine cores fill in core-id order, so the
+        big class (by convention listed first) contributes before the
+        little one; homogeneous machines keep the legacy product form
+        bit-for-bit.
+        """
         check_positive_int(n_cores, "n_cores")
         require(
             n_cores <= self.n_cores,
             f"n_cores {n_cores} exceeds machine core count {self.n_cores}",
         )
-        return self.core.peak_gflops(dtype) * n_cores
+        if not self.is_heterogeneous:
+            return self.core.peak_gflops(dtype) * n_cores
+        total = 0.0
+        remaining = n_cores
+        for cls in self.classes:
+            take = min(remaining, cls.count)
+            total += cls.core.peak_gflops(dtype) * take
+            remaining -= take
+            if remaining == 0:
+                break
+        return total
 
     def l2_cluster_of(self, core_id: int) -> int:
         """Index of the L2 cluster (sharing group) owning ``core_id``."""
@@ -257,8 +412,18 @@ class MachineConfig:
         return core_id // self.l2.shared_by
 
     def with_core(self, **overrides) -> "MachineConfig":
-        """Copy of this machine with core parameters replaced."""
-        return replace(self, core=replace(self.core, **overrides))
+        """Copy of this machine with core parameters replaced.
+
+        On a heterogeneous machine the overrides apply to the base class
+        (class 0) so the ``core == core_classes[0].core`` invariant holds.
+        """
+        new_core = replace(self.core, **overrides)
+        if self.core_classes is None:
+            return replace(self, core=new_core)
+        new_classes = (replace(self.core_classes[0], core=new_core),) + tuple(
+            self.core_classes[1:]
+        )
+        return replace(self, core=new_core, core_classes=new_classes)
 
 
 def dtype_itemsize(dtype) -> int:
@@ -269,10 +434,13 @@ def dtype_itemsize(dtype) -> int:
 def machine_summary(machine: MachineConfig) -> str:
     """A human-readable multi-line description of ``machine``."""
     core = machine.core
+    n_clusters = machine.n_cores // machine.l2.shared_by
     lines = [
         f"machine {machine.name}",
         f"  cores: {machine.n_cores} @ {core.freq_hz / 1e9:.1f} GHz "
         f"({machine.numa.panels} panels x {machine.numa.cores_per_panel})",
+        f"  numa: {machine.numa.panels} panels, "
+        f"{n_clusters} L2 clusters of {machine.l2.shared_by} cores",
         f"  core: {core.dispatch_width}-wide dispatch, {core.rob_entries}-entry ROB, "
         f"ports={core.ports}",
         f"  simd: {core.vector_registers} x {core.vector_bits}-bit registers",
@@ -284,4 +452,17 @@ def machine_summary(machine: MachineConfig) -> str:
         f"  peak: {machine.peak_gflops(np.float32, machine.n_cores):.1f} GFLOPS fp32, "
         f"{machine.peak_gflops(np.float64, machine.n_cores):.1f} GFLOPS fp64",
     ]
+    if machine.is_heterogeneous:
+        lines.append(f"  classes: {len(machine.classes)}")
+        for idx, cls in enumerate(machine.classes):
+            l1d = machine.class_l1d(idx)
+            l2 = machine.class_l2(idx)
+            lines.append(
+                f"    [{idx}] {cls.name}: {cls.count} cores @ "
+                f"{cls.core.freq_hz / 1e9:.1f} GHz, "
+                f"{cls.core.vector_bits}-bit SIMD, "
+                f"L1D {l1d.size_bytes // 1024} KiB / "
+                f"L2 {l2.size_bytes // 1024} KiB, "
+                f"{cls.peak_gflops(np.float32):.1f} GFLOPS fp32"
+            )
     return "\n".join(lines)

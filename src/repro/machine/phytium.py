@@ -17,11 +17,16 @@ hence ``ports['fma'] = 1``; single precision doubles the lane count, giving
 
 :func:`a64fx_like` is a second instance used only by sensitivity ablations;
 it is *not* a faithful A64FX model (no SVE), just a wider-vector data point.
+:func:`big_little_like` and :func:`sve512_like` exercise the core-class
+machinery: an asymmetric 4+4 socket (weighted strip partitioning) and a
+512-bit SVE-class part with Phytium-style memory (per-class tile design).
 """
 
 from __future__ import annotations
 
-from .config import CacheConfig, CoreConfig, MachineConfig, NumaConfig
+from dataclasses import replace
+
+from .config import CacheConfig, CoreClass, CoreConfig, MachineConfig, NumaConfig
 
 
 def phytium2000plus() -> MachineConfig:
@@ -190,3 +195,166 @@ def a64fx_like() -> MachineConfig:
         dram_bytes_per_cycle=128.0,  # HBM-class per-group bandwidth
     )
     return MachineConfig(core=core, l1d=l1d, l2=l2, numa=numa, name="a64fx-like")
+
+
+def big_little_like() -> MachineConfig:
+    """An asymmetric 4+4 big.LITTLE socket (DynamIQ-style client part).
+
+    Four wide out-of-order cores (two FMA pipes, 2.6 GHz, 64 KB L1D)
+    plus four narrow in-order-ish cores (one FMA pipe, 1.8 GHz, 32 KB
+    L1D, half the L2).  One core of the big class sustains ~2.9x the
+    fp32 throughput of a little core, so an even M-strip partition
+    leaves the big cluster idle waiting at the barrier — the machine
+    the weighted partitioner exists for.
+    """
+    big = CoreConfig(
+        name="big-ooo-armv8",
+        freq_hz=2.6e9,
+        dispatch_width=4,
+        rob_entries=160,
+        ports={"fma": 2, "alu": 3, "load": 2, "store": 1, "branch": 1},
+        latencies={
+            "fma": 4,
+            "fmul": 4,
+            "fadd": 3,
+            "alu": 1,
+            "load": 4,
+            "store": 1,
+            "branch": 1,
+            "dup": 3,
+        },
+        vector_registers=32,
+        vector_bits=128,
+        scalar_registers=31,
+        scheduler_window=40,
+        icache_bytes=64 * 1024,
+    )
+    little = CoreConfig(
+        name="little-armv8",
+        freq_hz=1.8e9,
+        dispatch_width=2,
+        rob_entries=64,
+        ports={"fma": 1, "alu": 2, "load": 1, "store": 1, "branch": 1},
+        latencies={
+            "fma": 5,
+            "fmul": 5,
+            "fadd": 4,
+            "alu": 1,
+            "load": 3,
+            "store": 1,
+            "branch": 1,
+            "dup": 3,
+        },
+        vector_registers=32,
+        vector_bits=128,
+        scalar_registers=31,
+        scheduler_window=16,
+        icache_bytes=32 * 1024,
+    )
+    big_l1d = CacheConfig(
+        name="L1D",
+        size_bytes=64 * 1024,
+        line_bytes=64,
+        associativity=4,
+        shared_by=1,
+        replacement="lru",
+        hit_latency=4,
+    )
+    little_l1d = replace(big_l1d, size_bytes=32 * 1024, hit_latency=3)
+    big_l2 = CacheConfig(
+        name="L2",
+        size_bytes=2 * 1024 * 1024,
+        line_bytes=64,
+        associativity=16,
+        shared_by=4,
+        replacement="lru",
+        hit_latency=12,
+    )
+    little_l2 = replace(big_l2, size_bytes=1024 * 1024, hit_latency=15)
+    numa = NumaConfig(
+        panels=1,
+        cores_per_panel=8,
+        local_dram_latency=130,
+        remote_factor=1.0,
+        barrier_stage_cycles=200,
+        dram_bytes_per_cycle=25.0,  # LPDDR-class shared bandwidth
+    )
+    return MachineConfig(
+        core=big,
+        l1d=big_l1d,
+        l2=big_l2,
+        numa=numa,
+        name="big-little-like",
+        core_classes=(
+            CoreClass(core=big, count=4, l1d=big_l1d, l2=big_l2),
+            CoreClass(core=little, count=4, l1d=little_l1d, l2=little_l2),
+        ),
+    )
+
+
+def sve512_like() -> MachineConfig:
+    """A 512-bit SVE-class part on Phytium-style memory.
+
+    One core class, but declared through the class machinery: sixteen
+    2.0 GHz cores with 512-bit vectors (16 fp32 lanes) over the same
+    cluster-shared-L2 topology as the Phytium.  Exists to check the
+    per-class tile designer: the tuner must select wider micro-kernel
+    tiles here than on any 128-bit NEON machine through the exact same
+    search path.
+    """
+    core = CoreConfig(
+        name="sve512-armv8",
+        freq_hz=2.0e9,
+        dispatch_width=4,
+        rob_entries=160,
+        ports={"fma": 2, "alu": 2, "load": 2, "store": 1, "branch": 1},
+        latencies={
+            "fma": 6,
+            "fmul": 6,
+            "fadd": 4,
+            "alu": 1,
+            "load": 4,
+            "store": 1,
+            "branch": 1,
+            "dup": 3,
+        },
+        vector_registers=32,
+        vector_bits=512,
+        scalar_registers=31,
+        scheduler_window=40,
+        icache_bytes=64 * 1024,
+    )
+    l1d = CacheConfig(
+        name="L1D",
+        size_bytes=64 * 1024,
+        line_bytes=64,
+        associativity=4,
+        shared_by=1,
+        replacement="lru",
+        hit_latency=4,
+    )
+    l2 = CacheConfig(
+        name="L2",
+        size_bytes=4 * 1024 * 1024,
+        line_bytes=64,
+        associativity=16,
+        shared_by=4,
+        replacement="lru",
+        hit_latency=30,
+    )
+    numa = NumaConfig(
+        panels=2,
+        cores_per_panel=8,
+        local_dram_latency=140,
+        remote_factor=1.5,
+        barrier_stage_cycles=300,
+        dram_bytes_per_cycle=40.0,
+    )
+    return MachineConfig(
+        core=core,
+        l1d=l1d,
+        l2=l2,
+        numa=numa,
+        name="sve512-like",
+        core_classes=(CoreClass(core=core, count=16, l1d=l1d, l2=l2),),
+    )

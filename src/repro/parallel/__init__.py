@@ -5,10 +5,13 @@ from .partition import (
     BlisFactorization,
     blis_factorization,
     blis_factorization_scored,
+    core_class_weights,
     grid_partition,
     openblas_partition,
     split_even,
     strip_spans,
+    weighted_spans,
+    weighted_split,
 )
 from .sync import barrier_cycles, sync_points_per_iteration
 
@@ -17,6 +20,9 @@ __all__ = [
     "ThreadTopology",
     "split_even",
     "strip_spans",
+    "weighted_split",
+    "weighted_spans",
+    "core_class_weights",
     "openblas_partition",
     "grid_partition",
     "blis_factorization",

@@ -40,6 +40,8 @@ from ..util.validation import ceil_div, check_positive_int
 
 _SCHEMES = ("openblas", "blis", "eigen")
 
+_PARTITIONS = ("auto", "even", "weighted")
+
 
 @dataclass(frozen=True)
 class ThreadTopology:
@@ -81,6 +83,7 @@ class MultithreadedGemm:
         threads: int,
         dtype=np.float32,
         blocking=None,
+        partition: str = "auto",
     ) -> None:
         if library == "blasfeo":
             raise ParallelError(
@@ -91,9 +94,21 @@ class MultithreadedGemm:
             raise ParallelError(
                 f"unknown library {library!r}; choose from {_SCHEMES}"
             )
+        if partition not in _PARTITIONS:
+            raise ParallelError(
+                f"unknown partition {partition!r}; choose from {_PARTITIONS}"
+            )
         self.machine = machine
         self.library = library
         self.dtype = np.dtype(dtype)
+        # "auto" resolves to throughput-weighted M-strips exactly when the
+        # socket is asymmetric; homogeneous machines keep the balanced
+        # split bit-for-bit (weighted_split degenerates to split_even
+        # there anyway).
+        self.partition = (
+            ("weighted" if machine.is_heterogeneous else "even")
+            if partition == "auto" else partition
+        )
         self.topology = ThreadTopology.for_machine(machine, threads)
         factory = {
             "openblas": make_openblas,
@@ -121,6 +136,38 @@ class MultithreadedGemm:
             machine.core, self.cache_mt,
             lanes=machine.core.simd_lanes(dtype),
         )
+        # per-class model bindings (heterogeneous machines only): each
+        # class prices its strips with its own core/cache view, built
+        # from the same topology facts as the base models
+        self.class_models = None
+        if machine.is_heterogeneous:
+            from ..plan.engine import ClassModels
+
+            models = []
+            for idx, cls in enumerate(machine.classes):
+                class_machine = machine.class_machine(idx)
+                cache_cls = make_cache_model(
+                    class_machine,
+                    active_l2_sharers=self.topology.active_l2_sharers,
+                    numa_remote_fraction=(
+                        self.topology.shared_remote_fraction
+                    ),
+                    bandwidth_share=bandwidth_share,
+                )
+                models.append(ClassModels(
+                    name=cls.name,
+                    machine=class_machine,
+                    cache=cache_cls,
+                    kernel_cost=KernelCostModel(class_machine, dtype),
+                    packing=PackingCostModel(
+                        class_machine.core, cache_cls,
+                        lanes=class_machine.core.simd_lanes(dtype),
+                    ),
+                    freq_scale=(
+                        cls.core.freq_hz / machine.core.freq_hz
+                    ),
+                ))
+            self.class_models = tuple(models)
 
     @property
     def threads(self) -> int:

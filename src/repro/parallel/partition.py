@@ -11,10 +11,17 @@
   thread count is factorized over the jc/ic/jr loops, *refusing to
   parallelize a dimension that is too small*, minimizing predicted edge
   waste and synchronization span.
+* :func:`weighted_split` / :func:`weighted_spans` — throughput-weighted
+  1-D chunking for asymmetric (big.LITTLE) sockets: mr-granular work
+  units assigned greedily by per-thread throughput weight (makespan-
+  minimizing, asymptotically proportional), degenerating bit-for-bit
+  to :func:`split_even` / :func:`strip_spans` when every weight is
+  equal.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import List, Tuple
@@ -37,27 +44,128 @@ def split_even(extent: int, parts: int) -> List[int]:
     return [base + (1 if i < extra else 0) for i in range(parts)]
 
 
-def strip_spans(extent: int, chunks) -> List[Tuple[int, int]]:
+def strip_spans(extent: int, chunks, nominal=None) -> List[Tuple[int, int]]:
     """Canonical ``[start, end)`` row span of each per-thread chunk.
 
-    Thread ``t``'s start offset is fixed by the balanced partition of
-    ``extent`` over ``len(chunks)`` threads (:func:`split_even` prefix
-    sums — how the 1-D M split assigns row blocks); its span extends by
-    its *declared* chunk size.  For a legal partition
-    ``chunks == split_even(extent, len(chunks))`` and the spans tile
-    ``[0, extent)`` exactly — no gap, no overlap; an inflated chunk
-    overlaps its successor's rows (the V411 race signature) and a
+    Thread ``t``'s start offset is fixed by the *nominal* partition of
+    ``extent`` over ``len(chunks)`` threads — by default the balanced
+    :func:`split_even` prefix sums (how the 1-D M split assigns row
+    blocks); a throughput-weighted lowering passes its
+    :func:`weighted_split` result as ``nominal`` so placement follows
+    the weighted offsets.  Each span extends by its *declared* chunk
+    size.  For a legal partition ``chunks == nominal`` and the spans
+    tile ``[0, extent)`` exactly — no gap, no overlap; an inflated
+    chunk overlaps its successor's rows (the V411 race signature) and a
     deflated one leaves a gap.  This is the placement both the static
     race analyzer (:mod:`repro.verify.races`) and its dynamic tiling
     oracle (``tests/test_partition_tiling.py``) agree on.
     """
     if not chunks:
         return []
+    placement = (
+        list(nominal) if nominal is not None
+        else split_even(extent, len(chunks))
+    )
+    if len(placement) != len(chunks):
+        raise ParallelError(
+            f"nominal partition has {len(placement)} entries for "
+            f"{len(chunks)} chunks"
+        )
     offset, spans = 0, []
-    for nominal, declared in zip(split_even(extent, len(chunks)), chunks):
+    for nom, declared in zip(placement, chunks):
         spans.append((offset, offset + max(declared, 0)))
-        offset += nominal
+        offset += nom
     return spans
+
+
+def weighted_split(extent: int, weights, granule: int = 1) -> List[int]:
+    """Split ``extent`` into ``len(weights)`` chunks by throughput weight.
+
+    The extent is divided into work units of ``granule`` rows (pass the
+    kernel's ``mr`` so no thread is handed a sliver thinner than one
+    register tile — edge kernels are so much slower that row-
+    proportional splits can *lose* to the balanced one) and the units
+    are assigned greedily to minimize the makespan: each unit goes to
+    the thread whose finish time ``(count + 1) / weight`` stays
+    smallest (ties to the lower index).  Unit counts are asymptotically
+    proportional to the weights.  When every weight is equal the unit
+    assignment is *exactly* :func:`split_even` — at ``granule=1`` the
+    homogeneous fast path stays bit-for-bit — and chunks may be zero
+    for threads too slow to earn a unit (idle threads, like the
+    balanced split).  The last nonzero chunk absorbs the final partial
+    granule so the chunks always sum to ``extent``.
+    """
+    if not weights:
+        raise ParallelError("weights must be non-empty")
+    if extent < 0:
+        raise ParallelError(f"extent must be >= 0, got {extent}")
+    check_positive_int(granule, "granule", ParallelError)
+    for w in weights:
+        if not w >= 0:
+            raise ParallelError(f"weights must be >= 0, got {w!r}")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ParallelError("at least one weight must be positive")
+    units = extent if granule == 1 else ceil_div(extent, granule)
+    if all(w == weights[0] for w in weights):
+        counts = split_even(units, len(weights))
+    else:
+        counts = [0] * len(weights)
+        ready = [
+            ((counts[i] + 1) / float(w), i)
+            for i, w in enumerate(weights) if w > 0
+        ]
+        heapq.heapify(ready)
+        for _ in range(units):
+            _, i = heapq.heappop(ready)
+            counts[i] += 1
+            heapq.heappush(ready, ((counts[i] + 1) / float(weights[i]), i))
+    if granule == 1:
+        return counts
+    chunks = [c * granule for c in counts]
+    excess = sum(chunks) - extent
+    if excess:
+        for i in reversed(range(len(chunks))):
+            if chunks[i] > 0:
+                chunks[i] -= excess
+                break
+    return chunks
+
+
+def weighted_spans(
+    extent: int, weights, granule: int = 1
+) -> List[Tuple[int, int]]:
+    """``[start, end)`` spans of the throughput-weighted partition.
+
+    Prefix sums of :func:`weighted_split`: the spans tile ``[0, extent)``
+    exactly (no gap, no overlap) and degenerate to
+    :func:`strip_spans` of the balanced split when all weights are
+    equal.
+    """
+    chunks = weighted_split(extent, weights, granule=granule)
+    return strip_spans(extent, chunks, nominal=chunks)
+
+
+def core_class_weights(machine, threads: int) -> List[float]:
+    """Per-thread throughput weight under compact placement.
+
+    Thread ``t`` runs on core ``t``; its weight is its core class's
+    ``vector_bits x fma_ports x freq_hz`` — proportional to
+    ``flops_per_cycle(dtype) x frequency`` for every dtype, so one
+    weight vector serves all precisions.  On a homogeneous machine all
+    weights are equal and :func:`weighted_split` degenerates to
+    :func:`split_even`.
+    """
+    check_positive_int(threads, "threads", ParallelError)
+    classes = machine.classes
+    weights = []
+    for t in range(threads):
+        cls = classes[machine.core_class_of(t % machine.n_cores)]
+        core = cls.core
+        weights.append(
+            float(core.vector_bits * core.ports["fma"] * core.freq_hz)
+        )
+    return weights
 
 
 def openblas_partition(m: int, n: int, threads: int) -> List[Tuple[int, int]]:

@@ -24,7 +24,7 @@ guard — pricing with ``sink=None`` does no extra work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Optional, Tuple
 
 from ..core.fusion import fused_pack_cycles
@@ -51,6 +51,44 @@ from .trace import TraceEvent, TraceSink
 
 
 @dataclass
+class ClassModels:
+    """Per-core-class model bindings for heterogeneous strip pricing.
+
+    Built once per :class:`~repro.parallel.executor.MultithreadedGemm`
+    from the class's homogeneous view machine
+    (:meth:`~repro.machine.config.MachineConfig.class_machine`); the
+    engine prices a class-tagged strip against these instead of the
+    base-class bindings, then converts the class-clock cycles to
+    base-core cycles through ``freq_scale`` (class / base frequency).
+    """
+
+    name: str
+    machine: Any
+    cache: Any
+    kernel_cost: Any
+    packing: Any
+    freq_scale: float
+
+    def __repr__(self) -> str:
+        # Stable identity for context tokens: the cache/kernel/packing
+        # models are pure functions of the class machine and the shared
+        # sharing/NUMA/bandwidth situation already tokened through the
+        # cache model, so their default object reprs (which embed
+        # process-specific addresses) must not leak into memo keys.
+        return (
+            f"ClassModels(name={self.name!r}, machine={self.machine!r}, "
+            f"cache={_model_token_of(self.cache)}, "
+            f"freq_scale={self.freq_scale!r})"
+        )
+
+
+def _model_token_of(obj: Any) -> str:
+    from .fingerprint import model_token
+
+    return model_token(obj)
+
+
+@dataclass
 class PricingContext:
     """The model bindings one plan is priced against.
 
@@ -58,6 +96,10 @@ class PricingContext:
     ``kernel_cost``/``catalog``; the reference SMM binds
     ``jit``/``analyzer``.  ``cache`` is already configured for the
     plan's sharing/NUMA situation (single-core or multithreaded).
+    ``class_models`` is ``None`` on homogeneous machines; a
+    heterogeneous lowering binds one :class:`ClassModels` per core
+    class, indexed by the ``core_classes`` tags on
+    :class:`~repro.plan.ir.ThreadStripsOp` strips.
     """
 
     machine: Any
@@ -70,6 +112,7 @@ class PricingContext:
     analyzer: Any = None
     warm: bool = True
     pack_edge_b: bool = True
+    class_models: Any = None
 
 
 # ---------------------------------------------------------------------------
@@ -592,6 +635,9 @@ class Engine:
         self._charge(timing, sink, node, "sync", cycles, detail)
 
     def _thread_strips(self, node: ThreadStripsOp, ctx, timing, sink) -> None:
+        if node.core_classes and ctx.class_models is not None:
+            self._thread_strips_classed(node, ctx, timing, sink)
+            return
         max_chunk = max(node.chunks)
         pack_a, kernel, executed_max = self._strip_cost(ctx, node, max_chunk)
         detail = None
@@ -612,6 +658,72 @@ class Engine:
             else:
                 _, _, executed = self._strip_cost(ctx, node, chunk_size)
             value = executed * count
+            for factor in node.executed_factors:
+                value = value * factor
+            self._add_executed(timing, sink, node, value)
+
+    def _class_context(self, ctx, cm: ClassModels):
+        """The per-class view of ``ctx`` a tagged strip is priced with."""
+        return replace(
+            ctx,
+            machine=cm.machine,
+            cache=cm.cache,
+            packing=cm.packing,
+            kernel_cost=cm.kernel_cost,
+            class_models=None,
+        )
+
+    def _thread_strips_classed(
+        self, node: ThreadStripsOp, ctx, timing, sink
+    ) -> None:
+        """Heterogeneous strips: per-class costs, base-clock critical path.
+
+        Each (chunk, class) pair is priced once with its class's
+        kernel/cache/packing models, converted from class-clock to
+        base-core cycles through ``freq_scale``; the barrier-bound
+        critical path is the strip with the largest pack-A + kernel
+        total, and executed flops sum over every distinct pair weighted
+        by multiplicity.
+        """
+        tags = node.core_classes
+        if len(tags) != len(node.chunks):
+            raise ParallelError(
+                f"{len(tags)} core-class tags for {len(node.chunks)} chunks"
+            )
+        counts: dict = {}
+        for chunk, tag in zip(node.chunks, tags):
+            if chunk <= 0:
+                continue
+            counts[(chunk, tag)] = counts.get((chunk, tag), 0) + 1
+        if not counts:
+            raise ParallelError("empty partition")
+        priced = {}
+        worst_key = None
+        for chunk, tag in counts:
+            cm = ctx.class_models[tag]
+            cctx = self._class_context(ctx, cm)
+            pack_a, kernel, executed = self._strip_cost(cctx, node, chunk)
+            pack_a /= cm.freq_scale
+            kernel /= cm.freq_scale
+            priced[(chunk, tag)] = (pack_a, kernel, executed)
+            if (worst_key is None
+                    or pack_a + kernel > sum(priced[worst_key][:2])):
+                worst_key = (chunk, tag)
+        pack_a, kernel, _ = priced[worst_key]
+        detail = None
+        if sink is not None:
+            detail = {
+                "max_chunk": worst_key[0],
+                "critical_class": worst_key[1],
+                "chunks": list(node.chunks),
+                "core_classes": list(tags),
+                "pack_a_share": node.pack_a_share,
+                "b_shared_by": node.b_shared_by,
+            }
+        self._charge(timing, sink, node, "pack_a", pack_a, detail)
+        self._charge(timing, sink, node, "kernel", kernel, detail)
+        for key, count in counts.items():
+            value = priced[key][2] * count
             for factor in node.executed_factors:
                 value = value * factor
             self._add_executed(timing, sink, node, value)

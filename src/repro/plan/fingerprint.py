@@ -38,6 +38,16 @@ from typing import Any, Dict, List, Optional, Tuple
 #: field values hashed verbatim in canonical keys
 PRIMITIVES = (type(None), bool, int, float, str)
 
+#: IR fields added *after* golden fingerprints were frozen, with the
+#: sentinel value meaning "legacy behavior".  :func:`canonical_node`
+#: omits such a field while it holds its sentinel, so every pre-existing
+#: plan keeps its canonical form (and fingerprint) bit-for-bit; any
+#: non-sentinel value — e.g. per-strip core-class tags on a
+#: heterogeneous machine — folds into structural identity as usual.
+LEGACY_OMIT_DEFAULTS: Dict[str, Any] = {
+    "core_classes": (),
+}
+
 
 def canonical_value(value: Any) -> Any:
     """Hashable, structure-preserving token for one node field value."""
@@ -56,9 +66,11 @@ def canonical_node(node: Any) -> Tuple:
         for f in dataclasses.fields(node):
             if f.name in ("children", "subplans"):
                 continue
-            fields.append(
-                (f.name, canonical_value(getattr(node, f.name)))
-            )
+            value = getattr(node, f.name)
+            if (f.name in LEGACY_OMIT_DEFAULTS
+                    and value == LEGACY_OMIT_DEFAULTS[f.name]):
+                continue
+            fields.append((f.name, canonical_value(value)))
     children = tuple(
         canonical_node(c) for c in getattr(node, "children", ())
     )

@@ -220,6 +220,15 @@ class ThreadStripsOp(PlanNode):
     (weighted by multiplicity) and are then scaled by
     ``executed_factors`` (the BLIS jc*ic*jr replication), folded left to
     match the original accumulation order.
+
+    ``core_classes`` tags each strip with the core-class index (into
+    ``machine.classes``) of the thread executing it; the empty tuple —
+    the homogeneous default, deliberately omitted from canonical plan
+    identity so pre-class fingerprints stand — means "every strip runs
+    on class 0".  A throughput-weighted lowering emits one tag per
+    chunk; the engine then prices each strip with its class's kernel
+    and cache models and the verifier checks residency against the
+    strip's own L1/L2.
     """
 
     label: str
@@ -233,6 +242,7 @@ class ThreadStripsOp(PlanNode):
     pack_a_share: int = 1
     b_shared_by: int = 1
     executed_factors: Tuple[int, ...] = ()
+    core_classes: Tuple[int, ...] = ()
     kind: ClassVar[str] = "thread_strips"
 
 

@@ -12,7 +12,13 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.reference import SmmDecision
-from ..parallel.partition import blis_factorization, grid_partition, split_even
+from ..parallel.partition import (
+    blis_factorization,
+    core_class_weights,
+    grid_partition,
+    split_even,
+    weighted_split,
+)
 from ..timing.models import gemm_flops
 from ..util.errors import DriverError
 from ..util.validation import ceil_div
@@ -38,6 +44,21 @@ from .ir import (
 
 def _round_up(value: int, base: int) -> int:
     return ((value + base - 1) // base) * base
+
+
+def _coop_kc(kc: int, ncb: int, nr: int, itemsize: int,
+             l2_bytes: int) -> int:
+    """Largest kc whose cooperative packed B panel fits the shared L2.
+
+    A cooperatively packed ``kc x round_up(ncb, nr)`` B panel lives in
+    the cluster-shared L2 (the V313 budget); a machine with a larger L1
+    than the Phytium derives a kc from it that can overflow a 2 MiB
+    cluster on wide panels.  The clamp is exact-no-op whenever the
+    driver's kc already fits — every golden Phytium case does — and
+    floors at 32 so degenerate geometries still make progress.
+    """
+    limit = l2_bytes // (_round_up(ncb, nr) * itemsize)
+    return max(32, min(kc, limit))
 
 
 # ---------------------------------------------------------------------------
@@ -425,6 +446,7 @@ def _mt_context(mt) -> PricingContext:
         kernel_cost=mt.kernel_cost,
         catalog=mt.driver.catalog,
         warm=mt.driver.config.warm,
+        class_models=getattr(mt, "class_models", None),
     )
 
 
@@ -440,21 +462,56 @@ def _mt_meta(mt, m, n, k, info) -> dict:
 
 
 def _lower_mt_openblas(mt, m, n, k) -> ExecutionPlan:
-    """1-D M split across all T threads; B packed cooperatively by all."""
+    """1-D M split across all T threads; B packed cooperatively by all.
+
+    On a heterogeneous machine every strip carries its thread's
+    core-class tag (compact placement: thread t on core t) so the
+    engine prices it with the right class models; with
+    ``partition="weighted"`` the chunk sizes additionally follow the
+    per-class throughput weights instead of the balanced split.
+    Homogeneous machines emit exactly the legacy plan — no tags, even
+    chunks — keeping golden fingerprints bit-for-bit.
+    """
     drv = mt.driver
     blocking = drv.blocking
     cat = drv.catalog
     itemsize = mt.dtype.itemsize
     T = mt.threads
-    chunks = tuple(c for c in split_even(m, T))
+    heterogeneous = mt.machine.is_heterogeneous
+    tags = (
+        tuple(
+            mt.machine.core_class_of(t % mt.machine.n_cores)
+            for t in range(T)
+        )
+        if heterogeneous else ()
+    )
+    if heterogeneous and getattr(mt, "partition", "even") == "weighted":
+        # mr-granular units: a thread handed a sliver thinner than one
+        # register tile pays the full edge-kernel sweep anyway, so the
+        # weighted partition apportions whole mr-tiles
+        chunks = tuple(weighted_split(
+            m, core_class_weights(mt.machine, T), granule=cat.mr
+        ))
+    else:
+        chunks = tuple(c for c in split_even(m, T))
     source_res = drv._source_residency(m, n, k, itemsize, mt.cache_mt)
+    if heterogeneous and getattr(mt, "class_models", None):
+        # a residency claim tagged onto per-class strips must hold on
+        # EVERY class it schedules on (the verifier checks each strip
+        # against its own L1/L2), so take the weakest class's verdict
+        for cm in mt.class_models:
+            if drv._source_residency(m, n, k, itemsize, cm.cache) == "mem":
+                source_res = "mem"
+                break
     b_shared = min(mt.machine.l2.shared_by, T)
 
     kids = []
     for jj in range(0, n, blocking.nc):
         ncb = min(blocking.nc, n - jj)
-        for kk in range(0, k, blocking.kc):
-            kcb = min(blocking.kc, k - kk)
+        kc_panel = _coop_kc(blocking.kc, ncb, cat.nr, itemsize,
+                            mt.machine.l2.size_bytes)
+        for kk in range(0, k, kc_panel):
+            kcb = min(kc_panel, k - kk)
             step = (
                 PackOp(
                     label=f"pack_b[{kcb}x{ncb}]", bucket="pack_b",
@@ -472,6 +529,7 @@ def _lower_mt_openblas(mt, m, n, k) -> ExecutionPlan:
                     pack_a_contiguous=drv.config.pack_a_contiguous,
                     mc=blocking.mc,
                     b_shared_by=b_shared,
+                    core_classes=tags,
                 ),
                 BarrierOp(label="kc-barrier", group=T),
             )
@@ -481,6 +539,8 @@ def _lower_mt_openblas(mt, m, n, k) -> ExecutionPlan:
         "chunks_nonzero": sum(1 for c in chunks if c),
         "max_chunk": max(chunks),
     }
+    if heterogeneous:
+        info["partition"] = getattr(mt, "partition", "even")
     return ExecutionPlan(
         root=Section("mt-1d-m", tuple(kids)),
         meta=_mt_meta(mt, m, n, k, info),
@@ -505,8 +565,13 @@ def _lower_mt_blis(mt, m, n, k) -> ExecutionPlan:
     for jj in range(0, n_group, blocking.nc):
         ncb = min(blocking.nc, n_group - jj)
         ncb_thread = min(n_thread, ncb)
-        for kk in range(0, k, blocking.kc):
-            kcb = min(blocking.kc, k - kk)
+        kc_panel = (
+            _coop_kc(blocking.kc, ncb, cat.nr, itemsize,
+                     mt.machine.l2.size_bytes)
+            if fact.pack_b_group > 1 else blocking.kc
+        )
+        for kk in range(0, k, kc_panel):
+            kcb = min(kc_panel, k - kk)
             step = [
                 # B pack cooperative within the jc group
                 PackOp(

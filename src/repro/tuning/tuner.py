@@ -31,7 +31,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.reference import ReferenceSmmDriver
-from ..kernels.design import candidate_tiles
+from ..kernels.design import class_tile_candidates
 from ..kernels.generator import KernelSpec
 from ..machine.config import MachineConfig
 from ..parallel.partition import factorization_candidates
@@ -121,13 +121,21 @@ class AdaptiveTuner:
         return drv
 
     def tile_candidates(self, packed_b: bool) -> List[KernelSpec]:
-        """Main-tile specs to price for one packing decision."""
+        """Main-tile specs to price for one packing decision.
+
+        The CMR frontier is enumerated per core class (the union over
+        ``machine.classes``), so an SVE-class or big.LITTLE machine
+        contributes every class's analytically best tiles to the same
+        search.  Homogeneous machines see exactly the legacy candidate
+        list: class 0 is the base core, and there is no other class.
+        """
         jit = self.driver(1).jit
         specs = list(jit.main_candidates(packed_b))
         if packed_b:
             seen = {(s.mr, s.nr) for s in specs}
-            for design in candidate_tiles(self.machine.core, self.dtype,
-                                          limit=self.tile_limit):
+            for _, design in class_tile_candidates(
+                self.machine, self.dtype, limit=self.tile_limit
+            ):
                 if (design.mr, design.nr) in seen:
                     continue
                 seen.add((design.mr, design.nr))

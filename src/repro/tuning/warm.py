@@ -19,7 +19,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..machine import a64fx_like, graviton2_like, phytium2000plus
+from ..machine import (
+    a64fx_like,
+    big_little_like,
+    graviton2_like,
+    phytium2000plus,
+    sve512_like,
+)
 from ..util.errors import ConfigError, ReproError
 from .cache import TuningCache
 from .plan import TunedPlan
@@ -32,6 +38,8 @@ MACHINE_FACTORIES = {
     "phytium2000plus": phytium2000plus,
     "graviton2_like": graviton2_like,
     "a64fx_like": a64fx_like,
+    "big_little_like": big_little_like,
+    "sve512_like": sve512_like,
 }
 
 

@@ -13,7 +13,10 @@ root:
   end-to-end cost a batch/serve layer would pay per plan);
 * **batch sweep** — the same golden plan set priced through the batch
   layer (:mod:`repro.plan.batch`), cold then warm, with the tape /
-  interning / primitive cache counters (docs/PERFORMANCE.md).
+  interning / primitive cache counters (docs/PERFORMANCE.md);
+* **het sweep** — the weighted-vs-balanced modeled speedup envelope on
+  the ``big_little_like()`` asymmetric socket (Fig. 10 small-M sweep);
+  ``min_speedup`` must stay strictly above 1.0.
 
 All measurements run with the persistent steady-state store attached —
 the configuration ``repro lint --plans`` ships with.  One JSON file per
@@ -134,6 +137,34 @@ def measure_batch_sweep(machine) -> Dict[str, object]:
     }
 
 
+def measure_het_sweep() -> Dict[str, object]:
+    """Weighted-vs-even modeled speedup on the big.LITTLE machine.
+
+    Runs the Fig. 10 small-M heterogeneous sweep
+    (:func:`repro.analysis.fig10_heterogeneous`) on ``big_little_like()``
+    and records the speedup envelope.  ``min_speedup`` is the roadmap
+    floor — it must stay strictly above 1.0 (the weighted partition is
+    never worse than the balanced one on an asymmetric socket).
+    """
+    from ..analysis import fig10_heterogeneous
+
+    start = time.perf_counter()
+    fig = fig10_heterogeneous()
+    elapsed = time.perf_counter() - start
+    speedups = fig.series_by_name("speedup").ys
+    geomean = 1.0
+    for s in speedups:
+        geomean *= s
+    geomean **= 1.0 / len(speedups)
+    return {
+        "shapes": len(speedups),
+        "min_speedup": round(min(speedups), 4),
+        "max_speedup": round(max(speedups), 4),
+        "geomean_speedup": round(geomean, 4),
+        "wall_seconds": round(elapsed, 3),
+    }
+
+
 def record(rev: Optional[str] = None,
            output: Optional[str] = None) -> Path:
     """Measure all three numbers and write ``BENCH_<rev>.json``."""
@@ -153,6 +184,7 @@ def record(rev: Optional[str] = None,
         "lint_sweep": measure_lint_sweep(machine),
         "pricing": measure_pricing(machine),
         "batch_sweep": measure_batch_sweep(machine),
+        "het_sweep": measure_het_sweep(),
     }
     save_attached_stores()
     path = Path(output) if output else Path(f"BENCH_{rev}.json")

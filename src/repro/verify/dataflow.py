@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..memlayout.addressspace import AddressSpace, Allocation
-from ..parallel.partition import strip_spans
+from ..parallel.partition import strip_spans, weighted_split
 from ..plan.ir import (
     ExecutionPlan,
     FusedPackOp,
@@ -100,16 +100,84 @@ class Access:
         return f"{self.buffer}{self.rows}x{self.cols}"
 
 
-def strip_row_intervals(extent: int, chunks) -> List[Interval]:
+def strip_row_intervals(extent: int, chunks,
+                        nominal=None) -> List[Interval]:
     """Per-thread C/A row intervals of one ThreadStripsOp fan-out.
 
-    Thread ``t``'s rows start at the balanced partition's prefix sum and
-    span its declared chunk — the placement
+    Thread ``t``'s rows start at the nominal partition's prefix sum —
+    the balanced :func:`~repro.parallel.partition.split_even` by
+    default, or an explicit ``nominal`` chunking (the throughput-
+    weighted partition of a heterogeneous lowering) — and span its
+    declared chunk: the placement
     :func:`repro.parallel.partition.strip_spans` defines, under which a
-    legal ``split_even`` chunking tiles ``[0, extent)`` exactly and an
-    inflated chunk overlaps its successor.
+    legal chunking tiles ``[0, extent)`` exactly and an inflated chunk
+    overlaps its successor.
     """
-    return [Interval(lo, hi) for lo, hi in strip_spans(extent, chunks)]
+    return [
+        Interval(lo, hi)
+        for lo, hi in strip_spans(extent, chunks, nominal=nominal)
+    ]
+
+
+def plan_partition_mode(plan: ExecutionPlan) -> str:
+    """The 1-D partition scheme a plan's lowering declared.
+
+    ``"weighted"`` when the multithreaded lowering recorded a
+    throughput-weighted M split in its info metadata; ``"even"``
+    otherwise (the legacy balanced split).
+    """
+    meta = plan.meta if isinstance(plan.meta, dict) else {}
+    info = meta.get("info")
+    mode = info.get("partition") if isinstance(info, dict) else None
+    return mode if mode in ("even", "weighted") else "even"
+
+
+def plan_kernel_granule(plan: ExecutionPlan) -> int:
+    """The kernel's mr — the work-unit granule of a weighted partition.
+
+    Parsed from the plan's ``kernel_shape`` metadata (``"MRxNR"``); 1
+    when absent or malformed (row-granular placement).
+    """
+    meta = plan.meta if isinstance(plan.meta, dict) else {}
+    shape = meta.get("kernel_shape")
+    if isinstance(shape, str) and "x" in shape:
+        try:
+            return max(1, int(shape.split("x", 1)[0]))
+        except ValueError:
+            pass
+    return 1
+
+
+def strip_nominal_chunks(extent: int, node: Any, machine,
+                         mode: str, granule: int = 1
+                         ) -> Optional[List[int]]:
+    """The nominal partition placing a (possibly class-tagged) fan-out.
+
+    ``None`` means the balanced default.  For a weighted-partition plan
+    the nominal offsets follow the per-class throughput weights derived
+    from the strip tags at the kernel's mr ``granule`` (the unit size
+    the lowering apportions); unknown class indices yield ``None``
+    (placement falls back to balanced — the V422 check reports the bad
+    tag itself).
+    """
+    tags = getattr(node, "core_classes", ())
+    if mode != "weighted" or not tags or machine is None:
+        return None
+    if len(tags) != len(getattr(node, "chunks", ())):
+        return None  # tag/chunk count mismatch: V422 territory
+    try:
+        classes = machine.classes
+    except AttributeError:
+        return None
+    weights = []
+    for tag in tags:
+        if not isinstance(tag, int) or not 0 <= tag < len(classes):
+            return None
+        core = classes[tag].core
+        weights.append(
+            float(core.vector_bits * core.ports["fma"] * core.freq_hz)
+        )
+    return weighted_split(extent, weights, granule=granule)
 
 
 # ---------------------------------------------------------------------------
@@ -216,12 +284,14 @@ def build_address_model(
 
 
 def node_accesses(node: Any, mnk: Tuple[int, int, int],
-                  path: str) -> List[Access]:
+                  path: str, nominal=None) -> List[Access]:
     """The matrix regions one plan node touches, as placed intervals.
 
     Tiles without explicit offsets are placed at the origin (the
     in-bounds proof only needs *some* legal placement to exist, i.e.
-    extent-fits-extent); thread strips carry their canonical offsets.
+    extent-fits-extent); thread strips carry their canonical offsets —
+    balanced by default, or the ``nominal`` weighted partition a
+    heterogeneous lowering declared.
     """
     m, n, k = mnk
     out: List[Access] = []
@@ -253,7 +323,7 @@ def node_accesses(node: Any, mnk: Tuple[int, int, int],
         touch("C", "write", Interval.sized(0, node.m),
               Interval.sized(0, node.n))
     elif isinstance(node, ThreadStripsOp):
-        for rows in strip_row_intervals(m, node.chunks):
+        for rows in strip_row_intervals(m, node.chunks, nominal=nominal):
             if rows.empty:
                 continue
             touch("A", "read", rows, Interval.sized(0, node.kcb))
@@ -277,20 +347,29 @@ class DataflowAnalyzer:
         if mnk is None or isinstance(plan.root, MergeOp):
             return []
         model = build_address_model(plan, mnk)
+        machine = getattr(plan.context, "machine", None)
+        mode = plan_partition_mode(plan)
+        granule = plan_kernel_granule(plan)
         diags: List[PlanDiagnostic] = []
-        self._walk(plan.root, "", driver, mnk, model, diags)
+        self._walk(plan.root, "", driver, mnk, model, machine, mode,
+                   granule, diags)
         return diags
 
     def _walk(self, node: Any, parent: str, driver: str, mnk,
-              model: PlanAddressModel,
+              model: PlanAddressModel, machine, mode: str, granule: int,
               diags: List[PlanDiagnostic]) -> None:
         path = _segment(parent, node)
         if isinstance(node, PackOp):
             self._check_pack_capacity(node, path, driver, model, diags)
-        for access in node_accesses(node, mnk, path):
+        nominal = None
+        if isinstance(node, ThreadStripsOp):
+            nominal = strip_nominal_chunks(mnk[0], node, machine, mode,
+                                           granule=granule)
+        for access in node_accesses(node, mnk, path, nominal=nominal):
             self._check_bounds(access, driver, model, diags)
         for child in getattr(node, "children", ()):
-            self._walk(child, path, driver, mnk, model, diags)
+            self._walk(child, path, driver, mnk, model, machine, mode,
+                       granule, diags)
         # critical-path/merge sub-plans are full plans with their own
         # shapes; PlanVerifier re-enters the analysis per sub-plan
 
@@ -357,6 +436,9 @@ __all__ = [
     "build_address_model",
     "node_accesses",
     "strip_row_intervals",
+    "plan_partition_mode",
+    "plan_kernel_granule",
+    "strip_nominal_chunks",
     "DataflowAnalyzer",
     "analyze_dataflow",
 ]

@@ -372,6 +372,7 @@ class PlanVerifier:
                     f"extent of {m} (two threads own the same C rows)",
                     path,
                 )
+        self._strip_class_residency(node, path, st)
         self._consume(live, "pack_b", node.kcb, node.ncb, path, st)
 
     def _critical_path(self, node: CriticalPathOp, path: str,
@@ -447,6 +448,59 @@ class PlanVerifier:
                     f"{l2} B cluster-shared L2",
                     path,
                 )
+
+    def _strip_class_residency(self, node: ThreadStripsOp, path: str,
+                               st: _WalkState) -> None:
+        """V31x for class-tagged strips: claims hold on the strip's OWN caches.
+
+        Untagged (homogeneous) strips carry no per-strip residency
+        semantics, so the legacy behavior — no check — is preserved
+        bit-for-bit.  A heterogeneous lowering claims residency with
+        the weakest predicate over every class it schedules on (see
+        ``_lower_mt_openblas``), so a clean plan still cannot be
+        flagged; a strip whose class's private caches cannot hold the
+        claimed working set is checked against *that* class's L1/L2,
+        not the base core's.
+        """
+        if not node.core_classes:
+            return
+        machine = getattr(st.ctx, "machine", None)
+        classes = getattr(machine, "classes", None)
+        if machine is None or not classes:
+            return
+        if len(node.core_classes) != len(node.chunks):
+            return  # malformed tagging is V422's finding, not V31x
+        seen = set()
+        for chunk, tag in zip(node.chunks, node.core_classes):
+            if chunk <= 0 or (chunk, tag) in seen:
+                continue
+            seen.add((chunk, tag))
+            if not isinstance(tag, int) or not 0 <= tag < len(classes):
+                continue  # unknown class indices are V422's finding
+            l1 = machine.class_l1d(tag).size_bytes
+            l2 = machine.class_l2(tag).size_bytes
+            name = classes[tag].name
+            if node.source_resident == "l1":
+                ws = (chunk * node.kcb + node.kcb * node.ncb
+                      + chunk * node.ncb) * node.itemsize
+                if ws > L1_CLAIM_FRACTION * l1:
+                    st.diag(
+                        "V311-l1-residency",
+                        f"strip claimed L1-resident on class {name!r} "
+                        f"with a working set of {ws} B "
+                        f"(> {L1_CLAIM_FRACTION:.0%} of its {l1} B L1d)",
+                        path,
+                    )
+            elif node.source_resident == "l2":
+                a_bytes = chunk * node.kcb * node.itemsize
+                if a_bytes > L2_CLAIM_FRACTION * l2:
+                    st.diag(
+                        "V312-l2-residency",
+                        f"strip's unpacked A slice of {a_bytes} B "
+                        f"claimed L2-resident on class {name!r} "
+                        f"(> {L2_CLAIM_FRACTION:.0%} of its {l2} B L2)",
+                        path,
+                    )
 
     def _gebp_residency(self, node: GebpOp, path: str,
                         st: _WalkState) -> None:
@@ -848,6 +902,35 @@ def _mutant_plans(machine) -> Iterator[Tuple[str, ExecutionPlan]]:
     strips = _find(plan, ThreadStripsOp)
     strips.b_shared_by = machine.l2.shared_by * 8
     yield "V421-topology-mismatch", plan
+
+    # the V422/V423 class rules only arm on tagged strips, so their
+    # mutants start from a heterogeneous lowering regardless of the
+    # machine under test
+    from ..machine.phytium import big_little_like
+
+    het = big_little_like()
+
+    def het_plan():
+        return MultithreadedGemm(
+            het, "openblas", threads=8
+        ).plan_gemm(64, 256, 256)
+
+    # V422: tag one strip with a class index the machine does not have
+    plan = het_plan()
+    strips = _find(plan, ThreadStripsOp)
+    strips.core_classes = (99,) + tuple(strips.core_classes[1:])
+    yield "V422-class-mismatch", plan
+
+    # V423: shift one row between classes so the chunks match neither
+    # the balanced nor the throughput-weighted partition (sum stays M,
+    # so V301/V331 stay quiet and only the imbalance is the defect)
+    plan = het_plan()
+    strips = _find(plan, ThreadStripsOp)
+    chunks = list(strips.chunks)
+    chunks[0] -= 1
+    chunks[-1] += 1
+    strips.chunks = tuple(chunks)
+    yield "V423-unbalanced-strips", plan
 
 
 def plan_self_check(machine) -> List[Tuple[str, bool]]:

@@ -81,17 +81,25 @@ PLAN_RULES: Dict[str, Rule] = {
         Rule("V413-grid-race", "error",
              "2-D grid chunks admit no disjoint row x column "
              "decomposition (concurrent sub-GEMMs share C tiles)"),
-        # -- machine-topology consistency (V421) -----------------------
+        # -- machine-topology consistency (V421-V423) ------------------
         Rule("V421-topology-mismatch", "error",
              "sharing-group claim inconsistent with the machine's "
              "core/L2-cluster topology"),
+        Rule("V422-class-mismatch", "error",
+             "per-strip core-class tags inconsistent with the machine's "
+             "core classes (wrong count, unknown class index, or a tag "
+             "disagreeing with compact thread placement)"),
+        Rule("V423-unbalanced-strips", "error",
+             "heterogeneous strip chunks match neither the balanced nor "
+             "the throughput-weighted partition (some core class is "
+             "over- or under-subscribed)"),
     )
 }
 
 #: Bumped whenever the combined kernel+plan rule inventory changes shape
 #: (new family, renamed field); surfaced as ``rule_catalog_version`` in
 #: ``repro lint --json`` so downstream consumers can detect drift.
-RULE_CATALOG_VERSION = 2
+RULE_CATALOG_VERSION = 3
 
 
 def full_rule_catalog() -> Dict[str, Rule]:

@@ -47,7 +47,14 @@ from ..plan.ir import (
     Section,
     ThreadStripsOp,
 )
-from .dataflow import Interval, strip_row_intervals
+from ..parallel.partition import split_even
+from .dataflow import (
+    Interval,
+    plan_kernel_granule,
+    plan_partition_mode,
+    strip_nominal_chunks,
+    strip_row_intervals,
+)
 from .planrules import PlanDiagnostic, make_plan_diagnostic
 
 
@@ -163,6 +170,9 @@ class _RaceState:
     threads: int
     mnk: Optional[Tuple[int, int, int]]
     diags: List[PlanDiagnostic]
+    machine: Any = None
+    partition: str = "even"
+    granule: int = 1
 
     def diag(self, rule_id: str, message: str, path: str) -> None:
         self.diags.append(
@@ -180,10 +190,12 @@ class RaceAnalyzer:
         excluded: the verifier recurses into them itself)."""
         if isinstance(plan.root, MergeOp):
             return []
-        st = _RaceState(driver=driver, threads=threads, mnk=mnk,
-                        diags=[])
-        self._scope((plan.root,), "", st)
         machine = getattr(plan.context, "machine", None)
+        st = _RaceState(driver=driver, threads=threads, mnk=mnk,
+                        diags=[], machine=machine,
+                        partition=plan_partition_mode(plan),
+                        granule=plan_kernel_granule(plan))
+        self._scope((plan.root,), "", st)
         if machine is not None:
             self._topology(plan.root, "", machine, st)
         return st.diags
@@ -256,7 +268,9 @@ class RaceAnalyzer:
         if st.mnk is None:
             return
         m = st.mnk[0]
-        intervals = strip_row_intervals(m, node.chunks)
+        nominal = strip_nominal_chunks(m, node, st.machine, st.partition,
+                                       granule=st.granule)
+        intervals = strip_row_intervals(m, node.chunks, nominal=nominal)
         for t in range(len(intervals) - 1):
             mine, rest = intervals[t], intervals[t + 1]
             if not mine.overlaps(rest):
@@ -330,8 +344,79 @@ class RaceAnalyzer:
                 f"plan's {st.threads} thread(s)",
                 path,
             )
+        if isinstance(node, ThreadStripsOp):
+            self._strip_classes(node, path, machine, st)
         for child in getattr(node, "children", ()):
             self._topology(child, path, machine, st)
+
+    # -- core-class consistency of tagged strips (V422 / V423) -------------
+
+    def _strip_classes(self, node: ThreadStripsOp, path: str, machine,
+                       st: _RaceState) -> None:
+        """Class-tag consistency (V422) and partition sanity (V423).
+
+        Untagged strips are the homogeneous legacy form and are always
+        consistent; a tagged fan-out must carry one valid tag per chunk
+        agreeing with compact thread placement, and its declared chunks
+        must realize a recognized partition — balanced or
+        throughput-weighted — of the M extent.
+        """
+        tags = getattr(node, "core_classes", ())
+        if not tags:
+            return
+        classes = getattr(machine, "classes", None)
+        if classes is None:
+            return
+        if len(tags) != len(node.chunks):
+            st.diag(
+                "V422-class-mismatch",
+                f"{len(tags)} core-class tag(s) for {len(node.chunks)} "
+                "strip chunk(s) — every strip needs exactly one tag",
+                path,
+            )
+            return
+        for t, tag in enumerate(tags):
+            if not isinstance(tag, int) or not 0 <= tag < len(classes):
+                st.diag(
+                    "V422-class-mismatch",
+                    f"strip {t} tagged with unknown core-class index "
+                    f"{tag!r} (machine has {len(classes)} class(es))",
+                    path,
+                )
+                return
+        core_class_of = getattr(machine, "core_class_of", None)
+        if core_class_of is not None:
+            cores = machine.n_cores
+            for t, tag in enumerate(tags):
+                expected = core_class_of(t % cores)
+                if tag != expected:
+                    st.diag(
+                        "V422-class-mismatch",
+                        f"strip {t} tagged class {tag} "
+                        f"({classes[tag].name!r}) but compact placement "
+                        f"puts thread {t} on a class-{expected} core "
+                        f"({classes[expected].name!r})",
+                        path,
+                    )
+                    return
+        if st.mnk is None or not getattr(machine, "is_heterogeneous",
+                                         False):
+            return
+        m = st.mnk[0]
+        declared = list(node.chunks)
+        even = split_even(m, len(declared))
+        weighted = strip_nominal_chunks(m, node, machine, "weighted",
+                                        granule=st.granule)
+        if declared != even and (weighted is None
+                                 or declared != weighted):
+            st.diag(
+                "V423-unbalanced-strips",
+                f"strip chunks {declared} match neither the balanced "
+                f"partition {even} nor the throughput-weighted "
+                f"partition {weighted} of {m} rows over the tagged "
+                "core classes",
+                path,
+            )
 
 
 def _segment(parent: str, node: Any) -> str:

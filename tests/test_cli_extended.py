@@ -1,5 +1,6 @@
-"""Tests for the report and sensitivity CLI commands."""
+"""Tests for the report, sensitivity and machines CLI commands."""
 
+import json
 import pathlib
 
 import pytest
@@ -41,6 +42,49 @@ class TestSensitivityCommand:
 
         with pytest.raises(ConfigError):
             main(["sensitivity", "core.nonsense", "1"])
+
+
+class TestMachinesCommand:
+    def test_text_inventory_lists_all_factories(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        # every registered factory appears with its core-class breakdown
+        for name in ("phytium2000plus", "big_little_like", "sve512_like"):
+            assert name in out
+        assert "big-ooo-armv8" in out
+        assert "little-armv8" in out
+        assert "GFLOPS" in out
+
+    def test_json_inventory_structure(self, capsys):
+        assert main(["machines", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        by_factory = {m["factory"]: m for m in data["machines"]}
+        assert "phytium2000plus" in by_factory
+        phytium = by_factory["phytium2000plus"]
+        assert phytium["cores"] == 64
+        assert phytium["heterogeneous"] is False
+        assert len(phytium["classes"]) == 1
+
+        bl = by_factory["big_little_like"]
+        assert bl["heterogeneous"] is True
+        assert [c["cores"] for c in bl["classes"]] == [4, 4]
+        big, little = bl["classes"]
+        assert big["peak_gflops_f32"] > little["peak_gflops_f32"]
+        # machine peak is the sum over classes
+        assert bl["peak_gflops_f32"] == pytest.approx(
+            big["peak_gflops_f32"] + little["peak_gflops_f32"]
+        )
+
+        sve = by_factory["sve512_like"]
+        widths = {c["vector_bits"] for c in sve["classes"]}
+        assert 512 in widths
+
+    def test_json_reports_simd_lanes(self, capsys):
+        assert main(["machines", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        for mach in data["machines"]:
+            for cls in mach["classes"]:
+                assert cls["simd_lanes_f32"] == cls["vector_bits"] // 32
 
 
 class TestMakefileTargetsExist:

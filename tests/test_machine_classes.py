@@ -1,0 +1,314 @@
+"""Core-class-aware machine model: big.LITTLE and SVE-class sockets.
+
+The heterogeneous refactor threads :class:`~repro.machine.config
+.CoreClass` through partition, plan IR, pricing, tuner and verifier.
+These tests pin the contract at each layer:
+
+* **model** — ``core_class_of`` / ``class_l1d`` / ``class_l2`` /
+  ``class_machine`` accessors, homogeneous fallback, repr parity;
+* **lowering** — weighted mr-granular strips with per-class tags,
+  weakest-claim residency across class caches;
+* **pricing** — per-class strip costs make the weighted partition
+  strictly cheaper on an asymmetric socket;
+* **identity** — class tags fold into the plan fingerprint; the
+  homogeneous fingerprint is bit-for-bit the legacy one;
+* **tuner** — per-class tile candidates let the SVE-512 class pick a
+  wider tile than the NEON baseline through the same search;
+* **verifier** — class-aware V31x residency plus the V422/V423
+  negative controls.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import candidate_tiles, class_tile_candidates
+from repro.machine import (
+    big_little_like,
+    machine_summary,
+    phytium2000plus,
+    sve512_like,
+)
+from repro.parallel import MultithreadedGemm
+from repro.plan.fingerprint import plan_fingerprint
+from repro.plan.ir import ThreadStripsOp
+from repro.verify import plan_self_check, verify_plan
+
+
+def strips_of(plan):
+    return [n for _, n in plan.walk() if isinstance(n, ThreadStripsOp)]
+
+
+# ---------------------------------------------------------------------------
+# model
+# ---------------------------------------------------------------------------
+
+
+class TestMachineModel:
+    def test_homogeneous_single_class(self, machine):
+        assert not machine.is_heterogeneous
+        assert len(machine.classes) == 1
+        assert machine.classes[0].core is machine.core
+        assert machine.classes[0].count == machine.n_cores
+        assert all(
+            machine.core_class_of(c) == 0 for c in range(machine.n_cores)
+        )
+
+    def test_big_little_layout(self):
+        mach = big_little_like()
+        assert mach.is_heterogeneous
+        assert len(mach.classes) == 2
+        assert mach.n_cores == 8
+        assert [mach.core_class_of(c) for c in range(8)] == [0] * 4 + [1] * 4
+        # invariant: base core is class 0's core
+        assert mach.core is mach.classes[0].core
+
+    def test_class_cache_overrides(self):
+        mach = big_little_like()
+        # little cores carry smaller private caches than the big ones
+        assert (mach.class_l1d(1).size_bytes
+                <= mach.class_l1d(0).size_bytes)
+        assert mach.class_l2(1).size_bytes <= mach.class_l2(0).size_bytes
+        # class 0 overrides default to the machine-level config
+        assert mach.class_l1d(0).size_bytes == mach.l1d.size_bytes
+
+    def test_class_machine_projection(self):
+        mach = big_little_like()
+        little = mach.class_machine(1)
+        assert not little.is_heterogeneous
+        assert little.core is mach.classes[1].core
+        assert little.l1d == mach.class_l1d(1)
+        assert little.l2 == mach.class_l2(1)
+
+    def test_core_class_of_bounds(self):
+        from repro.util.errors import ConfigError
+
+        mach = big_little_like()
+        with pytest.raises(ConfigError):
+            mach.core_class_of(8)
+        with pytest.raises(ConfigError):
+            mach.core_class_of(-1)
+
+    def test_repr_parity_homogeneous(self, machine):
+        # legacy fingerprints hash repr(machine): the homogeneous repr
+        # must not mention the class field at all
+        assert "core_classes" not in repr(machine)
+        assert "core_classes" in repr(big_little_like())
+
+    def test_sve512_wider_vectors(self):
+        mach = sve512_like()
+        widths = {cls.core.vector_bits for cls in mach.classes}
+        assert 512 in widths
+        assert mach.core.simd_lanes(np.float32) >= 16
+
+    def test_summary_reports_classes(self):
+        text = machine_summary(big_little_like())
+        assert "panels" in text
+        assert "L2 clusters" in text
+        assert "classes: 2" in text
+        assert "big-ooo-armv8" in text
+        assert "little-armv8" in text
+
+    def test_summary_homogeneous_unchanged(self, machine):
+        text = machine_summary(machine)
+        assert "classes:" not in text
+        assert "panels" in text
+
+
+# ---------------------------------------------------------------------------
+# lowering
+# ---------------------------------------------------------------------------
+
+
+class TestHeterogeneousLowering:
+    def test_strips_tagged_and_weighted(self):
+        mach = big_little_like()
+        mt = MultithreadedGemm(mach, "openblas", threads=8)
+        assert mt.partition == "weighted"  # auto on asymmetric sockets
+        plan = mt.plan_gemm(128, 512, 512)
+        nodes = strips_of(plan)
+        assert nodes
+        for node in nodes:
+            assert node.core_classes == tuple(
+                mach.core_class_of(t) for t in range(8)
+            )
+            assert sum(node.chunks) == 128
+            big = [c for c, t in zip(node.chunks, node.core_classes)
+                   if t == 0]
+            little = [c for c, t in zip(node.chunks, node.core_classes)
+                      if t == 1]
+            assert sum(big) > sum(little)
+
+    def test_homogeneous_strips_untagged(self, machine):
+        plan = MultithreadedGemm(machine, "openblas",
+                                 threads=8).plan_gemm(128, 512, 512)
+        for node in strips_of(plan):
+            assert node.core_classes == ()
+
+    def test_chunks_mr_granular(self):
+        mach = big_little_like()
+        plan = MultithreadedGemm(mach, "openblas",
+                                 threads=8).plan_gemm(128, 512, 512)
+        for node in strips_of(plan):
+            mr = int(plan.meta["kernel_shape"].split("x")[0])
+            nonzero = [c for c in node.chunks if c]
+            # all but the last nonzero strip are mr-aligned
+            for c in nonzero[:-1]:
+                assert c % mr == 0
+
+    def test_weakest_claim_residency(self):
+        # a warm shape that fits the big L2 but would thrash the little
+        # one must not claim "l2" for any strip
+        mach = big_little_like()
+        mt = MultithreadedGemm(mach, "openblas", threads=8)
+        little_l2 = mach.class_l2(1).size_bytes
+        big_l2 = mach.class_l2(0).size_bytes
+        if little_l2 == big_l2:
+            pytest.skip("classes share L2 sizing; nothing to downgrade")
+        report = verify_plan(mt.plan_gemm(128, 512, 512))
+        assert report.ok, [d.rule for d in report.diagnostics]
+
+    @pytest.mark.parametrize("factory", [big_little_like, sve512_like])
+    @pytest.mark.parametrize("library", ["openblas", "blis", "eigen"])
+    def test_heterogeneous_plans_verify_clean(self, factory, library):
+        mach = factory()
+        mt = MultithreadedGemm(mach, library, threads=mach.n_cores)
+        for shape in [(64, 256, 256), (33, 129, 65), (16, 2048, 2048)]:
+            report = verify_plan(mt.plan_gemm(*shape))
+            assert report.ok, (
+                factory.__name__, library, shape,
+                [d.rule for d in report.diagnostics],
+            )
+
+
+# ---------------------------------------------------------------------------
+# pricing and identity
+# ---------------------------------------------------------------------------
+
+
+class TestClassPricing:
+    def test_weighted_cheaper_than_even_on_big_little(self):
+        mach = big_little_like()
+        for shape in [(64, 2048, 2048), (128, 2048, 2048)]:
+            even = MultithreadedGemm(
+                mach, "openblas", threads=8, partition="even"
+            ).cost(*shape)[0].total_cycles
+            weighted = MultithreadedGemm(
+                mach, "openblas", threads=8, partition="weighted"
+            ).cost(*shape)[0].total_cycles
+            assert weighted < even
+
+    def test_little_class_paces_even_split(self):
+        # under the even split the little class does the same rows at a
+        # lower clock: modeled cost must exceed the all-big projection
+        mach = big_little_like()
+        big_only = mach.class_machine(0)
+        het = MultithreadedGemm(
+            mach, "openblas", threads=8, partition="even"
+        ).cost(128, 1024, 1024)[0].total_cycles
+        homo = MultithreadedGemm(
+            big_only, "openblas", threads=8
+        ).cost(128, 1024, 1024)[0].total_cycles
+        assert het > homo
+
+    def test_fingerprint_covers_class_tags(self):
+        mach = big_little_like()
+        mt = MultithreadedGemm(mach, "openblas", threads=8)
+        plan = mt.plan_gemm(64, 256, 256)
+        base = plan_fingerprint(plan)
+        node = strips_of(plan)[0]
+        node.core_classes = tuple(reversed(node.core_classes))
+        assert plan_fingerprint(plan) != base
+
+    def test_homogeneous_fingerprint_class_free(self, machine):
+        # the canonical form must not leak the (empty) class field, so
+        # pre-refactor fingerprints remain valid cache keys
+        from repro.plan.fingerprint import canonical_plan_body
+
+        plan = MultithreadedGemm(machine, "openblas",
+                                 threads=8).plan_gemm(64, 256, 256)
+        assert "core_classes" not in repr(canonical_plan_body(plan))
+
+
+# ---------------------------------------------------------------------------
+# tuner
+# ---------------------------------------------------------------------------
+
+
+class TestClassTuner:
+    def test_homogeneous_candidates_are_legacy(self, machine):
+        legacy = candidate_tiles(machine.core, np.float32, limit=4)
+        classed = class_tile_candidates(machine, np.float32, limit=4)
+        assert [(idx, d.mr, d.nr) for idx, d in classed] == [
+            (0, d.mr, d.nr) for d in legacy
+        ]
+
+    def test_union_over_classes_dedups(self):
+        mach = big_little_like()
+        classed = class_tile_candidates(mach, np.float32, limit=4)
+        shapes = [(d.mr, d.nr) for _, d in classed]
+        assert len(shapes) == len(set(shapes))
+        assert {idx for idx, _ in classed} <= {0, 1}
+
+    def test_sve512_contributes_wider_tiles(self, machine):
+        neon = {(d.mr, d.nr)
+                for _, d in class_tile_candidates(machine, np.float32)}
+        sve = {(d.mr, d.nr)
+               for _, d in class_tile_candidates(sve512_like(), np.float32)}
+        assert max(mr * nr for mr, nr in sve) > max(
+            mr * nr for mr, nr in neon
+        )
+
+    def test_tuner_selects_wider_tile_on_sve512(self, tmp_path):
+        from repro.tuning import AdaptiveTuner
+
+        shape = (48, 48, 48)
+        neon_plan = AdaptiveTuner(
+            phytium2000plus(),
+            cache_path=str(tmp_path / "neon.json"),
+        ).tune(*shape)
+        sve_plan = AdaptiveTuner(
+            sve512_like(),
+            cache_path=str(tmp_path / "sve.json"),
+        ).tune(*shape)
+        neon_mr, neon_nr = neon_plan.spec.mr, neon_plan.spec.nr
+        sve_mr, sve_nr = sve_plan.spec.mr, sve_plan.spec.nr
+        assert sve_mr * sve_nr > neon_mr * neon_nr
+
+
+# ---------------------------------------------------------------------------
+# verifier
+# ---------------------------------------------------------------------------
+
+
+class TestClassVerifier:
+    def test_v422_v423_in_self_check(self, machine):
+        results = dict(plan_self_check(machine))
+        assert results["V422-class-mismatch"] is True
+        assert results["V423-unbalanced-strips"] is True
+        # and the refactor broke none of the existing controls
+        assert all(results.values()), [
+            r for r, fired in results.items() if not fired
+        ]
+
+    def test_v422_fires_on_unknown_tag(self):
+        mach = big_little_like()
+        plan = MultithreadedGemm(mach, "openblas",
+                                 threads=8).plan_gemm(64, 256, 256)
+        node = strips_of(plan)[0]
+        node.core_classes = (99,) + tuple(node.core_classes[1:])
+        report = verify_plan(plan)
+        assert any(d.rule == "V422-class-mismatch"
+                   for d in report.diagnostics)
+
+    def test_v423_fires_on_shifted_row(self):
+        mach = big_little_like()
+        plan = MultithreadedGemm(mach, "openblas",
+                                 threads=8).plan_gemm(64, 256, 256)
+        node = strips_of(plan)[0]
+        chunks = list(node.chunks)
+        chunks[0] -= 1
+        chunks[-1] += 1
+        node.chunks = tuple(chunks)
+        report = verify_plan(plan)
+        assert any(d.rule == "V423-unbalanced-strips"
+                   for d in report.diagnostics)

@@ -13,10 +13,13 @@ import pytest
 
 from repro.parallel import (
     blis_factorization,
+    core_class_weights,
     grid_partition,
     openblas_partition,
     split_even,
     strip_spans,
+    weighted_spans,
+    weighted_split,
 )
 from repro.workloads import sweeps
 
@@ -81,6 +84,115 @@ class TestSplitEvenStrips:
         chunks = split_even(64, 4)
         spans = strip_spans(64, (chunks[0] - 3,) + tuple(chunks[1:]))
         assert spans[0][1] < spans[1][0]
+
+
+class TestWeightedSpans:
+    """Throughput-weighted strips tile [0, M) exactly like even ones."""
+
+    # big/little-style asymmetries plus a lopsided and a zero-weight mix
+    WEIGHT_PROFILES = {
+        "big-little": lambda t: [2.0 if i < t // 2 else 1.0
+                                 for i in range(t)],
+        "lopsided": lambda t: [float(3 * i + 1) for i in range(t)],
+        "one-dead": lambda t: [0.0 if (i == 1 and t > 1) else 1.0
+                               for i in range(t)],
+    }
+
+    @pytest.mark.parametrize("profile", sorted(WEIGHT_PROFILES))
+    @pytest.mark.parametrize("granule", (1, 8))
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    @pytest.mark.parametrize("shape", GOLDEN_SHAPES,
+                             ids=lambda s: "x".join(map(str, s)))
+    def test_exact_m_tiling(self, shape, threads, granule, profile):
+        m = shape[0]
+        weights = self.WEIGHT_PROFILES[profile](threads)
+        chunks = weighted_split(m, weights, granule=granule)
+        assert len(chunks) == threads
+        assert sum(chunks) == m
+        assert all(c >= 0 for c in chunks)
+        # weighted strips place cumulatively (nominal = actual chunks):
+        # each row of [0, m) is covered exactly once
+        spans = weighted_spans(m, weights, granule=granule)
+        coverage = [0] * m
+        for start, end in spans:
+            assert 0 <= start <= end <= m
+            for row in range(start, end):
+                coverage[row] += 1
+        assert all(c == 1 for c in coverage)
+
+    @pytest.mark.parametrize("profile", sorted(WEIGHT_PROFILES))
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    @pytest.mark.parametrize("shape", GOLDEN_SHAPES,
+                             ids=lambda s: "x".join(map(str, s)))
+    def test_spans_non_overlapping(self, shape, threads, profile):
+        m = shape[0]
+        weights = self.WEIGHT_PROFILES[profile](threads)
+        spans = weighted_spans(m, weights)
+        prev_end = 0
+        for start, end in spans:
+            assert start == prev_end
+            assert end >= start
+            prev_end = end
+        assert prev_end == m
+
+    @pytest.mark.parametrize("granule", (1, 4, 8))
+    @pytest.mark.parametrize("threads", THREAD_COUNTS)
+    @pytest.mark.parametrize("shape", GOLDEN_SHAPES,
+                             ids=lambda s: "x".join(map(str, s)))
+    def test_equal_weights_degenerate_to_even(self, shape, threads,
+                                              granule):
+        """Uniform weights reproduce the balanced split bit-for-bit."""
+        m = shape[0]
+        chunks = weighted_split(m, [1.0] * threads, granule=granule)
+        if granule == 1:
+            assert chunks == split_even(m, threads)
+            assert weighted_spans(m, [1.0] * threads) == strip_spans(
+                m, split_even(m, threads)
+            )
+        else:
+            # granular even split: same unit counts as split_even over
+            # the granule-rounded extent
+            units = -(-m // granule)
+            expect = [c * granule for c in split_even(units, threads)]
+            excess = sum(expect) - m
+            for i in reversed(range(len(expect))):
+                if expect[i] > 0:
+                    expect[i] -= excess
+                    break
+            assert chunks == expect
+
+    @pytest.mark.parametrize("granule", (1, 8))
+    def test_heavier_weight_never_smaller_strip(self, granule):
+        for m in (7, 64, 129, 512):
+            chunks = weighted_split(m, [3.0, 1.0], granule=granule)
+            assert chunks[0] >= chunks[1]
+
+    def test_zero_weight_gets_zero_rows(self):
+        assert weighted_split(96, [1.0, 0.0, 1.0]) == [48, 0, 48]
+
+    def test_granule_alignment_interior_strips(self):
+        """All strips except the last nonzero one are granule-aligned."""
+        chunks = weighted_split(100, [2.0, 2.0, 1.0, 1.0], granule=8)
+        assert sum(chunks) == 100
+        last_nonzero = max(i for i, c in enumerate(chunks) if c)
+        for i, c in enumerate(chunks):
+            if i != last_nonzero:
+                assert c % 8 == 0
+
+    def test_core_class_weights_homogeneous_uniform(self, machine):
+        weights = core_class_weights(machine, 8)
+        assert len(weights) == 8
+        assert all(w == weights[0] for w in weights)
+
+    def test_core_class_weights_big_little_ratio(self):
+        from repro.machine import big_little_like
+
+        mach = big_little_like()
+        weights = core_class_weights(mach, mach.n_cores)
+        big, little = weights[0], weights[-1]
+        assert big > little  # big class strictly faster
+        # weight = vector_bits x fma ports x freq: (2 x 2.6) / (1 x 1.8)
+        assert big / little == pytest.approx((2 * 2.6) / (1 * 1.8))
 
 
 class TestOpenblasPartition:

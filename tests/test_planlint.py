@@ -182,6 +182,7 @@ class TestReporting:
             "V401-oob-access", "V402-pack-overrun",
             "V411-strip-race", "V412-unordered-read",
             "V413-grid-race", "V421-topology-mismatch",
+            "V422-class-mismatch", "V423-unbalanced-strips",
         ]
         for rule in PLAN_RULES.values():
             assert rule.severity in ("error", "warning", "info")
