@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-plans-negative bench bench-smoke bench-record examples docs docs-check report verify check all clean
+.PHONY: install test lint lint-plans-negative bench bench-smoke bench-record serve-smoke examples docs docs-check report verify check all clean
 
 # one fast representative per benchmarks/test_fig*.py (the CI smoke set);
 # --benchmark-disable runs each figure pipeline once instead of timing it
@@ -38,13 +38,20 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # perf trajectory: lint-sweep wall-clock, batch cold/warm sweep
-# throughput, plans-priced-per-second, and the big.LITTLE weighted-vs-
-# even speedup envelope, written to BENCH_<rev>.json at the repo root
+# throughput, plans-priced-per-second, the big.LITTLE weighted-vs-even
+# speedup envelope, and the planning-service warm/cold serving numbers,
+# written to BENCH_<rev>.json at the repo root
 bench-record:
 	$(PYTHON) -m repro.util.benchrecord
 
 bench-smoke:
 	$(PYTHON) -m pytest $(BENCH_SMOKE) --benchmark-disable -q
+
+# planning-service smoke: in-process server, mixed hot/cold batch,
+# provenance and hit-rate assertions, bit-identical served plans, cold
+# latency budget, background tuning drain, clean shutdown
+serve-smoke:
+	$(PYTHON) -m repro serve --self-test
 
 examples:
 	$(PYTHON) examples/quickstart.py
@@ -70,9 +77,9 @@ verify:
 	$(PYTHON) -m repro verify
 
 # the CI-style gate: full tier-1 tests (which run lint first), the
-# plan-rule mutation controls, the documentation gates, plus one smoke
-# pass through every figure benchmark
-check: test lint-plans-negative docs-check bench-smoke
+# plan-rule mutation controls, the documentation gates, one smoke pass
+# through every figure benchmark, and the planning-service smoke
+check: test lint-plans-negative docs-check bench-smoke serve-smoke
 
 all: install check docs report
 

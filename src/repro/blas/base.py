@@ -14,6 +14,7 @@ steady-state analyses are cached across drivers and experiments.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -39,6 +40,10 @@ ANALYZER_CACHE_MAX = 8
 
 _ANALYZERS: "OrderedDict[str, SteadyStateAnalyzer]" = OrderedDict()
 _ANALYZER_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+# guards the LRU bookkeeping: the serving layer's background tuning
+# thread builds drivers (and thus analyzers) concurrently with the
+# event loop, and move_to_end/popitem corrupt an OrderedDict racily
+_ANALYZER_LOCK = threading.Lock()
 
 
 def shared_generator() -> MicroKernelGenerator:
@@ -57,18 +62,19 @@ def shared_analyzer(machine: MachineConfig) -> SteadyStateAnalyzer:
     :func:`shared_analyzer_cache_info`.
     """
     key = repr(machine.core)
-    analyzer = _ANALYZERS.get(key)
-    if analyzer is not None:
-        _ANALYZERS.move_to_end(key)
-        _ANALYZER_STATS["hits"] += 1
+    with _ANALYZER_LOCK:
+        analyzer = _ANALYZERS.get(key)
+        if analyzer is not None:
+            _ANALYZERS.move_to_end(key)
+            _ANALYZER_STATS["hits"] += 1
+            return analyzer
+        _ANALYZER_STATS["misses"] += 1
+        analyzer = SteadyStateAnalyzer(machine.core)
+        _ANALYZERS[key] = analyzer
+        while len(_ANALYZERS) > ANALYZER_CACHE_MAX:
+            _ANALYZERS.popitem(last=False)
+            _ANALYZER_STATS["evictions"] += 1
         return analyzer
-    _ANALYZER_STATS["misses"] += 1
-    analyzer = SteadyStateAnalyzer(machine.core)
-    _ANALYZERS[key] = analyzer
-    while len(_ANALYZERS) > ANALYZER_CACHE_MAX:
-        _ANALYZERS.popitem(last=False)
-        _ANALYZER_STATS["evictions"] += 1
-    return analyzer
 
 
 def shared_analyzer_cache_info() -> Dict[str, int]:

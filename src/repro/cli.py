@@ -8,7 +8,8 @@ regenerate any paper artifact without writing code:
 ``python -m repro fig9 | fig10``         — multi-panel figures
 ``python -m repro table1 | table2``      — the tables
 ``python -m repro gemm M N K [--lib L] [--threads T]`` — one costed GEMM
-``python -m repro tune <warm|query|sweep|export|clear>`` — adaptive tuner
+``python -m repro tune <warm|query|sweep|export|merge|clear>`` — tuner
+``python -m repro serve [--self-test]``  — the planning service
 ``python -m repro all``                  — the whole battery
 """
 
@@ -165,8 +166,47 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--output", default="",
                         help="write to a file instead of stdout")
 
+    merge = tsub.add_parser(
+        "merge", help="merge exported tuning caches into the cache "
+        "(fingerprint-guarded; better modeled cost wins collisions)"
+    )
+    _tune_common(merge)
+    merge.add_argument("files", nargs="+", metavar="FILE",
+                       help="exported cache files (tune export output)")
+    merge.add_argument("--force", action="store_true",
+                       help="merge even when the machine fingerprint "
+                       "does not match this machine/dtype/code version")
+
     clear = tsub.add_parser("clear", help="delete the tuning cache")
     _tune_common(clear)
+
+    serve = sub.add_parser(
+        "serve", help="GEMM planning service: async micro-batched plan "
+        "queries over a sharded tuning cache"
+    )
+    serve.add_argument("--machine", default="phytium2000plus",
+                       choices=("phytium2000plus", "graviton2_like",
+                                "a64fx_like", "big_little_like",
+                                "sve512_like"),
+                       help="machine model to serve plans for")
+    serve.add_argument("--cache", default=None,
+                       help="tuning-cache file "
+                       "(default .repro_tuning_cache.json)")
+    serve.add_argument("--shards", type=int, default=8,
+                       help="tuning-cache shard count (default 8)")
+    serve.add_argument("--jobs", type=int, default=0,
+                       help="background tuning worker processes "
+                       "(default 0: one in-process thread)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address")
+    serve.add_argument("--port", type=int, default=8513,
+                       help="TCP port (0 = ephemeral)")
+    serve.add_argument("--self-test", action="store_true",
+                       help="run the in-process smoke (mixed hot/cold "
+                       "batch, dedup, parity, clean shutdown) and exit")
+    serve.add_argument("--stats", action="store_true",
+                       help="include the full service/cache/shard "
+                       "stats block in the output")
 
     gemm = sub.add_parser("gemm", help="cost one GEMM shape")
     gemm.add_argument("m", type=int)
@@ -772,7 +812,14 @@ def _run_tune(args) -> tuple:
         plan = tuner.tune(args.m, args.n, args.k, threads=args.threads)
         if cache.dirty:
             cache.save()
-        lines = [plan.render()]
+        summary = cache.summary()
+        lines = [
+            plan.render(),
+            f"  cache         : {summary['entries']} entrie(s), "
+            f"{summary['hits']} hit(s) / {summary['misses']} miss(es) "
+            f"({summary['hit_rate']:.0%} hit rate), "
+            f"fingerprint {summary['fingerprint']}",
+        ]
         if tuner.last_rejections:
             shown = tuner.last_rejections[:8]
             lines.append(
@@ -823,9 +870,90 @@ def _run_tune(args) -> tuple:
             return f"wrote {args.output}", 0
         return text, 0
 
+    if cmd == "merge":
+        from .tuning import merge_payload, read_cache_payload
+        from .util.errors import ConfigError
+
+        lines = []
+        merged = 0
+        for path in args.files:
+            try:
+                report = merge_payload(
+                    cache, read_cache_payload(path), force=args.force,
+                    source=path,
+                )
+            except ConfigError as exc:
+                return f"error: {exc}", 2
+            lines.append(report.render())
+            merged += report.added + report.improved
+        if cache.dirty:
+            cache.save()
+        summary = cache.summary()
+        lines.append(
+            f"cache: {summary['entries']} entrie(s) @ {summary['path']} "
+            f"({merged} merged in, fingerprint {summary['fingerprint']})"
+        )
+        return "\n".join(lines), 0
+
     # clear
     cache.clear()
     return f"cleared tuning cache {cache.path}", 0
+
+
+def _run_serve(args) -> tuple:
+    """The ``repro serve`` command body: (report text, exit code).
+
+    ``--self-test`` runs the bounded in-process smoke (the
+    ``make serve-smoke`` gate); without it the service listens on the
+    TCP JSON-lines transport until a client sends ``{"cmd":
+    "shutdown"}``.
+    """
+    from .serving import render_smoke, run_smoke
+
+    if args.self_test:
+        report = run_smoke(machine_name=args.machine, shards=args.shards)
+        return (
+            render_smoke(report, show_stats=args.stats),
+            0 if report["ok"] else 1,
+        )
+
+    import asyncio
+    import json
+
+    from .blas.base import shared_analyzer
+    from .pipeline import attach_steady_store, save_attached_stores
+    from .serving import PlanService, serve_tcp
+    from .tuning.warm import machine_by_name
+
+    machine = machine_by_name(args.machine)
+    attach_steady_store(shared_analyzer(machine))
+    service = PlanService(
+        machine, machine_name=args.machine,
+        cache_path=(args.cache if args.cache is not None
+                    else ".repro_tuning_cache.json"),
+        shards=args.shards, tune_jobs=args.jobs,
+    )
+    warmed = service.warm_kernels()
+    bound: List = []
+
+    async def _serve():
+        print(f"serving {args.machine} plans "
+              f"({args.shards} cache shard(s), {warmed} kernel(s) "
+              'warmed); send {"cmd": "shutdown"} to stop', flush=True)
+        await serve_tcp(service, host=args.host, port=args.port,
+                        bound=bound)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    save_attached_stores()
+    lines = [f"served on {bound[0][0]}:{bound[0][1]}" if bound
+             else "server never bound"]
+    if args.stats:
+        lines.append(json.dumps(service.stats_summary(), indent=2,
+                                sort_keys=True))
+    return "\n".join(lines), 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -895,6 +1023,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return code
     elif args.command == "tune":
         text, code = _run_tune(args)
+        print(text)
+        return code
+    elif args.command == "serve":
+        text, code = _run_serve(args)
         print(text)
         return code
     elif args.command == "report":

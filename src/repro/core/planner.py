@@ -83,3 +83,42 @@ def jit_tile_plan(
             calls=1, edge=True,
         ))
     return plan
+
+
+def warm_kernel_library(jit: JitKernelFactory, analyzer) -> int:
+    """Pre-analyze every edge kernel the JIT tile plans can emit.
+
+    The steady-state analysis of a micro-kernel body is the expensive
+    first-touch cost on a plan query for a never-seen remainder pair
+    (tens of ms per kernel).  The edge space is finite — per main tile,
+    the M-edge, N-edge and corner kernels over remainders
+    ``1..mr-1 x 1..nr-1`` — so a long-lived service analyzes it once up
+    front and every later cold query pays pricing cost only.  Results
+    land in ``analyzer``'s memo (and its attached persistent store, when
+    one is installed), making the warm-up a one-time cost per machine
+    model.  Returns the number of kernels analyzed; infeasible
+    register-pressure corners are skipped.
+    """
+    analyzed = 0
+    seen = set()
+    for strided in (False, True):
+        for main in jit.main_candidates(packed_b=not strided):
+            for rem_m in range(main.mr):
+                for rem_n in range(main.nr):
+                    try:
+                        plan = jit_tile_plan(
+                            jit, main.mr + rem_m, main.nr + rem_n,
+                            main=main, strided=strided,
+                        )
+                    except KernelDesignError:
+                        continue
+                    for inv in plan:
+                        if inv.spec.name in seen:
+                            continue
+                        seen.add(inv.spec.name)
+                        try:
+                            analyzer.analyze(jit.generator.generate(inv.spec))
+                        except KernelDesignError:
+                            continue
+                        analyzed += 1
+    return analyzed

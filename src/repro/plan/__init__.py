@@ -40,6 +40,7 @@ from .batch import (
     clear_batch_pricing_cache,
     price_batch,
     price_plan,
+    price_request_groups,
     skeleton_census,
     skeleton_key,
 )
@@ -99,6 +100,7 @@ __all__ = [
     "ShapeGridPricer",
     "price_plan",
     "price_batch",
+    "price_request_groups",
     "batch_pricing_cache_info",
     "clear_batch_pricing_cache",
     "skeleton_key",

@@ -31,6 +31,7 @@ this layer surface through :func:`batch_pricing_cache_info`.
 from __future__ import annotations
 
 import re
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -130,7 +131,19 @@ class BatchPricer:
     def __init__(self, maxsize: int = 8192) -> None:
         self._memo: BoundedMemo = BoundedMemo(maxsize=maxsize)
         self._pool = InternPool()
-        self._recorder = _TapeRecorder()
+        # the recorder is stateful while a walk is in flight, so each
+        # thread records on its own instance (the serving layer prices
+        # from a background tuning thread concurrently with the event
+        # loop).  Memo and pool are internally locked; a rare duplicate
+        # recording of the same subtree yields an identical tape.
+        self._local = threading.local()
+
+    @property
+    def _recorder(self) -> _TapeRecorder:
+        recorder = getattr(self._local, "recorder", None)
+        if recorder is None:
+            recorder = self._local.recorder = _TapeRecorder()
+        return recorder
 
     def price(self, plan: ExecutionPlan,
               engine: Optional[Engine] = None) -> GemmTiming:
@@ -183,7 +196,8 @@ class BatchPricer:
         self._pool.clear()
 
 
-#: the process-wide batch pricer (single-threaded use, like ENGINE)
+#: the process-wide batch pricer (thread-safe: per-thread recorders
+#: over internally-locked memo/pool, see BatchPricer.__init__)
 BATCH_PRICER = BatchPricer()
 
 
@@ -328,6 +342,37 @@ class ShapeGridPricer:
     def cache_info(self) -> Dict[str, Any]:
         """Counters of the caches this pricer runs on."""
         return batch_pricing_cache_info()
+
+
+def price_request_groups(
+    machine,
+    requests: Sequence[Tuple[int, int, int, int]],
+    lib: str = "reference",
+    engine: Optional[Engine] = None,
+) -> List[GemmTiming]:
+    """Price a mixed-shape request batch, one timing per request, in order.
+
+    The serving layer's batched entry point: ``requests`` is a sequence
+    of ``(m, n, k, threads)`` queries as they arrived (mixed thread
+    counts, duplicates allowed).  Requests are grouped by thread count,
+    each group priced through one :class:`ShapeGridPricer` grid call
+    (shared drivers, shared charge tapes), and the timings scattered
+    back into arrival order — bit-for-bit equal to pricing each request
+    alone.
+    """
+    groups: Dict[int, List[int]] = {}
+    for idx, (_, _, _, threads) in enumerate(requests):
+        groups.setdefault(int(threads), []).append(idx)
+    out: List[Optional[GemmTiming]] = [None] * len(requests)
+    for threads, indices in groups.items():
+        pricer = ShapeGridPricer(machine, lib=lib, threads=threads,
+                                 engine=engine)
+        grid = pricer.price_grid(
+            [requests[i][:3] for i in indices]
+        )
+        for i, timing in zip(indices, grid.timings):
+            out[i] = timing
+    return out  # type: ignore[return-value]
 
 
 def skeleton_key(node) -> Tuple:

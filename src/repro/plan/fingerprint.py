@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -273,35 +274,45 @@ def pricing_key(node: Any, ctx: Any, useful_flops: Any = None,
 
 
 class BoundedMemo:
-    """Bounded LRU with hit/miss counters (the shape of every plan cache)."""
+    """Bounded LRU with hit/miss counters (the shape of every plan cache).
+
+    Thread-safe: the serving layer prices plans from a background
+    tuning thread while the event loop prices its own batches, so the
+    LRU bookkeeping (``move_to_end`` + ``popitem``, which corrupt an
+    :class:`OrderedDict` under concurrent mutation) runs under a lock.
+    """
 
     def __init__(self, maxsize: int = 4096) -> None:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
         self._store: "OrderedDict[Any, Any]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key: Any) -> Optional[Any]:
         """The cached value (refreshing its LRU slot), or None."""
-        value = self._store.get(key)
-        if value is None:
-            self.misses += 1
-            return None
-        self._store.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._store.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._store.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Any, value: Any) -> None:
         """Insert a value, evicting least-recently-used past maxsize."""
-        self._store[key] = value
-        self._store.move_to_end(key)
-        while len(self._store) > self.maxsize:
-            self._store.popitem(last=False)
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
-        self._store.clear()
-        self.hits = self.misses = 0
+        with self._lock:
+            self._store.clear()
+            self.hits = self.misses = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -331,19 +342,21 @@ class InternPool:
         self.maxsize = maxsize
         self.requests = 0
         self._store: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def intern(self, node: Any) -> Tuple[Any, Tuple]:
         """(representative node, canonical key) for ``node``."""
-        self.requests += 1
         key = canonical_node(node)
-        kept = self._store.get(key)
-        if kept is not None:
-            self._store.move_to_end(key)
-            return kept, key
-        self._store[key] = node
-        while len(self._store) > self.maxsize:
-            self._store.popitem(last=False)
-        return node, key
+        with self._lock:
+            self.requests += 1
+            kept = self._store.get(key)
+            if kept is not None:
+                self._store.move_to_end(key)
+                return kept, key
+            self._store[key] = node
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+            return node, key
 
     @property
     def unique(self) -> int:
@@ -352,8 +365,9 @@ class InternPool:
 
     def clear(self) -> None:
         """Drop every interned representative and reset counters."""
-        self._store.clear()
-        self.requests = 0
+        with self._lock:
+            self._store.clear()
+            self.requests = 0
 
     def info(self) -> Dict[str, int]:
         """Counter snapshot: requests, unique structures, shared hits."""

@@ -1,0 +1,42 @@
+"""GEMM planning as a service (the ``repro serve`` engine).
+
+The "millions of DNN-layer shape queries" tier of the roadmap: a
+long-lived asyncio service that answers (M, N, K, dtype, threads,
+machine) plan queries from a sharded tuning cache, micro-batches
+concurrent misses through the PR-7 batch pricing engine, and keeps a
+background tuning queue busy turning heuristic answers into tuned ones.
+
+* :class:`PlanService` — the service core: sharded-cache hot path,
+  micro-batched heuristic cold path, background tuning with in-flight
+  dedup;
+* :class:`PlanRequest` / :class:`PlanResponse` — the query schema (JSON
+  wire format shared by both transports);
+* :class:`PlanClient` / :class:`TcpPlanClient` / :func:`serve_tcp` —
+  in-process and TCP JSON-lines clients;
+* :class:`MicroBatcher` — the generic submission coalescer;
+* :func:`run_smoke` — the in-process self-test behind
+  ``repro serve --self-test`` and ``make serve-smoke``.
+"""
+
+from .batcher import BatcherStats, MicroBatcher
+from .client import PlanClient, TcpPlanClient, run_service_once, serve_tcp
+from .schema import PROVENANCES, PlanRequest, PlanResponse
+from .server import BackgroundTuner, PlanService, ServiceStats
+from .smoke import run_smoke, render_smoke
+
+__all__ = [
+    "PlanService",
+    "BackgroundTuner",
+    "ServiceStats",
+    "PlanRequest",
+    "PlanResponse",
+    "PROVENANCES",
+    "PlanClient",
+    "TcpPlanClient",
+    "serve_tcp",
+    "run_service_once",
+    "MicroBatcher",
+    "BatcherStats",
+    "run_smoke",
+    "render_smoke",
+]

@@ -1,0 +1,128 @@
+"""Asyncio micro-batcher: coalesce concurrent submissions into batches.
+
+The serving hot path is a dictionary lookup, but every lookup that
+misses pays a lowering + pricing walk; amortizing those over a batch is
+what makes the PR-7 batch engine's throughput reachable end to end.  The
+batcher is deliberately generic: callers ``await submit(item)`` and a
+single drain task gathers everything that arrived within ``max_delay``
+seconds (or the first ``max_batch`` items, whichever comes first) into
+one synchronous ``handler(items) -> results`` call.  Results are
+scattered back to the per-item futures in order; a handler exception
+fails every item of that batch, never the batcher itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..util.errors import ConfigError
+
+
+@dataclass
+class BatcherStats:
+    """Counters of one micro-batcher."""
+
+    items: int = 0
+    batches: int = 0
+    max_batch: int = 0
+
+    @property
+    def mean_batch(self) -> float:
+        """Mean items per dispatched batch."""
+        if self.batches == 0:
+            return 0.0
+        return self.items / self.batches
+
+    def to_dict(self) -> dict:
+        """JSON-serializable counters."""
+        return {
+            "items": self.items,
+            "batches": self.batches,
+            "max_batch": self.max_batch,
+            "mean_batch": round(self.mean_batch, 2),
+        }
+
+
+class MicroBatcher:
+    """Coalesces concurrent ``submit`` calls into ``handler`` batches."""
+
+    def __init__(
+        self,
+        handler: Callable[[Sequence[Any]], Sequence[Any]],
+        max_batch: int = 128,
+        max_delay: float = 0.002,
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ConfigError(f"max_delay must be >= 0, got {max_delay}")
+        self._handler = handler
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.stats = BatcherStats()
+        self._pending: List[Tuple[Any, asyncio.Future]] = []
+        self._wake: Optional[asyncio.Event] = None
+        self._drain_task: Optional[asyncio.Task] = None
+
+    async def submit(self, item: Any) -> Any:
+        """Enqueue one item; resolves to its slot of the handler result."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((item, future))
+        if self._wake is None:
+            self._wake = asyncio.Event()
+        if self._drain_task is None or self._drain_task.done():
+            self._drain_task = asyncio.ensure_future(self._drain())
+        if len(self._pending) >= self.max_batch:
+            self._wake.set()
+        return await future
+
+    async def flush(self) -> None:
+        """Dispatch anything pending without waiting for the window."""
+        if self._wake is not None:
+            self._wake.set()
+        if self._drain_task is not None and not self._drain_task.done():
+            await self._drain_task
+
+    async def _drain(self) -> None:
+        while self._pending:
+            # the batching window: wait for either the timer or a full
+            # batch (submit sets the event at max_batch)
+            self._wake.clear()
+            if self.max_delay > 0 and len(self._pending) < self.max_batch:
+                try:
+                    await asyncio.wait_for(self._wake.wait(),
+                                           self.max_delay)
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                # yield once so same-tick submitters can still join
+                await asyncio.sleep(0)
+            batch = self._pending[: self.max_batch]
+            del self._pending[: len(batch)]
+            if not batch:
+                continue
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: List[Tuple[Any, asyncio.Future]]) -> None:
+        items = [item for item, _ in batch]
+        self.stats.items += len(items)
+        self.stats.batches += 1
+        self.stats.max_batch = max(self.stats.max_batch, len(items))
+        try:
+            results = self._handler(items)
+            if len(results) != len(items):
+                raise ConfigError(
+                    f"batch handler returned {len(results)} results "
+                    f"for {len(items)} items"
+                )
+        except BaseException as exc:  # noqa: BLE001 — forwarded per item
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)

@@ -1,0 +1,222 @@
+"""Clients and transport for the planning service.
+
+Two ways to talk to a :class:`~repro.serving.server.PlanService`:
+
+* :class:`PlanClient` — the in-process async client (the path tests,
+  the smoke target and the benchmark recorder use); and
+* a TCP JSON-lines transport (:func:`serve_tcp` server-side,
+  :class:`TcpPlanClient` client-side): one JSON object per line,
+  ``{"requests": [...]}`` answered by ``{"responses": [...]}``, plus
+  ``{"cmd": "stats"}`` and ``{"cmd": "shutdown"}`` control messages.
+
+:func:`run_service_once` is the synchronous convenience wrapper: start a
+service, run a coroutine against it, stop cleanly — one event loop, no
+leaked tasks — used by the CLI self-test and ``make serve-smoke``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..util.errors import ConfigError
+from .schema import PlanRequest, PlanResponse
+from .server import PlanService
+
+
+class PlanClient:
+    """In-process client: shape tuples in, :class:`PlanResponse` out."""
+
+    def __init__(self, service: PlanService) -> None:
+        self.service = service
+
+    async def query(self, m: int, n: int, k: int, threads: int = 1,
+                    dtype: str = "") -> PlanResponse:
+        """One shape query against the served machine."""
+        return await self.service.query(PlanRequest(
+            m=m, n=n, k=k,
+            dtype=dtype or str(self.service.dtype),
+            threads=threads,
+        ))
+
+    async def query_shapes(
+        self, shapes: Sequence[Tuple[int, int, int]], threads: int = 1,
+    ) -> List[PlanResponse]:
+        """A batch of shape queries, answered in order."""
+        dtype = str(self.service.dtype)
+        return await self.service.query_many([
+            PlanRequest(m=m, n=n, k=k, dtype=dtype, threads=threads)
+            for (m, n, k) in shapes
+        ])
+
+
+def run_service_once(service: PlanService,
+                     body: Callable[[PlanService], Awaitable],
+                     save: bool = False):
+    """Run ``body(service)`` inside one event loop with clean shutdown."""
+
+    async def _main():
+        await service.start()
+        try:
+            return await body(service)
+        finally:
+            await service.stop(save=save)
+
+    return asyncio.run(_main())
+
+
+# ---------------------------------------------------------------------------
+# TCP JSON-lines transport
+# ---------------------------------------------------------------------------
+
+
+async def _handle_connection(service: PlanService,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter,
+                             shutdown: asyncio.Event) -> None:
+    try:
+        while not reader.at_eof():
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                message = json.loads(line)
+            except json.JSONDecodeError as exc:
+                payload: Dict = {"error": f"bad json: {exc}"}
+            else:
+                payload = await _dispatch(service, message, shutdown)
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+            if shutdown.is_set():
+                break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _dispatch(service: PlanService, message: Dict,
+                    shutdown: asyncio.Event) -> Dict:
+    if not isinstance(message, dict):
+        return {"error": "message must be a JSON object"}
+    cmd = message.get("cmd")
+    if cmd == "stats":
+        return {"stats": service.stats_summary()}
+    if cmd == "shutdown":
+        shutdown.set()
+        return {"ok": True, "shutdown": True}
+    raw = message.get("requests")
+    if not isinstance(raw, list):
+        return {"error": "expected {'requests': [...]} or {'cmd': ...}"}
+    requests: List[Optional[PlanRequest]] = []
+    errors: Dict[int, str] = {}
+    for idx, entry in enumerate(raw):
+        try:
+            requests.append(PlanRequest.from_dict(entry))
+        except ConfigError as exc:
+            requests.append(None)
+            errors[idx] = str(exc)
+    answered = await service.query_many(
+        [r for r in requests if r is not None]
+    )
+    out: List[Dict] = []
+    it = iter(answered)
+    for idx, request in enumerate(requests):
+        if request is None:
+            out.append({"provenance": "error", "plan": None,
+                        "pending": False, "error": errors[idx],
+                        "request": raw[idx], "meta": {}})
+        else:
+            out.append(next(it).to_dict())
+    return {"responses": out}
+
+
+async def serve_tcp(service: PlanService, host: str = "127.0.0.1",
+                    port: int = 0,
+                    ready: Optional[asyncio.Event] = None,
+                    bound: Optional[List] = None) -> None:
+    """Serve the JSON-lines protocol until a client sends ``shutdown``.
+
+    ``port=0`` binds an ephemeral port; the actual ``(host, port)`` is
+    appended to ``bound`` (when given) and ``ready`` is set once the
+    socket listens — the hooks tests and in-process launchers need.
+    """
+    await service.start()
+    shutdown = asyncio.Event()
+    server = await asyncio.start_server(
+        lambda r, w: _handle_connection(service, r, w, shutdown),
+        host, port,
+    )
+    try:
+        address = server.sockets[0].getsockname()[:2]
+        if bound is not None:
+            bound.append(address)
+        if ready is not None:
+            ready.set()
+        await shutdown.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.stop()
+
+
+class TcpPlanClient:
+    """Minimal JSON-lines client for :func:`serve_tcp`."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    async def _roundtrip(self, message: Dict) -> Dict:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(json.dumps(message).encode() + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if not line:
+            raise ConfigError("server closed the connection")
+        return json.loads(line)
+
+    async def query_batch(
+        self, requests: Sequence[PlanRequest]
+    ) -> List[PlanResponse]:
+        """Send one request batch; responses in request order."""
+        payload = await self._roundtrip(
+            {"requests": [r.to_dict() for r in requests]}
+        )
+        if "responses" not in payload:
+            raise ConfigError(
+                f"protocol error: {payload.get('error', payload)}"
+            )
+        out: List[PlanResponse] = []
+        for entry in payload["responses"]:
+            try:
+                out.append(PlanResponse.from_dict(entry))
+            except ConfigError:
+                # the request itself was malformed; echo it as an error
+                # response against a placeholder key
+                out.append(PlanResponse(
+                    request=PlanRequest(1, 1, 1), provenance="error",
+                    error=str(entry.get("error", "malformed response")),
+                    meta={"raw_request": entry.get("request")},
+                ))
+        return out
+
+    async def stats(self) -> Dict:
+        """The server's ``stats_summary``."""
+        payload = await self._roundtrip({"cmd": "stats"})
+        return payload.get("stats", {})
+
+    async def shutdown(self) -> bool:
+        """Ask the server to stop serving."""
+        payload = await self._roundtrip({"cmd": "shutdown"})
+        return bool(payload.get("shutdown", False))

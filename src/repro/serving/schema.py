@@ -1,0 +1,142 @@
+"""Request/response schema of the GEMM planning service.
+
+One query is one (M, N, K, dtype, threads, machine) tuple — the identity
+of a tuning decision — and one response is an executable
+:class:`~repro.tuning.plan.TunedPlan` plus its serving provenance:
+
+* ``"cache"`` — answered from the sharded tuning cache (the hot path;
+  the plan's own ``source`` says whether it was searched or is a
+  persisted heuristic);
+* ``"heuristic-pending"`` — a cold shape: the fixed-heuristic plan,
+  priced through the micro-batched engine and returned immediately,
+  while the shape sits on the background tuning queue.  A later query
+  for the same bucket returns the tuned plan from the cache;
+* ``"error"`` — the request was malformed (bad shape, unknown dtype, or
+  a machine name that does not match the server's model).
+
+Everything serializes to plain JSON dictionaries, so the same schema
+rides the in-process client and the TCP JSON-lines transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..tuning.cache import plan_key
+from ..tuning.plan import PlanKey, TunedPlan
+from ..util.errors import ConfigError
+
+#: serving provenance markers (distinct from TunedPlan.source)
+PROVENANCES = ("cache", "heuristic-pending", "error")
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One plan query: problem shape, dtype, threads and machine name.
+
+    ``machine`` may be left empty to mean "whatever the server models";
+    a non-empty name must match the server's machine or the query is
+    answered with an error (plans are machine-fingerprinted — serving a
+    plan for the wrong machine would be silently wrong).
+    """
+
+    m: int
+    n: int
+    k: int
+    dtype: str = "float32"
+    threads: int = 1
+    machine: str = ""
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) < 1:
+            raise ConfigError(f"invalid request shape {self!r}")
+        if self.threads < 1:
+            raise ConfigError(f"invalid request threads {self.threads}")
+        try:
+            np.dtype(self.dtype)
+        except TypeError as exc:
+            raise ConfigError(f"unknown dtype {self.dtype!r}") from exc
+
+    def key(self) -> PlanKey:
+        """The bucketed plan key this query resolves to."""
+        return plan_key(self.m, self.n, self.k, self.dtype, self.threads)
+
+    @property
+    def token(self) -> str:
+        """The cache token (bucketed shape + dtype + threads)."""
+        return self.key().token
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (the wire format)."""
+        return {
+            "m": self.m, "n": self.n, "k": self.k,
+            "dtype": self.dtype, "threads": self.threads,
+            "machine": self.machine,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PlanRequest":
+        """Parse one wire-format request (raises ConfigError when bad)."""
+        try:
+            return cls(
+                m=int(data["m"]), n=int(data["n"]), k=int(data["k"]),
+                dtype=str(data.get("dtype", "float32")),
+                threads=int(data.get("threads", 1)),
+                machine=str(data.get("machine", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed plan request: {exc}") from exc
+
+
+@dataclass
+class PlanResponse:
+    """One served plan (or an error) for one request."""
+
+    request: PlanRequest
+    provenance: str
+    plan: Optional[TunedPlan] = None
+    #: True while the shape sits on the background tuning queue
+    pending: bool = False
+    error: str = ""
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.provenance not in PROVENANCES:
+            raise ConfigError(
+                f"unknown serving provenance {self.provenance!r}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        """True when a plan was served."""
+        return self.provenance != "error"
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (the wire format)."""
+        return {
+            "request": self.request.to_dict(),
+            "provenance": self.provenance,
+            "plan": self.plan.to_dict() if self.plan is not None else None,
+            "pending": self.pending,
+            "error": self.error,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PlanResponse":
+        """Parse one wire-format response."""
+        try:
+            plan = data.get("plan")
+            return cls(
+                request=PlanRequest.from_dict(data["request"]),
+                provenance=str(data["provenance"]),
+                plan=TunedPlan.from_dict(plan) if plan is not None else None,
+                pending=bool(data.get("pending", False)),
+                error=str(data.get("error", "")),
+                meta=dict(data.get("meta", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed plan response: {exc}") from exc

@@ -1,0 +1,430 @@
+"""The GEMM planning service: micro-batched queries over a sharded cache.
+
+``repro serve`` wraps the adaptive tuner, the batch pricing engine and
+the sharded tuning cache into one long-lived asyncio service.  A query's
+lifecycle:
+
+1. the client ``await``-s :meth:`PlanService.query` (or ``query_many``);
+   the micro-batcher coalesces every request that arrives inside the
+   batching window into one handler call;
+2. **hot shapes** resolve in the handler with a single sharded-cache
+   lookup (per-shard locks — no global contention) and come back with
+   ``provenance="cache"``;
+3. **cold shapes** are grouped by thread count and priced through one
+   :func:`~repro.plan.batch.price_batch` call over their heuristic
+   lowerings — bit-identical to ``AdaptiveTuner.heuristic_plan`` — and
+   answered immediately as ``provenance="heuristic-pending"``;
+4. each cold bucket is pushed onto the background tuning queue exactly
+   once (in-flight dedup); a worker runs the full candidate search off
+   the query path — in a process pool reusing the ``tune warm`` workers
+   when the machine model is registry-named, in a thread otherwise —
+   and lands the tuned plan in the cache, where the next query finds it.
+
+The service never blocks a query on tuning: the modeled-cost guarantee
+(`tuned <= heuristic`) means the immediate heuristic answer is safe, and
+the cache monotonically improves underneath the traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..machine.config import MachineConfig
+from ..plan.batch import price_batch
+from ..tuning.cache import ShardedTuningCache
+from ..tuning.plan import TunedPlan
+from ..tuning.tuner import AdaptiveTuner
+from ..tuning.warm import MACHINE_FACTORIES, _pool_init, _tune_one
+from ..util.errors import ConfigError, ReproError
+from .batcher import MicroBatcher
+from .schema import PlanRequest, PlanResponse
+
+Shape = Tuple[int, int, int]
+
+
+@dataclass
+class ServiceStats:
+    """Serving counters (``repro serve --stats``)."""
+
+    queries: int = 0
+    hot_hits: int = 0
+    cold: int = 0
+    errors: int = 0
+    #: cold queries whose bucket was already on the tuning queue
+    inflight_deduped: int = 0
+    tuned_landed: int = 0
+    tune_failures: int = 0
+    started_at: float = field(default_factory=time.perf_counter)
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits per successfully served query."""
+        served = self.hot_hits + self.cold
+        if served == 0:
+            return 0.0
+        return self.hot_hits / served
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable counters."""
+        return {
+            "queries": self.queries,
+            "hot_hits": self.hot_hits,
+            "cold": self.cold,
+            "errors": self.errors,
+            "hit_rate": round(self.hit_rate, 4),
+            "inflight_deduped": self.inflight_deduped,
+            "tuned_landed": self.tuned_landed,
+            "tune_failures": self.tune_failures,
+            "uptime_seconds": round(
+                time.perf_counter() - self.started_at, 3
+            ),
+        }
+
+
+class BackgroundTuner:
+    """The background tuning queue: dedup, fan-out, cache landing.
+
+    Cold buckets arrive via :meth:`enqueue`; an asyncio worker drains
+    them through an executor — a :class:`ProcessPoolExecutor` running
+    the ``tune warm`` pool workers when the machine is registry-named
+    and ``jobs > 0``, else a single-thread executor around
+    ``AdaptiveTuner.search`` (the tuner is not thread-safe, so the
+    thread path is deliberately width-one).  ``_inflight`` holds every
+    queued-or-running token; duplicates are counted, not re-tuned.
+    """
+
+    def __init__(self, tuner: AdaptiveTuner, stats: ServiceStats,
+                 machine_name: str = "", jobs: int = 0) -> None:
+        self.tuner = tuner
+        self.stats = stats
+        self.machine_name = machine_name
+        self.jobs = jobs
+        self._inflight: set = set()
+        self._queue: "asyncio.Queue[Tuple[str, Shape, int]]" = asyncio.Queue()
+        self._worker: Optional[asyncio.Task] = None
+        self._executor: Optional[Executor] = None
+        self._pool = False
+
+    def start(self) -> None:
+        """Create the executor and the drain task (idempotent)."""
+        if self._worker is not None and not self._worker.done():
+            return
+        if self._executor is None:
+            if self.jobs > 0 and self.machine_name in MACHINE_FACTORIES:
+                try:
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.jobs,
+                        initializer=_pool_init,
+                        initargs=(self.machine_name,
+                                  str(self.tuner.dtype)),
+                    )
+                    self._pool = True
+                except (OSError, ValueError):
+                    self._executor = None
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(max_workers=1)
+                self._pool = False
+        self._worker = asyncio.ensure_future(self._drain())
+
+    def enqueue(self, token: str, shape: Shape, threads: int) -> bool:
+        """Queue one cold bucket; False when it was already in flight."""
+        if token in self._inflight:
+            self.stats.inflight_deduped += 1
+            return False
+        self._inflight.add(token)
+        self._queue.put_nowait((token, shape, threads))
+        return True
+
+    @property
+    def depth(self) -> int:
+        """Tokens queued or currently tuning."""
+        return len(self._inflight)
+
+    def in_flight(self, token: str) -> bool:
+        """True while the token is queued or being tuned."""
+        return token in self._inflight
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            token, shape, threads = await self._queue.get()
+            try:
+                plan = await loop.run_in_executor(
+                    self._executor, self._tune_sync, shape, threads,
+                )
+            except asyncio.CancelledError:
+                self._inflight.discard(token)
+                raise
+            except Exception:  # noqa: BLE001 — tuning never kills serving
+                plan = None
+            if plan is not None:
+                self.tuner.cache.put(plan)
+                self.stats.tuned_landed += 1
+            else:
+                self.stats.tune_failures += 1
+            self._inflight.discard(token)
+            self._queue.task_done()
+
+    def _tune_sync(self, shape: Shape, threads: int) -> Optional[TunedPlan]:
+        if self._pool:
+            entry = _tune_one((shape, threads))
+            if entry is None:
+                return None
+            return TunedPlan.from_dict(entry)
+        m, n, k = shape
+        try:
+            return self.tuner.search(m, n, k, threads=threads)
+        except ReproError:
+            return None
+
+    async def join(self) -> None:
+        """Wait until every queued bucket has been tuned and landed."""
+        await self._queue.join()
+
+    async def stop(self) -> None:
+        """Cancel the drain task and shut the executor down."""
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+
+class PlanService:
+    """Long-lived plan-query service over one machine model."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        dtype=np.float32,
+        machine_name: str = "",
+        cache: Optional[ShardedTuningCache] = None,
+        cache_path: str = "",
+        shards: int = 8,
+        capacity: int = 4096,
+        max_batch: int = 256,
+        max_delay: float = 0.002,
+        tune_jobs: int = 0,
+    ) -> None:
+        self.machine = machine
+        self.dtype = np.dtype(dtype)
+        self.machine_name = machine_name
+        self.cache = cache if cache is not None else ShardedTuningCache(
+            machine, dtype, path=cache_path, capacity=capacity,
+            shards=shards,
+        )
+        self.tuner = AdaptiveTuner(machine, dtype, cache=self.cache)
+        self.stats = ServiceStats()
+        self.batcher = MicroBatcher(
+            self._handle_batch, max_batch=max_batch, max_delay=max_delay,
+        )
+        self.background = BackgroundTuner(
+            self.tuner, self.stats, machine_name=machine_name,
+            jobs=tune_jobs,
+        )
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Load the cache and start the background tuning worker."""
+        self.cache.load()
+        self.background.start()
+        self.stats.started_at = time.perf_counter()
+        self._started = True
+
+    async def stop(self, save: bool = True) -> None:
+        """Flush the batcher, stop tuning, optionally persist the cache."""
+        await self.batcher.flush()
+        await self.background.stop()
+        if save and self.cache.dirty:
+            self.cache.save()
+        self._started = False
+
+    async def drain(self) -> None:
+        """Wait for the background queue to land every pending bucket."""
+        await self.batcher.flush()
+        await self.background.join()
+
+    # -- queries -------------------------------------------------------
+
+    async def query(self, request: PlanRequest) -> PlanResponse:
+        """One plan query through the micro-batcher."""
+        if not self._started:
+            await self.start()
+        return await self.batcher.submit(request)
+
+    async def query_many(
+        self, requests: Sequence[PlanRequest]
+    ) -> List[PlanResponse]:
+        """A client-side batch; resolves when every response is in."""
+        return list(await asyncio.gather(
+            *(self.query(request) for request in requests)
+        ))
+
+    # -- the batch handler (runs synchronously inside the loop) --------
+
+    def _handle_batch(
+        self, requests: Sequence[PlanRequest]
+    ) -> List[PlanResponse]:
+        self.stats.queries += len(requests)
+        responses: List[Optional[PlanResponse]] = [None] * len(requests)
+        cold: List[Tuple[int, PlanRequest]] = []
+        for idx, request in enumerate(requests):
+            error = self._validate(request)
+            if error is not None:
+                self.stats.errors += 1
+                responses[idx] = PlanResponse(
+                    request=request, provenance="error", error=error,
+                )
+                continue
+            m, n, k = request.m, request.n, request.k
+            hit = self.cache.get(m, n, k, request.threads)
+            if hit is not None:
+                self.stats.hot_hits += 1
+                responses[idx] = PlanResponse(
+                    request=request, provenance="cache", plan=hit,
+                    pending=self.background.in_flight(request.token),
+                )
+            else:
+                cold.append((idx, request))
+        if cold:
+            for (idx, request), plan in zip(
+                cold, self._heuristic_batch([r for _, r in cold])
+            ):
+                self.stats.cold += 1
+                self.background.enqueue(
+                    request.token,
+                    (request.m, request.n, request.k),
+                    request.threads,
+                )
+                responses[idx] = PlanResponse(
+                    request=request, provenance="heuristic-pending",
+                    plan=plan, pending=True,
+                )
+        return responses  # type: ignore[return-value]
+
+    def _validate(self, request: PlanRequest) -> Optional[str]:
+        if request.machine and request.machine not in (
+            self.machine_name, self.machine.name,
+        ):
+            return (
+                f"machine {request.machine!r} does not match the served "
+                f"model {self.machine_name or self.machine.name!r}"
+            )
+        if str(np.dtype(request.dtype)) != str(self.dtype):
+            return (
+                f"dtype {request.dtype!r} does not match the served "
+                f"dtype {self.dtype}"
+            )
+        if request.threads > self.machine.n_cores:
+            return (
+                f"threads {request.threads} exceeds the machine's "
+                f"{self.machine.n_cores} cores"
+            )
+        return None
+
+    def _heuristic_batch(
+        self, requests: Sequence[PlanRequest]
+    ) -> List[TunedPlan]:
+        """Micro-batched heuristic plans, bit-identical to the tuner's.
+
+        Cold requests are deduplicated by bucket, grouped by thread
+        count, lowered with the tuner's own memoized drivers and priced
+        through one :func:`price_batch` call per group — the same charge
+        tapes ``AdaptiveTuner.heuristic_plan`` replays, so the served
+        ``as_dict`` is bit-for-bit what a direct tuner call returns.
+        """
+        unique: Dict[str, Tuple[PlanRequest, int]] = {}
+        order: List[str] = []
+        for request in requests:
+            token = request.token
+            if token not in unique:
+                unique[token] = (request, len(order))
+                order.append(token)
+        by_threads: Dict[int, List[str]] = {}
+        for token in order:
+            request, _ = unique[token]
+            by_threads.setdefault(request.threads, []).append(token)
+        plans: Dict[str, TunedPlan] = {}
+        for threads, tokens in by_threads.items():
+            driver = self.tuner.driver(threads)
+            keys = [unique[token][0].key() for token in tokens]
+            lowered = [
+                driver.plan_gemm(key.m, key.n, key.k) for key in keys
+            ]
+            timings = price_batch(lowered)
+            for token, key, plan_ir, timing in zip(
+                tokens, keys, lowered, timings
+            ):
+                decision = plan_ir.meta["decision"]
+                spec = self.tuner._heuristic_spec(driver, decision)
+                plans[token] = TunedPlan.from_timing(
+                    key, spec, decision.packed_b, decision.factorization,
+                    timing, self.machine, self.dtype,
+                    verified=self.tuner._kernel_verified(spec),
+                    source="heuristic",
+                    heuristic_cycles=timing.total_cycles,
+                )
+        return [plans[request.token] for request in requests]
+
+    # -- warm-up and introspection -------------------------------------
+
+    def warm_kernels(self) -> int:
+        """Pre-analyze the JIT edge-kernel library (one-time startup cost).
+
+        Bounds cold-query latency: steady-state analysis of a new edge
+        kernel costs tens of ms, and without warm-up a query for a fresh
+        remainder pair pays it inline.  Analyses persist in the attached
+        steady store, so restarts are near-instant.  Returns the kernel
+        count analyzed (see
+        :func:`repro.core.planner.warm_kernel_library`).
+        """
+        from ..core.planner import warm_kernel_library
+
+        driver = self.tuner.driver(1)
+        return warm_kernel_library(driver.jit, driver.analyzer)
+
+    def prewarm(self, shapes: Sequence[Shape], threads: int = 1) -> int:
+        """Batch-price heuristic plans for ``shapes`` into the cache.
+
+        The install-time move: after ``prewarm`` (or a ``tune warm`` /
+        ``tune merge`` of a shipped cache), every query for these
+        buckets is a hot O(1) lookup.  Returns the number of buckets
+        inserted (already-cached buckets are left untouched — a tuned
+        entry is never downgraded to a heuristic one).
+        """
+        requests = []
+        seen = set()
+        for m, n, k in shapes:
+            request = PlanRequest(m=int(m), n=int(n), k=int(k),
+                                  dtype=str(self.dtype), threads=threads)
+            if request.token in seen:
+                continue
+            seen.add(request.token)
+            if self.cache.peek(request.token) is None:
+                requests.append(request)
+        for plan in self._heuristic_batch(requests):
+            self.cache.put(plan)
+        return len(requests)
+
+    def stats_summary(self) -> Dict[str, object]:
+        """Service + batcher + cache counters in one JSON-able dict."""
+        return {
+            "service": self.stats.to_dict(),
+            "batcher": self.batcher.stats.to_dict(),
+            "cache": self.cache.summary(),
+            "per_shard": self.cache.per_shard_occupancy(),
+            "tuning_queue_depth": self.background.depth,
+        }

@@ -1,0 +1,205 @@
+"""In-process serving smoke test (``repro serve --self-test``).
+
+One bounded end-to-end pass over the planning service, asserting the
+properties the roadmap cares about without a network or a long-running
+process:
+
+1. prewarm the golden Fig. 5/Fig. 10 query grid into the sharded cache,
+   holding a few buckets back as deliberate cold shapes;
+2. issue the whole grid as one concurrent client batch — the hot part
+   must come back ``provenance="cache"`` and the cold part
+   ``provenance="heuristic-pending"`` (with the in-flight queue
+   deduplicating repeats);
+3. check served plans are bit-identical (``to_dict``) to a direct
+   :class:`~repro.tuning.tuner.AdaptiveTuner` heuristic call;
+4. measure single-query cold latency (the < 50 ms acceptance number);
+5. drain the background tuning queue so at least one tuned plan lands,
+   re-query it hot, and shut the service down cleanly.
+
+``make serve-smoke`` runs this and fails the build on any violated
+invariant.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from ..tuning.tuner import AdaptiveTuner
+from ..tuning.warm import machine_by_name
+from ..workloads.sweeps import serve_query_grid
+from .client import PlanClient, run_service_once
+from .schema import PlanRequest
+from .server import PlanService
+
+#: buckets deliberately left cold by the smoke's prewarm
+SMOKE_COLD_SHAPES: Tuple[Tuple[int, int, int], ...] = (
+    (7, 11, 13), (33, 65, 129), (97, 101, 89),
+)
+
+#: generous CI bound on the cold-path latency (the recorded metric in
+#: BENCH_<rev>.json is the honest number; acceptance target is 50 ms)
+SMOKE_COLD_BUDGET_SECONDS = 0.25
+
+
+def run_smoke(machine_name: str = "phytium2000plus", shards: int = 8,
+              tune_cold: bool = True) -> Dict[str, object]:
+    """Run the smoke pass; returns the report dict (``ok`` key verdict).
+
+    ``tune_cold=False`` skips the background-tuning drain (step 5) for
+    callers that only want the serving-path timings.
+    """
+    from ..blas.base import shared_analyzer
+    from ..pipeline import attach_steady_store, save_attached_stores
+
+    machine = machine_by_name(machine_name)
+    attach_steady_store(shared_analyzer(machine))
+    service = PlanService(
+        machine, machine_name=machine_name, shards=shards,
+        max_delay=0.001,
+    )
+    grid = serve_query_grid(min(4, machine.n_cores))
+    cold = set(SMOKE_COLD_SHAPES)
+    warm_shapes = [shape for shape, t in grid if t == 1
+                   and shape not in cold]
+    mt_threads = max(t for _, t in grid)
+    failures: List[str] = []
+    report: Dict[str, object] = {
+        "machine": machine_name,
+        "shards": shards,
+        "grid_queries": len(grid),
+    }
+
+    async def body(service: PlanService):
+        client = PlanClient(service)
+        report["kernels_warmed"] = service.warm_kernels()
+        prewarmed = service.prewarm(warm_shapes, threads=1)
+        prewarmed += service.prewarm(
+            [shape for shape, t in grid if t == mt_threads],
+            threads=mt_threads,
+        )
+        report["prewarmed"] = prewarmed
+
+        # mixed hot/cold batch over the full grid (cold shapes twice, so
+        # the in-flight dedup path is exercised in the same batch)
+        requests = [
+            PlanRequest(m=m, n=n, k=k, threads=t)
+            for (m, n, k), t in grid
+        ]
+        requests.extend(
+            PlanRequest(m=m, n=n, k=k, threads=1)
+            for (m, n, k) in SMOKE_COLD_SHAPES
+        )
+        start = time.perf_counter()
+        responses = await service.query_many(requests)
+        elapsed = time.perf_counter() - start
+        by_provenance: Dict[str, int] = {}
+        for response in responses:
+            by_provenance[response.provenance] = (
+                by_provenance.get(response.provenance, 0) + 1
+            )
+        report["batch_queries"] = len(requests)
+        report["batch_seconds"] = round(elapsed, 4)
+        report["queries_per_second"] = (
+            round(len(requests) / elapsed, 1) if elapsed else 0.0
+        )
+        report["provenance"] = by_provenance
+        report["hit_rate"] = round(service.stats.hit_rate, 4)
+        report["inflight_deduped"] = service.stats.inflight_deduped
+
+        expected_cold = 2 * len(SMOKE_COLD_SHAPES)
+        if by_provenance.get("heuristic-pending", 0) != expected_cold:
+            failures.append(
+                f"expected {expected_cold} heuristic-pending responses, "
+                f"got {by_provenance.get('heuristic-pending', 0)}"
+            )
+        if by_provenance.get("cache", 0) != len(requests) - expected_cold:
+            failures.append("hot part of the batch missed the cache")
+        if service.stats.inflight_deduped < len(SMOKE_COLD_SHAPES):
+            failures.append("in-flight dedup never fired")
+
+        # parity: a served plan is bit-identical to the tuner's own
+        tuner = AdaptiveTuner(service.machine, service.dtype,
+                              cache=service.cache)
+        probe = warm_shapes[0]
+        served = await client.query(*probe)
+        direct = tuner.heuristic_plan(*probe)
+        if served.plan.to_dict() != direct.to_dict():
+            failures.append(
+                f"served plan for {probe} differs from the direct "
+                "heuristic plan"
+            )
+
+        # cold-path latency: one fresh bucket, timed alone
+        fresh = (41, 43, 47)
+        start = time.perf_counter()
+        response = await client.query(*fresh)
+        cold_seconds = time.perf_counter() - start
+        report["cold_query_ms"] = round(cold_seconds * 1e3, 2)
+        if response.provenance != "heuristic-pending":
+            failures.append(
+                f"fresh shape served as {response.provenance!r}"
+            )
+        if cold_seconds > SMOKE_COLD_BUDGET_SECONDS:
+            failures.append(
+                f"cold query took {cold_seconds * 1e3:.1f} ms "
+                f"(budget {SMOKE_COLD_BUDGET_SECONDS * 1e3:.0f} ms)"
+            )
+
+        if tune_cold:
+            await service.drain()
+            report["tuned_landed"] = service.stats.tuned_landed
+            if service.stats.tuned_landed < 1:
+                failures.append("background tuning landed no plans")
+            retried = await client.query(*SMOKE_COLD_SHAPES[0])
+            if retried.provenance != "cache":
+                failures.append(
+                    "tuned bucket still cold after the queue drained"
+                )
+        report["stats"] = service.stats_summary()
+
+    run_service_once(service, body)
+    save_attached_stores()
+    report["ok"] = not failures
+    report["failures"] = failures
+    return report
+
+
+def render_smoke(report: Dict[str, object], show_stats: bool = False) -> str:
+    """Human-readable smoke summary."""
+    lines = [
+        f"serve self-test on {report['machine']} "
+        f"({report['shards']} cache shard(s)):",
+        f"  kernels warmed: {report.get('kernels_warmed', 0)}",
+        f"  prewarmed     : {report.get('prewarmed', 0)} bucket(s)",
+        f"  batch         : {report.get('batch_queries', 0)} queries in "
+        f"{report.get('batch_seconds', 0.0):.3f}s "
+        f"({report.get('queries_per_second', 0.0):,.0f} q/s)",
+        f"  provenance    : " + ", ".join(
+            f"{name} {count}" for name, count in
+            sorted(dict(report.get("provenance", {})).items())
+        ),
+        f"  hit rate      : {float(report.get('hit_rate', 0.0)):.1%}",
+        f"  cold query    : {report.get('cold_query_ms', 0.0)} ms",
+        f"  inflight dedup: {report.get('inflight_deduped', 0)}",
+    ]
+    if "tuned_landed" in report:
+        lines.append(
+            f"  tuned landed  : {report['tuned_landed']} plan(s)"
+        )
+    if show_stats:
+        import json
+
+        lines.append("  stats:")
+        lines.extend(
+            "    " + line for line in json.dumps(
+                report.get("stats", {}), indent=1, sort_keys=True,
+            ).splitlines()
+        )
+    failures = list(report.get("failures", []))
+    if failures:
+        lines.append("FAIL:")
+        lines.extend(f"  - {failure}" for failure in failures)
+    else:
+        lines.append("OK: mixed hot/cold batch served, clean shutdown")
+    return "\n".join(lines)

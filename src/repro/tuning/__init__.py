@@ -12,21 +12,33 @@ laboratory:
 * :class:`TuningCache` — versioned on-disk JSON store keyed by shape
   bucket + machine fingerprint + code version, fronted by an in-memory
   LRU, invalidated wholesale when the machine config changes;
+* :class:`ShardedTuningCache` — the same table split into N
+  independently-locked shards (the planning service's hot front; see
+  :mod:`repro.serving`), on-disk format identical to the single cache;
+* :func:`merge_payload` / :func:`merge_cache_files` — cache federation
+  with a machine-fingerprint guard, better modeled cost winning on key
+  collisions (``repro tune merge``);
 * :func:`warm_cache` — process-pool fan-out that pre-tunes whole M/N/K
-  grids (the ``repro tune warm`` engine).
+  grids with in-flight dedup (the ``repro tune warm`` engine).
 
-CLI: ``python -m repro tune warm|query|sweep|export|clear``.
+CLI: ``python -m repro tune warm|query|sweep|export|merge|clear``.
 """
 
 from .cache import (
     DEFAULT_CACHE_PATH,
     TUNING_SCHEMA_VERSION,
     CacheStats,
+    MergeReport,
+    ShardedTuningCache,
     TuningCache,
     bucket_dim,
     bucket_shape,
     machine_fingerprint,
+    merge_cache_files,
+    merge_payload,
     plan_key,
+    read_cache_payload,
+    shard_index,
 )
 from .plan import PlanKey, TunedPlan
 from .tuner import AdaptiveTuner, TuneReport, tuned_sweep
@@ -39,12 +51,18 @@ __all__ = [
     "TunedPlan",
     "PlanKey",
     "TuningCache",
+    "ShardedTuningCache",
     "CacheStats",
+    "MergeReport",
+    "merge_payload",
+    "merge_cache_files",
+    "read_cache_payload",
     "TUNING_SCHEMA_VERSION",
     "DEFAULT_CACHE_PATH",
     "bucket_dim",
     "bucket_shape",
     "plan_key",
+    "shard_index",
     "machine_fingerprint",
     "MACHINE_FACTORIES",
     "machine_by_name",

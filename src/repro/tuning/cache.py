@@ -13,6 +13,18 @@ call is a table lookup.  :class:`TuningCache` implements that table:
 * **an LRU front** — hot entries are served from a bounded in-memory map
   without touching disk; the JSON file is only read once and written
   atomically (temp file + rename).
+
+Two extensions serve the planning service (:mod:`repro.serving`):
+
+* :class:`ShardedTuningCache` — the same table split into N shards keyed
+  by a stable hash of the bucketed shape token, each shard with its own
+  LRU map and its own lock, so concurrent readers of different shards
+  never contend on a global lock.  The on-disk format is identical to
+  :class:`TuningCache` (shard count is a purely in-memory property), so
+  single-shard and sharded caches interoperate freely.
+* :func:`merge_payload` — cache federation: fold an exported cache file
+  into a live cache under a machine-fingerprint guard, keeping the
+  better modeled-cost entry on key collisions (``repro tune merge``).
 """
 
 from __future__ import annotations
@@ -21,9 +33,11 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import zlib
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -80,6 +94,16 @@ def plan_key(m: int, n: int, k: int, dtype, threads: int = 1) -> PlanKey:
     bm, bn, bk = bucket_shape(m, n, k)
     return PlanKey(m=bm, n=bn, k=bk, dtype=str(np.dtype(dtype)),
                    threads=threads)
+
+
+def shard_index(token: str, shards: int) -> int:
+    """The shard one cache token lands in (stable across processes).
+
+    CRC32 rather than ``hash()``: Python string hashing is salted per
+    process (PYTHONHASHSEED), and shard placement must be deterministic
+    so tests, federated caches and restarted servers agree.
+    """
+    return zlib.crc32(token.encode()) % shards
 
 
 @dataclass
@@ -217,6 +241,16 @@ class TuningCache:
         self._insert(plan.key.token, plan)
         self._dirty = True
 
+    def peek(self, token: str) -> Optional[TunedPlan]:
+        """The entry for one token, without counting stats or LRU bumps."""
+        self.load()
+        return self._lru.get(token)
+
+    def items(self) -> List[tuple]:
+        """(token, plan) pairs, coldest first (the merge/export view)."""
+        self.load()
+        return list(self._lru.items())
+
     def _insert(self, token: str, plan: TunedPlan) -> None:
         self._lru[token] = plan
         self._lru.move_to_end(token)
@@ -268,3 +302,375 @@ class TuningCache:
             "invalidations": self.stats.invalidations,
             "fingerprint": self.fingerprint,
         }
+
+
+# ---------------------------------------------------------------------------
+# sharded cache (the planning service's hot front)
+# ---------------------------------------------------------------------------
+
+
+class _CacheShard:
+    """One shard: a bounded LRU map behind its own lock, with counters."""
+
+    __slots__ = ("lru", "lock", "capacity", "stats")
+
+    def __init__(self, capacity: int) -> None:
+        self.lru: "OrderedDict[str, TunedPlan]" = OrderedDict()
+        self.lock = threading.Lock()
+        self.capacity = capacity
+        self.stats = CacheStats()
+
+    def get(self, token: str) -> Optional[TunedPlan]:
+        with self.lock:
+            plan = self.lru.get(token)
+            if plan is None:
+                self.stats.misses += 1
+                return None
+            self.lru.move_to_end(token)
+            self.stats.hits += 1
+            return plan
+
+    def put(self, token: str, plan: TunedPlan) -> None:
+        with self.lock:
+            self.lru[token] = plan
+            self.lru.move_to_end(token)
+            while len(self.lru) > self.capacity:
+                self.lru.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self.lock:
+            return len(self.lru)
+
+
+class ShardedTuningCache:
+    """A :class:`TuningCache` split into N independently-locked shards.
+
+    Drop-in for :class:`TuningCache` everywhere the tuner and the serving
+    layer touch a cache (``get``/``put``/``peek``/``save``/``summary``),
+    with one structural difference: entries are distributed over
+    ``shards`` LRU maps by :func:`shard_index` of their bucketed token,
+    and every shard has its own lock — a read of a hot shape only ever
+    contends with other traffic on the *same* shard.  The on-disk format
+    (and the machine fingerprint) is bit-identical to the single-shard
+    cache regardless of shard count, so files can be exported, merged and
+    re-loaded across shard configurations freely.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        dtype=np.float32,
+        path: Optional[str] = None,
+        capacity: int = 4096,
+        shards: int = 8,
+    ) -> None:
+        check_positive_int(capacity, "capacity", ConfigError)
+        check_positive_int(shards, "shards", ConfigError)
+        self.machine = machine
+        self.dtype = np.dtype(dtype)
+        self.path = path if path is not None else DEFAULT_CACHE_PATH
+        self.capacity = capacity
+        self.fingerprint = machine_fingerprint(machine, dtype)
+        per_shard = ceil_div(capacity, shards)
+        self._shards: List[_CacheShard] = [
+            _CacheShard(per_shard) for _ in range(shards)
+        ]
+        self._loaded = False
+        self._load_lock = threading.Lock()
+        self._dirty = False
+        #: invalidations are a cache-wide event, not a shard event
+        self._invalidations = 0
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards."""
+        return len(self._shards)
+
+    def shard_of(self, token: str) -> int:
+        """Which shard a token lives in (stable across processes)."""
+        return shard_index(token, len(self._shards))
+
+    # -- persistence ---------------------------------------------------
+
+    def load(self) -> int:
+        """Read the on-disk file once; same invalidation rules as
+        :meth:`TuningCache.load`, entries scattered to their shards."""
+        self._ensure_loaded()
+        return sum(len(shard) for shard in self._shards)
+
+    def _ensure_loaded(self) -> None:
+        """One-time disk read; the fast path is a single flag check.
+
+        Hot-path operations (``get``/``put``/``peek``) call this instead
+        of :meth:`load` — computing the entry count would touch every
+        shard's lock, which is exactly the global contention sharding
+        exists to avoid.
+        """
+        if self._loaded:
+            return
+        with self._load_lock:
+            if not self._loaded:
+                self._load_locked()
+                self._loaded = True
+
+    def _load_locked(self) -> int:
+        if not self.path or not os.path.exists(self.path):
+            return 0
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self._invalidations += 1
+            return 0
+        if (
+            data.get("schema") != TUNING_SCHEMA_VERSION
+            or data.get("fingerprint") != self.fingerprint
+        ):
+            self._invalidations += 1
+            return 0
+        accepted = 0
+        for token, entry in data.get("entries", {}).items():
+            try:
+                plan = TunedPlan.from_dict(entry, source="cache")
+            except ConfigError:
+                continue
+            self._shards[self.shard_of(token)].put(token, plan)
+            accepted += 1
+        self._dirty = False
+        return accepted
+
+    def _payload(self) -> Dict[str, object]:
+        return {
+            "schema": TUNING_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "machine": self.machine.name,
+            "dtype": str(self.dtype),
+            "entries": {
+                token: plan.to_dict() for token, plan in self.items()
+            },
+        }
+
+    def save(self) -> str:
+        """Atomically write every shard's entries to one file."""
+        self.load()
+        if not self.path:
+            self._dirty = False
+            return self.path
+        payload = self._payload()
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self._dirty = False
+        return self.path
+
+    def clear(self) -> None:
+        """Drop every entry, in memory and on disk."""
+        for shard in self._shards:
+            with shard.lock:
+                shard.lru.clear()
+        self._loaded = True
+        self._dirty = False
+        if self.path and os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def export_json(self) -> str:
+        """The full cache as pretty-printed JSON (``tune export`` format)."""
+        self.load()
+        return json.dumps(self._payload(), indent=1, sort_keys=True)
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, m: int, n: int, k: int, threads: int = 1) -> Optional[TunedPlan]:
+        """The cached plan for the shape's bucket, or None (per-shard stats).
+
+        Lock scope is a single shard: a miss or hit here never blocks
+        concurrent lookups that hash to other shards.
+        """
+        self._ensure_loaded()
+        token = plan_key(m, n, k, self.dtype, threads).token
+        return self._shards[self.shard_of(token)].get(token)
+
+    def put(self, plan: TunedPlan) -> None:
+        """Insert (or replace) the entry for the plan's key."""
+        self._ensure_loaded()
+        token = plan.key.token
+        self._shards[self.shard_of(token)].put(token, plan)
+        self._dirty = True
+
+    def peek(self, token: str) -> Optional[TunedPlan]:
+        """Entry for one token without stats or LRU movement."""
+        self._ensure_loaded()
+        shard = self._shards[self.shard_of(token)]
+        with shard.lock:
+            return shard.lru.get(token)
+
+    def items(self) -> List[tuple]:
+        """(token, plan) pairs across all shards (merge/export view)."""
+        self._ensure_loaded()
+        out: List[tuple] = []
+        for shard in self._shards:
+            with shard.lock:
+                out.extend(shard.lru.items())
+        return out
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        self.load()
+        return sum(len(shard) for shard in self._shards)
+
+    def __iter__(self) -> Iterator[TunedPlan]:
+        return iter([plan for _, plan in self.items()])
+
+    @property
+    def dirty(self) -> bool:
+        """True when in-memory entries are newer than the on-disk file."""
+        return self._dirty
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregated hit/miss counters across every shard."""
+        total = CacheStats(invalidations=self._invalidations)
+        for shard in self._shards:
+            total.hits += shard.stats.hits
+            total.misses += shard.stats.misses
+        return total
+
+    def per_shard_occupancy(self) -> List[Dict[str, object]]:
+        """Entry/hit/miss counts per shard (the ``--stats`` breakdown)."""
+        out = []
+        for idx, shard in enumerate(self._shards):
+            with shard.lock:
+                out.append({
+                    "shard": idx,
+                    "entries": len(shard.lru),
+                    "capacity": shard.capacity,
+                    "hits": shard.stats.hits,
+                    "misses": shard.stats.misses,
+                })
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        """Counters for the CLI status line (plus the shard breakdown)."""
+        self.load()
+        stats = self.stats
+        return {
+            "path": self.path,
+            "entries": len(self),
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_rate": stats.hit_rate,
+            "invalidations": stats.invalidations,
+            "fingerprint": self.fingerprint,
+            "shards": self.shard_count,
+            "per_shard": [len(shard) for shard in self._shards],
+        }
+
+
+# ---------------------------------------------------------------------------
+# cache federation (``repro tune merge``)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MergeReport:
+    """Outcome of folding one exported cache payload into a live cache."""
+
+    source: str = ""
+    #: fingerprint of the payload (vs the destination cache's)
+    fingerprint: str = ""
+    fingerprint_matched: bool = True
+    examined: int = 0
+    #: new tokens accepted into the destination
+    added: int = 0
+    #: collisions where the payload entry had the better modeled cost
+    improved: int = 0
+    #: collisions where the destination entry was already at least as good
+    kept: int = 0
+    #: malformed entries skipped
+    corrupt: int = 0
+
+    def render(self) -> str:
+        """One-line summary for the CLI."""
+        guard = "" if self.fingerprint_matched else " [fingerprint mismatch]"
+        return (
+            f"{self.source or 'payload'}{guard}: {self.examined} entries — "
+            f"{self.added} added, {self.improved} improved, "
+            f"{self.kept} kept, {self.corrupt} corrupt"
+        )
+
+
+def read_cache_payload(path: str) -> Dict:
+    """Parse one exported cache file (``tune export`` / on-disk format)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"unreadable cache file {path!r}: {exc}") from exc
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ConfigError(f"{path!r} is not an exported tuning cache")
+    return data
+
+
+def merge_payload(cache, payload: Dict, force: bool = False,
+                  source: str = "") -> MergeReport:
+    """Fold an exported cache payload into ``cache`` (federation).
+
+    Guards: the payload's schema version must match exactly, and its
+    machine fingerprint must match the destination cache's unless
+    ``force`` — plans tuned for a different machine model, dtype or code
+    version are refused rather than silently mixed in.  On key
+    collisions the entry with the *lower modeled total cycles* wins, so
+    a merged cache never serves a plan worse than either input held for
+    that key.
+    """
+    schema = payload.get("schema")
+    if schema != TUNING_SCHEMA_VERSION:
+        raise ConfigError(
+            f"cache schema {schema!r} != {TUNING_SCHEMA_VERSION} "
+            f"(re-export with this code version)"
+        )
+    report = MergeReport(
+        source=source,
+        fingerprint=str(payload.get("fingerprint", "")),
+        fingerprint_matched=payload.get("fingerprint") == cache.fingerprint,
+    )
+    if not report.fingerprint_matched and not force:
+        raise ConfigError(
+            f"machine fingerprint mismatch: payload "
+            f"{report.fingerprint or '<missing>'} vs cache "
+            f"{cache.fingerprint} (pass --force to merge anyway)"
+        )
+    for token, entry in payload.get("entries", {}).items():
+        report.examined += 1
+        try:
+            plan = TunedPlan.from_dict(entry, source="cache")
+        except ConfigError:
+            report.corrupt += 1
+            continue
+        existing = cache.peek(token)
+        if existing is None:
+            cache.put(plan)
+            report.added += 1
+        elif plan.total_cycles < existing.total_cycles:
+            cache.put(plan)
+            report.improved += 1
+        else:
+            report.kept += 1
+    return report
+
+
+def merge_cache_files(cache, paths, force: bool = False) -> List[MergeReport]:
+    """Merge several exported cache files into ``cache``, in order."""
+    return [
+        merge_payload(cache, read_cache_payload(path), force=force,
+                      source=path)
+        for path in paths
+    ]

@@ -54,6 +54,9 @@ class TuneReport:
     failed: int = 0
     #: candidate plans the static analyzer rejected before pricing
     rejected: int = 0
+    #: requested shapes that mapped to a bucket already being tuned in
+    #: the same warm-up (in-flight dedup: tuned once, counted here)
+    deduped: int = 0
     elapsed_seconds: float = 0.0
     #: total modeled speedup of tuned plans over the fixed heuristic
     speedups: List[float] = field(default_factory=list)
@@ -74,9 +77,12 @@ class TuneReport:
 
     def render(self) -> str:
         """One-paragraph summary for the CLI."""
+        dedup = (
+            f"{self.deduped} deduplicated, " if self.deduped else ""
+        )
         return (
             f"{self.requested} shape(s): {self.cache_hits} cache hit(s) "
-            f"({self.hit_rate:.0%}), {self.tuned} tuned, "
+            f"({self.hit_rate:.0%}), {self.tuned} tuned, {dedup}"
             f"{self.failed} failed, {self.rejected} candidate plan(s) "
             f"rejected by the analyzer, {self.elapsed_seconds:.2f} s; "
             f"mean modeled speedup vs heuristic {self.mean_speedup:.2f}x"

@@ -27,7 +27,7 @@ from ..machine import (
     sve512_like,
 )
 from ..util.errors import ConfigError, ReproError
-from .cache import TuningCache
+from .cache import TuningCache, plan_key
 from .plan import TunedPlan
 from .tuner import AdaptiveTuner, TuneReport
 
@@ -102,12 +102,21 @@ def warm_cache(
     report = TuneReport(requested=len(shapes))
     start = time.perf_counter()
 
+    # in-flight dedup: distinct requested shapes can share one bucketed
+    # plan key (and callers pass outright duplicates); each pending
+    # bucket is tuned exactly once
     pending: List[Shape] = []
+    in_flight = set()
     for m, n, k in shapes:
         if tuner.cache.get(m, n, k, threads) is not None:
             report.cache_hits += 1
-        else:
-            pending.append((m, n, k))
+            continue
+        token = plan_key(m, n, k, tuner.dtype, threads).token
+        if token in in_flight:
+            report.deduped += 1
+            continue
+        in_flight.add(token)
+        pending.append((m, n, k))
 
     if pending:
         jobs = default_jobs(len(pending)) if jobs is None else max(1, jobs)

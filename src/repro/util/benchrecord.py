@@ -1,8 +1,7 @@
 """Performance-trajectory recorder: ``make bench-record``.
 
-Measures the two throughput numbers the verified-platform roadmap
-tracks across PRs and writes them to ``BENCH_<rev>.json`` at the repo
-root:
+Measures the throughput numbers the verified-platform roadmap tracks
+across PRs and writes them to ``BENCH_<rev>.json`` at the repo root:
 
 * **lint sweep** — wall-clock of the golden 708-plan ``repro lint
   --plans`` sweep with the full V3xx+V4xx analysis armed (the
@@ -16,7 +15,13 @@ root:
   interning / primitive cache counters (docs/PERFORMANCE.md);
 * **het sweep** — the weighted-vs-balanced modeled speedup envelope on
   the ``big_little_like()`` asymmetric socket (Fig. 10 small-M sweep);
-  ``min_speedup`` must stay strictly above 1.0.
+  ``min_speedup`` must stay strictly above 1.0;
+* **serve sweep** — planning-service throughput: warm-cache queries per
+  second over the golden serving grid
+  (:func:`repro.workloads.sweeps.serve_query_grid`) through the full
+  micro-batcher path, plus single-query cold-path latency with the
+  kernel library warmed.  The roadmap floors are >= 5,000 q/s warm and
+  < 50 ms cold.
 
 All measurements run with the persistent steady-state store attached —
 the configuration ``repro lint --plans`` ships with.  One JSON file per
@@ -165,6 +170,67 @@ def measure_het_sweep() -> Dict[str, object]:
     }
 
 
+def measure_serve_sweep(machine, repeats: int = 5) -> Dict[str, object]:
+    """Planning-service throughput over the golden serving grid.
+
+    Warm path: prewarm every golden bucket, then replay the full grid
+    ``repeats`` times as concurrent client batches and record the best
+    pass (the steady-state number a long-lived service sustains).  Cold
+    path: one timed single query for a fresh bucket after
+    :meth:`~repro.serving.PlanService.warm_kernels`, so the latency is
+    pure planning/pricing — the < 50 ms acceptance number.
+    """
+    import asyncio
+    import time as _time
+
+    from ..serving import PlanClient, PlanRequest, PlanService, run_service_once
+    from ..workloads.sweeps import serve_query_grid
+
+    service = PlanService(machine, max_delay=0.001)
+    grid = serve_query_grid(min(4, machine.n_cores))
+    result: Dict[str, object] = {}
+
+    async def body(service):
+        client = PlanClient(service)
+        result["kernels_warmed"] = service.warm_kernels()
+        mt_threads = max(t for _, t in grid)
+        for threads in (1, mt_threads):
+            service.prewarm(
+                [shape for shape, t in grid if t == threads],
+                threads=threads,
+            )
+        requests = [
+            PlanRequest(m=m, n=n, k=k, threads=t)
+            for (m, n, k), t in grid
+        ]
+        best = None
+        for _ in range(repeats):
+            start = _time.perf_counter()
+            responses = await service.query_many(requests)
+            elapsed = _time.perf_counter() - start
+            if any(r.provenance != "cache" for r in responses):
+                raise RuntimeError("warm sweep missed the cache")
+            if best is None or elapsed < best:
+                best = elapsed
+        result["queries"] = len(requests)
+        result["repeats"] = repeats
+        result["warm_seconds"] = round(best, 4)
+        result["queries_per_second"] = (
+            round(len(requests) / best, 1) if best else 0.0
+        )
+        # cold path: a bucket outside the golden grid, timed alone
+        start = _time.perf_counter()
+        response = await client.query(41, 43, 47)
+        result["cold_query_ms"] = round(
+            (_time.perf_counter() - start) * 1e3, 2
+        )
+        result["cold_provenance"] = response.provenance
+        result["hit_rate"] = round(service.stats.hit_rate, 4)
+
+    run_service_once(service, body)
+    return result
+
+
 def record(rev: Optional[str] = None,
            output: Optional[str] = None) -> Path:
     """Measure all three numbers and write ``BENCH_<rev>.json``."""
@@ -185,6 +251,7 @@ def record(rev: Optional[str] = None,
         "pricing": measure_pricing(machine),
         "batch_sweep": measure_batch_sweep(machine),
         "het_sweep": measure_het_sweep(),
+        "serve_sweep": measure_serve_sweep(machine),
     }
     save_attached_stores()
     path = Path(output) if output else Path(f"BENCH_{rev}.json")

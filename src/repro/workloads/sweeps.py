@@ -115,6 +115,22 @@ def golden_mt_grid() -> List[Shape]:
     return shapes
 
 
+def serve_query_grid(max_threads: int = 4) -> List[Tuple[Shape, int]]:
+    """The golden serving workload: ((m, n, k), threads) query points.
+
+    The Fig. 5 single-thread grid plus the Fig. 10 multithreaded subset
+    (clamped to ``max_threads``) — the shape traffic the planning
+    service's throughput metric (``serve_sweep`` in ``BENCH_<rev>.json``)
+    and the ``repro serve --self-test`` smoke replay.
+    """
+    queries: List[Tuple[Shape, int]] = [
+        (shape, 1) for shape in golden_single_thread_grid()
+    ]
+    threads = max(1, max_threads)
+    queries.extend((shape, threads) for shape in golden_mt_grid())
+    return queries
+
+
 def table2_ms(step: int = 16, stop: int = 256) -> List[int]:
     """Table II's M column: 16..256 step 16."""
     return list(range(step, stop + 1, step))

@@ -1,0 +1,42 @@
+"""The ``repro serve`` CLI: parser wiring and the self-test gate."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.machine == "phytium2000plus"
+        assert args.shards == 8
+        assert args.jobs == 0
+        assert args.host == "127.0.0.1"
+        assert args.port == 8513
+        assert not args.self_test
+        assert not args.stats
+
+    def test_rejects_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--machine", "x86_like"])
+
+    def test_self_test_flag(self):
+        args = build_parser().parse_args(
+            ["serve", "--self-test", "--stats", "--shards", "4"]
+        )
+        assert args.self_test and args.stats and args.shards == 4
+
+
+class TestSelfTest:
+    def test_smoke_passes_and_reports(self, capsys):
+        assert main(["serve", "--self-test", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "serve self-test on phytium2000plus" in out
+        assert "8 cache shard(s)" in out
+        assert "provenance    : cache" in out
+        assert "heuristic-pending" in out
+        assert "cold query" in out
+        assert "tuned landed" in out
+        assert "OK: mixed hot/cold batch served, clean shutdown" in out
+        # --stats appends the JSON counters block
+        assert '"tuning_queue_depth"' in out

@@ -94,6 +94,52 @@ class TestBoundedMemo:
         assert len(memo) == 0
 
 
+class TestThreadSafety:
+    def test_concurrent_pricing_matches_serial(self, machine):
+        """One pricer hammered from many threads stays bit-for-bit.
+
+        This is the serving-layer topology: the background tuning
+        thread prices candidate plans through the shared BATCH_PRICER
+        while the event loop prices its own micro-batches.  The
+        stateful tape recorder is per-thread and the memo/pool LRU
+        bookkeeping is locked; a torn tape shows up here as a
+        TypeError (``tuple(None)``) or a wrong bucket sum.
+        """
+        import threading
+
+        from repro.plan import ShapeGridPricer
+
+        shapes = [(m, m + 1, m + 2) for m in range(4, 20)]
+        serial = ShapeGridPricer(machine).price_grid(shapes)
+        expected = [t.as_dict() for t in serial.timings]
+
+        errors = []
+        results = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def worker(slot):
+            try:
+                barrier.wait(timeout=10)
+                grid = ShapeGridPricer(machine)
+                for _ in range(3):
+                    pricing = grid.price_grid(shapes)
+                results[slot] = [t.as_dict() for t in pricing.timings]
+            except Exception as exc:  # noqa: BLE001 — recorded for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        for got in results:
+            assert got == expected
+
+
 class TestInvalidation:
     def test_machine_change_never_replays_a_stale_tape(
         self, machine, wide_machine

@@ -1,0 +1,306 @@
+"""The GEMM planning service: schema, batching, provenance, transports."""
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro.plan import price_request_groups
+from repro.serving import (
+    MicroBatcher,
+    PlanClient,
+    PlanRequest,
+    PlanResponse,
+    PlanService,
+    TcpPlanClient,
+    run_service_once,
+    serve_tcp,
+)
+from repro.tuning import AdaptiveTuner, TuningCache, warm_cache
+from repro.util import ConfigError
+
+
+@pytest.fixture()
+def service(machine):
+    """A fresh disk-less service per test (fast batching window)."""
+    return PlanService(
+        machine, machine_name="phytium2000plus", cache_path="",
+        max_delay=0.001,
+    )
+
+
+@pytest.fixture(scope="module")
+def direct_tuner(machine):
+    """An independent tuner for bit-parity comparisons."""
+    return AdaptiveTuner(machine, cache=TuningCache(machine, path=""))
+
+
+class TestSchema:
+    def test_request_round_trips(self):
+        request = PlanRequest(m=8, n=16, k=24, threads=2,
+                              machine="phytium2000plus")
+        assert PlanRequest.from_dict(request.to_dict()) == request
+
+    def test_request_token_is_bucketed(self):
+        assert PlanRequest(m=24, n=100, k=100).token == \
+            "24x112x112:float32:t1"
+
+    def test_request_rejects_bad_shape_threads_dtype(self):
+        with pytest.raises(ConfigError):
+            PlanRequest(m=0, n=1, k=1)
+        with pytest.raises(ConfigError):
+            PlanRequest(m=1, n=1, k=1, threads=0)
+        with pytest.raises(ConfigError):
+            PlanRequest(m=1, n=1, k=1, dtype="banana")
+        with pytest.raises(ConfigError):
+            PlanRequest.from_dict({"m": 1, "n": 1})
+
+    def test_response_round_trips_with_plan(self, service, direct_tuner):
+        plan = direct_tuner.heuristic_plan(8, 8, 8)
+        response = PlanResponse(
+            request=PlanRequest(m=8, n=8, k=8), provenance="cache",
+            plan=plan, pending=True,
+        )
+        back = PlanResponse.from_dict(response.to_dict())
+        assert back.plan.to_dict() == plan.to_dict()
+        assert back.pending and back.ok
+
+    def test_response_rejects_unknown_provenance(self):
+        with pytest.raises(ConfigError):
+            PlanResponse(request=PlanRequest(1, 1, 1), provenance="magic")
+
+
+class TestMicroBatcher:
+    def test_coalesces_concurrent_submissions(self):
+        batches = []
+
+        def handler(items):
+            batches.append(len(items))
+            return [item * 2 for item in items]
+
+        batcher = MicroBatcher(handler, max_batch=64, max_delay=0.005)
+
+        async def main():
+            return await asyncio.gather(
+                *(batcher.submit(i) for i in range(10))
+            )
+
+        assert asyncio.run(main()) == [i * 2 for i in range(10)]
+        assert batcher.stats.items == 10
+        assert batcher.stats.max_batch > 1  # coalesced, not one-by-one
+        assert len(batches) < 10
+
+    def test_max_batch_splits_oversized_windows(self):
+        batcher = MicroBatcher(lambda items: list(items), max_batch=4,
+                               max_delay=0.005)
+
+        async def main():
+            return await asyncio.gather(
+                *(batcher.submit(i) for i in range(10))
+            )
+
+        assert asyncio.run(main()) == list(range(10))
+        assert batcher.stats.max_batch <= 4
+
+    def test_handler_error_fails_the_batch(self):
+        def handler(items):
+            raise RuntimeError("boom")
+
+        batcher = MicroBatcher(handler, max_delay=0.001)
+
+        async def main():
+            with pytest.raises(RuntimeError, match="boom"):
+                await batcher.submit(1)
+
+        asyncio.run(main())
+
+
+class TestServing:
+    def test_cold_query_is_heuristic_pending_and_bit_identical(
+        self, service, direct_tuner
+    ):
+        async def body(service):
+            return await PlanClient(service).query(10, 12, 14)
+
+        response = run_service_once(service, body)
+        assert response.provenance == "heuristic-pending"
+        assert response.pending
+        direct = direct_tuner.heuristic_plan(10, 12, 14)
+        assert response.plan.to_dict() == direct.to_dict()
+
+    def test_prewarm_then_all_hot(self, service):
+        shapes = [(6, 6, 6), (10, 10, 10), (14, 14, 14)]
+
+        async def body(service):
+            assert service.prewarm(shapes) == 3
+            assert service.prewarm(shapes) == 0  # idempotent
+            return await PlanClient(service).query_shapes(shapes)
+
+        responses = run_service_once(service, body)
+        assert [r.provenance for r in responses] == ["cache"] * 3
+        assert service.stats.hit_rate == 1.0
+
+    def test_inflight_dedup_within_one_batch(self, service):
+        async def body(service):
+            client = PlanClient(service)
+            return await client.query_shapes([(9, 9, 9)] * 4)
+
+        responses = run_service_once(service, body)
+        assert all(r.provenance == "heuristic-pending" for r in responses)
+        # four queries, one bucket: tuned once, deduped three times
+        assert service.stats.inflight_deduped == 3
+        # and every duplicate got the same plan object
+        assert len({id(r.plan) for r in responses}) == 1
+
+    def test_background_tuning_lands_bit_identical_to_search(
+        self, service, direct_tuner
+    ):
+        async def body(service):
+            client = PlanClient(service)
+            first = await client.query(7, 9, 11)
+            await service.drain()
+            second = await client.query(7, 9, 11)
+            return first, second
+
+        first, second = run_service_once(service, body)
+        assert first.provenance == "heuristic-pending"
+        assert second.provenance == "cache"
+        assert not second.pending
+        assert service.stats.tuned_landed == 1
+        direct = direct_tuner.search(7, 9, 11)
+        assert second.plan.to_dict() == direct.to_dict()
+
+    def test_served_plan_never_worse_than_heuristic(
+        self, service, direct_tuner
+    ):
+        async def body(service):
+            client = PlanClient(service)
+            await client.query(11, 13, 15)
+            await service.drain()
+            return await client.query(11, 13, 15)
+
+        response = run_service_once(service, body)
+        heuristic = direct_tuner.heuristic_plan(11, 13, 15)
+        assert response.plan.total_cycles <= heuristic.total_cycles
+
+    def test_mismatched_machine_dtype_threads_are_errors(self, service):
+        async def body(service):
+            return await service.query_many([
+                PlanRequest(m=8, n=8, k=8, machine="graviton2_like"),
+                PlanRequest(m=8, n=8, k=8, dtype="float64"),
+                PlanRequest(m=8, n=8, k=8, threads=10_000),
+            ])
+
+        responses = run_service_once(service, body)
+        assert [r.provenance for r in responses] == ["error"] * 3
+        assert "machine" in responses[0].error
+        assert "dtype" in responses[1].error
+        assert "cores" in responses[2].error
+        assert service.stats.errors == 3
+
+    def test_stats_summary_shape(self, service):
+        async def body(service):
+            await PlanClient(service).query(8, 8, 8)
+
+        run_service_once(service, body)
+        summary = service.stats_summary()
+        assert summary["service"]["queries"] == 1
+        assert summary["batcher"]["items"] == 1
+        assert summary["cache"]["shards"] == 8
+        assert len(summary["per_shard"]) == 8
+
+
+class TestBatchedPricing:
+    def test_price_request_groups_matches_single_shape_pricing(
+        self, machine
+    ):
+        requests = [(8, 8, 8, 1), (12, 10, 8, 2), (8, 8, 8, 1),
+                    (16, 4, 12, 2)]
+        timings = price_request_groups(machine, requests)
+        assert len(timings) == 4
+        from repro.plan import ShapeGridPricer
+
+        for (m, n, k, threads), timing in zip(requests, timings):
+            alone = ShapeGridPricer(machine, threads=threads).price_grid(
+                [(m, n, k)]
+            ).timings[0]
+            assert timing.total_cycles == alone.total_cycles
+        # duplicates price identically
+        assert timings[0].total_cycles == timings[2].total_cycles
+
+
+class TestWarmDedup:
+    def test_warm_cache_dedups_shared_buckets(self, machine):
+        tuner = AdaptiveTuner(machine, cache=TuningCache(machine, path=""))
+        # (65..) and (66..) share the 80x80x80 bucket; (8,8,8) twice is an
+        # outright duplicate — each bucket must be tuned exactly once
+        shapes = [(8, 8, 8), (8, 8, 8), (65, 65, 65), (66, 66, 66)]
+        report = warm_cache(tuner, shapes, jobs=1)
+        assert report.requested == 4
+        assert report.tuned == 2
+        assert report.deduped == 2
+        assert "2 deduplicated" in report.render()
+
+        again = warm_cache(tuner, shapes, jobs=1)
+        assert again.cache_hits == 4
+        assert again.deduped == 0
+        assert "deduplicated" not in again.render()
+
+
+class TestTcpTransport:
+    def test_round_trip_stats_shutdown(self, service):
+        async def main():
+            ready = asyncio.Event()
+            bound = []
+            server = asyncio.ensure_future(
+                serve_tcp(service, port=0, ready=ready, bound=bound)
+            )
+            await ready.wait()
+            client = TcpPlanClient(*bound[0])
+            responses = await client.query_batch([
+                PlanRequest(m=8, n=8, k=8),
+                PlanRequest(m=24, n=16, k=8),
+            ])
+            stats = await client.stats()
+            assert await client.shutdown()
+            await server
+            return responses, stats
+
+        responses, stats = asyncio.run(main())
+        assert [r.provenance for r in responses] == \
+            ["heuristic-pending"] * 2
+        assert responses[0].plan is not None
+        assert stats["service"]["queries"] == 2
+
+    def test_malformed_entries_come_back_as_inline_errors(self, service):
+        import json
+
+        async def main():
+            ready = asyncio.Event()
+            bound = []
+            server = asyncio.ensure_future(
+                serve_tcp(service, port=0, ready=ready, bound=bound)
+            )
+            await ready.wait()
+            host, port = bound[0]
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(json.dumps({
+                "requests": [
+                    {"m": 8, "n": 8, "k": 8},
+                    {"m": 0, "n": 8, "k": 8},
+                ]
+            }).encode() + b"\n")
+            await writer.drain()
+            payload = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            client = TcpPlanClient(host, port)
+            await client.shutdown()
+            await server
+            return payload
+
+        payload = asyncio.run(main())
+        ok, bad = payload["responses"]
+        assert ok["provenance"] == "heuristic-pending"
+        assert bad["provenance"] == "error"
+        assert "invalid request shape" in bad["error"]

@@ -1,0 +1,203 @@
+"""Cache federation: ``merge_payload`` semantics and the CLI round-trip."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.machine import graviton2_like, phytium2000plus
+from repro.tuning import (
+    TUNING_SCHEMA_VERSION,
+    AdaptiveTuner,
+    MergeReport,
+    ShardedTuningCache,
+    TuningCache,
+    merge_cache_files,
+    merge_payload,
+    plan_key,
+    read_cache_payload,
+)
+from repro.util import ConfigError
+
+
+@pytest.fixture(scope="module")
+def small_machine():
+    return graviton2_like()
+
+
+@pytest.fixture(scope="module")
+def base_plan(small_machine):
+    tuner = AdaptiveTuner(
+        small_machine, cache=TuningCache(small_machine, path="")
+    )
+    return tuner.heuristic_plan(16, 16, 16)
+
+
+def plan_for(base_plan, m, n, k, cycles):
+    return dataclasses.replace(
+        base_plan,
+        key=plan_key(m, n, k, base_plan.key.dtype),
+        total_cycles=float(cycles),
+    )
+
+
+def payload_with(cache, plans):
+    """An exported payload carrying ``plans`` (built via a scratch cache)."""
+    scratch = TuningCache(cache.machine, cache.dtype, path="")
+    for plan in plans:
+        scratch.put(plan)
+    return json.loads(scratch.export_json())
+
+
+class TestMergePayload:
+    def test_new_tokens_are_added(self, small_machine, base_plan):
+        cache = TuningCache(small_machine, path="")
+        payload = payload_with(cache, [plan_for(base_plan, 8, 8, 8, 100.0)])
+        report = merge_payload(cache, payload, source="a.json")
+        assert (report.examined, report.added) == (1, 1)
+        assert cache.get(8, 8, 8) is not None
+        assert "a.json: 1 entries" in report.render()
+
+    def test_better_modeled_cost_wins_collisions(
+        self, small_machine, base_plan
+    ):
+        cache = TuningCache(small_machine, path="")
+        cache.put(plan_for(base_plan, 8, 8, 8, 200.0))
+        better = payload_with(cache, [plan_for(base_plan, 8, 8, 8, 100.0)])
+        report = merge_payload(cache, better)
+        assert report.improved == 1 and report.added == 0
+        assert cache.get(8, 8, 8).total_cycles == 100.0
+
+    def test_worse_entry_never_replaces(self, small_machine, base_plan):
+        cache = TuningCache(small_machine, path="")
+        cache.put(plan_for(base_plan, 8, 8, 8, 100.0))
+        worse = payload_with(cache, [plan_for(base_plan, 8, 8, 8, 300.0)])
+        report = merge_payload(cache, worse)
+        assert report.kept == 1
+        assert cache.get(8, 8, 8).total_cycles == 100.0
+
+    def test_merged_never_worse_than_either_input(
+        self, small_machine, base_plan
+    ):
+        # property over a grid: destination holds odd shapes, payload
+        # holds even shapes, both hold shared shapes at different costs
+        cache = TuningCache(small_machine, path="")
+        mine = {m: 100.0 + m for m in range(2, 33, 2)}
+        theirs = {m: 100.0 + (33 - m) for m in range(2, 33)}
+        for m, cycles in mine.items():
+            cache.put(plan_for(base_plan, m, m, m, cycles))
+        payload = payload_with(cache, [
+            plan_for(base_plan, m, m, m, cycles)
+            for m, cycles in theirs.items()
+        ])
+        merge_payload(cache, payload)
+        for m in range(2, 33):
+            best = min(
+                c for c in (mine.get(m), theirs.get(m)) if c is not None
+            )
+            assert cache.get(m, m, m).total_cycles == best
+
+    def test_fingerprint_mismatch_refused_without_force(
+        self, small_machine, base_plan
+    ):
+        cache = TuningCache(small_machine, path="")
+        payload = payload_with(cache, [plan_for(base_plan, 8, 8, 8, 100.0)])
+        payload["fingerprint"] = "deadbeefdeadbeef"
+        with pytest.raises(ConfigError, match="fingerprint mismatch"):
+            merge_payload(cache, payload)
+        assert len(cache) == 0
+
+        report = merge_payload(cache, payload, force=True)
+        assert not report.fingerprint_matched
+        assert report.added == 1
+        assert "[fingerprint mismatch]" in report.render()
+
+    def test_schema_mismatch_always_refused(self, small_machine, base_plan):
+        cache = TuningCache(small_machine, path="")
+        payload = payload_with(cache, [plan_for(base_plan, 8, 8, 8, 100.0)])
+        payload["schema"] = TUNING_SCHEMA_VERSION + 1
+        with pytest.raises(ConfigError, match="schema"):
+            merge_payload(cache, payload, force=True)
+
+    def test_corrupt_entries_skipped_not_fatal(
+        self, small_machine, base_plan
+    ):
+        cache = TuningCache(small_machine, path="")
+        payload = payload_with(cache, [plan_for(base_plan, 8, 8, 8, 100.0)])
+        payload["entries"]["bogus"] = {"not": "a plan"}
+        report = merge_payload(cache, payload)
+        assert report.corrupt == 1 and report.added == 1
+
+    def test_merge_into_sharded_cache(self, small_machine, base_plan):
+        cache = ShardedTuningCache(small_machine, path="", shards=4)
+        payload = payload_with(cache, [
+            plan_for(base_plan, m, m, m, 100.0 + m) for m in range(1, 9)
+        ])
+        report = merge_payload(cache, payload)
+        assert report.added == 8
+        assert len(cache) == 8
+
+    def test_merge_cache_files_reads_and_folds(
+        self, small_machine, base_plan, tmp_path
+    ):
+        cache = TuningCache(small_machine, path="")
+        src = TuningCache(small_machine, path=str(tmp_path / "src.json"))
+        src.put(plan_for(base_plan, 8, 8, 8, 100.0))
+        src.save()
+        reports = merge_cache_files(cache, [src.path])
+        assert [r.added for r in reports] == [1]
+
+    def test_read_cache_payload_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="unreadable"):
+            read_cache_payload(str(path))
+        path.write_text('{"no": "entries"}')
+        with pytest.raises(ConfigError, match="not an exported"):
+            read_cache_payload(str(path))
+
+
+class TestMergeCli:
+    def test_round_trip_warm_export_clear_merge_query(
+        self, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "cache.json")
+        exported = str(tmp_path / "exported.json")
+        assert main(["tune", "warm", "--shapes", "4:12:4",
+                     "--cache", cache, "--jobs", "1"]) == 0
+        assert main(["tune", "export", "--cache", cache,
+                     "--output", exported]) == 0
+        assert main(["tune", "clear", "--cache", cache]) == 0
+        capsys.readouterr()
+
+        assert main(["tune", "merge", exported, "--cache", cache]) == 0
+        out = capsys.readouterr().out
+        assert "3 added" in out
+        assert "3 merged in" in out
+
+        # the merged cache serves the tuned plans as cache hits
+        assert main(["tune", "warm", "--shapes", "4:12:4",
+                     "--cache", cache, "--jobs", "1"]) == 0
+        assert "3 cache hit(s) (100%)" in capsys.readouterr().out
+
+    def test_fingerprint_mismatch_exits_2_without_force(
+        self, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "cache.json")
+        exported = str(tmp_path / "exported.json")
+        main(["tune", "query", "8", "8", "8", "--cache", cache])
+        main(["tune", "export", "--cache", cache, "--output", exported])
+        data = json.loads(open(exported).read())
+        data["fingerprint"] = "deadbeefdeadbeef"
+        with open(exported, "w") as fh:
+            json.dump(data, fh)
+        capsys.readouterr()
+
+        fresh = str(tmp_path / "fresh.json")
+        assert main(["tune", "merge", exported, "--cache", fresh]) == 2
+        assert "fingerprint mismatch" in capsys.readouterr().out
+
+        assert main(["tune", "merge", exported, "--cache", fresh,
+                     "--force"]) == 0
+        assert "[fingerprint mismatch]" in capsys.readouterr().out

@@ -1,0 +1,202 @@
+"""Sharded tuning cache: placement, LRU bounds, locking, interop."""
+
+import dataclasses
+import threading
+
+import pytest
+
+from repro.machine import graviton2_like
+from repro.tuning import (
+    AdaptiveTuner,
+    ShardedTuningCache,
+    TuningCache,
+    machine_fingerprint,
+    plan_key,
+    shard_index,
+)
+
+
+@pytest.fixture(scope="module")
+def small_machine():
+    return graviton2_like()
+
+
+@pytest.fixture(scope="module")
+def base_plan(small_machine):
+    """One cheap heuristic plan to clone entries from."""
+    tuner = AdaptiveTuner(
+        small_machine, cache=TuningCache(small_machine, path="")
+    )
+    return tuner.heuristic_plan(24, 24, 24)
+
+
+def plan_for(base_plan, m, n, k, threads=1, cycles=None):
+    """A structurally valid plan re-keyed to another bucket."""
+    key = plan_key(m, n, k, base_plan.key.dtype, threads)
+    fields = {"key": key}
+    if cycles is not None:
+        fields["total_cycles"] = float(cycles)
+    return dataclasses.replace(base_plan, **fields)
+
+
+class TestPlacement:
+    def test_shard_index_is_crc_stable(self):
+        # crc32-based placement: identical across processes and runs,
+        # immune to PYTHONHASHSEED
+        token = "24x24x24:float32:t1"
+        first = shard_index(token, 8)
+        assert 0 <= first < 8
+        assert all(shard_index(token, 8) == first for _ in range(10))
+
+    def test_shard_index_covers_all_shards(self):
+        tokens = [
+            plan_key(m, m, m, "float32").token for m in range(1, 65)
+        ]
+        hit = {shard_index(t, 4) for t in tokens}
+        assert hit == {0, 1, 2, 3}
+
+    def test_fingerprint_bit_stable_across_shard_counts(self, small_machine):
+        prints = {
+            ShardedTuningCache(small_machine, path="", shards=s).fingerprint
+            for s in (1, 4, 16)
+        }
+        prints.add(TuningCache(small_machine, path="").fingerprint)
+        prints.add(machine_fingerprint(small_machine))
+        assert len(prints) == 1
+
+
+class TestShardedCache:
+    def test_get_put_round_trip(self, small_machine, base_plan):
+        cache = ShardedTuningCache(small_machine, path="", shards=4)
+        plan = plan_for(base_plan, 24, 24, 24)
+        cache.put(plan)
+        hit = cache.get(24, 24, 24)
+        assert hit is plan
+        assert cache.get(999, 999, 999) is None
+        stats = cache.stats
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_peek_does_not_touch_stats_or_lru(self, small_machine, base_plan):
+        cache = ShardedTuningCache(small_machine, path="", shards=2)
+        plan = plan_for(base_plan, 8, 8, 8)
+        cache.put(plan)
+        assert cache.peek(plan.key.token) is plan
+        assert cache.stats.requests == 0
+
+    def test_per_shard_lru_eviction_bounds(self, small_machine, base_plan):
+        # capacity 8 over 4 shards -> never more than 2 entries per shard
+        cache = ShardedTuningCache(
+            small_machine, path="", capacity=8, shards=4
+        )
+        for m in range(1, 41):
+            cache.put(plan_for(base_plan, m, m, m))
+        occupancy = cache.per_shard_occupancy()
+        assert len(occupancy) == 4
+        for shard in occupancy:
+            assert shard["entries"] <= shard["capacity"] == 2
+        assert len(cache) <= 8
+
+    def test_lru_evicts_oldest_within_shard(self, small_machine, base_plan):
+        cache = ShardedTuningCache(
+            small_machine, path="", capacity=2, shards=1
+        )
+        cache.put(plan_for(base_plan, 1, 1, 1))
+        cache.put(plan_for(base_plan, 2, 2, 2))
+        assert cache.get(1, 1, 1) is not None  # bump to MRU
+        cache.put(plan_for(base_plan, 3, 3, 3))
+        assert cache.get(2, 2, 2) is None  # LRU victim
+        assert cache.get(1, 1, 1) is not None
+        assert cache.get(3, 3, 3) is not None
+
+    def test_save_load_interop_with_single_shard_cache(
+        self, small_machine, base_plan, tmp_path
+    ):
+        path = str(tmp_path / "cache.json")
+        sharded = ShardedTuningCache(small_machine, path=path, shards=8)
+        for m in (3, 9, 27, 81):
+            sharded.put(plan_for(base_plan, m, m, m))
+        sharded.save()
+
+        flat = TuningCache(small_machine, path=path)
+        assert flat.load() == 4
+        assert flat.get(27, 27, 27).key == plan_key(27, 27, 27, "float32")
+
+        # and back: a flat save loads into any shard count
+        flat.save()
+        for shards in (1, 3, 16):
+            again = ShardedTuningCache(
+                small_machine, path=path, shards=shards
+            )
+            assert again.load() == 4
+            assert again.get(81, 81, 81) is not None
+
+    def test_export_json_matches_flat_format(
+        self, small_machine, base_plan, tmp_path
+    ):
+        path = str(tmp_path / "cache.json")
+        sharded = ShardedTuningCache(small_machine, path=path, shards=4)
+        for m in (5, 17, 33):
+            sharded.put(plan_for(base_plan, m, m, m))
+        sharded.save()
+        # both kinds of cache, loaded from the same file, export the
+        # same bytes — shard count is a purely in-memory property
+        flat = TuningCache(small_machine, path=path)
+        reloaded = ShardedTuningCache(small_machine, path=path, shards=16)
+        assert flat.export_json() == reloaded.export_json()
+
+
+class TestConcurrency:
+    def test_concurrent_get_put_thread_safety(self, small_machine, base_plan):
+        cache = ShardedTuningCache(
+            small_machine, path="", capacity=4096, shards=8
+        )
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(offset):
+            try:
+                barrier.wait(timeout=10)
+                for i in range(200):
+                    m = 1 + (offset * 200 + i) % 64
+                    cache.put(plan_for(base_plan, m, m, m))
+                    cache.get(m, m, m)
+            except Exception as exc:  # noqa: BLE001 — recorded for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        # every bucket written by some thread is retrievable
+        for m in range(1, 65):
+            assert cache.get(m, m, m) is not None
+
+    def test_no_global_lock(self, small_machine, base_plan):
+        """Holding one shard's lock never blocks another shard's reads."""
+        cache = ShardedTuningCache(small_machine, path="", shards=4)
+        cache.load()
+        plans = [plan_for(base_plan, m, m, m) for m in range(1, 9)]
+        for plan in plans:
+            cache.put(plan)
+        # pick two plans living in different shards
+        a = plans[0]
+        b = next(
+            p for p in plans
+            if cache.shard_of(p.key.token) != cache.shard_of(a.key.token)
+        )
+        got = []
+        locked_shard = cache._shards[cache.shard_of(a.key.token)]
+        with locked_shard.lock:
+            reader = threading.Thread(
+                target=lambda: got.append(
+                    cache.get(b.key.m, b.key.n, b.key.k)
+                )
+            )
+            reader.start()
+            reader.join(timeout=5)
+            assert not reader.is_alive(), "cross-shard read blocked"
+        assert got == [b]
