@@ -60,6 +60,9 @@ class ServiceStats:
     inflight_deduped: int = 0
     tuned_landed: int = 0
     tune_failures: int = 0
+    #: repr of the most recent background-tuning exception ("" when none);
+    #: makes a systematically failing tuning path diagnosable from --stats
+    last_tune_error: str = ""
     started_at: float = field(default_factory=time.perf_counter)
 
     @property
@@ -81,6 +84,7 @@ class ServiceStats:
             "inflight_deduped": self.inflight_deduped,
             "tuned_landed": self.tuned_landed,
             "tune_failures": self.tune_failures,
+            "last_tune_error": self.last_tune_error,
             "uptime_seconds": round(
                 time.perf_counter() - self.started_at, 3
             ),
@@ -106,13 +110,26 @@ class BackgroundTuner:
         self.machine_name = machine_name
         self.jobs = jobs
         self._inflight: set = set()
-        self._queue: "asyncio.Queue[Tuple[str, Shape, int]]" = asyncio.Queue()
+        #: created lazily inside the running loop (start/enqueue): on
+        #: Python 3.9 asyncio.Queue binds get_event_loop() at
+        #: construction, and PlanService is typically built before
+        #: asyncio.run() starts the loop it will serve on
+        self._queue: Optional["asyncio.Queue[Tuple[str, Shape, int]]"] = None
         self._worker: Optional[asyncio.Task] = None
         self._executor: Optional[Executor] = None
         self._pool = False
 
+    def _ensure_queue(self) -> "asyncio.Queue[Tuple[str, Shape, int]]":
+        if self._queue is None:
+            self._queue = asyncio.Queue()
+        return self._queue
+
     def start(self) -> None:
-        """Create the executor and the drain task (idempotent)."""
+        """Create the queue, executor and drain task (idempotent).
+
+        Must run inside the event loop that will serve queries.
+        """
+        self._ensure_queue()
         if self._worker is not None and not self._worker.done():
             return
         if self._executor is None:
@@ -138,7 +155,7 @@ class BackgroundTuner:
             self.stats.inflight_deduped += 1
             return False
         self._inflight.add(token)
-        self._queue.put_nowait((token, shape, threads))
+        self._ensure_queue().put_nowait((token, shape, threads))
         return True
 
     @property
@@ -152,40 +169,50 @@ class BackgroundTuner:
 
     async def _drain(self) -> None:
         loop = asyncio.get_running_loop()
+        queue = self._ensure_queue()
         while True:
-            token, shape, threads = await self._queue.get()
+            token, shape, threads = await queue.get()
             try:
-                plan = await loop.run_in_executor(
-                    self._executor, self._tune_sync, shape, threads,
-                )
+                if self._pool:
+                    # submit the module-level ``tune warm`` worker, not a
+                    # bound method: pickling self would drag the sharded
+                    # cache's locks and this executor into the job
+                    entry = await loop.run_in_executor(
+                        self._executor, _tune_one, (shape, threads),
+                    )
+                    plan = (TunedPlan.from_dict(entry)
+                            if entry is not None else None)
+                else:
+                    plan = await loop.run_in_executor(
+                        self._executor, self._tune_sync, shape, threads,
+                    )
             except asyncio.CancelledError:
                 self._inflight.discard(token)
                 raise
-            except Exception:  # noqa: BLE001 — tuning never kills serving
+            except Exception as exc:  # noqa: BLE001 — never kills serving
                 plan = None
+                self.stats.last_tune_error = repr(exc)
             if plan is not None:
                 self.tuner.cache.put(plan)
                 self.stats.tuned_landed += 1
             else:
                 self.stats.tune_failures += 1
             self._inflight.discard(token)
-            self._queue.task_done()
+            queue.task_done()
 
     def _tune_sync(self, shape: Shape, threads: int) -> Optional[TunedPlan]:
-        if self._pool:
-            entry = _tune_one((shape, threads))
-            if entry is None:
-                return None
-            return TunedPlan.from_dict(entry)
+        """In-thread tuning (the non-pool path; the tuner is loop-local)."""
         m, n, k = shape
         try:
             return self.tuner.search(m, n, k, threads=threads)
-        except ReproError:
+        except ReproError as exc:
+            self.stats.last_tune_error = repr(exc)
             return None
 
     async def join(self) -> None:
         """Wait until every queued bucket has been tuned and landed."""
-        await self._queue.join()
+        if self._queue is not None:
+            await self._queue.join()
 
     async def stop(self) -> None:
         """Cancel the drain task and shut the executor down."""

@@ -354,6 +354,15 @@ class ShardedTuningCache:
     (and the machine fingerprint) is bit-identical to the single-shard
     cache regardless of shard count, so files can be exported, merged and
     re-loaded across shard configurations freely.
+
+    **Capacity is per shard, not global**: the configured ``capacity`` is
+    split as ``ceil(capacity / shards)`` per shard and each shard runs its
+    own LRU against that slice.  Under a hash-skewed token distribution a
+    hot shard starts evicting while total occupancy is still below
+    ``capacity``, and the worst-case total can exceed ``capacity`` by up
+    to ``shards - 1`` entries.  When tuning ``--shards``/``capacity`` for
+    a skewed workload, size capacity generously (or lower the shard
+    count) rather than assuming a single global LRU bound.
     """
 
     def __init__(

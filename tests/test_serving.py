@@ -170,6 +170,33 @@ class TestServing:
         direct = direct_tuner.search(7, 9, 11)
         assert second.plan.to_dict() == direct.to_dict()
 
+    def test_background_pool_tuning_lands(self, machine, direct_tuner):
+        # jobs > 0 with a registry machine takes the ProcessPoolExecutor
+        # path: the job must be the picklable module-level worker, not a
+        # bound method dragging locks along (regression for the case
+        # where every pool job died in pickling as a tune_failure)
+        service = PlanService(
+            machine, machine_name="phytium2000plus", cache_path="",
+            max_delay=0.001, tune_jobs=1,
+        )
+
+        async def body(service):
+            client = PlanClient(service)
+            first = await client.query(7, 9, 11)
+            await service.drain()
+            second = await client.query(7, 9, 11)
+            return first, second
+
+        first, second = run_service_once(service, body)
+        assert service.background._pool, "pool path not exercised"
+        assert first.provenance == "heuristic-pending"
+        assert second.provenance == "cache"
+        assert service.stats.tuned_landed >= 1
+        assert service.stats.tune_failures == 0
+        assert service.stats.last_tune_error == ""
+        direct = direct_tuner.search(7, 9, 11)
+        assert second.plan.to_dict() == direct.to_dict()
+
     def test_served_plan_never_worse_than_heuristic(
         self, service, direct_tuner
     ):
