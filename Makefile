@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-plans-negative bench bench-smoke bench-record serve-smoke examples docs docs-check report verify check all clean
+.PHONY: install test lint lint-plans-negative audit bench bench-smoke bench-record serve-smoke examples docs docs-check report verify check all clean
 
 # one fast representative per benchmarks/test_fig*.py (the CI smoke set);
 # --benchmark-disable runs each figure pipeline once instead of timing it
@@ -33,6 +33,14 @@ lint:
 lint-plans-negative:
 	$(PYTHON) -m repro lint --plans --self-check
 	! $(PYTHON) -m repro lint --plans 24 16 8 --inject-bad
+
+# repro audit: the C0xx concurrency lint over the package's own source
+# must be clean, all nine C0xx/V5xx negative controls must fire, and the
+# seeded-bug injection must fail the audit (nonzero)
+audit:
+	$(PYTHON) -m repro audit
+	$(PYTHON) -m repro audit --self-check
+	! $(PYTHON) -m repro audit --inject-bad
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -77,9 +85,10 @@ verify:
 	$(PYTHON) -m repro verify
 
 # the CI-style gate: full tier-1 tests (which run lint first), the
-# plan-rule mutation controls, the documentation gates, one smoke pass
-# through every figure benchmark, and the planning-service smoke
-check: test lint-plans-negative docs-check bench-smoke serve-smoke
+# plan-rule mutation controls, the source/cache audit, the documentation
+# gates, one smoke pass through every figure benchmark, and the
+# planning-service smoke
+check: test lint-plans-negative audit docs-check bench-smoke serve-smoke
 
 all: install check docs report
 

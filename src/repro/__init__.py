@@ -58,7 +58,7 @@ from .timing import GemmTiming, gemm_flops, p2c, timing_from_trace
 from .tuning import AdaptiveTuner, TunedPlan, TuningCache, warm_cache
 from .util import DEFAULT_SEED, ReproError, make_rng, random_matrix
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",

@@ -118,8 +118,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--list-rules", action="store_true",
-        help="print the full V0xx-V4xx rule catalog (id, severity, "
-        "summary) and exit",
+        help="print the full rule catalog — V0xx-V2xx kernels, "
+        "V3xx-V4xx plans, V5xx caches/wire, C0xx concurrency — "
+        "(id, severity, summary) and exit",
+    )
+
+    audit = sub.add_parser(
+        "audit", help="static concurrency lint of the package source "
+        "(C0xx) plus cache & wire integrity verification (V5xx)"
+    )
+    audit.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="also audit an exported/on-disk tuning-cache file: replay "
+        "every entry through the plan verifier (V501), check "
+        "fingerprint/schema consistency (V502), cost monotonicity "
+        "(V503) and the serving wire round-trip (V504)",
+    )
+    audit.add_argument(
+        "--machine", default="phytium2000plus",
+        choices=("phytium2000plus", "graviton2_like", "a64fx_like",
+                 "big_little_like", "sve512_like"),
+        help="machine model the cache audit verifies against",
+    )
+    audit.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON findings instead of tables",
+    )
+    audit.add_argument(
+        "--self-check", action="store_true",
+        help="instead run the audit's negative controls (every C0xx "
+        "rule must fire on its seeded-bug fixture, every V5xx rule "
+        "on its mutated payload)",
+    )
+    audit.add_argument(
+        "--inject-bad", action="store_true",
+        help="also audit a seeded-bug source file and a forged cache "
+        "payload (forces a nonzero exit; exercises the error path)",
     )
 
     tune = sub.add_parser(
@@ -421,7 +455,9 @@ def _lint_kernels(machine) -> List:
 
 
 def _run_list_rules(as_json: bool) -> tuple:
-    """The ``repro lint --list-rules`` body: the full V0xx-V4xx catalog."""
+    """The ``repro lint --list-rules`` body: the full rule catalog
+    (V0xx-V2xx kernels, V3xx-V4xx plans, V5xx caches/wire, C0xx
+    concurrency)."""
     import json
 
     from .util.tables import format_table
@@ -707,6 +743,94 @@ def _run_lint(machine, args) -> tuple:
     lines.append(
         f"{'OK' if ok else 'FAIL'}: {len(kernels)} kernels, "
         f"{n_errors} errors, {n_warnings} warnings"
+    )
+    return "\n".join(lines), 0 if ok else 1
+
+
+def _run_audit(machine, args) -> tuple:
+    """The ``repro audit`` command body: (report text, exit code).
+
+    Head 1 lints the package's own source for concurrency-discipline
+    violations (C0xx: unguarded mutation of lock-guarded state,
+    unpicklable process-pool submissions, eager asyncio primitives,
+    awaits under a thread lock).  Head 2 (``--cache PATH``) verifies a
+    tuning-cache file: every entry is re-lowered through the full plan
+    verifier (V501), checked for fingerprint/schema consistency (V502)
+    and cost monotonicity (V503), and round-tripped through the serving
+    wire format (V504).  ``--self-check`` runs the mutation negative
+    controls for all nine rules; ``--inject-bad`` appends a seeded-bug
+    source file and a forged payload, forcing a nonzero exit.
+    """
+    import json
+
+    from .util.errors import ConfigError
+    from .verify import RULE_CATALOG_VERSION
+    from .verify.cacherules import (
+        CacheAuditor,
+        audit_cache_file,
+        cache_self_check,
+        inject_bad_payload,
+    )
+    from .verify.concurrency import (
+        concurrency_self_check,
+        inject_bad_source,
+        lint_file,
+        lint_tree,
+    )
+
+    if args.self_check:
+        results = concurrency_self_check() + cache_self_check(machine)
+        return _self_check_output(results, "audit self-check", args.json)
+
+    files_scanned, findings = lint_tree()
+    findings = list(findings)
+    cache_entries = 0
+    if args.cache:
+        from .blas.base import shared_analyzer
+        from .pipeline import attach_steady_store, save_attached_stores
+
+        attach_steady_store(shared_analyzer(machine))
+        try:
+            cache_findings, cache_entries = audit_cache_file(
+                machine, args.cache
+            )
+        except ConfigError as exc:
+            return f"error: {exc}", 2
+        save_attached_stores()
+        findings.extend(cache_findings)
+
+    if args.inject_bad:
+        _, bad_path = inject_bad_source()
+        findings.extend(lint_file(bad_path))
+        _, bad_payload = inject_bad_payload(machine)
+        findings.extend(CacheAuditor(machine, replay=False).audit_payload(
+            bad_payload, source="injected",
+        ))
+
+    ok = not findings
+    if args.json:
+        payload = {
+            "mode": "audit",
+            "ok": ok,
+            "rule_catalog_version": RULE_CATALOG_VERSION,
+            "files_scanned": files_scanned,
+            "cache": args.cache,
+            "cache_entries": cache_entries,
+            "findings": [d.to_dict() for d in findings],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True), 0 if ok else 1
+
+    lines = []
+    for d in findings:
+        symbol = getattr(d, "symbol", "")
+        anchor = f"{d.where} {symbol}".rstrip()
+        lines.append(f"{d.severity}: {d.rule} [{anchor}] {d.message}")
+    scope = f"{files_scanned} source file(s)"
+    if args.cache:
+        scope += f", cache {args.cache!r} ({cache_entries} entries)"
+    lines.append(
+        f"{'OK' if ok else 'FAIL'}: {scope} audited, "
+        f"{len(findings)} finding(s)"
     )
     return "\n".join(lines), 0 if ok else 1
 
@@ -1019,6 +1143,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             machine = MACHINE_FACTORIES[args.machine]()
         text, code = _run_lint(machine, args)
+        print(text)
+        return code
+    elif args.command == "audit":
+        if getattr(args, "machine", "phytium2000plus") != "phytium2000plus":
+            from .tuning.warm import MACHINE_FACTORIES
+
+            machine = MACHINE_FACTORIES[args.machine]()
+        text, code = _run_audit(machine, args)
         print(text)
         return code
     elif args.command == "tune":

@@ -447,11 +447,24 @@ class PlanService:
         return len(requests)
 
     def stats_summary(self) -> Dict[str, object]:
-        """Service + batcher + cache counters in one JSON-able dict."""
+        """Service + batcher + cache counters in one JSON-able dict.
+
+        Beyond the service's own caches this also surfaces the engine's
+        sibling caches — the plan-verification memo, the batch-pricing
+        memo and the steady-state store — so ``repro serve --stats`` is
+        one stop for the whole caching picture.
+        """
+        from ..pipeline import store_stats
+        from ..plan import batch_pricing_cache_info
+        from ..verify import verification_cache_info
+
         return {
             "service": self.stats.to_dict(),
             "batcher": self.batcher.stats.to_dict(),
             "cache": self.cache.summary(),
             "per_shard": self.cache.per_shard_occupancy(),
             "tuning_queue_depth": self.background.depth,
+            "verification_memo": dict(verification_cache_info()),
+            "batch_pricing": dict(batch_pricing_cache_info()),
+            "steady_store": dict(store_stats()),
         }

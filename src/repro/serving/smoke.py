@@ -187,6 +187,18 @@ def render_smoke(report: Dict[str, object], show_stats: bool = False) -> str:
         lines.append(
             f"  tuned landed  : {report['tuned_landed']} plan(s)"
         )
+    stats = dict(report.get("stats", {}) or {})
+    if stats:
+        memo = dict(stats.get("verification_memo", {}))
+        tapes = dict(dict(stats.get("batch_pricing", {})).get("tapes", {}))
+        store = dict(stats.get("steady_store", {}))
+        lines.append(
+            f"  memo caches   : verification "
+            f"{memo.get('hits', 0)}h/{memo.get('misses', 0)}m, "
+            f"pricing tapes {tapes.get('hits', 0)}h/{tapes.get('misses', 0)}m, "
+            f"steady store {store.get('hits', 0)}h/{store.get('misses', 0)}m "
+            f"({store.get('entries', 0)} entries)"
+        )
     if show_stats:
         import json
 

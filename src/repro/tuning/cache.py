@@ -310,14 +310,19 @@ class TuningCache:
 
 
 class _CacheShard:
-    """One shard: a bounded LRU map behind its own lock, with counters."""
+    """One shard: an LRU map behind its own lock, with counters.
 
-    __slots__ = ("lru", "lock", "capacity", "stats")
+    A shard holds entries but never evicts on its own — capacity is a
+    *global* property enforced by :meth:`ShardedTuningCache._admit`,
+    which asks the fullest shard to :meth:`evict_oldest` until the total
+    is back under the bound.
+    """
 
-    def __init__(self, capacity: int) -> None:
+    __slots__ = ("lru", "lock", "stats")
+
+    def __init__(self) -> None:
         self.lru: "OrderedDict[str, TunedPlan]" = OrderedDict()
         self.lock = threading.Lock()
-        self.capacity = capacity
         self.stats = CacheStats()
 
     def get(self, token: str) -> Optional[TunedPlan]:
@@ -330,12 +335,21 @@ class _CacheShard:
             self.stats.hits += 1
             return plan
 
-    def put(self, token: str, plan: TunedPlan) -> None:
+    def put(self, token: str, plan: TunedPlan) -> int:
+        """Insert or replace; returns 1 when the token is new here."""
         with self.lock:
+            fresh = 0 if token in self.lru else 1
             self.lru[token] = plan
             self.lru.move_to_end(token)
-            while len(self.lru) > self.capacity:
-                self.lru.popitem(last=False)
+            return fresh
+
+    def evict_oldest(self) -> int:
+        """Drop the coldest entry; returns how many were dropped (0/1)."""
+        with self.lock:
+            if not self.lru:
+                return 0
+            self.lru.popitem(last=False)
+            return 1
 
     def __len__(self) -> int:
         with self.lock:
@@ -355,14 +369,17 @@ class ShardedTuningCache:
     cache regardless of shard count, so files can be exported, merged and
     re-loaded across shard configurations freely.
 
-    **Capacity is per shard, not global**: the configured ``capacity`` is
-    split as ``ceil(capacity / shards)`` per shard and each shard runs its
-    own LRU against that slice.  Under a hash-skewed token distribution a
-    hot shard starts evicting while total occupancy is still below
-    ``capacity``, and the worst-case total can exceed ``capacity`` by up
-    to ``shards - 1`` entries.  When tuning ``--shards``/``capacity`` for
-    a skewed workload, size capacity generously (or lower the shard
-    count) rather than assuming a single global LRU bound.
+    **Capacity is global.**  The configured ``capacity`` bounds the total
+    residency across all shards: inserts update a shared entry counter
+    (one short critical section on ``_size_lock``, separate from every
+    shard lock), and when the total exceeds the bound the coldest entry
+    of the *fullest* shard is evicted until it does not.  Hash skew
+    therefore never triggers premature eviction, and total occupancy
+    never exceeds ``capacity`` — the pre-1.7 per-shard split (which could
+    both evict early on hot shards and overshoot the bound by up to
+    ``shards - 1`` entries) is what the V505 audit rule flags on live
+    caches.  Reads (``get``/``peek``) still touch only their own shard's
+    lock, never the counter.
     """
 
     def __init__(
@@ -380,10 +397,13 @@ class ShardedTuningCache:
         self.path = path if path is not None else DEFAULT_CACHE_PATH
         self.capacity = capacity
         self.fingerprint = machine_fingerprint(machine, dtype)
-        per_shard = ceil_div(capacity, shards)
         self._shards: List[_CacheShard] = [
-            _CacheShard(per_shard) for _ in range(shards)
+            _CacheShard() for _ in range(shards)
         ]
+        #: total resident entries, maintained under ``_size_lock`` so the
+        #: global capacity bound never needs a sweep over shard locks
+        self._size = 0
+        self._size_lock = threading.Lock()
         self._loaded = False
         self._load_lock = threading.Lock()
         self._dirty = False
@@ -443,10 +463,34 @@ class ShardedTuningCache:
                 plan = TunedPlan.from_dict(entry, source="cache")
             except ConfigError:
                 continue
-            self._shards[self.shard_of(token)].put(token, plan)
+            self._admit(token, plan)
             accepted += 1
         self._dirty = False
         return accepted
+
+    def _admit(self, token: str, plan: TunedPlan) -> None:
+        """Insert one entry and enforce the *global* capacity bound.
+
+        Lock order: the inserting shard's lock is taken and released
+        inside :meth:`_CacheShard.put` before ``_size_lock`` is
+        acquired; eviction then takes one shard lock at a time while
+        holding ``_size_lock``.  No code path acquires ``_size_lock``
+        while holding a shard lock, so the order cannot cycle.
+        """
+        fresh = self._shards[self.shard_of(token)].put(token, plan)
+        if not fresh:
+            return
+        with self._size_lock:
+            self._size += fresh
+            while self._size > self.capacity:
+                victim = max(self._shards, key=len)
+                evicted = victim.evict_oldest()
+                if not evicted:
+                    # counter drift (cannot happen under the lock order
+                    # above, but never spin): recount and stop
+                    self._size = sum(len(s) for s in self._shards)
+                    break
+                self._size -= evicted
 
     def _payload(self) -> Dict[str, object]:
         return {
@@ -484,7 +528,10 @@ class ShardedTuningCache:
         for shard in self._shards:
             with shard.lock:
                 shard.lru.clear()
-        self._loaded = True
+        with self._size_lock:
+            self._size = 0
+        with self._load_lock:
+            self._loaded = True
         self._dirty = False
         if self.path and os.path.exists(self.path):
             os.unlink(self.path)
@@ -509,8 +556,7 @@ class ShardedTuningCache:
     def put(self, plan: TunedPlan) -> None:
         """Insert (or replace) the entry for the plan's key."""
         self._ensure_loaded()
-        token = plan.key.token
-        self._shards[self.shard_of(token)].put(token, plan)
+        self._admit(plan.key.token, plan)
         self._dirty = True
 
     def peek(self, token: str) -> Optional[TunedPlan]:
@@ -560,7 +606,6 @@ class ShardedTuningCache:
                 out.append({
                     "shard": idx,
                     "entries": len(shard.lru),
-                    "capacity": shard.capacity,
                     "hits": shard.stats.hits,
                     "misses": shard.stats.misses,
                 })

@@ -21,7 +21,12 @@ across PRs and writes them to ``BENCH_<rev>.json`` at the repo root:
   (:func:`repro.workloads.sweeps.serve_query_grid`) through the full
   micro-batcher path, plus single-query cold-path latency with the
   kernel library warmed.  The roadmap floors are >= 5,000 q/s warm and
-  < 50 ms cold.
+  < 50 ms cold;
+* **audit sweep** — ``repro audit`` wall-clock over the shipped source
+  tree plus a cache prewarmed over the same golden serving grid: the
+  C0xx concurrency lint, per-entry V501 replay through the plan
+  verifier, and the V504 wire round-trip, all of which must come back
+  clean.
 
 All measurements run with the persistent steady-state store attached —
 the configuration ``repro lint --plans`` ships with.  One JSON file per
@@ -231,6 +236,57 @@ def measure_serve_sweep(machine, repeats: int = 5) -> Dict[str, object]:
     return result
 
 
+def measure_audit_sweep(machine) -> Dict[str, object]:
+    """Wall-clock of ``repro audit`` over a warmed golden-grid cache.
+
+    Builds an in-memory sharded cache, prewarms it over the golden
+    serving grid (:func:`repro.workloads.sweeps.serve_query_grid`), then
+    times the full audit: the C0xx source lint over the whole package
+    plus the V5xx cache pass (entry replay through the plan verifier and
+    the serving-wire round-trip).  Both heads must come back clean —
+    any finding fails the recording, the same bar ``make audit`` holds
+    the shipped tree to.
+    """
+    import json as _json
+
+    from ..serving import PlanService
+    from ..verify.cacherules import CacheAuditor, wire_responses
+    from ..verify.concurrency import lint_tree
+    from ..workloads.sweeps import serve_query_grid
+
+    service = PlanService(machine, cache_path="")
+    grid = serve_query_grid(min(4, machine.n_cores))
+    mt_threads = max(t for _, t in grid)
+    for threads in (1, mt_threads):
+        service.prewarm(
+            [shape for shape, t in grid if t == threads],
+            threads=threads,
+        )
+    start = time.perf_counter()
+    files_scanned, source_findings = lint_tree()
+    auditor = CacheAuditor(machine)
+    cache_findings = auditor.audit_cache(service.cache)
+    payload = _json.loads(service.cache.export_json())
+    wire_findings = auditor.audit_responses(wire_responses(payload))
+    elapsed = time.perf_counter() - start
+    findings = len(source_findings) + len(cache_findings) + len(wire_findings)
+    if findings:
+        raise RuntimeError(
+            f"audit sweep found {findings} finding(s) on a clean tree"
+        )
+    entries = len(service.cache)
+    return {
+        "files_scanned": files_scanned,
+        "cache_entries": entries,
+        "wire_responses": len(payload.get("entries", {})),
+        "findings": findings,
+        "wall_seconds": round(elapsed, 3),
+        "entries_per_second": (
+            round(entries / elapsed, 1) if elapsed else 0.0
+        ),
+    }
+
+
 def record(rev: Optional[str] = None,
            output: Optional[str] = None) -> Path:
     """Measure all three numbers and write ``BENCH_<rev>.json``."""
@@ -252,6 +308,7 @@ def record(rev: Optional[str] = None,
         "batch_sweep": measure_batch_sweep(machine),
         "het_sweep": measure_het_sweep(),
         "serve_sweep": measure_serve_sweep(machine),
+        "audit_sweep": measure_audit_sweep(machine),
     }
     save_attached_stores()
     path = Path(output) if output else Path(f"BENCH_{rev}.json")

@@ -1,18 +1,32 @@
-"""Static verification: kernels (V0xx-V2xx) and plans (V3xx-V4xx).
+"""Static verification: kernels, plans, source and caches.
 
-The kernel analyses run over the same :class:`~repro.isa.KernelSequence`
-IR the pipeline scheduler consumes, so every kernel the generator or JIT
-emits is machine-checked *before* it can reach a timing model.  The plan
-analyses (:mod:`repro.verify.planlint`) walk lowered
-:class:`~repro.plan.ir.ExecutionPlan` trees and check concurrency,
-cache-residency, dataflow and FMA-conservation invariants (V3xx), then
-hand the tree to the symbolic dataflow analyzer
-(:mod:`repro.verify.dataflow`, V401-V402 memory safety) and the
-happens-before race analyzer (:mod:`repro.verify.races`, V411-V421)
-without pricing anything.  ``python -m repro lint`` runs the full
-catalog audit, ``repro lint --plans`` the golden plan sweep and
-``repro lint --list-rules`` the combined rule catalog; each mode's
-``--self-check`` proves the rules still fire on known-bad inputs.
+Four rule families share one catalog (``repro lint --list-rules``,
+:data:`~repro.verify.planrules.RULE_CATALOG_VERSION`):
+
+* **V0xx-V2xx kernels** — the kernel analyses run over the same
+  :class:`~repro.isa.KernelSequence` IR the pipeline scheduler consumes,
+  so every kernel the generator or JIT emits is machine-checked *before*
+  it can reach a timing model.
+* **V3xx-V4xx plans** — :mod:`repro.verify.planlint` walks lowered
+  :class:`~repro.plan.ir.ExecutionPlan` trees and checks concurrency,
+  cache-residency, dataflow and FMA-conservation invariants (V3xx), then
+  hands the tree to the symbolic dataflow analyzer
+  (:mod:`repro.verify.dataflow`, V401-V402 memory safety) and the
+  happens-before race analyzer (:mod:`repro.verify.races`, V411-V421)
+  without pricing anything.
+* **V5xx caches & wire** — :mod:`repro.verify.cacherules` audits tuning
+  cache payloads (replay through the plan verifier, fingerprint/schema
+  consistency, merge monotonicity), serving responses and live cache
+  capacity for ``repro audit --cache``.
+* **C0xx concurrency discipline** — :mod:`repro.verify.concurrency`
+  lints this package's own source for the races that bit the serving
+  stack: unguarded mutation of lock-guarded state, unpicklable process
+  pool submissions, eager asyncio primitives and awaits under a lock.
+
+``python -m repro lint`` runs the kernel catalog audit, ``repro lint
+--plans`` the golden plan sweep and ``repro audit`` both source and
+cache heads; each mode's ``--self-check`` proves the rules still fire on
+known-bad inputs, and ``--inject-bad`` proves the exit code bites.
 """
 
 from .bounds import StaticBounds, critical_path_rate, static_bounds
@@ -48,6 +62,8 @@ from .planlint import (
     verify_plan,
 )
 from .planrules import (
+    CACHE_RULES,
+    CONCURRENCY_RULES,
     PLAN_RULES,
     RULE_CATALOG_VERSION,
     PlanDiagnostic,
@@ -73,6 +89,30 @@ from .verifier import (
     verify_kernel,
 )
 
+# source/cache heads last: concurrency reads only the stdlib, and
+# cacherules defers its tuning/serving imports into its functions (both
+# of those packages import repro.verify at module scope)
+from .cacherules import (  # noqa: E402  (see comment above)
+    CacheAuditor,
+    CacheDiagnostic,
+    audit_cache_file,
+    cache_rules_table,
+    cache_self_check,
+    inject_bad_payload,
+    make_cache_diagnostic,
+    wire_responses,
+)
+from .concurrency import (  # noqa: E402
+    SourceDiagnostic,
+    concurrency_rules_table,
+    concurrency_self_check,
+    inject_bad_source,
+    lint_file,
+    lint_source,
+    lint_tree,
+    make_source_diagnostic,
+)
+
 __all__ = [
     "Diagnostic",
     "Rule",
@@ -94,6 +134,8 @@ __all__ = [
     "catalog_specs",
     "self_check",
     "PLAN_RULES",
+    "CACHE_RULES",
+    "CONCURRENCY_RULES",
     "RULE_CATALOG_VERSION",
     "full_rule_catalog",
     "PlanDiagnostic",
@@ -122,4 +164,20 @@ __all__ = [
     "RaceAnalyzer",
     "analyze_races",
     "grid_tiling",
+    "CacheAuditor",
+    "CacheDiagnostic",
+    "make_cache_diagnostic",
+    "audit_cache_file",
+    "wire_responses",
+    "cache_self_check",
+    "inject_bad_payload",
+    "cache_rules_table",
+    "SourceDiagnostic",
+    "make_source_diagnostic",
+    "lint_source",
+    "lint_file",
+    "lint_tree",
+    "concurrency_self_check",
+    "inject_bad_source",
+    "concurrency_rules_table",
 ]

@@ -1,0 +1,496 @@
+"""Cache & wire integrity verification (V5xx): prove the cache.
+
+The tuning cache is the one plan-carrying surface the V0xx-V4xx
+verifier family never inspects — a corrupted, stale or foreign entry is
+served bit-for-bit to every client of ``repro serve``.  This module
+closes that gap for ``repro audit [--cache PATH]``:
+
+* **V501** — every cached plan is *re-lowered* through the reference
+  driver (same tile, packing and factorization) and run through the
+  full plan verifier (:func:`repro.verify.planlint.verify_plan`); an
+  entry that no longer lowers cleanly on this machine/code version is
+  flagged rather than served.
+* **V502** — schema version, machine fingerprint, entry-token/key
+  consistency, bucket-lattice membership, dtype and thread counts are
+  checked against the current catalogs.
+* **V503** — modeled-cost monotonicity: no entry may be worse than its
+  own heuristic baseline, and (via :meth:`CacheAuditor.audit_merge`) a
+  ``tune merge`` output is never worse than either input for a key.
+* **V504** — :class:`~repro.serving.schema.PlanResponse` wire dicts are
+  validated: known provenance, a plan present exactly when the response
+  is not an error, and the plan keyed to the request's token.
+* **V505** — a *live* cache whose total residency exceeds its
+  configured global capacity (the pre-1.7 per-shard LRU overshoot,
+  fixed in :class:`~repro.tuning.cache.ShardedTuningCache`).
+
+Every rule has a mutation negative control (:func:`cache_self_check`),
+mirroring the kernel/plan verifier ``--self-check`` contract.
+
+Imports of :mod:`repro.tuning` and :mod:`repro.serving` are deliberately
+lazy — both packages import :mod:`repro.verify` at module scope.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..util.errors import ConfigError, ReproError
+from .diagnostics import SEVERITIES
+from .planrules import CACHE_RULES
+
+
+@dataclass(frozen=True)
+class CacheDiagnostic:
+    """One cache/wire-audit finding, anchored to a payload entry."""
+
+    rule: str
+    severity: str
+    message: str
+    #: which payload/file/cache the finding came from
+    source: str
+    #: the cache token or response index the finding anchors to ("" for
+    #: payload-wide findings such as a fingerprint mismatch)
+    token: str = ""
+
+    @property
+    def where(self) -> str:
+        """``source[token]`` anchor for tables and logs."""
+        return f"{self.source}[{self.token}]" if self.token else self.source
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict rendering for machine consumption (JSON-friendly)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "source": self.source,
+            "token": self.token,
+        }
+
+    def sort_key(self) -> Tuple:
+        """Stable ordering: severity, rule, source, token."""
+        sev = (SEVERITIES.index(self.severity)
+               if self.severity in SEVERITIES else 99)
+        return (sev, self.rule, self.source, self.token)
+
+
+def make_cache_diagnostic(
+    rule_id: str, message: str, source: str, token: str = ""
+) -> CacheDiagnostic:
+    """Build a :class:`CacheDiagnostic`; severity comes from the registry."""
+    rule = CACHE_RULES[rule_id]
+    return CacheDiagnostic(
+        rule=rule.rule_id, severity=rule.severity, message=message,
+        source=source, token=token,
+    )
+
+
+#: relative tolerance for modeled-cost comparisons: entries are exact
+#: floats from the same pricing engine, so only genuine regressions
+#: exceed it
+_COST_RTOL = 1e-9
+
+
+class CacheAuditor:
+    """Offline verifier of tuning-cache payloads and serving responses.
+
+    One auditor is bound to (machine, dtype) — the identity a cache file
+    is fingerprinted against.  ``replay=False`` skips the V501
+    re-lowering pass (structural checks only), for callers that need a
+    fast schema sweep.
+    """
+
+    def __init__(self, machine, dtype=np.float32, replay: bool = True) -> None:
+        self.machine = machine
+        self.dtype = np.dtype(dtype)
+        self.replay = replay
+        self._tuner = None
+
+    def tuner(self):
+        """The (lazily built) tuner whose drivers re-lower entries."""
+        if self._tuner is None:
+            from ..tuning.cache import TuningCache
+            from ..tuning.tuner import AdaptiveTuner
+
+            scratch = TuningCache(self.machine, self.dtype, path="")
+            self._tuner = AdaptiveTuner(self.machine, self.dtype,
+                                        cache=scratch)
+        return self._tuner
+
+    # -- payload audit (V501-V503) -------------------------------------
+
+    def audit_payload(self, payload: Dict, source: str = "payload",
+                      replay: Optional[bool] = None) -> List[CacheDiagnostic]:
+        """Audit one exported/on-disk cache payload; sorted findings."""
+        from ..tuning.cache import (
+            TUNING_SCHEMA_VERSION,
+            bucket_shape,
+            machine_fingerprint,
+        )
+        from ..tuning.plan import TunedPlan
+
+        replay = self.replay if replay is None else replay
+        diags: List[CacheDiagnostic] = []
+        schema = payload.get("schema")
+        if schema != TUNING_SCHEMA_VERSION:
+            diags.append(make_cache_diagnostic(
+                "V502-fingerprint-consistency",
+                f"schema {schema!r} != current {TUNING_SCHEMA_VERSION}",
+                source,
+            ))
+        expected = machine_fingerprint(self.machine, self.dtype)
+        fingerprint = payload.get("fingerprint")
+        if fingerprint != expected:
+            diags.append(make_cache_diagnostic(
+                "V502-fingerprint-consistency",
+                f"machine fingerprint {fingerprint!r} != {expected} "
+                f"(machine {self.machine.name!r}, dtype {self.dtype}, "
+                f"current code version)",
+                source,
+            ))
+        entries = payload.get("entries", {}) or {}
+        for token in sorted(entries):
+            try:
+                plan = TunedPlan.from_dict(entries[token], source="cache")
+            except ReproError as exc:
+                # ConfigError for structural damage, KernelDesignError &
+                # friends for specs that fail their own invariants
+                diags.append(make_cache_diagnostic(
+                    "V502-fingerprint-consistency",
+                    f"malformed entry: {exc}", source, token,
+                ))
+                continue
+            diags.extend(self._audit_entry(token, plan, bucket_shape,
+                                           source))
+            if replay:
+                diags.extend(self._replay_entry(token, plan, source))
+        return sorted(diags, key=lambda d: d.sort_key())
+
+    def _audit_entry(self, token, plan, bucket_shape,
+                     source) -> List[CacheDiagnostic]:
+        diags: List[CacheDiagnostic] = []
+        key = plan.key
+        if key.token != token:
+            diags.append(make_cache_diagnostic(
+                "V502-fingerprint-consistency",
+                f"entry keyed {token!r} carries plan key {key.token!r}",
+                source, token,
+            ))
+        shape = (key.m, key.n, key.k)
+        if bucket_shape(*shape) != shape:
+            diags.append(make_cache_diagnostic(
+                "V502-fingerprint-consistency",
+                f"key shape {shape} is not on the bucket lattice "
+                f"(bucket is {bucket_shape(*shape)})",
+                source, token,
+            ))
+        if key.dtype != str(self.dtype):
+            diags.append(make_cache_diagnostic(
+                "V502-fingerprint-consistency",
+                f"entry dtype {key.dtype!r} != cache dtype {self.dtype}",
+                source, token,
+            ))
+        if key.threads > self.machine.n_cores:
+            diags.append(make_cache_diagnostic(
+                "V502-fingerprint-consistency",
+                f"entry threads {key.threads} exceeds the machine's "
+                f"{self.machine.n_cores} cores",
+                source, token,
+            ))
+        if (plan.heuristic_cycles > 0
+                and plan.total_cycles
+                > plan.heuristic_cycles * (1.0 + _COST_RTOL)):
+            diags.append(make_cache_diagnostic(
+                "V503-merge-monotonicity",
+                f"entry models {plan.total_cycles:,.0f} cycles, worse "
+                f"than its own heuristic baseline "
+                f"{plan.heuristic_cycles:,.0f} (the never-slower "
+                f"guarantee is broken)",
+                source, token,
+            ))
+        return diags
+
+    def _replay_entry(self, token, plan, source) -> List[CacheDiagnostic]:
+        """V501: re-lower the entry and run the full plan verifier."""
+        from .planlint import verify_plan
+
+        key = plan.key
+        try:
+            driver = self.tuner().driver(key.threads)
+            lowered = driver.plan_with(
+                key.m, key.n, key.k, main=plan.spec,
+                packed_b=plan.packed_b,
+                factorization=plan.blis_factorization(),
+            )
+        except ReproError as exc:
+            return [make_cache_diagnostic(
+                "V501-replay-verification",
+                f"entry cannot be re-lowered: {exc}", source, token,
+            )]
+        report = verify_plan(lowered, label=f"cache:{token}")
+        if report.ok:
+            return []
+        rules = ", ".join(sorted({d.rule for d in report.errors}))
+        return [make_cache_diagnostic(
+            "V501-replay-verification",
+            f"re-lowered plan fails the plan verifier: {rules}",
+            source, token,
+        )]
+
+    # -- live-cache audit (adds V505) ----------------------------------
+
+    def audit_cache(self, cache, source: str = "",
+                    replay: Optional[bool] = None) -> List[CacheDiagnostic]:
+        """Audit a live cache object: payload rules plus V505.
+
+        Works on both :class:`~repro.tuning.cache.TuningCache` and
+        :class:`~repro.tuning.cache.ShardedTuningCache` (anything with
+        ``export_json``/``capacity``/``__len__``).
+        """
+        source = source or (cache.path or "<memory>")
+        payload = json.loads(cache.export_json())
+        diags = self.audit_payload(payload, source=source, replay=replay)
+        total = len(cache)
+        if total > cache.capacity:
+            diags.append(make_cache_diagnostic(
+                "V505-capacity-overshoot",
+                f"{total} resident entries exceed the configured "
+                f"global capacity {cache.capacity}",
+                source,
+            ))
+        return sorted(diags, key=lambda d: d.sort_key())
+
+    # -- wire audit (V504) ---------------------------------------------
+
+    def audit_responses(self, responses: Sequence[Dict],
+                        source: str = "wire") -> List[CacheDiagnostic]:
+        """Validate serving-response wire dicts against the schema."""
+        from ..serving.schema import PlanResponse
+
+        diags: List[CacheDiagnostic] = []
+        for idx, data in enumerate(responses):
+            anchor = f"response {idx}"
+            try:
+                response = PlanResponse.from_dict(data)
+            except ConfigError as exc:
+                diags.append(make_cache_diagnostic(
+                    "V504-response-provenance", str(exc), source, anchor,
+                ))
+                continue
+            if response.provenance == "error":
+                if response.plan is not None:
+                    diags.append(make_cache_diagnostic(
+                        "V504-response-provenance",
+                        "error response carries a plan", source, anchor,
+                    ))
+                continue
+            if response.plan is None:
+                diags.append(make_cache_diagnostic(
+                    "V504-response-provenance",
+                    f"{response.provenance!r} response carries no plan",
+                    source, anchor,
+                ))
+                continue
+            expected = response.request.token
+            got = response.plan.key.token
+            if got != expected:
+                diags.append(make_cache_diagnostic(
+                    "V504-response-provenance",
+                    f"served plan is keyed {got!r} but the request "
+                    f"buckets to {expected!r}",
+                    source, anchor,
+                ))
+        return sorted(diags, key=lambda d: d.sort_key())
+
+    # -- merge audit (V503) --------------------------------------------
+
+    def audit_merge(self, merged: Dict,
+                    inputs: Sequence[Dict]) -> List[CacheDiagnostic]:
+        """V503 over a federation: the merged payload must hold every
+        input token at a modeled cost no worse than that input's."""
+        merged_plans = _parse_entries(merged)
+        diags: List[CacheDiagnostic] = []
+        for idx, payload in enumerate(inputs):
+            source = f"merge input {idx}"
+            for token, plan in _parse_entries(payload).items():
+                held = merged_plans.get(token)
+                if held is None:
+                    diags.append(make_cache_diagnostic(
+                        "V503-merge-monotonicity",
+                        "merge dropped the entry instead of keeping "
+                        "the better plan",
+                        source, token,
+                    ))
+                elif (held.total_cycles
+                      > plan.total_cycles * (1.0 + _COST_RTOL)):
+                    diags.append(make_cache_diagnostic(
+                        "V503-merge-monotonicity",
+                        f"merged entry models {held.total_cycles:,.0f} "
+                        f"cycles, worse than the input's "
+                        f"{plan.total_cycles:,.0f}",
+                        source, token,
+                    ))
+        return sorted(diags, key=lambda d: d.sort_key())
+
+
+def _parse_entries(payload: Dict) -> Dict[str, object]:
+    """(token -> TunedPlan) for every well-formed entry of a payload."""
+    from ..tuning.plan import TunedPlan
+
+    out = {}
+    for token, entry in (payload.get("entries", {}) or {}).items():
+        try:
+            out[token] = TunedPlan.from_dict(entry, source="cache")
+        except ConfigError:
+            continue
+    return out
+
+
+def wire_responses(payload: Dict) -> List[Dict]:
+    """Synthesize cache-provenance wire responses from a payload.
+
+    One response per well-formed entry, exactly what the serving layer
+    would emit on a hot hit — the round-trip ``repro audit --cache``
+    feeds through :meth:`CacheAuditor.audit_responses`.
+    """
+    from ..serving.schema import PlanRequest, PlanResponse
+
+    out = []
+    for token, plan in sorted(_parse_entries(payload).items()):
+        key = plan.key
+        request = PlanRequest(m=key.m, n=key.n, k=key.k,
+                              dtype=key.dtype, threads=key.threads)
+        out.append(PlanResponse(request=request, provenance="cache",
+                                plan=plan).to_dict())
+    return out
+
+
+def audit_cache_file(machine, path: str, dtype=np.float32,
+                     replay: bool = True) -> Tuple[List[CacheDiagnostic], int]:
+    """Audit one cache file end to end: payload rules + wire round-trip.
+
+    Returns ``(findings, entry_count)``.  Raises
+    :class:`~repro.util.errors.ConfigError` when the file is unreadable.
+    """
+    from ..tuning.cache import read_cache_payload
+
+    payload = read_cache_payload(path)
+    auditor = CacheAuditor(machine, dtype, replay=replay)
+    findings = auditor.audit_payload(payload, source=path)
+    findings += auditor.audit_responses(wire_responses(payload),
+                                        source=path)
+    entries = len(payload.get("entries", {}) or {})
+    return sorted(findings, key=lambda d: d.sort_key()), entries
+
+
+# ---------------------------------------------------------------------------
+# negative controls
+# ---------------------------------------------------------------------------
+
+
+def _base_payload(machine, dtype=np.float32) -> Dict:
+    """A small known-good payload: heuristic plans over three buckets."""
+    from ..tuning.cache import TuningCache
+    from ..tuning.tuner import AdaptiveTuner
+
+    cache = TuningCache(machine, dtype, path="")
+    tuner = AdaptiveTuner(machine, dtype, cache=cache)
+    threads = 2 if machine.n_cores >= 2 else 1
+    for shape, t in (((8, 8, 8), 1), ((16, 16, 16), 1),
+                     ((24, 24, 24), threads)):
+        cache.put(tuner.heuristic_plan(*shape, threads=t))
+    return json.loads(cache.export_json())
+
+
+def cache_self_check(machine, dtype=np.float32) -> List[Tuple[str, bool]]:
+    """Mutation negative controls: every V5xx rule must fire on its
+    seeded-bad payload/response/cache.  Returns ``(rule_id, fired)``
+    pairs (the ``plan_self_check`` contract)."""
+    from ..tuning.cache import ShardedTuningCache
+    from ..tuning.plan import TunedPlan
+
+    auditor = CacheAuditor(machine, dtype)
+    base = _base_payload(machine, dtype)
+    results: List[Tuple[str, bool]] = []
+
+    def fired(rule_id, diags) -> bool:
+        return any(d.rule == rule_id for d in diags)
+
+    # V501: break the re-lowering — a main tile far outside the register
+    # budget parses fine but has no feasible kernel plan
+    bad = json.loads(json.dumps(base))
+    token = next(iter(bad["entries"]))
+    bad["entries"][token]["spec"]["mr"] = 64
+    results.append((
+        "V501-replay-verification",
+        fired("V501-replay-verification",
+              auditor.audit_payload(bad, source="self-check")),
+    ))
+
+    # V502: forge the machine fingerprint
+    bad = json.loads(json.dumps(base))
+    bad["fingerprint"] = "0" * 16
+    results.append((
+        "V502-fingerprint-consistency",
+        fired("V502-fingerprint-consistency",
+              auditor.audit_payload(bad, source="self-check",
+                                    replay=False)),
+    ))
+
+    # V503: an entry worse than its own heuristic baseline
+    bad = json.loads(json.dumps(base))
+    token = next(iter(bad["entries"]))
+    bad["entries"][token]["total_cycles"] *= 2.0
+    results.append((
+        "V503-merge-monotonicity",
+        fired("V503-merge-monotonicity",
+              auditor.audit_payload(bad, source="self-check",
+                                    replay=False)),
+    ))
+
+    # V504: a cache-provenance response with its plan stripped
+    responses = wire_responses(base)
+    responses[0]["plan"] = None
+    results.append((
+        "V504-response-provenance",
+        fired("V504-response-provenance",
+              auditor.audit_responses(responses, source="self-check")),
+    ))
+
+    # V505: a live cache holding more than its global capacity (the
+    # pre-1.7 per-shard overshoot, recreated by shrinking the bound
+    # after the entries landed)
+    live = ShardedTuningCache(machine, dtype, path="", capacity=8,
+                              shards=2)
+    for entry in base["entries"].values():
+        live.put(TunedPlan.from_dict(entry, source="cache"))
+    live.capacity = 1
+    results.append((
+        "V505-capacity-overshoot",
+        fired("V505-capacity-overshoot",
+              auditor.audit_cache(live, source="self-check",
+                                  replay=False)),
+    ))
+    return results
+
+
+def inject_bad_payload(machine, dtype=np.float32) -> Tuple[str, Dict]:
+    """(rule_id, payload) of a known-bad cache payload for
+    ``repro audit --inject-bad`` (forged machine fingerprint)."""
+    payload = _base_payload(machine, dtype)
+    payload["fingerprint"] = "0" * 16
+    return "V502-fingerprint-consistency", payload
+
+
+def cache_rules_table() -> str:
+    """The V5xx rule inventory as a text table (docs and ``audit``)."""
+    from ..util.tables import format_table
+
+    rows = [[r.rule_id, r.severity, r.summary]
+            for r in sorted(CACHE_RULES.values(), key=lambda r: r.rule_id)]
+    return format_table(["rule", "severity", "summary"], rows,
+                        title="cache & wire integrity rules")

@@ -1,0 +1,553 @@
+"""Static concurrency-discipline lint over the serving stack (C0xx).
+
+Both PR 9 review fixes were concurrency/serialization bugs a static
+pass could have caught before they shipped: a bound method pickled into
+a :class:`~concurrent.futures.ProcessPoolExecutor` (dragging the sharded
+cache's locks into the job), and an :class:`asyncio.Queue` constructed
+before the serving loop existed (Python 3.9 binds ``get_event_loop()``
+at construction).  This module is that pass — an AST lint over
+:mod:`repro` itself, run by ``repro audit`` and gated in ``make audit``:
+
+* **C001** — a class holding a ``threading.Lock``/``RLock`` attribute
+  mutates a lock-guarded shared attribute outside a ``with self.<lock>``
+  block.  An attribute counts as *guarded* when some method mutates it
+  under the lock; ``__init__`` (single-threaded construction) is exempt.
+* **C002** — a bound method, lambda or nested function is submitted to
+  an executor that is unambiguously a ``ProcessPoolExecutor`` (a local
+  name bound to one, or a ``self`` attribute only ever assigned one).
+  Executor attributes that may also hold a thread pool are not flagged —
+  the thread path pickles nothing.
+* **C003** — an asyncio primitive (``Queue``, ``Event``, ...) is
+  constructed in ``__init__``, class or module scope, i.e. eagerly,
+  before any event loop can be running.  Lazy construction inside the
+  loop (the PR 9 fix pattern) is clean.
+* **C004** — ``await`` while lexically holding a threading lock.
+
+Every rule ships a seeded-bug fixture under ``verify/fixtures/`` as its
+mutation negative control (:func:`concurrency_self_check`), mirroring
+:func:`repro.verify.planlint.plan_self_check`; the fixture directory is
+excluded from the tree scan.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..util.tables import format_table
+from .diagnostics import SEVERITIES
+from .planrules import CONCURRENCY_RULES
+
+#: call leaf names treated as threading-lock factories when assigned to
+#: a ``self`` attribute (``asyncio.Lock`` is excluded — it is awaited,
+#: not held across threads)
+_LOCK_FACTORIES = ("Lock", "RLock")
+
+#: asyncio primitives that bind the running loop at construction on 3.9
+_ASYNC_PRIMITIVES = ("Queue", "PriorityQueue", "LifoQueue", "Event",
+                     "Condition", "Lock", "Semaphore", "BoundedSemaphore")
+
+#: method names that mutate their receiver in place (C001 tracks
+#: ``self.attr.<mutator>(...)`` as a mutation of ``attr``)
+_MUTATORS = ("append", "extend", "insert", "add", "discard", "remove",
+             "pop", "popitem", "clear", "update", "setdefault",
+             "move_to_end", "appendleft", "popleft")
+
+#: directory of seeded-bug fixture files (excluded from the tree scan)
+FIXTURE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "fixtures")
+
+#: fixture file per rule — the mutation negative controls
+FIXTURES: Dict[str, str] = {
+    "C001-unguarded-mutation": "_c001_unguarded_mutation.py",
+    "C002-unpicklable-submission": "_c002_bound_method_pool.py",
+    "C003-eager-asyncio-primitive": "_c003_eager_asyncio_queue.py",
+    "C004-await-holding-lock": "_c004_await_holding_lock.py",
+}
+
+
+@dataclass(frozen=True)
+class SourceDiagnostic:
+    """One concurrency-lint finding, anchored to a source location."""
+
+    rule: str
+    severity: str
+    message: str
+    file: str
+    line: int
+    symbol: str
+
+    @property
+    def where(self) -> str:
+        """``file:line`` anchor for tables and logs."""
+        return f"{self.file}:{self.line}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict rendering for machine consumption (JSON-friendly)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "symbol": self.symbol,
+        }
+
+    def sort_key(self) -> Tuple:
+        """Stable ordering: severity, file, line, rule."""
+        sev = (SEVERITIES.index(self.severity)
+               if self.severity in SEVERITIES else 99)
+        return (sev, self.file, self.line, self.rule)
+
+
+def make_source_diagnostic(
+    rule_id: str, message: str, file: str, line: int, symbol: str
+) -> SourceDiagnostic:
+    """Build a :class:`SourceDiagnostic`; severity comes from the registry."""
+    rule = CONCURRENCY_RULES[rule_id]
+    return SourceDiagnostic(
+        rule=rule.rule_id, severity=rule.severity, message=message,
+        file=file, line=line, symbol=symbol,
+    )
+
+
+# ---------------------------------------------------------------------------
+# small AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _call_leaf(func: ast.expr) -> str:
+    """Leaf name of a call target (``threading.Lock`` -> ``Lock``)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _call_module(func: ast.expr) -> str:
+    """Qualifying name of a call target (``asyncio.Queue`` -> ``asyncio``)."""
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id
+    return ""
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``attr`` for a plain ``self.attr`` expression, else None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _self_attr_base(node: ast.expr) -> Optional[str]:
+    """First-level ``self`` attribute under a chain.
+
+    ``self.a``, ``self.a.b``, ``self.a[k]`` and ``self.a.b[k]`` all
+    resolve to ``"a"`` — the shared object whose mutation a lock guards.
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        attr = _self_attr(node)
+        if attr is not None:
+            return attr
+        node = node.value
+    return None
+
+
+def _is_lock_call(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Call)
+            and _call_leaf(node.func) in _LOCK_FACTORIES
+            and _call_module(node.func) != "asyncio")
+
+
+def _is_pool_call(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Call)
+            and _call_leaf(node.func) == "ProcessPoolExecutor")
+
+
+def _statement_lists(stmt: ast.stmt):
+    """Every nested statement list of a compound statement."""
+    for _, value in ast.iter_fields(stmt):
+        if isinstance(value, list) and value:
+            if isinstance(value[0], ast.stmt):
+                yield value
+            elif isinstance(value[0], ast.excepthandler):
+                for handler in value:
+                    yield handler.body
+
+
+def _immediate_exprs(stmt: ast.stmt):
+    """The statement's own expressions (headers, targets, values) —
+    everything except nested statements."""
+    for _, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.expr):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.expr):
+                    yield item
+                elif isinstance(item, ast.withitem):
+                    yield item.context_expr
+
+
+# ---------------------------------------------------------------------------
+# per-class analysis
+# ---------------------------------------------------------------------------
+
+
+class _ClassLint:
+    """C001/C002/C004 analysis of one class definition."""
+
+    def __init__(self, cls: ast.ClassDef, filename: str) -> None:
+        self.cls = cls
+        self.filename = filename
+        self.lock_attrs: Set[str] = set()
+        #: attr -> evidence kinds seen across all assignments
+        self.attr_evidence: Dict[str, Set[str]] = {}
+        #: (attr, method, line) mutations under / outside a lock
+        self.guarded: List[Tuple[str, str, int]] = []
+        self.unguarded: List[Tuple[str, str, int]] = []
+        self.diagnostics: List[SourceDiagnostic] = []
+
+    # -- pass 1: attribute inventory -----------------------------------
+
+    def _methods(self):
+        for node in self.cls.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def inventory(self) -> None:
+        """Collect lock attributes and executor-attribute evidence."""
+        for method in self._methods():
+            for node in ast.walk(method):
+                if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    targets = (node.targets
+                               if isinstance(node, ast.Assign)
+                               else [node.target])
+                    value = node.value
+                    if value is None:
+                        continue
+                    for target in targets:
+                        attr = _self_attr(target)
+                        if attr is None:
+                            continue
+                        if _is_lock_call(value):
+                            self.lock_attrs.add(attr)
+                        kind = "pool" if _is_pool_call(value) else "other"
+                        self.attr_evidence.setdefault(attr, set()).add(kind)
+
+    @property
+    def pool_only_attrs(self) -> Set[str]:
+        """``self`` attributes only ever assigned a ProcessPoolExecutor."""
+        return {attr for attr, kinds in self.attr_evidence.items()
+                if kinds == {"pool"}}
+
+    # -- pass 2: discipline walk ---------------------------------------
+
+    def analyze(self) -> List[SourceDiagnostic]:
+        """Run both passes; returns this class's diagnostics."""
+        self.inventory()
+        for method in self._methods():
+            pools = self._local_pools(method)
+            nested = self._nested_functions(method)
+            self._walk(method.body, method, frozenset(), pools, nested)
+        guarded_attrs = {attr for attr, _, _ in self.guarded}
+        for attr, method, line in self.unguarded:
+            if attr in guarded_attrs and attr not in self.lock_attrs:
+                self.diagnostics.append(make_source_diagnostic(
+                    "C001-unguarded-mutation",
+                    f"{self.cls.name}.{attr} is mutated under a lock "
+                    f"elsewhere but written here without one",
+                    self.filename, line, f"{self.cls.name}.{method}",
+                ))
+        return self.diagnostics
+
+    def _local_pools(self, method) -> Set[str]:
+        """Local names bound to a ProcessPoolExecutor inside ``method``."""
+        pools: Set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and _is_pool_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        pools.add(target.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if (_is_pool_call(item.context_expr)
+                            and isinstance(item.optional_vars, ast.Name)):
+                        pools.add(item.optional_vars.id)
+        return pools
+
+    def _nested_functions(self, method) -> Set[str]:
+        """Names of functions defined *inside* ``method`` (closures)."""
+        nested: Set[str] = set()
+        for node in ast.walk(method):
+            if node is method:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(node.name)
+        return nested
+
+    def _walk(self, stmts, method, held, pools, nested) -> None:
+        is_async = isinstance(method, ast.AsyncFunctionDef)
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # a nested function's body does not run under the lock
+                self._walk(stmt.body, method, frozenset(), pools, nested)
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired = set()
+                for item in stmt.items:
+                    attr = _self_attr(item.context_expr)
+                    if attr is not None and attr in self.lock_attrs:
+                        acquired.add(attr)
+                self._scan_exprs(stmt, method, held, pools, nested,
+                                 is_async)
+                self._walk(stmt.body, method, held | acquired, pools,
+                           nested)
+                continue
+            self._record_mutations(stmt, method, held)
+            self._scan_exprs(stmt, method, held, pools, nested, is_async)
+            for body in _statement_lists(stmt):
+                self._walk(body, method, held, pools, nested)
+
+    def _record_mutations(self, stmt, method, held) -> None:
+        attrs: List[Tuple[str, int]] = []
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is None:
+                targets = []
+            for target in targets:
+                attr = _self_attr_base(target)
+                if attr is not None:
+                    attrs.append((attr, stmt.lineno))
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                attr = _self_attr_base(target)
+                if attr is not None:
+                    attrs.append((attr, stmt.lineno))
+        for attr, line in attrs:
+            self._classify(attr, method, line, held)
+
+    def _scan_exprs(self, stmt, method, held, pools, nested,
+                    is_async) -> None:
+        for expr in _immediate_exprs(stmt):
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Call):
+                    self._check_mutator(node, method, held)
+                    self._check_submission(node, method, pools, nested)
+                    self._check_async_primitive(node, method)
+                elif isinstance(node, ast.Await) and held and is_async:
+                    self.diagnostics.append(make_source_diagnostic(
+                        "C004-await-holding-lock",
+                        f"await inside `with self.{sorted(held)[0]}` — "
+                        f"the lock is held across the suspension",
+                        self.filename, node.lineno,
+                        f"{self.cls.name}.{method.name}",
+                    ))
+
+    def _check_mutator(self, call: ast.Call, method, held) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _MUTATORS:
+            return
+        attr = _self_attr_base(func.value)
+        if attr is not None:
+            self._classify(attr, method, call.lineno, held)
+
+    def _classify(self, attr, method, line, held) -> None:
+        if held:
+            self.guarded.append((attr, method.name, line))
+        elif method.name != "__init__":
+            self.unguarded.append((attr, method.name, line))
+
+    def _check_submission(self, call: ast.Call, method, pools,
+                          nested) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr in ("submit", "map"):
+            executor, payload_idx = func.value, 0
+        elif func.attr == "run_in_executor" and len(call.args) >= 2:
+            executor, payload_idx = call.args[0], 1
+        else:
+            return
+        if not self._is_pool(executor, pools):
+            return
+        if len(call.args) <= payload_idx:
+            return
+        payload = call.args[payload_idx]
+        kind = ""
+        if _self_attr(payload) is not None:
+            kind = f"bound method self.{payload.attr}"
+        elif isinstance(payload, ast.Lambda):
+            kind = "lambda"
+        elif isinstance(payload, ast.Name) and payload.id in nested:
+            kind = f"nested function {payload.id}"
+        if kind:
+            self.diagnostics.append(make_source_diagnostic(
+                "C002-unpicklable-submission",
+                f"{kind} submitted to a ProcessPoolExecutor "
+                f"(use a module-level worker function)",
+                self.filename, call.lineno,
+                f"{self.cls.name}.{method.name}",
+            ))
+
+    def _is_pool(self, executor: ast.expr, pools: Set[str]) -> bool:
+        if isinstance(executor, ast.Name):
+            return executor.id in pools
+        attr = _self_attr(executor)
+        return attr is not None and attr in self.pool_only_attrs
+
+    def _check_async_primitive(self, call: ast.Call, method) -> None:
+        if method.name != "__init__":
+            return
+        if isinstance(method, ast.AsyncFunctionDef):
+            return
+        if (_call_module(call.func) == "asyncio"
+                and _call_leaf(call.func) in _ASYNC_PRIMITIVES):
+            self.diagnostics.append(make_source_diagnostic(
+                "C003-eager-asyncio-primitive",
+                f"asyncio.{_call_leaf(call.func)}() constructed in "
+                f"__init__ — build it lazily inside the running loop",
+                self.filename, call.lineno,
+                f"{self.cls.name}.{method.name}",
+            ))
+
+
+# ---------------------------------------------------------------------------
+# module / tree scan
+# ---------------------------------------------------------------------------
+
+
+def lint_source(source: str, filename: str = "<string>") -> List[SourceDiagnostic]:
+    """Lint one module's source text; returns sorted diagnostics."""
+    tree = ast.parse(source, filename=filename)
+    diagnostics: List[SourceDiagnostic] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            diagnostics.extend(_ClassLint(node, filename).analyze())
+    diagnostics.extend(_module_scope_primitives(tree, filename))
+    return sorted(diagnostics, key=lambda d: d.sort_key())
+
+
+def _module_scope_primitives(tree: ast.Module,
+                             filename: str) -> List[SourceDiagnostic]:
+    """C003 at module and class-body scope (eager global primitives)."""
+    out: List[SourceDiagnostic] = []
+
+    def scan(stmts, symbol):
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                scan(stmt.body, stmt.name)
+                continue
+            for expr in _immediate_exprs(stmt):
+                for node in ast.walk(expr):
+                    if (isinstance(node, ast.Call)
+                            and _call_module(node.func) == "asyncio"
+                            and _call_leaf(node.func) in _ASYNC_PRIMITIVES):
+                        out.append(make_source_diagnostic(
+                            "C003-eager-asyncio-primitive",
+                            f"asyncio.{_call_leaf(node.func)}() "
+                            f"constructed at {symbol} scope — no loop "
+                            f"is running yet",
+                            filename, node.lineno, symbol,
+                        ))
+            for body in _statement_lists(stmt):
+                scan(body, symbol)
+
+    scan(tree.body, "module")
+    return out
+
+
+def lint_file(path: str) -> List[SourceDiagnostic]:
+    """Lint one Python file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    return lint_source(source, filename=path)
+
+
+def package_root() -> str:
+    """The installed :mod:`repro` package directory (the scan root)."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def iter_source_files(root: Optional[str] = None):
+    """Every ``.py`` file under ``root`` except the seeded fixtures."""
+    root = root or package_root()
+    # NB: topdown walk, pruned in place — sorting the walk itself would
+    # consume it before the prune could take effect
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if d != "__pycache__"
+            and os.path.join(dirpath, d) != FIXTURE_DIR
+        )
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def lint_tree(root: Optional[str] = None) -> Tuple[int, List[SourceDiagnostic]]:
+    """Lint every source file of the package.
+
+    Returns ``(files_scanned, diagnostics)`` with file paths rendered
+    relative to the scan root (stable across checkouts).
+    """
+    root = root or package_root()
+    files = 0
+    diagnostics: List[SourceDiagnostic] = []
+    for path in iter_source_files(root):
+        files += 1
+        rel = os.path.relpath(path, root)
+        for diag in lint_file(path):
+            diagnostics.append(SourceDiagnostic(
+                rule=diag.rule, severity=diag.severity,
+                message=diag.message, file=rel, line=diag.line,
+                symbol=diag.symbol,
+            ))
+    return files, sorted(diagnostics, key=lambda d: d.sort_key())
+
+
+# ---------------------------------------------------------------------------
+# negative controls
+# ---------------------------------------------------------------------------
+
+
+def fixture_path(rule_id: str) -> str:
+    """Path of the seeded-bug fixture for one C0xx rule."""
+    return os.path.join(FIXTURE_DIR, FIXTURES[rule_id])
+
+
+def concurrency_self_check() -> List[Tuple[str, bool]]:
+    """Mutation negative controls: every C0xx rule must fire on its
+    seeded-bug fixture.  Returns ``(rule_id, fired)`` pairs, the same
+    contract as :func:`repro.verify.planlint.plan_self_check`."""
+    results = []
+    for rule_id in sorted(CONCURRENCY_RULES):
+        diags = lint_file(fixture_path(rule_id))
+        results.append((rule_id, any(d.rule == rule_id for d in diags)))
+    return results
+
+
+def inject_bad_source() -> Tuple[str, str]:
+    """(rule_id, path) of a known-bad file for ``audit --inject-bad``.
+
+    The C002 fixture reproduces the exact PR 9 regression: a bound
+    method submitted to the background tuning process pool.
+    """
+    rule_id = "C002-unpicklable-submission"
+    return rule_id, fixture_path(rule_id)
+
+
+def concurrency_rules_table() -> str:
+    """The C0xx rule inventory as a text table (docs and ``audit``)."""
+    rows = [[r.rule_id, r.severity, r.summary]
+            for r in sorted(CONCURRENCY_RULES.values(),
+                            key=lambda r: r.rule_id)]
+    return format_table(["rule", "severity", "summary"], rows,
+                        title="concurrency lint rules")

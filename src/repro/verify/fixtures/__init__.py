@@ -1,0 +1,14 @@
+"""Seeded-bug fixtures for the C0xx concurrency lint.
+
+Each ``_cNNN_*.py`` file in this directory deliberately contains the
+concurrency bug its rule exists to catch — the mutation negative
+controls behind ``repro audit --self-check``
+(:func:`repro.verify.concurrency.concurrency_self_check`).  The C002
+and C003 fixtures reproduce the two PR 9 regression bugs verbatim in
+miniature: a bound method pickled into a process pool, and an
+``asyncio.Queue`` constructed before the serving loop exists.
+
+The files are never imported by the package and the directory is
+excluded from the ``repro audit`` tree scan; they are read as *source
+text* by the linter only.
+"""

@@ -1,0 +1,29 @@
+"""C001 fixture: lock-guarded attributes mutated without the lock.
+
+``record`` establishes the discipline — ``_hits`` and ``_entries`` are
+shared state guarded by ``_lock`` — and ``reset`` breaks it, mutating
+both outside any ``with self._lock`` block.  A concurrent ``record``
+and ``reset`` lose updates or resurrect cleared entries.
+"""
+
+import threading
+
+
+class BrokenSharedCounter:
+    """Deliberately racy: see the module docstring."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._entries = {}
+
+    def record(self, key, value):
+        with self._lock:
+            self._hits += 1
+            self._entries[key] = value
+
+    def reset(self):
+        # BUG (C001): both attributes are lock-guarded in `record` but
+        # mutated here with no lock held
+        self._hits = 0
+        self._entries.clear()

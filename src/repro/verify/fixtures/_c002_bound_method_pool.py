@@ -1,0 +1,29 @@
+"""C002 fixture: bound methods submitted to a process pool.
+
+The exact PR 9 regression in miniature: ``run_in_executor`` is handed
+``self._tune_one`` — pickling the bound method drags the whole instance
+(its executor, any locks it holds) into the worker process, or fails
+outright with an unpicklable member.  The fix is a module-level worker
+function, as in :mod:`repro.tuning.warm`.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class BrokenTunerPool:
+    """Deliberately broken: see the module docstring."""
+
+    def __init__(self, jobs):
+        self._pool = ProcessPoolExecutor(max_workers=jobs)
+
+    def tune_async(self, loop, shape):
+        # BUG (C002): bound method into the process pool (the PR 9 bug)
+        return loop.run_in_executor(self._pool, self._tune_one, shape)
+
+    def submit_all(self, shapes):
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            # BUG (C002): same pickling trap through a local pool
+            return [pool.submit(self._tune_one, s) for s in shapes]
+
+    def _tune_one(self, shape):
+        return shape

@@ -1,0 +1,26 @@
+"""C003 fixture: asyncio primitives constructed before the loop runs.
+
+The second PR 9 regression in miniature: on Python 3.9,
+``asyncio.Queue()`` binds ``get_event_loop()`` at construction — built
+in ``__init__``, before ``asyncio.run()`` starts the serving loop, the
+queue belongs to the wrong (or no) loop and every ``await queue.get()``
+dies with "attached to a different loop".  The fix is lazy construction
+inside the running loop (``BackgroundTuner._ensure_queue``).
+"""
+
+import asyncio
+
+
+class BrokenQueueService:
+    """Deliberately broken: see the module docstring."""
+
+    def __init__(self):
+        # BUG (C003): constructed eagerly, before any loop is running
+        self._queue = asyncio.Queue()
+        self._done = asyncio.Event()
+
+    async def put(self, item):
+        await self._queue.put(item)
+
+    async def wait(self):
+        await self._done.wait()

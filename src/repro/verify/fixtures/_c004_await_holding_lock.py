@@ -1,0 +1,26 @@
+"""C004 fixture: ``await`` while holding a threading lock.
+
+``land`` suspends inside ``with self._lock`` — the *thread* lock stays
+held across the await, so every other thread touching the cache blocks
+for the full duration of the awaited notification, and a second
+coroutine on the same loop deadlocks the moment it tries to acquire.
+"""
+
+import threading
+
+
+class BrokenAsyncCache:
+    """Deliberately broken: see the module docstring."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._plans = {}
+
+    async def land(self, token, plan):
+        with self._lock:
+            self._plans[token] = plan
+            # BUG (C004): suspension point inside the lock
+            await self._notify(token)
+
+    async def _notify(self, token):
+        return token

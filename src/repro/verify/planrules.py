@@ -96,19 +96,74 @@ PLAN_RULES: Dict[str, Rule] = {
     )
 }
 
-#: Bumped whenever the combined kernel+plan rule inventory changes shape
-#: (new family, renamed field); surfaced as ``rule_catalog_version`` in
-#: ``repro lint --json`` so downstream consumers can detect drift.
-RULE_CATALOG_VERSION = 3
+#: The concurrency-discipline rule inventory (``repro audit``, C0xx).
+#: These fire on *source code* (AST scans of :mod:`repro` itself), not on
+#: kernels or plans; see :mod:`repro.verify.concurrency`.
+CONCURRENCY_RULES: Dict[str, Rule] = {
+    r.rule_id: r
+    for r in (
+        Rule("C001-unguarded-mutation", "error",
+             "lock-guarded shared attribute mutated outside a "
+             "``with self.<lock>`` block (racy read-modify-write)"),
+        Rule("C002-unpicklable-submission", "error",
+             "bound method, lambda or nested function submitted to a "
+             "ProcessPoolExecutor (pickling drags instance state — "
+             "locks, executors — into the worker, or fails outright)"),
+        Rule("C003-eager-asyncio-primitive", "error",
+             "asyncio primitive (Queue/Event/...) constructed in "
+             "__init__, class or module scope — on Python 3.9 it binds "
+             "get_event_loop() at construction, before the serving "
+             "loop exists"),
+        Rule("C004-await-holding-lock", "error",
+             "``await`` while holding a threading lock (the lock is "
+             "held across a suspension point, stalling every other "
+             "thread for the duration of the awaited task)"),
+    )
+}
+
+#: The cache & wire integrity rule inventory (``repro audit``, V5xx).
+#: These fire on persisted tuning-cache payloads and serving responses;
+#: see :mod:`repro.verify.cacherules`.
+CACHE_RULES: Dict[str, Rule] = {
+    r.rule_id: r
+    for r in (
+        Rule("V501-replay-verification", "error",
+             "cached plan does not re-lower cleanly through the full "
+             "plan verifier (stale, corrupt or foreign entry)"),
+        Rule("V502-fingerprint-consistency", "error",
+             "cache schema/fingerprint/key inconsistent with the "
+             "current machine, dtype and code catalogs"),
+        Rule("V503-merge-monotonicity", "error",
+             "modeled cost regression: an entry is worse than its "
+             "heuristic baseline, or a merged cache is worse than an "
+             "input held for the same key"),
+        Rule("V504-response-provenance", "error",
+             "served PlanResponse violates the wire schema (unknown "
+             "provenance, missing plan, or plan/request token "
+             "mismatch)"),
+        Rule("V505-capacity-overshoot", "warning",
+             "live cache residency exceeds its configured global "
+             "capacity bound (the pre-1.7 per-shard LRU overshoot)"),
+    )
+}
+
+#: Bumped whenever the combined kernel+plan+audit rule inventory changes
+#: shape (new family, renamed field); surfaced as ``rule_catalog_version``
+#: in ``repro lint --json`` / ``repro audit --json`` so downstream
+#: consumers can detect drift.  4 = the C0xx + V5xx audit families.
+RULE_CATALOG_VERSION = 4
 
 
 def full_rule_catalog() -> Dict[str, Rule]:
-    """Kernel rules (V0xx-V2xx) merged with plan rules (V3xx-V4xx)."""
+    """Kernel rules (V0xx-V2xx), plan rules (V3xx-V4xx), cache/wire
+    rules (V5xx) and concurrency rules (C0xx) in one registry."""
     from .diagnostics import RULES as KERNEL_RULES
 
     catalog: Dict[str, Rule] = {}
     catalog.update(KERNEL_RULES)
     catalog.update(PLAN_RULES)
+    catalog.update(CACHE_RULES)
+    catalog.update(CONCURRENCY_RULES)
     return catalog
 
 

@@ -1,0 +1,90 @@
+"""The ``repro audit`` CLI: both heads, self-check, injection, JSON."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.verify.planrules import (
+    CACHE_RULES,
+    CONCURRENCY_RULES,
+    RULE_CATALOG_VERSION,
+)
+
+
+@pytest.fixture()
+def warmed_cache(tmp_path):
+    """A small on-disk cache warmed through the tune CLI."""
+    path = str(tmp_path / "cache.json")
+    assert main(["tune", "warm", "--shapes", "4:12:4",
+                 "--cache", path, "--jobs", "1"]) == 0
+    return path
+
+
+class TestAuditCli:
+    def test_shipped_tree_audits_clean(self, capsys):
+        assert main(["audit"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OK")
+        assert "0 finding(s)" in out
+
+    def test_json_payload_shape(self, capsys):
+        assert main(["audit", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "audit"
+        assert payload["ok"] is True
+        assert payload["rule_catalog_version"] == RULE_CATALOG_VERSION
+        assert payload["files_scanned"] > 50
+        assert payload["findings"] == []
+
+    def test_self_check_fires_all_nine_rules(self, capsys):
+        assert main(["audit", "--self-check", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        fired = {r["rule"] for r in payload["results"] if r["fired"]}
+        assert fired == set(CONCURRENCY_RULES) | set(CACHE_RULES)
+
+    def test_inject_bad_fails_with_both_heads(self, capsys):
+        assert main(["audit", "--inject-bad"]) == 1
+        out = capsys.readouterr().out
+        assert "C002-unpicklable-submission" in out
+        assert "V502-fingerprint-consistency" in out
+        assert "FAIL" in out
+
+    def test_warmed_cache_audits_clean(self, warmed_cache, capsys):
+        assert main(["audit", "--cache", warmed_cache]) == 0
+        out = capsys.readouterr().out
+        assert "3 entries" in out and "0 finding(s)" in out
+
+    def test_tampered_cache_fails(self, warmed_cache, capsys):
+        data = json.loads(open(warmed_cache).read())
+        data["fingerprint"] = "0" * 16
+        with open(warmed_cache, "w") as fh:
+            json.dump(data, fh)
+        assert main(["audit", "--cache", warmed_cache, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert any(f["rule"] == "V502-fingerprint-consistency"
+                   for f in payload["findings"])
+
+    def test_unreadable_cache_exits_2(self, tmp_path, capsys):
+        assert main(["audit", "--cache", str(tmp_path / "no.json")]) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_machine_override(self, capsys):
+        # the audit verifies against the requested machine model
+        assert main(["audit", "--machine", "graviton2_like"]) == 0
+        capsys.readouterr()
+
+
+class TestCatalogCli:
+    def test_list_rules_includes_all_families(self, capsys):
+        assert main(["lint", "--list-rules", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rule_catalog_version"] == RULE_CATALOG_VERSION
+        rules = {r["rule"] for r in payload["rules"]}
+        assert set(CONCURRENCY_RULES) <= rules
+        assert set(CACHE_RULES) <= rules
+        assert "V001-uninitialized-read" in rules or any(
+            r.startswith("V0") for r in rules
+        )

@@ -187,14 +187,17 @@ class TestReporting:
         for rule in PLAN_RULES.values():
             assert rule.severity in ("error", "warning", "info")
 
-    def test_full_catalog_merges_kernel_and_plan_rules(self):
-        from repro.verify import RULES, RULE_CATALOG_VERSION, \
-            full_rule_catalog
+    def test_full_catalog_merges_all_rule_families(self):
+        from repro.verify import CACHE_RULES, CONCURRENCY_RULES, RULES, \
+            RULE_CATALOG_VERSION, full_rule_catalog
 
         catalog = full_rule_catalog()
-        assert set(catalog) == set(RULES) | set(PLAN_RULES)
+        assert set(catalog) == (set(RULES) | set(PLAN_RULES)
+                                | set(CACHE_RULES) | set(CONCURRENCY_RULES))
         assert isinstance(RULE_CATALOG_VERSION, int)
-        assert RULE_CATALOG_VERSION >= 2
+        assert RULE_CATALOG_VERSION >= 4
+        assert all(r.startswith("C0") for r in CONCURRENCY_RULES)
+        assert all(r.startswith("V5") for r in CACHE_RULES)
 
 
 class TestMemoization:

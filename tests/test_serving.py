@@ -236,6 +236,20 @@ class TestServing:
         assert summary["cache"]["shards"] == 8
         assert len(summary["per_shard"]) == 8
 
+    def test_stats_summary_surfaces_sibling_caches(self, service):
+        # the engine's own memo caches ride along in --stats: the
+        # verification memo, the batch-pricing caches and the
+        # steady-state store, each with their hit/miss counters
+        summary = service.stats_summary()
+        for key in ("verification_memo", "batch_pricing", "steady_store"):
+            assert key in summary, key
+        assert {"hits", "misses"} <= set(summary["verification_memo"])
+        assert {"tapes", "interning"} <= set(summary["batch_pricing"])
+        assert {"hits", "misses", "entries"} <= set(summary["steady_store"])
+        import json as _json
+
+        _json.dumps(summary)  # the --stats block must stay JSON-able
+
 
 class TestBatchedPricing:
     def test_price_request_groups_matches_single_shape_pricing(

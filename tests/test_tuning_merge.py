@@ -201,3 +201,40 @@ class TestMergeCli:
         assert main(["tune", "merge", exported, "--cache", fresh,
                      "--force"]) == 0
         assert "[fingerprint mismatch]" in capsys.readouterr().out
+
+    def test_force_merge_schema_guard_and_cache_audit(
+        self, tmp_path, capsys
+    ):
+        # --force waives the fingerprint guard only: a schema-mismatched
+        # payload is still refused, and a successful forced merge leaves
+        # a file that passes the full `repro audit --cache` pass
+        cache = str(tmp_path / "cache.json")
+        exported = str(tmp_path / "exported.json")
+        assert main(["tune", "warm", "--shapes", "4:12:4",
+                     "--cache", cache, "--jobs", "1"]) == 0
+        assert main(["tune", "export", "--cache", cache,
+                     "--output", exported]) == 0
+        assert main(["tune", "clear", "--cache", cache]) == 0
+        data = json.loads(open(exported).read())
+        data["fingerprint"] = "deadbeefdeadbeef"
+        with open(exported, "w") as fh:
+            json.dump(data, fh)
+
+        bad_schema = str(tmp_path / "bad_schema.json")
+        with open(bad_schema, "w") as fh:
+            json.dump(dict(data, schema=TUNING_SCHEMA_VERSION + 1), fh)
+        capsys.readouterr()
+        assert main(["tune", "merge", bad_schema, "--cache", cache,
+                     "--force"]) == 2
+        assert "schema" in capsys.readouterr().out
+
+        assert main(["tune", "merge", exported, "--cache", cache,
+                     "--force"]) == 0
+        capsys.readouterr()
+
+        # the merged file is re-fingerprinted for this machine; every
+        # entry replays through the plan verifier and round-trips the
+        # serving wire format with zero findings
+        assert main(["audit", "--cache", cache]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out and out.startswith("OK")

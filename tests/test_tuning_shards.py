@@ -83,8 +83,9 @@ class TestShardedCache:
         assert cache.peek(plan.key.token) is plan
         assert cache.stats.requests == 0
 
-    def test_per_shard_lru_eviction_bounds(self, small_machine, base_plan):
-        # capacity 8 over 4 shards -> never more than 2 entries per shard
+    def test_global_capacity_bound(self, small_machine, base_plan):
+        # capacity 8 is a *global* bound: 40 inserts over 4 shards leave
+        # exactly 8 resident entries, never 8-per-shard
         cache = ShardedTuningCache(
             small_machine, path="", capacity=8, shards=4
         )
@@ -92,9 +93,50 @@ class TestShardedCache:
             cache.put(plan_for(base_plan, m, m, m))
         occupancy = cache.per_shard_occupancy()
         assert len(occupancy) == 4
-        for shard in occupancy:
-            assert shard["entries"] <= shard["capacity"] == 2
-        assert len(cache) <= 8
+        assert sum(shard["entries"] for shard in occupancy) == 8
+        assert len(cache) == 8
+
+    def test_skewed_shards_use_full_capacity(self, small_machine, base_plan):
+        # the pre-1.7 per-shard split evicted a hot shard at
+        # ceil(8/4) = 2 entries; under the global bound every entry of a
+        # skewed workload stays resident until *total* occupancy hits 8
+        cache = ShardedTuningCache(
+            small_machine, path="", capacity=8, shards=4
+        )
+        plans = [plan_for(base_plan, m, m, m) for m in range(1, 33)]
+        target = cache.shard_of(plans[0].key.token)
+        hot = [p for p in plans
+               if cache.shard_of(p.key.token) == target][:6]
+        assert len(hot) > 2  # enough skew to overflow a per-shard slice
+        for plan in hot:
+            cache.put(plan)
+        assert len(cache) == len(hot)
+        for plan in hot:
+            assert cache.peek(plan.key.token) is plan
+
+    def test_replacement_does_not_count_against_capacity(
+        self, small_machine, base_plan
+    ):
+        cache = ShardedTuningCache(
+            small_machine, path="", capacity=4, shards=2
+        )
+        for _ in range(5):
+            cache.put(plan_for(base_plan, 7, 7, 7))
+        assert len(cache) == 1
+
+    def test_clear_resets_the_capacity_counter(
+        self, small_machine, base_plan
+    ):
+        cache = ShardedTuningCache(
+            small_machine, path="", capacity=4, shards=2
+        )
+        for m in range(1, 5):
+            cache.put(plan_for(base_plan, m, m, m))
+        cache.clear()
+        assert len(cache) == 0
+        for m in range(5, 9):
+            cache.put(plan_for(base_plan, m, m, m))
+        assert len(cache) == 4
 
     def test_lru_evicts_oldest_within_shard(self, small_machine, base_plan):
         cache = ShardedTuningCache(

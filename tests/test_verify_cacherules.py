@@ -1,0 +1,257 @@
+"""V5xx cache & wire integrity: auditor rules and negative controls."""
+
+import json
+
+import pytest
+
+from repro.machine import graviton2_like
+from repro.tuning import (
+    AdaptiveTuner,
+    ShardedTuningCache,
+    TuningCache,
+    merge_payload,
+)
+from repro.util import ConfigError
+from repro.verify.cacherules import (
+    CacheAuditor,
+    audit_cache_file,
+    cache_self_check,
+    inject_bad_payload,
+    wire_responses,
+)
+from repro.verify.planrules import CACHE_RULES
+
+
+@pytest.fixture(scope="module")
+def small_machine():
+    return graviton2_like()
+
+
+@pytest.fixture(scope="module")
+def warmed(small_machine):
+    """(cache, payload) with heuristic plans over a few buckets."""
+    cache = TuningCache(small_machine, path="")
+    tuner = AdaptiveTuner(small_machine, cache=cache)
+    for shape, threads in (((8, 8, 8), 1), ((16, 16, 16), 1),
+                           ((24, 24, 24), 2)):
+        cache.put(tuner.heuristic_plan(*shape, threads=threads))
+    return cache, json.loads(cache.export_json())
+
+
+@pytest.fixture(scope="module")
+def auditor(small_machine):
+    return CacheAuditor(small_machine)
+
+
+def mutated(payload, fn):
+    copy = json.loads(json.dumps(payload))
+    fn(copy)
+    return copy
+
+
+def rules_of(diags):
+    return sorted({d.rule for d in diags})
+
+
+class TestPayloadAudit:
+    def test_clean_payload_has_no_findings(self, auditor, warmed):
+        _, payload = warmed
+        assert auditor.audit_payload(payload) == []
+
+    def test_v501_replay_catches_infeasible_spec(self, auditor, warmed):
+        _, payload = warmed
+        bad = mutated(payload, lambda p: next(
+            iter(p["entries"].values()))["spec"].__setitem__("mr", 64))
+        diags = auditor.audit_payload(bad)
+        assert "V501-replay-verification" in rules_of(diags)
+
+    def test_v502_forged_fingerprint(self, auditor, warmed):
+        _, payload = warmed
+        bad = mutated(payload, lambda p: p.__setitem__(
+            "fingerprint", "0" * 16))
+        diags = auditor.audit_payload(bad, replay=False)
+        assert rules_of(diags) == ["V502-fingerprint-consistency"]
+
+    def test_v502_schema_mismatch(self, auditor, warmed):
+        _, payload = warmed
+        bad = mutated(payload, lambda p: p.__setitem__("schema", 99))
+        diags = auditor.audit_payload(bad, replay=False)
+        # the schema bump also rotates the fingerprint expectation,
+        # but both findings are the same rule
+        assert rules_of(diags) == ["V502-fingerprint-consistency"]
+
+    def test_v502_token_key_mismatch(self, auditor, warmed):
+        _, payload = warmed
+
+        def relabel(p):
+            token, entry = next(iter(p["entries"].items()))
+            del p["entries"][token]
+            p["entries"]["99x99x99:float32:t1"] = entry
+
+        bad = mutated(payload, relabel)
+        diags = auditor.audit_payload(bad, replay=False)
+        assert any("carries plan key" in d.message for d in diags)
+
+    def test_v502_off_lattice_shape(self, auditor, warmed):
+        _, payload = warmed
+
+        def skew(p):
+            token, entry = next(iter(p["entries"].items()))
+            entry["key"]["m"] = 67  # 67 > 64 buckets to 80
+            del p["entries"][token]
+            p["entries"]["67x8x8:float32:t1"] = entry
+
+        bad = mutated(payload, skew)
+        diags = auditor.audit_payload(bad, replay=False)
+        assert any("bucket lattice" in d.message for d in diags)
+
+    def test_v502_threads_beyond_core_count(
+        self, auditor, small_machine, warmed
+    ):
+        _, payload = warmed
+        over = small_machine.n_cores + 1
+
+        def crank(p):
+            token, entry = next(iter(p["entries"].items()))
+            entry["key"]["threads"] = over
+            del p["entries"][token]
+            m, n, k = entry["key"]["m"], entry["key"]["n"], entry["key"]["k"]
+            p["entries"][f"{m}x{n}x{k}:float32:t{over}"] = entry
+
+        bad = mutated(payload, crank)
+        diags = auditor.audit_payload(bad, replay=False)
+        assert any("cores" in d.message for d in diags)
+
+    def test_v502_malformed_entry(self, auditor, warmed):
+        _, payload = warmed
+        bad = mutated(payload, lambda p: p["entries"].__setitem__(
+            "bogus", {"not": "a plan"}))
+        diags = auditor.audit_payload(bad, replay=False)
+        assert any("malformed entry" in d.message for d in diags)
+
+    def test_v503_entry_worse_than_heuristic(self, auditor, warmed):
+        _, payload = warmed
+
+        def slow(p):
+            entry = next(iter(p["entries"].values()))
+            entry["total_cycles"] = entry["heuristic_cycles"] * 2.0
+
+        bad = mutated(payload, slow)
+        diags = auditor.audit_payload(bad, replay=False)
+        assert rules_of(diags) == ["V503-merge-monotonicity"]
+
+
+class TestMergeAudit:
+    def test_real_merge_is_monotone(self, auditor, small_machine, warmed):
+        _, payload = warmed
+        dest = TuningCache(small_machine, path="")
+        merge_payload(dest, payload)
+        merged = json.loads(dest.export_json())
+        assert auditor.audit_merge(merged, [payload]) == []
+
+    def test_dropped_entry_flagged(self, auditor, warmed):
+        _, payload = warmed
+        merged = mutated(payload, lambda p: p["entries"].popitem())
+        diags = auditor.audit_merge(merged, [payload])
+        assert rules_of(diags) == ["V503-merge-monotonicity"]
+        assert any("dropped" in d.message for d in diags)
+
+    def test_regressed_entry_flagged(self, auditor, warmed):
+        _, payload = warmed
+
+        def slow(p):
+            entry = next(iter(p["entries"].values()))
+            entry["total_cycles"] *= 4.0
+
+        merged = mutated(payload, slow)
+        diags = auditor.audit_merge(merged, [payload])
+        assert any("worse than the input" in d.message for d in diags)
+
+
+class TestWireAudit:
+    def test_synthesized_responses_are_clean(self, auditor, warmed):
+        _, payload = warmed
+        responses = wire_responses(payload)
+        assert len(responses) == len(payload["entries"])
+        assert auditor.audit_responses(responses) == []
+
+    def test_v504_missing_plan(self, auditor, warmed):
+        _, payload = warmed
+        responses = wire_responses(payload)
+        responses[0]["plan"] = None
+        diags = auditor.audit_responses(responses)
+        assert rules_of(diags) == ["V504-response-provenance"]
+
+    def test_v504_unknown_provenance(self, auditor, warmed):
+        _, payload = warmed
+        responses = wire_responses(payload)
+        responses[0]["provenance"] = "oracle"
+        diags = auditor.audit_responses(responses)
+        assert rules_of(diags) == ["V504-response-provenance"]
+
+    def test_v504_plan_request_token_mismatch(self, auditor, warmed):
+        _, payload = warmed
+        responses = wire_responses(payload)
+        if len(responses) < 2:
+            pytest.skip("needs two entries")
+        responses[0]["plan"] = responses[1]["plan"]
+        diags = auditor.audit_responses(responses)
+        assert any("buckets to" in d.message for d in diags)
+
+
+class TestLiveCacheAudit:
+    def test_v505_overshoot_flagged(self, auditor, small_machine, warmed):
+        cache, payload = warmed
+        live = ShardedTuningCache(small_machine, path="", capacity=8,
+                                  shards=2)
+        for plan in cache:
+            live.put(plan)
+        live.capacity = 1  # recreate the pre-1.7 overshoot
+        diags = auditor.audit_cache(live, replay=False)
+        assert rules_of(diags) == ["V505-capacity-overshoot"]
+
+    def test_bounded_live_cache_is_clean(self, auditor, small_machine,
+                                         warmed):
+        cache, _ = warmed
+        live = ShardedTuningCache(small_machine, path="", capacity=8,
+                                  shards=2)
+        for plan in cache:
+            live.put(plan)
+        assert auditor.audit_cache(live, replay=False) == []
+
+
+class TestEntryPoints:
+    def test_self_check_all_rules_fire(self, small_machine):
+        results = cache_self_check(small_machine)
+        assert [rule for rule, _ in results] == sorted(CACHE_RULES)
+        assert all(fired for _, fired in results)
+
+    def test_inject_bad_payload_fires_its_rule(self, auditor,
+                                               small_machine):
+        rule_id, payload = inject_bad_payload(small_machine)
+        diags = auditor.audit_payload(payload, replay=False)
+        assert any(d.rule == rule_id for d in diags)
+
+    def test_audit_cache_file_round_trip(self, small_machine, warmed,
+                                         tmp_path):
+        cache, _ = warmed
+        path = str(tmp_path / "cache.json")
+        disk = TuningCache(small_machine, path=path)
+        for plan in cache:
+            disk.put(plan)
+        disk.save()
+        findings, entries = audit_cache_file(small_machine, path)
+        assert findings == [] and entries == 3
+
+    def test_audit_cache_file_unreadable_raises(self, small_machine,
+                                                tmp_path):
+        with pytest.raises(ConfigError):
+            audit_cache_file(small_machine, str(tmp_path / "nope.json"))
+
+    def test_diagnostics_serialize(self, auditor, warmed):
+        _, payload = warmed
+        bad = mutated(payload, lambda p: p.__setitem__(
+            "fingerprint", "0" * 16))
+        (diag,) = auditor.audit_payload(bad, source="x.json", replay=False)
+        assert diag.where == "x.json"
+        assert diag.to_dict()["rule"] == "V502-fingerprint-consistency"

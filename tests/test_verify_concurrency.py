@@ -1,0 +1,320 @@
+"""C0xx concurrency-discipline linter: rules, fixtures, tree scan."""
+
+import textwrap
+
+from repro.verify.concurrency import (
+    FIXTURES,
+    concurrency_self_check,
+    fixture_path,
+    inject_bad_source,
+    lint_file,
+    lint_source,
+    lint_tree,
+)
+from repro.verify.planrules import CONCURRENCY_RULES
+
+
+def lint(snippet):
+    return lint_source(textwrap.dedent(snippet), "snippet.py")
+
+
+def rules_of(diags):
+    return sorted({d.rule for d in diags})
+
+
+class TestC001UnguardedMutation:
+    def test_unguarded_write_of_guarded_attr_flagged(self):
+        diags = lint("""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+
+                def reset(self):
+                    self._n = 0
+        """)
+        assert rules_of(diags) == ["C001-unguarded-mutation"]
+        (diag,) = diags
+        assert diag.symbol == "C.reset"
+        assert diag.line == 14
+
+    def test_mutator_calls_count_as_mutations(self):
+        diags = lint("""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, x):
+                    with self._lock:
+                        self._items.append(x)
+
+                def drop(self):
+                    self._items.clear()
+        """)
+        assert rules_of(diags) == ["C001-unguarded-mutation"]
+
+    def test_consistently_unguarded_attrs_not_flagged(self):
+        # attributes never mutated under a lock carry no discipline to
+        # break (e.g. a _dirty flag by design)
+        diags = lint("""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._dirty = False
+
+                def touch(self):
+                    self._dirty = True
+
+                def settle(self):
+                    self._dirty = False
+        """)
+        assert diags == []
+
+    def test_init_writes_never_flagged(self):
+        # construction happens-before any concurrent access
+        diags = lint("""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+                    self._n += 1
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+        """)
+        assert diags == []
+
+    def test_guarded_everywhere_is_clean(self):
+        diags = lint("""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+
+                def reset(self):
+                    with self._lock:
+                        self._n = 0
+        """)
+        assert diags == []
+
+
+class TestC002UnpicklableSubmission:
+    def test_bound_method_to_self_pool_flagged(self):
+        diags = lint("""
+            from concurrent.futures import ProcessPoolExecutor
+
+            class C:
+                def __init__(self):
+                    self._pool = ProcessPoolExecutor()
+
+                def go(self, x):
+                    return self._pool.submit(self._work, x)
+
+                def _work(self, x):
+                    return x
+        """)
+        assert rules_of(diags) == ["C002-unpicklable-submission"]
+
+    def test_lambda_and_nested_function_flagged(self):
+        diags = lint("""
+            from concurrent.futures import ProcessPoolExecutor
+
+            class C:
+                def go(self, xs):
+                    def helper(x):
+                        return x
+                    with ProcessPoolExecutor() as pool:
+                        pool.submit(lambda: 1)
+                        pool.map(helper, xs)
+        """)
+        assert [d.rule for d in diags] == [
+            "C002-unpicklable-submission",
+            "C002-unpicklable-submission",
+        ]
+
+    def test_thread_pool_submissions_are_fine(self):
+        # threads share the interpreter; bound methods are fine
+        diags = lint("""
+            from concurrent.futures import ThreadPoolExecutor
+
+            class C:
+                def __init__(self):
+                    self._pool = ThreadPoolExecutor()
+
+                def go(self, x):
+                    return self._pool.submit(self._work, x)
+
+                def _work(self, x):
+                    return x
+        """)
+        assert diags == []
+
+    def test_mixed_evidence_attr_not_flagged(self):
+        # an attr that is sometimes a thread pool (the serving stack's
+        # self._executor) cannot be assumed to be a process pool
+        diags = lint("""
+            from concurrent.futures import ProcessPoolExecutor, \\
+                ThreadPoolExecutor
+
+            class C:
+                def __init__(self, jobs):
+                    if jobs:
+                        self._executor = ProcessPoolExecutor(jobs)
+                    else:
+                        self._executor = ThreadPoolExecutor(1)
+
+                def go(self, loop, x):
+                    return loop.run_in_executor(
+                        self._executor, self._work, x
+                    )
+
+                def _work(self, x):
+                    return x
+        """)
+        assert diags == []
+
+    def test_module_level_worker_is_fine(self):
+        diags = lint("""
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work(x):
+                return x
+
+            class C:
+                def __init__(self):
+                    self._pool = ProcessPoolExecutor()
+
+                def go(self, x):
+                    return self._pool.submit(work, x)
+        """)
+        assert diags == []
+
+
+class TestC003EagerAsyncioPrimitive:
+    def test_init_construction_flagged(self):
+        diags = lint("""
+            import asyncio
+
+            class C:
+                def __init__(self):
+                    self._queue = asyncio.Queue()
+        """)
+        assert rules_of(diags) == ["C003-eager-asyncio-primitive"]
+
+    def test_module_scope_construction_flagged(self):
+        diags = lint("""
+            import asyncio
+
+            EVENT = asyncio.Event()
+        """)
+        assert rules_of(diags) == ["C003-eager-asyncio-primitive"]
+
+    def test_lazy_construction_in_coroutine_is_fine(self):
+        # the PR 9 fix pattern: build inside the running loop
+        diags = lint("""
+            import asyncio
+
+            class C:
+                def __init__(self):
+                    self._queue = None
+
+                async def ensure(self):
+                    if self._queue is None:
+                        self._queue = asyncio.Queue()
+                    return self._queue
+        """)
+        assert diags == []
+
+
+class TestC004AwaitHoldingLock:
+    def test_await_inside_lock_flagged(self):
+        diags = lint("""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                async def go(self):
+                    with self._lock:
+                        await self.other()
+
+                async def other(self):
+                    return 1
+        """)
+        assert rules_of(diags) == ["C004-await-holding-lock"]
+
+    def test_await_after_lock_released_is_fine(self):
+        diags = lint("""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                async def go(self):
+                    with self._lock:
+                        self._n += 1
+                    await self.other()
+
+                async def other(self):
+                    return 1
+        """)
+        assert diags == []
+
+
+class TestFixturesAndTree:
+    def test_every_rule_has_a_fixture_that_fires(self):
+        assert set(FIXTURES) == set(CONCURRENCY_RULES)
+        results = concurrency_self_check()
+        assert [rule for rule, _ in results] == sorted(CONCURRENCY_RULES)
+        assert all(fired for _, fired in results)
+
+    def test_fixture_findings_name_the_seeded_bug(self):
+        diags = lint_file(fixture_path("C002-unpicklable-submission"))
+        assert any("_tune_one" in d.message for d in diags)
+
+    def test_shipped_tree_is_clean(self):
+        files, diags = lint_tree()
+        assert files > 50  # the whole package, not a subset
+        assert diags == []
+
+    def test_tree_scan_excludes_fixtures(self):
+        files, diags = lint_tree()
+        assert not any("fixtures" in d.file for d in diags)
+
+    def test_inject_bad_source_points_at_a_firing_fixture(self):
+        rule_id, path = inject_bad_source()
+        assert rule_id in CONCURRENCY_RULES
+        diags = lint_file(path)
+        assert any(d.rule == rule_id for d in diags)
+
+    def test_diagnostics_render_and_serialize(self):
+        diags = lint_file(fixture_path("C001-unguarded-mutation"))
+        assert diags
+        d = diags[0]
+        assert d.where.endswith(f":{d.line}")
+        as_dict = d.to_dict()
+        assert as_dict["rule"] == d.rule
+        assert as_dict["file"] == d.file
